@@ -1,0 +1,54 @@
+// Figure 14 (Appendix B.3): effect of the subsample size ns on variational
+// subsampling's error-bound accuracy at fixed n = 500K. Reported for both
+// a Gaussian column (the paper's N(10,10)) and a skewed chi-square(1)
+// column where the small-ns non-normality penalty is visible — this doubles
+// as the ablation for the ns = n^(1/2) default called out in DESIGN.md.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stats_math.h"
+#include "estimator/estimators.h"
+#include "workload/synthetic.h"
+
+int main() {
+  using namespace vdb;
+  const int64_t n = 500000;
+  const double z = NormalCriticalValue(0.95);
+  const int trials = 8;
+
+  std::printf("== Figure 14: error vs subsample size ns (n = 500K) ==\n");
+  std::printf("%-10s %20s %22s\n", "ns", "rel err (gaussian)",
+              "rel err (chi-square)");
+  for (double e : {0.25, 1.0 / 3.0, 0.5, 2.0 / 3.0, 0.75}) {
+    int64_t ns = static_cast<int64_t>(
+        std::pow(static_cast<double>(n), e));
+    double err_g = 0, err_c = 0;
+    for (int t = 0; t < trials; ++t) {
+      // Gaussian N(10,10).
+      auto xs = workload::SyntheticValues(n, 95000 + t);
+      double truth_g = z * 10.0 / std::sqrt(static_cast<double>(n));
+      Rng r1(96000 + t);
+      auto eg = est::VariationalSubsampling(xs, 1.0, ns, 0.95, &r1);
+      err_g += std::abs(eg.half_width - truth_g) / truth_g;
+      // Chi-square(1): mean 1, sd sqrt(2), heavy right tail.
+      Rng data(97000 + t);
+      for (auto& x : xs) {
+        double g = data.NextGaussian();
+        x = g * g;
+      }
+      double truth_c = z * std::sqrt(2.0) / std::sqrt(static_cast<double>(n));
+      Rng r2(98000 + t);
+      auto ec = est::VariationalSubsampling(xs, 1.0, ns, 0.95, &r2);
+      err_c += std::abs(ec.half_width - truth_c) / truth_c;
+    }
+    std::printf("n^%-7.3f %19.3f%% %21.3f%%\n", e, err_g / trials * 100.0,
+                err_c / trials * 100.0);
+  }
+  std::printf("expected shape: ns = n^(1/2) near-optimal; large ns suffers"
+              " from few subsamples, tiny ns from non-normality (visible in"
+              " the skewed column)\n");
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 4: VerdictDB's per-query speedups on the Redshift driver profile,
+// over the 33-query workload (18 TPC-H + 15 insta micro-benchmarks).
+
+#include <cmath>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace vdb;
+  bench::AqpFixture fx(driver::EngineKind::kRedshift, /*tpch_scale=*/0.8,
+                       /*insta_scale=*/0.8);
+  bench::PrintHeader("Figure 4: VerdictDB speedups (Redshift profile)");
+  double geo = 0.0;
+  int n = 0;
+  auto run_set = [&](const std::vector<workload::WorkloadQuery>& qs) {
+    for (const auto& q : qs) {
+      auto o = bench::RunOne(fx, q);
+      bench::PrintOutcome(o);
+      geo += std::log(std::max(o.speedup, 1e-3));
+      ++n;
+    }
+  };
+  run_set(workload::TpchQueries());
+  run_set(workload::InstaQueries());
+  std::printf("geometric-mean speedup over %d queries: %.2fx\n", n,
+              std::exp(geo / n));
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 5: speedup vs. original data size with a FIXED sample size
+// (paper: 5 GB sample; 5 GB -> 500 GB data; speedup grows with data size).
+// Here the lineitem sample is held at ~3000 rows while the data scales.
+
+#include "bench_util.h"
+#include "workload/tpch.h"
+
+int main() {
+  using namespace vdb;
+  const char* kQ6 =
+      "select sum(l_extendedprice * l_discount) as revenue from lineitem"
+      " where l_shipdate >= 19940101 and l_shipdate < 19950101"
+      " and l_discount between 0.05 and 0.07 and l_quantity < 24";
+  const char* kQ14 =
+      "select sum(case when p_type like 'PROMO%' then"
+      " l_extendedprice * (1 - l_discount) else 0.0 end) /"
+      " sum(l_extendedprice * (1 - l_discount)) as promo_revenue"
+      " from lineitem inner join part on l_partkey = p_partkey"
+      " where l_shipdate >= 19950901 and l_shipdate < 19951101";
+
+  std::printf("== Figure 5: speedup vs data size (fixed ~3000-row sample) ==\n");
+  std::printf("%-10s %12s %12s %10s %12s %12s %10s\n", "scale", "tq6-exact",
+              "tq6-vdb", "tq6-spd", "tq14-exact", "tq14-vdb", "tq14-spd");
+
+  for (double scale : {0.05, 0.15, 0.4, 1.0}) {
+    engine::Database db(321);
+    workload::TpchConfig cfg;
+    cfg.scale = scale;
+    if (!workload::GenerateTpch(&db, cfg).ok()) return 1;
+    core::VerdictOptions opts;
+    opts.min_rows_for_sampling = 25000;
+    opts.io_budget = 1.0;  // the fixed sample always fits
+    core::VerdictContext ctx(&db, driver::EngineKind::kRedshift, opts);
+    auto lineitem = db.catalog().GetTable("lineitem");
+    double tau = 3000.0 / static_cast<double>(lineitem->num_rows());
+    if (!ctx.sample_builder().CreateUniformSample("lineitem", tau).ok()) {
+      return 1;
+    }
+    const double oh =
+        driver::GetDialect(driver::EngineKind::kRedshift).fixed_overhead_ms;
+    auto measure = [&](const char* sql, double* exact_ms, double* vdb_ms) {
+      *exact_ms = bench::TimeMs([&] { (void)db.Execute(sql); }) + oh;
+      core::VerdictContext::ExecInfo info;
+      *vdb_ms = bench::TimeMs([&] { (void)ctx.Execute(sql, &info); }) + oh;
+      if (!info.approximated) {
+        std::fprintf(stderr, "  [scale %.2f] not approximated: %s\n", scale,
+                     info.skip_reason.c_str());
+      }
+    };
+    double e6, v6, e14, v14;
+    measure(kQ6, &e6, &v6);
+    measure(kQ14, &e14, &v14);
+    std::printf("%-10.2f %12.1f %12.1f %9.2fx %12.1f %12.1f %9.2fx\n", scale,
+                e6, v6, e6 / v6, e14, v14, e14 / v14);
+  }
+  std::printf("expected shape: speedup grows with the data/sample ratio\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Micro-benchmarks (google-benchmark) for the error-estimation kernels and
+// the engine's scan/aggregate path. Complements the figure benches with
+// steady-state numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "engine/database.h"
+#include "estimator/estimators.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace vdb;
+
+void BM_VariationalSubsampling(benchmark::State& state) {
+  auto xs = workload::SyntheticValues(state.range(0), 1);
+  Rng rng(2);
+  for (auto _ : state) {
+    auto e = est::VariationalSubsampling(xs, 1.0, 0, 0.95, &rng);
+    benchmark::DoNotOptimize(e.half_width);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_VariationalSubsampling)->Arg(100000)->Arg(1000000);
+
+void BM_Bootstrap100(benchmark::State& state) {
+  auto xs = workload::SyntheticValues(state.range(0), 3);
+  Rng rng(4);
+  for (auto _ : state) {
+    auto e = est::Bootstrap(xs, 1.0, 100, 0.95, &rng);
+    benchmark::DoNotOptimize(e.half_width);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 100);
+}
+BENCHMARK(BM_Bootstrap100)->Arg(100000);
+
+void BM_TraditionalSubsampling100(benchmark::State& state) {
+  auto xs = workload::SyntheticValues(state.range(0), 5);
+  Rng rng(6);
+  for (auto _ : state) {
+    auto e = est::TraditionalSubsampling(xs, 1.0, 100, 1000, 0.95, &rng);
+    benchmark::DoNotOptimize(e.half_width);
+  }
+}
+BENCHMARK(BM_TraditionalSubsampling100)->Arg(100000);
+
+void BM_EngineFilterAggregate(benchmark::State& state) {
+  engine::Database db(7);
+  if (!workload::GenerateSynthetic(&db, "t", state.range(0), 8).ok()) {
+    state.SkipWithError("generation failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto rs = db.Execute(
+        "select g10, sum(value) as s, count(*) as c from t"
+        " where u < 0.5 group by g10");
+    benchmark::DoNotOptimize(rs.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineFilterAggregate)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_EngineHashJoin(benchmark::State& state) {
+  engine::Database db(9);
+  if (!workload::GenerateSynthetic(&db, "a", state.range(0), 10).ok() ||
+      !workload::GenerateSynthetic(&db, "b", state.range(0) / 4, 11).ok()) {
+    state.SkipWithError("generation failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto rs = db.Execute(
+        "select count(*) as c from a inner join b on a.g100 = b.g100"
+        " where a.u < 0.1 and b.u < 0.1");
+    benchmark::DoNotOptimize(rs.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineHashJoin)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

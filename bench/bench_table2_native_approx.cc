@@ -1,0 +1,76 @@
+// Table 2: sampling-based AQP vs the engines' native (sketch-based)
+// approximate aggregates. Native ndv()/approx_median() require a full scan;
+// VerdictDB reads only a sample.
+
+#include <cmath>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace vdb;
+  bench::AqpFixture fx(driver::EngineKind::kGeneric, /*tpch_scale=*/0,
+                       /*insta_scale=*/1.0);
+
+  auto exact_d = fx.db.Execute(
+      "select count(distinct user_id) as d from orders_insta");
+  auto exact_m =
+      fx.db.Execute("select median(price) as m from order_products");
+  if (!exact_d.ok() || !exact_m.ok()) return 1;
+  double true_d = exact_d.value().GetDouble(0, 0);
+  double true_m = exact_m.value().GetDouble(0, 0);
+
+  std::printf("== Table 2: sampling-based AQP vs native approximation ==\n");
+  std::printf("%-34s %12s %10s\n", "method", "runtime(ms)", "rel.err");
+
+  // (a) count-distinct.
+  {
+    core::VerdictContext::ExecInfo info;
+    engine::ResultSet rs;
+    double vdb_ms = bench::TimeMs([&] {
+      auto r = fx.ctx->Execute(
+          "select count(distinct user_id) as d from orders_insta", &info);
+      if (r.ok()) rs = std::move(r).ValueOrDie();
+    });
+    double rel = std::abs(rs.GetDouble(0, 0) - true_d) / true_d;
+    std::printf("%-34s %12.1f %9.2f%%  %s\n",
+                "Verdict count-distinct (sample)", vdb_ms, rel * 100.0,
+                info.approximated ? "" : "(not approximated!)");
+
+    engine::ResultSet nat;
+    double native_ms = bench::TimeMs([&] {
+      auto r = fx.db.Execute("select ndv(user_id) as d from orders_insta");
+      if (r.ok()) nat = std::move(r).ValueOrDie();
+    });
+    rel = std::abs(nat.GetDouble(0, 0) - true_d) / true_d;
+    std::printf("%-34s %12.1f %9.2f%%\n",
+                "native ndv() (HyperLogLog full scan)", native_ms,
+                rel * 100.0);
+  }
+  // (b) median.
+  {
+    core::VerdictContext::ExecInfo info;
+    engine::ResultSet rs;
+    double vdb_ms = bench::TimeMs([&] {
+      auto r = fx.ctx->Execute(
+          "select median(price) as m from order_products", &info);
+      if (r.ok()) rs = std::move(r).ValueOrDie();
+    });
+    double rel = std::abs(rs.GetDouble(0, 0) - true_m) / std::abs(true_m);
+    std::printf("%-34s %12.1f %9.2f%%  %s\n", "Verdict median (sample)",
+                vdb_ms, rel * 100.0,
+                info.approximated ? "" : "(not approximated!)");
+
+    engine::ResultSet nat;
+    double native_ms = bench::TimeMs([&] {
+      auto r = fx.db.Execute(
+          "select approx_median(price) as m from order_products");
+      if (r.ok()) nat = std::move(r).ValueOrDie();
+    });
+    rel = std::abs(nat.GetDouble(0, 0) - true_m) / std::abs(true_m);
+    std::printf("%-34s %12.1f %9.2f%%\n",
+                "native approx_median (full scan)", native_ms, rel * 100.0);
+  }
+  std::printf("expected shape: sampling-based runtimes are much lower; both"
+              " methods stay within a few %% error\n");
+  return 0;
+}

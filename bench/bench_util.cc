@@ -1,0 +1,179 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/flattener.h"
+#include "engine/aggregates.h"
+#include "sql/parser.h"
+
+namespace vdb::bench {
+
+double TimeMs(const std::function<void()>& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+AqpFixture::AqpFixture(driver::EngineKind kind, double tpch_scale,
+                       double insta_scale, uint64_t seed)
+    : db(seed) {
+  if (tpch_scale > 0) {
+    workload::TpchConfig tc;
+    tc.scale = tpch_scale;
+    auto st = workload::GenerateTpch(&db, tc);
+    if (!st.ok()) {
+      std::fprintf(stderr, "tpch generation failed: %s\n",
+                   st.ToString().c_str());
+      std::abort();
+    }
+  }
+  if (insta_scale > 0) {
+    workload::InstaConfig ic;
+    ic.scale = insta_scale;
+    auto st = workload::GenerateInsta(&db, ic);
+    if (!st.ok()) {
+      std::fprintf(stderr, "insta generation failed: %s\n",
+                   st.ToString().c_str());
+      std::abort();
+    }
+  }
+  core::VerdictOptions opts;
+  opts.min_rows_for_sampling = 30000;  // part/customer are dimension-sized
+  opts.io_budget = 0.12;
+  opts.min_tuples_per_group = 16;
+  ctx = std::make_unique<core::VerdictContext>(&db, kind, opts);
+
+  auto& b = ctx->sample_builder();
+  auto make = [&](auto&& fn) {
+    auto r = fn();
+    if (!r.ok()) {
+      std::fprintf(stderr, "sample prep failed: %s\n",
+                   r.status().ToString().c_str());
+    }
+  };
+  if (tpch_scale > 0) {
+    make([&] { return b.CreateUniformSample("lineitem", 0.01); });
+    make([&] { return b.CreateHashedSample("lineitem", "l_orderkey", 0.02); });
+    make([&] { return b.CreateHashedSample("lineitem", "l_partkey", 0.02); });
+    make([&] { return b.CreateUniformSample("orders", 0.05); });
+    make([&] { return b.CreateHashedSample("orders", "o_orderkey", 0.02); });
+    make([&] { return b.CreateUniformSample("partsupp", 0.10); });
+    make([&] { return b.CreateHashedSample("partsupp", "ps_suppkey", 0.10); });
+    make([&] { return b.CreateHashedSample("partsupp", "ps_partkey", 0.10); });
+  }
+  if (insta_scale > 0) {
+    make([&] { return b.CreateUniformSample("order_products", 0.02); });
+    make([&] {
+      return b.CreateHashedSample("order_products", "order_id", 0.02);
+    });
+    make([&] { return b.CreateUniformSample("orders_insta", 0.05); });
+    make([&] {
+      return b.CreateHashedSample("orders_insta", "order_id", 0.02);
+    });
+    make([&] {
+      return b.CreateHashedSample("orders_insta", "user_id", 0.02);
+    });
+  }
+}
+
+namespace {
+
+/// Compares an approximate result against the exact one, matching rows by
+/// the non-aggregate columns and returning the max relative error over all
+/// aggregate cells (ignoring near-zero exact cells).
+double CompareAnswers(const core::ApproxAnswer& approx,
+                      const engine::ResultSet& exact) {
+  if (approx.aggregates.empty()) return 0.0;
+  std::vector<int> agg_cols;
+  for (const auto& a : approx.aggregates) agg_cols.push_back(a.point_column);
+  std::vector<int> key_cols;
+  size_t user_cols = exact.NumCols();  // exact result has no _err columns
+  for (size_t c = 0; c < user_cols; ++c) {
+    if (std::find(agg_cols.begin(), agg_cols.end(), static_cast<int>(c)) ==
+        agg_cols.end()) {
+      key_cols.push_back(static_cast<int>(c));
+    }
+  }
+  auto key_of = [&](const engine::ResultSet& rs, size_t row) {
+    std::string k;
+    for (int c : key_cols) {
+      k += engine::ValueGroupKey(rs.Get(row, static_cast<size_t>(c)));
+      k.push_back('\x1f');
+    }
+    return k;
+  };
+  std::map<std::string, size_t> exact_rows;
+  for (size_t r = 0; r < exact.NumRows(); ++r) exact_rows[key_of(exact, r)] = r;
+
+  double max_rel = 0.0;
+  for (size_t r = 0; r < approx.result.NumRows(); ++r) {
+    auto it = exact_rows.find(key_of(approx.result, r));
+    if (it == exact_rows.end()) continue;
+    for (int c : agg_cols) {
+      double truth = exact.GetDouble(it->second, static_cast<size_t>(c));
+      double est = approx.result.GetDouble(r, static_cast<size_t>(c));
+      if (std::abs(truth) < 1e-9) continue;
+      max_rel = std::max(max_rel, std::abs(est - truth) / std::abs(truth));
+    }
+  }
+  return max_rel;
+}
+
+}  // namespace
+
+QueryOutcome RunOne(AqpFixture& fx, const workload::WorkloadQuery& q) {
+  QueryOutcome o;
+  o.id = q.id;
+  const double overhead =
+      fx.ctx->connection().dialect().fixed_overhead_ms;
+
+  engine::ResultSet exact;
+  o.exact_ms = TimeMs([&] {
+                 // Correlated subqueries need flattening even for the exact
+                 // run (the engine has no native correlated evaluation).
+                 auto parsed = sql::ParseStatement(q.sql);
+                 if (parsed.ok() &&
+                     parsed.value()->kind == sql::StatementKind::kSelect) {
+                   (void)core::FlattenComparisonSubqueries(
+                       parsed.value()->select.get());
+                   auto rs = fx.db.ExecuteSelect(*parsed.value()->select);
+                   if (rs.ok()) exact = std::move(rs).ValueOrDie();
+                 } else {
+                   auto rs = fx.db.Execute(q.sql);
+                   if (rs.ok()) exact = std::move(rs).ValueOrDie();
+                 }
+               }) +
+               overhead;
+
+  core::VerdictContext::ExecInfo info;
+  core::ApproxAnswer approx;
+  o.approx_ms = TimeMs([&] {
+                  auto rs = fx.ctx->ExecuteApprox(q.sql, &info);
+                  if (rs.ok()) approx = std::move(rs).ValueOrDie();
+                }) +
+                overhead;
+  o.approximated = info.approximated;
+  o.skip_reason = info.skip_reason;
+  o.speedup = o.exact_ms / std::max(o.approx_ms, 1e-3);
+  if (info.approximated) o.max_rel_err = CompareAnswers(approx, exact);
+  return o;
+}
+
+void PrintHeader(const char* title) {
+  std::printf("== %s ==\n", title);
+  std::printf("%-8s %12s %12s %9s %9s  %s\n", "query", "exact(ms)",
+              "verdict(ms)", "speedup", "rel.err", "mode");
+}
+
+void PrintOutcome(const QueryOutcome& o) {
+  std::string mode =
+      o.approximated ? std::string("approx") : "exact: " + o.skip_reason;
+  std::printf("%-8s %12.1f %12.1f %8.2fx %8.2f%%  %s\n", o.id.c_str(),
+              o.exact_ms, o.approx_ms, o.speedup, o.max_rel_err * 100.0,
+              mode.c_str());
+}
+
+}  // namespace vdb::bench

@@ -1,0 +1,63 @@
+// Shared harness for the paper-reproduction benchmarks. Each bench binary
+// prints the rows/series of one table or figure from the paper's evaluation
+// (§6, Appendix B).
+
+#ifndef VDB_BENCH_BENCH_UTIL_H_
+#define VDB_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/verdict_context.h"
+#include "driver/dialect.h"
+#include "engine/database.h"
+#include "workload/insta.h"
+#include "workload/queries.h"
+#include "workload/tpch.h"
+
+namespace vdb::bench {
+
+/// Wall-clock milliseconds of one call.
+double TimeMs(const std::function<void()>& fn);
+
+/// Builds TPC-H + Instacart data and a VerdictContext with the standard
+/// sample set used by the §6.2 / §6.3 experiments:
+///   lineitem:       1% uniform, 2% universe on l_orderkey
+///   orders:         5% uniform, 2% universe on o_orderkey
+///   partsupp:       10% uniform, 10% universe on ps_suppkey
+///   order_products: 2% uniform, 2% universe on order_id
+///   orders_insta:   5% uniform, 2% universe on order_id + user_id
+struct AqpFixture {
+  AqpFixture(driver::EngineKind kind, double tpch_scale, double insta_scale,
+             uint64_t seed = 4242);
+
+  engine::Database db;
+  std::unique_ptr<core::VerdictContext> ctx;
+};
+
+struct QueryOutcome {
+  std::string id;
+  double exact_ms = 0;
+  double approx_ms = 0;
+  double speedup = 1.0;
+  bool approximated = false;
+  double max_rel_err = 0.0;   // vs exact answer, across groups/aggregates
+  std::string skip_reason;
+};
+
+/// Runs one workload query exactly and through VerdictDB, adding the
+/// dialect's modelled fixed per-query overhead to both sides, and compares
+/// answers group-by-group.
+QueryOutcome RunOne(AqpFixture& fx, const workload::WorkloadQuery& q);
+
+/// Standard per-query row printer.
+void PrintHeader(const char* title);
+void PrintOutcome(const QueryOutcome& o);
+
+}  // namespace vdb::bench
+
+#endif  // VDB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,65 @@
+// High-level Accuracy Contract (HAC, §2.4) and incremental data appends
+// (Appendix D): when the post-execution error estimate violates the
+// requested accuracy, VerdictDB transparently re-runs the exact query; and
+// appended data flows into both the base table and its samples.
+
+#include <cstdio>
+
+#include "core/verdict_context.h"
+#include "workload/synthetic.h"
+
+int main() {
+  using namespace vdb;
+  engine::Database db;
+  if (!workload::GenerateSynthetic(&db, "events", 300000, 5).ok()) return 1;
+
+  core::VerdictOptions opts;
+  opts.min_rows_for_sampling = 10000;
+  opts.io_budget = 0.05;
+  core::VerdictContext verdict(&db, driver::EngineKind::kGeneric, opts);
+  (void)verdict.sample_builder().CreateUniformSample("events", 0.01);
+
+  const char* sql = "select avg(value) as v from events where u < 0.02";
+
+  // Loose contract: the approximation is good enough.
+  verdict.options().min_accuracy = 0.5;
+  core::VerdictContext::ExecInfo info;
+  auto rs = verdict.Execute(sql, &info);
+  if (!rs.ok()) return 1;
+  std::printf("min_accuracy=0.50: approximated=%d exact_rerun=%d"
+              " (reported max rel err %.2f%%)\n",
+              info.approximated, info.exact_rerun,
+              info.max_relative_error * 100.0);
+
+  // Strict contract on a highly selective predicate: the error estimate
+  // exceeds the budget and VerdictDB falls back to the exact query.
+  verdict.options().min_accuracy = 0.999;
+  rs = verdict.Execute(sql, &info);
+  if (!rs.ok()) return 1;
+  std::printf("min_accuracy=0.999: approximated=%d exact_rerun=%d\n",
+              info.approximated, info.exact_rerun);
+  verdict.options().min_accuracy = 0.0;
+
+  // ---- Appendix D: appends keep samples fresh -----------------------------
+  if (!workload::GenerateSynthetic(&db, "new_batch", 60000, 99).ok()) return 1;
+  auto before = verdict.sample_catalog().SamplesFor("events");
+  if (!before.ok()) return 1;
+  std::printf("\nbefore append: sample has %llu rows (base %llu)\n",
+              static_cast<unsigned long long>(before.value()[0].sample_rows),
+              static_cast<unsigned long long>(before.value()[0].base_rows));
+  if (!verdict.sample_builder().AppendData("events", "new_batch").ok()) {
+    return 1;
+  }
+  auto after = verdict.sample_catalog().SamplesFor("events");
+  if (!after.ok()) return 1;
+  std::printf("after append:  sample has %llu rows (base %llu)\n",
+              static_cast<unsigned long long>(after.value()[0].sample_rows),
+              static_cast<unsigned long long>(after.value()[0].base_rows));
+
+  auto count = verdict.Execute("select count(*) as n from events", &info);
+  if (count.ok()) {
+    std::printf("approximate count after append: %s (exact: 360000)\n",
+                count.value().Get(0, 0).ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+#include "common/hash.h"
+
+#include <array>
+#include <cmath>
+
+namespace vdb {
+
+uint64_t HashMix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+uint64_t HashBytes(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ull;
+  }
+  return HashMix64(h);
+}
+
+uint64_t HashValue(const Value& v) {
+  switch (v.type()) {
+    case TypeId::kNull:
+      return 0x9AE16A3B2F90404Full;
+    case TypeId::kBool:
+    case TypeId::kInt64:
+      return HashMix64(static_cast<uint64_t>(v.AsInt()));
+    case TypeId::kDouble: {
+      double d = v.AsDouble();
+      // Integral doubles hash like their int64 counterpart.
+      if (d == std::floor(d) && std::abs(d) < 9.2e18) {
+        return HashMix64(static_cast<uint64_t>(static_cast<int64_t>(d)));
+      }
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(d));
+      return HashMix64(bits);
+    }
+    case TypeId::kString: {
+      const std::string& s = v.AsString();
+      return HashBytes(s.data(), s.size());
+    }
+  }
+  return 0;
+}
+
+double HashUnit(const Value& v) {
+  return static_cast<double>(HashValue(v) >> 11) * 0x1.0p-53;
+}
+
+namespace {
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> t{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    t[i] = c;
+  }
+  return t;
+}
+}  // namespace
+
+uint32_t Crc32(const std::string& s) {
+  static const std::array<uint32_t, 256> kTable = MakeCrcTable();
+  uint32_t c = 0xFFFFFFFFu;
+  for (unsigned char ch : s) c = kTable[(c ^ ch) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace vdb

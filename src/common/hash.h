@@ -1,0 +1,37 @@
+// 64-bit hashing utilities.
+//
+// VerdictDB's hashed ("universe") samples require the underlying database to
+// expose a uniform hash function (the paper suggests md5/crc32). Our engine
+// exposes `verdict_hash(x)` which maps any value to [0, 1) via the mixers
+// below; HashUnit is the library-side equivalent.
+
+#ifndef VDB_COMMON_HASH_H_
+#define VDB_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/value.h"
+
+namespace vdb {
+
+/// Fibonacci/murmur-style 64-bit mixer. Deterministic across platforms.
+uint64_t HashMix64(uint64_t x);
+
+/// FNV-1a over bytes, then mixed.
+uint64_t HashBytes(const void* data, size_t len);
+
+/// Hash of a Value; equal values (numeric-equal ints/doubles included) hash
+/// equally so hashed samples built on either representation agree.
+uint64_t HashValue(const Value& v);
+
+/// Maps a value uniformly into [0, 1). Used for universe sample membership
+/// checks: t is in the sample iff HashUnit(t.C) < tau.
+double HashUnit(const Value& v);
+
+/// CRC32 (IEEE 802.3, table-driven) over a string; exposed in SQL as crc32().
+uint32_t Crc32(const std::string& s);
+
+}  // namespace vdb
+
+#endif  // VDB_COMMON_HASH_H_

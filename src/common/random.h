@@ -1,0 +1,45 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// All stochastic behaviour in the library (sample construction, variational
+// sid assignment, workload generation) flows through Rng so experiments are
+// reproducible given a seed.
+
+#ifndef VDB_COMMON_RANDOM_H_
+#define VDB_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace vdb {
+
+/// xoshiro256** generator seeded via SplitMix64. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit integer.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Bernoulli trial with probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t s_[4];
+  bool has_gauss_ = false;
+  double gauss_ = 0.0;
+};
+
+}  // namespace vdb
+
+#endif  // VDB_COMMON_RANDOM_H_

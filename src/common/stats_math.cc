@@ -1,0 +1,105 @@
+#include "common/stats_math.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace vdb {
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double NormalQuantile(double p) {
+  // Acklam's algorithm.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425, phigh = 1 - plow;
+  double x;
+  if (p <= 0.0) return -HUGE_VAL;
+  if (p >= 1.0) return HUGE_VAL;
+  if (p < plow) {
+    double q = std::sqrt(-2 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  } else if (p <= phigh) {
+    double q = p - 0.5, r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+  } else {
+    double q = std::sqrt(-2 * std::log(1 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  // One Newton refinement using the exact CDF.
+  double e = NormalCdf(x) - p;
+  double u = e * std::sqrt(2 * M_PI) * std::exp(x * x / 2);
+  x = x - u / (1 + x * u / 2);
+  return x;
+}
+
+double ErfcInv(double y) {
+  // erfc(x) = y  <=>  x = -NormalQuantile(y/2) / sqrt(2).
+  return -NormalQuantile(y / 2.0) / std::sqrt(2.0);
+}
+
+double NormalCriticalValue(double confidence) {
+  return NormalQuantile(0.5 + confidence / 2.0);
+}
+
+double BinomialTailAtLeast(int64_t n, double p, int64_t m) {
+  if (m <= 0) return 1.0;
+  if (m > n) return 0.0;
+  // Sum P(X = k) for k in [m, n] in log space for stability.
+  double total = 0.0;
+  double log_p = std::log(p), log_q = std::log1p(-p);
+  // log C(n, k) built incrementally from k = 0.
+  double log_comb = 0.0;
+  for (int64_t k = 0; k <= n; ++k) {
+    if (k >= m) {
+      total += std::exp(log_comb + k * log_p + (n - k) * log_q);
+    }
+    // C(n, k+1) = C(n, k) * (n-k) / (k+1)
+    log_comb += std::log(static_cast<double>(n - k)) -
+                std::log(static_cast<double>(k + 1));
+  }
+  return std::min(1.0, total);
+}
+
+double QuantileSorted(const std::vector<double>& sorted, double p) {
+  const size_t n = sorted.size();
+  if (n == 1) return sorted[0];
+  double idx = p * static_cast<double>(n - 1);
+  size_t lo = static_cast<size_t>(std::floor(idx));
+  size_t hi = std::min(lo + 1, n - 1);
+  double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  const size_t n = xs.size();
+  if (n < 2) return 0.0;
+  double m = Mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(n - 1);
+}
+
+double StdDev(const std::vector<double>& xs) { return std::sqrt(Variance(xs)); }
+
+}  // namespace vdb

@@ -1,0 +1,46 @@
+// Statistical special functions used by sample planning (Lemma 1) and error
+// estimation (confidence intervals, CLT bounds).
+
+#ifndef VDB_COMMON_STATS_MATH_H_
+#define VDB_COMMON_STATS_MATH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vdb {
+
+/// Inverse of the complementary error function: erfc(ErfcInv(y)) == y for
+/// y in (0, 2). Computed from the inverse normal CDF.
+double ErfcInv(double y);
+
+/// Standard normal CDF.
+double NormalCdf(double x);
+
+/// Inverse standard normal CDF (Acklam's rational approximation, refined by
+/// one Newton step; |error| < 1e-12 over (1e-300, 1-1e-16)).
+double NormalQuantile(double p);
+
+/// Two-sided normal critical value for the given confidence level, e.g.
+/// 0.95 -> 1.959964.
+double NormalCriticalValue(double confidence);
+
+/// P(X >= m) where X ~ Binomial(n, p). Exact summation; O(n). Used only in
+/// tests to validate Lemma 1's normal approximation.
+double BinomialTailAtLeast(int64_t n, double p, int64_t m);
+
+/// p-th quantile (p in [0,1]) of `sorted` using linear interpolation between
+/// order statistics. `sorted` must be ascending and non-empty.
+double QuantileSorted(const std::vector<double>& sorted, double p);
+
+/// Sample mean.
+double Mean(const std::vector<double>& xs);
+
+/// Unbiased sample variance (n-1 denominator); 0 when n < 2.
+double Variance(const std::vector<double>& xs);
+
+double StdDev(const std::vector<double>& xs);
+
+}  // namespace vdb
+
+#endif  // VDB_COMMON_STATS_MATH_H_

@@ -1,0 +1,116 @@
+// Lightweight Status / Result types used across the library.
+//
+// The public API of verdictdb-cpp does not throw exceptions; fallible
+// operations return Status (void results) or Result<T> (value results).
+
+#ifndef VDB_COMMON_STATUS_H_
+#define VDB_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace vdb {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input (bad SQL, bad parameter)
+  kNotFound,          // missing table / column / sample
+  kAlreadyExists,     // duplicate table or sample
+  kUnsupported,       // valid SQL the engine or rewriter does not handle
+  kInternal,          // invariant violation inside the library
+};
+
+/// A success-or-error result with a human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status Unsupported(std::string m) {
+    return Status(StatusCode::kUnsupported, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    const char* name = "UNKNOWN";
+    switch (code_) {
+      case StatusCode::kOk: name = "OK"; break;
+      case StatusCode::kInvalidArgument: name = "INVALID_ARGUMENT"; break;
+      case StatusCode::kNotFound: name = "NOT_FOUND"; break;
+      case StatusCode::kAlreadyExists: name = "ALREADY_EXISTS"; break;
+      case StatusCode::kUnsupported: name = "UNSUPPORTED"; break;
+      case StatusCode::kInternal: name = "INTERNAL"; break;
+    }
+    return std::string(name) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error result. Accessing the value of an error Result is a
+/// programming error (checked by assert in debug builds).
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional, mirrors absl.
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "use Result(T) for success");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace vdb
+
+/// Propagates a non-OK Status from an expression, absl-style.
+#define VDB_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::vdb::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+#endif  // VDB_COMMON_STATUS_H_

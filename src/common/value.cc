@@ -1,0 +1,56 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace vdb {
+
+const char* TypeName(TypeId t) {
+  switch (t) {
+    case TypeId::kNull: return "NULL";
+    case TypeId::kBool: return "BOOLEAN";
+    case TypeId::kInt64: return "BIGINT";
+    case TypeId::kDouble: return "DOUBLE";
+    case TypeId::kString: return "VARCHAR";
+  }
+  return "?";
+}
+
+int Value::Compare(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    if (type_ == TypeId::kInt64 && other.type_ == TypeId::kInt64) {
+      if (i_ < other.i_) return -1;
+      if (i_ > other.i_) return 1;
+      return 0;
+    }
+    double a = AsDouble(), b = other.AsDouble();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (type_ == TypeId::kString && other.type_ == TypeId::kString) {
+    return s_.compare(other.s_);
+  }
+  // Fallback: order by type id so sorting mixed columns is deterministic.
+  if (static_cast<int>(type_) < static_cast<int>(other.type_)) return -1;
+  if (static_cast<int>(type_) > static_cast<int>(other.type_)) return 1;
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case TypeId::kNull: return "NULL";
+    case TypeId::kBool: return i_ ? "true" : "false";
+    case TypeId::kInt64: return std::to_string(i_);
+    case TypeId::kDouble: {
+      if (std::isnan(d_)) return "nan";
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.10g", d_);
+      return buf;
+    }
+    case TypeId::kString: return s_;
+  }
+  return "?";
+}
+
+}  // namespace vdb

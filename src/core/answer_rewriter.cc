@@ -1,0 +1,80 @@
+#include "core/answer_rewriter.h"
+
+#include <cmath>
+
+#include "common/stats_math.h"
+
+namespace vdb::core {
+
+Result<ApproxAnswer> AnswerRewriter::Rewrite(
+    const engine::ResultSet& raw, const std::vector<RewrittenColumn>& columns) {
+  if (raw.NumCols() != columns.size()) {
+    return Status::Internal(
+        "rewritten-query result does not match the declared layout");
+  }
+  const double z = vdb::NormalCriticalValue(options_.confidence);
+
+  ApproxAnswer out;
+  out.confidence = options_.confidence;
+  auto table = std::make_shared<engine::Table>();
+
+  // Map estimate ordinal -> error info slot.
+  std::vector<int> info_of_column(columns.size(), -1);
+
+  // First pass: user-visible columns (groups + estimates, original order).
+  for (size_t c = 0; c < columns.size(); ++c) {
+    const auto& col = columns[c];
+    if (col.kind == RewrittenColumn::Kind::kError) continue;
+    out.result.names.push_back(col.name);
+    table->AddColumn(col.name, raw.table->column(c));
+    if (col.kind == RewrittenColumn::Kind::kEstimate) {
+      AggregateErrorInfo info;
+      info.name = col.name;
+      info.point_column = static_cast<int>(table->num_columns()) - 1;
+      info_of_column[c] = static_cast<int>(out.aggregates.size());
+      out.aggregates.push_back(info);
+    }
+  }
+
+  // Second pass: error columns scaled to the confidence half-width.
+  for (size_t c = 0; c < columns.size(); ++c) {
+    const auto& col = columns[c];
+    if (col.kind != RewrittenColumn::Kind::kError) continue;
+    int agg_slot = col.estimate_column >= 0
+                       ? info_of_column[static_cast<size_t>(col.estimate_column)]
+                       : -1;
+    if (agg_slot < 0) {
+      return Status::Internal("error column without a matching estimate");
+    }
+    AggregateErrorInfo& info = out.aggregates[static_cast<size_t>(agg_slot)];
+    engine::Column scaled(TypeId::kDouble);
+    const engine::Column& raw_col = raw.table->column(c);
+    const engine::Column& point_col = raw.table->column(
+        static_cast<size_t>(col.estimate_column));
+    for (size_t r = 0; r < raw.NumRows(); ++r) {
+      if (raw_col.IsNull(r)) {
+        // A single subsample in the group: no spread information.
+        scaled.AppendNull();
+        continue;
+      }
+      double half = z * raw_col.Get(r).AsDouble();
+      scaled.AppendDouble(half);
+      double point = point_col.IsNull(r) ? 0.0 : point_col.Get(r).AsDouble();
+      if (std::abs(point) > 1e-12) {
+        double rel = std::abs(half / point);
+        info.max_relative_error = std::max(info.max_relative_error, rel);
+        out.max_relative_error = std::max(out.max_relative_error, rel);
+      }
+    }
+    if (options_.include_error_columns) {
+      info.error_column = static_cast<int>(table->num_columns());
+      out.result.names.push_back(col.name);
+      table->AddColumn(col.name, std::move(scaled));
+    }
+  }
+
+  out.result.table = std::move(table);
+  return out;
+}
+
+}  // namespace vdb::core

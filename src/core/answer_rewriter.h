@@ -1,0 +1,53 @@
+// Answer Rewriter (paper Fig. 1b): converts the raw result set of the
+// rewritten query into the user-facing approximate answer — scaling error
+// columns to the requested confidence level and summarizing relative errors
+// for the High-level Accuracy Contract check.
+
+#ifndef VDB_CORE_ANSWER_REWRITER_H_
+#define VDB_CORE_ANSWER_REWRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/options.h"
+#include "core/rewriter.h"
+#include "engine/database.h"
+
+namespace vdb::core {
+
+/// Error summary for one approximated aggregate column.
+struct AggregateErrorInfo {
+  std::string name;
+  int point_column = -1;  // ordinal in the final result
+  int error_column = -1;  // ordinal of its ±error column (-1 when stripped)
+  /// Max over rows of (half-width / |point|) at the configured confidence.
+  double max_relative_error = 0.0;
+};
+
+struct ApproxAnswer {
+  engine::ResultSet result;
+  std::vector<AggregateErrorInfo> aggregates;
+  double confidence = 0.95;
+  /// Max relative error across all aggregates and rows.
+  double max_relative_error = 0.0;
+};
+
+class AnswerRewriter {
+ public:
+  explicit AnswerRewriter(const VerdictOptions& options) : options_(options) {}
+
+  /// `raw` is the output of the rewritten query; `columns` describes its
+  /// layout. Error columns carry the subsampling standard error; they are
+  /// scaled by the normal critical value so the reported `<agg>_err` is the
+  /// half-width of the confidence interval.
+  Result<ApproxAnswer> Rewrite(const engine::ResultSet& raw,
+                               const std::vector<RewrittenColumn>& columns);
+
+ private:
+  const VerdictOptions& options_;
+};
+
+}  // namespace vdb::core
+
+#endif  // VDB_CORE_ANSWER_REWRITER_H_

@@ -1,0 +1,191 @@
+#include "core/flattener.h"
+
+#include <algorithm>
+#include <cctype>
+#include <vector>
+
+#include "engine/functions.h"
+
+namespace vdb::core {
+
+namespace {
+
+using sql::BinaryOp;
+using sql::Expr;
+using sql::ExprKind;
+using sql::SelectStmt;
+using sql::TableRef;
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+bool IsComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// True if every column reference under e is unqualified or qualified by
+/// `alias`.
+bool RefsOnlyAlias(const Expr& e, const std::string& alias) {
+  if (e.kind == ExprKind::kColumnRef) {
+    return e.qualifier.empty() || ToLower(e.qualifier) == alias;
+  }
+  for (const auto& a : e.args) {
+    if (a && !RefsOnlyAlias(*a, alias)) return false;
+  }
+  for (const auto& w : e.case_whens) {
+    if (!RefsOnlyAlias(*w, alias)) return false;
+  }
+  for (const auto& t : e.case_thens) {
+    if (!RefsOnlyAlias(*t, alias)) return false;
+  }
+  if (e.case_else && !RefsOnlyAlias(*e.case_else, alias)) return false;
+  return true;
+}
+
+struct FlattenPlan {
+  std::string inner_table;     // subquery's base table
+  std::string inner_corr_col;  // grouping / join column inside the subquery
+  Expr::Ptr outer_ref;         // the outer column it correlates with
+  Expr::Ptr agg_call;          // the aggregate (e.g. avg(price))
+  std::vector<Expr::Ptr> local_filters;  // uncorrelated subquery conjuncts
+};
+
+/// Analyzes one scalar subquery. Returns true (filling *plan) if it matches
+/// the correlated pattern: single base table, single aggregate item, WHERE
+/// with exactly one `inner_col = outer.col` conjunct.
+bool MatchCorrelated(const SelectStmt& sub, FlattenPlan* plan) {
+  if (sub.union_next || sub.distinct || !sub.from) return false;
+  if (sub.from->kind != TableRef::Kind::kBase) return false;
+  if (!sub.group_by.empty() || sub.having || !sub.order_by.empty()) {
+    return false;
+  }
+  if (sub.items.size() != 1) return false;
+  const Expr& item = *sub.items[0].expr;
+  if (item.kind != ExprKind::kFunction ||
+      !vdb::engine::IsAggregateFunction(item.name) || item.is_window) {
+    return false;
+  }
+  const std::string alias = ToLower(sub.from->EffectiveName());
+  if (!RefsOnlyAlias(item, alias)) return false;
+  if (!sub.where) return false;
+
+  // Split conjuncts.
+  std::vector<const Expr*> conjuncts;
+  std::vector<const Expr*> stack = {sub.where.get()};
+  while (!stack.empty()) {
+    const Expr* e = stack.back();
+    stack.pop_back();
+    if (e->kind == ExprKind::kBinary && e->binary_op == BinaryOp::kAnd) {
+      stack.push_back(e->args[0].get());
+      stack.push_back(e->args[1].get());
+    } else {
+      conjuncts.push_back(e);
+    }
+  }
+  const Expr* corr = nullptr;
+  for (const Expr* c : conjuncts) {
+    bool is_corr =
+        c->kind == ExprKind::kBinary && c->binary_op == BinaryOp::kEq &&
+        c->args[0]->kind == ExprKind::kColumnRef &&
+        c->args[1]->kind == ExprKind::kColumnRef &&
+        (RefsOnlyAlias(*c->args[0], alias) != RefsOnlyAlias(*c->args[1], alias));
+    if (is_corr) {
+      if (corr != nullptr) return false;  // at most one correlation column
+      corr = c;
+    } else if (!RefsOnlyAlias(*c, alias)) {
+      return false;  // correlated non-equality predicates unsupported
+    } else {
+      plan->local_filters.push_back(c->Clone());
+    }
+  }
+  if (corr == nullptr) return false;
+
+  const Expr* inner_side = corr->args[0].get();
+  const Expr* outer_side = corr->args[1].get();
+  if (!RefsOnlyAlias(*inner_side, alias)) std::swap(inner_side, outer_side);
+  plan->inner_table = ToLower(sub.from->table_name);
+  plan->inner_corr_col = ToLower(inner_side->name);
+  plan->outer_ref = outer_side->Clone();
+  plan->agg_call = item.Clone();
+  return true;
+}
+
+/// Finds comparison subqueries in the predicate tree; for each correlated
+/// one, rewrites the comparison operand in place and appends a join spec.
+struct PendingJoin {
+  FlattenPlan plan;
+  std::string derived_alias;
+  std::string agg_alias;
+};
+
+void FindAndRewrite(Expr* e, std::vector<PendingJoin>* joins) {
+  if (e->kind == ExprKind::kBinary && IsComparison(e->binary_op)) {
+    for (int side = 0; side < 2; ++side) {
+      Expr* operand = e->args[side].get();
+      if (operand->kind != ExprKind::kSubquery) continue;
+      FlattenPlan plan;
+      if (!MatchCorrelated(*operand->subquery, &plan)) continue;
+      PendingJoin pj;
+      pj.plan = std::move(plan);
+      pj.derived_alias = "__vdb_f" + std::to_string(joins->size());
+      pj.agg_alias = "__vdb_corr" + std::to_string(joins->size());
+      // Replace the subquery operand with a reference into the derived table.
+      operand->kind = ExprKind::kColumnRef;
+      operand->qualifier = pj.derived_alias;
+      operand->name = pj.agg_alias;
+      operand->subquery.reset();
+      joins->push_back(std::move(pj));
+    }
+  }
+  for (auto& a : e->args) {
+    if (a) FindAndRewrite(a.get(), joins);
+  }
+  for (auto& w : e->case_whens) FindAndRewrite(w.get(), joins);
+  for (auto& t : e->case_thens) FindAndRewrite(t.get(), joins);
+  if (e->case_else) FindAndRewrite(e->case_else.get(), joins);
+}
+
+}  // namespace
+
+Result<int> FlattenComparisonSubqueries(sql::SelectStmt* stmt) {
+  if (!stmt->where || !stmt->from) return 0;
+  std::vector<PendingJoin> joins;
+  FindAndRewrite(stmt->where.get(), &joins);
+  for (auto& pj : joins) {
+    // Build: (select corr_col, agg(..) as agg_alias from T [where local]
+    //         group by corr_col) as derived_alias
+    auto derived = std::make_unique<SelectStmt>();
+    derived->items.emplace_back(
+        sql::MakeColumnRef("", pj.plan.inner_corr_col), "");
+    derived->items.emplace_back(std::move(pj.plan.agg_call), pj.agg_alias);
+    derived->from = sql::MakeBaseTable(pj.plan.inner_table);
+    derived->where = sql::AndAll(std::move(pj.plan.local_filters));
+    derived->group_by.push_back(
+        sql::MakeColumnRef("", pj.plan.inner_corr_col));
+
+    auto on = sql::MakeBinary(
+        sql::BinaryOp::kEq,
+        sql::MakeColumnRef(pj.derived_alias, pj.plan.inner_corr_col),
+        std::move(pj.plan.outer_ref));
+    stmt->from = sql::MakeJoin(
+        sql::JoinType::kInner, std::move(stmt->from),
+        sql::MakeDerivedTable(std::move(derived), pj.derived_alias),
+        std::move(on));
+  }
+  return static_cast<int>(joins.size());
+}
+
+}  // namespace vdb::core

@@ -1,0 +1,30 @@
+// Correlated comparison-subquery flattening (paper §2.2).
+//
+// VerdictDB converts comparison subqueries into joins so the downstream
+// rewriter only sees join queries:
+//
+//   where price > (select avg(price) from order_products
+//                  where product = t1.product)
+// becomes
+//   ... inner join (select product, avg(price) as __vdb_corr0
+//                   from order_products group by product) as __vdb_f0
+//       on __vdb_f0.product = t1.product
+//   where price > __vdb_f0.__vdb_corr0
+
+#ifndef VDB_CORE_FLATTENER_H_
+#define VDB_CORE_FLATTENER_H_
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace vdb::core {
+
+/// Flattens every correlated comparison subquery in stmt's WHERE clause into
+/// a grouped derived table joined on the correlation column. Uncorrelated
+/// scalar subqueries are left untouched (the engine evaluates them directly).
+/// Returns the number of subqueries flattened.
+Result<int> FlattenComparisonSubqueries(sql::SelectStmt* stmt);
+
+}  // namespace vdb::core
+
+#endif  // VDB_CORE_FLATTENER_H_

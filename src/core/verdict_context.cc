@@ -1,0 +1,489 @@
+#include "core/verdict_context.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "core/flattener.h"
+#include "core/query_classifier.h"
+#include "core/rewriter.h"
+#include "core/sample_planner.h"
+#include "engine/aggregates.h"
+#include "engine/functions.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+
+namespace vdb::core {
+
+namespace {
+
+using sql::Expr;
+using sql::ExprKind;
+using sql::SelectStmt;
+
+bool ContainsExtreme(const Expr& e) {
+  if (e.kind == ExprKind::kFunction && !e.is_window &&
+      (e.name == "min" || e.name == "max")) {
+    return true;
+  }
+  for (const auto& a : e.args) {
+    if (a && ContainsExtreme(*a)) return true;
+  }
+  for (const auto& w : e.case_whens) {
+    if (ContainsExtreme(*w)) return true;
+  }
+  for (const auto& t : e.case_thens) {
+    if (ContainsExtreme(*t)) return true;
+  }
+  if (e.case_else && ContainsExtreme(*e.case_else)) return true;
+  return false;
+}
+
+/// True if the item matches a group-by expression (returned items appear in
+/// both halves of a decomposed query).
+bool IsGroupItem(const sql::SelectItem& item, const SelectStmt& stmt) {
+  std::string text = sql::PrintExpr(*item.expr);
+  for (const auto& g : stmt.group_by) {
+    if (sql::PrintExpr(*g) == text) return true;
+    if (item.expr->kind == ExprKind::kColumnRef &&
+        g->kind == ExprKind::kColumnRef && g->name == item.expr->name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Join conditions often use unqualified columns (`on l_orderkey =
+/// o_orderkey`); universe-join detection needs the owning relations, so
+/// resolve empty edge qualifiers against the base-table schemas.
+void ResolveJoinEdgeAliases(QueryClass* qc, const engine::Catalog& cat) {
+  auto owner_of = [&](const std::string& column) -> std::string {
+    std::string found;
+    for (const auto& r : qc->relations) {
+      if (r.is_derived) continue;
+      auto t = cat.GetTable(r.base_table);
+      if (t && t->ColumnIndex(column) >= 0) {
+        if (!found.empty()) return "";  // ambiguous
+        found = r.alias;
+      }
+    }
+    return found;
+  };
+  for (auto& e : qc->join_edges) {
+    if (e.left_alias.empty()) e.left_alias = owner_of(e.left_column);
+    if (e.right_alias.empty()) e.right_alias = owner_of(e.right_column);
+  }
+}
+
+std::string RowKey(const engine::ResultSet& rs, size_t row,
+                   const std::vector<int>& cols) {
+  std::string key;
+  for (int c : cols) {
+    key += engine::ValueGroupKey(rs.Get(row, static_cast<size_t>(c)));
+    key.push_back('\x1f');
+  }
+  return key;
+}
+
+}  // namespace
+
+VerdictContext::VerdictContext(engine::Database* db,
+                               driver::EngineKind engine_kind,
+                               VerdictOptions options)
+    : options_(options),
+      conn_(db, engine_kind),
+      catalog_(&conn_),
+      builder_(&conn_, &catalog_) {}
+
+Result<engine::ResultSet> VerdictContext::Execute(const std::string& sql,
+                                                  ExecInfo* info) {
+  auto ans = ExecuteApprox(sql, info);
+  if (!ans.ok()) return ans.status();
+  return std::move(ans).ValueOrDie().result;
+}
+
+Result<ApproxAnswer> VerdictContext::ExecuteApprox(const std::string& sql,
+                                                   ExecInfo* info) {
+  ExecInfo local;
+  ExecInfo* ei = info ? info : &local;
+  bool handled = false;
+  auto approx = TryApproximate(sql, ei, &handled);
+  if (handled) return approx;
+  if (!approx.ok() && approx.status().code() != StatusCode::kOk) {
+    // TryApproximate only returns an error when it also sets handled; fall
+    // through to passthrough otherwise.
+  }
+  // Passthrough: unsupported queries run unchanged on the underlying DB —
+  // except that correlated comparison subqueries are still flattened, since
+  // flattening is semantics-preserving and many engines (including ours)
+  // cannot evaluate them natively.
+  Result<engine::ResultSet> rs = Status::Internal("unset");
+  auto parsed = sql::ParseStatement(sql);
+  if (parsed.ok() && parsed.value()->kind == sql::StatementKind::kSelect) {
+    (void)FlattenComparisonSubqueries(parsed.value()->select.get());
+    rs = conn_.ExecuteAst(*parsed.value());
+  } else {
+    rs = conn_.Execute(sql);
+  }
+  if (!rs.ok()) return rs.status();
+  ApproxAnswer out;
+  out.result = std::move(rs).ValueOrDie();
+  out.confidence = options_.confidence;
+  return out;
+}
+
+Result<ApproxAnswer> VerdictContext::TryApproximate(const std::string& sql,
+                                                    ExecInfo* info,
+                                                    bool* handled) {
+  *handled = false;
+  auto parsed = sql::ParseStatement(sql);
+  if (!parsed.ok()) {
+    info->skip_reason = "parse error (passed through)";
+    return Status::InvalidArgument("unparsed");
+  }
+  auto stmt = std::move(parsed).ValueOrDie();
+  if (stmt->kind != sql::StatementKind::kSelect) {
+    info->skip_reason = "not a SELECT";
+    return Status::InvalidArgument("not select");
+  }
+  SelectStmt* sel = stmt->select.get();
+
+  // Comparison subqueries -> joins (§2.2) before classification.
+  auto flattened = FlattenComparisonSubqueries(sel);
+  if (!flattened.ok()) {
+    info->skip_reason = "flattening failed";
+    return flattened.status();
+  }
+
+  QueryClass qc = ClassifyQuery(*sel);
+  if (!qc.supported) {
+    info->skip_reason = qc.reason;
+    return Status::Unsupported(qc.reason);
+  }
+
+  // ---- Mixed extreme + mean-like statistics: decompose (paper §2.2) -----
+  if (qc.has_extreme) {
+    bool decomposable = !sel->having && sel->order_by.empty() &&
+                        sel->limit < 0 && !qc.nested_aggregate;
+    if (!decomposable) {
+      info->skip_reason = "extreme statistics in a non-decomposable query";
+      return Status::Unsupported(info->skip_reason);
+    }
+    return DecomposeAndExecute(*sel, qc, info, handled);
+  }
+
+  // ---- Plan samples -------------------------------------------------------
+  QueryClass* plan_qc = &qc;
+  QueryClass qc_inner;
+  const SelectStmt* plan_sel = sel;
+  if (qc.nested_aggregate) {
+    qc_inner = ClassifyQuery(*qc.relations[0].derived);
+    plan_qc = &qc_inner;
+    plan_sel = qc.relations[0].derived;
+  }
+  ResolveJoinEdgeAliases(plan_qc, conn_.database()->catalog());
+
+  std::map<std::string, uint64_t> base_rows;
+  for (const auto& r : plan_qc->relations) {
+    if (r.is_derived) {
+      base_rows[r.alias] = 0;
+      continue;
+    }
+    auto t = conn_.database()->catalog().GetTable(r.base_table);
+    if (!t) {
+      info->skip_reason = "unknown table: " + r.base_table;
+      return Status::NotFound(info->skip_reason);
+    }
+    base_rows[r.alias] = t->num_rows();
+  }
+
+  auto samples = catalog_.SamplesFor("");
+  if (!samples.ok()) {
+    info->skip_reason = "sample catalog unavailable";
+    return samples.status();
+  }
+  if (samples.value().empty()) {
+    info->skip_reason = "no samples prepared";
+    return Status::NotFound(info->skip_reason);
+  }
+
+  int64_t hint = EstimateGroupCardinality(*plan_sel, *plan_qc,
+                                          samples.value());
+  SamplePlanner planner(options_, samples.value());
+  auto plan = planner.Plan(*plan_qc, base_rows, hint);
+  if (!plan.ok()) {
+    info->skip_reason = "sample planning failed";
+    return plan.status();
+  }
+  if (!plan.value().UsesSamples()) {
+    info->skip_reason = "AQP infeasible (no sample combination fits)";
+    return Status::Unsupported(info->skip_reason);
+  }
+
+  // ---- Rewrite + execute ---------------------------------------------------
+  AqpRewriter rewriter(options_);
+  Result<RewriteResult> rewritten =
+      qc.nested_aggregate
+          ? rewriter.RewriteNested(*sel, qc, qc_inner, plan.value(), hint)
+          : rewriter.RewriteFlat(*sel, qc, plan.value());
+  if (!rewritten.ok()) {
+    info->skip_reason = "rewrite failed: " + rewritten.status().message();
+    return rewritten.status();
+  }
+
+  sql::Statement rew_stmt;
+  rew_stmt.kind = sql::StatementKind::kSelect;
+  rew_stmt.select = std::move(rewritten.value().rewritten);
+  info->rewritten_sql =
+      sql::PrintStatement(rew_stmt, conn_.dialect().print_options);
+  info->subsamples = rewritten.value().b;
+
+  auto raw = conn_.ExecuteAst(rew_stmt);
+  if (!raw.ok()) {
+    info->skip_reason = "rewritten query failed: " + raw.status().message();
+    return raw.status();
+  }
+
+  AnswerRewriter answerer(options_);
+  auto answer = answerer.Rewrite(raw.value(), rewritten.value().columns);
+  if (!answer.ok()) {
+    info->skip_reason = "answer rewriting failed";
+    return answer.status();
+  }
+  *handled = true;
+  info->approximated = true;
+  info->max_relative_error = answer.value().max_relative_error;
+
+  // ---- High-level Accuracy Contract (§2.4) --------------------------------
+  if (options_.min_accuracy > 0.0 &&
+      answer.value().max_relative_error > (1.0 - options_.min_accuracy)) {
+    info->exact_rerun = true;
+    info->approximated = false;
+    auto exact = conn_.Execute(sql);
+    if (!exact.ok()) return exact.status();
+    ApproxAnswer out;
+    out.result = std::move(exact).ValueOrDie();
+    out.confidence = options_.confidence;
+    return out;
+  }
+  return answer;
+}
+
+Result<ApproxAnswer> VerdictContext::DecomposeAndExecute(
+    const SelectStmt& sel, const QueryClass& qc, ExecInfo* info,
+    bool* handled) {
+  // Partition the select items.
+  enum class ItemKind { kGroup, kMean, kExtreme };
+  std::vector<ItemKind> kinds;
+  for (const auto& item : sel.items) {
+    if (IsGroupItem(item, sel)) {
+      kinds.push_back(ItemKind::kGroup);
+    } else if (ContainsExtreme(*item.expr)) {
+      kinds.push_back(ItemKind::kExtreme);
+    } else {
+      kinds.push_back(ItemKind::kMean);
+    }
+  }
+
+  auto subset = [&](bool keep_mean) {
+    auto s = sel.Clone();
+    std::vector<sql::SelectItem> kept;
+    for (size_t i = 0; i < s->items.size(); ++i) {
+      bool keep = kinds[i] == ItemKind::kGroup ||
+                  (keep_mean ? kinds[i] == ItemKind::kMean
+                             : kinds[i] == ItemKind::kExtreme);
+      if (keep) kept.push_back(std::move(s->items[i]));
+    }
+    s->items = std::move(kept);
+    return s;
+  };
+
+  // Approximate the mean-like half through the normal path.
+  auto mean_sel = subset(/*keep_mean=*/true);
+  sql::Statement mean_stmt;
+  mean_stmt.kind = sql::StatementKind::kSelect;
+  mean_stmt.select = std::move(mean_sel);
+  ExecInfo sub_info;
+  bool sub_handled = false;
+  auto approx = TryApproximate(
+      sql::PrintStatement(mean_stmt, conn_.dialect().print_options), &sub_info,
+      &sub_handled);
+  if (!sub_handled || !approx.ok()) {
+    info->skip_reason = "decomposition: mean-like half not approximable (" +
+                        sub_info.skip_reason + ")";
+    return Status::Unsupported(info->skip_reason);
+  }
+
+  // Exact extreme half on the base tables.
+  auto extreme_sel = subset(/*keep_mean=*/false);
+  sql::Statement ex_stmt;
+  ex_stmt.kind = sql::StatementKind::kSelect;
+  ex_stmt.select = std::move(extreme_sel);
+  auto exact = conn_.ExecuteAst(ex_stmt);
+  if (!exact.ok()) {
+    info->skip_reason = "decomposition: exact half failed";
+    return exact.status();
+  }
+
+  // ---- Merge by group key, preserving the original item order -------------
+  const ApproxAnswer& a = approx.value();
+  const engine::ResultSet& e = exact.value();
+
+  // Column positions of each original item inside the two halves.
+  std::vector<int> pos_in_mean(sel.items.size(), -1);
+  std::vector<int> pos_in_extreme(sel.items.size(), -1);
+  int mi = 0, xi = 0;
+  for (size_t i = 0; i < sel.items.size(); ++i) {
+    if (kinds[i] == ItemKind::kGroup) {
+      pos_in_mean[i] = mi++;
+      pos_in_extreme[i] = xi++;
+    } else if (kinds[i] == ItemKind::kMean) {
+      pos_in_mean[i] = mi++;
+    } else {
+      pos_in_extreme[i] = xi++;
+    }
+  }
+  std::vector<int> mean_group_cols, extreme_group_cols;
+  for (size_t i = 0; i < sel.items.size(); ++i) {
+    if (kinds[i] == ItemKind::kGroup) {
+      mean_group_cols.push_back(pos_in_mean[i]);
+      extreme_group_cols.push_back(pos_in_extreme[i]);
+    }
+  }
+  std::unordered_map<std::string, size_t> exact_rows;
+  for (size_t r = 0; r < e.NumRows(); ++r) {
+    exact_rows[RowKey(e, r, extreme_group_cols)] = r;
+  }
+
+  ApproxAnswer out;
+  out.confidence = a.confidence;
+  out.max_relative_error = a.max_relative_error;
+  out.aggregates = a.aggregates;
+  auto table = std::make_shared<engine::Table>();
+  // Final schema: original items, then the error columns of the mean half.
+  for (size_t i = 0; i < sel.items.size(); ++i) {
+    std::string name = !sel.items[i].alias.empty()
+                           ? sel.items[i].alias
+                           : sql::PrintExpr(*sel.items[i].expr);
+    out.result.names.push_back(name);
+    table->AddColumn(name, TypeId::kNull);
+  }
+  size_t err_start = table->num_columns();
+  for (size_t c = 0; c < a.result.NumCols(); ++c) {
+    bool is_err = true;
+    for (const auto& agg : a.aggregates) {
+      if (agg.point_column == static_cast<int>(c)) is_err = false;
+    }
+    for (int gc : mean_group_cols) {
+      if (gc == static_cast<int>(c)) is_err = false;
+    }
+    if (is_err) {
+      out.result.names.push_back(a.result.names[c]);
+      table->AddColumn(a.result.names[c], TypeId::kNull);
+    }
+  }
+
+  for (size_t r = 0; r < a.result.NumRows(); ++r) {
+    std::vector<Value> row;
+    auto eit = exact_rows.find(RowKey(a.result, r, mean_group_cols));
+    for (size_t i = 0; i < sel.items.size(); ++i) {
+      if (kinds[i] == ItemKind::kExtreme) {
+        row.push_back(eit == exact_rows.end()
+                          ? Value::Null()
+                          : e.Get(eit->second,
+                                  static_cast<size_t>(pos_in_extreme[i])));
+      } else {
+        row.push_back(a.result.Get(r, static_cast<size_t>(pos_in_mean[i])));
+      }
+    }
+    // Error columns.
+    size_t err_col = err_start;
+    for (size_t c = 0; c < a.result.NumCols() && err_col < table->num_columns();
+         ++c) {
+      bool is_err = true;
+      for (const auto& agg : a.aggregates) {
+        if (agg.point_column == static_cast<int>(c)) is_err = false;
+      }
+      for (int gc : mean_group_cols) {
+        if (gc == static_cast<int>(c)) is_err = false;
+      }
+      if (is_err) {
+        row.push_back(a.result.Get(r, c));
+        ++err_col;
+      }
+    }
+    table->AppendRow(row);
+  }
+  out.result.table = std::move(table);
+  *handled = true;
+  info->approximated = true;
+  info->max_relative_error = a.max_relative_error;
+  info->subsamples = sub_info.subsamples;
+  info->rewritten_sql = sub_info.rewritten_sql;
+  return out;
+}
+
+int64_t VerdictContext::EstimateGroupCardinality(
+    const SelectStmt& sel, const QueryClass& qc,
+    const std::vector<sampling::SampleInfo>& samples) {
+  if (sel.group_by.empty()) return 0;
+  // Only plain column references are probed.
+  std::vector<const Expr*> cols;
+  for (const auto& g : sel.group_by) {
+    if (g->kind != ExprKind::kColumnRef) return 0;
+    cols.push_back(g.get());
+  }
+  // Locate the relation owning the majority of the group columns.
+  const engine::Catalog& cat = conn_.database()->catalog();
+  std::map<std::string, int> votes;  // base table -> count
+  for (const Expr* c : cols) {
+    for (const auto& r : qc.relations) {
+      if (r.is_derived) continue;
+      auto t = cat.GetTable(r.base_table);
+      if (t && t->ColumnIndex(c->name) >= 0) {
+        votes[r.base_table] += 1;
+        break;
+      }
+    }
+  }
+  if (votes.empty()) return 0;
+  std::string base = votes.begin()->first;
+  for (const auto& [b, v] : votes) {
+    if (v > votes[base]) base = b;
+  }
+  // Probe the smallest sample of that base table; fall back to scanning the
+  // base table itself when it is dimension-sized (cheap and exact).
+  const sampling::SampleInfo* probe = nullptr;
+  for (const auto& s : samples) {
+    if (s.base_table != base) continue;
+    if (probe == nullptr || s.sample_rows < probe->sample_rows) probe = &s;
+  }
+  std::string probe_table;
+  if (probe != nullptr) {
+    probe_table = probe->sample_table;
+  } else {
+    auto t = cat.GetTable(base);
+    if (!t || static_cast<int64_t>(t->num_rows()) >=
+                  options_.min_rows_for_sampling) {
+      return 0;
+    }
+    probe_table = base;
+  }
+  std::string expr;
+  if (cols.size() == 1) {
+    expr = cols[0]->name;
+  } else {
+    expr = "concat(";
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (i) expr += ", '|', ";
+      expr += cols[i]->name;
+    }
+    expr += ")";
+  }
+  auto rs = conn_.Execute("select count(distinct " + expr + ") as c from " +
+                          probe_table);
+  if (!rs.ok() || rs.value().NumRows() == 0) return 0;
+  return rs.value().Get(0, 0).AsInt();
+}
+
+}  // namespace vdb::core

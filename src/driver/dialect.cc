@@ -1,0 +1,151 @@
+#include "driver/dialect.h"
+
+#include <vector>
+
+namespace vdb::driver {
+
+namespace {
+
+Dialect MakeGeneric() {
+  Dialect d;
+  d.kind = EngineKind::kGeneric;
+  d.name = "generic";
+  return d;
+}
+
+Dialect MakeImpala() {
+  Dialect d;
+  d.kind = EngineKind::kImpala;
+  d.name = "impala";
+  d.allows_rand_in_where = false;  // paper §2.1
+  d.fixed_overhead_ms = 80.0;
+  return d;
+}
+
+Dialect MakeSpark() {
+  Dialect d;
+  d.kind = EngineKind::kSparkSql;
+  d.name = "sparksql";
+  d.fixed_overhead_ms = 250.0;  // heavy per-query planning/dispatch
+  return d;
+}
+
+Dialect MakeRedshift() {
+  Dialect d;
+  d.kind = EngineKind::kRedshift;
+  d.name = "redshift";
+  d.print_options.identifier_quote = '"';
+  d.fixed_overhead_ms = 30.0;
+  return d;
+}
+
+/// Counts rand() calls under e, excluding subqueries.
+int CountRandCalls(const sql::Expr& e) {
+  int n = 0;
+  if (e.kind == sql::ExprKind::kFunction &&
+      (e.name == "rand" || e.name == "random")) {
+    n += 1;
+  }
+  for (const auto& a : e.args) {
+    if (a) n += CountRandCalls(*a);
+  }
+  for (const auto& w : e.case_whens) n += CountRandCalls(*w);
+  for (const auto& t : e.case_thens) n += CountRandCalls(*t);
+  if (e.case_else) n += CountRandCalls(*e.case_else);
+  return n;
+}
+
+/// Replaces each rand() call with a reference to a generated column
+/// `__vdb_rand<i>`, returning the number of replacements.
+int ReplaceRandCalls(sql::Expr* e, int next_id) {
+  if (e->kind == sql::ExprKind::kFunction &&
+      (e->name == "rand" || e->name == "random")) {
+    e->kind = sql::ExprKind::kColumnRef;
+    e->qualifier.clear();
+    e->name = "__vdb_rand" + std::to_string(next_id);
+    e->args.clear();
+    return next_id + 1;
+  }
+  for (auto& a : e->args) {
+    if (a) next_id = ReplaceRandCalls(a.get(), next_id);
+  }
+  for (auto& w : e->case_whens) next_id = ReplaceRandCalls(w.get(), next_id);
+  for (auto& t : e->case_thens) next_id = ReplaceRandCalls(t.get(), next_id);
+  if (e->case_else) next_id = ReplaceRandCalls(e->case_else.get(), next_id);
+  return next_id;
+}
+
+}  // namespace
+
+const Dialect& GetDialect(EngineKind kind) {
+  static const Dialect kGeneric = MakeGeneric();
+  static const Dialect kImpala = MakeImpala();
+  static const Dialect kSpark = MakeSpark();
+  static const Dialect kRedshift = MakeRedshift();
+  switch (kind) {
+    case EngineKind::kGeneric: return kGeneric;
+    case EngineKind::kImpala: return kImpala;
+    case EngineKind::kSparkSql: return kSpark;
+    case EngineKind::kRedshift: return kRedshift;
+  }
+  return kGeneric;
+}
+
+Status ApplySyntaxRules(const Dialect& dialect, sql::SelectStmt* stmt) {
+  // Recurse into derived tables and unions first.
+  if (stmt->from) {
+    std::vector<sql::TableRef*> stack = {stmt->from.get()};
+    while (!stack.empty()) {
+      sql::TableRef* t = stack.back();
+      stack.pop_back();
+      if (t->kind == sql::TableRef::Kind::kDerived) {
+        VDB_RETURN_IF_ERROR(ApplySyntaxRules(dialect, t->derived.get()));
+      } else if (t->kind == sql::TableRef::Kind::kJoin) {
+        stack.push_back(t->left.get());
+        stack.push_back(t->right.get());
+      }
+    }
+  }
+  if (stmt->union_next) {
+    VDB_RETURN_IF_ERROR(ApplySyntaxRules(dialect, stmt->union_next.get()));
+  }
+
+  if (dialect.allows_rand_in_where || !stmt->where) return Status::Ok();
+  int rand_count = CountRandCalls(*stmt->where);
+  if (rand_count == 0) return Status::Ok();
+
+  // Hoist: from F where P(rand())  =>
+  //   from (select *, rand() as __vdb_rand0, ... from F) as __vdb_r
+  //   where P(__vdb_rand0, ...)
+  auto inner = std::make_unique<sql::SelectStmt>();
+  inner->items.emplace_back(sql::MakeStar(), "");
+  for (int i = 0; i < rand_count; ++i) {
+    inner->items.emplace_back(sql::MakeFunction("rand", {}),
+                              "__vdb_rand" + std::to_string(i));
+  }
+  inner->from = std::move(stmt->from);
+  stmt->from = sql::MakeDerivedTable(std::move(inner), "__vdb_r");
+  ReplaceRandCalls(stmt->where.get(), 0);
+  return Status::Ok();
+}
+
+Result<engine::ResultSet> Connection::ExecuteAst(const sql::Statement& stmt) {
+  // Apply dialect workarounds on a clone, then serialize and execute the
+  // resulting SQL text (the engine only ever sees text, as in the paper).
+  sql::Statement local;
+  local.kind = stmt.kind;
+  local.table_name = stmt.table_name;
+  local.if_exists = stmt.if_exists;
+  if (stmt.select) local.select = stmt.select->Clone();
+  if (local.select) {
+    VDB_RETURN_IF_ERROR(ApplySyntaxRules(dialect_, local.select.get()));
+  }
+  return Execute(sql::PrintStatement(local, dialect_.print_options));
+}
+
+Result<engine::ResultSet> Connection::Execute(const std::string& sql) {
+  log_.push_back(sql);
+  return db_->Execute(sql);
+}
+
+}  // namespace vdb::driver

@@ -1,0 +1,238 @@
+#include "engine/aggregates.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+#include "engine/hll.h"
+
+namespace vdb::engine {
+
+std::string ValueGroupKey(const Value& v) {
+  switch (v.type()) {
+    case TypeId::kNull:
+      return std::string("\x00N", 2);
+    case TypeId::kBool:
+    case TypeId::kInt64:
+      return "\x01" + std::to_string(v.AsInt());
+    case TypeId::kDouble: {
+      double d = v.AsDouble();
+      if (d == std::floor(d) && std::abs(d) < 9.2e18) {
+        return "\x01" + std::to_string(static_cast<int64_t>(d));
+      }
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "\x02%.17g", d);
+      return buf;
+    }
+    case TypeId::kString:
+      return "\x03" + v.AsString();
+  }
+  return "?";
+}
+
+AggregateRegistry& AggregateRegistry::Global() {
+  static AggregateRegistry* r = new AggregateRegistry();
+  return *r;
+}
+
+void AggregateRegistry::Register(const std::string& name, UdaFactory factory) {
+  factories_[name] = std::move(factory);
+}
+
+bool AggregateRegistry::Has(const std::string& name) const {
+  return factories_.count(name) > 0;
+}
+
+std::unique_ptr<AggAccumulator> AggregateRegistry::Create(
+    const std::string& name) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) return nullptr;
+  return it->second();
+}
+
+namespace {
+
+class CountAcc : public AggAccumulator {
+ public:
+  explicit CountAcc(bool star) : star_(star) {}
+  void Add(const Value& v) override {
+    if (star_ || !v.is_null()) ++count_;
+  }
+  Value Finalize() const override { return Value::Int(count_); }
+
+ private:
+  bool star_;
+  int64_t count_ = 0;
+};
+
+class DistinctCountAcc : public AggAccumulator {
+ public:
+  void Add(const Value& v) override {
+    if (!v.is_null()) seen_.insert(ValueGroupKey(v));
+  }
+  Value Finalize() const override {
+    return Value::Int(static_cast<int64_t>(seen_.size()));
+  }
+
+ private:
+  std::unordered_set<std::string> seen_;
+};
+
+class SumAcc : public AggAccumulator {
+ public:
+  void Add(const Value& v) override {
+    if (v.is_null()) return;
+    any_ = true;
+    if (v.type() != TypeId::kInt64) all_int_ = false;
+    sum_ += v.AsDouble();
+  }
+  Value Finalize() const override {
+    if (!any_) return Value::Null();
+    if (all_int_) return Value::Int(static_cast<int64_t>(std::llround(sum_)));
+    return Value::Double(sum_);
+  }
+
+ private:
+  double sum_ = 0.0;
+  bool any_ = false;
+  bool all_int_ = true;
+};
+
+class AvgAcc : public AggAccumulator {
+ public:
+  void Add(const Value& v) override {
+    if (v.is_null()) return;
+    sum_ += v.AsDouble();
+    ++n_;
+  }
+  Value Finalize() const override {
+    if (n_ == 0) return Value::Null();
+    return Value::Double(sum_ / static_cast<double>(n_));
+  }
+
+ private:
+  double sum_ = 0.0;
+  int64_t n_ = 0;
+};
+
+class MinMaxAcc : public AggAccumulator {
+ public:
+  explicit MinMaxAcc(bool is_min) : is_min_(is_min) {}
+  void Add(const Value& v) override {
+    if (v.is_null()) return;
+    if (!any_) {
+      best_ = v;
+      any_ = true;
+      return;
+    }
+    int c = v.Compare(best_);
+    if ((is_min_ && c < 0) || (!is_min_ && c > 0)) best_ = v;
+  }
+  Value Finalize() const override { return any_ ? best_ : Value::Null(); }
+
+ private:
+  bool is_min_;
+  bool any_ = false;
+  Value best_;
+};
+
+/// Welford online variance; finalizes to sample variance or stddev.
+class VarAcc : public AggAccumulator {
+ public:
+  explicit VarAcc(bool stddev) : stddev_(stddev) {}
+  void Add(const Value& v) override {
+    if (v.is_null()) return;
+    double x = v.AsDouble();
+    ++n_;
+    double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+  }
+  Value Finalize() const override {
+    if (n_ < 2) return Value::Null();
+    double var = m2_ / static_cast<double>(n_ - 1);
+    return Value::Double(stddev_ ? std::sqrt(var) : var);
+  }
+
+ private:
+  bool stddev_;
+  int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Exact quantile over collected values (sorting at finalize). This is the
+/// engine's `quantile(x, p)` / `median(x)` / `approx_median(x)`; like
+/// Redshift's percentile functions it needs all qualifying values (a full
+/// scan when run over a base table).
+class QuantileAcc : public AggAccumulator {
+ public:
+  explicit QuantileAcc(double p) : p_(p) {}
+  void Add(const Value& v) override {
+    if (!v.is_null()) xs_.push_back(v.AsDouble());
+  }
+  Value Finalize() const override {
+    if (xs_.empty()) return Value::Null();
+    std::vector<double> sorted = xs_;
+    std::sort(sorted.begin(), sorted.end());
+    double idx = p_ * static_cast<double>(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(idx);
+    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = idx - static_cast<double>(lo);
+    return Value::Double(sorted[lo] * (1 - frac) + sorted[hi] * frac);
+  }
+
+ private:
+  double p_;
+  std::vector<double> xs_;
+};
+
+/// HyperLogLog-based approximate distinct count (Impala's ndv analogue).
+class NdvAcc : public AggAccumulator {
+ public:
+  void Add(const Value& v) override {
+    if (!v.is_null()) hll_.AddHash(HashValue(v));
+  }
+  Value Finalize() const override {
+    return Value::Int(static_cast<int64_t>(std::llround(hll_.Estimate())));
+  }
+
+ private:
+  HyperLogLog hll_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<AggAccumulator>> CreateAccumulator(const AggSpec& s) {
+  if (s.name == "count") {
+    if (s.distinct) return std::unique_ptr<AggAccumulator>(new DistinctCountAcc());
+    return std::unique_ptr<AggAccumulator>(new CountAcc(s.arg == nullptr));
+  }
+  if (s.name == "sum") return std::unique_ptr<AggAccumulator>(new SumAcc());
+  if (s.name == "avg") return std::unique_ptr<AggAccumulator>(new AvgAcc());
+  if (s.name == "min") return std::unique_ptr<AggAccumulator>(new MinMaxAcc(true));
+  if (s.name == "max") return std::unique_ptr<AggAccumulator>(new MinMaxAcc(false));
+  if (s.name == "var" || s.name == "var_samp" || s.name == "variance") {
+    return std::unique_ptr<AggAccumulator>(new VarAcc(false));
+  }
+  if (s.name == "stddev" || s.name == "stddev_samp") {
+    return std::unique_ptr<AggAccumulator>(new VarAcc(true));
+  }
+  if (s.name == "quantile" || s.name == "percentile") {
+    return std::unique_ptr<AggAccumulator>(new QuantileAcc(s.param));
+  }
+  if (s.name == "median" || s.name == "approx_median") {
+    return std::unique_ptr<AggAccumulator>(new QuantileAcc(0.5));
+  }
+  if (s.name == "ndv" || s.name == "approx_distinct" ||
+      s.name == "approx_count_distinct") {
+    return std::unique_ptr<AggAccumulator>(new NdvAcc());
+  }
+  auto uda = AggregateRegistry::Global().Create(s.name);
+  if (uda) return uda;
+  return Status::Unsupported("unknown aggregate: " + s.name);
+}
+
+}  // namespace vdb::engine

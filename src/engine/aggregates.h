@@ -1,0 +1,61 @@
+// Aggregate function accumulators and the UDA (user-defined aggregate)
+// registry. VerdictDB supports any UDA that converges to a non-degenerate
+// distribution (paper §2.2); UDAs registered here are usable both in plain
+// engine queries and in VerdictDB-rewritten queries.
+
+#ifndef VDB_ENGINE_AGGREGATES_H_
+#define VDB_ENGINE_AGGREGATES_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "sql/ast.h"
+
+namespace vdb::engine {
+
+/// One aggregate call extracted from a query.
+struct AggSpec {
+  std::string name;                 // lowercase function name
+  bool distinct = false;            // count(distinct x)
+  const sql::Expr* arg = nullptr;   // null for count(*)
+  double param = 0.5;               // quantile fraction (2nd argument)
+};
+
+/// Streaming accumulator for one aggregate within one group.
+class AggAccumulator {
+ public:
+  virtual ~AggAccumulator() = default;
+  /// Adds one input value. count(*) receives Value::Int(1) per row.
+  virtual void Add(const Value& v) = 0;
+  virtual Value Finalize() const = 0;
+};
+
+using UdaFactory = std::function<std::unique_ptr<AggAccumulator>()>;
+
+/// Process-wide registry of user-defined aggregates.
+class AggregateRegistry {
+ public:
+  static AggregateRegistry& Global();
+
+  void Register(const std::string& name, UdaFactory factory);
+  bool Has(const std::string& name) const;
+  std::unique_ptr<AggAccumulator> Create(const std::string& name) const;
+
+ private:
+  std::map<std::string, UdaFactory> factories_;
+};
+
+/// Creates the accumulator for a builtin or registered aggregate.
+Result<std::unique_ptr<AggAccumulator>> CreateAccumulator(const AggSpec& spec);
+
+/// Serializes a value into a byte key usable for grouping / distinct sets;
+/// numerically equal ints and doubles produce the same key.
+std::string ValueGroupKey(const Value& v);
+
+}  // namespace vdb::engine
+
+#endif  // VDB_ENGINE_AGGREGATES_H_

@@ -1,0 +1,31 @@
+// Table catalog for one in-process database.
+
+#ifndef VDB_ENGINE_CATALOG_H_
+#define VDB_ENGINE_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/table.h"
+
+namespace vdb::engine {
+
+/// Name -> table map with case-insensitive names.
+class Catalog {
+ public:
+  Status CreateTable(const std::string& name, TablePtr table);
+  Status DropTable(const std::string& name, bool if_exists);
+  /// nullptr if absent.
+  TablePtr GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+  std::vector<std::string> ListTables() const;
+
+ private:
+  std::map<std::string, TablePtr> tables_;
+};
+
+}  // namespace vdb::engine
+
+#endif  // VDB_ENGINE_CATALOG_H_

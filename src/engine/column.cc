@@ -1,0 +1,143 @@
+#include "engine/column.h"
+
+namespace vdb::engine {
+
+void Column::EnsureNullMask() {
+  if (nulls_.empty()) nulls_.assign(size_, 0);
+}
+
+void Column::PromoteToDouble() {
+  doubles_.reserve(ints_.size());
+  for (int64_t v : ints_) doubles_.push_back(static_cast<double>(v));
+  ints_.clear();
+  ints_.shrink_to_fit();
+  type_ = TypeId::kDouble;
+}
+
+void Column::Reserve(size_t n) {
+  switch (type_) {
+    case TypeId::kNull: break;
+    case TypeId::kBool:
+    case TypeId::kInt64: ints_.reserve(n); break;
+    case TypeId::kDouble: doubles_.reserve(n); break;
+    case TypeId::kString: strings_.reserve(n); break;
+  }
+}
+
+void Column::Clear() {
+  size_ = 0;
+  ints_.clear();
+  doubles_.clear();
+  strings_.clear();
+  nulls_.clear();
+}
+
+void Column::AppendNull() {
+  EnsureNullMask();
+  nulls_.push_back(1);
+  switch (type_) {
+    case TypeId::kNull: break;
+    case TypeId::kBool:
+    case TypeId::kInt64: ints_.push_back(0); break;
+    case TypeId::kDouble: doubles_.push_back(0.0); break;
+    case TypeId::kString: strings_.emplace_back(); break;
+  }
+  ++size_;
+}
+
+void Column::AppendInt(int64_t v) {
+  if (type_ == TypeId::kNull) {
+    // Backfill the slots taken by earlier NULL appends.
+    type_ = TypeId::kInt64;
+    ints_.assign(size_, 0);
+  }
+  if (!nulls_.empty()) nulls_.push_back(0);
+  switch (type_) {
+    case TypeId::kBool:
+    case TypeId::kInt64: ints_.push_back(v); break;
+    case TypeId::kDouble: doubles_.push_back(static_cast<double>(v)); break;
+    case TypeId::kString:
+      strings_.emplace_back();
+      if (nulls_.empty()) nulls_.assign(size_, 0), nulls_.push_back(1);
+      else nulls_.back() = 1;
+      break;
+    case TypeId::kNull: break;
+  }
+  ++size_;
+}
+
+void Column::AppendDouble(double v) {
+  if (type_ == TypeId::kNull) {
+    type_ = TypeId::kDouble;
+    doubles_.assign(size_, 0.0);
+  } else if (type_ == TypeId::kInt64 || type_ == TypeId::kBool) {
+    PromoteToDouble();
+  }
+  if (!nulls_.empty()) nulls_.push_back(0);
+  switch (type_) {
+    case TypeId::kDouble: doubles_.push_back(v); break;
+    case TypeId::kString:
+      strings_.emplace_back();
+      if (nulls_.empty()) nulls_.assign(size_, 0), nulls_.push_back(1);
+      else nulls_.back() = 1;
+      break;
+    default: break;
+  }
+  ++size_;
+}
+
+void Column::AppendString(std::string v) {
+  if (type_ == TypeId::kNull) {
+    type_ = TypeId::kString;
+    strings_.assign(size_, std::string());
+  }
+  if (!nulls_.empty()) nulls_.push_back(0);
+  if (type_ == TypeId::kString) {
+    strings_.push_back(std::move(v));
+  } else {
+    // Type clash: store NULL.
+    switch (type_) {
+      case TypeId::kBool:
+      case TypeId::kInt64: ints_.push_back(0); break;
+      case TypeId::kDouble: doubles_.push_back(0.0); break;
+      default: break;
+    }
+    if (nulls_.empty()) nulls_.assign(size_, 0), nulls_.push_back(1);
+    else nulls_.back() = 1;
+  }
+  ++size_;
+}
+
+void Column::Append(const Value& v) {
+  switch (v.type()) {
+    case TypeId::kNull: AppendNull(); break;
+    case TypeId::kBool:
+    case TypeId::kInt64: AppendInt(v.AsInt()); break;
+    case TypeId::kDouble: AppendDouble(v.AsDouble()); break;
+    case TypeId::kString: AppendString(v.AsString()); break;
+  }
+}
+
+Value Column::Get(size_t row) const {
+  if (IsNull(row)) return Value::Null();
+  switch (type_) {
+    case TypeId::kNull: return Value::Null();
+    case TypeId::kBool: return Value::Bool(ints_[row] != 0);
+    case TypeId::kInt64: return Value::Int(ints_[row]);
+    case TypeId::kDouble: return Value::Double(doubles_[row]);
+    case TypeId::kString: return Value::String(strings_[row]);
+  }
+  return Value::Null();
+}
+
+double Column::GetNumeric(size_t row) const {
+  if (IsNull(row)) return 0.0;
+  switch (type_) {
+    case TypeId::kBool:
+    case TypeId::kInt64: return static_cast<double>(ints_[row]);
+    case TypeId::kDouble: return doubles_[row];
+    default: return 0.0;
+  }
+}
+
+}  // namespace vdb::engine

@@ -1,0 +1,68 @@
+// Typed column storage for in-memory tables.
+
+#ifndef VDB_ENGINE_COLUMN_H_
+#define VDB_ENGINE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace vdb::engine {
+
+/// A single column: a typed vector plus an optional null mask. A column whose
+/// type is kNull has seen no non-null values yet; its type is promoted on the
+/// first non-null append (and Int64 promotes to Double if a Double arrives).
+class Column {
+ public:
+  Column() : type_(TypeId::kNull) {}
+  explicit Column(TypeId type) : type_(type) {}
+
+  TypeId type() const { return type_; }
+  size_t size() const { return size_; }
+
+  /// Appends a value, coercing numerics and promoting the column type as
+  /// needed. String<->numeric mismatches store NULL.
+  void Append(const Value& v);
+
+  void AppendNull();
+  void AppendInt(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(std::string v);
+
+  bool IsNull(size_t row) const {
+    return type_ == TypeId::kNull || (!nulls_.empty() && nulls_[row] != 0);
+  }
+
+  /// Materializes the cell as a Value.
+  Value Get(size_t row) const;
+
+  /// Raw accessors (valid only for the matching type and non-null cells).
+  int64_t GetInt(size_t row) const { return ints_[row]; }
+  double GetDouble(size_t row) const { return doubles_[row]; }
+  const std::string& GetString(size_t row) const { return strings_[row]; }
+
+  /// Numeric view: int/bool/double as double; NULL yields 0.
+  double GetNumeric(size_t row) const;
+
+  void Reserve(size_t n);
+
+  /// Removes all rows, keeping the column type.
+  void Clear();
+
+ private:
+  void PromoteToDouble();
+  void EnsureNullMask();
+
+  TypeId type_;
+  size_t size_ = 0;
+  std::vector<int64_t> ints_;          // kInt64 / kBool
+  std::vector<double> doubles_;        // kDouble
+  std::vector<std::string> strings_;   // kString
+  std::vector<uint8_t> nulls_;         // lazily allocated; empty = no nulls
+};
+
+}  // namespace vdb::engine
+
+#endif  // VDB_ENGINE_COLUMN_H_

@@ -1,0 +1,73 @@
+// The in-process relational database used as VerdictDB's "underlying
+// database". The middleware communicates with it exclusively through SQL
+// strings, mirroring the paper's driver-level deployment (Fig. 1a).
+
+#ifndef VDB_ENGINE_DATABASE_H_
+#define VDB_ENGINE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "engine/catalog.h"
+#include "engine/table.h"
+#include "sql/ast.h"
+
+namespace vdb::engine {
+
+/// A query result: an output table plus output column names (which may
+/// repeat; lookup returns the first match).
+struct ResultSet {
+  std::vector<std::string> names;
+  TablePtr table;
+
+  size_t NumRows() const { return table ? table->num_rows() : 0; }
+  size_t NumCols() const { return names.size(); }
+  Value Get(size_t row, size_t col) const { return table->Get(row, col); }
+  /// Case-insensitive; -1 if absent.
+  int ColumnIndex(const std::string& name) const;
+  double GetDouble(size_t row, size_t col) const {
+    return table->Get(row, col).AsDouble();
+  }
+  /// Pretty-prints up to max_rows rows (for examples and debugging).
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+/// An embedded SQL engine: catalog + executor. Statements supported:
+/// SELECT (with joins, group-by, having, order-by, limit, window partitions,
+/// scalar subqueries, union all), CREATE TABLE AS, DROP TABLE [IF EXISTS],
+/// INSERT INTO ... SELECT.
+class Database {
+ public:
+  explicit Database(uint64_t seed = 0xC0FFEE);
+
+  /// Parses and executes one statement. DDL returns an empty ResultSet.
+  Result<ResultSet> Execute(const std::string& sql);
+
+  /// Executes an already-parsed SELECT (the statement is cloned; the input
+  /// is not mutated).
+  Result<ResultSet> ExecuteSelect(const sql::SelectStmt& stmt);
+
+  /// Registers a prebuilt table (workload generators use this).
+  Status RegisterTable(const std::string& name, TablePtr table);
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  Rng& rng() { return rng_; }
+
+  /// Total base-table rows scanned by queries since construction. Used by
+  /// benches to report I/O-proportional costs.
+  uint64_t rows_scanned() const { return rows_scanned_; }
+  void AddRowsScanned(uint64_t n) { rows_scanned_ += n; }
+
+ private:
+  Catalog catalog_;
+  Rng rng_;
+  uint64_t rows_scanned_ = 0;
+};
+
+}  // namespace vdb::engine
+
+#endif  // VDB_ENGINE_DATABASE_H_

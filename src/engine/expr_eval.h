@@ -1,0 +1,32 @@
+// Row-at-a-time expression interpreter over bound expressions.
+
+#ifndef VDB_ENGINE_EXPR_EVAL_H_
+#define VDB_ENGINE_EXPR_EVAL_H_
+
+#include "common/random.h"
+#include "common/status.h"
+#include "engine/table.h"
+#include "sql/ast.h"
+
+namespace vdb::engine {
+
+/// Evaluation context: the current input row plus the engine RNG (for
+/// rand()).
+struct RowCtx {
+  const Table* table = nullptr;
+  size_t row = 0;
+  Rng* rng = nullptr;
+};
+
+/// Evaluates a bound expression for one row. Aggregates and windows must
+/// have been rewritten into column references by the planner; encountering
+/// one is an error. NULL semantics follow SQL (three-valued logic for
+/// AND/OR/NOT, null-propagation elsewhere).
+Result<Value> EvalExpr(const sql::Expr& e, const RowCtx& ctx);
+
+/// Evaluates a predicate: true only if the value is non-null and true.
+Result<bool> EvalPredicate(const sql::Expr& e, const RowCtx& ctx);
+
+}  // namespace vdb::engine
+
+#endif  // VDB_ENGINE_EXPR_EVAL_H_

@@ -1,0 +1,34 @@
+// Scalar function evaluation and aggregate-function identification.
+//
+// The set mirrors what the paper requires of the underlying database (§2.1):
+// rand(), a uniform hash function, floor(), case expressions, and the usual
+// math/string builtins.
+
+#ifndef VDB_ENGINE_FUNCTIONS_H_
+#define VDB_ENGINE_FUNCTIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace vdb::engine {
+
+/// True if `name` (lowercase) is an aggregate function understood by the
+/// engine (count, sum, avg, min, max, var/variance, stddev, quantile, median,
+/// approx_median, ndv, approx_distinct, or a registered UDA).
+bool IsAggregateFunction(const std::string& name);
+
+/// Evaluates a scalar builtin. `rng` backs rand(). Unknown names produce
+/// kUnsupported.
+Result<Value> CallScalarFunction(const std::string& name,
+                                 const std::vector<Value>& args, Rng* rng);
+
+/// SQL LIKE with % and _ wildcards.
+bool LikeMatch(const std::string& text, const std::string& pattern);
+
+}  // namespace vdb::engine
+
+#endif  // VDB_ENGINE_FUNCTIONS_H_

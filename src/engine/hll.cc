@@ -1,0 +1,52 @@
+#include "engine/hll.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vdb::engine {
+
+HyperLogLog::HyperLogLog(int precision) : precision_(precision) {
+  if (precision_ < 4) precision_ = 4;
+  if (precision_ > 18) precision_ = 18;
+  registers_.assign(size_t{1} << precision_, 0);
+}
+
+void HyperLogLog::AddHash(uint64_t hash) {
+  const uint64_t index = hash >> (64 - precision_);
+  const uint64_t rest = hash << precision_;
+  // Rank = position of leftmost 1-bit in the remaining bits (1-based).
+  uint8_t rank =
+      rest == 0 ? static_cast<uint8_t>(64 - precision_ + 1)
+                : static_cast<uint8_t>(__builtin_clzll(rest) + 1);
+  registers_[index] = std::max(registers_[index], rank);
+}
+
+double HyperLogLog::Estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  double alpha;
+  if (registers_.size() == 16) alpha = 0.673;
+  else if (registers_.size() == 32) alpha = 0.697;
+  else if (registers_.size() == 64) alpha = 0.709;
+  else alpha = 0.7213 / (1.0 + 1.079 / m);
+
+  double sum = 0.0;
+  size_t zeros = 0;
+  for (uint8_t r : registers_) {
+    sum += std::ldexp(1.0, -r);
+    if (r == 0) ++zeros;
+  }
+  double estimate = alpha * m * m / sum;
+  if (estimate <= 2.5 * m && zeros > 0) {
+    // Linear counting for the small range.
+    estimate = m * std::log(m / static_cast<double>(zeros));
+  }
+  return estimate;
+}
+
+void HyperLogLog::Merge(const HyperLogLog& other) {
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+}
+
+}  // namespace vdb::engine

@@ -1,0 +1,35 @@
+// Physical operators that don't fit in the planner: hash join and
+// cross join.
+
+#ifndef VDB_ENGINE_OPERATORS_H_
+#define VDB_ENGINE_OPERATORS_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "engine/table.h"
+#include "sql/ast.h"
+
+namespace vdb::engine {
+
+/// Equi hash join. `left_keys` / `right_keys` are column ordinals of the two
+/// inputs (same length, >= 1). The output schema is all left columns followed
+/// by all right columns. `residual` (may be null) is a predicate already
+/// bound against the combined schema, applied to each matching pair.
+/// JoinType::kLeft emits unmatched left rows null-extended.
+Result<TablePtr> HashJoin(const Table& left, const Table& right,
+                          const std::vector<int>& left_keys,
+                          const std::vector<int>& right_keys,
+                          sql::JoinType join_type, const sql::Expr* residual,
+                          Rng* rng);
+
+/// Cross join with an optional bound residual predicate. Guarded: errors if
+/// the candidate pair count exceeds `max_pairs`.
+Result<TablePtr> CrossJoin(const Table& left, const Table& right,
+                           const sql::Expr* residual, Rng* rng,
+                           size_t max_pairs = 200'000'000);
+
+}  // namespace vdb::engine
+
+#endif  // VDB_ENGINE_OPERATORS_H_

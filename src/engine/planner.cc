@@ -1,0 +1,848 @@
+#include "engine/planner.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "engine/aggregates.h"
+#include "engine/binder.h"
+#include "engine/expr_eval.h"
+#include "engine/functions.h"
+#include "engine/operators.h"
+#include "engine/window.h"
+#include "sql/printer.h"
+
+namespace vdb::engine {
+
+namespace {
+
+using sql::Expr;
+using sql::ExprKind;
+using sql::SelectStmt;
+using sql::TableRef;
+
+struct RelResult {
+  TablePtr table;
+  Scope scope;
+};
+
+/// Splits an AND tree into conjuncts (non-owning).
+void CollectConjuncts(Expr* e, std::vector<Expr*>* out) {
+  if (e->kind == ExprKind::kBinary && e->binary_op == sql::BinaryOp::kAnd) {
+    CollectConjuncts(e->args[0].get(), out);
+    CollectConjuncts(e->args[1].get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+class SelectExecutor {
+ public:
+  explicit SelectExecutor(Database* db) : db_(db) {}
+
+  Result<ResultSet> Run(SelectStmt* stmt) {
+    auto head = RunSingle(stmt);
+    if (!head.ok()) return head.status();
+    ResultSet rs = std::move(head).ValueOrDie();
+    SelectStmt* next = stmt->union_next.get();
+    while (next != nullptr) {
+      auto part = RunSingle(next);
+      if (!part.ok()) return part.status();
+      const ResultSet& p = part.value();
+      if (p.NumCols() != rs.NumCols()) {
+        return Status::InvalidArgument("UNION ALL arity mismatch");
+      }
+      for (size_t r = 0; r < p.NumRows(); ++r) {
+        rs.table->AppendRowFrom(*p.table, r);
+      }
+      next = next->union_next.get();
+    }
+    return rs;
+  }
+
+ private:
+  // ---------------------------------------------------------------- FROM --
+  Result<RelResult> ExecuteFrom(TableRef* ref) {
+    switch (ref->kind) {
+      case TableRef::Kind::kBase: {
+        TablePtr t = db_->catalog().GetTable(ref->table_name);
+        if (!t) return Status::NotFound("no such table: " + ref->table_name);
+        db_->AddRowsScanned(t->num_rows());
+        RelResult r;
+        r.table = t;
+        for (size_t i = 0; i < t->num_columns(); ++i) {
+          r.scope.Add(ref->EffectiveName(), t->column_name(i));
+        }
+        return r;
+      }
+      case TableRef::Kind::kDerived: {
+        SelectExecutor sub(db_);
+        auto rs = sub.Run(ref->derived.get());
+        if (!rs.ok()) return rs.status();
+        RelResult r;
+        r.table = rs.value().table;
+        for (const auto& n : rs.value().names) r.scope.Add(ref->alias, n);
+        return r;
+      }
+      case TableRef::Kind::kJoin:
+        return ExecuteJoin(ref);
+    }
+    return Status::Internal("unknown table ref kind");
+  }
+
+  Result<RelResult> ExecuteJoin(TableRef* ref) {
+    auto left = ExecuteFrom(ref->left.get());
+    if (!left.ok()) return left.status();
+    auto right = ExecuteFrom(ref->right.get());
+    if (!right.ok()) return right.status();
+    RelResult& lr = left.value();
+    RelResult& rr = right.value();
+
+    Scope combined;
+    for (size_t i = 0; i < lr.scope.size(); ++i) {
+      combined.Add(lr.scope.qualifier(i), lr.scope.name(i));
+    }
+    for (size_t i = 0; i < rr.scope.size(); ++i) {
+      combined.Add(rr.scope.qualifier(i), rr.scope.name(i));
+    }
+
+    // Partition the ON condition into equi-key pairs and a residual.
+    std::vector<Expr::Ptr> left_keys, right_keys;
+    std::vector<Expr::Ptr> residual_parts;
+    if (ref->on) {
+      std::vector<Expr*> conjuncts;
+      CollectConjuncts(ref->on.get(), &conjuncts);
+      for (Expr* c : conjuncts) {
+        bool is_key = false;
+        if (c->kind == ExprKind::kBinary &&
+            c->binary_op == sql::BinaryOp::kEq) {
+          auto l0 = c->args[0]->Clone();
+          auto r0 = c->args[1]->Clone();
+          if (BindExpr(l0.get(), lr.scope).ok() &&
+              BindExpr(r0.get(), rr.scope).ok()) {
+            left_keys.push_back(std::move(l0));
+            right_keys.push_back(std::move(r0));
+            is_key = true;
+          } else {
+            auto l1 = c->args[1]->Clone();
+            auto r1 = c->args[0]->Clone();
+            if (BindExpr(l1.get(), lr.scope).ok() &&
+                BindExpr(r1.get(), rr.scope).ok()) {
+              left_keys.push_back(std::move(l1));
+              right_keys.push_back(std::move(r1));
+              is_key = true;
+            }
+          }
+        }
+        if (!is_key) residual_parts.push_back(c->Clone());
+      }
+    }
+    Expr::Ptr residual = sql::AndAll(std::move(residual_parts));
+    if (residual) {
+      VDB_RETURN_IF_ERROR(BindExpr(residual.get(), combined));
+    }
+
+    Result<TablePtr> joined = Status::Internal("join not executed");
+    if (!left_keys.empty()) {
+      joined = HashJoinExprs(*lr.table, *rr.table, left_keys, right_keys,
+                             ref->join_type, residual.get());
+    } else {
+      if (ref->join_type == sql::JoinType::kLeft) {
+        return Status::Unsupported("left join requires an equi condition");
+      }
+      joined = CrossJoin(*lr.table, *rr.table, residual.get(), &db_->rng());
+    }
+    if (!joined.ok()) return joined.status();
+    RelResult out;
+    out.table = std::move(joined).ValueOrDie();
+    out.scope = std::move(combined);
+    return out;
+  }
+
+  /// Hash join on arbitrary bound key expressions: materializes key columns,
+  /// then delegates to the column-ordinal HashJoin operator.
+  Result<TablePtr> HashJoinExprs(const Table& left, const Table& right,
+                                 const std::vector<Expr::Ptr>& lkeys,
+                                 const std::vector<Expr::Ptr>& rkeys,
+                                 sql::JoinType type, const Expr* residual) {
+    auto materialize = [&](const Table& t, const std::vector<Expr::Ptr>& keys,
+                           TablePtr* with_keys,
+                           std::vector<int>* ordinals) -> Status {
+      auto copy = std::make_shared<Table>();
+      for (size_t i = 0; i < t.num_columns(); ++i) {
+        copy->AddColumn(t.column_name(i), t.column(i));
+      }
+      for (size_t k = 0; k < keys.size(); ++k) {
+        Column kc;
+        kc.Reserve(t.num_rows());
+        for (size_t r = 0; r < t.num_rows(); ++r) {
+          RowCtx ctx{&t, r, &db_->rng()};
+          auto v = EvalExpr(*keys[k], ctx);
+          if (!v.ok()) return v.status();
+          kc.Append(v.value());
+        }
+        ordinals->push_back(static_cast<int>(copy->num_columns()));
+        copy->AddColumn("__jk" + std::to_string(k), std::move(kc));
+      }
+      *with_keys = std::move(copy);
+      return Status::Ok();
+    };
+
+    // Fast path: keys that are plain column refs need no materialization.
+    auto plain = [](const std::vector<Expr::Ptr>& keys, std::vector<int>* out) {
+      for (const auto& k : keys) {
+        if (k->kind != ExprKind::kColumnRef || k->bound_column < 0) {
+          return false;
+        }
+        out->push_back(k->bound_column);
+      }
+      return true;
+    };
+
+    std::vector<int> lords, rords;
+    TablePtr ltab, rtab;
+    const Table* lp = &left;
+    const Table* rp = &right;
+    if (!plain(lkeys, &lords)) {
+      lords.clear();
+      VDB_RETURN_IF_ERROR(materialize(left, lkeys, &ltab, &lords));
+      lp = ltab.get();
+    }
+    if (!plain(rkeys, &rords)) {
+      rords.clear();
+      VDB_RETURN_IF_ERROR(materialize(right, rkeys, &rtab, &rords));
+      rp = rtab.get();
+    }
+
+    // Residual binds against the ORIGINAL combined schema; materialized key
+    // columns (if any) are appended after each side's own columns, which
+    // shifts right-side ordinals. Rebinding is avoided by joining on the
+    // padded tables only when no residual is present.
+    if (residual != nullptr && (ltab || rtab)) {
+      return Status::Unsupported(
+          "join with both expression keys and residual predicates");
+    }
+    auto joined = HashJoin(*lp, *rp, lords, rords, type, residual, &db_->rng());
+    if (!joined.ok()) return joined.status();
+    TablePtr out = std::move(joined).ValueOrDie();
+    if (!ltab && !rtab) return out;
+
+    // Strip the helper key columns: keep left originals + right originals.
+    auto stripped = std::make_shared<Table>();
+    size_t lcols_padded = lp->num_columns();
+    for (size_t i = 0; i < left.num_columns(); ++i) {
+      stripped->AddColumn(out->column_name(i), std::move(out->column(i)));
+    }
+    for (size_t i = 0; i < right.num_columns(); ++i) {
+      size_t src = lcols_padded + i;
+      stripped->AddColumn(out->column_name(src), std::move(out->column(src)));
+    }
+    return stripped;
+  }
+
+  // ------------------------------------------------------ scalar subquery --
+  Status ResolveSubqueries(Expr* e) {
+    if (e->kind == ExprKind::kSubquery) {
+      SelectExecutor sub(db_);
+      auto rs = sub.Run(e->subquery.get());
+      if (!rs.ok()) return rs.status();
+      const ResultSet& r = rs.value();
+      if (r.NumCols() != 1) {
+        return Status::InvalidArgument("scalar subquery must return 1 column");
+      }
+      if (r.NumRows() > 1) {
+        return Status::InvalidArgument("scalar subquery returned >1 row");
+      }
+      e->kind = ExprKind::kLiteral;
+      e->literal = r.NumRows() == 0 ? Value::Null() : r.Get(0, 0);
+      e->subquery.reset();
+      return Status::Ok();
+    }
+    if (e->kind == ExprKind::kExists) {
+      SelectExecutor sub(db_);
+      auto rs = sub.Run(e->subquery.get());
+      if (!rs.ok()) return rs.status();
+      e->kind = ExprKind::kLiteral;
+      e->literal = Value::Bool(rs.value().NumRows() > 0);
+      e->subquery.reset();
+      return Status::Ok();
+    }
+    for (auto& a : e->args) {
+      if (a) VDB_RETURN_IF_ERROR(ResolveSubqueries(a.get()));
+    }
+    for (auto& w : e->case_whens) VDB_RETURN_IF_ERROR(ResolveSubqueries(w.get()));
+    for (auto& t : e->case_thens) VDB_RETURN_IF_ERROR(ResolveSubqueries(t.get()));
+    if (e->case_else) VDB_RETURN_IF_ERROR(ResolveSubqueries(e->case_else.get()));
+    for (auto& p : e->partition_by) {
+      VDB_RETURN_IF_ERROR(ResolveSubqueries(p.get()));
+    }
+    return Status::Ok();
+  }
+
+  // ------------------------------------------------------------ main body --
+  Result<ResultSet> RunSingle(SelectStmt* stmt) {
+    // FROM
+    RelResult input;
+    if (stmt->from) {
+      auto r = ExecuteFrom(stmt->from.get());
+      if (!r.ok()) return r.status();
+      input = std::move(r).ValueOrDie();
+    } else {
+      auto dummy = std::make_shared<Table>();
+      Column c(TypeId::kInt64);
+      c.AppendInt(0);
+      dummy->AddColumn("__dummy", std::move(c));
+      input.table = dummy;
+      input.scope.Add("", "__dummy");
+    }
+
+    // Pre-execute scalar subqueries everywhere they may appear.
+    for (auto& it : stmt->items) {
+      VDB_RETURN_IF_ERROR(ResolveSubqueries(it.expr.get()));
+    }
+    if (stmt->where) VDB_RETURN_IF_ERROR(ResolveSubqueries(stmt->where.get()));
+    if (stmt->having) VDB_RETURN_IF_ERROR(ResolveSubqueries(stmt->having.get()));
+    for (auto& g : stmt->group_by) VDB_RETURN_IF_ERROR(ResolveSubqueries(g.get()));
+    for (auto& o : stmt->order_by) {
+      VDB_RETURN_IF_ERROR(ResolveSubqueries(o.expr.get()));
+    }
+
+    // WHERE
+    TablePtr current = input.table;
+    if (stmt->where) {
+      VDB_RETURN_IF_ERROR(BindExpr(stmt->where.get(), input.scope));
+      auto filtered = current->CloneSchema();
+      for (size_t r = 0; r < current->num_rows(); ++r) {
+        RowCtx ctx{current.get(), r, &db_->rng()};
+        auto pass = EvalPredicate(*stmt->where, ctx);
+        if (!pass.ok()) return pass.status();
+        if (pass.value()) filtered->AppendRowFrom(*current, r);
+      }
+      current = filtered;
+    }
+
+    bool grouped = !stmt->group_by.empty();
+    if (!grouped) {
+      for (const auto& it : stmt->items) {
+        if (ContainsAggregate(*it.expr)) {
+          grouped = true;
+          break;
+        }
+      }
+      if (stmt->having && ContainsAggregate(*stmt->having)) grouped = true;
+    }
+
+    ResultSet out;
+    if (grouped) {
+      auto rs = RunGrouped(stmt, current, input.scope);
+      if (!rs.ok()) return rs.status();
+      out = std::move(rs).ValueOrDie();
+    } else {
+      auto rs = RunProjection(stmt, current, input.scope);
+      if (!rs.ok()) return rs.status();
+      out = std::move(rs).ValueOrDie();
+    }
+
+    if (stmt->distinct) out = Dedupe(std::move(out));
+    VDB_RETURN_IF_ERROR(ApplyOrderBy(stmt, &out));
+    if (stmt->limit >= 0 && out.NumRows() > static_cast<size_t>(stmt->limit)) {
+      auto trimmed = out.table->CloneSchema();
+      for (size_t r = 0; r < static_cast<size_t>(stmt->limit); ++r) {
+        trimmed->AppendRowFrom(*out.table, r);
+      }
+      out.table = trimmed;
+    }
+    return out;
+  }
+
+  // --------------------------------------------------- non-grouped select --
+  Result<ResultSet> RunProjection(SelectStmt* stmt, TablePtr current,
+                                  const Scope& scope) {
+    // Expand stars and build the output item list.
+    struct OutItem {
+      const Expr* expr = nullptr;  // non-owning (points into stmt or extras)
+      std::string name;
+      int direct_column = -1;  // fast path: copy the input column wholesale
+    };
+    std::vector<Expr::Ptr> extra_exprs;  // owns star-expansion column refs
+    std::vector<OutItem> outs;
+
+    for (auto& item : stmt->items) {
+      if (item.expr->kind == ExprKind::kStar) {
+        for (int idx : scope.Expand(item.expr->qualifier)) {
+          OutItem oi;
+          oi.name = scope.name(static_cast<size_t>(idx));
+          if (oi.name == "__dummy") continue;
+          oi.direct_column = idx;
+          outs.push_back(std::move(oi));
+        }
+        continue;
+      }
+      VDB_RETURN_IF_ERROR(BindExpr(item.expr.get(), scope));
+      OutItem oi;
+      oi.expr = item.expr.get();
+      oi.name = !item.alias.empty()
+                    ? item.alias
+                    : (item.expr->kind == ExprKind::kColumnRef
+                           ? item.expr->name
+                           : sql::PrintExpr(*item.expr));
+      if (item.expr->kind == ExprKind::kColumnRef) {
+        oi.direct_column = item.expr->bound_column;
+      }
+      outs.push_back(std::move(oi));
+    }
+
+    // Window functions over raw rows.
+    TablePtr work = current;
+    std::map<std::string, int> window_cols;
+    for (auto& item : stmt->items) {
+      if (item.expr->kind == ExprKind::kStar) continue;
+      VDB_RETURN_IF_ERROR(
+          MaterializeWindows(item.expr.get(), &work, &window_cols));
+    }
+
+    ResultSet rs;
+    auto table = std::make_shared<Table>();
+    for (const auto& oi : outs) {
+      rs.names.push_back(oi.name);
+    }
+    // Column-copy fast path or per-row evaluation.
+    for (const auto& oi : outs) {
+      if (oi.direct_column >= 0) {
+        table->AddColumn(oi.name,
+                         work->column(static_cast<size_t>(oi.direct_column)));
+      } else {
+        Column col;
+        col.Reserve(work->num_rows());
+        for (size_t r = 0; r < work->num_rows(); ++r) {
+          RowCtx ctx{work.get(), r, &db_->rng()};
+          auto v = EvalExpr(*oi.expr, ctx);
+          if (!v.ok()) return v.status();
+          col.Append(v.value());
+        }
+        table->AddColumn(oi.name, std::move(col));
+      }
+    }
+    if (table->num_columns() == 0) {
+      return Status::InvalidArgument("empty select list");
+    }
+    rs.table = table;
+    return rs;
+  }
+
+  // ------------------------------------------------------- grouped select --
+  Result<ResultSet> RunGrouped(SelectStmt* stmt, TablePtr current,
+                               const Scope& scope) {
+    // Resolve group-by items that name select aliases.
+    for (auto& g : stmt->group_by) {
+      if (g->kind == ExprKind::kColumnRef && g->qualifier.empty() &&
+          !scope.Resolve("", g->name).ok()) {
+        for (auto& item : stmt->items) {
+          if (!item.alias.empty() && item.alias == g->name) {
+            g = item.expr->Clone();
+            break;
+          }
+        }
+      }
+      VDB_RETURN_IF_ERROR(BindExpr(g.get(), scope));
+    }
+
+    // Collect aggregate calls (deduplicated by printed text).
+    std::vector<Expr*> agg_exprs;
+    std::map<std::string, int> agg_index;
+    for (auto& item : stmt->items) {
+      CollectAggs(item.expr.get(), &agg_exprs, &agg_index);
+    }
+    if (stmt->having) CollectAggs(stmt->having.get(), &agg_exprs, &agg_index);
+
+    std::vector<AggSpec> specs;
+    for (Expr* a : agg_exprs) {
+      for (auto& arg : a->args) {
+        if (arg->kind != ExprKind::kStar) {
+          VDB_RETURN_IF_ERROR(BindExpr(arg.get(), scope));
+        }
+      }
+      AggSpec s;
+      s.name = a->name;
+      s.distinct = a->distinct;
+      bool star = !a->args.empty() && a->args[0]->kind == ExprKind::kStar;
+      s.arg = (a->args.empty() || star) ? nullptr : a->args[0].get();
+      if (a->args.size() >= 2 && a->args[1]->kind == ExprKind::kLiteral) {
+        s.param = a->args[1]->literal.AsDouble();
+      }
+      specs.push_back(s);
+    }
+
+    // Hash aggregation.
+    struct Group {
+      std::vector<Value> keys;
+      std::vector<std::unique_ptr<AggAccumulator>> accs;
+    };
+    std::unordered_map<std::string, size_t> group_ids;
+    std::vector<Group> groups;
+
+    auto new_group = [&](std::vector<Value> keys) -> Result<size_t> {
+      Group g;
+      g.keys = std::move(keys);
+      for (const auto& s : specs) {
+        auto acc = CreateAccumulator(s);
+        if (!acc.ok()) return acc.status();
+        g.accs.push_back(std::move(acc).ValueOrDie());
+      }
+      groups.push_back(std::move(g));
+      return groups.size() - 1;
+    };
+
+    if (stmt->group_by.empty()) {
+      auto gid = new_group({});
+      if (!gid.ok()) return gid.status();
+      group_ids[""] = gid.value();
+    }
+
+    for (size_t r = 0; r < current->num_rows(); ++r) {
+      RowCtx ctx{current.get(), r, &db_->rng()};
+      std::string key;
+      std::vector<Value> keyvals;
+      keyvals.reserve(stmt->group_by.size());
+      for (const auto& g : stmt->group_by) {
+        auto v = EvalExpr(*g, ctx);
+        if (!v.ok()) return v.status();
+        key += ValueGroupKey(v.value());
+        key.push_back('\x1f');
+        keyvals.push_back(std::move(v).ValueOrDie());
+      }
+      auto it = group_ids.find(key);
+      size_t gid;
+      if (it == group_ids.end()) {
+        auto created = new_group(std::move(keyvals));
+        if (!created.ok()) return created.status();
+        gid = created.value();
+        group_ids.emplace(std::move(key), gid);
+      } else {
+        gid = it->second;
+      }
+      for (size_t i = 0; i < specs.size(); ++i) {
+        Value arg = Value::Int(1);
+        if (specs[i].arg != nullptr) {
+          auto v = EvalExpr(*specs[i].arg, ctx);
+          if (!v.ok()) return v.status();
+          arg = std::move(v).ValueOrDie();
+        }
+        groups[gid].accs[i]->Add(arg);
+      }
+    }
+
+    // Materialize the aggregate table: group cols then agg cols.
+    auto agg_table = std::make_shared<Table>();
+    const size_t gk = stmt->group_by.size();
+    {
+      std::vector<Column> cols(gk + specs.size());
+      for (auto& g : groups) {
+        for (size_t i = 0; i < gk; ++i) cols[i].Append(g.keys[i]);
+        for (size_t i = 0; i < specs.size(); ++i) {
+          cols[gk + i].Append(g.accs[i]->Finalize());
+        }
+      }
+      // Empty result columns still need registration.
+      for (size_t i = 0; i < gk; ++i) {
+        agg_table->AddColumn("__g" + std::to_string(i), std::move(cols[i]));
+      }
+      for (size_t i = 0; i < specs.size(); ++i) {
+        agg_table->AddColumn("__a" + std::to_string(i),
+                             std::move(cols[gk + i]));
+      }
+    }
+
+    // Maps from printed expression text to aggregate-table ordinal.
+    std::map<std::string, int> text_to_col;
+    for (size_t i = 0; i < gk; ++i) {
+      const Expr& g = *stmt->group_by[i];
+      text_to_col[sql::PrintExpr(g)] = static_cast<int>(i);
+      if (g.kind == ExprKind::kColumnRef) {
+        text_to_col[g.name] = static_cast<int>(i);
+        if (!g.qualifier.empty()) {
+          text_to_col[g.qualifier + "." + g.name] = static_cast<int>(i);
+        }
+      }
+    }
+    std::map<std::string, int> agg_to_col;
+    for (const auto& [text, idx] : agg_index) {
+      agg_to_col[text] = static_cast<int>(gk) + idx;
+    }
+
+    // HAVING.
+    if (stmt->having) {
+      auto bound = RebindPostAgg(*stmt->having, text_to_col, agg_to_col);
+      if (!bound.ok()) return bound.status();
+      auto filtered = agg_table->CloneSchema();
+      for (size_t r = 0; r < agg_table->num_rows(); ++r) {
+        RowCtx ctx{agg_table.get(), r, &db_->rng()};
+        auto pass = EvalPredicate(*bound.value(), ctx);
+        if (!pass.ok()) return pass.status();
+        if (pass.value()) filtered->AppendRowFrom(*agg_table, r);
+      }
+      agg_table = filtered;
+    }
+
+    // Rebind select items; then materialize window columns over agg_table.
+    std::vector<Expr::Ptr> bound_items;
+    ResultSet rs;
+    for (auto& item : stmt->items) {
+      if (item.expr->kind == ExprKind::kStar) {
+        return Status::InvalidArgument("'*' not allowed with GROUP BY");
+      }
+      auto bound = RebindPostAgg(*item.expr, text_to_col, agg_to_col);
+      if (!bound.ok()) return bound.status();
+      bound_items.push_back(std::move(bound).ValueOrDie());
+      rs.names.push_back(!item.alias.empty()
+                             ? item.alias
+                             : (item.expr->kind == ExprKind::kColumnRef
+                                    ? item.expr->name
+                                    : sql::PrintExpr(*item.expr)));
+    }
+    std::map<std::string, int> window_cols;
+    for (auto& be : bound_items) {
+      VDB_RETURN_IF_ERROR(MaterializeWindows(be.get(), &agg_table,
+                                             &window_cols));
+    }
+
+    auto table = std::make_shared<Table>();
+    for (size_t i = 0; i < bound_items.size(); ++i) {
+      Column col;
+      col.Reserve(agg_table->num_rows());
+      for (size_t r = 0; r < agg_table->num_rows(); ++r) {
+        RowCtx ctx{agg_table.get(), r, &db_->rng()};
+        auto v = EvalExpr(*bound_items[i], ctx);
+        if (!v.ok()) return v.status();
+        col.Append(v.value());
+      }
+      table->AddColumn(rs.names[i], std::move(col));
+    }
+    rs.table = table;
+    return rs;
+  }
+
+  /// Collects non-window aggregate calls, assigning bound_agg ordinals and
+  /// deduplicating by printed text. Recurses into window arguments so that
+  /// e.g. sum(count(*)) over (...) registers the inner count(*).
+  void CollectAggs(Expr* e, std::vector<Expr*>* aggs,
+                   std::map<std::string, int>* index) {
+    if (e->kind == ExprKind::kFunction && !e->is_window &&
+        IsAggregateFunction(e->name)) {
+      std::string text = sql::PrintExpr(*e);
+      auto it = index->find(text);
+      if (it == index->end()) {
+        e->bound_agg = static_cast<int>(aggs->size());
+        (*index)[text] = e->bound_agg;
+        aggs->push_back(e);
+      } else {
+        e->bound_agg = it->second;
+      }
+      return;  // no nested aggregates
+    }
+    for (auto& a : e->args) {
+      if (a) CollectAggs(a.get(), aggs, index);
+    }
+    for (auto& w : e->case_whens) CollectAggs(w.get(), aggs, index);
+    for (auto& t : e->case_thens) CollectAggs(t.get(), aggs, index);
+    if (e->case_else) CollectAggs(e->case_else.get(), aggs, index);
+    for (auto& p : e->partition_by) CollectAggs(p.get(), aggs, index);
+  }
+
+  /// Rewrites an expression for evaluation against the aggregate table:
+  /// group-by expressions and aggregate calls become bound column refs.
+  Result<Expr::Ptr> RebindPostAgg(const Expr& e,
+                                  const std::map<std::string, int>& group_map,
+                                  const std::map<std::string, int>& agg_map) {
+    std::string text = sql::PrintExpr(e);
+    auto git = group_map.find(text);
+    if (git == group_map.end() && e.kind == ExprKind::kColumnRef) {
+      git = group_map.find(e.name);
+    }
+    if (git != group_map.end()) {
+      auto ref = sql::MakeColumnRef("", "__g" + std::to_string(git->second));
+      ref->bound_column = git->second;
+      return ref;
+    }
+    if (e.kind == ExprKind::kFunction && !e.is_window &&
+        IsAggregateFunction(e.name)) {
+      auto ait = agg_map.find(text);
+      if (ait == agg_map.end()) {
+        return Status::Internal("aggregate was not collected: " + text);
+      }
+      auto ref = sql::MakeColumnRef("", "__a" + std::to_string(ait->second));
+      ref->bound_column = ait->second;
+      return ref;
+    }
+    if (e.kind == ExprKind::kColumnRef) {
+      return Status::InvalidArgument(
+          "column must appear in GROUP BY or inside an aggregate: " + e.name);
+    }
+    // Recurse.
+    auto out = e.Clone();
+    for (auto& a : out->args) {
+      if (!a || a->kind == ExprKind::kStar) continue;
+      auto r = RebindPostAgg(*a, group_map, agg_map);
+      if (!r.ok()) return r.status();
+      a = std::move(r).ValueOrDie();
+    }
+    for (auto& w : out->case_whens) {
+      auto r = RebindPostAgg(*w, group_map, agg_map);
+      if (!r.ok()) return r.status();
+      w = std::move(r).ValueOrDie();
+    }
+    for (auto& t : out->case_thens) {
+      auto r = RebindPostAgg(*t, group_map, agg_map);
+      if (!r.ok()) return r.status();
+      t = std::move(r).ValueOrDie();
+    }
+    if (out->case_else) {
+      auto r = RebindPostAgg(*out->case_else, group_map, agg_map);
+      if (!r.ok()) return r.status();
+      out->case_else = std::move(r).ValueOrDie();
+    }
+    for (auto& p : out->partition_by) {
+      auto r = RebindPostAgg(*p, group_map, agg_map);
+      if (!r.ok()) return r.status();
+      p = std::move(r).ValueOrDie();
+    }
+    return out;
+  }
+
+  /// Replaces window-function nodes under `e` with references to freshly
+  /// computed columns appended to `*work`. Deduplicates by printed text.
+  Status MaterializeWindows(Expr* e, TablePtr* work,
+                            std::map<std::string, int>* window_cols) {
+    if (e->kind == ExprKind::kFunction && e->is_window) {
+      std::string text = sql::PrintExpr(*e);
+      auto it = window_cols->find(text);
+      int col;
+      if (it == window_cols->end()) {
+        auto wcol = EvalWindowExpr(*e, **work, &db_->rng());
+        if (!wcol.ok()) return wcol.status();
+        // Copy-on-write: the work table may be shared (base table).
+        auto extended = std::make_shared<Table>();
+        for (size_t i = 0; i < (*work)->num_columns(); ++i) {
+          extended->AddColumn((*work)->column_name(i), (*work)->column(i));
+        }
+        col = static_cast<int>(extended->num_columns());
+        extended->AddColumn("__w" + std::to_string(window_cols->size()),
+                            std::move(wcol).ValueOrDie());
+        *work = extended;
+        (*window_cols)[text] = col;
+      } else {
+        col = it->second;
+      }
+      e->kind = ExprKind::kColumnRef;
+      e->qualifier.clear();
+      e->name = "__w";
+      e->bound_column = col;
+      e->args.clear();
+      e->partition_by.clear();
+      e->is_window = false;
+      return Status::Ok();
+    }
+    for (auto& a : e->args) {
+      if (a) VDB_RETURN_IF_ERROR(MaterializeWindows(a.get(), work, window_cols));
+    }
+    for (auto& w : e->case_whens) {
+      VDB_RETURN_IF_ERROR(MaterializeWindows(w.get(), work, window_cols));
+    }
+    for (auto& t : e->case_thens) {
+      VDB_RETURN_IF_ERROR(MaterializeWindows(t.get(), work, window_cols));
+    }
+    if (e->case_else) {
+      VDB_RETURN_IF_ERROR(
+          MaterializeWindows(e->case_else.get(), work, window_cols));
+    }
+    return Status::Ok();
+  }
+
+  // ------------------------------------------------------- distinct/order --
+  ResultSet Dedupe(ResultSet rs) {
+    std::unordered_set<std::string> seen;
+    auto out = rs.table->CloneSchema();
+    for (size_t r = 0; r < rs.NumRows(); ++r) {
+      std::string key;
+      for (size_t c = 0; c < rs.NumCols(); ++c) {
+        key += ValueGroupKey(rs.Get(r, c));
+        key.push_back('\x1f');
+      }
+      if (seen.insert(std::move(key)).second) {
+        out->AppendRowFrom(*rs.table, r);
+      }
+    }
+    rs.table = out;
+    return rs;
+  }
+
+  Status ApplyOrderBy(SelectStmt* stmt, ResultSet* rs) {
+    if (stmt->order_by.empty() || rs->NumRows() == 0) return Status::Ok();
+    // Resolve each order expression to an output column.
+    std::vector<std::pair<int, bool>> keys;  // (column, ascending)
+    for (auto& o : stmt->order_by) {
+      int col = -1;
+      if (o.expr->kind == ExprKind::kLiteral &&
+          o.expr->literal.type() == TypeId::kInt64) {
+        int64_t ord = o.expr->literal.AsInt();
+        if (ord < 1 || ord > static_cast<int64_t>(rs->NumCols())) {
+          return Status::InvalidArgument("ORDER BY ordinal out of range");
+        }
+        col = static_cast<int>(ord - 1);
+      } else if (o.expr->kind == ExprKind::kColumnRef) {
+        col = rs->ColumnIndex(o.expr->name);
+      }
+      if (col < 0) {
+        // Match by printed text against item expressions.
+        std::string text = sql::PrintExpr(*o.expr);
+        for (size_t i = 0; i < stmt->items.size(); ++i) {
+          if (sql::PrintExpr(*stmt->items[i].expr) == text) {
+            col = static_cast<int>(i);
+            break;
+          }
+        }
+      }
+      if (col < 0) {
+        return Status::Unsupported(
+            "ORDER BY expression must reference an output column: " +
+            sql::PrintExpr(*o.expr));
+      }
+      keys.emplace_back(col, o.ascending);
+    }
+
+    std::vector<size_t> perm(rs->NumRows());
+    for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+    const Table& t = *rs->table;
+    std::stable_sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+      for (const auto& [col, asc] : keys) {
+        Value va = t.Get(a, static_cast<size_t>(col));
+        Value vb = t.Get(b, static_cast<size_t>(col));
+        // NULLs sort first ascending, last descending.
+        if (va.is_null() != vb.is_null()) {
+          return asc ? va.is_null() : vb.is_null();
+        }
+        int c = va.Compare(vb);
+        if (c != 0) return asc ? c < 0 : c > 0;
+      }
+      return false;
+    });
+
+    auto sorted = rs->table->CloneSchema();
+    for (size_t i : perm) sorted->AppendRowFrom(*rs->table, i);
+    rs->table = sorted;
+    return Status::Ok();
+  }
+
+  Database* db_;
+};
+
+}  // namespace
+
+Result<ResultSet> RunSelect(Database* db, sql::SelectStmt* stmt) {
+  SelectExecutor exec(db);
+  return exec.Run(stmt);
+}
+
+}  // namespace vdb::engine

@@ -1,0 +1,19 @@
+// Select-statement execution (binding, aggregation, windows, projection).
+
+#ifndef VDB_ENGINE_PLANNER_H_
+#define VDB_ENGINE_PLANNER_H_
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "sql/ast.h"
+
+namespace vdb::engine {
+
+/// Executes `stmt` against `db`. The statement is mutated during binding;
+/// callers who need to keep the AST pass a clone (Database::ExecuteSelect
+/// does this automatically).
+Result<ResultSet> RunSelect(Database* db, sql::SelectStmt* stmt);
+
+}  // namespace vdb::engine
+
+#endif  // VDB_ENGINE_PLANNER_H_

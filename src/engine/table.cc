@@ -1,0 +1,77 @@
+#include "engine/table.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace vdb::engine {
+
+namespace {
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+}  // namespace
+
+void Table::AddColumn(const std::string& name, TypeId type) {
+  names_.push_back(ToLower(name));
+  Column c(type);
+  // Keep row counts consistent if columns are added to a non-empty table.
+  for (size_t i = 0; i < num_rows_; ++i) c.AppendNull();
+  columns_.push_back(std::move(c));
+}
+
+void Table::AddColumn(const std::string& name, Column col) {
+  if (columns_.empty()) num_rows_ = col.size();
+  names_.push_back(ToLower(name));
+  columns_.push_back(std::move(col));
+}
+
+int Table::ColumnIndex(const std::string& name) const {
+  std::string lower = ToLower(name);
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == lower) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Table::AppendRow(const std::vector<Value>& row) {
+  for (size_t i = 0; i < columns_.size(); ++i) columns_[i].Append(row[i]);
+  ++num_rows_;
+}
+
+void Table::AppendRowFrom(const Table& src, size_t src_row) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    columns_[i].Append(src.columns_[i].Get(src_row));
+  }
+  ++num_rows_;
+}
+
+size_t Table::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const auto& c : columns_) {
+    switch (c.type()) {
+      case TypeId::kNull: break;
+      case TypeId::kBool:
+      case TypeId::kInt64:
+      case TypeId::kDouble: bytes += c.size() * 8; break;
+      case TypeId::kString: bytes += c.size() * 24; break;
+    }
+  }
+  return bytes;
+}
+
+void Table::ClearRows() {
+  for (auto& c : columns_) c.Clear();
+  num_rows_ = 0;
+}
+
+TablePtr Table::CloneSchema() const {
+  auto t = std::make_shared<Table>();
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    t->AddColumn(names_[i], columns_[i].type());
+  }
+  return t;
+}
+
+}  // namespace vdb::engine

@@ -1,0 +1,62 @@
+// In-memory column-store table.
+
+#ifndef VDB_ENGINE_TABLE_H_
+#define VDB_ENGINE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/column.h"
+
+namespace vdb::engine {
+
+/// A table: named columns with equal row counts. Column names are stored
+/// lowercase; lookup is case-insensitive.
+class Table {
+ public:
+  Table() = default;
+
+  /// Adds a column (must be called before rows are appended, or with a column
+  /// already holding num_rows() entries).
+  void AddColumn(const std::string& name, TypeId type);
+  void AddColumn(const std::string& name, Column col);
+
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const { return num_rows_; }
+
+  const std::string& column_name(size_t i) const { return names_[i]; }
+  const Column& column(size_t i) const { return columns_[i]; }
+  Column& column(size_t i) { return columns_[i]; }
+
+  /// Case-insensitive lookup; -1 if absent.
+  int ColumnIndex(const std::string& name) const;
+
+  /// Appends one row; `row` must have num_columns() values.
+  void AppendRow(const std::vector<Value>& row);
+
+  /// Copies row `src_row` of `src` (same schema arity) into this table.
+  void AppendRowFrom(const Table& src, size_t src_row);
+
+  Value Get(size_t row, size_t col) const { return columns_[col].Get(row); }
+
+  /// Rough heap footprint in bytes (used by the I/O-cost model in benches).
+  size_t ApproxBytes() const;
+
+  std::shared_ptr<Table> CloneSchema() const;
+
+  /// Removes all rows, keeping the schema.
+  void ClearRows();
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+using TablePtr = std::shared_ptr<Table>;
+
+}  // namespace vdb::engine
+
+#endif  // VDB_ENGINE_TABLE_H_

@@ -1,0 +1,63 @@
+#include "engine/window.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "engine/aggregates.h"
+#include "engine/expr_eval.h"
+
+namespace vdb::engine {
+
+Result<Column> EvalWindowExpr(const sql::Expr& e, const Table& table,
+                              Rng* rng) {
+  if (e.kind != sql::ExprKind::kFunction || !e.is_window) {
+    return Status::Internal("EvalWindowExpr on a non-window expression");
+  }
+  AggSpec spec;
+  spec.name = e.name;
+  spec.distinct = e.distinct;
+  bool star = !e.args.empty() && e.args[0]->kind == sql::ExprKind::kStar;
+  spec.arg = (e.args.empty() || star) ? nullptr : e.args[0].get();
+
+  const size_t n = table.num_rows();
+  // Partition id per row.
+  std::vector<uint32_t> part_of(n, 0);
+  std::unordered_map<std::string, uint32_t> part_ids;
+  std::vector<std::unique_ptr<AggAccumulator>> accs;
+
+  for (size_t r = 0; r < n; ++r) {
+    RowCtx ctx{&table, r, rng};
+    std::string key;
+    for (const auto& p : e.partition_by) {
+      auto v = EvalExpr(*p, ctx);
+      if (!v.ok()) return v.status();
+      key += ValueGroupKey(v.value());
+      key.push_back('\x1f');
+    }
+    auto [it, inserted] = part_ids.emplace(key, static_cast<uint32_t>(accs.size()));
+    if (inserted) {
+      auto acc = CreateAccumulator(spec);
+      if (!acc.ok()) return acc.status();
+      accs.push_back(std::move(acc).ValueOrDie());
+    }
+    part_of[r] = it->second;
+
+    Value arg = Value::Int(1);
+    if (spec.arg != nullptr) {
+      auto v = EvalExpr(*spec.arg, ctx);
+      if (!v.ok()) return v.status();
+      arg = std::move(v).ValueOrDie();
+    }
+    accs[it->second]->Add(arg);
+  }
+
+  std::vector<Value> results(accs.size());
+  for (size_t i = 0; i < accs.size(); ++i) results[i] = accs[i]->Finalize();
+
+  Column out;
+  out.Reserve(n);
+  for (size_t r = 0; r < n; ++r) out.Append(results[part_of[r]]);
+  return out;
+}
+
+}  // namespace vdb::engine

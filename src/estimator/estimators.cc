@@ -1,0 +1,154 @@
+#include "estimator/estimators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats_math.h"
+
+namespace vdb::est {
+
+namespace {
+
+/// Builds the interval [g0 - q_hi * s, g0 - q_lo * s] from deviations
+/// dev_j = (ghat_j - g0) (bootstrap/subsampling form; `s` rescales from the
+/// resample regime to the sample regime).
+ErrorEstimate IntervalFromDeviations(double g0, std::vector<double> devs,
+                                     double s, double confidence) {
+  std::sort(devs.begin(), devs.end());
+  const double alpha = 1.0 - confidence;
+  double t_lo = vdb::QuantileSorted(devs, alpha / 2.0);
+  double t_hi = vdb::QuantileSorted(devs, 1.0 - alpha / 2.0);
+  ErrorEstimate e;
+  e.point = g0;
+  e.lo = g0 - t_hi * s;
+  e.hi = g0 - t_lo * s;
+  e.half_width = (e.hi - e.lo) / 2.0;
+  return e;
+}
+
+}  // namespace
+
+ErrorEstimate CltEstimate(const std::vector<double>& sample, double scale,
+                          double confidence) {
+  const double n = static_cast<double>(sample.size());
+  const double mean = vdb::Mean(sample);
+  const double sd = vdb::StdDev(sample);
+  const double z = vdb::NormalCriticalValue(confidence);
+  ErrorEstimate e;
+  e.point = scale * mean;
+  const double hw = z * scale * sd / std::sqrt(n);
+  e.lo = e.point - hw;
+  e.hi = e.point + hw;
+  e.half_width = hw;
+  return e;
+}
+
+ErrorEstimate Bootstrap(const std::vector<double>& sample, double scale,
+                        int b, double confidence, Rng* rng) {
+  const size_t n = sample.size();
+  const double g0 = scale * vdb::Mean(sample);
+  std::vector<double> devs(b);
+  for (int j = 0; j < b; ++j) {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += sample[rng->NextBounded(n)];
+    }
+    devs[j] = g0 - scale * (sum / static_cast<double>(n));
+  }
+  return IntervalFromDeviations(g0, std::move(devs), 1.0, confidence);
+}
+
+ErrorEstimate ConsolidatedBootstrap(const std::vector<double>& sample,
+                                    double scale, int b, double confidence,
+                                    Rng* rng) {
+  // Single pass over the data; per tuple, draw a Poisson(1) multiplicity for
+  // each of the b resamples (multinomial resampling approximation).
+  const size_t n = sample.size();
+  const double g0 = scale * vdb::Mean(sample);
+  std::vector<double> sums(b, 0.0);
+  std::vector<double> counts(b, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (int j = 0; j < b; ++j) {
+      // Inverse-CDF Poisson(1) draw; E[k]=1, so expected resample size is n.
+      double u = rng->NextDouble();
+      int k = 0;
+      double p = std::exp(-1.0), cdf = p;
+      while (u > cdf && k < 8) {
+        ++k;
+        p /= static_cast<double>(k);
+        cdf += p;
+      }
+      if (k > 0) {
+        sums[j] += static_cast<double>(k) * sample[i];
+        counts[j] += static_cast<double>(k);
+      }
+    }
+  }
+  std::vector<double> devs(b);
+  for (int j = 0; j < b; ++j) {
+    double mean_j = counts[j] > 0 ? sums[j] / counts[j] : 0.0;
+    devs[j] = g0 - scale * mean_j;
+  }
+  return IntervalFromDeviations(g0, std::move(devs), 1.0, confidence);
+}
+
+ErrorEstimate TraditionalSubsampling(const std::vector<double>& sample,
+                                     double scale, int b, int64_t ns,
+                                     double confidence, Rng* rng) {
+  const size_t n = sample.size();
+  const double g0 = scale * vdb::Mean(sample);
+  // Partial Fisher-Yates per subsample: draw ns indices without replacement.
+  std::vector<uint32_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = static_cast<uint32_t>(i);
+  std::vector<double> devs(b);
+  const double root = std::sqrt(static_cast<double>(ns));
+  for (int j = 0; j < b; ++j) {
+    double sum = 0.0;
+    for (int64_t k = 0; k < ns; ++k) {
+      size_t pick = k + rng->NextBounded(n - static_cast<size_t>(k));
+      std::swap(idx[k], idx[pick]);
+      sum += sample[idx[k]];
+    }
+    double ghat = scale * (sum / static_cast<double>(ns));
+    devs[j] = root * (ghat - g0);
+  }
+  // Deviations are on the sqrt(ns) scale; map back by 1/sqrt(n).
+  return IntervalFromDeviations(g0, std::move(devs),
+                                1.0 / std::sqrt(static_cast<double>(n)),
+                                confidence);
+}
+
+ErrorEstimate VariationalSubsampling(const std::vector<double>& sample,
+                                     double scale, int64_t ns,
+                                     double confidence, Rng* rng) {
+  const size_t n = sample.size();
+  if (ns <= 0) {
+    ns = std::max<int64_t>(
+        1, static_cast<int64_t>(std::sqrt(static_cast<double>(n))));
+  }
+  const int64_t b =
+      std::max<int64_t>(2, static_cast<int64_t>(n) / std::max<int64_t>(1, ns));
+  const double g0 = scale * vdb::Mean(sample);
+
+  // Single pass: each tuple joins exactly one of the b subsamples.
+  std::vector<double> sums(b, 0.0);
+  std::vector<int64_t> counts(b, 0);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t sid = rng->NextBounded(static_cast<uint64_t>(b));
+    sums[sid] += sample[i];
+    counts[sid] += 1;
+  }
+  std::vector<double> devs;
+  devs.reserve(b);
+  for (int64_t j = 0; j < b; ++j) {
+    if (counts[j] == 0) continue;
+    double ghat = scale * (sums[j] / static_cast<double>(counts[j]));
+    devs.push_back(std::sqrt(static_cast<double>(counts[j])) * (ghat - g0));
+  }
+  if (devs.empty()) devs.push_back(0.0);
+  return IntervalFromDeviations(g0, std::move(devs),
+                                1.0 / std::sqrt(static_cast<double>(n)),
+                                confidence);
+}
+
+}  // namespace vdb::est

@@ -1,0 +1,67 @@
+// In-memory reference implementations of the error-estimation techniques the
+// paper compares (§4, §6.4, §6.5, Appendix B):
+//
+//   * bootstrap (b resamples with replacement, size n)
+//   * consolidated bootstrap (single-pass multiplicity assignment, still
+//     O(n*b) work — Agarwal et al. 2014)
+//   * traditional subsampling (b subsamples of size ns, without replacement)
+//   * variational subsampling (this paper: each tuple in at most one
+//     subsample, sizes vary, O(n) total)
+//   * closed-form CLT
+//
+// All operate on a vector of doubles representing the *sample* (size n drawn
+// from a population of size N) and estimate a mean-like statistic
+// `scale * mean(sample)`: scale = 1 reproduces avg, scale = N reproduces
+// count (0/1 indicators) and sum (value column).
+
+#ifndef VDB_ESTIMATOR_ESTIMATORS_H_
+#define VDB_ESTIMATOR_ESTIMATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace vdb::est {
+
+/// A point estimate with a confidence interval.
+struct ErrorEstimate {
+  double point = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  /// Half-width of the interval (hi - lo) / 2; the "error" reported in the
+  /// paper's plots.
+  double half_width = 0.0;
+};
+
+/// Closed-form CLT interval for scale * mean(sample).
+ErrorEstimate CltEstimate(const std::vector<double>& sample, double scale,
+                          double confidence);
+
+/// Classic bootstrap with b resamples of size n (with replacement).
+ErrorEstimate Bootstrap(const std::vector<double>& sample, double scale,
+                        int b, double confidence, Rng* rng);
+
+/// Consolidated bootstrap: one pass over the data assigning each tuple a
+/// Poisson(1) multiplicity per resample. Identical statistics to Bootstrap;
+/// same O(n*b) cost profile as the SQL formulation in the paper.
+ErrorEstimate ConsolidatedBootstrap(const std::vector<double>& sample,
+                                    double scale, int b, double confidence,
+                                    Rng* rng);
+
+/// Traditional subsampling: b subsamples of size ns drawn without
+/// replacement; deviations scaled by sqrt(ns / n) (Politis & Romano 1994).
+ErrorEstimate TraditionalSubsampling(const std::vector<double>& sample,
+                                     double scale, int b, int64_t ns,
+                                     double confidence, Rng* rng);
+
+/// Variational subsampling (paper §4.2): one pass assigns each tuple a
+/// subsample id in [1, b] (b = n / ns); per-subsample deviations are scaled
+/// by sqrt(ns_i) (Theorem 2). ns <= 0 selects the paper's default n^(1/2).
+ErrorEstimate VariationalSubsampling(const std::vector<double>& sample,
+                                     double scale, int64_t ns,
+                                     double confidence, Rng* rng);
+
+}  // namespace vdb::est
+
+#endif  // VDB_ESTIMATOR_ESTIMATORS_H_

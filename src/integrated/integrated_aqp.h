@@ -1,0 +1,60 @@
+// A tightly-integrated AQP engine baseline, standing in for SnappyData in
+// the §6.3 comparison. Unlike VerdictDB it lives inside the database
+// process: it builds samples with direct table scans (no SQL), keeps its own
+// registry, answers queries with single-level Horvitz-Thompson scaling and
+// closed-form (CLT-style) semantics, and — like SnappyData — cannot join two
+// samples: when several relations of a join have samples, only the largest
+// one is substituted and the rest read their base tables in full.
+
+#ifndef VDB_INTEGRATED_INTEGRATED_AQP_H_
+#define VDB_INTEGRATED_INTEGRATED_AQP_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+
+namespace vdb::integrated {
+
+struct IntegratedSample {
+  std::string sample_table;
+  std::string base_table;
+  double ratio = 0.0;
+  std::vector<std::string> strata_columns;  // empty = uniform
+  uint64_t base_rows = 0;
+  uint64_t sample_rows = 0;
+};
+
+class IntegratedAqp {
+ public:
+  explicit IntegratedAqp(engine::Database* db) : db_(db) {}
+
+  /// Builds a uniform sample by directly scanning the base table (no SQL).
+  Result<IntegratedSample> CreateUniformSample(const std::string& base,
+                                               double tau);
+
+  /// Builds a stratified sample with in-memory per-stratum reservoirs.
+  /// `min_rows` tuples are kept per stratum (or the whole stratum if
+  /// smaller).
+  Result<IntegratedSample> CreateStratifiedSample(
+      const std::string& base, const std::vector<std::string>& columns,
+      int64_t min_rows);
+
+  /// Executes a query approximately when a sample applies; otherwise runs it
+  /// exactly. At most one relation per query is substituted with a sample.
+  Result<engine::ResultSet> Execute(const std::string& sql);
+
+  const std::map<std::string, IntegratedSample>& samples() const {
+    return samples_;
+  }
+
+ private:
+  engine::Database* db_;
+  std::map<std::string, IntegratedSample> samples_;  // keyed by base table
+};
+
+}  // namespace vdb::integrated
+
+#endif  // VDB_INTEGRATED_INTEGRATED_AQP_H_

@@ -1,0 +1,82 @@
+// Sample preparation (paper §3): builds uniform, hashed and stratified
+// sample tables by issuing only standard SQL statements to the underlying
+// database, and maintains them under data appends (Appendix D). The default
+// per-table policy of Appendix F is implemented by CreateDefaultSamples.
+
+#ifndef VDB_SAMPLING_SAMPLE_BUILDER_H_
+#define VDB_SAMPLING_SAMPLE_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "driver/dialect.h"
+#include "sampling/sample_catalog.h"
+#include "sampling/sample_types.h"
+
+namespace vdb::sampling {
+
+struct BuilderOptions {
+  /// Failure probability delta for the per-stratum minimum-count guarantee
+  /// (Lemma 1). Paper default: 0.001.
+  double delta = 0.001;
+  /// Geometric growth factor between staircase steps.
+  double staircase_growth = 1.2;
+  /// Appendix F: target sample size in rows; tau = target_rows / |T|.
+  int64_t default_target_rows = 10'000'000;
+  /// Appendix F: max hashed/stratified samples per table.
+  int max_column_samples = 10;
+  /// Appendix F: cardinality threshold as a fraction of |T|.
+  double cardinality_threshold = 0.01;
+};
+
+class SampleBuilder {
+ public:
+  SampleBuilder(driver::Connection* conn, SampleCatalog* catalog,
+                BuilderOptions options = {})
+      : conn_(conn), catalog_(catalog), options_(options) {}
+
+  /// Bernoulli sample with probability tau; inclusion probability stored per
+  /// tuple is exactly tau.
+  Result<SampleInfo> CreateUniformSample(const std::string& base, double tau);
+
+  /// Universe sample: keeps tuples whose hashed column value falls below
+  /// tau; inclusion probability stored is the realized ratio |Ts|/|T|.
+  Result<SampleInfo> CreateHashedSample(const std::string& base,
+                                        const std::string& column, double tau);
+
+  /// Probabilistic stratified sample on `columns` (§3.2): two passes, both
+  /// plain SELECTs; per-stratum minimum m = |T| * tau / d with the staircase
+  /// guarantee of Lemma 1.
+  Result<SampleInfo> CreateStratifiedSample(
+      const std::string& base, const std::vector<std::string>& columns,
+      double tau);
+
+  /// Appendix F default policy: a uniform sample plus hashed samples on
+  /// high-cardinality columns and stratified samples on low-cardinality
+  /// columns. `tau_override` > 0 replaces the 10M-row rule (useful at
+  /// laptop scale).
+  Result<std::vector<SampleInfo>> CreateDefaultSamples(
+      const std::string& base, double tau_override = -1.0);
+
+  /// Appendix D: appends `staging_table`'s rows to the base table and
+  /// incrementally maintains every registered sample of it, reusing stored
+  /// per-stratum probabilities (new strata keep all tuples).
+  Status AppendData(const std::string& base, const std::string& staging_table);
+
+  SampleCatalog* catalog() { return catalog_; }
+
+ private:
+  Result<int64_t> CountRows(const std::string& table);
+  Result<std::vector<std::string>> BaseColumns(const std::string& table);
+  std::string SampleName(const std::string& base, SampleType type,
+                         const std::vector<std::string>& cols) const;
+
+  driver::Connection* conn_;
+  SampleCatalog* catalog_;
+  BuilderOptions options_;
+};
+
+}  // namespace vdb::sampling
+
+#endif  // VDB_SAMPLING_SAMPLE_BUILDER_H_

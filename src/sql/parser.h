@@ -1,0 +1,30 @@
+// Recursive-descent SQL parser covering the analytic subset VerdictDB
+// supports (Table 1 of the paper): select / group-by / having / order-by /
+// limit, equi-joins and derived tables, scalar subqueries in comparisons,
+// searched CASE, window aggregates `agg(..) OVER (PARTITION BY ..)`, plus
+// CREATE TABLE AS, DROP TABLE and INSERT INTO ... SELECT for sample
+// preparation and data appends.
+
+#ifndef VDB_SQL_PARSER_H_
+#define VDB_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace vdb::sql {
+
+/// Parses one statement (a trailing ';' is allowed).
+Result<std::unique_ptr<Statement>> ParseStatement(const std::string& input);
+
+/// Parses a statement that must be a SELECT.
+Result<std::unique_ptr<SelectStmt>> ParseSelect(const std::string& input);
+
+/// Parses a standalone scalar expression (used by tests).
+Result<Expr::Ptr> ParseExpression(const std::string& input);
+
+}  // namespace vdb::sql
+
+#endif  // VDB_SQL_PARSER_H_

@@ -1,0 +1,225 @@
+#include "sql/printer.h"
+
+#include <cctype>
+
+namespace vdb::sql {
+
+namespace {
+
+bool NeedsQuote(const std::string& ident) {
+  if (ident.empty()) return true;
+  if (!std::isalpha(static_cast<unsigned char>(ident[0])) && ident[0] != '_') {
+    return true;
+  }
+  for (char c : ident) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return true;
+  }
+  return false;
+}
+
+std::string Ident(const std::string& name, const PrintOptions& o) {
+  if (o.always_quote_identifiers || NeedsQuote(name)) {
+    return std::string(1, o.identifier_quote) + name +
+           std::string(1, o.identifier_quote);
+  }
+  return name;
+}
+
+std::string EscapeString(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') out += "''";
+    else out.push_back(c);
+  }
+  out += "'";
+  return out;
+}
+
+const char* BinOpText(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "and";
+    case BinaryOp::kOr: return "or";
+    case BinaryOp::kLike: return "like";
+  }
+  return "?";
+}
+
+std::string ExprText(const Expr& e, const PrintOptions& o);
+std::string SelectText(const SelectStmt& s, const PrintOptions& o);
+
+std::string TableRefText(const TableRef& t, const PrintOptions& o) {
+  switch (t.kind) {
+    case TableRef::Kind::kBase: {
+      std::string out = Ident(t.table_name, o);
+      if (!t.alias.empty()) out += " as " + Ident(t.alias, o);
+      return out;
+    }
+    case TableRef::Kind::kDerived:
+      return "(" + SelectText(*t.derived, o) + ") as " + Ident(t.alias, o);
+    case TableRef::Kind::kJoin: {
+      std::string out = TableRefText(*t.left, o);
+      switch (t.join_type) {
+        case JoinType::kInner: out += " inner join "; break;
+        case JoinType::kLeft: out += " left join "; break;
+        case JoinType::kCross: out += " cross join "; break;
+      }
+      out += TableRefText(*t.right, o);
+      if (t.on) out += " on " + ExprText(*t.on, o);
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::string ExprText(const Expr& e, const PrintOptions& o) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      if (e.literal.type() == TypeId::kString) {
+        return EscapeString(e.literal.AsString());
+      }
+      return e.literal.ToString();
+    case ExprKind::kColumnRef:
+      if (!e.qualifier.empty()) {
+        return Ident(e.qualifier, o) + "." + Ident(e.name, o);
+      }
+      return Ident(e.name, o);
+    case ExprKind::kStar:
+      if (!e.qualifier.empty()) return Ident(e.qualifier, o) + ".*";
+      return "*";
+    case ExprKind::kUnary:
+      if (e.unary_op == UnaryOp::kNot) {
+        return "(not " + ExprText(*e.args[0], o) + ")";
+      }
+      return "(-" + ExprText(*e.args[0], o) + ")";
+    case ExprKind::kBinary:
+      return "(" + ExprText(*e.args[0], o) + " " + BinOpText(e.binary_op) +
+             " " + ExprText(*e.args[1], o) + ")";
+    case ExprKind::kFunction: {
+      std::string out = e.name + "(";
+      if (e.distinct) out += "distinct ";
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i) out += ", ";
+        out += ExprText(*e.args[i], o);
+      }
+      out += ")";
+      if (e.is_window) {
+        out += " over (";
+        if (!e.partition_by.empty()) {
+          out += "partition by ";
+          for (size_t i = 0; i < e.partition_by.size(); ++i) {
+            if (i) out += ", ";
+            out += ExprText(*e.partition_by[i], o);
+          }
+        }
+        out += ")";
+      }
+      return out;
+    }
+    case ExprKind::kCase: {
+      std::string out = "case";
+      for (size_t i = 0; i < e.case_whens.size(); ++i) {
+        out += " when " + ExprText(*e.case_whens[i], o) + " then " +
+               ExprText(*e.case_thens[i], o);
+      }
+      if (e.case_else) out += " else " + ExprText(*e.case_else, o);
+      out += " end";
+      return out;
+    }
+    case ExprKind::kIsNull:
+      return "(" + ExprText(*e.args[0], o) +
+             (e.negated ? " is not null)" : " is null)");
+    case ExprKind::kInList: {
+      std::string out = "(" + ExprText(*e.args[0], o);
+      out += e.negated ? " not in (" : " in (";
+      for (size_t i = 1; i < e.args.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += ExprText(*e.args[i], o);
+      }
+      out += "))";
+      return out;
+    }
+    case ExprKind::kBetween: {
+      std::string out = "(" + ExprText(*e.args[0], o);
+      if (e.negated) out += " not";
+      out += " between " + ExprText(*e.args[1], o) + " and " +
+             ExprText(*e.args[2], o) + ")";
+      return out;
+    }
+    case ExprKind::kSubquery:
+      return "(" + SelectText(*e.subquery, o) + ")";
+    case ExprKind::kExists:
+      return "exists (" + SelectText(*e.subquery, o) + ")";
+  }
+  return "?";
+}
+
+std::string SelectText(const SelectStmt& s, const PrintOptions& o) {
+  std::string out = "select ";
+  if (s.distinct) out += "distinct ";
+  for (size_t i = 0; i < s.items.size(); ++i) {
+    if (i) out += ", ";
+    out += ExprText(*s.items[i].expr, o);
+    if (!s.items[i].alias.empty()) out += " as " + Ident(s.items[i].alias, o);
+  }
+  if (s.from) out += " from " + TableRefText(*s.from, o);
+  if (s.where) out += " where " + ExprText(*s.where, o);
+  if (!s.group_by.empty()) {
+    out += " group by ";
+    for (size_t i = 0; i < s.group_by.size(); ++i) {
+      if (i) out += ", ";
+      out += ExprText(*s.group_by[i], o);
+    }
+  }
+  if (s.having) out += " having " + ExprText(*s.having, o);
+  if (!s.order_by.empty()) {
+    out += " order by ";
+    for (size_t i = 0; i < s.order_by.size(); ++i) {
+      if (i) out += ", ";
+      out += ExprText(*s.order_by[i].expr, o);
+      if (!s.order_by[i].ascending) out += " desc";
+    }
+  }
+  if (s.limit >= 0) out += " limit " + std::to_string(s.limit);
+  if (s.union_next) out += " union all " + SelectText(*s.union_next, o);
+  return out;
+}
+
+}  // namespace
+
+std::string PrintExpr(const Expr& e, const PrintOptions& opts) {
+  return ExprText(e, opts);
+}
+
+std::string PrintSelect(const SelectStmt& s, const PrintOptions& opts) {
+  return SelectText(s, opts);
+}
+
+std::string PrintStatement(const Statement& s, const PrintOptions& opts) {
+  switch (s.kind) {
+    case StatementKind::kSelect:
+      return SelectText(*s.select, opts);
+    case StatementKind::kCreateTableAs:
+      return "create table " + std::string(1, opts.identifier_quote) +
+             s.table_name + std::string(1, opts.identifier_quote) + " as " +
+             SelectText(*s.select, opts);
+    case StatementKind::kDropTable:
+      return std::string("drop table ") + (s.if_exists ? "if exists " : "") +
+             s.table_name;
+    case StatementKind::kInsertSelect:
+      return "insert into " + s.table_name + " " + SelectText(*s.select, opts);
+  }
+  return "?";
+}
+
+}  // namespace vdb::sql

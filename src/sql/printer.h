@@ -1,0 +1,27 @@
+// AST -> SQL text serialization. The VerdictDB middleware produces rewritten
+// ASTs; the Syntax Changer (driver/dialect.h) serializes them with
+// engine-specific options before handing the string to the database.
+
+#ifndef VDB_SQL_PRINTER_H_
+#define VDB_SQL_PRINTER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+
+namespace vdb::sql {
+
+/// Serialization options. Defaults print the engine's native dialect.
+struct PrintOptions {
+  char identifier_quote = '`';
+  /// Quote every identifier (some engines require it for mixed case).
+  bool always_quote_identifiers = false;
+};
+
+std::string PrintExpr(const Expr& e, const PrintOptions& opts = {});
+std::string PrintSelect(const SelectStmt& s, const PrintOptions& opts = {});
+std::string PrintStatement(const Statement& s, const PrintOptions& opts = {});
+
+}  // namespace vdb::sql
+
+#endif  // VDB_SQL_PRINTER_H_

@@ -1,0 +1,97 @@
+#include "workload/insta.h"
+
+#include "common/random.h"
+
+namespace vdb::workload {
+
+namespace {
+using engine::Table;
+}  // namespace
+
+Status GenerateInsta(engine::Database* db, const InstaConfig& cfg) {
+  Rng rng(cfg.seed);
+
+  {
+    auto departments = std::make_shared<Table>();
+    departments->AddColumn("department_id", TypeId::kInt64);
+    departments->AddColumn("department", TypeId::kString);
+    for (int64_t i = 1; i <= cfg.departments(); ++i) {
+      departments->AppendRow(
+          {Value::Int(i), Value::String("dept." + std::to_string(i))});
+    }
+    VDB_RETURN_IF_ERROR(db->RegisterTable("departments", departments));
+
+    auto aisles = std::make_shared<Table>();
+    aisles->AddColumn("aisle_id", TypeId::kInt64);
+    aisles->AddColumn("aisle", TypeId::kString);
+    for (int64_t i = 1; i <= cfg.aisles(); ++i) {
+      aisles->AppendRow(
+          {Value::Int(i), Value::String("aisle." + std::to_string(i))});
+    }
+    VDB_RETURN_IF_ERROR(db->RegisterTable("aisles", aisles));
+  }
+
+  {
+    auto products = std::make_shared<Table>();
+    products->AddColumn("product_id", TypeId::kInt64);
+    products->AddColumn("aisle_id", TypeId::kInt64);
+    products->AddColumn("department_id", TypeId::kInt64);
+    products->AddColumn("unit_price", TypeId::kDouble);
+    for (int64_t i = 1; i <= cfg.products(); ++i) {
+      products->AppendRow(
+          {Value::Int(i),
+           Value::Int(static_cast<int64_t>(
+               1 + rng.NextBounded(static_cast<uint64_t>(cfg.aisles())))),
+           Value::Int(static_cast<int64_t>(
+               1 + rng.NextBounded(static_cast<uint64_t>(cfg.departments())))),
+           Value::Double(0.5 + rng.NextDouble() * 49.5)});
+    }
+    VDB_RETURN_IF_ERROR(db->RegisterTable("products", products));
+  }
+
+  {
+    auto orders = std::make_shared<Table>();
+    orders->AddColumn("order_id", TypeId::kInt64);
+    orders->AddColumn("user_id", TypeId::kInt64);
+    orders->AddColumn("order_dow", TypeId::kInt64);
+    orders->AddColumn("order_hour", TypeId::kInt64);
+    orders->AddColumn("days_since_prior", TypeId::kInt64);
+
+    auto order_products = std::make_shared<Table>();
+    order_products->AddColumn("order_id", TypeId::kInt64);
+    order_products->AddColumn("product_id", TypeId::kInt64);
+    order_products->AddColumn("add_to_cart_order", TypeId::kInt64);
+    order_products->AddColumn("reordered", TypeId::kInt64);
+    order_products->AddColumn("quantity", TypeId::kInt64);
+    order_products->AddColumn("price", TypeId::kDouble);
+
+    for (int64_t o = 1; o <= cfg.orders(); ++o) {
+      orders->AppendRow(
+          {Value::Int(o),
+           Value::Int(static_cast<int64_t>(
+               1 + rng.NextBounded(static_cast<uint64_t>(cfg.users())))),
+           Value::Int(static_cast<int64_t>(rng.NextBounded(7))),
+           Value::Int(static_cast<int64_t>(rng.NextBounded(24))),
+           Value::Int(static_cast<int64_t>(rng.NextBounded(31)))});
+      // Basket sizes skew small: 1..12 items.
+      int items = static_cast<int>(1 + rng.NextBounded(12));
+      for (int k = 1; k <= items; ++k) {
+        int64_t qty = static_cast<int64_t>(1 + rng.NextBounded(5));
+        order_products->AppendRow(
+            {Value::Int(o),
+             Value::Int(static_cast<int64_t>(
+                 1 + rng.NextBounded(static_cast<uint64_t>(cfg.products())))),
+             Value::Int(k),
+             Value::Int(static_cast<int64_t>(rng.NextBounded(2))),
+             Value::Int(qty),
+             Value::Double((0.5 + rng.NextDouble() * 49.5) *
+                           static_cast<double>(qty))});
+      }
+    }
+    VDB_RETURN_IF_ERROR(db->RegisterTable("orders_insta", orders));
+    VDB_RETURN_IF_ERROR(db->RegisterTable("order_products", order_products));
+  }
+  return Status::Ok();
+}
+
+}  // namespace vdb::workload

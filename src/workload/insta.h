@@ -1,0 +1,30 @@
+// Instacart-style grocery sales dataset generator (the paper's `insta`
+// dataset, a 100x-scaled online grocery DB). Schema: orders,
+// order_products (fact), products, aisles, departments.
+
+#ifndef VDB_WORKLOAD_INSTA_H_
+#define VDB_WORKLOAD_INSTA_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "engine/database.h"
+
+namespace vdb::workload {
+
+struct InstaConfig {
+  double scale = 0.25;
+  uint64_t seed = 34251;
+
+  int64_t orders() const { return static_cast<int64_t>(120000 * scale); }
+  int64_t users() const { return static_cast<int64_t>(20000 * scale); }
+  int64_t products() const { return static_cast<int64_t>(8000 * scale); }
+  int64_t aisles() const { return 134; }
+  int64_t departments() const { return 21; }
+};
+
+Status GenerateInsta(engine::Database* db, const InstaConfig& config = {});
+
+}  // namespace vdb::workload
+
+#endif  // VDB_WORKLOAD_INSTA_H_

@@ -1,0 +1,85 @@
+#include "workload/queries.h"
+
+namespace vdb::workload {
+
+std::vector<WorkloadQuery> InstaQueries() {
+  std::vector<WorkloadQuery> qs;
+  auto add = [&](const char* id, const char* sql, bool pass = false) {
+    qs.push_back(WorkloadQuery{id, sql, pass});
+  };
+
+  add("iq-1", "select count(*) as cnt from order_products");
+
+  add("iq-2",
+      "select count(*) as cnt from order_products"
+      " inner join orders_insta on order_products.order_id ="
+      " orders_insta.order_id");
+
+  add("iq-3", "select avg(price) as avg_price from order_products");
+
+  add("iq-4",
+      "select order_dow, count(*) as cnt from orders_insta"
+      " group by order_dow order by order_dow");
+
+  add("iq-5",
+      "select order_hour, avg(days_since_prior) as avg_gap from orders_insta"
+      " group by order_hour order by order_hour");
+
+  add("iq-6",
+      "select d.department, sum(op.price) as sales from order_products op"
+      " inner join products p on op.product_id = p.product_id"
+      " inner join departments d on p.department_id = d.department_id"
+      " group by d.department order by sales desc");
+
+  add("iq-7",
+      "select p.department_id, sum(op.price) as sales,"
+      " avg(op.quantity) as avg_qty from order_products op"
+      " inner join products p on op.product_id = p.product_id"
+      " group by p.department_id order by p.department_id");
+
+  add("iq-8",
+      "select count(distinct user_id) as active_users from orders_insta");
+
+  add("iq-9",
+      "select median(price) as median_price from order_products");
+
+  add("iq-10",
+      "select order_dow, stddev(days_since_prior) as sd_gap"
+      " from orders_insta group by order_dow order by order_dow");
+
+  add("iq-11",
+      "select o.order_dow, sum(op.price) as sales from order_products op"
+      " inner join orders_insta o on op.order_id = o.order_id"
+      " inner join products p on op.product_id = p.product_id"
+      " inner join departments d on p.department_id = d.department_id"
+      " group by o.order_dow order by o.order_dow");
+
+  add("iq-12",
+      "select sum(case when reordered = 1 then price else 0.0 end) /"
+      " sum(price) as reorder_share from order_products");
+
+  add("iq-13",
+      "select p.department_id, count(*) as cnt from order_products op"
+      " inner join products p on op.product_id = p.product_id"
+      " group by p.department_id having sum(op.price) > 1000"
+      " order by cnt desc");
+
+  // iq-14/iq-15: joins where *both* relations are sampled (universe join on
+  // order_id) — the cases where the paper finds VerdictDB beats SnappyData.
+  add("iq-14",
+      "select o.order_dow, sum(op.price) as sales, count(*) as cnt"
+      " from order_products op"
+      " inner join orders_insta o on op.order_id = o.order_id"
+      " group by o.order_dow order by o.order_dow");
+
+  add("iq-15",
+      "select count(distinct op.order_id) as orders_with_items,"
+      " sum(op.price) as sales"
+      " from order_products op"
+      " inner join orders_insta o on op.order_id = o.order_id"
+      " where o.order_hour >= 8 and o.order_hour <= 20");
+
+  return qs;
+}
+
+}  // namespace vdb::workload

@@ -1,0 +1,33 @@
+#include "workload/synthetic.h"
+
+#include "common/random.h"
+
+namespace vdb::workload {
+
+Status GenerateSynthetic(engine::Database* db, const std::string& name,
+                         int64_t rows, uint64_t seed) {
+  Rng rng(seed);
+  auto t = std::make_shared<engine::Table>();
+  t->AddColumn("id", TypeId::kInt64);
+  t->AddColumn("value", TypeId::kDouble);
+  t->AddColumn("u", TypeId::kDouble);
+  t->AddColumn("g10", TypeId::kInt64);
+  t->AddColumn("g100", TypeId::kInt64);
+  for (int64_t i = 0; i < rows; ++i) {
+    t->AppendRow({Value::Int(i),
+                  Value::Double(10.0 + 10.0 * rng.NextGaussian()),
+                  Value::Double(rng.NextDouble()),
+                  Value::Int(static_cast<int64_t>(rng.NextBounded(10))),
+                  Value::Int(static_cast<int64_t>(rng.NextBounded(100)))});
+  }
+  return db->RegisterTable(name, t);
+}
+
+std::vector<double> SyntheticValues(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs(static_cast<size_t>(n));
+  for (auto& x : xs) x = 10.0 + 10.0 * rng.NextGaussian();
+  return xs;
+}
+
+}  // namespace vdb::workload

@@ -1,0 +1,28 @@
+// Synthetic dataset of §6.5: a value column with mean 10.0 and standard
+// deviation 10.0, a uniform column for selectivity control, and
+// low-cardinality group columns.
+
+#ifndef VDB_WORKLOAD_SYNTHETIC_H_
+#define VDB_WORKLOAD_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+
+namespace vdb::workload {
+
+/// Registers table `name` with columns: id BIGINT, value DOUBLE (N(10,10)),
+/// u DOUBLE (uniform [0,1), for `where u < selectivity` predicates),
+/// g10 BIGINT (10 groups), g100 BIGINT (100 groups).
+Status GenerateSynthetic(engine::Database* db, const std::string& name,
+                         int64_t rows, uint64_t seed = 7);
+
+/// In-memory N(10,10) draws for the estimator studies (Figures 8/12/13/14).
+std::vector<double> SyntheticValues(int64_t n, uint64_t seed = 7);
+
+}  // namespace vdb::workload
+
+#endif  // VDB_WORKLOAD_SYNTHETIC_H_

@@ -1,0 +1,220 @@
+#include "workload/tpch.h"
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace vdb::workload {
+
+namespace {
+
+using engine::Column;
+using engine::Table;
+using engine::TablePtr;
+
+const char* kNations[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+    "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+    "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                          "MIDDLE EAST"};
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                           "HOUSEHOLD", "MACHINERY"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kShipModes[] = {"AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP",
+                            "TRUCK"};
+const char* kTypes[] = {"ECONOMY", "LARGE", "MEDIUM", "PROMO", "SMALL",
+                        "STANDARD"};
+const char* kFinish[] = {"ANODIZED", "BRUSHED", "BURNISHED", "PLATED",
+                         "POLISHED"};
+const char* kReturnFlags[] = {"A", "N", "R"};
+
+/// Random yyyymmdd date between 1992-01-01 and 1998-08-02 (TPC-H range).
+int64_t RandomDate(Rng* rng) {
+  int year = static_cast<int>(1992 + rng->NextBounded(7));
+  int month = static_cast<int>(1 + rng->NextBounded(12));
+  int day = static_cast<int>(1 + rng->NextBounded(28));
+  return year * 10000 + month * 100 + day;
+}
+
+int64_t AddDays(int64_t date, int64_t days) {
+  // Approximate day arithmetic adequate for synthetic data: carry within a
+  // 28-day month model, matching RandomDate's domain.
+  int64_t y = date / 10000, m = (date / 100) % 100, d = date % 100 + days;
+  while (d > 28) {
+    d -= 28;
+    if (++m > 12) {
+      m = 1;
+      ++y;
+    }
+  }
+  return y * 10000 + m * 100 + d;
+}
+
+}  // namespace
+
+Status GenerateTpch(engine::Database* db, const TpchConfig& cfg) {
+  Rng rng(cfg.seed);
+
+  // ---- region / nation -----------------------------------------------------
+  {
+    auto region = std::make_shared<Table>();
+    region->AddColumn("r_regionkey", TypeId::kInt64);
+    region->AddColumn("r_name", TypeId::kString);
+    for (int64_t i = 0; i < 5; ++i) {
+      region->AppendRow({Value::Int(i), Value::String(kRegions[i])});
+    }
+    VDB_RETURN_IF_ERROR(db->RegisterTable("region", region));
+
+    auto nation = std::make_shared<Table>();
+    nation->AddColumn("n_nationkey", TypeId::kInt64);
+    nation->AddColumn("n_name", TypeId::kString);
+    nation->AddColumn("n_regionkey", TypeId::kInt64);
+    for (int64_t i = 0; i < 25; ++i) {
+      nation->AppendRow(
+          {Value::Int(i), Value::String(kNations[i]), Value::Int(i % 5)});
+    }
+    VDB_RETURN_IF_ERROR(db->RegisterTable("nation", nation));
+  }
+
+  // ---- supplier --------------------------------------------------------------
+  {
+    auto supplier = std::make_shared<Table>();
+    supplier->AddColumn("s_suppkey", TypeId::kInt64);
+    supplier->AddColumn("s_name", TypeId::kString);
+    supplier->AddColumn("s_nationkey", TypeId::kInt64);
+    supplier->AddColumn("s_acctbal", TypeId::kDouble);
+    for (int64_t i = 1; i <= cfg.suppliers(); ++i) {
+      supplier->AppendRow({Value::Int(i),
+                           Value::String("Supplier#" + std::to_string(i)),
+                           Value::Int(static_cast<int64_t>(rng.NextBounded(25))),
+                           Value::Double(-999.99 + rng.NextDouble() * 10999.98)});
+    }
+    VDB_RETURN_IF_ERROR(db->RegisterTable("supplier", supplier));
+  }
+
+  // ---- customer --------------------------------------------------------------
+  {
+    auto customer = std::make_shared<Table>();
+    customer->AddColumn("c_custkey", TypeId::kInt64);
+    customer->AddColumn("c_name", TypeId::kString);
+    customer->AddColumn("c_nationkey", TypeId::kInt64);
+    customer->AddColumn("c_mktsegment", TypeId::kString);
+    customer->AddColumn("c_acctbal", TypeId::kDouble);
+    for (int64_t i = 1; i <= cfg.customers(); ++i) {
+      customer->AppendRow(
+          {Value::Int(i), Value::String("Customer#" + std::to_string(i)),
+           Value::Int(static_cast<int64_t>(rng.NextBounded(25))),
+           Value::String(kSegments[rng.NextBounded(5)]),
+           Value::Double(-999.99 + rng.NextDouble() * 10999.98)});
+    }
+    VDB_RETURN_IF_ERROR(db->RegisterTable("customer", customer));
+  }
+
+  // ---- part / partsupp --------------------------------------------------------
+  {
+    auto part = std::make_shared<Table>();
+    part->AddColumn("p_partkey", TypeId::kInt64);
+    part->AddColumn("p_name", TypeId::kString);
+    part->AddColumn("p_brand", TypeId::kString);
+    part->AddColumn("p_type", TypeId::kString);
+    part->AddColumn("p_size", TypeId::kInt64);
+    part->AddColumn("p_retailprice", TypeId::kDouble);
+    for (int64_t i = 1; i <= cfg.parts(); ++i) {
+      std::string brand = "Brand#" + std::to_string(1 + rng.NextBounded(5)) +
+                          std::to_string(1 + rng.NextBounded(5));
+      std::string type = std::string(kTypes[rng.NextBounded(6)]) + " " +
+                         kFinish[rng.NextBounded(5)];
+      part->AppendRow({Value::Int(i),
+                       Value::String("part." + std::to_string(i)),
+                       Value::String(brand), Value::String(type),
+                       Value::Int(static_cast<int64_t>(1 + rng.NextBounded(50))),
+                       Value::Double(900.0 + (i % 1000) + rng.NextDouble())});
+    }
+    VDB_RETURN_IF_ERROR(db->RegisterTable("part", part));
+
+    auto partsupp = std::make_shared<Table>();
+    partsupp->AddColumn("ps_partkey", TypeId::kInt64);
+    partsupp->AddColumn("ps_suppkey", TypeId::kInt64);
+    partsupp->AddColumn("ps_availqty", TypeId::kInt64);
+    partsupp->AddColumn("ps_supplycost", TypeId::kDouble);
+    for (int64_t i = 1; i <= cfg.parts(); ++i) {
+      for (int j = 0; j < 4; ++j) {
+        partsupp->AppendRow(
+            {Value::Int(i),
+             Value::Int(static_cast<int64_t>(1 + rng.NextBounded(
+                            static_cast<uint64_t>(cfg.suppliers())))),
+             Value::Int(static_cast<int64_t>(1 + rng.NextBounded(9999))),
+             Value::Double(1.0 + rng.NextDouble() * 999.0)});
+      }
+    }
+    VDB_RETURN_IF_ERROR(db->RegisterTable("partsupp", partsupp));
+  }
+
+  // ---- orders / lineitem ------------------------------------------------------
+  {
+    auto orders = std::make_shared<Table>();
+    orders->AddColumn("o_orderkey", TypeId::kInt64);
+    orders->AddColumn("o_custkey", TypeId::kInt64);
+    orders->AddColumn("o_orderstatus", TypeId::kString);
+    orders->AddColumn("o_totalprice", TypeId::kDouble);
+    orders->AddColumn("o_orderdate", TypeId::kInt64);
+    orders->AddColumn("o_orderpriority", TypeId::kString);
+
+    auto lineitem = std::make_shared<Table>();
+    lineitem->AddColumn("l_orderkey", TypeId::kInt64);
+    lineitem->AddColumn("l_partkey", TypeId::kInt64);
+    lineitem->AddColumn("l_suppkey", TypeId::kInt64);
+    lineitem->AddColumn("l_linenumber", TypeId::kInt64);
+    lineitem->AddColumn("l_quantity", TypeId::kInt64);
+    lineitem->AddColumn("l_extendedprice", TypeId::kDouble);
+    lineitem->AddColumn("l_discount", TypeId::kDouble);
+    lineitem->AddColumn("l_tax", TypeId::kDouble);
+    lineitem->AddColumn("l_returnflag", TypeId::kString);
+    lineitem->AddColumn("l_linestatus", TypeId::kString);
+    lineitem->AddColumn("l_shipdate", TypeId::kInt64);
+    lineitem->AddColumn("l_receiptdate", TypeId::kInt64);
+    lineitem->AddColumn("l_shipmode", TypeId::kString);
+
+    for (int64_t o = 1; o <= cfg.orders(); ++o) {
+      int64_t odate = RandomDate(&rng);
+      int nlines = static_cast<int>(1 + rng.NextBounded(7));
+      double total = 0.0;
+      for (int ln = 1; ln <= nlines; ++ln) {
+        int64_t qty = static_cast<int64_t>(1 + rng.NextBounded(50));
+        double price = (90000.0 + rng.NextBounded(100000)) / 100.0 *
+                       static_cast<double>(qty) / 10.0;
+        double discount = static_cast<double>(rng.NextBounded(11)) / 100.0;
+        int64_t shipdate = AddDays(odate, 1 + rng.NextBounded(120));
+        lineitem->AppendRow(
+            {Value::Int(o),
+             Value::Int(static_cast<int64_t>(
+                 1 + rng.NextBounded(static_cast<uint64_t>(cfg.parts())))),
+             Value::Int(static_cast<int64_t>(
+                 1 + rng.NextBounded(static_cast<uint64_t>(cfg.suppliers())))),
+             Value::Int(ln), Value::Int(qty), Value::Double(price),
+             Value::Double(discount),
+             Value::Double(static_cast<double>(rng.NextBounded(9)) / 100.0),
+             Value::String(kReturnFlags[rng.NextBounded(3)]),
+             Value::String(shipdate < 19950617 ? "F" : "O"),
+             Value::Int(shipdate),
+             Value::Int(AddDays(shipdate, 1 + rng.NextBounded(30))),
+             Value::String(kShipModes[rng.NextBounded(7)])});
+        total += price * (1.0 - discount);
+      }
+      orders->AppendRow(
+          {Value::Int(o),
+           Value::Int(static_cast<int64_t>(
+               1 + rng.NextBounded(static_cast<uint64_t>(cfg.customers())))),
+           Value::String(odate < 19950617 ? "F" : "O"), Value::Double(total),
+           Value::Int(odate), Value::String(kPriorities[rng.NextBounded(5)])});
+    }
+    VDB_RETURN_IF_ERROR(db->RegisterTable("orders", orders));
+    VDB_RETURN_IF_ERROR(db->RegisterTable("lineitem", lineitem));
+  }
+  return Status::Ok();
+}
+
+}  // namespace vdb::workload

@@ -1,0 +1,36 @@
+// Scaled-down TPC-H-style dataset generator. Schemas follow the benchmark;
+// dates are yyyymmdd integers; row counts scale linearly with `scale`
+// (scale = 1.0 gives 600K lineitem rows, standing in for the paper's 500 GB
+// testbed at laptop scale).
+
+#ifndef VDB_WORKLOAD_TPCH_H_
+#define VDB_WORKLOAD_TPCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+
+namespace vdb::workload {
+
+struct TpchConfig {
+  double scale = 0.25;
+  uint64_t seed = 20180610;  // SIGMOD'18 opening day
+
+  int64_t orders() const { return static_cast<int64_t>(150000 * scale); }
+  int64_t customers() const { return static_cast<int64_t>(15000 * scale); }
+  int64_t parts() const { return static_cast<int64_t>(20000 * scale); }
+  int64_t suppliers() const {
+    return std::max<int64_t>(40, static_cast<int64_t>(1000 * scale));
+  }
+};
+
+/// Creates region, nation, supplier, customer, part, partsupp, orders and
+/// lineitem tables in `db`.
+Status GenerateTpch(engine::Database* db, const TpchConfig& config = {});
+
+}  // namespace vdb::workload
+
+#endif  // VDB_WORKLOAD_TPCH_H_

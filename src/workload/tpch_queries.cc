@@ -1,0 +1,158 @@
+#include "workload/queries.h"
+
+namespace vdb::workload {
+
+std::vector<WorkloadQuery> TpchQueries() {
+  std::vector<WorkloadQuery> qs;
+  auto add = [&](const char* id, const char* sql, bool pass = false) {
+    qs.push_back(WorkloadQuery{id, sql, pass});
+  };
+
+  add("tq-1",
+      "select l_returnflag, l_linestatus, sum(l_quantity) as sum_qty,"
+      " sum(l_extendedprice) as sum_base_price,"
+      " sum(l_extendedprice * (1 - l_discount)) as sum_disc_price,"
+      " avg(l_quantity) as avg_qty, avg(l_extendedprice) as avg_price,"
+      " avg(l_discount) as avg_disc, count(*) as count_order"
+      " from lineitem where l_shipdate <= 19980902"
+      " group by l_returnflag, l_linestatus"
+      " order by l_returnflag, l_linestatus");
+
+  // Grouping by order key: extreme cardinality, AQP infeasible (paper: 1.0x).
+  add("tq-3",
+      "select l_orderkey, sum(l_extendedprice * (1 - l_discount)) as revenue"
+      " from lineitem inner join orders on l_orderkey = o_orderkey"
+      " where o_orderdate < 19950315 group by l_orderkey"
+      " order by revenue desc limit 10",
+      /*pass=*/true);
+
+  add("tq-5",
+      "select n_name, sum(l_extendedprice * (1 - l_discount)) as revenue"
+      " from lineitem"
+      " inner join orders on l_orderkey = o_orderkey"
+      " inner join customer on o_custkey = c_custkey"
+      " inner join nation on c_nationkey = n_nationkey"
+      " where o_orderdate >= 19940101 and o_orderdate < 19950101"
+      " group by n_name order by revenue desc");
+
+  add("tq-6",
+      "select sum(l_extendedprice * l_discount) as revenue from lineitem"
+      " where l_shipdate >= 19940101 and l_shipdate < 19950101"
+      " and l_discount between 0.05 and 0.07 and l_quantity < 24");
+
+  add("tq-7",
+      "select n_name, year(l_shipdate) as l_year,"
+      " sum(l_extendedprice * (1 - l_discount)) as revenue"
+      " from lineitem"
+      " inner join orders on l_orderkey = o_orderkey"
+      " inner join customer on o_custkey = c_custkey"
+      " inner join nation on c_nationkey = n_nationkey"
+      " where l_shipdate >= 19950101 and l_shipdate <= 19961231"
+      " group by n_name, year(l_shipdate)");
+
+  // Grouping by part key: extreme cardinality, AQP infeasible.
+  add("tq-8",
+      "select l_partkey, sum(l_extendedprice * (1 - l_discount)) as revenue"
+      " from lineitem inner join part on l_partkey = p_partkey"
+      " group by l_partkey order by revenue desc limit 10",
+      /*pass=*/true);
+
+  add("tq-9",
+      "select n_name, year(o_orderdate) as o_year,"
+      " sum(l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity)"
+      " as profit"
+      " from lineitem"
+      " inner join orders on l_orderkey = o_orderkey"
+      " inner join partsupp on ps_partkey = l_partkey and"
+      "   ps_suppkey = l_suppkey"
+      " inner join supplier on l_suppkey = s_suppkey"
+      " inner join nation on s_nationkey = n_nationkey"
+      " group by n_name, year(o_orderdate)");
+
+  // Grouping by customer key: extreme cardinality, AQP infeasible.
+  add("tq-10",
+      "select c_custkey, sum(l_extendedprice * (1 - l_discount)) as revenue"
+      " from lineitem"
+      " inner join orders on l_orderkey = o_orderkey"
+      " inner join customer on o_custkey = c_custkey"
+      " where l_returnflag = 'R' group by c_custkey"
+      " order by revenue desc limit 20",
+      /*pass=*/true);
+
+  add("tq-11",
+      "select n_name, sum(ps_supplycost * ps_availqty) as value"
+      " from partsupp"
+      " inner join supplier on ps_suppkey = s_suppkey"
+      " inner join nation on s_nationkey = n_nationkey"
+      " group by n_name order by value desc");
+
+  add("tq-12",
+      "select l_shipmode,"
+      " sum(case when o_orderpriority = '1-URGENT' or"
+      " o_orderpriority = '2-HIGH' then 1 else 0 end) as high_line_count,"
+      " sum(case when o_orderpriority <> '1-URGENT' and"
+      " o_orderpriority <> '2-HIGH' then 1 else 0 end) as low_line_count"
+      " from orders inner join lineitem on o_orderkey = l_orderkey"
+      " where l_receiptdate >= 19940101 and l_receiptdate < 19950101"
+      " group by l_shipmode order by l_shipmode");
+
+  // Nested aggregation (paper §5.2): distribution of orders per customer.
+  add("tq-13",
+      "select c_count, count(*) as custdist from"
+      " (select o_custkey, count(*) as c_count from orders"
+      "  group by o_custkey) as c_orders"
+      " group by c_count order by custdist desc limit 20");
+
+  add("tq-14",
+      "select sum(case when p_type like 'PROMO%' then"
+      " l_extendedprice * (1 - l_discount) else 0.0 end) /"
+      " sum(l_extendedprice * (1 - l_discount)) as promo_revenue"
+      " from lineitem inner join part on l_partkey = p_partkey"
+      " where l_shipdate >= 19950901 and l_shipdate < 19951001");
+
+  // Grouping by supplier key: too few sample tuples per group, infeasible.
+  add("tq-15",
+      "select l_suppkey, sum(l_extendedprice * (1 - l_discount)) as revenue"
+      " from lineitem where l_shipdate >= 19960101 and l_shipdate < 19960401"
+      " group by l_suppkey order by revenue desc limit 10",
+      /*pass=*/true);
+
+  add("tq-16",
+      "select p_brand, p_size, count(distinct ps_suppkey) as supplier_cnt"
+      " from partsupp inner join part on p_partkey = ps_partkey"
+      " where p_brand <> 'Brand#45' group by p_brand, p_size"
+      " order by supplier_cnt desc, p_brand, p_size limit 40");
+
+  // Correlated comparison subquery -> flattened into a join (paper §2.2).
+  add("tq-17",
+      "select sum(l_extendedprice) / 7.0 as avg_yearly"
+      " from lineitem inner join part on p_partkey = l_partkey"
+      " where p_brand = 'Brand#23' and l_quantity <"
+      " (select avg(l_quantity) from lineitem where l_partkey = part.p_partkey)");
+
+  add("tq-18",
+      "select c_mktsegment, avg(o_totalprice) as avg_price,"
+      " count(*) as num_orders"
+      " from orders inner join customer on o_custkey = c_custkey"
+      " where o_totalprice > 30000 group by c_mktsegment"
+      " order by avg_price desc");
+
+  add("tq-19",
+      "select sum(l_extendedprice * (1 - l_discount)) as revenue"
+      " from lineitem inner join part on p_partkey = l_partkey"
+      " where (p_brand = 'Brand#12' and l_quantity between 1 and 11)"
+      " or (p_brand = 'Brand#23' and l_quantity between 10 and 20)"
+      " or (p_brand = 'Brand#34' and l_quantity between 20 and 30)");
+
+  // EXISTS: unsupported by VerdictDB (passes through, as in the paper).
+  add("tq-20",
+      "select count(*) as waiting_suppliers from supplier"
+      " inner join nation on s_nationkey = n_nationkey"
+      " where n_name = 'CANADA' and exists"
+      " (select 1 from region where r_name = 'AMERICA')",
+      /*pass=*/true);
+
+  return qs;
+}
+
+}  // namespace vdb::workload

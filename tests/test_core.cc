@@ -1,0 +1,415 @@
+// End-to-end VerdictDB middleware tests: classification, flattening,
+// planning, rewriting, answer accuracy, HAC, nested queries, joins of
+// samples, and count-distinct.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "core/flattener.h"
+#include "core/query_classifier.h"
+#include "core/verdict_context.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "workload/synthetic.h"
+
+namespace vdb::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Classifier
+// ---------------------------------------------------------------------------
+
+QueryClass Classify(const std::string& sql) {
+  auto sel = sql::ParseSelect(sql);
+  EXPECT_TRUE(sel.ok()) << sql;
+  return ClassifyQuery(*sel.value());
+}
+
+TEST(ClassifierTest, SupportsAggregates) {
+  auto qc = Classify("select city, count(*), sum(x) from t group by city");
+  EXPECT_TRUE(qc.supported);
+  EXPECT_TRUE(qc.has_mean_like);
+  EXPECT_FALSE(qc.has_extreme);
+}
+
+TEST(ClassifierTest, RejectsSelectStar) {
+  EXPECT_FALSE(Classify("select * from t").supported);
+}
+
+TEST(ClassifierTest, RejectsExists) {
+  EXPECT_FALSE(
+      Classify("select count(*) from t where exists (select 1 from s)")
+          .supported);
+}
+
+TEST(ClassifierTest, RejectsPureExtreme) {
+  auto qc = Classify("select min(x), max(x) from t");
+  EXPECT_FALSE(qc.supported);
+  EXPECT_TRUE(qc.has_extreme);
+}
+
+TEST(ClassifierTest, DetectsCountDistinct) {
+  auto qc = Classify("select count(distinct user_id) from t");
+  EXPECT_TRUE(qc.supported);
+  EXPECT_TRUE(qc.has_count_distinct);
+  EXPECT_EQ(qc.count_distinct_column, "user_id");
+}
+
+TEST(ClassifierTest, DetectsNestedAggregate) {
+  auto qc = Classify(
+      "select avg(s) from (select city, sum(price) as s from orders "
+      "group by city) as t");
+  EXPECT_TRUE(qc.supported);
+  EXPECT_TRUE(qc.nested_aggregate);
+}
+
+TEST(ClassifierTest, ExtractsJoinEdges) {
+  auto qc = Classify(
+      "select count(*) from a inner join b on a.k = b.k "
+      "inner join c on b.j = c.j");
+  ASSERT_EQ(qc.relations.size(), 3u);
+  ASSERT_EQ(qc.join_edges.size(), 2u);
+  EXPECT_EQ(qc.join_edges[0].left_alias, "a");
+  EXPECT_EQ(qc.join_edges[0].right_column, "k");
+}
+
+// ---------------------------------------------------------------------------
+// Flattener
+// ---------------------------------------------------------------------------
+
+TEST(FlattenerTest, FlattensCorrelatedComparison) {
+  auto sel = sql::ParseSelect(
+      "select sum(l_extendedprice) as s from lineitem "
+      "inner join part on p_partkey = l_partkey "
+      "where l_quantity < (select avg(l_quantity) from lineitem "
+      "where l_partkey = part.p_partkey)");
+  ASSERT_TRUE(sel.ok());
+  auto n = FlattenComparisonSubqueries(sel.value().get());
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 1);
+  std::string text = sql::PrintSelect(*sel.value());
+  EXPECT_NE(text.find("group by"), std::string::npos);
+  EXPECT_NE(text.find("__vdb_f0"), std::string::npos);
+  EXPECT_EQ(text.find("(select avg"), std::string::npos);
+}
+
+TEST(FlattenerTest, LeavesUncorrelatedAlone) {
+  auto sel = sql::ParseSelect(
+      "select count(*) as c from t where x > (select avg(x) from t)");
+  ASSERT_TRUE(sel.ok());
+  auto n = FlattenComparisonSubqueries(sel.value().get());
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end approximation
+// ---------------------------------------------------------------------------
+
+class VerdictE2E : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        workload::GenerateSynthetic(&db_, "big", 200000, 99).ok());
+    VerdictOptions opts;
+    opts.min_rows_for_sampling = 10000;
+    opts.io_budget = 0.05;
+    ctx_ = std::make_unique<VerdictContext>(&db_,
+                                            driver::EngineKind::kGeneric,
+                                            opts);
+    auto s = ctx_->sample_builder().CreateUniformSample("big", 0.02);
+    ASSERT_TRUE(s.ok()) << s.status().ToString();
+    sample_rows_ = s.value().sample_rows;
+  }
+
+  double Exact(const std::string& sql, int col = 0) {
+    auto rs = db_.Execute(sql);
+    EXPECT_TRUE(rs.ok()) << rs.status().ToString();
+    return rs.value().GetDouble(0, col);
+  }
+
+  engine::Database db_{7777};
+  std::unique_ptr<VerdictContext> ctx_;
+  uint64_t sample_rows_ = 0;
+};
+
+TEST_F(VerdictE2E, SampleSizeNearExpectation) {
+  EXPECT_NEAR(static_cast<double>(sample_rows_), 4000.0, 400.0);
+}
+
+TEST_F(VerdictE2E, ApproximateCount) {
+  VerdictContext::ExecInfo info;
+  auto rs = ctx_->Execute("select count(*) as c from big", &info);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_TRUE(info.approximated) << info.skip_reason;
+  double approx = rs.value().GetDouble(0, 0);
+  EXPECT_NEAR(approx, 200000.0, 200000.0 * 0.05);
+  // Error column present and sane.
+  int err_col = rs.value().ColumnIndex("c_err");
+  ASSERT_GE(err_col, 0);
+  double err = rs.value().GetDouble(0, err_col);
+  EXPECT_GT(err, 0.0);
+  EXPECT_LT(err, 200000.0 * 0.10);
+}
+
+TEST_F(VerdictE2E, ApproximateSumAvgWithFilter) {
+  VerdictContext::ExecInfo info;
+  auto rs = ctx_->Execute(
+      "select sum(value) as s, avg(value) as a from big where u < 0.5",
+      &info);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(info.approximated) << info.skip_reason;
+  double exact_sum =
+      Exact("select sum(value) as s from big where u < 0.5");
+  double exact_avg =
+      Exact("select avg(value) as a from big where u < 0.5");
+  EXPECT_NEAR(rs.value().GetDouble(0, 0), exact_sum,
+              std::abs(exact_sum) * 0.10);
+  EXPECT_NEAR(rs.value().GetDouble(0, 1), exact_avg,
+              std::abs(exact_avg) * 0.10);
+}
+
+TEST_F(VerdictE2E, ApproximateGroupBy) {
+  VerdictContext::ExecInfo info;
+  auto rs = ctx_->Execute(
+      "select g10, count(*) as c, sum(value) as s from big group by g10 "
+      "order by g10",
+      &info);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(info.approximated) << info.skip_reason;
+  ASSERT_EQ(rs.value().NumRows(), 10u);
+  auto exact = db_.Execute(
+      "select g10, count(*) as c, sum(value) as s from big group by g10 "
+      "order by g10");
+  ASSERT_TRUE(exact.ok());
+  for (size_t r = 0; r < 10; ++r) {
+    double ec = exact.value().GetDouble(r, 1);
+    double es = exact.value().GetDouble(r, 2);
+    EXPECT_NEAR(rs.value().GetDouble(r, 1), ec, ec * 0.15) << "group " << r;
+    EXPECT_NEAR(rs.value().GetDouble(r, 2), es, std::abs(es) * 0.15);
+  }
+}
+
+TEST_F(VerdictE2E, ErrorEstimateCoversTruth) {
+  // The reported 95% CI should cover the exact answer in the vast majority
+  // of groups (this is a smoke check, not a calibration study).
+  auto ans = ctx_->ExecuteApprox(
+      "select g10, avg(value) as a from big group by g10 order by g10");
+  ASSERT_TRUE(ans.ok());
+  auto exact = db_.Execute(
+      "select g10, avg(value) as a from big group by g10 order by g10");
+  ASSERT_TRUE(exact.ok());
+  int err_col = ans.value().result.ColumnIndex("a_err");
+  ASSERT_GE(err_col, 0);
+  int covered = 0;
+  for (size_t r = 0; r < 10; ++r) {
+    double point = ans.value().result.GetDouble(r, 1);
+    double half = ans.value().result.GetDouble(r, err_col);
+    double truth = exact.value().GetDouble(r, 1);
+    if (truth >= point - 2 * half && truth <= point + 2 * half) ++covered;
+  }
+  EXPECT_GE(covered, 8);
+}
+
+TEST_F(VerdictE2E, PassthroughOnUnsupported) {
+  VerdictContext::ExecInfo info;
+  auto rs = ctx_->Execute("select min(value) as m from big", &info);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_FALSE(info.approximated);
+  EXPECT_FALSE(info.skip_reason.empty());
+  EXPECT_DOUBLE_EQ(rs.value().GetDouble(0, 0),
+                   Exact("select min(value) as m from big"));
+}
+
+TEST_F(VerdictE2E, DecomposesExtremePlusMeanLike) {
+  VerdictContext::ExecInfo info;
+  auto rs = ctx_->Execute(
+      "select g10, max(value) as mx, avg(value) as a from big group by g10",
+      &info);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_TRUE(info.approximated) << info.skip_reason;
+  ASSERT_EQ(rs.value().NumRows(), 10u);
+  // max column must be exact.
+  auto exact = db_.Execute(
+      "select g10, max(value) as mx from big group by g10");
+  ASSERT_TRUE(exact.ok());
+  std::map<int64_t, double> exact_mx;
+  for (size_t r = 0; r < exact.value().NumRows(); ++r) {
+    exact_mx[exact.value().Get(r, 0).AsInt()] =
+        exact.value().GetDouble(r, 1);
+  }
+  for (size_t r = 0; r < rs.value().NumRows(); ++r) {
+    int64_t g = rs.value().Get(r, 0).AsInt();
+    EXPECT_DOUBLE_EQ(rs.value().GetDouble(r, 1), exact_mx[g]);
+  }
+}
+
+TEST_F(VerdictE2E, HacFallsBackToExact) {
+  ctx_->options().min_accuracy = 0.9999;  // impossible at 2% sampling
+  VerdictContext::ExecInfo info;
+  auto rs = ctx_->Execute("select avg(value) as a from big", &info);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(info.exact_rerun);
+  EXPECT_DOUBLE_EQ(rs.value().GetDouble(0, 0),
+                   Exact("select avg(value) as a from big"));
+  ctx_->options().min_accuracy = 0.0;
+}
+
+TEST_F(VerdictE2E, HighCardinalityGroupingIsRejected) {
+  VerdictContext::ExecInfo info;
+  auto rs = ctx_->Execute(
+      "select id, sum(value) as s from big group by id limit 5", &info);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_FALSE(info.approximated);
+}
+
+TEST_F(VerdictE2E, RewrittenSqlIsExposed) {
+  VerdictContext::ExecInfo info;
+  auto rs = ctx_->Execute("select count(*) as c from big", &info);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_NE(info.rewritten_sql.find("__vdb_sid"), std::string::npos);
+  EXPECT_NE(info.rewritten_sql.find("big_vdb_uniform"), std::string::npos);
+  EXPECT_GT(info.subsamples, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Joins of two samples (universe join) and count-distinct
+// ---------------------------------------------------------------------------
+
+class VerdictJoinE2E : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Fact and dimension-ish tables sharing a join key domain.
+    auto fact = std::make_shared<engine::Table>();
+    fact->AddColumn("k", TypeId::kInt64);
+    fact->AddColumn("v", TypeId::kDouble);
+    auto dim = std::make_shared<engine::Table>();
+    dim->AddColumn("k", TypeId::kInt64);
+    dim->AddColumn("w", TypeId::kDouble);
+    Rng rng(5);
+    const int64_t keys = 30000;
+    for (int64_t i = 0; i < keys; ++i) {
+      dim->AppendRow({Value::Int(i), Value::Double(rng.NextDouble())});
+      int lines = static_cast<int>(1 + rng.NextBounded(4));
+      for (int j = 0; j < lines; ++j) {
+        fact->AppendRow(
+            {Value::Int(i), Value::Double(5.0 + rng.NextDouble() * 10.0)});
+      }
+    }
+    ASSERT_TRUE(db_.RegisterTable("fact", fact).ok());
+    ASSERT_TRUE(db_.RegisterTable("dim", dim).ok());
+
+    VerdictOptions opts;
+    opts.min_rows_for_sampling = 10000;
+    opts.io_budget = 0.20;
+    ctx_ = std::make_unique<VerdictContext>(&db_,
+                                            driver::EngineKind::kGeneric,
+                                            opts);
+    ASSERT_TRUE(
+        ctx_->sample_builder().CreateHashedSample("fact", "k", 0.1).ok());
+    ASSERT_TRUE(
+        ctx_->sample_builder().CreateHashedSample("dim", "k", 0.1).ok());
+  }
+
+  engine::Database db_{1212};
+  std::unique_ptr<VerdictContext> ctx_;
+};
+
+TEST_F(VerdictJoinE2E, UniverseJoinOfTwoSamples) {
+  VerdictContext::ExecInfo info;
+  auto rs = ctx_->Execute(
+      "select sum(f.v * d.w) as s from fact f inner join dim d on f.k = d.k",
+      &info);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_TRUE(info.approximated) << info.skip_reason;
+  auto exact = db_.Execute(
+      "select sum(f.v * d.w) as s from fact f inner join dim d on f.k = d.k");
+  ASSERT_TRUE(exact.ok());
+  double truth = exact.value().GetDouble(0, 0);
+  EXPECT_NEAR(rs.value().GetDouble(0, 0), truth, std::abs(truth) * 0.15);
+  // Both relations must be substituted with samples.
+  EXPECT_NE(info.rewritten_sql.find("fact_vdb_hashed_k"), std::string::npos);
+  EXPECT_NE(info.rewritten_sql.find("dim_vdb_hashed_k"), std::string::npos);
+}
+
+TEST_F(VerdictJoinE2E, CountDistinctOnHashedSample) {
+  VerdictContext::ExecInfo info;
+  auto rs = ctx_->Execute(
+      "select count(distinct k) as d from fact", &info);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_TRUE(info.approximated) << info.skip_reason;
+  EXPECT_NEAR(rs.value().GetDouble(0, 0), 30000.0, 30000.0 * 0.10);
+}
+
+// ---------------------------------------------------------------------------
+// Nested aggregation (§5.2)
+// ---------------------------------------------------------------------------
+
+TEST(VerdictNestedTest, NestedAggregateQuery) {
+  engine::Database db(31);
+  ASSERT_TRUE(workload::GenerateSynthetic(&db, "big", 120000, 3).ok());
+  VerdictOptions opts;
+  opts.min_rows_for_sampling = 10000;
+  opts.io_budget = 0.05;
+  VerdictContext ctx(&db, driver::EngineKind::kGeneric, opts);
+  ASSERT_TRUE(ctx.sample_builder().CreateUniformSample("big", 0.02).ok());
+
+  VerdictContext::ExecInfo info;
+  auto rs = ctx.Execute(
+      "select avg(s) as a from (select g100, sum(value) as s from big "
+      "group by g100) as t",
+      &info);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_TRUE(info.approximated) << info.skip_reason;
+  auto exact = db.Execute(
+      "select avg(s) as a from (select g100, sum(value) as s from big "
+      "group by g100) as t");
+  ASSERT_TRUE(exact.ok());
+  double truth = exact.value().GetDouble(0, 0);
+  EXPECT_NEAR(rs.value().GetDouble(0, 0), truth, std::abs(truth) * 0.15);
+}
+
+// ---------------------------------------------------------------------------
+// Flattened correlated subquery, end to end
+// ---------------------------------------------------------------------------
+
+TEST(VerdictFlattenE2E, CorrelatedComparisonSubquery) {
+  engine::Database db(64);
+  auto t = std::make_shared<engine::Table>();
+  t->AddColumn("grp", TypeId::kInt64);
+  t->AddColumn("x", TypeId::kDouble);
+  Rng rng(11);
+  for (int i = 0; i < 60000; ++i) {
+    t->AppendRow({Value::Int(static_cast<int64_t>(rng.NextBounded(50))),
+                  Value::Double(rng.NextDouble() * 100.0)});
+  }
+  ASSERT_TRUE(db.RegisterTable("measurements", t).ok());
+  VerdictOptions opts;
+  opts.min_rows_for_sampling = 10000;
+  opts.io_budget = 0.10;
+  VerdictContext ctx(&db, driver::EngineKind::kGeneric, opts);
+  ASSERT_TRUE(
+      ctx.sample_builder().CreateUniformSample("measurements", 0.05).ok());
+
+  const char* sql =
+      "select count(*) as c from measurements m"
+      " where m.x > (select avg(x) from measurements where grp = m.grp)";
+  VerdictContext::ExecInfo info;
+  auto rs = ctx.Execute(sql, &info);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_TRUE(info.approximated) << info.skip_reason;
+  // The engine itself cannot evaluate correlated subqueries; the exact
+  // reference uses the manually flattened equivalent.
+  auto exact = db.Execute(
+      "select count(*) as c from measurements m"
+      " inner join (select grp, avg(x) as ax from measurements group by grp)"
+      " as g on g.grp = m.grp where m.x > g.ax");
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  double truth = exact.value().GetDouble(0, 0);
+  EXPECT_NEAR(rs.value().GetDouble(0, 0), truth, truth * 0.15);
+}
+
+}  // namespace
+}  // namespace vdb::core

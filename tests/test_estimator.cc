@@ -1,0 +1,189 @@
+// Error-estimation tests (§4, §6.5, Appendix B): correctness and coverage of
+// bootstrap / consolidated bootstrap / traditional subsampling / variational
+// subsampling / CLT, including the parameterized coverage sweeps the paper's
+// Figure 8 studies.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+
+#include "common/random.h"
+#include "common/stats_math.h"
+#include "estimator/estimators.h"
+#include "workload/synthetic.h"
+
+namespace vdb::est {
+namespace {
+
+std::vector<double> Sample(int64_t n, uint64_t seed) {
+  return workload::SyntheticValues(n, seed);
+}
+
+TEST(CltTest, MatchesClosedForm) {
+  auto xs = Sample(10000, 1);
+  auto e = CltEstimate(xs, 1.0, 0.95);
+  double expect_hw =
+      vdb::NormalCriticalValue(0.95) * vdb::StdDev(xs) / std::sqrt(10000.0);
+  EXPECT_NEAR(e.half_width, expect_hw, 1e-12);
+  EXPECT_DOUBLE_EQ(e.point, vdb::Mean(xs));
+}
+
+TEST(VariationalTest, PointEstimateIsSampleMean) {
+  auto xs = Sample(20000, 2);
+  Rng rng(3);
+  auto e = VariationalSubsampling(xs, 1.0, /*ns=*/0, 0.95, &rng);
+  EXPECT_NEAR(e.point, vdb::Mean(xs), 1e-12);
+  EXPECT_GT(e.half_width, 0.0);
+}
+
+TEST(VariationalTest, HalfWidthTracksClt) {
+  // Theorem 2: the variational interval converges to the true sampling
+  // distribution, which for the mean is the CLT interval.
+  auto xs = Sample(100000, 4);
+  Rng rng(5);
+  auto v = VariationalSubsampling(xs, 1.0, 0, 0.95, &rng);
+  auto c = CltEstimate(xs, 1.0, 0.95);
+  EXPECT_NEAR(v.half_width, c.half_width, c.half_width * 0.35);
+}
+
+TEST(BootstrapTest, HalfWidthTracksClt) {
+  auto xs = Sample(20000, 6);
+  Rng rng(7);
+  auto b = Bootstrap(xs, 1.0, 200, 0.95, &rng);
+  auto c = CltEstimate(xs, 1.0, 0.95);
+  EXPECT_NEAR(b.half_width, c.half_width, c.half_width * 0.25);
+}
+
+TEST(ConsolidatedBootstrapTest, MatchesPlainBootstrap) {
+  auto xs = Sample(5000, 8);
+  Rng r1(9), r2(10);
+  auto plain = Bootstrap(xs, 1.0, 150, 0.95, &r1);
+  auto cons = ConsolidatedBootstrap(xs, 1.0, 150, 0.95, &r2);
+  EXPECT_NEAR(cons.half_width, plain.half_width, plain.half_width * 0.35);
+}
+
+TEST(TraditionalSubsamplingTest, HalfWidthTracksClt) {
+  auto xs = Sample(50000, 11);
+  Rng rng(12);
+  auto t = TraditionalSubsampling(xs, 1.0, 300, /*ns=*/1000, 0.95, &rng);
+  auto c = CltEstimate(xs, 1.0, 0.95);
+  EXPECT_NEAR(t.half_width, c.half_width, c.half_width * 0.35);
+}
+
+TEST(ScalingTest, CountAndSumScale) {
+  // Count of a 30%-selective predicate over a population of 1M, estimated
+  // from a sample of 50K indicator values.
+  Rng data_rng(13);
+  std::vector<double> indicators(50000);
+  for (auto& x : indicators) x = data_rng.NextBernoulli(0.3) ? 1.0 : 0.0;
+  Rng rng(14);
+  auto v = VariationalSubsampling(indicators, 1e6, 0, 0.95, &rng);
+  EXPECT_NEAR(v.point, 0.3e6, 0.3e6 * 0.03);
+  EXPECT_GT(v.half_width, 0.0);
+  EXPECT_LT(v.half_width, 0.3e6 * 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Coverage property: the 95% interval covers the true mean ~95% of the time.
+// Parameterized over estimation methods (property-style sweep).
+// ---------------------------------------------------------------------------
+
+enum class Method { kClt, kBootstrap, kTraditional, kVariational };
+
+class CoverageTest : public ::testing::TestWithParam<Method> {};
+
+TEST_P(CoverageTest, CoversTrueMean) {
+  const double true_mean = 10.0;
+  const int trials = 120;
+  const int64_t n = 4000;
+  int covered = 0;
+  for (int t = 0; t < trials; ++t) {
+    auto xs = Sample(n, 1000 + t);
+    Rng rng(2000 + t);
+    ErrorEstimate e;
+    switch (GetParam()) {
+      case Method::kClt:
+        e = CltEstimate(xs, 1.0, 0.95);
+        break;
+      case Method::kBootstrap:
+        e = Bootstrap(xs, 1.0, 120, 0.95, &rng);
+        break;
+      case Method::kTraditional:
+        e = TraditionalSubsampling(xs, 1.0, 120, 400, 0.95, &rng);
+        break;
+      case Method::kVariational:
+        e = VariationalSubsampling(xs, 1.0, 0, 0.95, &rng);
+        break;
+    }
+    if (true_mean >= e.lo && true_mean <= e.hi) ++covered;
+  }
+  double rate = static_cast<double>(covered) / trials;
+  // Finite-b resampling intervals are a bit loose/tight; accept [0.85, 1.0].
+  EXPECT_GE(rate, 0.85) << "method " << static_cast<int>(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, CoverageTest,
+                         ::testing::Values(Method::kClt, Method::kBootstrap,
+                                           Method::kTraditional,
+                                           Method::kVariational));
+
+// ---------------------------------------------------------------------------
+// Figure 14 property: ns = n^(1/2) is (near-)optimal among exponents.
+// ---------------------------------------------------------------------------
+
+TEST(SubsampleSizeTest, SqrtNIsNearOptimal) {
+  // Uses a skewed, heavy-tailed value distribution (chi-square(1)) so the
+  // finite-ns non-normality penalty of tiny subsamples is visible — for a
+  // Gaussian column the sample mean is exactly normal at any ns and the
+  // small-ns penalty term of Appendix B.3 vanishes.
+  const int64_t n = 100000;
+  auto error_at = [&](double exponent) {
+    double err = 0;
+    const int trials = 30;
+    for (int t = 0; t < trials; ++t) {
+      Rng data(5000 + t);
+      std::vector<double> xs(n);
+      for (auto& x : xs) {
+        double z = data.NextGaussian();
+        x = z * z;  // chi-square(1): mean 1, sd sqrt(2), skew 2.83
+      }
+      double true_hw = vdb::NormalCriticalValue(0.95) * std::sqrt(2.0) /
+                       std::sqrt(static_cast<double>(n));
+      Rng rng(6000 + t);
+      auto e = VariationalSubsampling(
+          xs, 1.0, static_cast<int64_t>(std::pow(n, exponent)), 0.95, &rng);
+      err += std::abs(e.half_width - true_hw) / true_hw;
+    }
+    return err / trials;
+  };
+  double at_half = error_at(0.5);
+  double at_three_quarters = error_at(0.75);
+  // ns beyond sqrt(n) leaves too few subsamples: the quantile estimate of
+  // the deviation distribution degrades (the b^(-1/2) term).
+  EXPECT_LT(at_half, at_three_quarters);
+  // And the default is accurate in absolute terms.
+  EXPECT_LT(at_half, 0.15);
+}
+
+// ---------------------------------------------------------------------------
+// Relative cost sanity (§6.4): variational does O(n) work, bootstrap O(n*b).
+// ---------------------------------------------------------------------------
+
+TEST(CostTest, VariationalIsMuchFasterThanBootstrap) {
+  auto xs = Sample(200000, 21);
+  Rng r1(22), r2(23);
+  auto t0 = std::chrono::steady_clock::now();
+  VariationalSubsampling(xs, 1.0, 0, 0.95, &r1);
+  auto t1 = std::chrono::steady_clock::now();
+  Bootstrap(xs, 1.0, 100, 0.95, &r2);
+  auto t2 = std::chrono::steady_clock::now();
+  double var_us =
+      std::chrono::duration<double, std::micro>(t1 - t0).count();
+  double boot_us =
+      std::chrono::duration<double, std::micro>(t2 - t1).count();
+  EXPECT_LT(var_us * 5.0, boot_us);  // conservatively 5x; typically ~100x
+}
+
+}  // namespace
+}  // namespace vdb::est

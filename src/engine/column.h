@@ -43,6 +43,15 @@ class Column {
   double GetDouble(size_t row) const { return doubles_[row]; }
   const std::string& GetString(size_t row) const { return strings_[row]; }
 
+  /// Raw storage pointers for the vectorized kernels (valid for the matching
+  /// type; NULL slots hold zero/empty placeholders).
+  const int64_t* IntData() const { return ints_.data(); }
+  const double* DoubleData() const { return doubles_.data(); }
+  /// nullptr when the column has no NULL mask (no nulls appended).
+  const uint8_t* NullData() const {
+    return nulls_.empty() ? nullptr : nulls_.data();
+  }
+
   /// Numeric view: int/bool/double as double; NULL yields 0.
   double GetNumeric(size_t row) const;
 
@@ -50,6 +59,21 @@ class Column {
 
   /// Removes all rows, keeping the column type.
   void Clear();
+
+  /// Appends rows [start, start + count) of `src`. Matching types take a
+  /// bulk-copy path; mismatches fall back to the per-value Append semantics.
+  void AppendRange(const Column& src, size_t start, size_t count);
+
+  /// Appends src rows `rows[0..count)` (a selection vector) in order.
+  void AppendSelected(const Column& src, const uint32_t* rows, size_t count);
+
+  /// Adopts prebuilt typed storage (the batch evaluator's output path). The
+  /// vector matching `type` carries the data; `nulls` is either empty (no
+  /// nulls) or one flag per row. Unused vectors must be empty.
+  static Column FromData(TypeId type, std::vector<int64_t> ints,
+                         std::vector<double> doubles,
+                         std::vector<std::string> strings,
+                         std::vector<uint8_t> nulls);
 
  private:
   void PromoteToDouble();

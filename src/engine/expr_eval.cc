@@ -45,25 +45,29 @@ Result<Value> EvalBinary(const Expr& e, const RowCtx& ctx) {
   if (!lv.ok()) return lv.status();
   auto rv = EvalExpr(*e.args[1], ctx);
   if (!rv.ok()) return rv.status();
-  const Value& l = lv.value();
-  const Value& r = rv.value();
+  return ApplyBinaryOp(e.binary_op, lv.value(), rv.value());
+}
+
+}  // namespace
+
+Result<Value> ApplyBinaryOp(BinaryOp op, const Value& l, const Value& r) {
   if (l.is_null() || r.is_null()) return Value::Null();
 
-  switch (e.binary_op) {
+  switch (op) {
     case BinaryOp::kAdd:
     case BinaryOp::kSub:
     case BinaryOp::kMul: {
       bool ints = l.type() == TypeId::kInt64 && r.type() == TypeId::kInt64;
       if (ints) {
         int64_t a = l.AsInt(), b = r.AsInt();
-        switch (e.binary_op) {
+        switch (op) {
           case BinaryOp::kAdd: return Value::Int(a + b);
           case BinaryOp::kSub: return Value::Int(a - b);
           default: return Value::Int(a * b);
         }
       }
       double a = l.AsDouble(), b = r.AsDouble();
-      switch (e.binary_op) {
+      switch (op) {
         case BinaryOp::kAdd: return Value::Double(a + b);
         case BinaryOp::kSub: return Value::Double(a - b);
         default: return Value::Double(a * b);
@@ -92,7 +96,11 @@ Result<Value> EvalBinary(const Expr& e, const RowCtx& ctx) {
   }
 }
 
-}  // namespace
+Value NegateValue(const Value& v) {
+  if (v.is_null()) return Value::Null();
+  if (v.type() == TypeId::kInt64) return Value::Int(-v.AsInt());
+  return Value::Double(-v.AsDouble());
+}
 
 Result<Value> EvalExpr(const Expr& e, const RowCtx& ctx) {
   switch (e.kind) {
@@ -112,11 +120,7 @@ Result<Value> EvalExpr(const Expr& e, const RowCtx& ctx) {
         int t = Tri(v.value());
         return FromTri(t < 0 ? -1 : 1 - t);
       }
-      if (v.value().is_null()) return Value::Null();
-      if (v.value().type() == TypeId::kInt64) {
-        return Value::Int(-v.value().AsInt());
-      }
-      return Value::Double(-v.value().AsDouble());
+      return NegateValue(v.value());
     }
     case ExprKind::kBinary:
       return EvalBinary(e, ctx);

@@ -27,6 +27,15 @@ Result<Value> EvalExpr(const sql::Expr& e, const RowCtx& ctx);
 /// Evaluates a predicate: true only if the value is non-null and true.
 Result<bool> EvalPredicate(const sql::Expr& e, const RowCtx& ctx);
 
+/// Combines two already-evaluated operands of a non-logical binary operator
+/// (arithmetic, comparison, LIKE) with NULL propagation. Shared between the
+/// row interpreter and the batch evaluator's mixed-type lanes so the two
+/// cannot drift.
+Result<Value> ApplyBinaryOp(sql::BinaryOp op, const Value& l, const Value& r);
+
+/// Unary minus with NULL propagation (Int64 stays integral).
+Value NegateValue(const Value& v);
+
 }  // namespace vdb::engine
 
 #endif  // VDB_ENGINE_EXPR_EVAL_H_

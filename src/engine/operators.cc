@@ -3,38 +3,14 @@
 #include <unordered_map>
 
 #include "engine/aggregates.h"
-#include "engine/expr_eval.h"
+#include "engine/vector_eval.h"
 
 namespace vdb::engine {
 
 namespace {
 
-TablePtr CombinedSchema(const Table& left, const Table& right) {
-  auto out = std::make_shared<Table>();
-  for (size_t i = 0; i < left.num_columns(); ++i) {
-    out->AddColumn(left.column_name(i), left.column(i).type());
-  }
-  for (size_t i = 0; i < right.num_columns(); ++i) {
-    out->AddColumn(right.column_name(i), right.column(i).type());
-  }
-  return out;
-}
-
-void AppendCombined(Table* out, const Table& left, size_t lr,
-                    const Table& right, size_t rr) {
-  const size_t ln = left.num_columns();
-  for (size_t c = 0; c < ln; ++c) out->column(c).Append(left.column(c).Get(lr));
-  for (size_t c = 0; c < right.num_columns(); ++c) {
-    out->column(ln + c).Append(right.column(c).Get(rr));
-  }
-}
-
-void AppendLeftNullExtended(Table* out, const Table& left, size_t lr,
-                            size_t right_cols) {
-  const size_t ln = left.num_columns();
-  for (size_t c = 0; c < ln; ++c) out->column(c).Append(left.column(c).Get(lr));
-  for (size_t c = 0; c < right_cols; ++c) out->column(ln + c).AppendNull();
-}
+/// Sentinel in a right-side gather list: emit NULLs (left join extension).
+constexpr uint32_t kNullRow = 0xFFFFFFFFu;
 
 std::string JoinKeyOf(const Table& t, size_t row,
                       const std::vector<int>& keys, bool* has_null) {
@@ -49,6 +25,68 @@ std::string JoinKeyOf(const Table& t, size_t row,
   return key;
 }
 
+/// Materializes the combined (left ++ right) schema for the pairs named by
+/// two parallel gather lists. Right-side entries equal to kNullRow emit
+/// NULLs (left-join null extension); with no sentinels each right column is
+/// a single bulk gather. Also the batch input for residual predicates.
+TablePtr GatherCombined(const Table& left, const SelVector& lrows,
+                        const Table& right, const SelVector& rrows) {
+  auto out = std::make_shared<Table>();
+  for (size_t c = 0; c < left.num_columns(); ++c) {
+    Column col(left.column(c).type());
+    col.AppendSelected(left.column(c), lrows.data(), lrows.size());
+    out->AddColumn(left.column_name(c), std::move(col));
+  }
+  for (size_t c = 0; c < right.num_columns(); ++c) {
+    const Column& src = right.column(c);
+    Column col(src.type());
+    // Bulk-gather maximal sentinel-free segments; per-element work only for
+    // the null extensions themselves.
+    size_t i = 0;
+    const size_t n = rrows.size();
+    while (i < n) {
+      if (rrows[i] == kNullRow) {
+        col.AppendNull();
+        ++i;
+        continue;
+      }
+      size_t j = i;
+      while (j < n && rrows[j] != kNullRow) ++j;
+      col.AppendSelected(src, rrows.data() + i, j - i);
+      i = j;
+    }
+    out->AddColumn(right.column_name(c), std::move(col));
+  }
+  return out;
+}
+
+/// The selection-vector machinery (uint32_t indices, kNullRow sentinel)
+/// addresses strictly fewer than 2^32 - 1 rows per input.
+Status CheckJoinInputSizes(const Table& left, const Table& right) {
+  constexpr size_t kMaxRows = 0xFFFFFFFEu;
+  if (left.num_rows() > kMaxRows || right.num_rows() > kMaxRows) {
+    return Status::Unsupported("join inputs above 2^32 - 2 rows");
+  }
+  return Status::Ok();
+}
+
+/// Evaluates a bound residual predicate over candidate pairs, returning a
+/// pass/fail flag per candidate.
+Result<std::vector<uint8_t>> ResidualMask(const Table& left,
+                                          const SelVector& lrows,
+                                          const Table& right,
+                                          const SelVector& rrows,
+                                          const sql::Expr& residual,
+                                          Rng* rng) {
+  TablePtr scratch = GatherCombined(left, lrows, right, rrows);
+  SelVector surviving;
+  Batch batch{scratch.get(), nullptr, rng};
+  VDB_RETURN_IF_ERROR(EvalPredicateBatch(residual, batch, &surviving));
+  std::vector<uint8_t> pass(lrows.size(), 0);
+  for (uint32_t s : surviving) pass[s] = 1;
+  return pass;
+}
+
 }  // namespace
 
 Result<TablePtr> HashJoin(const Table& left, const Table& right,
@@ -59,6 +97,7 @@ Result<TablePtr> HashJoin(const Table& left, const Table& right,
   if (left_keys.empty() || left_keys.size() != right_keys.size()) {
     return Status::Internal("hash join requires matching key lists");
   }
+  VDB_RETURN_IF_ERROR(CheckJoinInputSizes(left, right));
   // Build on the right input.
   std::unordered_map<std::string, std::vector<uint32_t>> build;
   build.reserve(right.num_rows());
@@ -69,74 +108,176 @@ Result<TablePtr> HashJoin(const Table& left, const Table& right,
     build[key].push_back(static_cast<uint32_t>(r));
   }
 
-  auto out = CombinedSchema(left, right);
-  // Scratch one-row table for residual evaluation.
-  TablePtr scratch = residual ? CombinedSchema(left, right) : nullptr;
+  const bool left_join = join_type == sql::JoinType::kLeft;
+  SelVector out_l, out_r;
+  auto emit_null_ext = [&](uint32_t lr) {
+    out_l.push_back(lr);
+    out_r.push_back(kNullRow);
+  };
 
-  for (size_t lr = 0; lr < left.num_rows(); ++lr) {
-    bool has_null = false;
-    std::string key = JoinKeyOf(left, lr, left_keys, &has_null);
-    bool matched = false;
-    if (!has_null) {
-      auto it = build.find(key);
-      if (it != build.end()) {
-        for (uint32_t rr : it->second) {
-          if (residual) {
-            scratch->ClearRows();
-            AppendCombined(scratch.get(), left, lr, right, rr);
-            // AppendCombined updated columns only; use a direct row context.
-            RowCtx ctx{scratch.get(), 0, rng};
-            auto pass = EvalPredicate(*residual, ctx);
-            if (!pass.ok()) return pass.status();
-            if (!pass.value()) continue;
+  if (residual == nullptr) {
+    // Probe and emit directly, in left-row-major order.
+    for (size_t lr = 0; lr < left.num_rows(); ++lr) {
+      bool has_null = false;
+      std::string key = JoinKeyOf(left, lr, left_keys, &has_null);
+      bool matched = false;
+      if (!has_null) {
+        auto it = build.find(key);
+        if (it != build.end()) {
+          for (uint32_t rr : it->second) {
+            out_l.push_back(static_cast<uint32_t>(lr));
+            out_r.push_back(rr);
           }
-          AppendCombined(out.get(), left, lr, right, rr);
-          matched = true;
+          matched = !it->second.empty();
         }
       }
+      if (!matched && left_join) emit_null_ext(static_cast<uint32_t>(lr));
     }
-    if (!matched && join_type == sql::JoinType::kLeft) {
-      AppendLeftNullExtended(out.get(), left, lr, right.num_columns());
+  } else {
+    // Streaming probe: the residual runs batch-at-a-time over bounded chunks
+    // of candidate pairs, so a hot key with a selective residual never
+    // materializes the full candidate cross product. Chunk entries with
+    // rr == kNullRow mark left rows with no candidates at all (left join).
+    // `open_lr` tracks a left row whose candidates may span chunk
+    // boundaries; it null-extends once all its candidates have failed.
+    constexpr size_t kChunk = 1 << 16;
+    SelVector chunk_l, chunk_r;
+    chunk_l.reserve(kChunk);
+    chunk_r.reserve(kChunk);
+    int64_t open_lr = -1;
+    bool open_matched = false;
+    auto flush = [&]() -> Status {
+      if (chunk_l.empty()) return Status::Ok();
+      SelVector real_l, real_r;
+      real_l.reserve(chunk_l.size());
+      real_r.reserve(chunk_l.size());
+      for (size_t i = 0; i < chunk_l.size(); ++i) {
+        if (chunk_r[i] != kNullRow) {
+          real_l.push_back(chunk_l[i]);
+          real_r.push_back(chunk_r[i]);
+        }
+      }
+      std::vector<uint8_t> pass;
+      if (!real_l.empty()) {
+        auto mask = ResidualMask(left, real_l, right, real_r, *residual, rng);
+        if (!mask.ok()) return mask.status();
+        pass = std::move(mask).ValueOrDie();
+      }
+      size_t ri = 0;
+      for (size_t i = 0; i < chunk_l.size(); ++i) {
+        const uint32_t lr = chunk_l[i];
+        if (open_lr >= 0 && lr != static_cast<uint32_t>(open_lr)) {
+          if (!open_matched && left_join) {
+            emit_null_ext(static_cast<uint32_t>(open_lr));
+          }
+          open_lr = -1;
+        }
+        if (chunk_r[i] == kNullRow) {
+          if (left_join) emit_null_ext(lr);
+        } else {
+          if (open_lr < 0) {
+            open_lr = lr;
+            open_matched = false;
+          }
+          if (pass[ri] != 0) {
+            out_l.push_back(lr);
+            out_r.push_back(chunk_r[i]);
+            open_matched = true;
+          }
+          ++ri;
+        }
+      }
+      chunk_l.clear();
+      chunk_r.clear();
+      return Status::Ok();
+    };
+
+    for (size_t lr = 0; lr < left.num_rows(); ++lr) {
+      bool has_null = false;
+      std::string key = JoinKeyOf(left, lr, left_keys, &has_null);
+      const std::vector<uint32_t>* bucket = nullptr;
+      if (!has_null) {
+        auto it = build.find(key);
+        if (it != build.end() && !it->second.empty()) bucket = &it->second;
+      }
+      if (bucket == nullptr) {
+        if (left_join) {
+          chunk_l.push_back(static_cast<uint32_t>(lr));
+          chunk_r.push_back(kNullRow);
+          if (chunk_l.size() >= kChunk) VDB_RETURN_IF_ERROR(flush());
+        }
+        continue;
+      }
+      for (uint32_t rr : *bucket) {
+        chunk_l.push_back(static_cast<uint32_t>(lr));
+        chunk_r.push_back(rr);
+        if (chunk_l.size() >= kChunk) VDB_RETURN_IF_ERROR(flush());
+      }
+    }
+    VDB_RETURN_IF_ERROR(flush());
+    if (open_lr >= 0 && !open_matched && left_join) {
+      emit_null_ext(static_cast<uint32_t>(open_lr));
     }
   }
-  // Fix the row count: columns were appended directly.
-  // (Re-create the table via AddColumn path to keep num_rows consistent.)
-  auto fixed = std::make_shared<Table>();
-  for (size_t i = 0; i < out->num_columns(); ++i) {
-    fixed->AddColumn(out->column_name(i), std::move(out->column(i)));
-  }
-  return fixed;
+
+  return GatherCombined(left, out_l, right, out_r);
 }
 
 Result<TablePtr> CrossJoin(const Table& left, const Table& right,
                            const sql::Expr* residual, Rng* rng,
                            size_t max_pairs) {
+  VDB_RETURN_IF_ERROR(CheckJoinInputSizes(left, right));
   const size_t pairs = left.num_rows() * right.num_rows();
   if (pairs > max_pairs) {
     return Status::Unsupported(
         "cross join would produce too many candidate pairs: " +
         std::to_string(pairs));
   }
-  auto out = CombinedSchema(left, right);
-  TablePtr scratch = residual ? CombinedSchema(left, right) : nullptr;
+
+  SelVector out_l, out_r;
+  if (residual == nullptr) {
+    out_l.reserve(pairs);
+    out_r.reserve(pairs);
+    for (size_t lr = 0; lr < left.num_rows(); ++lr) {
+      for (size_t rr = 0; rr < right.num_rows(); ++rr) {
+        out_l.push_back(static_cast<uint32_t>(lr));
+        out_r.push_back(static_cast<uint32_t>(rr));
+      }
+    }
+    return GatherCombined(left, out_l, right, out_r);
+  }
+
+  // With a residual: evaluate the predicate batch-at-a-time over bounded
+  // chunks of the pair space, keeping peak memory proportional to the chunk
+  // plus the surviving pairs.
+  constexpr size_t kChunk = 1 << 16;
+  SelVector chunk_l, chunk_r;
+  chunk_l.reserve(kChunk);
+  chunk_r.reserve(kChunk);
+  auto flush = [&]() -> Status {
+    if (chunk_l.empty()) return Status::Ok();
+    auto mask = ResidualMask(left, chunk_l, right, chunk_r, *residual, rng);
+    if (!mask.ok()) return mask.status();
+    const std::vector<uint8_t>& pass = mask.value();
+    for (size_t i = 0; i < chunk_l.size(); ++i) {
+      if (pass[i] != 0) {
+        out_l.push_back(chunk_l[i]);
+        out_r.push_back(chunk_r[i]);
+      }
+    }
+    chunk_l.clear();
+    chunk_r.clear();
+    return Status::Ok();
+  };
   for (size_t lr = 0; lr < left.num_rows(); ++lr) {
     for (size_t rr = 0; rr < right.num_rows(); ++rr) {
-      if (residual) {
-        scratch->ClearRows();
-        AppendCombined(scratch.get(), left, lr, right, rr);
-        RowCtx ctx{scratch.get(), 0, rng};
-        auto pass = EvalPredicate(*residual, ctx);
-        if (!pass.ok()) return pass.status();
-        if (!pass.value()) continue;
-      }
-      AppendCombined(out.get(), left, lr, right, rr);
+      chunk_l.push_back(static_cast<uint32_t>(lr));
+      chunk_r.push_back(static_cast<uint32_t>(rr));
+      if (chunk_l.size() >= kChunk) VDB_RETURN_IF_ERROR(flush());
     }
   }
-  auto fixed = std::make_shared<Table>();
-  for (size_t i = 0; i < out->num_columns(); ++i) {
-    fixed->AddColumn(out->column_name(i), std::move(out->column(i)));
-  }
-  return fixed;
+  VDB_RETURN_IF_ERROR(flush());
+  return GatherCombined(left, out_l, right, out_r);
 }
 
 }  // namespace vdb::engine

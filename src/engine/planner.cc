@@ -11,6 +11,7 @@
 #include "engine/expr_eval.h"
 #include "engine/functions.h"
 #include "engine/operators.h"
+#include "engine/vector_eval.h"
 #include "engine/window.h"
 #include "sql/printer.h"
 
@@ -54,9 +55,7 @@ class SelectExecutor {
       if (p.NumCols() != rs.NumCols()) {
         return Status::InvalidArgument("UNION ALL arity mismatch");
       }
-      for (size_t r = 0; r < p.NumRows(); ++r) {
-        rs.table->AppendRowFrom(*p.table, r);
-      }
+      rs.table->AppendRange(*p.table, 0, p.NumRows());
       next = next->union_next.get();
     }
     return rs;
@@ -174,17 +173,13 @@ class SelectExecutor {
       for (size_t i = 0; i < t.num_columns(); ++i) {
         copy->AddColumn(t.column_name(i), t.column(i));
       }
+      Batch batch{&t, nullptr, &db_->rng()};
       for (size_t k = 0; k < keys.size(); ++k) {
-        Column kc;
-        kc.Reserve(t.num_rows());
-        for (size_t r = 0; r < t.num_rows(); ++r) {
-          RowCtx ctx{&t, r, &db_->rng()};
-          auto v = EvalExpr(*keys[k], ctx);
-          if (!v.ok()) return v.status();
-          kc.Append(v.value());
-        }
+        auto kc = EvalExprBatch(*keys[k], batch);
+        if (!kc.ok()) return kc.status();
         ordinals->push_back(static_cast<int>(copy->num_columns()));
-        copy->AddColumn("__jk" + std::to_string(k), std::move(kc));
+        copy->AddColumn("__jk" + std::to_string(k),
+                        std::move(kc).ValueOrDie());
       }
       *with_keys = std::move(copy);
       return Status::Ok();
@@ -309,18 +304,18 @@ class SelectExecutor {
       VDB_RETURN_IF_ERROR(ResolveSubqueries(o.expr.get()));
     }
 
-    // WHERE
+    // WHERE: batch predicate -> selection vector -> bulk materialization.
     TablePtr current = input.table;
     if (stmt->where) {
       VDB_RETURN_IF_ERROR(BindExpr(stmt->where.get(), input.scope));
-      auto filtered = current->CloneSchema();
-      for (size_t r = 0; r < current->num_rows(); ++r) {
-        RowCtx ctx{current.get(), r, &db_->rng()};
-        auto pass = EvalPredicate(*stmt->where, ctx);
-        if (!pass.ok()) return pass.status();
-        if (pass.value()) filtered->AppendRowFrom(*current, r);
+      SelVector sel;
+      Batch batch{current.get(), nullptr, &db_->rng()};
+      VDB_RETURN_IF_ERROR(EvalPredicateBatch(*stmt->where, batch, &sel));
+      if (sel.size() < current->num_rows()) {
+        auto filtered = current->CloneSchema();
+        filtered->AppendSelected(*current, sel);
+        current = filtered;
       }
-      current = filtered;
     }
 
     bool grouped = !stmt->group_by.empty();
@@ -349,9 +344,7 @@ class SelectExecutor {
     VDB_RETURN_IF_ERROR(ApplyOrderBy(stmt, &out));
     if (stmt->limit >= 0 && out.NumRows() > static_cast<size_t>(stmt->limit)) {
       auto trimmed = out.table->CloneSchema();
-      for (size_t r = 0; r < static_cast<size_t>(stmt->limit); ++r) {
-        trimmed->AppendRowFrom(*out.table, r);
-      }
+      trimmed->AppendRange(*out.table, 0, static_cast<size_t>(stmt->limit));
       out.table = trimmed;
     }
     return out;
@@ -408,21 +401,16 @@ class SelectExecutor {
     for (const auto& oi : outs) {
       rs.names.push_back(oi.name);
     }
-    // Column-copy fast path or per-row evaluation.
+    // Column-copy fast path or batch evaluation.
     for (const auto& oi : outs) {
       if (oi.direct_column >= 0) {
         table->AddColumn(oi.name,
                          work->column(static_cast<size_t>(oi.direct_column)));
       } else {
-        Column col;
-        col.Reserve(work->num_rows());
-        for (size_t r = 0; r < work->num_rows(); ++r) {
-          RowCtx ctx{work.get(), r, &db_->rng()};
-          auto v = EvalExpr(*oi.expr, ctx);
-          if (!v.ok()) return v.status();
-          col.Append(v.value());
-        }
-        table->AddColumn(oi.name, std::move(col));
+        Batch batch{work.get(), nullptr, &db_->rng()};
+        auto col = EvalExprBatch(*oi.expr, batch);
+        if (!col.ok()) return col.status();
+        table->AddColumn(oi.name, std::move(col).ValueOrDie());
       }
     }
     if (table->num_columns() == 0) {
@@ -495,42 +483,65 @@ class SelectExecutor {
       return groups.size() - 1;
     };
 
+    // Batch-evaluate group keys and aggregate arguments once, column-at-a-
+    // time, then assign group ids over the materialized key columns and
+    // accumulate each group through the selection-vector batch interface.
+    Batch batch{current.get(), nullptr, &db_->rng()};
+    std::vector<Column> gcols;
+    gcols.reserve(stmt->group_by.size());
+    for (const auto& g : stmt->group_by) {
+      auto c = EvalExprBatch(*g, batch);
+      if (!c.ok()) return c.status();
+      gcols.push_back(std::move(c).ValueOrDie());
+    }
+    std::vector<Column> acols(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+      if (specs[i].arg == nullptr) continue;
+      auto c = EvalExprBatch(*specs[i].arg, batch);
+      if (!c.ok()) return c.status();
+      acols[i] = std::move(c).ValueOrDie();
+    }
+
+    std::vector<SelVector> group_rows;
     if (stmt->group_by.empty()) {
       auto gid = new_group({});
       if (!gid.ok()) return gid.status();
       group_ids[""] = gid.value();
+      group_rows.emplace_back();
     }
 
     for (size_t r = 0; r < current->num_rows(); ++r) {
-      RowCtx ctx{current.get(), r, &db_->rng()};
       std::string key;
-      std::vector<Value> keyvals;
-      keyvals.reserve(stmt->group_by.size());
-      for (const auto& g : stmt->group_by) {
-        auto v = EvalExpr(*g, ctx);
-        if (!v.ok()) return v.status();
-        key += ValueGroupKey(v.value());
+      for (const auto& gc : gcols) {
+        key += ValueGroupKey(gc.Get(r));
         key.push_back('\x1f');
-        keyvals.push_back(std::move(v).ValueOrDie());
       }
       auto it = group_ids.find(key);
       size_t gid;
       if (it == group_ids.end()) {
+        std::vector<Value> keyvals;
+        keyvals.reserve(gcols.size());
+        for (const auto& gc : gcols) keyvals.push_back(gc.Get(r));
         auto created = new_group(std::move(keyvals));
         if (!created.ok()) return created.status();
         gid = created.value();
         group_ids.emplace(std::move(key), gid);
+        group_rows.emplace_back();
       } else {
         gid = it->second;
       }
+      group_rows[gid].push_back(static_cast<uint32_t>(r));
+    }
+
+    for (size_t g = 0; g < groups.size(); ++g) {
       for (size_t i = 0; i < specs.size(); ++i) {
-        Value arg = Value::Int(1);
         if (specs[i].arg != nullptr) {
-          auto v = EvalExpr(*specs[i].arg, ctx);
-          if (!v.ok()) return v.status();
-          arg = std::move(v).ValueOrDie();
+          groups[g].accs[i]->AddBatch(acols[i], group_rows[g].data(),
+                                      group_rows[g].size());
+        } else {
+          groups[g].accs[i]->AddRepeated(Value::Int(1),
+                                         group_rows[g].size());
         }
-        groups[gid].accs[i]->Add(arg);
       }
     }
 
@@ -572,18 +583,18 @@ class SelectExecutor {
       agg_to_col[text] = static_cast<int>(gk) + idx;
     }
 
-    // HAVING.
+    // HAVING: batch predicate over the aggregate table.
     if (stmt->having) {
       auto bound = RebindPostAgg(*stmt->having, text_to_col, agg_to_col);
       if (!bound.ok()) return bound.status();
-      auto filtered = agg_table->CloneSchema();
-      for (size_t r = 0; r < agg_table->num_rows(); ++r) {
-        RowCtx ctx{agg_table.get(), r, &db_->rng()};
-        auto pass = EvalPredicate(*bound.value(), ctx);
-        if (!pass.ok()) return pass.status();
-        if (pass.value()) filtered->AppendRowFrom(*agg_table, r);
+      SelVector hsel;
+      Batch hbatch{agg_table.get(), nullptr, &db_->rng()};
+      VDB_RETURN_IF_ERROR(EvalPredicateBatch(*bound.value(), hbatch, &hsel));
+      if (hsel.size() < agg_table->num_rows()) {
+        auto filtered = agg_table->CloneSchema();
+        filtered->AppendSelected(*agg_table, hsel);
+        agg_table = filtered;
       }
-      agg_table = filtered;
     }
 
     // Rebind select items; then materialize window columns over agg_table.
@@ -609,16 +620,11 @@ class SelectExecutor {
     }
 
     auto table = std::make_shared<Table>();
+    Batch obatch{agg_table.get(), nullptr, &db_->rng()};
     for (size_t i = 0; i < bound_items.size(); ++i) {
-      Column col;
-      col.Reserve(agg_table->num_rows());
-      for (size_t r = 0; r < agg_table->num_rows(); ++r) {
-        RowCtx ctx{agg_table.get(), r, &db_->rng()};
-        auto v = EvalExpr(*bound_items[i], ctx);
-        if (!v.ok()) return v.status();
-        col.Append(v.value());
-      }
-      table->AddColumn(rs.names[i], std::move(col));
+      auto col = EvalExprBatch(*bound_items[i], obatch);
+      if (!col.ok()) return col.status();
+      table->AddColumn(rs.names[i], std::move(col).ValueOrDie());
     }
     rs.table = table;
     return rs;
@@ -763,7 +769,7 @@ class SelectExecutor {
   // ------------------------------------------------------- distinct/order --
   ResultSet Dedupe(ResultSet rs) {
     std::unordered_set<std::string> seen;
-    auto out = rs.table->CloneSchema();
+    SelVector keep;
     for (size_t r = 0; r < rs.NumRows(); ++r) {
       std::string key;
       for (size_t c = 0; c < rs.NumCols(); ++c) {
@@ -771,9 +777,12 @@ class SelectExecutor {
         key.push_back('\x1f');
       }
       if (seen.insert(std::move(key)).second) {
-        out->AppendRowFrom(*rs.table, r);
+        keep.push_back(static_cast<uint32_t>(r));
       }
     }
+    if (keep.size() == rs.NumRows()) return rs;
+    auto out = rs.table->CloneSchema();
+    out->AppendSelected(*rs.table, keep);
     rs.table = out;
     return rs;
   }
@@ -812,10 +821,10 @@ class SelectExecutor {
       keys.emplace_back(col, o.ascending);
     }
 
-    std::vector<size_t> perm(rs->NumRows());
-    for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+    SelVector perm(rs->NumRows());
+    for (size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<uint32_t>(i);
     const Table& t = *rs->table;
-    std::stable_sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+    std::stable_sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
       for (const auto& [col, asc] : keys) {
         Value va = t.Get(a, static_cast<size_t>(col));
         Value vb = t.Get(b, static_cast<size_t>(col));
@@ -830,7 +839,7 @@ class SelectExecutor {
     });
 
     auto sorted = rs->table->CloneSchema();
-    for (size_t i : perm) sorted->AppendRowFrom(*rs->table, i);
+    sorted->AppendSelected(*rs->table, perm);
     rs->table = sorted;
     return Status::Ok();
   }

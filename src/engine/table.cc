@@ -47,6 +47,20 @@ void Table::AppendRowFrom(const Table& src, size_t src_row) {
   ++num_rows_;
 }
 
+void Table::AppendSelected(const Table& src, const SelVector& sel) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    columns_[i].AppendSelected(src.columns_[i], sel.data(), sel.size());
+  }
+  num_rows_ += sel.size();
+}
+
+void Table::AppendRange(const Table& src, size_t start, size_t count) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    columns_[i].AppendRange(src.columns_[i], start, count);
+  }
+  num_rows_ += count;
+}
+
 size_t Table::ApproxBytes() const {
   size_t bytes = 0;
   for (const auto& c : columns_) {

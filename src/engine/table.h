@@ -12,6 +12,12 @@
 
 namespace vdb::engine {
 
+/// A selection vector: physical row indices (ascending for filters, arbitrary
+/// for gathers) into a table. The vectorized paths support row counts up to
+/// 2^32 - 2 (0xFFFFFFFF is a join null-extension sentinel); joins reject
+/// larger inputs.
+using SelVector = std::vector<uint32_t>;
+
 /// A table: named columns with equal row counts. Column names are stored
 /// lowercase; lookup is case-insensitive.
 class Table {
@@ -38,6 +44,13 @@ class Table {
 
   /// Copies row `src_row` of `src` (same schema arity) into this table.
   void AppendRowFrom(const Table& src, size_t src_row);
+
+  /// Bulk-copies the rows selected by `sel` from `src` (same schema arity),
+  /// in selection order. The vectorized executor's materialization path.
+  void AppendSelected(const Table& src, const SelVector& sel);
+
+  /// Bulk-copies rows [start, start + count) of `src` (same schema arity).
+  void AppendRange(const Table& src, size_t start, size_t count);
 
   Value Get(size_t row, size_t col) const { return columns_[col].Get(row); }
 

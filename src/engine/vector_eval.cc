@@ -1,0 +1,990 @@
+#include "engine/vector_eval.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+#include "engine/expr_eval.h"
+#include "engine/functions.h"
+
+namespace vdb::engine {
+
+using sql::BinaryOp;
+using sql::Expr;
+using sql::ExprKind;
+using sql::UnaryOp;
+
+namespace {
+
+// Tri-state predicate vector: -1 unknown (NULL), 0 false, 1 true.
+using TriVec = std::vector<int8_t>;
+
+/// Intermediate vector: borrows a whole input column (zero-copy column
+/// reference), owns a materialized column, broadcasts a one-row constant, or
+/// — for row-fallback results whose per-row types differ (coalesce/CASE over
+/// heterogeneous branches) — boxes the raw Values so that Value-level
+/// semantics (boolean-ness, string vs numeric comparison) survive until the
+/// output boundary.
+struct Vec {
+  Column owned;
+  const Column* borrowed = nullptr;
+  std::vector<Value> boxed;  // used only when mixed
+  bool mixed = false;
+  bool is_const = false;
+
+  const Column& col() const { return borrowed != nullptr ? *borrowed : owned; }
+  /// Storage type; only meaningful when !mixed (callers branch on mixed
+  /// before dispatching typed lanes).
+  TypeId type() const { return col().type(); }
+  size_t pos(size_t k) const { return is_const ? 0 : k; }
+  bool IsNull(size_t k) const {
+    return mixed ? boxed[pos(k)].is_null() : col().IsNull(pos(k));
+  }
+  Value At(size_t k) const {
+    return mixed ? boxed[pos(k)] : col().Get(pos(k));
+  }
+  double Num(size_t k) const {
+    return mixed ? boxed[pos(k)].AsDouble() : col().GetNumeric(pos(k));
+  }
+  int64_t IntRaw(size_t k) const { return col().GetInt(pos(k)); }
+  /// Value::AsInt semantics over the raw storage (doubles truncate).
+  int64_t AsIntAt(size_t k) const {
+    if (mixed) return boxed[pos(k)].AsInt();
+    const Column& c = col();
+    switch (c.type()) {
+      case TypeId::kBool:
+      case TypeId::kInt64: return c.GetInt(pos(k));
+      case TypeId::kDouble: return static_cast<int64_t>(c.GetDouble(pos(k)));
+      default: return 0;
+    }
+  }
+};
+
+/// Builds a one-row column holding `v` with its exact type (Column::Append
+/// would fold Bool into Int64, losing Value-level semantics).
+Column TypedSingleton(const Value& v) {
+  switch (v.type()) {
+    case TypeId::kNull:
+      return Column::FromData(TypeId::kNull, {}, {}, {}, {1});
+    case TypeId::kBool:
+    case TypeId::kInt64:
+      return Column::FromData(v.type(), {v.AsInt()}, {}, {}, {});
+    case TypeId::kDouble:
+      return Column::FromData(TypeId::kDouble, {}, {v.AsDouble()}, {}, {});
+    case TypeId::kString:
+      return Column::FromData(TypeId::kString, {}, {}, {v.AsString()}, {});
+  }
+  return Column();
+}
+
+Vec ConstVec(const Value& v) {
+  Vec x;
+  x.owned = TypedSingleton(v);
+  x.is_const = true;
+  return x;
+}
+
+/// Wraps per-row evaluation results: a typed column when the non-null value
+/// types are uniform, a boxed mixed vector otherwise.
+Vec VecFromValues(std::vector<Value> vals) {
+  TypeId t = TypeId::kNull;
+  bool uniform = true;
+  for (const Value& v : vals) {
+    if (v.is_null()) continue;
+    if (t == TypeId::kNull) {
+      t = v.type();
+    } else if (v.type() != t) {
+      uniform = false;
+      break;
+    }
+  }
+  Vec out;
+  if (!uniform) {
+    out.mixed = true;
+    out.boxed = std::move(vals);
+    return out;
+  }
+  const size_t n = vals.size();
+  std::vector<uint8_t> nulls;
+  auto mark_null = [&](size_t k) {
+    if (nulls.empty()) nulls.assign(n, 0);
+    nulls[k] = 1;
+  };
+  switch (t) {
+    case TypeId::kNull: {  // every value NULL
+      out.owned =
+          Column::FromData(TypeId::kNull, {}, {}, {},
+                           std::vector<uint8_t>(n, 1));
+      return out;
+    }
+    case TypeId::kBool:
+    case TypeId::kInt64: {
+      std::vector<int64_t> data(n, 0);
+      for (size_t k = 0; k < n; ++k) {
+        if (vals[k].is_null()) mark_null(k);
+        else data[k] = vals[k].AsInt();
+      }
+      out.owned = Column::FromData(t, std::move(data), {}, {},
+                                   std::move(nulls));
+      return out;
+    }
+    case TypeId::kDouble: {
+      std::vector<double> data(n, 0.0);
+      for (size_t k = 0; k < n; ++k) {
+        if (vals[k].is_null()) mark_null(k);
+        else data[k] = vals[k].AsDouble();
+      }
+      out.owned = Column::FromData(TypeId::kDouble, {}, std::move(data), {},
+                                   std::move(nulls));
+      return out;
+    }
+    case TypeId::kString: {
+      std::vector<std::string> data(n);
+      for (size_t k = 0; k < n; ++k) {
+        if (vals[k].is_null()) mark_null(k);
+        else data[k] = vals[k].AsString();
+      }
+      out.owned = Column::FromData(TypeId::kString, {}, {}, std::move(data),
+                                   std::move(nulls));
+      return out;
+    }
+  }
+  out.mixed = true;
+  out.boxed = std::move(vals);
+  return out;
+}
+
+bool IsNumericType(TypeId t) {
+  return t == TypeId::kBool || t == TypeId::kInt64 || t == TypeId::kDouble;
+}
+
+int ThreeWayI(int64_t a, int64_t b) { return a < b ? -1 : (a > b ? 1 : 0); }
+int ThreeWayD(double a, double b) { return a < b ? -1 : (a > b ? 1 : 0); }
+
+bool OpHolds(BinaryOp op, int cmp) {
+  switch (op) {
+    case BinaryOp::kEq: return cmp == 0;
+    case BinaryOp::kNe: return cmp != 0;
+    case BinaryOp::kLt: return cmp < 0;
+    case BinaryOp::kLe: return cmp <= 0;
+    case BinaryOp::kGt: return cmp > 0;
+    case BinaryOp::kGe: return cmp >= 0;
+    default: return false;
+  }
+}
+
+// ---- Raw numeric operand views --------------------------------------------
+// Resolving a Vec to a contiguous array (converting Int64/Bool storage to
+// doubles once when a double lane needs it) hoists every per-element branch
+// out of the kernels below, which then auto-vectorize.
+
+struct NumView {
+  const double* data = nullptr;
+  std::vector<double> storage;  // owns converted data when needed
+  double cval = 0.0;
+  const uint8_t* nulls = nullptr;
+  bool is_const = false;
+  bool const_null = false;
+};
+
+NumView ResolveNum(const Vec& v, size_t n) {
+  NumView o;
+  if (v.is_const) {
+    o.is_const = true;
+    o.const_null = v.IsNull(0);
+    if (!o.const_null) o.cval = v.Num(0);
+    return o;
+  }
+  const Column& c = v.col();
+  o.nulls = c.NullData();
+  if (c.type() == TypeId::kDouble) {
+    o.data = c.DoubleData();
+  } else {  // kInt64 / kBool
+    const int64_t* p = c.IntData();
+    o.storage.resize(n);
+    for (size_t k = 0; k < n; ++k) o.storage[k] = static_cast<double>(p[k]);
+    o.data = o.storage.data();
+  }
+  return o;
+}
+
+struct IntView {
+  const int64_t* data = nullptr;
+  int64_t cval = 0;
+  const uint8_t* nulls = nullptr;
+  bool is_const = false;
+  bool const_null = false;
+};
+
+IntView ResolveInt(const Vec& v) {
+  IntView o;
+  if (v.is_const) {
+    o.is_const = true;
+    o.const_null = v.IsNull(0);
+    if (!o.const_null) o.cval = v.IntRaw(0);
+    return o;
+  }
+  o.data = v.col().IntData();
+  o.nulls = v.col().NullData();
+  return o;
+}
+
+/// Comparison inner loop, specialized on operand shapes (vector/constant)
+/// and the presence of null masks.
+template <typename T, typename View, typename Cmp>
+void CmpKernel(int8_t* t, size_t n, const View& a, const View& b, Cmp cmp) {
+  const uint8_t* an = a.nulls;
+  const uint8_t* bn = b.nulls;
+  auto run = [&](auto ga, auto gb) {
+    if (an == nullptr && bn == nullptr) {
+      for (size_t k = 0; k < n; ++k) t[k] = cmp(ga(k), gb(k)) ? 1 : 0;
+    } else {
+      for (size_t k = 0; k < n; ++k) {
+        t[k] = ((an != nullptr && an[k] != 0) || (bn != nullptr && bn[k] != 0))
+                   ? -1
+                   : (cmp(ga(k), gb(k)) ? 1 : 0);
+      }
+    }
+  };
+  const T ac = static_cast<T>(a.cval), bc = static_cast<T>(b.cval);
+  if (a.is_const && b.is_const) {
+    run([&](size_t) { return ac; }, [&](size_t) { return bc; });
+  } else if (a.is_const) {
+    run([&](size_t) { return ac; }, [&](size_t k) { return b.data[k]; });
+  } else if (b.is_const) {
+    run([&](size_t k) { return a.data[k]; }, [&](size_t) { return bc; });
+  } else {
+    run([&](size_t k) { return a.data[k]; }, [&](size_t k) { return b.data[k]; });
+  }
+}
+
+template <typename T, typename View>
+void CmpOpDispatch(BinaryOp op, int8_t* t, size_t n, const View& a,
+                   const View& b) {
+  switch (op) {
+    case BinaryOp::kEq:
+      CmpKernel<T>(t, n, a, b, [](T x, T y) { return x == y; });
+      break;
+    case BinaryOp::kNe:
+      CmpKernel<T>(t, n, a, b, [](T x, T y) { return x != y; });
+      break;
+    case BinaryOp::kLt:
+      CmpKernel<T>(t, n, a, b, [](T x, T y) { return x < y; });
+      break;
+    case BinaryOp::kLe:
+      CmpKernel<T>(t, n, a, b, [](T x, T y) { return x <= y; });
+      break;
+    case BinaryOp::kGt:
+      CmpKernel<T>(t, n, a, b, [](T x, T y) { return x > y; });
+      break;
+    case BinaryOp::kGe:
+      CmpKernel<T>(t, n, a, b, [](T x, T y) { return x >= y; });
+      break;
+    default:
+      break;
+  }
+}
+
+/// Arithmetic inner loop (add/sub/mul); null propagation via mask merge.
+template <typename T, typename View, typename F>
+void ArithKernel(T* out, uint8_t* nulls, size_t n, const View& a,
+                 const View& b, F f) {
+  const uint8_t* an = a.nulls;
+  const uint8_t* bn = b.nulls;
+  auto run = [&](auto ga, auto gb) {
+    if (nulls == nullptr) {
+      for (size_t k = 0; k < n; ++k) out[k] = f(ga(k), gb(k));
+    } else {
+      for (size_t k = 0; k < n; ++k) {
+        if ((an != nullptr && an[k] != 0) || (bn != nullptr && bn[k] != 0)) {
+          nulls[k] = 1;
+        } else {
+          out[k] = f(ga(k), gb(k));
+        }
+      }
+    }
+  };
+  const T ac = static_cast<T>(a.cval), bc = static_cast<T>(b.cval);
+  if (a.is_const && b.is_const) {
+    run([&](size_t) { return ac; }, [&](size_t) { return bc; });
+  } else if (a.is_const) {
+    run([&](size_t) { return ac; }, [&](size_t k) { return b.data[k]; });
+  } else if (b.is_const) {
+    run([&](size_t k) { return a.data[k]; }, [&](size_t) { return bc; });
+  } else {
+    run([&](size_t k) { return a.data[k]; }, [&](size_t k) { return b.data[k]; });
+  }
+}
+
+/// Value::Compare over raw storage; both sides must be non-null at k.
+int CmpAt(const Vec& l, const Vec& r, size_t k) {
+  if (l.mixed || r.mixed) return l.At(k).Compare(r.At(k));
+  const TypeId lt = l.type(), rt = r.type();
+  if (lt == TypeId::kInt64 && rt == TypeId::kInt64) {
+    return ThreeWayI(l.IntRaw(k), r.IntRaw(k));
+  }
+  if (IsNumericType(lt) && IsNumericType(rt)) {
+    return ThreeWayD(l.Num(k), r.Num(k));
+  }
+  if (lt == TypeId::kString && rt == TypeId::kString) {
+    const std::string& a = l.col().GetString(l.pos(k));
+    const std::string& b = r.col().GetString(r.pos(k));
+    return a.compare(b);
+  }
+  return l.At(k).Compare(r.At(k));
+}
+
+Result<Vec> EvalVec(const Expr& e, const Batch& b);
+Result<TriVec> EvalTri(const Expr& e, const Batch& b);
+
+/// Converts a materialized vector into tri-state booleans with Value::AsBool
+/// semantics (only Bool/Int64 storage can be true; doubles/strings are
+/// false because Value keeps them out of the integer slot).
+TriVec VecToTri(const Vec& v, size_t n) {
+  TriVec t(n);
+  if (v.mixed) {
+    for (size_t k = 0; k < n; ++k) {
+      const Value val = v.At(k);
+      t[k] = val.is_null() ? -1 : (val.AsBool() ? 1 : 0);
+    }
+    return t;
+  }
+  switch (v.type()) {
+    case TypeId::kNull:
+      std::fill(t.begin(), t.end(), static_cast<int8_t>(-1));
+      break;
+    case TypeId::kBool:
+    case TypeId::kInt64:
+      for (size_t k = 0; k < n; ++k) {
+        t[k] = v.IsNull(k) ? -1 : (v.IntRaw(k) != 0 ? 1 : 0);
+      }
+      break;
+    case TypeId::kDouble:
+    case TypeId::kString:
+      for (size_t k = 0; k < n; ++k) t[k] = v.IsNull(k) ? -1 : 0;
+      break;
+  }
+  return t;
+}
+
+/// Materializes tri-state booleans as a nullable Bool column vector.
+Vec TriToVec(const TriVec& t) {
+  const size_t n = t.size();
+  std::vector<int64_t> ints(n);
+  std::vector<uint8_t> nulls;
+  for (size_t k = 0; k < n; ++k) {
+    if (t[k] < 0) {
+      if (nulls.empty()) nulls.assign(n, 0);
+      nulls[k] = 1;
+      ints[k] = 0;
+    } else {
+      ints[k] = t[k];
+    }
+  }
+  Vec v;
+  v.owned = Column::FromData(TypeId::kBool, std::move(ints), {}, {},
+                             std::move(nulls));
+  return v;
+}
+
+/// Comparison kernels (kEq..kGe): type-specialized lanes, NULL -> unknown.
+TriVec CompareVecs(BinaryOp op, const Vec& l, const Vec& r, size_t n) {
+  TriVec t(n);
+  if (l.mixed || r.mixed) {
+    for (size_t k = 0; k < n; ++k) {
+      t[k] = (l.IsNull(k) || r.IsNull(k))
+                 ? -1
+                 : (OpHolds(op, l.At(k).Compare(r.At(k))) ? 1 : 0);
+    }
+    return t;
+  }
+  const TypeId lt = l.type(), rt = r.type();
+  if (lt == TypeId::kNull || rt == TypeId::kNull) {
+    std::fill(t.begin(), t.end(), static_cast<int8_t>(-1));
+    return t;
+  }
+  if (lt == TypeId::kInt64 && rt == TypeId::kInt64) {
+    IntView a = ResolveInt(l), bview = ResolveInt(r);
+    if (a.const_null || bview.const_null) {
+      std::fill(t.begin(), t.end(), static_cast<int8_t>(-1));
+      return t;
+    }
+    CmpOpDispatch<int64_t>(op, t.data(), n, a, bview);
+    return t;
+  }
+  if (IsNumericType(lt) && IsNumericType(rt)) {
+    NumView a = ResolveNum(l, n), bview = ResolveNum(r, n);
+    if (a.const_null || bview.const_null) {
+      std::fill(t.begin(), t.end(), static_cast<int8_t>(-1));
+      return t;
+    }
+    CmpOpDispatch<double>(op, t.data(), n, a, bview);
+    return t;
+  }
+  if (lt == TypeId::kString && rt == TypeId::kString) {
+    for (size_t k = 0; k < n; ++k) {
+      t[k] = (l.IsNull(k) || r.IsNull(k))
+                 ? -1
+                 : (OpHolds(op, l.col().GetString(l.pos(k)).compare(
+                                    r.col().GetString(r.pos(k))))
+                        ? 1
+                        : 0);
+    }
+    return t;
+  }
+  // Mixed string/numeric: rare; box per element (type-ordered compare).
+  for (size_t k = 0; k < n; ++k) {
+    t[k] = (l.IsNull(k) || r.IsNull(k))
+               ? -1
+               : (OpHolds(op, l.At(k).Compare(r.At(k))) ? 1 : 0);
+  }
+  return t;
+}
+
+TriVec LikeVecs(const Vec& l, const Vec& r, size_t n) {
+  TriVec t(n);
+  // The pattern is almost always a literal: render it once.
+  std::string const_pattern;
+  const bool pattern_const = r.is_const && !r.IsNull(0);
+  if (pattern_const) const_pattern = r.At(0).ToString();
+  for (size_t k = 0; k < n; ++k) {
+    if (l.IsNull(k) || r.IsNull(k)) {
+      t[k] = -1;
+      continue;
+    }
+    const std::string text = l.type() == TypeId::kString
+                                 ? l.col().GetString(l.pos(k))
+                                 : l.At(k).ToString();
+    t[k] = LikeMatch(text, pattern_const ? const_pattern : r.At(k).ToString())
+               ? 1
+               : 0;
+  }
+  return t;
+}
+
+/// Row-interpreter fallback for node types without a batch kernel (rand(),
+/// scalar functions, mixed-type CASE): evaluates the subtree per selected
+/// row in batch order, so rand() draw order matches the row executor.
+Result<Vec> RowFallback(const Expr& e, const Batch& b) {
+  const size_t n = b.size();
+  std::vector<Value> vals;
+  vals.reserve(n);
+  for (size_t k = 0; k < n; ++k) {
+    RowCtx ctx{b.table, b.RowAt(k), b.rng};
+    auto r = EvalExpr(e, ctx);
+    if (!r.ok()) return r.status();
+    vals.push_back(std::move(r).ValueOrDie());
+  }
+  return VecFromValues(std::move(vals));
+}
+
+Result<Vec> ColumnRefVec(const Expr& e, const Batch& b) {
+  if (e.bound_column < 0) {
+    return Status::Internal("unbound column reference: " + e.name);
+  }
+  const Column& src = b.table->column(static_cast<size_t>(e.bound_column));
+  Vec v;
+  if (b.sel == nullptr) {
+    v.borrowed = &src;
+  } else {
+    v.owned.AppendSelected(src, b.sel->data(), b.sel->size());
+  }
+  return v;
+}
+
+Result<Vec> EvalArith(const Expr& e, const Batch& b) {
+  auto lv = EvalVec(*e.args[0], b);
+  if (!lv.ok()) return lv.status();
+  auto rv = EvalVec(*e.args[1], b);
+  if (!rv.ok()) return rv.status();
+  const Vec& l = lv.value();
+  const Vec& r = rv.value();
+  const size_t n = b.size();
+  if (l.mixed || r.mixed) {
+    // Per-row types differ: combine through the shared Value-level kernel.
+    std::vector<Value> vals;
+    vals.reserve(n);
+    for (size_t k = 0; k < n; ++k) {
+      auto v = ApplyBinaryOp(e.binary_op, l.At(k), r.At(k));
+      if (!v.ok()) return v.status();
+      vals.push_back(std::move(v).ValueOrDie());
+    }
+    return VecFromValues(std::move(vals));
+  }
+  if (l.type() == TypeId::kNull || r.type() == TypeId::kNull) {
+    return ConstVec(Value::Null());
+  }
+
+  std::vector<uint8_t> nulls;
+  auto set_null = [&](size_t k) {
+    if (nulls.empty()) nulls.assign(n, 0);
+    nulls[k] = 1;
+  };
+
+  const bool numeric =
+      IsNumericType(l.type()) && IsNumericType(r.type());
+  switch (e.binary_op) {
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul: {
+      const BinaryOp op = e.binary_op;
+      if (l.type() == TypeId::kInt64 && r.type() == TypeId::kInt64) {
+        IntView a = ResolveInt(l), c = ResolveInt(r);
+        std::vector<int64_t> out(n, 0);
+        if (a.nulls != nullptr || c.nulls != nullptr) nulls.assign(n, 0);
+        uint8_t* np = nulls.empty() ? nullptr : nulls.data();
+        if (op == BinaryOp::kAdd) {
+          ArithKernel<int64_t>(out.data(), np, n, a, c,
+                               [](int64_t x, int64_t y) { return x + y; });
+        } else if (op == BinaryOp::kSub) {
+          ArithKernel<int64_t>(out.data(), np, n, a, c,
+                               [](int64_t x, int64_t y) { return x - y; });
+        } else {
+          ArithKernel<int64_t>(out.data(), np, n, a, c,
+                               [](int64_t x, int64_t y) { return x * y; });
+        }
+        Vec v;
+        v.owned = Column::FromData(TypeId::kInt64, std::move(out), {}, {},
+                                   std::move(nulls));
+        return v;
+      }
+      if (numeric) {
+        NumView a = ResolveNum(l, n), c = ResolveNum(r, n);
+        std::vector<double> out(n, 0.0);
+        if (a.nulls != nullptr || c.nulls != nullptr) nulls.assign(n, 0);
+        uint8_t* np = nulls.empty() ? nullptr : nulls.data();
+        if (op == BinaryOp::kAdd) {
+          ArithKernel<double>(out.data(), np, n, a, c,
+                              [](double x, double y) { return x + y; });
+        } else if (op == BinaryOp::kSub) {
+          ArithKernel<double>(out.data(), np, n, a, c,
+                              [](double x, double y) { return x - y; });
+        } else {
+          ArithKernel<double>(out.data(), np, n, a, c,
+                              [](double x, double y) { return x * y; });
+        }
+        Vec v;
+        v.owned = Column::FromData(TypeId::kDouble, {}, std::move(out), {},
+                                   std::move(nulls));
+        return v;
+      }
+      // String operands read 0 through Num, like Value::AsDouble.
+      std::vector<double> out(n);
+      for (size_t k = 0; k < n; ++k) {
+        if (l.IsNull(k) || r.IsNull(k)) {
+          set_null(k);
+          continue;
+        }
+        const double a = l.Num(k), c = r.Num(k);
+        out[k] = e.binary_op == BinaryOp::kAdd
+                     ? a + c
+                     : (e.binary_op == BinaryOp::kSub ? a - c : a * c);
+      }
+      Vec v;
+      v.owned = Column::FromData(TypeId::kDouble, {}, std::move(out), {},
+                                 std::move(nulls));
+      return v;
+    }
+    case BinaryOp::kDiv: {
+      std::vector<double> out(n, 0.0);
+      if (numeric) {
+        NumView a = ResolveNum(l, n), c = ResolveNum(r, n);
+        const uint8_t* an = a.nulls;
+        const uint8_t* cn = c.nulls;
+        auto run = [&](auto ga, auto gb) {
+          for (size_t k = 0; k < n; ++k) {
+            const double y = gb(k);
+            if ((an != nullptr && an[k] != 0) ||
+                (cn != nullptr && cn[k] != 0) || y == 0.0) {
+              set_null(k);
+            } else {
+              out[k] = ga(k) / y;
+            }
+          }
+        };
+        if (a.is_const && c.is_const) {
+          run([&](size_t) { return a.cval; }, [&](size_t) { return c.cval; });
+        } else if (a.is_const) {
+          run([&](size_t) { return a.cval; },
+              [&](size_t k) { return c.data[k]; });
+        } else if (c.is_const) {
+          run([&](size_t k) { return a.data[k]; },
+              [&](size_t) { return c.cval; });
+        } else {
+          run([&](size_t k) { return a.data[k]; },
+              [&](size_t k) { return c.data[k]; });
+        }
+        Vec v;
+        v.owned = Column::FromData(TypeId::kDouble, {}, std::move(out), {},
+                                   std::move(nulls));
+        return v;
+      }
+      for (size_t k = 0; k < n; ++k) {
+        const double c = r.Num(k);
+        if (l.IsNull(k) || r.IsNull(k) || c == 0.0) {
+          set_null(k);
+          continue;
+        }
+        out[k] = l.Num(k) / c;
+      }
+      Vec v;
+      v.owned = Column::FromData(TypeId::kDouble, {}, std::move(out), {},
+                                 std::move(nulls));
+      return v;
+    }
+    case BinaryOp::kMod: {
+      std::vector<int64_t> out(n);
+      for (size_t k = 0; k < n; ++k) {
+        const int64_t c = r.AsIntAt(k);
+        if (l.IsNull(k) || r.IsNull(k) || c == 0) {
+          set_null(k);
+          continue;
+        }
+        out[k] = l.AsIntAt(k) % c;
+      }
+      Vec v;
+      v.owned = Column::FromData(TypeId::kInt64, std::move(out), {}, {},
+                                 std::move(nulls));
+      return v;
+    }
+    default:
+      return Status::Internal("unhandled binary op");
+  }
+}
+
+Result<Vec> EvalCase(const Expr& e, const Batch& b) {
+  const size_t n = b.size();
+  std::vector<TriVec> whens;
+  whens.reserve(e.case_whens.size());
+  for (const auto& w : e.case_whens) {
+    auto t = EvalTri(*w, b);
+    if (!t.ok()) return t.status();
+    whens.push_back(std::move(t).ValueOrDie());
+  }
+  std::vector<Vec> thens;
+  thens.reserve(e.case_thens.size());
+  for (const auto& th : e.case_thens) {
+    auto v = EvalVec(*th, b);
+    if (!v.ok()) return v.status();
+    thens.push_back(std::move(v).ValueOrDie());
+  }
+  Vec else_vec = ConstVec(Value::Null());
+  if (e.case_else) {
+    auto v = EvalVec(*e.case_else, b);
+    if (!v.ok()) return v.status();
+    else_vec = std::move(v).ValueOrDie();
+  }
+  // Pick each row's source branch; VecFromValues keeps a typed column when
+  // the branches agree and boxes the raw Values when they don't.
+  std::vector<Value> vals;
+  vals.reserve(n);
+  for (size_t k = 0; k < n; ++k) {
+    const Vec* src = &else_vec;
+    for (size_t i = 0; i < whens.size(); ++i) {
+      if (whens[i][k] == 1) {
+        src = &thens[i];
+        break;
+      }
+    }
+    vals.push_back(src->At(k));
+  }
+  return VecFromValues(std::move(vals));
+}
+
+Result<TriVec> EvalTri(const Expr& e, const Batch& b) {
+  const size_t n = b.size();
+  switch (e.kind) {
+    case ExprKind::kBinary: {
+      if (e.binary_op == BinaryOp::kAnd || e.binary_op == BinaryOp::kOr) {
+        // Kleene logic over full child masks. Unlike the row interpreter the
+        // batch path evaluates both children for every row; data-dependent
+        // NULLs (div-by-zero etc.) are values, not errors, so results agree.
+        auto lt = EvalTri(*e.args[0], b);
+        if (!lt.ok()) return lt.status();
+        auto rt = EvalTri(*e.args[1], b);
+        if (!rt.ok()) return rt.status();
+        TriVec& l = lt.value();
+        const TriVec& r = rt.value();
+        if (e.binary_op == BinaryOp::kAnd) {
+          for (size_t k = 0; k < n; ++k) {
+            l[k] = (l[k] == 0 || r[k] == 0) ? 0
+                   : (l[k] == 1 && r[k] == 1) ? 1
+                                              : -1;
+          }
+        } else {
+          for (size_t k = 0; k < n; ++k) {
+            l[k] = (l[k] == 1 || r[k] == 1) ? 1
+                   : (l[k] == 0 && r[k] == 0) ? 0
+                                              : -1;
+          }
+        }
+        return std::move(l);
+      }
+      if (e.binary_op == BinaryOp::kLike) {
+        auto lv = EvalVec(*e.args[0], b);
+        if (!lv.ok()) return lv.status();
+        auto rv = EvalVec(*e.args[1], b);
+        if (!rv.ok()) return rv.status();
+        return LikeVecs(lv.value(), rv.value(), n);
+      }
+      if (e.binary_op == BinaryOp::kEq || e.binary_op == BinaryOp::kNe ||
+          e.binary_op == BinaryOp::kLt || e.binary_op == BinaryOp::kLe ||
+          e.binary_op == BinaryOp::kGt || e.binary_op == BinaryOp::kGe) {
+        auto lv = EvalVec(*e.args[0], b);
+        if (!lv.ok()) return lv.status();
+        auto rv = EvalVec(*e.args[1], b);
+        if (!rv.ok()) return rv.status();
+        return CompareVecs(e.binary_op, lv.value(), rv.value(), n);
+      }
+      break;  // arithmetic: generic path below
+    }
+    case ExprKind::kUnary: {
+      if (e.unary_op == UnaryOp::kNot) {
+        auto t = EvalTri(*e.args[0], b);
+        if (!t.ok()) return t.status();
+        TriVec& v = t.value();
+        for (size_t k = 0; k < n; ++k) {
+          if (v[k] >= 0) v[k] = static_cast<int8_t>(1 - v[k]);
+        }
+        return std::move(v);
+      }
+      break;
+    }
+    case ExprKind::kIsNull: {
+      auto v = EvalVec(*e.args[0], b);
+      if (!v.ok()) return v.status();
+      TriVec t(n);
+      for (size_t k = 0; k < n; ++k) {
+        const bool isnull = v.value().IsNull(k);
+        t[k] = (e.negated ? !isnull : isnull) ? 1 : 0;
+      }
+      return t;
+    }
+    case ExprKind::kBetween: {
+      auto xv = EvalVec(*e.args[0], b);
+      if (!xv.ok()) return xv.status();
+      auto lov = EvalVec(*e.args[1], b);
+      if (!lov.ok()) return lov.status();
+      auto hiv = EvalVec(*e.args[2], b);
+      if (!hiv.ok()) return hiv.status();
+      const Vec& x = xv.value();
+      const Vec& lo = lov.value();
+      const Vec& hi = hiv.value();
+      TriVec t(n);
+      for (size_t k = 0; k < n; ++k) {
+        if (x.IsNull(k) || lo.IsNull(k) || hi.IsNull(k)) {
+          t[k] = -1;
+          continue;
+        }
+        const bool in = CmpAt(x, lo, k) >= 0 && CmpAt(x, hi, k) <= 0;
+        t[k] = (e.negated ? !in : in) ? 1 : 0;
+      }
+      return t;
+    }
+    case ExprKind::kInList: {
+      auto xv = EvalVec(*e.args[0], b);
+      if (!xv.ok()) return xv.status();
+      std::vector<Vec> items;
+      items.reserve(e.args.size() - 1);
+      for (size_t i = 1; i < e.args.size(); ++i) {
+        auto iv = EvalVec(*e.args[i], b);
+        if (!iv.ok()) return iv.status();
+        items.push_back(std::move(iv).ValueOrDie());
+      }
+      const Vec& x = xv.value();
+      TriVec t(n);
+      for (size_t k = 0; k < n; ++k) {
+        if (x.IsNull(k)) {
+          t[k] = -1;
+          continue;
+        }
+        bool hit = false, any_null = false;
+        for (const Vec& item : items) {
+          if (item.IsNull(k)) {
+            any_null = true;
+            continue;
+          }
+          if (CmpAt(x, item, k) == 0) {
+            hit = true;
+            break;
+          }
+        }
+        t[k] = hit ? (e.negated ? 0 : 1) : (any_null ? -1 : (e.negated ? 1 : 0));
+      }
+      return t;
+    }
+    default:
+      break;
+  }
+  auto v = EvalVec(e, b);
+  if (!v.ok()) return v.status();
+  return VecToTri(v.value(), n);
+}
+
+Result<Vec> EvalVec(const Expr& e, const Batch& b) {
+  const size_t n = b.size();
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return ConstVec(e.literal);
+    case ExprKind::kColumnRef:
+      return ColumnRefVec(e, b);
+    case ExprKind::kStar:
+      return Status::Internal("'*' outside count(*) / select list");
+    case ExprKind::kUnary: {
+      if (e.unary_op == UnaryOp::kNot) {
+        auto t = EvalTri(e, b);
+        if (!t.ok()) return t.status();
+        return TriToVec(t.value());
+      }
+      auto av = EvalVec(*e.args[0], b);
+      if (!av.ok()) return av.status();
+      const Vec& a = av.value();
+      if (a.mixed) {
+        std::vector<Value> vals;
+        vals.reserve(n);
+        for (size_t k = 0; k < n; ++k) vals.push_back(NegateValue(a.At(k)));
+        return VecFromValues(std::move(vals));
+      }
+      if (a.type() == TypeId::kNull) return ConstVec(Value::Null());
+      std::vector<uint8_t> nulls;
+      auto set_null = [&](size_t k) {
+        if (nulls.empty()) nulls.assign(n, 0);
+        nulls[k] = 1;
+      };
+      if (a.type() == TypeId::kInt64) {
+        std::vector<int64_t> out(n);
+        for (size_t k = 0; k < n; ++k) {
+          if (a.IsNull(k)) {
+            set_null(k);
+            continue;
+          }
+          out[k] = -a.IntRaw(k);
+        }
+        Vec v;
+        v.owned = Column::FromData(TypeId::kInt64, std::move(out), {}, {},
+                                   std::move(nulls));
+        return v;
+      }
+      std::vector<double> out(n);
+      for (size_t k = 0; k < n; ++k) {
+        if (a.IsNull(k)) {
+          set_null(k);
+          continue;
+        }
+        out[k] = -a.Num(k);
+      }
+      Vec v;
+      v.owned = Column::FromData(TypeId::kDouble, {}, std::move(out), {},
+                                 std::move(nulls));
+      return v;
+    }
+    case ExprKind::kBinary: {
+      switch (e.binary_op) {
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+        case BinaryOp::kMod:
+          return EvalArith(e, b);
+        default: {
+          auto t = EvalTri(e, b);
+          if (!t.ok()) return t.status();
+          return TriToVec(t.value());
+        }
+      }
+    }
+    case ExprKind::kFunction: {
+      if (e.is_window || IsAggregateFunction(e.name)) {
+        return Status::Internal("aggregate/window '" + e.name +
+                                "' in row context");
+      }
+      // Universe-sample membership hash (the Fig. 11 hot path): batch kernel
+      // over the evaluated argument instead of a per-row tree walk.
+      if ((e.name == "verdict_hash" || e.name == "unit_hash") &&
+          e.args.size() == 1) {
+        auto av = EvalVec(*e.args[0], b);
+        if (!av.ok()) return av.status();
+        const Vec& a = av.value();
+        std::vector<double> out(n);
+        std::vector<uint8_t> nulls;
+        for (size_t k = 0; k < n; ++k) {
+          if (a.IsNull(k)) {
+            if (nulls.empty()) nulls.assign(n, 0);
+            nulls[k] = 1;
+            continue;
+          }
+          out[k] = HashUnit(a.At(k));
+        }
+        Vec v;
+        v.owned = Column::FromData(TypeId::kDouble, {}, std::move(out), {},
+                                   std::move(nulls));
+        return v;
+      }
+      return RowFallback(e, b);
+    }
+    case ExprKind::kCase:
+      return EvalCase(e, b);
+    case ExprKind::kIsNull:
+    case ExprKind::kInList:
+    case ExprKind::kBetween: {
+      auto t = EvalTri(e, b);
+      if (!t.ok()) return t.status();
+      return TriToVec(t.value());
+    }
+    case ExprKind::kSubquery:
+    case ExprKind::kExists:
+      return Status::Internal("unresolved subquery reached the evaluator");
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+}  // namespace
+
+Result<Column> EvalExprBatch(const Expr& e, const Batch& batch) {
+  auto rv = EvalVec(e, batch);
+  if (!rv.ok()) return rv.status();
+  Vec v = std::move(rv).ValueOrDie();
+  const size_t n = batch.size();
+  if (v.mixed) {
+    // Heterogeneous per-row types coerce through Column::Append only here,
+    // at the output boundary — the same place the row executor coerced.
+    Column col;
+    for (size_t k = 0; k < n; ++k) col.Append(v.boxed[k]);
+    return col;
+  }
+  if (v.is_const) {
+    // Broadcast the constant to the batch length.
+    const Value c = v.At(0);
+    switch (c.type()) {
+      case TypeId::kNull:
+        return Column::FromData(TypeId::kNull, {}, {}, {},
+                                std::vector<uint8_t>(n, 1));
+      case TypeId::kBool:
+      case TypeId::kInt64:
+        return Column::FromData(c.type(), std::vector<int64_t>(n, c.AsInt()),
+                                {}, {}, {});
+      case TypeId::kDouble:
+        return Column::FromData(TypeId::kDouble, {},
+                                std::vector<double>(n, c.AsDouble()), {}, {});
+      case TypeId::kString:
+        return Column::FromData(TypeId::kString, {}, {},
+                                std::vector<std::string>(n, c.AsString()), {});
+    }
+    return Status::Internal("unhandled constant type");
+  }
+  if (v.borrowed != nullptr) return *v.borrowed;  // whole-column reference
+  return std::move(v.owned);
+}
+
+Status EvalPredicateBatch(const Expr& e, const Batch& batch, SelVector* out) {
+  auto t = EvalTri(e, batch);
+  if (!t.ok()) return t.status();
+  const TriVec& tri = t.value();
+  const size_t n = tri.size();
+  for (size_t k = 0; k < n; ++k) {
+    if (tri[k] == 1) out->push_back(batch.RowAt(k));
+  }
+  return Status::Ok();
+}
+
+}  // namespace vdb::engine

@@ -1,0 +1,62 @@
+// Batch-at-a-time (vectorized) expression evaluation.
+//
+// The row interpreter in expr_eval.h materializes a boxed Value per cell and
+// re-walks the expression tree per row; on scan-shaped paths (WHERE, HAVING,
+// projection, join residuals, sample preparation) that interpretation cost
+// dominates. The batch evaluator walks the tree once per batch and runs
+// type-specialized inner loops directly over the columnar storage
+// (engine/column.h), materializing NULL masks lazily. Node types without a
+// specialized kernel (e.g. rand(), mixed-type CASE) fall back to the row
+// interpreter per element, so the row evaluator remains the semantic
+// reference; tests/test_vector_eval.cc asserts batch == row on randomized
+// expressions.
+
+#ifndef VDB_ENGINE_VECTOR_EVAL_H_
+#define VDB_ENGINE_VECTOR_EVAL_H_
+
+#include "common/random.h"
+#include "common/status.h"
+#include "engine/table.h"
+#include "sql/ast.h"
+
+namespace vdb::engine {
+
+/// A batch of input rows: a table plus an optional selection vector of
+/// surviving row indices. A null `sel` means all rows of the table.
+struct Batch {
+  const Table* table = nullptr;
+  const SelVector* sel = nullptr;  // null => all rows [0, num_rows)
+  Rng* rng = nullptr;              // backs rand() via the row fallback
+
+  size_t size() const {
+    return sel != nullptr ? sel->size() : (table != nullptr ? table->num_rows() : 0);
+  }
+  uint32_t RowAt(size_t i) const {
+    return sel != nullptr ? (*sel)[i] : static_cast<uint32_t>(i);
+  }
+};
+
+/// Evaluates a bound expression for every batch position, column-at-a-time.
+/// Returns a column of batch.size() rows, position i holding the value for
+/// batch row i. Per-row semantics match EvalExpr, with two deliberate
+/// deviations from the pre-vectorization executor:
+///  - Boolean-valued expressions produce kBool columns (the old per-row
+///    Column::Append materialization folded Bool into Int64); only
+///    heterogeneous per-row type mixes still coerce through Column::Append.
+///  - AND/OR operands, CASE branches, and IN items are evaluated for the
+///    whole batch rather than short-circuited per row, so expression-level
+///    errors (e.g. an unknown function on the never-taken side) surface
+///    eagerly, and rand() inside them draws for every row. Data-dependent
+///    NULLs (division by zero etc.) are values, not errors, so results
+///    agree.
+Result<Column> EvalExprBatch(const sql::Expr& e, const Batch& batch);
+
+/// Evaluates a predicate over the batch and appends the physical row indices
+/// for which it is non-null and true to `*out` (in batch order). Three-valued
+/// NULL logic matches EvalPredicate.
+Status EvalPredicateBatch(const sql::Expr& e, const Batch& batch,
+                          SelVector* out);
+
+}  // namespace vdb::engine
+
+#endif  // VDB_ENGINE_VECTOR_EVAL_H_

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <sstream>
 
+#include "engine/vector_eval.h"
 #include "sampling/staircase.h"
+#include "sql/ast.h"
 #include "sql/printer.h"
 
 namespace vdb::sampling {
@@ -19,6 +21,19 @@ std::string JoinList(const std::vector<std::string>& items,
     out += prefix + items[i];
   }
   return out;
+}
+
+/// Gathers the selected base rows plus a constant verdict_prob column into a
+/// fresh sample table (the vectorized sample-construction path).
+engine::TablePtr MaterializeSample(const engine::Table& base,
+                                   const engine::SelVector& sel,
+                                   double prob) {
+  auto sample = base.CloneSchema();
+  sample->AppendSelected(base, sel);
+  engine::Column prob_col = engine::Column::FromData(
+      TypeId::kDouble, {}, std::vector<double>(sel.size(), prob), {}, {});
+  sample->AddColumn("verdict_prob", std::move(prob_col));
+  return sample;
 }
 
 }  // namespace
@@ -64,6 +79,27 @@ Result<SampleInfo> SampleBuilder::CreateUniformSample(const std::string& base,
   info.base_rows = static_cast<uint64_t>(n.value());
   info.sample_table = SampleName(base, SampleType::kUniform, {});
 
+  // In-process engines take a vectorized direct scan: a Bernoulli selection
+  // vector over the base table, bulk-gathered into the sample. Other
+  // dialects go through SQL so their syntax rules still apply.
+  if (conn_->dialect().kind == driver::EngineKind::kGeneric) {
+    auto* db = conn_->database();
+    auto t = db->catalog().GetTable(base);
+    if (!t) return Status::NotFound("no such table: " + base);
+    engine::SelVector sel;
+    for (size_t r = 0; r < t->num_rows(); ++r) {
+      if (db->rng().NextDouble() < tau) {
+        sel.push_back(static_cast<uint32_t>(r));
+      }
+    }
+    db->AddRowsScanned(t->num_rows());
+    VDB_RETURN_IF_ERROR(db->catalog().CreateTable(
+        info.sample_table, MaterializeSample(*t, sel, tau)));
+    info.sample_rows = sel.size();
+    VDB_RETURN_IF_ERROR(catalog_->Register(info));
+    return info;
+  }
+
   // Dialect-safe Bernoulli selection: rand() is computed in a derived table
   // so engines that forbid rand() in WHERE (e.g. Impala) accept the query.
   std::ostringstream sql;
@@ -95,6 +131,40 @@ Result<SampleInfo> SampleBuilder::CreateHashedSample(const std::string& base,
   info.columns = {column};
   info.base_rows = static_cast<uint64_t>(n.value());
   info.sample_table = SampleName(base, SampleType::kHashed, {column});
+
+  // In-process engines run the membership predicate verdict_hash(C) < tau
+  // through the batch evaluator directly over the base table — one pass, no
+  // temporary table.
+  if (conn_->dialect().kind == driver::EngineKind::kGeneric) {
+    auto* db = conn_->database();
+    auto t = db->catalog().GetTable(base);
+    if (!t) return Status::NotFound("no such table: " + base);
+    int col_idx = t->ColumnIndex(column);
+    if (col_idx < 0) {
+      return Status::NotFound("no such column: " + base + "." + column);
+    }
+    auto colref = sql::MakeColumnRef("", column);
+    colref->bound_column = col_idx;
+    std::vector<sql::Expr::Ptr> args;
+    args.push_back(std::move(colref));
+    auto pred =
+        sql::MakeBinary(sql::BinaryOp::kLt,
+                        sql::MakeFunction("verdict_hash", std::move(args)),
+                        sql::MakeDoubleLit(tau));
+    engine::SelVector sel;
+    engine::Batch batch{t.get(), nullptr, &db->rng()};
+    VDB_RETURN_IF_ERROR(engine::EvalPredicateBatch(*pred, batch, &sel));
+    db->AddRowsScanned(t->num_rows());
+    info.sample_rows = sel.size();
+    // Hashed samples record the realized ratio |Ts|/|T| (paper §3.1).
+    info.ratio = n.value() == 0 ? 0.0
+                                : static_cast<double>(sel.size()) /
+                                      static_cast<double>(n.value());
+    VDB_RETURN_IF_ERROR(db->catalog().CreateTable(
+        info.sample_table, MaterializeSample(*t, sel, info.ratio)));
+    VDB_RETURN_IF_ERROR(catalog_->Register(info));
+    return info;
+  }
 
   // Pass 1: select the universe (no randomness; pure hash predicate).
   std::string tmp = info.sample_table + "_tmp";

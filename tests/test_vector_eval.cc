@@ -1,0 +1,458 @@
+// Differential tests for the vectorized expression evaluator: the batch
+// evaluator (engine/vector_eval.h) must agree with the row-at-a-time
+// interpreter (engine/expr_eval.h) — values and NULLs, including three-valued
+// logic — on randomized expression trees and NULL patterns, plus
+// selection-vector edge cases (empty, all-pass, single-row).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "engine/expr_eval.h"
+#include "engine/table.h"
+#include "engine/vector_eval.h"
+#include "sql/ast.h"
+#include "sql/printer.h"
+
+namespace vdb::engine {
+namespace {
+
+using sql::BinaryOp;
+using sql::Expr;
+using sql::ExprKind;
+using sql::UnaryOp;
+
+// ---------------------------------------------------------------------------
+// Random table / expression generation
+// ---------------------------------------------------------------------------
+
+TablePtr MakeRandomTable(Rng* rng, size_t rows) {
+  auto t = std::make_shared<Table>();
+  t->AddColumn("i1", TypeId::kInt64);
+  t->AddColumn("i2", TypeId::kInt64);     // with NULLs
+  t->AddColumn("d1", TypeId::kDouble);
+  t->AddColumn("d2", TypeId::kDouble);    // with NULLs
+  t->AddColumn("s1", TypeId::kString);    // with NULLs
+  t->AddColumn("b1", TypeId::kBool);
+  static const char* kStrings[] = {"a", "ab", "abc", "ba", "x", ""};
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<Value> row;
+    row.push_back(Value::Int(rng->NextInRange(-6, 6)));
+    row.push_back(rng->NextBernoulli(0.25)
+                      ? Value::Null()
+                      : Value::Int(rng->NextInRange(-4, 4)));
+    row.push_back(Value::Double(rng->NextInRange(-40, 40) / 8.0));
+    row.push_back(rng->NextBernoulli(0.25)
+                      ? Value::Null()
+                      : Value::Double(rng->NextInRange(-20, 20) / 4.0));
+    row.push_back(rng->NextBernoulli(0.2)
+                      ? Value::Null()
+                      : Value::String(kStrings[rng->NextBounded(6)]));
+    row.push_back(Value::Bool(rng->NextBernoulli(0.5)));
+    t->AppendRow(row);
+  }
+  return t;
+}
+
+class ExprGen {
+ public:
+  explicit ExprGen(Rng* rng) : rng_(rng) {}
+
+  Expr::Ptr Gen(int depth) {
+    if (depth <= 0 || rng_->NextBernoulli(0.25)) return GenLeaf();
+    switch (rng_->NextBounded(10)) {
+      case 0: return GenArith(depth);
+      case 1: return GenCompare(depth);
+      case 2: return GenLogic(depth);
+      case 3: return GenUnary(depth);
+      case 4: return GenCase(depth);
+      case 5: return GenIsNull(depth);
+      case 6: return GenInList(depth);
+      case 7: return GenBetween(depth);
+      case 8: return GenFunction(depth);
+      default: return GenLike(depth);
+    }
+  }
+
+ private:
+  Expr::Ptr GenLeaf() {
+    if (rng_->NextBernoulli(0.55)) {
+      // Bound column reference.
+      static const char* kCols[] = {"i1", "i2", "d1", "d2", "s1", "b1"};
+      const int idx = static_cast<int>(rng_->NextBounded(6));
+      auto e = sql::MakeColumnRef("", kCols[idx]);
+      e->bound_column = idx;
+      return e;
+    }
+    switch (rng_->NextBounded(5)) {
+      case 0: return sql::MakeIntLit(rng_->NextInRange(-5, 5));
+      case 1: return sql::MakeDoubleLit(rng_->NextInRange(-10, 10) / 4.0);
+      case 2: {
+        static const char* kPool[] = {"a", "ab", "b", "%b%", "a_"};
+        return sql::MakeStringLit(kPool[rng_->NextBounded(5)]);
+      }
+      case 3: return sql::MakeLiteral(Value::Bool(rng_->NextBernoulli(0.5)));
+      default: return sql::MakeLiteral(Value::Null());
+    }
+  }
+
+  Expr::Ptr GenArith(int depth) {
+    static const BinaryOp kOps[] = {BinaryOp::kAdd, BinaryOp::kSub,
+                                    BinaryOp::kMul, BinaryOp::kDiv,
+                                    BinaryOp::kMod};
+    return sql::MakeBinary(kOps[rng_->NextBounded(5)], Gen(depth - 1),
+                           Gen(depth - 1));
+  }
+
+  Expr::Ptr GenCompare(int depth) {
+    static const BinaryOp kOps[] = {BinaryOp::kEq, BinaryOp::kNe,
+                                    BinaryOp::kLt, BinaryOp::kLe,
+                                    BinaryOp::kGt, BinaryOp::kGe};
+    return sql::MakeBinary(kOps[rng_->NextBounded(6)], Gen(depth - 1),
+                           Gen(depth - 1));
+  }
+
+  Expr::Ptr GenLogic(int depth) {
+    return sql::MakeBinary(
+        rng_->NextBernoulli(0.5) ? BinaryOp::kAnd : BinaryOp::kOr,
+        Gen(depth - 1), Gen(depth - 1));
+  }
+
+  Expr::Ptr GenUnary(int depth) {
+    return sql::MakeUnary(
+        rng_->NextBernoulli(0.5) ? UnaryOp::kNeg : UnaryOp::kNot,
+        Gen(depth - 1));
+  }
+
+  Expr::Ptr GenCase(int depth) {
+    auto e = std::make_unique<Expr>(ExprKind::kCase);
+    const size_t whens = 1 + rng_->NextBounded(2);
+    for (size_t i = 0; i < whens; ++i) {
+      e->case_whens.push_back(Gen(depth - 1));
+      e->case_thens.push_back(Gen(depth - 1));
+    }
+    if (rng_->NextBernoulli(0.7)) e->case_else = Gen(depth - 1);
+    return e;
+  }
+
+  Expr::Ptr GenIsNull(int depth) {
+    auto e = std::make_unique<Expr>(ExprKind::kIsNull);
+    e->args.push_back(Gen(depth - 1));
+    e->negated = rng_->NextBernoulli(0.5);
+    return e;
+  }
+
+  Expr::Ptr GenInList(int depth) {
+    auto e = std::make_unique<Expr>(ExprKind::kInList);
+    e->args.push_back(Gen(depth - 1));
+    const size_t items = 1 + rng_->NextBounded(3);
+    for (size_t i = 0; i < items; ++i) e->args.push_back(Gen(depth - 1));
+    e->negated = rng_->NextBernoulli(0.5);
+    return e;
+  }
+
+  Expr::Ptr GenBetween(int depth) {
+    auto e = std::make_unique<Expr>(ExprKind::kBetween);
+    e->args.push_back(Gen(depth - 1));
+    e->args.push_back(Gen(depth - 1));
+    e->args.push_back(Gen(depth - 1));
+    e->negated = rng_->NextBernoulli(0.5);
+    return e;
+  }
+
+  Expr::Ptr GenLike(int depth) {
+    static const char* kPatterns[] = {"a%", "%b", "%a%", "a_", "_", "%"};
+    return sql::MakeBinary(BinaryOp::kLike, Gen(depth - 1),
+                           sql::MakeStringLit(kPatterns[rng_->NextBounded(6)]));
+  }
+
+  Expr::Ptr GenFunction(int depth) {
+    // Deterministic scalar builtins only (rand() would diverge between the
+    // two evaluations by construction).
+    switch (rng_->NextBounded(7)) {
+      case 0: return Call("abs", Gen(depth - 1));
+      case 1: return Call("floor", Gen(depth - 1));
+      case 2: return Call("coalesce", Gen(depth - 1), Gen(depth - 1));
+      case 3:
+        return Call("if", Gen(depth - 1), Gen(depth - 1), Gen(depth - 1));
+      case 4: return Call("length", Gen(depth - 1));
+      case 5: return Call("verdict_hash", Gen(depth - 1));
+      default: return Call("greatest", Gen(depth - 1), Gen(depth - 1));
+    }
+  }
+
+  template <typename... Args>
+  Expr::Ptr Call(std::string name, Args... args) {
+    std::vector<Expr::Ptr> argv;
+    (argv.push_back(std::move(args)), ...);
+    return sql::MakeFunction(std::move(name), std::move(argv));
+  }
+
+  Rng* rng_;
+};
+
+// ---------------------------------------------------------------------------
+// Comparison helpers
+// ---------------------------------------------------------------------------
+
+bool SameValue(const Value& a, const Value& b) {
+  if (a.is_null() != b.is_null()) return false;
+  if (a.is_null()) return true;
+  if (a.is_numeric() && b.is_numeric()) {
+    const double x = a.AsDouble(), y = b.AsDouble();
+    if (std::isnan(x) && std::isnan(y)) return true;
+    return x == y;
+  }
+  if (a.type() == TypeId::kString && b.type() == TypeId::kString) {
+    return a.AsString() == b.AsString();
+  }
+  return false;
+}
+
+/// Row-side reference: evaluates per row and materializes through
+/// Column::Append, exactly as the pre-vectorization executor did.
+Result<Column> RowReference(const Expr& e, const Batch& b) {
+  Column col;
+  for (size_t k = 0; k < b.size(); ++k) {
+    RowCtx ctx{b.table, b.RowAt(k), b.rng};
+    auto v = EvalExpr(e, ctx);
+    if (!v.ok()) return v.status();
+    col.Append(v.value());
+  }
+  return col;
+}
+
+void ExpectBatchMatchesRow(const Expr& e, const Batch& b) {
+  auto row_col = RowReference(e, b);
+  auto batch_col = EvalExprBatch(e, b);
+  ASSERT_EQ(row_col.ok(), batch_col.ok()) << sql::PrintExpr(e);
+  if (!row_col.ok()) return;
+  const Column& rc = row_col.value();
+  const Column& bc = batch_col.value();
+  ASSERT_EQ(rc.size(), b.size());
+  ASSERT_EQ(bc.size(), b.size()) << sql::PrintExpr(e);
+  for (size_t k = 0; k < b.size(); ++k) {
+    EXPECT_TRUE(SameValue(rc.Get(k), bc.Get(k)))
+        << sql::PrintExpr(e) << " row " << k << ": row-eval="
+        << rc.Get(k).ToString() << " batch=" << bc.Get(k).ToString();
+  }
+
+  // Predicate semantics: selected rows must match EvalPredicate exactly.
+  SelVector batch_sel;
+  ASSERT_TRUE(EvalPredicateBatch(e, b, &batch_sel).ok());
+  SelVector row_sel;
+  for (size_t k = 0; k < b.size(); ++k) {
+    RowCtx ctx{b.table, b.RowAt(k), b.rng};
+    auto pass = EvalPredicate(e, ctx);
+    ASSERT_TRUE(pass.ok());
+    if (pass.value()) row_sel.push_back(b.RowAt(k));
+  }
+  EXPECT_EQ(batch_sel, row_sel) << sql::PrintExpr(e);
+}
+
+// ---------------------------------------------------------------------------
+// Differential fuzz
+// ---------------------------------------------------------------------------
+
+TEST(VectorEvalFuzz, BatchMatchesRowOnFullTable) {
+  Rng rng(20260729);
+  auto t = MakeRandomTable(&rng, 257);
+  ExprGen gen(&rng);
+  Rng eval_rng(7);
+  for (int i = 0; i < 400; ++i) {
+    auto e = gen.Gen(4);
+    Batch b{t.get(), nullptr, &eval_rng};
+    ExpectBatchMatchesRow(*e, b);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(VectorEvalFuzz, BatchMatchesRowUnderSelectionVector) {
+  Rng rng(42424242);
+  auto t = MakeRandomTable(&rng, 301);
+  ExprGen gen(&rng);
+  Rng eval_rng(11);
+  for (int i = 0; i < 200; ++i) {
+    SelVector sel;
+    for (uint32_t r = 0; r < t->num_rows(); ++r) {
+      if (rng.NextBernoulli(0.4)) sel.push_back(r);
+    }
+    auto e = gen.Gen(3);
+    Batch b{t.get(), &sel, &eval_rng};
+    ExpectBatchMatchesRow(*e, b);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(VectorEvalFuzz, RandomNullPatterns) {
+  // Tables whose nullable columns are mostly/entirely NULL stress the lazy
+  // null-mask paths.
+  Rng rng(555);
+  auto t = std::make_shared<Table>();
+  t->AddColumn("i1", TypeId::kInt64);
+  t->AddColumn("i2", TypeId::kInt64);
+  t->AddColumn("d1", TypeId::kDouble);
+  t->AddColumn("d2", TypeId::kDouble);
+  t->AddColumn("s1", TypeId::kString);
+  t->AddColumn("b1", TypeId::kBool);
+  for (size_t r = 0; r < 64; ++r) {
+    t->AppendRow({Value::Null(), Value::Null(),
+                  rng.NextBernoulli(0.1) ? Value::Double(1.5) : Value::Null(),
+                  Value::Null(), Value::Null(), Value::Null()});
+  }
+  ExprGen gen(&rng);
+  Rng eval_rng(3);
+  for (int i = 0; i < 150; ++i) {
+    auto e = gen.Gen(3);
+    Batch b{t.get(), nullptr, &eval_rng};
+    ExpectBatchMatchesRow(*e, b);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Selection-vector edge cases
+// ---------------------------------------------------------------------------
+
+class VectorEvalEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(99);
+    table_ = MakeRandomTable(&rng, 50);
+    pred_ = sql::MakeBinary(BinaryOp::kGt, BoundRef("i1", 0),
+                            sql::MakeIntLit(0));
+  }
+
+  static Expr::Ptr BoundRef(const std::string& name, int idx) {
+    auto e = sql::MakeColumnRef("", name);
+    e->bound_column = idx;
+    return e;
+  }
+
+  TablePtr table_;
+  Expr::Ptr pred_;
+  Rng eval_rng_{1};
+};
+
+TEST_F(VectorEvalEdgeTest, EmptySelection) {
+  SelVector sel;  // no rows survive upstream
+  Batch b{table_.get(), &sel, &eval_rng_};
+  auto col = EvalExprBatch(*pred_, b);
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(col.value().size(), 0u);
+  SelVector out;
+  ASSERT_TRUE(EvalPredicateBatch(*pred_, b, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(VectorEvalEdgeTest, EmptyTable) {
+  auto empty = table_->CloneSchema();
+  Batch b{empty.get(), nullptr, &eval_rng_};
+  auto col = EvalExprBatch(*pred_, b);
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(col.value().size(), 0u);
+}
+
+TEST_F(VectorEvalEdgeTest, AllPassSelection) {
+  auto always = sql::MakeBinary(BinaryOp::kEq, sql::MakeIntLit(1),
+                                sql::MakeIntLit(1));
+  Batch b{table_.get(), nullptr, &eval_rng_};
+  SelVector out;
+  ASSERT_TRUE(EvalPredicateBatch(*always, b, &out).ok());
+  ASSERT_EQ(out.size(), table_->num_rows());
+  for (uint32_t r = 0; r < out.size(); ++r) EXPECT_EQ(out[r], r);
+}
+
+TEST_F(VectorEvalEdgeTest, SingleRowSelection) {
+  SelVector sel{7};
+  Batch b{table_.get(), &sel, &eval_rng_};
+  ExpectBatchMatchesRow(*pred_, b);
+  auto col = EvalExprBatch(*BoundRef("d1", 2), b);
+  ASSERT_TRUE(col.ok());
+  ASSERT_EQ(col.value().size(), 1u);
+  EXPECT_TRUE(SameValue(col.value().Get(0), table_->Get(7, 2)));
+}
+
+// ---------------------------------------------------------------------------
+// Three-valued logic pinning (NULL AND/OR/NOT)
+// ---------------------------------------------------------------------------
+
+TEST(VectorEvalLogicTest, KleeneTruthTable) {
+  // One row; operands are literals covering all 9 AND/OR combinations.
+  auto t = std::make_shared<Table>();
+  Column c(TypeId::kInt64);
+  c.AppendInt(0);
+  t->AddColumn("x", std::move(c));
+  Rng rng(5);
+
+  auto lit = [](int tri) -> Expr::Ptr {  // -1 null, 0 false, 1 true
+    if (tri < 0) return sql::MakeLiteral(Value::Null());
+    return sql::MakeLiteral(Value::Bool(tri == 1));
+  };
+  const int tris[] = {-1, 0, 1};
+  for (int a : tris) {
+    for (int bvals : tris) {
+      for (bool is_and : {true, false}) {
+        auto e = sql::MakeBinary(is_and ? BinaryOp::kAnd : BinaryOp::kOr,
+                                 lit(a), lit(bvals));
+        Batch batch{t.get(), nullptr, &rng};
+        ExpectBatchMatchesRow(*e, batch);
+      }
+    }
+  }
+  for (int a : tris) {
+    auto e = sql::MakeUnary(UnaryOp::kNot, lit(a));
+    Batch batch{t.get(), nullptr, &rng};
+    ExpectBatchMatchesRow(*e, batch);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bulk-copy paths
+// ---------------------------------------------------------------------------
+
+TEST(BulkCopyTest, AppendRangeAdoptsTypeAndNulls) {
+  Column src(TypeId::kInt64);
+  src.AppendInt(1);
+  src.AppendNull();
+  src.AppendInt(3);
+  Column dst;
+  dst.AppendRange(src, 0, 3);
+  ASSERT_EQ(dst.size(), 3u);
+  EXPECT_EQ(dst.type(), TypeId::kInt64);
+  EXPECT_EQ(dst.Get(0).AsInt(), 1);
+  EXPECT_TRUE(dst.IsNull(1));
+  EXPECT_EQ(dst.Get(2).AsInt(), 3);
+}
+
+TEST(BulkCopyTest, AppendRangeMismatchedTypesFallsBack) {
+  Column src(TypeId::kInt64);
+  src.AppendInt(7);
+  Column dst(TypeId::kDouble);
+  dst.AppendDouble(0.5);
+  dst.AppendRange(src, 0, 1);
+  ASSERT_EQ(dst.size(), 2u);
+  EXPECT_EQ(dst.type(), TypeId::kDouble);
+  EXPECT_DOUBLE_EQ(dst.Get(1).AsDouble(), 7.0);
+}
+
+TEST(BulkCopyTest, TableAppendSelectedGathers) {
+  Rng rng(17);
+  auto t = MakeRandomTable(&rng, 30);
+  SelVector sel{29, 0, 15, 15};
+  auto out = t->CloneSchema();
+  out->AppendSelected(*t, sel);
+  ASSERT_EQ(out->num_rows(), 4u);
+  for (size_t c = 0; c < t->num_columns(); ++c) {
+    for (size_t i = 0; i < sel.size(); ++i) {
+      EXPECT_TRUE(SameValue(out->Get(i, c), t->Get(sel[i], c)))
+          << "col " << c << " sel " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vdb::engine

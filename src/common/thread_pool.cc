@@ -1,0 +1,154 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace vdb {
+
+namespace {
+
+constexpr size_t kDefaultMorselRows = 32768;
+constexpr size_t kMaxWorkers = 64;
+
+std::atomic<size_t> g_morsel_rows{kDefaultMorselRows};
+
+/// True on threads currently executing morsels (workers, or the caller while
+/// it participates). A ParallelFor issued from such a thread runs inline:
+/// the pool handles one job at a time, so waiting for a second job from
+/// inside the first would deadlock.
+thread_local bool tls_in_parallel_region = false;
+
+}  // namespace
+
+size_t MorselRows() { return g_morsel_rows.load(std::memory_order_relaxed); }
+
+void SetMorselRowsForTest(size_t rows) {
+  g_morsel_rows.store(rows == 0 ? kDefaultMorselRows : rows,
+                      std::memory_order_relaxed);
+}
+
+struct ThreadPool::Job {
+  const std::function<void(size_t, size_t, size_t)>* body = nullptr;
+  size_t total = 0;
+  size_t morsel_rows = 0;
+  size_t num_morsels = 0;
+  std::atomic<size_t> next{0};       // next unclaimed morsel index
+  std::atomic<size_t> completed{0};  // morsels whose body has returned
+  int max_participants = 0;          // includes the caller
+  int participants = 1;              // guarded by mu_; caller counts as one
+
+  void RunMorsels() {
+    for (;;) {
+      const size_t m = next.fetch_add(1, std::memory_order_relaxed);
+      if (m >= num_morsels) return;
+      const size_t begin = m * morsel_rows;
+      const size_t end = std::min(total, begin + morsel_rows);
+      (*body)(m, begin, end);
+      completed.fetch_add(1, std::memory_order_release);
+    }
+  }
+};
+
+ThreadPool& ThreadPool::Global() {
+  // Leaked intentionally (like AggregateRegistry::Global) so worker shutdown
+  // never races with static destruction order at exit.
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::EnsureWorkersLocked(size_t n) {
+  n = std::min(n, kMaxWorkers);
+  while (workers_.size() < n) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_in_parallel_region = true;
+  uint64_t seen_seq = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] {
+        return stop_ || (job_ != nullptr && job_seq_ != seen_seq &&
+                         job_->participants < job_->max_participants);
+      });
+      if (stop_) return;
+      job = job_;
+      seen_seq = job_seq_;
+      ++job->participants;
+    }
+    job->RunMorsels();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --job->participants;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t total, size_t morsel_rows, int max_threads,
+    const std::function<void(size_t, size_t, size_t)>& body) {
+  if (total == 0) return;
+  if (morsel_rows == 0) morsel_rows = 1;
+  const size_t num_morsels = (total + morsel_rows - 1) / morsel_rows;
+
+  // Serial shapes (or a nested call from a worker) run inline, in index
+  // order — the same morsel decomposition, just one thread.
+  if (max_threads <= 1 || num_morsels <= 1 || tls_in_parallel_region) {
+    for (size_t m = 0; m < num_morsels; ++m) {
+      body(m, m * morsel_rows, std::min(total, (m + 1) * morsel_rows));
+    }
+    return;
+  }
+
+  Job job;
+  job.body = &body;
+  job.total = total;
+  job.morsel_rows = morsel_rows;
+  job.num_morsels = num_morsels;
+  job.max_participants =
+      static_cast<int>(std::min<size_t>(max_threads, num_morsels));
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    EnsureWorkersLocked(static_cast<size_t>(job.max_participants - 1));
+    // One published job at a time: a second concurrent caller waits for the
+    // slot rather than clobbering a live job (which would strand it without
+    // workers and clear it from under the other caller).
+    done_cv_.wait(lk, [&] { return job_ == nullptr; });
+    job_ = &job;
+    ++job_seq_;
+  }
+  work_cv_.notify_all();
+
+  tls_in_parallel_region = true;
+  job.RunMorsels();
+  tls_in_parallel_region = false;
+
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    // The job lives on this stack frame: wait until every morsel has run AND
+    // every worker has detached from the job before letting it go out of
+    // scope. The mutex hand-off also publishes the workers' writes (slot
+    // results) to the caller.
+    done_cv_.wait(lk, [&] {
+      return job.completed.load(std::memory_order_acquire) == num_morsels &&
+             job.participants == 1;
+    });
+    job_ = nullptr;
+  }
+  done_cv_.notify_all();  // wake any caller waiting to publish its job
+}
+
+}  // namespace vdb

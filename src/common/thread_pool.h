@@ -1,0 +1,89 @@
+// Morsel-driven parallel execution substrate.
+//
+// A fixed pool of worker threads executes "morsels" — contiguous row ranges
+// of a larger scan — claimed dynamically from a shared atomic counter, so
+// fast workers steal work from slow ones. Results are never merged inside
+// the pool: callers give every morsel its own output slot and concatenate
+// slots in morsel order afterwards, which makes query results deterministic
+// regardless of how the OS schedules the workers (and independent of the
+// pool size, so a 2-thread and an 8-thread run produce identical output).
+
+#ifndef VDB_COMMON_THREAD_POOL_H_
+#define VDB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vdb {
+
+/// Default rows per morsel for parallel scans. Small enough that a 1M-row
+/// scan yields ~30 work units (good load balance at 8 threads), large enough
+/// that per-morsel batch-evaluation setup cost is amortized.
+size_t MorselRows();
+
+/// Test hook: overrides the morsel granularity (0 restores the default).
+/// Lets tests exercise morsel-boundary cases (morsel smaller than a batch,
+/// row counts not divisible by the morsel size) with small tables.
+void SetMorselRowsForTest(size_t rows);
+
+/// A lazily-grown fixed worker pool shared by the whole process. Workers
+/// sleep on a condition variable between jobs; a ParallelFor call publishes
+/// one job at a time and participates in it from the calling thread.
+class ThreadPool {
+ public:
+  static ThreadPool& Global();
+
+  ~ThreadPool();
+
+  /// Splits [0, total) into ceil(total / morsel_rows) contiguous morsels and
+  /// runs body(morsel_index, begin, end) for each, using up to max_threads
+  /// threads including the caller. Blocks until every morsel has finished.
+  ///
+  /// The morsel decomposition depends only on (total, morsel_rows), never on
+  /// max_threads or scheduling, so callers that write into per-morsel slots
+  /// and merge in index order get bit-deterministic results.
+  ///
+  /// The body must not throw. Calls from inside a worker (nesting) run all
+  /// morsels inline on the calling thread.
+  void ParallelFor(size_t total, size_t morsel_rows, int max_threads,
+                   const std::function<void(size_t, size_t, size_t)>& body);
+
+ private:
+  ThreadPool() = default;
+
+  struct Job;
+
+  void WorkerLoop();
+  void EnsureWorkersLocked(size_t n);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: a new job is available
+  std::condition_variable done_cv_;  // caller: the current job finished
+  Job* job_ = nullptr;               // guarded by mu_
+  uint64_t job_seq_ = 0;             // guarded by mu_; bumps per job
+  bool stop_ = false;                // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+/// The standard morsel fan-out shape: one default-constructed Slot per
+/// morsel of [0, total), filled by body(slot, begin, end), returned in
+/// morsel order for the caller to merge. Keeps the decomposition arithmetic
+/// (and its agreement with ParallelFor's) in one place.
+template <typename Slot, typename Body>
+std::vector<Slot> ParallelMorselMap(size_t total, int max_threads,
+                                    Body&& body) {
+  const size_t morsel_rows = MorselRows();
+  std::vector<Slot> slots((total + morsel_rows - 1) / morsel_rows);
+  ThreadPool::Global().ParallelFor(
+      total, morsel_rows, max_threads,
+      [&](size_t m, size_t begin, size_t end) { body(slots[m], begin, end); });
+  return slots;
+}
+
+}  // namespace vdb
+
+#endif  // VDB_COMMON_THREAD_POOL_H_

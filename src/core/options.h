@@ -45,6 +45,13 @@ struct VerdictOptions {
   /// Number of subsamples b; 0 = automatic (≈ sqrt(sample rows), rounded to
   /// a perfect square so join sid-recombination is exact).
   int subsample_count_override = 0;
+
+  /// Threads per query for the in-process engine's morsel-driven parallel
+  /// executor (scans, partial aggregation, join probe, sample
+  /// construction). 1 = classic serial execution (the bit-level reference);
+  /// <= 0 = all hardware threads. Results are deterministic for any fixed
+  /// setting, and identical across all settings > 1.
+  int num_threads = 1;
 };
 
 }  // namespace vdb::core

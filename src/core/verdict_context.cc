@@ -93,7 +93,9 @@ VerdictContext::VerdictContext(engine::Database* db,
     : options_(options),
       conn_(db, engine_kind),
       catalog_(&conn_),
-      builder_(&conn_, &catalog_) {}
+      builder_(&conn_, &catalog_) {
+  db->set_num_threads(options_.num_threads);
+}
 
 Result<engine::ResultSet> VerdictContext::Execute(const std::string& sql,
                                                   ExecInfo* info) {
@@ -104,6 +106,9 @@ Result<engine::ResultSet> VerdictContext::Execute(const std::string& sql,
 
 Result<ApproxAnswer> VerdictContext::ExecuteApprox(const std::string& sql,
                                                    ExecInfo* info) {
+  // Options are mutable between queries; re-sync the engine-side knob so
+  // options().num_threads sweeps (benches, tests) take effect per query.
+  conn_.database()->set_num_threads(options_.num_threads);
   ExecInfo local;
   ExecInfo* ei = info ? info : &local;
   bool handled = false;

@@ -1,6 +1,7 @@
 #include "engine/aggregates.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <unordered_set>
 #include <vector>
@@ -19,6 +20,11 @@ std::string ValueGroupKey(const Value& v) {
       return "\x01" + std::to_string(v.AsInt());
     case TypeId::kDouble: {
       double d = v.AsDouble();
+      // One key for every NaN: %.17g would print "nan" vs "-nan" by sign,
+      // while the vectorized group-id path (engine/group_ids.cc) puts all
+      // NaNs in one equivalence class — the two must agree or parallel
+      // partial-aggregation merges diverge from serial grouping.
+      if (std::isnan(d)) return std::string("\x02nan");
       if (d == std::floor(d) && std::abs(d) < 9.2e18) {
         return "\x01" + std::to_string(static_cast<int64_t>(d));
       }
@@ -39,6 +45,13 @@ void AggAccumulator::AddBatch(const Column& col, const uint32_t* rows,
 
 void AggAccumulator::AddRepeated(const Value& v, size_t n) {
   for (size_t i = 0; i < n; ++i) Add(v);
+}
+
+void AggAccumulator::Merge(const AggAccumulator&) {
+  // Only reachable through a bug: the parallel path checks Mergeable()
+  // before partitioning work, and the default Mergeable() is false.
+  // (UDAs that want parallel execution override Mergeable + Merge.)
+  assert(false && "Merge called on a non-mergeable accumulator");
 }
 
 AggregateRegistry& AggregateRegistry::Global() {
@@ -81,6 +94,10 @@ class CountAcc : public AggAccumulator {
   void AddRepeated(const Value& v, size_t n) override {
     if (star_ || !v.is_null()) count_ += static_cast<int64_t>(n);
   }
+  bool Mergeable() const override { return true; }
+  void Merge(const AggAccumulator& other) override {
+    count_ += static_cast<const CountAcc&>(other).count_;
+  }
   Value Finalize() const override { return Value::Int(count_); }
 
  private:
@@ -92,6 +109,11 @@ class DistinctCountAcc : public AggAccumulator {
  public:
   void Add(const Value& v) override {
     if (!v.is_null()) seen_.insert(ValueGroupKey(v));
+  }
+  bool Mergeable() const override { return true; }
+  void Merge(const AggAccumulator& other) override {
+    const auto& o = static_cast<const DistinctCountAcc&>(other);
+    seen_.insert(o.seen_.begin(), o.seen_.end());
   }
   Value Finalize() const override {
     return Value::Int(static_cast<int64_t>(seen_.size()));
@@ -130,6 +152,13 @@ class SumAcc : public AggAccumulator {
         AggAccumulator::AddBatch(col, rows, n);
     }
   }
+  bool Mergeable() const override { return true; }
+  void Merge(const AggAccumulator& other) override {
+    const auto& o = static_cast<const SumAcc&>(other);
+    sum_ += o.sum_;
+    any_ = any_ || o.any_;
+    all_int_ = all_int_ && o.all_int_;
+  }
   Value Finalize() const override {
     if (!any_) return Value::Null();
     if (all_int_) return Value::Int(static_cast<int64_t>(std::llround(sum_)));
@@ -156,6 +185,12 @@ class AvgAcc : public AggAccumulator {
       sum_ += col.GetNumeric(rows[i]);
       ++n_;
     }
+  }
+  bool Mergeable() const override { return true; }
+  void Merge(const AggAccumulator& other) override {
+    const auto& o = static_cast<const AvgAcc&>(other);
+    sum_ += o.sum_;
+    n_ += o.n_;
   }
   Value Finalize() const override {
     if (n_ == 0) return Value::Null();
@@ -230,6 +265,13 @@ class MinMaxAcc : public AggAccumulator {
         AggAccumulator::AddBatch(col, rows, n);
     }
   }
+  bool Mergeable() const override { return true; }
+  void Merge(const AggAccumulator& other) override {
+    const auto& o = static_cast<const MinMaxAcc&>(other);
+    // Add keeps the first-seen value on ties; merging in morsel order keeps
+    // that "first in row order" tie-break.
+    if (o.any_) Add(o.best_);
+  }
   Value Finalize() const override { return any_ ? best_ : Value::Null(); }
 
  private:
@@ -260,6 +302,28 @@ class VarAcc : public AggAccumulator {
       m2_ += d * (x - mean_);
     }
   }
+  bool Mergeable() const override { return true; }
+  void Merge(const AggAccumulator& other) override {
+    // Chan et al.'s pairwise update of Welford state. Algebraically equal to
+    // the sequential recurrence; rounding can differ from it in the last
+    // ulps (the parallel path's deterministic morsel-order merge keeps the
+    // result independent of thread count regardless).
+    const auto& o = static_cast<const VarAcc&>(other);
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      n_ = o.n_;
+      mean_ = o.mean_;
+      m2_ = o.m2_;
+      return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(o.n_);
+    const double delta = o.mean_ - mean_;
+    const double total = na + nb;
+    m2_ += o.m2_ + delta * delta * (na * nb / total);
+    mean_ += delta * (nb / total);
+    n_ += o.n_;
+  }
   Value Finalize() const override {
     if (n_ < 2) return Value::Null();
     double var = m2_ / static_cast<double>(n_ - 1);
@@ -289,6 +353,14 @@ class QuantileAcc : public AggAccumulator {
       if (!col.IsNull(rows[i])) xs_.push_back(col.GetNumeric(rows[i]));
     }
   }
+  bool Mergeable() const override { return true; }
+  void Merge(const AggAccumulator& other) override {
+    // Concatenating morsel partials in morsel order reassembles the exact
+    // row-order value sequence, so the sorted quantile is bit-identical to
+    // the serial computation.
+    const auto& o = static_cast<const QuantileAcc&>(other);
+    xs_.insert(xs_.end(), o.xs_.begin(), o.xs_.end());
+  }
   Value Finalize() const override {
     if (xs_.empty()) return Value::Null();
     std::vector<double> sorted = xs_;
@@ -310,6 +382,11 @@ class NdvAcc : public AggAccumulator {
  public:
   void Add(const Value& v) override {
     if (!v.is_null()) hll_.AddHash(HashValue(v));
+  }
+  bool Mergeable() const override { return true; }
+  void Merge(const AggAccumulator& other) override {
+    // Register-wise max: exact regardless of insertion order.
+    hll_.Merge(static_cast<const NdvAcc&>(other).hll_);
   }
   Value Finalize() const override {
     return Value::Int(static_cast<int64_t>(std::llround(hll_.Estimate())));

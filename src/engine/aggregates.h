@@ -39,6 +39,16 @@ class AggAccumulator {
   virtual void AddBatch(const Column& col, const uint32_t* rows, size_t n);
   /// Adds the same value n times (count(*) over a group of n rows).
   virtual void AddRepeated(const Value& v, size_t n);
+  /// True if this accumulator supports Merge. The morsel-driven parallel
+  /// aggregation path requires every accumulator of a query to be mergeable;
+  /// otherwise the planner keeps the serial path. UDAs default to false.
+  virtual bool Mergeable() const { return false; }
+  /// Folds a partial state into this one. `other` must be the same concrete
+  /// accumulator type, and both Mergeable(). The parallel path merges morsel
+  /// partials strictly in morsel order, so results are deterministic and
+  /// independent of thread count (for floating-point sums they can differ
+  /// from the serial row-order accumulation in the last ulps).
+  virtual void Merge(const AggAccumulator& other);
   virtual Value Finalize() const = 0;
 };
 

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include "engine/planner.h"
 #include "sql/parser.h"
@@ -53,6 +54,12 @@ std::string ResultSet::ToString(size_t max_rows) const {
 }
 
 Database::Database(uint64_t seed) : rng_(seed) {}
+
+int Database::num_threads() const {
+  if (num_threads_ > 0) return num_threads_;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
 
 Status Database::RegisterTable(const std::string& name, TablePtr table) {
   return catalog_.CreateTable(name, std::move(table));

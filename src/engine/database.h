@@ -57,6 +57,13 @@ class Database {
   const Catalog& catalog() const { return catalog_; }
   Rng& rng() { return rng_; }
 
+  /// Maximum threads the executor may use for one query (morsel-parallel
+  /// scans, partial aggregation, join probe, gathers). <= 0 means "all
+  /// hardware threads". 1 (the default) keeps the classic serial executor,
+  /// whose results are the bit-level reference.
+  void set_num_threads(int n) { num_threads_ = n; }
+  int num_threads() const;
+
   /// Total base-table rows scanned by queries since construction. Used by
   /// benches to report I/O-proportional costs.
   uint64_t rows_scanned() const { return rows_scanned_; }
@@ -66,6 +73,7 @@ class Database {
   Catalog catalog_;
   Rng rng_;
   uint64_t rows_scanned_ = 0;
+  int num_threads_ = 1;
 };
 
 }  // namespace vdb::engine

@@ -1,0 +1,149 @@
+#include "engine/group_ids.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/hash.h"
+
+namespace vdb::engine {
+
+namespace {
+
+// Distinct tags keep NULL apart from any data hash.
+constexpr uint64_t kNullHash = 0x9AE16A3B2F90404Full;
+constexpr uint64_t kNanHash = 0xC3A5C85C97CB3127ull;
+
+uint64_t MixInto(uint64_t h, uint64_t v) {
+  // Boost-style combine, then a full mix so consecutive columns decorrelate.
+  return HashMix64(h ^ (v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2)));
+}
+
+uint64_t DoubleHash(double d) {
+  // Match ValueGroupKey's folding: integral doubles hash like the integer
+  // (so 5.0 groups with 5 across differently-typed key columns), NaNs
+  // collapse to one class, and -0.0 folds to 0. Equal non-integral doubles
+  // share a bit pattern, so hashing the bits is exact.
+  if (std::isnan(d)) return kNanHash;
+  if (d == std::floor(d) && std::abs(d) < 9.2e18) {
+    return HashMix64(static_cast<uint64_t>(static_cast<int64_t>(d)));
+  }
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return HashMix64(bits);
+}
+
+/// Raw-storage equality of two rows of the same column, under ValueGroupKey
+/// equivalence. Only called for same-hash candidates, so it stays off the
+/// hot path.
+bool CellsEqual(const Column& c, size_t a, size_t b) {
+  const bool an = c.IsNull(a);
+  if (an != c.IsNull(b)) return false;
+  if (an) return true;
+  switch (c.type()) {
+    case TypeId::kNull:
+      return true;
+    case TypeId::kBool:
+    case TypeId::kInt64:
+      return c.GetInt(a) == c.GetInt(b);
+    case TypeId::kDouble: {
+      const double x = c.GetDouble(a), y = c.GetDouble(b);
+      return x == y || (std::isnan(x) && std::isnan(y));
+    }
+    case TypeId::kString:
+      return c.GetString(a) == c.GetString(b);
+  }
+  return false;
+}
+
+bool RowsEqual(const std::vector<const Column*>& cols, size_t a, size_t b) {
+  for (const Column* c : cols) {
+    if (!CellsEqual(*c, a, b)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void HashGroupColumn(const Column& col, size_t num_rows,
+                     std::vector<uint64_t>* hashes) {
+  std::vector<uint64_t>& h = *hashes;
+  const uint8_t* nulls = col.NullData();
+  switch (col.type()) {
+    case TypeId::kNull:
+      for (size_t r = 0; r < num_rows; ++r) h[r] = MixInto(h[r], kNullHash);
+      return;
+    case TypeId::kBool:
+    case TypeId::kInt64: {
+      const int64_t* data = col.IntData();
+      for (size_t r = 0; r < num_rows; ++r) {
+        const uint64_t v = (nulls != nullptr && nulls[r] != 0)
+                               ? kNullHash
+                               : HashMix64(static_cast<uint64_t>(data[r]));
+        h[r] = MixInto(h[r], v);
+      }
+      return;
+    }
+    case TypeId::kDouble: {
+      const double* data = col.DoubleData();
+      for (size_t r = 0; r < num_rows; ++r) {
+        const uint64_t v = (nulls != nullptr && nulls[r] != 0)
+                               ? kNullHash
+                               : DoubleHash(data[r]);
+        h[r] = MixInto(h[r], v);
+      }
+      return;
+    }
+    case TypeId::kString: {
+      for (size_t r = 0; r < num_rows; ++r) {
+        uint64_t v;
+        if (nulls != nullptr && nulls[r] != 0) {
+          v = kNullHash;
+        } else {
+          const std::string& s = col.GetString(r);
+          v = HashBytes(s.data(), s.size());
+        }
+        h[r] = MixInto(h[r], v);
+      }
+      return;
+    }
+  }
+}
+
+GroupAssignment AssignGroupIds(const std::vector<const Column*>& cols,
+                               size_t num_rows) {
+  GroupAssignment out;
+  out.gid_of_row.resize(num_rows);
+  if (cols.empty()) {
+    std::fill(out.gid_of_row.begin(), out.gid_of_row.end(), 0u);
+    if (num_rows > 0) out.rep_row.push_back(0);
+    return out;
+  }
+
+  std::vector<uint64_t> hashes(num_rows, 0x2545F4914F6CDD1Dull);
+  for (const Column* c : cols) HashGroupColumn(*c, num_rows, &hashes);
+
+  // hash -> group ids sharing it (singular in the non-adversarial case).
+  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+  buckets.reserve(num_rows / 4 + 8);
+  for (size_t r = 0; r < num_rows; ++r) {
+    std::vector<uint32_t>& bucket = buckets[hashes[r]];
+    uint32_t gid = static_cast<uint32_t>(-1);
+    for (uint32_t g : bucket) {
+      if (RowsEqual(cols, r, out.rep_row[g])) {
+        gid = g;
+        break;
+      }
+    }
+    if (gid == static_cast<uint32_t>(-1)) {
+      gid = static_cast<uint32_t>(out.rep_row.size());
+      out.rep_row.push_back(static_cast<uint32_t>(r));
+      bucket.push_back(gid);
+    }
+    out.gid_of_row[r] = gid;
+  }
+  return out;
+}
+
+}  // namespace vdb::engine

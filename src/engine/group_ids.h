@@ -1,0 +1,44 @@
+// Vectorized (column-at-a-time) group-id assignment for hash aggregation,
+// DISTINCT, and any other grouping pass. Replaces the per-row std::string
+// key concatenation the planner used: each group column is hashed in one
+// typed inner loop, the per-column hashes are mixed into a single 64-bit row
+// hash, and rows are bucketed by hash with a raw-storage equality check
+// against each group's representative row to resolve collisions.
+//
+// The induced partition matches ValueGroupKey's equivalence: NULL groups
+// with NULL, numerically equal integers and doubles group together (5 and
+// 5.0), every NaN groups with every other NaN, and -0.0 groups with 0.0.
+
+#ifndef VDB_ENGINE_GROUP_IDS_H_
+#define VDB_ENGINE_GROUP_IDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/column.h"
+
+namespace vdb::engine {
+
+struct GroupAssignment {
+  /// Group id of each input row; ids are dense and assigned in order of
+  /// first occurrence (so group g's representative precedes group g+1's).
+  std::vector<uint32_t> gid_of_row;
+  /// First input row of each group, ascending.
+  std::vector<uint32_t> rep_row;
+
+  size_t num_groups() const { return rep_row.size(); }
+};
+
+/// Mixes column `col`'s per-row group hash into hashes[0..num_rows). Called
+/// once per group column; the loops are type-specialized over raw storage.
+void HashGroupColumn(const Column& col, size_t num_rows,
+                     std::vector<uint64_t>* hashes);
+
+/// Assigns dense group ids over `cols` (all of size num_rows). With no
+/// columns, every row lands in one group (the implicit aggregate group).
+GroupAssignment AssignGroupIds(const std::vector<const Column*>& cols,
+                               size_t num_rows);
+
+}  // namespace vdb::engine
+
+#endif  // VDB_ENGINE_GROUP_IDS_H_

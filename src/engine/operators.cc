@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "common/thread_pool.h"
 #include "engine/aggregates.h"
 #include "engine/vector_eval.h"
 
@@ -30,15 +31,19 @@ std::string JoinKeyOf(const Table& t, size_t row,
 /// NULLs (left-join null extension); with no sentinels each right column is
 /// a single bulk gather. Also the batch input for residual predicates.
 TablePtr GatherCombined(const Table& left, const SelVector& lrows,
-                        const Table& right, const SelVector& rrows) {
-  auto out = std::make_shared<Table>();
-  for (size_t c = 0; c < left.num_columns(); ++c) {
-    Column col(left.column(c).type());
-    col.AppendSelected(left.column(c), lrows.data(), lrows.size());
-    out->AddColumn(left.column_name(c), std::move(col));
-  }
-  for (size_t c = 0; c < right.num_columns(); ++c) {
-    const Column& src = right.column(c);
+                        const Table& right, const SelVector& rrows,
+                        int num_threads) {
+  const size_t lcols = left.num_columns();
+  const size_t rcols = right.num_columns();
+  std::vector<Column> cols(lcols + rcols);
+  auto build_one = [&](size_t c) {
+    if (c < lcols) {
+      Column col(left.column(c).type());
+      col.AppendSelected(left.column(c), lrows.data(), lrows.size());
+      cols[c] = std::move(col);
+      return;
+    }
+    const Column& src = right.column(c - lcols);
     Column col(src.type());
     // Bulk-gather maximal sentinel-free segments; per-element work only for
     // the null extensions themselves.
@@ -55,7 +60,22 @@ TablePtr GatherCombined(const Table& left, const SelVector& lrows,
       col.AppendSelected(src, rrows.data() + i, j - i);
       i = j;
     }
-    out->AddColumn(right.column_name(c), std::move(col));
+    cols[c] = std::move(col);
+  };
+  // Column-parallel materialization: every column writes only its own slot.
+  if (num_threads > 1 && lcols + rcols > 1 && lrows.size() >= 4096) {
+    ThreadPool::Global().ParallelFor(
+        lcols + rcols, 1, num_threads,
+        [&](size_t, size_t begin, size_t) { build_one(begin); });
+  } else {
+    for (size_t c = 0; c < lcols + rcols; ++c) build_one(c);
+  }
+  auto out = std::make_shared<Table>();
+  for (size_t c = 0; c < lcols; ++c) {
+    out->AddColumn(left.column_name(c), std::move(cols[c]));
+  }
+  for (size_t c = 0; c < rcols; ++c) {
+    out->AddColumn(right.column_name(c), std::move(cols[lcols + c]));
   }
   return out;
 }
@@ -77,8 +97,8 @@ Result<std::vector<uint8_t>> ResidualMask(const Table& left,
                                           const Table& right,
                                           const SelVector& rrows,
                                           const sql::Expr& residual,
-                                          Rng* rng) {
-  TablePtr scratch = GatherCombined(left, lrows, right, rrows);
+                                          Rng* rng, int num_threads) {
+  TablePtr scratch = GatherCombined(left, lrows, right, rrows, num_threads);
   SelVector surviving;
   Batch batch{scratch.get(), nullptr, rng};
   VDB_RETURN_IF_ERROR(EvalPredicateBatch(residual, batch, &surviving));
@@ -93,7 +113,7 @@ Result<TablePtr> HashJoin(const Table& left, const Table& right,
                           const std::vector<int>& left_keys,
                           const std::vector<int>& right_keys,
                           sql::JoinType join_type, const sql::Expr* residual,
-                          Rng* rng) {
+                          Rng* rng, int num_threads) {
   if (left_keys.empty() || left_keys.size() != right_keys.size()) {
     return Status::Internal("hash join requires matching key lists");
   }
@@ -116,22 +136,51 @@ Result<TablePtr> HashJoin(const Table& left, const Table& right,
   };
 
   if (residual == nullptr) {
-    // Probe and emit directly, in left-row-major order.
-    for (size_t lr = 0; lr < left.num_rows(); ++lr) {
-      bool has_null = false;
-      std::string key = JoinKeyOf(left, lr, left_keys, &has_null);
-      bool matched = false;
-      if (!has_null) {
-        auto it = build.find(key);
-        if (it != build.end()) {
-          for (uint32_t rr : it->second) {
-            out_l.push_back(static_cast<uint32_t>(lr));
-            out_r.push_back(rr);
+    // Probe and emit in left-row-major order. The build table is read-only
+    // from here on, so the probe splits into left-row morsels: each morsel
+    // emits into its own pair lists, and concatenating the lists in morsel
+    // order reproduces the serial left-row-major output exactly.
+    auto probe_range = [&](size_t range_begin, size_t range_end,
+                           SelVector* ol, SelVector* orr) {
+      for (size_t lr = range_begin; lr < range_end; ++lr) {
+        bool has_null = false;
+        std::string key = JoinKeyOf(left, lr, left_keys, &has_null);
+        bool matched = false;
+        if (!has_null) {
+          auto it = build.find(key);
+          if (it != build.end()) {
+            for (uint32_t rr : it->second) {
+              ol->push_back(static_cast<uint32_t>(lr));
+              orr->push_back(rr);
+            }
+            matched = !it->second.empty();
           }
-          matched = !it->second.empty();
+        }
+        if (!matched && left_join) {
+          ol->push_back(static_cast<uint32_t>(lr));
+          orr->push_back(kNullRow);
         }
       }
-      if (!matched && left_join) emit_null_ext(static_cast<uint32_t>(lr));
+    };
+    if (num_threads > 1 && left.num_rows() > MorselRows()) {
+      struct ProbeSlot {
+        SelVector l, r;
+      };
+      auto slots = ParallelMorselMap<ProbeSlot>(
+          left.num_rows(), num_threads,
+          [&](ProbeSlot& slot, size_t range_begin, size_t range_end) {
+            probe_range(range_begin, range_end, &slot.l, &slot.r);
+          });
+      size_t total = 0;
+      for (const ProbeSlot& slot : slots) total += slot.l.size();
+      out_l.reserve(total);
+      out_r.reserve(total);
+      for (const ProbeSlot& slot : slots) {
+        out_l.insert(out_l.end(), slot.l.begin(), slot.l.end());
+        out_r.insert(out_r.end(), slot.r.begin(), slot.r.end());
+      }
+    } else {
+      probe_range(0, left.num_rows(), &out_l, &out_r);
     }
   } else {
     // Streaming probe: the residual runs batch-at-a-time over bounded chunks
@@ -159,7 +208,8 @@ Result<TablePtr> HashJoin(const Table& left, const Table& right,
       }
       std::vector<uint8_t> pass;
       if (!real_l.empty()) {
-        auto mask = ResidualMask(left, real_l, right, real_r, *residual, rng);
+        auto mask = ResidualMask(left, real_l, right, real_r, *residual, rng,
+                                 num_threads);
         if (!mask.ok()) return mask.status();
         pass = std::move(mask).ValueOrDie();
       }
@@ -220,12 +270,12 @@ Result<TablePtr> HashJoin(const Table& left, const Table& right,
     }
   }
 
-  return GatherCombined(left, out_l, right, out_r);
+  return GatherCombined(left, out_l, right, out_r, num_threads);
 }
 
 Result<TablePtr> CrossJoin(const Table& left, const Table& right,
                            const sql::Expr* residual, Rng* rng,
-                           size_t max_pairs) {
+                           size_t max_pairs, int num_threads) {
   VDB_RETURN_IF_ERROR(CheckJoinInputSizes(left, right));
   const size_t pairs = left.num_rows() * right.num_rows();
   if (pairs > max_pairs) {
@@ -244,7 +294,7 @@ Result<TablePtr> CrossJoin(const Table& left, const Table& right,
         out_r.push_back(static_cast<uint32_t>(rr));
       }
     }
-    return GatherCombined(left, out_l, right, out_r);
+    return GatherCombined(left, out_l, right, out_r, num_threads);
   }
 
   // With a residual: evaluate the predicate batch-at-a-time over bounded
@@ -256,7 +306,8 @@ Result<TablePtr> CrossJoin(const Table& left, const Table& right,
   chunk_r.reserve(kChunk);
   auto flush = [&]() -> Status {
     if (chunk_l.empty()) return Status::Ok();
-    auto mask = ResidualMask(left, chunk_l, right, chunk_r, *residual, rng);
+    auto mask = ResidualMask(left, chunk_l, right, chunk_r, *residual, rng,
+                             num_threads);
     if (!mask.ok()) return mask.status();
     const std::vector<uint8_t>& pass = mask.value();
     for (size_t i = 0; i < chunk_l.size(); ++i) {
@@ -277,7 +328,7 @@ Result<TablePtr> CrossJoin(const Table& left, const Table& right,
     }
   }
   VDB_RETURN_IF_ERROR(flush());
-  return GatherCombined(left, out_l, right, out_r);
+  return GatherCombined(left, out_l, right, out_r, num_threads);
 }
 
 }  // namespace vdb::engine

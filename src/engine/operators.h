@@ -18,17 +18,23 @@ namespace vdb::engine {
 /// by all right columns. `residual` (may be null) is a predicate already
 /// bound against the combined schema, applied to each matching pair.
 /// JoinType::kLeft emits unmatched left rows null-extended.
+///
+/// With num_threads > 1 and no residual, the probe runs morsel-parallel over
+/// left-row ranges with the per-morsel match lists concatenated in morsel
+/// order, and the output materialization gathers columns in parallel — the
+/// emitted pairs and their order are identical to the serial probe.
 Result<TablePtr> HashJoin(const Table& left, const Table& right,
                           const std::vector<int>& left_keys,
                           const std::vector<int>& right_keys,
                           sql::JoinType join_type, const sql::Expr* residual,
-                          Rng* rng);
+                          Rng* rng, int num_threads = 1);
 
 /// Cross join with an optional bound residual predicate. Guarded: errors if
 /// the candidate pair count exceeds `max_pairs`.
 Result<TablePtr> CrossJoin(const Table& left, const Table& right,
                            const sql::Expr* residual, Rng* rng,
-                           size_t max_pairs = 200'000'000);
+                           size_t max_pairs = 200'000'000,
+                           int num_threads = 1);
 
 }  // namespace vdb::engine
 

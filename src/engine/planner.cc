@@ -3,13 +3,14 @@
 #include <algorithm>
 #include <map>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "engine/aggregates.h"
 #include "engine/binder.h"
 #include "engine/expr_eval.h"
 #include "engine/functions.h"
+#include "engine/group_ids.h"
 #include "engine/operators.h"
 #include "engine/vector_eval.h"
 #include "engine/window.h"
@@ -151,7 +152,8 @@ class SelectExecutor {
       if (ref->join_type == sql::JoinType::kLeft) {
         return Status::Unsupported("left join requires an equi condition");
       }
-      joined = CrossJoin(*lr.table, *rr.table, residual.get(), &db_->rng());
+      joined = CrossJoin(*lr.table, *rr.table, residual.get(), &db_->rng(),
+                         200'000'000, db_->num_threads());
     }
     if (!joined.ok()) return joined.status();
     RelResult out;
@@ -219,7 +221,8 @@ class SelectExecutor {
       return Status::Unsupported(
           "join with both expression keys and residual predicates");
     }
-    auto joined = HashJoin(*lp, *rp, lords, rords, type, residual, &db_->rng());
+    auto joined = HashJoin(*lp, *rp, lords, rords, type, residual, &db_->rng(),
+                           db_->num_threads());
     if (!joined.ok()) return joined.status();
     TablePtr out = std::move(joined).ValueOrDie();
     if (!ltab && !rtab) return out;
@@ -304,16 +307,17 @@ class SelectExecutor {
       VDB_RETURN_IF_ERROR(ResolveSubqueries(o.expr.get()));
     }
 
-    // WHERE: batch predicate -> selection vector -> bulk materialization.
+    // WHERE: morsel-parallel batch predicate -> selection vector -> bulk
+    // (column-parallel) materialization.
     TablePtr current = input.table;
     if (stmt->where) {
       VDB_RETURN_IF_ERROR(BindExpr(stmt->where.get(), input.scope));
       SelVector sel;
-      Batch batch{current.get(), nullptr, &db_->rng()};
-      VDB_RETURN_IF_ERROR(EvalPredicateBatch(*stmt->where, batch, &sel));
+      VDB_RETURN_IF_ERROR(EvalPredicateParallel(
+          *stmt->where, *current, &db_->rng(), db_->num_threads(), &sel));
       if (sel.size() < current->num_rows()) {
         auto filtered = current->CloneSchema();
-        filtered->AppendSelected(*current, sel);
+        filtered->AppendSelected(*current, sel, db_->num_threads());
         current = filtered;
       }
     }
@@ -468,79 +472,197 @@ class SelectExecutor {
       std::vector<Value> keys;
       std::vector<std::unique_ptr<AggAccumulator>> accs;
     };
-    std::unordered_map<std::string, size_t> group_ids;
     std::vector<Group> groups;
 
-    auto new_group = [&](std::vector<Value> keys) -> Result<size_t> {
-      Group g;
-      g.keys = std::move(keys);
+    auto make_accs =
+        [&]() -> Result<std::vector<std::unique_ptr<AggAccumulator>>> {
+      std::vector<std::unique_ptr<AggAccumulator>> accs;
+      accs.reserve(specs.size());
       for (const auto& s : specs) {
         auto acc = CreateAccumulator(s);
         if (!acc.ok()) return acc.status();
-        g.accs.push_back(std::move(acc).ValueOrDie());
+        accs.push_back(std::move(acc).ValueOrDie());
       }
-      groups.push_back(std::move(g));
-      return groups.size() - 1;
+      return accs;
     };
 
-    // Batch-evaluate group keys and aggregate arguments once, column-at-a-
-    // time, then assign group ids over the materialized key columns and
-    // accumulate each group through the selection-vector batch interface.
-    Batch batch{current.get(), nullptr, &db_->rng()};
-    std::vector<Column> gcols;
-    gcols.reserve(stmt->group_by.size());
-    for (const auto& g : stmt->group_by) {
-      auto c = EvalExprBatch(*g, batch);
-      if (!c.ok()) return c.status();
-      gcols.push_back(std::move(c).ValueOrDie());
-    }
-    std::vector<Column> acols(specs.size());
-    for (size_t i = 0; i < specs.size(); ++i) {
-      if (specs[i].arg == nullptr) continue;
-      auto c = EvalExprBatch(*specs[i].arg, batch);
-      if (!c.ok()) return c.status();
-      acols[i] = std::move(c).ValueOrDie();
-    }
-
-    std::vector<SelVector> group_rows;
-    if (stmt->group_by.empty()) {
-      auto gid = new_group({});
-      if (!gid.ok()) return gid.status();
-      group_ids[""] = gid.value();
-      group_rows.emplace_back();
-    }
-
-    for (size_t r = 0; r < current->num_rows(); ++r) {
-      std::string key;
-      for (const auto& gc : gcols) {
-        key += ValueGroupKey(gc.Get(r));
-        key.push_back('\x1f');
+    // Morsel-parallel partial aggregation needs mergeable accumulator
+    // states and rand()-free grouping/argument expressions (the RNG draw
+    // sequence is serial, seed-reproducible semantics). Everything else
+    // keeps the serial reference path, including num_threads == 1, whose
+    // output is the bit-level baseline.
+    const int num_threads = db_->num_threads();
+    bool parallel = num_threads > 1 && current->num_rows() > MorselRows();
+    if (parallel) {
+      for (const auto& g : stmt->group_by) {
+        if (ExprContainsRand(*g)) parallel = false;
       }
-      auto it = group_ids.find(key);
-      size_t gid;
-      if (it == group_ids.end()) {
-        std::vector<Value> keyvals;
-        keyvals.reserve(gcols.size());
-        for (const auto& gc : gcols) keyvals.push_back(gc.Get(r));
-        auto created = new_group(std::move(keyvals));
-        if (!created.ok()) return created.status();
-        gid = created.value();
-        group_ids.emplace(std::move(key), gid);
-        group_rows.emplace_back();
-      } else {
-        gid = it->second;
+      for (const auto& s : specs) {
+        if (s.arg != nullptr && ExprContainsRand(*s.arg)) parallel = false;
       }
-      group_rows[gid].push_back(static_cast<uint32_t>(r));
+    }
+    if (parallel) {
+      auto probe = make_accs();
+      if (!probe.ok()) return probe.status();
+      for (const auto& acc : probe.value()) {
+        if (!acc->Mergeable()) parallel = false;
+      }
     }
 
-    for (size_t g = 0; g < groups.size(); ++g) {
+    if (!parallel) {
+      // Serial path: batch-evaluate group keys and aggregate arguments once,
+      // column-at-a-time, assign hashed group ids over the materialized key
+      // columns (vectorized — no per-row string keys), and accumulate each
+      // group through the selection-vector batch interface.
+      Batch batch{current.get(), nullptr, &db_->rng()};
+      std::vector<Column> gcols;
+      gcols.reserve(stmt->group_by.size());
+      for (const auto& g : stmt->group_by) {
+        auto c = EvalExprBatch(*g, batch);
+        if (!c.ok()) return c.status();
+        gcols.push_back(std::move(c).ValueOrDie());
+      }
+      std::vector<Column> acols(specs.size());
       for (size_t i = 0; i < specs.size(); ++i) {
-        if (specs[i].arg != nullptr) {
-          groups[g].accs[i]->AddBatch(acols[i], group_rows[g].data(),
-                                      group_rows[g].size());
-        } else {
-          groups[g].accs[i]->AddRepeated(Value::Int(1),
-                                         group_rows[g].size());
+        if (specs[i].arg == nullptr) continue;
+        auto c = EvalExprBatch(*specs[i].arg, batch);
+        if (!c.ok()) return c.status();
+        acols[i] = std::move(c).ValueOrDie();
+      }
+
+      const size_t n = current->num_rows();
+      std::vector<const Column*> gptrs;
+      gptrs.reserve(gcols.size());
+      for (const auto& gc : gcols) gptrs.push_back(&gc);
+      GroupAssignment ga = AssignGroupIds(gptrs, n);
+      std::vector<SelVector> group_rows(ga.num_groups());
+      for (size_t r = 0; r < n; ++r) {
+        group_rows[ga.gid_of_row[r]].push_back(static_cast<uint32_t>(r));
+      }
+      for (size_t g = 0; g < ga.num_groups(); ++g) {
+        Group grp;
+        grp.keys.reserve(gcols.size());
+        for (const auto& gc : gcols) grp.keys.push_back(gc.Get(ga.rep_row[g]));
+        auto accs = make_accs();
+        if (!accs.ok()) return accs.status();
+        grp.accs = std::move(accs).ValueOrDie();
+        groups.push_back(std::move(grp));
+      }
+      // An aggregate without GROUP BY keys emits one row even over an empty
+      // input (count(*) = 0, sum = NULL, ...).
+      if (stmt->group_by.empty() && groups.empty()) {
+        Group grp;
+        auto accs = make_accs();
+        if (!accs.ok()) return accs.status();
+        grp.accs = std::move(accs).ValueOrDie();
+        groups.push_back(std::move(grp));
+        group_rows.emplace_back();
+      }
+
+      for (size_t g = 0; g < groups.size(); ++g) {
+        for (size_t i = 0; i < specs.size(); ++i) {
+          if (specs[i].arg != nullptr) {
+            groups[g].accs[i]->AddBatch(acols[i], group_rows[g].data(),
+                                        group_rows[g].size());
+          } else {
+            groups[g].accs[i]->AddRepeated(Value::Int(1),
+                                           group_rows[g].size());
+          }
+        }
+      }
+    } else {
+      // Parallel path: each morsel evaluates the grouping and argument
+      // expressions over its own row range, aggregates into morsel-local
+      // partial states, and the partials are merged strictly in morsel
+      // order — so the output (group order included) is deterministic and
+      // independent of both the thread count and the OS schedule.
+      struct LocalGroup {
+        std::string key_text;  // ValueGroupKey concatenation, merge key
+        std::vector<Value> keys;
+        std::vector<std::unique_ptr<AggAccumulator>> accs;
+      };
+      struct MorselAgg {
+        std::vector<LocalGroup> groups;
+        Status status = Status::Ok();
+      };
+      const size_t n = current->num_rows();
+      auto parts = ParallelMorselMap<MorselAgg>(
+          n, num_threads, [&](MorselAgg& res, size_t begin, size_t end) {
+            Batch batch{current.get(), nullptr, nullptr, begin, end};
+            const size_t ln = end - begin;
+            std::vector<Column> gcols;
+            gcols.reserve(stmt->group_by.size());
+            for (const auto& g : stmt->group_by) {
+              auto c = EvalExprBatch(*g, batch);
+              if (!c.ok()) {
+                res.status = c.status();
+                return;
+              }
+              gcols.push_back(std::move(c).ValueOrDie());
+            }
+            std::vector<Column> acols(specs.size());
+            for (size_t i = 0; i < specs.size(); ++i) {
+              if (specs[i].arg == nullptr) continue;
+              auto c = EvalExprBatch(*specs[i].arg, batch);
+              if (!c.ok()) {
+                res.status = c.status();
+                return;
+              }
+              acols[i] = std::move(c).ValueOrDie();
+            }
+            std::vector<const Column*> gptrs;
+            gptrs.reserve(gcols.size());
+            for (const auto& gc : gcols) gptrs.push_back(&gc);
+            GroupAssignment ga = AssignGroupIds(gptrs, ln);
+            std::vector<SelVector> rows(ga.num_groups());
+            for (size_t r = 0; r < ln; ++r) {
+              rows[ga.gid_of_row[r]].push_back(static_cast<uint32_t>(r));
+            }
+            res.groups.reserve(ga.num_groups());
+            for (size_t g = 0; g < ga.num_groups(); ++g) {
+              LocalGroup lg;
+              lg.keys.reserve(gcols.size());
+              for (const auto& gc : gcols) {
+                lg.keys.push_back(gc.Get(ga.rep_row[g]));
+              }
+              for (const Value& v : lg.keys) {
+                lg.key_text += ValueGroupKey(v);
+                lg.key_text.push_back('\x1f');
+              }
+              auto accs = make_accs();
+              if (!accs.ok()) {
+                res.status = accs.status();
+                return;
+              }
+              lg.accs = std::move(accs).ValueOrDie();
+              for (size_t i = 0; i < specs.size(); ++i) {
+                if (specs[i].arg != nullptr) {
+                  lg.accs[i]->AddBatch(acols[i], rows[g].data(),
+                                       rows[g].size());
+                } else {
+                  lg.accs[i]->AddRepeated(Value::Int(1), rows[g].size());
+                }
+              }
+              res.groups.push_back(std::move(lg));
+            }
+          });
+
+      std::unordered_map<std::string, size_t> merge_ids;
+      for (MorselAgg& part : parts) {
+        if (!part.status.ok()) return part.status;
+        for (LocalGroup& lg : part.groups) {
+          auto [it, inserted] = merge_ids.emplace(lg.key_text, groups.size());
+          if (inserted) {
+            Group grp;
+            grp.keys = std::move(lg.keys);
+            grp.accs = std::move(lg.accs);
+            groups.push_back(std::move(grp));
+          } else {
+            Group& dst = groups[it->second];
+            for (size_t i = 0; i < specs.size(); ++i) {
+              dst.accs[i]->Merge(*lg.accs[i]);
+            }
+          }
         }
       }
     }
@@ -583,16 +705,18 @@ class SelectExecutor {
       agg_to_col[text] = static_cast<int>(gk) + idx;
     }
 
-    // HAVING: batch predicate over the aggregate table.
+    // HAVING: batch predicate over the aggregate table (morsel-parallel
+    // when the group count warrants it).
     if (stmt->having) {
       auto bound = RebindPostAgg(*stmt->having, text_to_col, agg_to_col);
       if (!bound.ok()) return bound.status();
       SelVector hsel;
-      Batch hbatch{agg_table.get(), nullptr, &db_->rng()};
-      VDB_RETURN_IF_ERROR(EvalPredicateBatch(*bound.value(), hbatch, &hsel));
+      VDB_RETURN_IF_ERROR(EvalPredicateParallel(*bound.value(), *agg_table,
+                                                &db_->rng(),
+                                                db_->num_threads(), &hsel));
       if (hsel.size() < agg_table->num_rows()) {
         auto filtered = agg_table->CloneSchema();
-        filtered->AppendSelected(*agg_table, hsel);
+        filtered->AppendSelected(*agg_table, hsel, db_->num_threads());
         agg_table = filtered;
       }
     }
@@ -768,21 +892,18 @@ class SelectExecutor {
 
   // ------------------------------------------------------- distinct/order --
   ResultSet Dedupe(ResultSet rs) {
-    std::unordered_set<std::string> seen;
-    SelVector keep;
-    for (size_t r = 0; r < rs.NumRows(); ++r) {
-      std::string key;
-      for (size_t c = 0; c < rs.NumCols(); ++c) {
-        key += ValueGroupKey(rs.Get(r, c));
-        key.push_back('\x1f');
-      }
-      if (seen.insert(std::move(key)).second) {
-        keep.push_back(static_cast<uint32_t>(r));
-      }
+    // Vectorized DISTINCT: hashed group ids over the output columns; the
+    // representative rows (first occurrences, ascending) are the survivors.
+    std::vector<const Column*> cols;
+    cols.reserve(rs.table->num_columns());
+    for (size_t c = 0; c < rs.table->num_columns(); ++c) {
+      cols.push_back(&rs.table->column(c));
     }
-    if (keep.size() == rs.NumRows()) return rs;
+    GroupAssignment ga = AssignGroupIds(cols, rs.NumRows());
+    if (ga.num_groups() == rs.NumRows()) return rs;
+    SelVector keep(ga.rep_row.begin(), ga.rep_row.end());
     auto out = rs.table->CloneSchema();
-    out->AppendSelected(*rs.table, keep);
+    out->AppendSelected(*rs.table, keep, db_->num_threads());
     rs.table = out;
     return rs;
   }
@@ -839,7 +960,7 @@ class SelectExecutor {
     });
 
     auto sorted = rs->table->CloneSchema();
-    sorted->AppendSelected(*rs->table, perm);
+    sorted->AppendSelected(*rs->table, perm, db_->num_threads());
     rs->table = sorted;
     return Status::Ok();
   }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cctype>
 
+#include "common/thread_pool.h"
+
 namespace vdb::engine {
 
 namespace {
@@ -47,9 +49,20 @@ void Table::AppendRowFrom(const Table& src, size_t src_row) {
   ++num_rows_;
 }
 
-void Table::AppendSelected(const Table& src, const SelVector& sel) {
-  for (size_t i = 0; i < columns_.size(); ++i) {
-    columns_[i].AppendSelected(src.columns_[i], sel.data(), sel.size());
+void Table::AppendSelected(const Table& src, const SelVector& sel,
+                           int num_threads) {
+  // Column-parallel gather: each column writes only its own storage. Cheap
+  // shapes (few rows or a single column) stay serial.
+  if (num_threads > 1 && columns_.size() > 1 && sel.size() >= 4096) {
+    ThreadPool::Global().ParallelFor(
+        columns_.size(), 1, num_threads, [&](size_t, size_t begin, size_t) {
+          columns_[begin].AppendSelected(src.columns_[begin], sel.data(),
+                                         sel.size());
+        });
+  } else {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      columns_[i].AppendSelected(src.columns_[i], sel.data(), sel.size());
+    }
   }
   num_rows_ += sel.size();
 }

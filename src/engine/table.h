@@ -47,7 +47,10 @@ class Table {
 
   /// Bulk-copies the rows selected by `sel` from `src` (same schema arity),
   /// in selection order. The vectorized executor's materialization path.
-  void AppendSelected(const Table& src, const SelVector& sel);
+  /// With num_threads > 1 the columns are gathered in parallel (each column
+  /// is independent, so the result is identical to the serial gather).
+  void AppendSelected(const Table& src, const SelVector& sel,
+                      int num_threads = 1);
 
   /// Bulk-copies rows [start, start + count) of `src` (same schema arity).
   void AppendRange(const Table& src, size_t start, size_t count);

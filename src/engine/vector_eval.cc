@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/hash.h"
+#include "common/thread_pool.h"
 #include "engine/expr_eval.h"
 #include "engine/functions.h"
 
@@ -28,6 +29,7 @@ using TriVec = std::vector<int8_t>;
 struct Vec {
   Column owned;
   const Column* borrowed = nullptr;
+  size_t offset = 0;  // first borrowed row (row-range morsel batches)
   std::vector<Value> boxed;  // used only when mixed
   bool mixed = false;
   bool is_const = false;
@@ -36,7 +38,7 @@ struct Vec {
   /// Storage type; only meaningful when !mixed (callers branch on mixed
   /// before dispatching typed lanes).
   TypeId type() const { return col().type(); }
-  size_t pos(size_t k) const { return is_const ? 0 : k; }
+  size_t pos(size_t k) const { return is_const ? 0 : offset + k; }
   bool IsNull(size_t k) const {
     return mixed ? boxed[pos(k)].is_null() : col().IsNull(pos(k));
   }
@@ -196,11 +198,12 @@ NumView ResolveNum(const Vec& v, size_t n) {
     return o;
   }
   const Column& c = v.col();
-  o.nulls = c.NullData();
+  const uint8_t* nulls = c.NullData();
+  o.nulls = nulls == nullptr ? nullptr : nulls + v.offset;
   if (c.type() == TypeId::kDouble) {
-    o.data = c.DoubleData();
+    o.data = c.DoubleData() + v.offset;
   } else {  // kInt64 / kBool
-    const int64_t* p = c.IntData();
+    const int64_t* p = c.IntData() + v.offset;
     o.storage.resize(n);
     for (size_t k = 0; k < n; ++k) o.storage[k] = static_cast<double>(p[k]);
     o.data = o.storage.data();
@@ -224,8 +227,9 @@ IntView ResolveInt(const Vec& v) {
     if (!o.const_null) o.cval = v.IntRaw(0);
     return o;
   }
-  o.data = v.col().IntData();
-  o.nulls = v.col().NullData();
+  o.data = v.col().IntData() + v.offset;
+  const uint8_t* nulls = v.col().NullData();
+  o.nulls = nulls == nullptr ? nullptr : nulls + v.offset;
   return o;
 }
 
@@ -485,7 +489,10 @@ Result<Vec> ColumnRefVec(const Expr& e, const Batch& b) {
   const Column& src = b.table->column(static_cast<size_t>(e.bound_column));
   Vec v;
   if (b.sel == nullptr) {
+    // Whole-table batch or row-range morsel: zero-copy reference, with the
+    // range start carried as a lane offset.
     v.borrowed = &src;
+    v.offset = b.range_begin;
   } else {
     v.owned.AppendSelected(src, b.sel->data(), b.sel->size());
   }
@@ -695,28 +702,59 @@ Result<TriVec> EvalTri(const Expr& e, const Batch& b) {
   const size_t n = b.size();
   switch (e.kind) {
     case ExprKind::kBinary: {
-      if (e.binary_op == BinaryOp::kAnd || e.binary_op == BinaryOp::kOr) {
-        // Kleene logic over full child masks. Unlike the row interpreter the
-        // batch path evaluates both children for every row; data-dependent
-        // NULLs (div-by-zero etc.) are values, not errors, so results agree.
+      if (e.binary_op == BinaryOp::kAnd) {
+        // Selection-aware conjunction: a false left operand decides the row,
+        // so the right operand only needs the rows where the left came out
+        // true or unknown — like the row interpreter's short-circuit, but
+        // batch-at-a-time over a sub-selection. Evaluating the sub-batch
+        // costs a gather per column reference, so it pays off only when the
+        // left side is selective; above the cutover the contiguous
+        // whole-batch lanes win and the extra rows are simply masked out.
+        auto lt = EvalTri(*e.args[0], b);
+        if (!lt.ok()) return lt.status();
+        TriVec& l = lt.value();
+        size_t surviving = 0;
+        for (size_t k = 0; k < n; ++k) surviving += (l[k] != 0) ? 1 : 0;
+        if (surviving == 0) return std::move(l);  // all false
+        auto combine = [](int8_t lv, int8_t rv) -> int8_t {
+          return (lv == 0 || rv == 0) ? 0 : (lv == 1 && rv == 1) ? 1 : -1;
+        };
+        if (surviving * 4 > n) {
+          auto rt = EvalTri(*e.args[1], b);
+          if (!rt.ok()) return rt.status();
+          const TriVec& r = rt.value();
+          for (size_t k = 0; k < n; ++k) l[k] = combine(l[k], r[k]);
+          return std::move(l);
+        }
+        SelVector survivors;
+        survivors.reserve(surviving);
+        for (size_t k = 0; k < n; ++k) {
+          if (l[k] != 0) survivors.push_back(b.RowAt(k));
+        }
+        Batch sub{b.table, &survivors, b.rng};
+        auto rt = EvalTri(*e.args[1], sub);
+        if (!rt.ok()) return rt.status();
+        const TriVec& r = rt.value();
+        size_t i = 0;
+        for (size_t k = 0; k < n; ++k) {
+          if (l[k] != 0) l[k] = combine(l[k], r[i++]);
+        }
+        return std::move(l);
+      }
+      if (e.binary_op == BinaryOp::kOr) {
+        // Kleene logic over full child masks; data-dependent NULLs
+        // (div-by-zero etc.) are values, not errors, so results agree with
+        // the short-circuiting row interpreter.
         auto lt = EvalTri(*e.args[0], b);
         if (!lt.ok()) return lt.status();
         auto rt = EvalTri(*e.args[1], b);
         if (!rt.ok()) return rt.status();
         TriVec& l = lt.value();
         const TriVec& r = rt.value();
-        if (e.binary_op == BinaryOp::kAnd) {
-          for (size_t k = 0; k < n; ++k) {
-            l[k] = (l[k] == 0 || r[k] == 0) ? 0
-                   : (l[k] == 1 && r[k] == 1) ? 1
-                                              : -1;
-          }
-        } else {
-          for (size_t k = 0; k < n; ++k) {
-            l[k] = (l[k] == 1 || r[k] == 1) ? 1
-                   : (l[k] == 0 && r[k] == 0) ? 0
-                                              : -1;
-          }
+        for (size_t k = 0; k < n; ++k) {
+          l[k] = (l[k] == 1 || r[k] == 1) ? 1
+                 : (l[k] == 0 && r[k] == 0) ? 0
+                                            : -1;
         }
         return std::move(l);
       }
@@ -972,7 +1010,15 @@ Result<Column> EvalExprBatch(const Expr& e, const Batch& batch) {
     }
     return Status::Internal("unhandled constant type");
   }
-  if (v.borrowed != nullptr) return *v.borrowed;  // whole-column reference
+  if (v.borrowed != nullptr) {
+    if (v.offset == 0 && v.borrowed->size() == n) {
+      return *v.borrowed;  // whole-column reference
+    }
+    // Borrowed row-range slice: materialize only at the output boundary.
+    Column out(v.borrowed->type());
+    out.AppendRange(*v.borrowed, v.offset, n);
+    return out;
+  }
   return std::move(v.owned);
 }
 
@@ -983,6 +1029,58 @@ Status EvalPredicateBatch(const Expr& e, const Batch& batch, SelVector* out) {
   const size_t n = tri.size();
   for (size_t k = 0; k < n; ++k) {
     if (tri[k] == 1) out->push_back(batch.RowAt(k));
+  }
+  return Status::Ok();
+}
+
+bool ExprContainsRand(const Expr& e) {
+  if (e.kind == ExprKind::kFunction &&
+      (e.name == "rand" || e.name == "random" || e.name == "rand_poisson")) {
+    return true;
+  }
+  for (const auto& a : e.args) {
+    if (a && ExprContainsRand(*a)) return true;
+  }
+  for (const auto& w : e.case_whens) {
+    if (ExprContainsRand(*w)) return true;
+  }
+  for (const auto& t : e.case_thens) {
+    if (ExprContainsRand(*t)) return true;
+  }
+  if (e.case_else && ExprContainsRand(*e.case_else)) return true;
+  for (const auto& p : e.partition_by) {
+    if (ExprContainsRand(*p)) return true;
+  }
+  return false;
+}
+
+Status EvalPredicateParallel(const Expr& e, const Table& table, Rng* rng,
+                             int num_threads, SelVector* out) {
+  const size_t n = table.num_rows();
+  const size_t morsel = MorselRows();
+  if (num_threads <= 1 || n <= morsel || ExprContainsRand(e)) {
+    Batch batch{&table, nullptr, rng};
+    return EvalPredicateBatch(e, batch, out);
+  }
+  struct PredSlot {
+    SelVector sel;
+    Status status = Status::Ok();
+  };
+  auto slots = ParallelMorselMap<PredSlot>(
+      n, num_threads, [&](PredSlot& slot, size_t begin, size_t end) {
+        // No RNG in the morsel batches: rand()-bearing expressions were
+        // routed to the serial path above, and Rng is not thread-safe.
+        Batch batch{&table, nullptr, nullptr, begin, end};
+        slot.status = EvalPredicateBatch(e, batch, &slot.sel);
+      });
+  size_t total = 0;
+  for (const PredSlot& slot : slots) {
+    if (!slot.status.ok()) return slot.status;
+    total += slot.sel.size();
+  }
+  out->reserve(out->size() + total);
+  for (const PredSlot& slot : slots) {
+    out->insert(out->end(), slot.sel.begin(), slot.sel.end());
   }
   return Status::Ok();
 }

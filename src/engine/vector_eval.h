@@ -22,17 +22,28 @@
 namespace vdb::engine {
 
 /// A batch of input rows: a table plus an optional selection vector of
-/// surviving row indices. A null `sel` means all rows of the table.
+/// surviving row indices. A null `sel` means the contiguous row range
+/// [range_begin, range_end) of the table — by default the whole table. The
+/// range form is how the morsel-driven parallel scan hands one worker its
+/// slice without materializing a selection vector.
 struct Batch {
-  const Table* table = nullptr;
-  const SelVector* sel = nullptr;  // null => all rows [0, num_rows)
-  Rng* rng = nullptr;              // backs rand() via the row fallback
+  static constexpr size_t kWholeTable = static_cast<size_t>(-1);
 
+  const Table* table = nullptr;
+  const SelVector* sel = nullptr;  // null => rows [range_begin, range_end)
+  Rng* rng = nullptr;              // backs rand() via the row fallback
+  size_t range_begin = 0;          // used only when sel == null
+  size_t range_end = kWholeTable;  // kWholeTable => table->num_rows()
+
+  size_t RangeEnd() const {
+    return range_end == kWholeTable ? (table != nullptr ? table->num_rows() : 0)
+                                    : range_end;
+  }
   size_t size() const {
-    return sel != nullptr ? sel->size() : (table != nullptr ? table->num_rows() : 0);
+    return sel != nullptr ? sel->size() : RangeEnd() - range_begin;
   }
   uint32_t RowAt(size_t i) const {
-    return sel != nullptr ? (*sel)[i] : static_cast<uint32_t>(i);
+    return sel != nullptr ? (*sel)[i] : static_cast<uint32_t>(range_begin + i);
   }
 };
 
@@ -43,12 +54,16 @@ struct Batch {
 ///  - Boolean-valued expressions produce kBool columns (the old per-row
 ///    Column::Append materialization folded Bool into Int64); only
 ///    heterogeneous per-row type mixes still coerce through Column::Append.
-///  - AND/OR operands, CASE branches, and IN items are evaluated for the
-///    whole batch rather than short-circuited per row, so expression-level
-///    errors (e.g. an unknown function on the never-taken side) surface
-///    eagerly, and rand() inside them draws for every row. Data-dependent
-///    NULLs (division by zero etc.) are values, not errors, so results
-///    agree.
+///  - OR operands, CASE branches, and IN items are evaluated for the whole
+///    batch rather than short-circuited per row, so expression-level errors
+///    (e.g. an unknown function on the never-taken side) surface eagerly,
+///    and rand() inside them draws for every row. Data-dependent NULLs
+///    (division by zero etc.) are values, not errors, so results agree.
+///    AND is selection-aware: when the left conjunct is selective (it
+///    decides at least 3/4 of the rows false), the right conjunct is
+///    evaluated only over the surviving rows (matching the row
+///    interpreter's short-circuit); otherwise contiguous whole-batch lanes
+///    stay cheaper and the decided rows are masked out afterwards.
 Result<Column> EvalExprBatch(const sql::Expr& e, const Batch& batch);
 
 /// Evaluates a predicate over the batch and appends the physical row indices
@@ -56,6 +71,21 @@ Result<Column> EvalExprBatch(const sql::Expr& e, const Batch& batch);
 /// NULL logic matches EvalPredicate.
 Status EvalPredicateBatch(const sql::Expr& e, const Batch& batch,
                           SelVector* out);
+
+/// Evaluates a predicate over the whole table on up to num_threads threads:
+/// one EvalPredicateBatch per row-range morsel, with the per-morsel selection
+/// vectors concatenated in morsel order, so the result is identical to a
+/// single-threaded evaluation. Expressions that draw randomness (rand(),
+/// rand_poisson()) fall back to one serial whole-table batch, as do inputs
+/// smaller than a single morsel.
+Status EvalPredicateParallel(const sql::Expr& e, const Table& table, Rng* rng,
+                             int num_threads, SelVector* out);
+
+/// True if the expression tree contains a function that draws from the
+/// engine RNG (rand / random / rand_poisson). Such expressions are pinned to
+/// serial evaluation: the draw sequence is part of the deterministic,
+/// seed-reproducible semantics, and Rng is not thread-safe.
+bool ExprContainsRand(const sql::Expr& e);
 
 }  // namespace vdb::engine
 

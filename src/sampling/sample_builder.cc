@@ -24,12 +24,13 @@ std::string JoinList(const std::vector<std::string>& items,
 }
 
 /// Gathers the selected base rows plus a constant verdict_prob column into a
-/// fresh sample table (the vectorized sample-construction path).
+/// fresh sample table (the vectorized sample-construction path). The gather
+/// runs column-parallel on num_threads.
 engine::TablePtr MaterializeSample(const engine::Table& base,
                                    const engine::SelVector& sel,
-                                   double prob) {
+                                   double prob, int num_threads) {
   auto sample = base.CloneSchema();
-  sample->AppendSelected(base, sel);
+  sample->AppendSelected(base, sel, num_threads);
   engine::Column prob_col = engine::Column::FromData(
       TypeId::kDouble, {}, std::vector<double>(sel.size(), prob), {}, {});
   sample->AddColumn("verdict_prob", std::move(prob_col));
@@ -81,7 +82,9 @@ Result<SampleInfo> SampleBuilder::CreateUniformSample(const std::string& base,
 
   // In-process engines take a vectorized direct scan: a Bernoulli selection
   // vector over the base table, bulk-gathered into the sample. Other
-  // dialects go through SQL so their syntax rules still apply.
+  // dialects go through SQL so their syntax rules still apply. The Bernoulli
+  // draw itself stays serial (the RNG sequence is part of the reproducible,
+  // seeded semantics); the gather is column-parallel.
   if (conn_->dialect().kind == driver::EngineKind::kGeneric) {
     auto* db = conn_->database();
     auto t = db->catalog().GetTable(base);
@@ -94,7 +97,8 @@ Result<SampleInfo> SampleBuilder::CreateUniformSample(const std::string& base,
     }
     db->AddRowsScanned(t->num_rows());
     VDB_RETURN_IF_ERROR(db->catalog().CreateTable(
-        info.sample_table, MaterializeSample(*t, sel, tau)));
+        info.sample_table,
+        MaterializeSample(*t, sel, tau, db->num_threads())));
     info.sample_rows = sel.size();
     VDB_RETURN_IF_ERROR(catalog_->Register(info));
     return info;
@@ -134,7 +138,8 @@ Result<SampleInfo> SampleBuilder::CreateHashedSample(const std::string& base,
 
   // In-process engines run the membership predicate verdict_hash(C) < tau
   // through the batch evaluator directly over the base table — one pass, no
-  // temporary table.
+  // temporary table. The hash predicate is deterministic (no RNG), so both
+  // the scan and the gather run morsel-parallel.
   if (conn_->dialect().kind == driver::EngineKind::kGeneric) {
     auto* db = conn_->database();
     auto t = db->catalog().GetTable(base);
@@ -152,8 +157,8 @@ Result<SampleInfo> SampleBuilder::CreateHashedSample(const std::string& base,
                         sql::MakeFunction("verdict_hash", std::move(args)),
                         sql::MakeDoubleLit(tau));
     engine::SelVector sel;
-    engine::Batch batch{t.get(), nullptr, &db->rng()};
-    VDB_RETURN_IF_ERROR(engine::EvalPredicateBatch(*pred, batch, &sel));
+    VDB_RETURN_IF_ERROR(engine::EvalPredicateParallel(
+        *pred, *t, &db->rng(), db->num_threads(), &sel));
     db->AddRowsScanned(t->num_rows());
     info.sample_rows = sel.size();
     // Hashed samples record the realized ratio |Ts|/|T| (paper §3.1).
@@ -161,7 +166,8 @@ Result<SampleInfo> SampleBuilder::CreateHashedSample(const std::string& base,
                                 : static_cast<double>(sel.size()) /
                                       static_cast<double>(n.value());
     VDB_RETURN_IF_ERROR(db->catalog().CreateTable(
-        info.sample_table, MaterializeSample(*t, sel, info.ratio)));
+        info.sample_table,
+        MaterializeSample(*t, sel, info.ratio, db->num_threads())));
     VDB_RETURN_IF_ERROR(catalog_->Register(info));
     return info;
   }

@@ -1,0 +1,354 @@
+// Morsel-driven parallel execution: determinism across thread counts.
+//
+// Every query here is executed against identical databases configured with
+// 1, 2 and 8 threads, and the full result sets (values AND row order) must
+// match. The fixtures shrink the morsel size so small tables still span many
+// morsels, and cover the boundary cases: row counts smaller than one
+// morsel, exact multiples of the morsel size, off-by-one around it, and
+// empty inputs. Floating-point note: the parallel path merges partial
+// aggregation states in morsel order, which is deterministic for any thread
+// count; test data uses exactly-representable doubles (multiples of 0.25)
+// so sums and averages are bit-identical to the serial path too. Welford
+// variance merges reassociate, so the var/stddev test allows last-ulp
+// differences between 1 thread and N > 1 (N = 2 vs N = 8 stays exact).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/verdict_context.h"
+#include "engine/database.h"
+
+namespace vdb::engine {
+namespace {
+
+constexpr uint64_t kSeed = 20260729;
+constexpr size_t kTestMorselRows = 1000;
+
+TablePtr BuildOrders(size_t n) {
+  Rng rng(kSeed);
+  auto t = std::make_shared<Table>();
+  t->AddColumn("id", TypeId::kInt64);
+  t->AddColumn("city", TypeId::kString);
+  t->AddColumn("price", TypeId::kDouble);
+  t->AddColumn("qty", TypeId::kInt64);
+  t->AddColumn("k", TypeId::kInt64);
+  const char* cities[] = {"ann arbor", "detroit", "chicago", "nyc", "sf"};
+  for (size_t r = 0; r < n; ++r) {
+    // Prices are multiples of 0.25: every partial sum is exactly
+    // representable, so parallel merge order cannot change the result.
+    double price = static_cast<double>(rng.NextInRange(0, 4000)) * 0.25;
+    Value qty = (r % 13 == 0) ? Value::Null()
+                              : Value::Int(rng.NextInRange(0, 99));
+    t->AppendRow({Value::Int(static_cast<int64_t>(r)),
+                  Value::String(cities[rng.NextBounded(5)]),
+                  Value::Double(price), qty,
+                  Value::Int(rng.NextInRange(0, 60))});
+  }
+  return t;
+}
+
+TablePtr BuildDim() {
+  auto t = std::make_shared<Table>();
+  t->AddColumn("k", TypeId::kInt64);
+  t->AddColumn("label", TypeId::kString);
+  for (int64_t k = 0; k < 50; ++k) {  // keys 50..59 have no match
+    t->AppendRow({Value::Int(k), Value::String("label_" + std::to_string(k))});
+  }
+  return t;
+}
+
+std::unique_ptr<Database> MakeDb(size_t rows, int num_threads) {
+  auto db = std::make_unique<Database>(kSeed);
+  db->set_num_threads(num_threads);
+  EXPECT_TRUE(db->RegisterTable("orders", BuildOrders(rows)).ok());
+  EXPECT_TRUE(db->RegisterTable("dim", BuildDim()).ok());
+  return db;
+}
+
+void ExpectSameResults(const ResultSet& ref, const ResultSet& got,
+                       const std::string& what, double eps = 0.0) {
+  ASSERT_EQ(ref.NumCols(), got.NumCols()) << what;
+  ASSERT_EQ(ref.NumRows(), got.NumRows()) << what;
+  for (size_t c = 0; c < ref.NumCols(); ++c) {
+    EXPECT_EQ(ref.names[c], got.names[c]) << what;
+  }
+  for (size_t r = 0; r < ref.NumRows(); ++r) {
+    for (size_t c = 0; c < ref.NumCols(); ++c) {
+      const Value a = ref.Get(r, c);
+      const Value b = got.Get(r, c);
+      ASSERT_EQ(a.is_null(), b.is_null())
+          << what << " cell (" << r << "," << c << ")";
+      if (a.is_null()) continue;
+      if (eps > 0.0 && a.type() == TypeId::kDouble) {
+        EXPECT_NEAR(a.AsDouble(), b.AsDouble(),
+                    eps * std::max(1.0, std::abs(a.AsDouble())))
+            << what << " cell (" << r << "," << c << ")";
+      } else {
+        ASSERT_EQ(a.type(), b.type())
+            << what << " cell (" << r << "," << c << ")";
+        EXPECT_TRUE(a.Equals(b))
+            << what << " cell (" << r << "," << c << "): " << a.ToString()
+            << " vs " << b.ToString();
+      }
+    }
+  }
+}
+
+/// Runs `sql` at 1, 2 and 8 threads over identical databases and asserts
+/// identical results (including row order).
+void CheckQueryAcrossThreads(size_t rows, const std::string& sql,
+                             double eps = 0.0) {
+  auto ref_db = MakeDb(rows, 1);
+  auto ref = ref_db->Execute(sql);
+  ASSERT_TRUE(ref.ok()) << sql << " -> " << ref.status().ToString();
+  for (int threads : {2, 8}) {
+    auto db = MakeDb(rows, threads);
+    auto got = db->Execute(sql);
+    ASSERT_TRUE(got.ok()) << sql << " -> " << got.status().ToString();
+    ExpectSameResults(ref.value(), got.value(),
+                      sql + " @" + std::to_string(threads) + " threads", eps);
+  }
+}
+
+class ParallelTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SetMorselRowsForTest(kTestMorselRows); }
+  void TearDown() override { SetMorselRowsForTest(0); }
+};
+
+TEST_F(ParallelTest, FilterDeterminism) {
+  CheckQueryAcrossThreads(
+      10007, "select id, price from orders where price > 500 and qty < 50");
+}
+
+TEST_F(ParallelTest, FilterSelectsNothing) {
+  CheckQueryAcrossThreads(10007,
+                          "select id from orders where price < -1");
+}
+
+TEST_F(ParallelTest, FilterSelectsEverything) {
+  CheckQueryAcrossThreads(10007,
+                          "select count(*) as c from orders where price >= 0");
+}
+
+TEST_F(ParallelTest, GroupedAggregates) {
+  // No ORDER BY on purpose: the group discovery order (first occurrence in
+  // row order) must itself be deterministic across thread counts.
+  CheckQueryAcrossThreads(
+      10007,
+      "select city, count(*) as c, sum(qty) as sq, sum(price) as sp, "
+      "avg(price) as ap, min(price) as mn, max(id) as mx, "
+      "count(distinct qty) as dq, median(price) as md "
+      "from orders group by city");
+}
+
+TEST_F(ParallelTest, GlobalAggregateNoGroupBy) {
+  CheckQueryAcrossThreads(
+      10007,
+      "select count(*) as c, sum(price) as sp, min(qty) as mn, "
+      "ndv(qty) as nd from orders where qty is not null");
+}
+
+TEST_F(ParallelTest, GroupByHighCardinalityWithHaving) {
+  CheckQueryAcrossThreads(
+      10007,
+      "select k, qty, count(*) as c, sum(price) as sp from orders "
+      "group by k, qty having count(*) > 2");
+}
+
+TEST_F(ParallelTest, VarianceAcrossThreads) {
+  // Welford-state merges reassociate the recurrence: allow last-ulp noise.
+  CheckQueryAcrossThreads(
+      10007,
+      "select city, var(price) as vp, stddev(qty) as sq from orders "
+      "group by city",
+      1e-12);
+}
+
+TEST_F(ParallelTest, HashJoinProbe) {
+  CheckQueryAcrossThreads(
+      10007,
+      "select o.id, o.price, d.label from orders o join dim d on o.k = d.k "
+      "where o.price > 250");
+}
+
+TEST_F(ParallelTest, LeftJoinNullExtension) {
+  CheckQueryAcrossThreads(
+      10007,
+      "select o.id, d.label from orders o left join dim d on o.k = d.k");
+}
+
+TEST_F(ParallelTest, JoinThenGroupedAggregate) {
+  CheckQueryAcrossThreads(
+      10007,
+      "select d.label, count(*) as c, sum(o.price) as sp "
+      "from orders o join dim d on o.k = d.k group by d.label");
+}
+
+TEST_F(ParallelTest, DistinctAndOrderBy) {
+  CheckQueryAcrossThreads(
+      10007, "select distinct city, qty from orders order by city, qty");
+}
+
+TEST_F(ParallelTest, RandPredicateStaysSerialAndSeeded) {
+  // rand() pins the scan to the serial path; the draw sequence (and thus
+  // the selected rows) must be identical for every thread setting.
+  CheckQueryAcrossThreads(10007,
+                          "select count(*) as c from orders where rand() < 0.5");
+}
+
+// ---- morsel-boundary edge cases -------------------------------------------
+
+TEST_F(ParallelTest, RowCountSmallerThanOneMorsel) {
+  CheckQueryAcrossThreads(
+      17, "select city, count(*) as c, sum(price) as sp from orders "
+          "group by city");
+}
+
+TEST_F(ParallelTest, RowCountExactMultipleOfMorsel) {
+  CheckQueryAcrossThreads(
+      3 * kTestMorselRows,
+      "select count(*) as c, sum(price) as sp from orders where qty < 30");
+}
+
+TEST_F(ParallelTest, RowCountOffByOneAroundMorsel) {
+  for (size_t n : {kTestMorselRows - 1, kTestMorselRows, kTestMorselRows + 1,
+                   5 * kTestMorselRows - 1, 5 * kTestMorselRows + 1}) {
+    CheckQueryAcrossThreads(
+        n, "select city, count(*) as c, sum(price) as sp from orders "
+           "group by city");
+  }
+}
+
+TEST_F(ParallelTest, TinyMorsels) {
+  // Morsels far smaller than a natural batch: many single-digit work units.
+  SetMorselRowsForTest(7);
+  CheckQueryAcrossThreads(
+      500, "select qty, count(*) as c from orders where price > 100 "
+           "group by qty");
+}
+
+TEST_F(ParallelTest, EmptyInput) {
+  auto empty = std::make_shared<Table>();
+  empty->AddColumn("x", TypeId::kInt64);
+  for (int threads : {1, 2, 8}) {
+    Database db(kSeed);
+    db.set_num_threads(threads);
+    ASSERT_TRUE(db.RegisterTable("t", empty).ok());
+    auto rs = db.Execute("select count(*) as c, sum(x) as s from t where x > 0");
+    ASSERT_TRUE(rs.ok());
+    ASSERT_EQ(rs.value().NumRows(), 1u);
+    EXPECT_EQ(rs.value().Get(0, 0).AsInt(), 0);
+    EXPECT_TRUE(rs.value().Get(0, 1).is_null());
+  }
+}
+
+TEST_F(ParallelTest, NanGroupKeysAcrossThreads) {
+  // Both NaN signs must land in ONE group on every path: the serial
+  // vectorized group ids, the parallel morsel-local group ids, and the
+  // cross-morsel ValueGroupKey merge (which canonicalizes NaN).
+  const double nan_pos = std::numeric_limits<double>::quiet_NaN();
+  auto build = [&]() {
+    auto t = std::make_shared<Table>();
+    t->AddColumn("g", TypeId::kDouble);
+    t->AddColumn("v", TypeId::kInt64);
+    for (size_t r = 0; r < 3000; ++r) {
+      double g = (r % 3 == 0) ? nan_pos : (r % 3 == 1) ? -nan_pos : 1.5;
+      t->AppendRow({Value::Double(g), Value::Int(1)});
+    }
+    return t;
+  };
+  ResultSet ref;
+  for (int threads : {1, 2, 8}) {
+    Database db(kSeed);
+    db.set_num_threads(threads);
+    ASSERT_TRUE(db.RegisterTable("t", build()).ok());
+    auto rs = db.Execute("select count(*) as c, sum(v) as sv from t group by g");
+    ASSERT_TRUE(rs.ok());
+    ASSERT_EQ(rs.value().NumRows(), 2u) << threads << " threads";
+    if (threads == 1) {
+      ref = rs.value();
+    } else {
+      ExpectSameResults(ref, rs.value(),
+                        "nan groups @" + std::to_string(threads));
+    }
+  }
+}
+
+TEST_F(ParallelTest, ConcurrentCallersShareThePool) {
+  // Two application threads each running parallel queries against their own
+  // Database: the pool publishes one job at a time, so the callers must
+  // queue cleanly (no clobbered jobs) and both get the serial-path answer.
+  auto ref_db = MakeDb(10007, 1);
+  auto ref = ref_db->Execute("select city, count(*) as c, sum(price) as sp "
+                             "from orders group by city");
+  ASSERT_TRUE(ref.ok());
+  auto worker = [&](int* failures) {
+    auto db = MakeDb(10007, 4);
+    for (int i = 0; i < 20; ++i) {
+      auto got = db->Execute("select city, count(*) as c, sum(price) as sp "
+                             "from orders group by city");
+      if (!got.ok() || got.value().NumRows() != ref.value().NumRows()) {
+        ++*failures;
+        continue;
+      }
+      for (size_t r = 0; r < ref.value().NumRows(); ++r) {
+        for (size_t c = 0; c < ref.value().NumCols(); ++c) {
+          if (!ref.value().Get(r, c).Equals(got.value().Get(r, c))) {
+            ++*failures;
+          }
+        }
+      }
+    }
+  };
+  int fail_a = 0, fail_b = 0;
+  std::thread a(worker, &fail_a);
+  std::thread b(worker, &fail_b);
+  a.join();
+  b.join();
+  EXPECT_EQ(fail_a, 0);
+  EXPECT_EQ(fail_b, 0);
+}
+
+// ---- sample construction ---------------------------------------------------
+
+TEST_F(ParallelTest, SampleBuildsDeterministicAcrossThreads) {
+  struct SamplePair {
+    ResultSet uniform;
+    ResultSet hashed;
+  };
+  std::vector<SamplePair> results;
+  for (int threads : {1, 2, 8}) {
+    auto db = std::make_unique<Database>(kSeed);
+    ASSERT_TRUE(db->RegisterTable("orders", BuildOrders(10007)).ok());
+    core::VerdictOptions opts;
+    opts.num_threads = threads;
+    core::VerdictContext ctx(db.get(), driver::EngineKind::kGeneric, opts);
+    auto uni = ctx.sample_builder().CreateUniformSample("orders", 0.3);
+    ASSERT_TRUE(uni.ok()) << uni.status().ToString();
+    auto hashed = ctx.sample_builder().CreateHashedSample("orders", "id", 0.3);
+    ASSERT_TRUE(hashed.ok()) << hashed.status().ToString();
+    auto u = db->Execute("select * from " + uni.value().sample_table);
+    auto h = db->Execute("select * from " + hashed.value().sample_table);
+    ASSERT_TRUE(u.ok());
+    ASSERT_TRUE(h.ok());
+    results.push_back({u.value(), h.value()});
+  }
+  ASSERT_EQ(results.size(), 3u);
+  for (size_t i = 1; i < results.size(); ++i) {
+    ExpectSameResults(results[0].uniform, results[i].uniform,
+                      "uniform sample");
+    ExpectSameResults(results[0].hashed, results[i].hashed, "hashed sample");
+  }
+}
+
+}  // namespace
+}  // namespace vdb::engine

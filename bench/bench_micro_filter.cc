@@ -97,6 +97,89 @@ void RunCase(const Table& t, const Expr& pred, const char* label) {
               row_hits == batch_hits ? "ok" : "MISMATCH");
 }
 
+/// Gather cost: eager vs late materialization on a 1M-row filter→project
+/// path over a wide table (id, price, qty + 4 payload columns). Eager
+/// gathers the WHERE survivors into a fresh full-width table and projects
+/// from it — the pre-RowView pipeline, which pays for payload columns the
+/// query never outputs. Late carries a (table, SelVector) RowView and the
+/// projection's per-column gathers are the only materialization.
+void RunGatherCost(Rng* rng) {
+  const size_t rows = kRows;
+  std::vector<int64_t> ids(rows), qtys(rows);
+  std::vector<double> prices(rows), p1(rows), p2(rows), p3(rows);
+  std::vector<std::string> tags(rows);
+  static const char* kTags[] = {"alpha", "bravo", "charlie", "delta"};
+  for (size_t r = 0; r < rows; ++r) {
+    ids[r] = static_cast<int64_t>(r);
+    qtys[r] = rng->NextInRange(0, 99);
+    prices[r] = rng->NextDouble() * 1000.0;
+    p1[r] = rng->NextDouble();
+    p2[r] = rng->NextDouble();
+    p3[r] = rng->NextDouble();
+    tags[r] = kTags[r % 4];
+  }
+  auto t = std::make_shared<Table>();
+  t->AddColumn("id", Column::FromData(TypeId::kInt64, std::move(ids), {}, {}, {}));
+  t->AddColumn("price",
+               Column::FromData(TypeId::kDouble, {}, std::move(prices), {}, {}));
+  t->AddColumn("qty", Column::FromData(TypeId::kInt64, std::move(qtys), {}, {}, {}));
+  t->AddColumn("pay1", Column::FromData(TypeId::kDouble, {}, std::move(p1), {}, {}));
+  t->AddColumn("pay2", Column::FromData(TypeId::kDouble, {}, std::move(p2), {}, {}));
+  t->AddColumn("pay3", Column::FromData(TypeId::kDouble, {}, std::move(p3), {}, {}));
+  t->AddColumn("tag",
+               Column::FromData(TypeId::kString, {}, {}, std::move(tags), {}));
+
+  auto pred = sql::MakeBinary(BinaryOp::kGt, Ref(*t, "price"),
+                              sql::MakeDoubleLit(500.0));
+  auto out_expr = sql::MakeBinary(
+      BinaryOp::kMul, Ref(*t, "price"),
+      sql::MakeBinary(BinaryOp::kAdd, Ref(*t, "qty"), sql::MakeIntLit(1)));
+
+  Rng eval_rng(3);
+  SelVector sel;
+  Batch batch{t.get(), nullptr, &eval_rng};
+  (void)EvalPredicateBatch(*pred, batch, &sel);
+
+  size_t eager_rows = 0, late_rows = 0;
+  double eager_ms = 1e300, late_ms = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    eager_ms = std::min(eager_ms, TimeMs([&] {
+      // Full-width intermediate gather (all 7 columns), then project.
+      auto filtered = t->CloneSchema();
+      filtered->AppendSelected(*t, sel);
+      auto out = std::make_shared<Table>();
+      out->AddColumn("id", filtered->column(0));
+      Batch fb{filtered.get(), nullptr, &eval_rng};
+      auto col = EvalExprBatch(*out_expr, fb);
+      if (col.ok()) out->AddColumn("e", std::move(col).ValueOrDie());
+      eager_rows = out->num_rows();
+    }));
+    late_ms = std::min(late_ms, TimeMs([&] {
+      // View pipeline: the projection's column gathers are the only
+      // materialization; payload columns are never touched.
+      auto view = engine::RowView::Select(t, sel);
+      if (!view.ok()) return;
+      auto out = std::make_shared<Table>();
+      out->AddColumn("id", view.value().GatherColumn(t->column(0)));
+      auto col = engine::EvalExprView(*out_expr, view.value(), &eval_rng, 1);
+      if (col.ok()) out->AddColumn("e", std::move(col).ValueOrDie());
+      late_rows = out->num_rows();
+    }));
+  }
+
+  PrintHeader(
+      "micro: gather cost, eager vs late materialization (1M-row wide-table "
+      "filter->project, ~50% selectivity)");
+  std::printf("%-34s %10s %13s %9s\n", "pipeline", "ms", "rows/s", "speedup");
+  std::printf("%-34s %10.1f %12.2fM %9s\n", "eager (full-width gather)",
+              eager_ms, static_cast<double>(rows) / (eager_ms / 1000.0) / 1e6,
+              "1.0x");
+  std::printf("%-34s %10.1f %12.2fM %8.1fx  %s\n", "late (RowView, gather once)",
+              late_ms, static_cast<double>(rows) / (late_ms / 1000.0) / 1e6,
+              eager_ms / late_ms,
+              eager_rows == late_rows ? "ok" : "MISMATCH");
+}
+
 /// Thread scale-up on the engine's full execution path: parse, morsel-
 /// parallel WHERE, column-parallel materialization, parallel partial
 /// aggregation with morsel-order merge.
@@ -197,6 +280,7 @@ int main() {
     RunCase(*t, *in, "qty in (1, 17, 42)");
   }
 
+  RunGatherCost(&rng);
   RunThreadSweep(t);
   return 0;
 }

@@ -123,13 +123,31 @@ class DistinctCountAcc : public AggAccumulator {
   std::unordered_set<std::string> seen_;
 };
 
+/// Kahan–Babuška–Neumaier compensated accumulation: (sum, comp) carries the
+/// running value plus the rounding error of every addition so far, so
+/// per-morsel partials lose (essentially) nothing and the morsel-order merge
+/// recovers the near-correctly-rounded total. The planner runs every
+/// mergeable aggregation through the same fixed morsel decomposition at
+/// every thread count, so serial and N-thread results are bit-identical by
+/// construction; the compensation buys accuracy on top (downstream error
+/// estimators divide by these sums).
+inline void NeumaierAdd(double& sum, double& comp, double x) {
+  const double t = sum + x;
+  if (std::abs(sum) >= std::abs(x)) {
+    comp += (sum - t) + x;
+  } else {
+    comp += (x - t) + sum;
+  }
+  sum = t;
+}
+
 class SumAcc : public AggAccumulator {
  public:
   void Add(const Value& v) override {
     if (v.is_null()) return;
     any_ = true;
     if (v.type() != TypeId::kInt64) all_int_ = false;
-    sum_ += v.AsDouble();
+    NeumaierAdd(sum_, comp_, v.AsDouble());
   }
   void AddBatch(const Column& col, const uint32_t* rows, size_t n) override {
     switch (col.type()) {
@@ -137,7 +155,7 @@ class SumAcc : public AggAccumulator {
         for (size_t i = 0; i < n; ++i) {
           if (col.IsNull(rows[i])) continue;
           any_ = true;
-          sum_ += static_cast<double>(col.GetInt(rows[i]));
+          NeumaierAdd(sum_, comp_, static_cast<double>(col.GetInt(rows[i])));
         }
         break;
       case TypeId::kDouble:
@@ -145,7 +163,7 @@ class SumAcc : public AggAccumulator {
           if (col.IsNull(rows[i])) continue;
           any_ = true;
           all_int_ = false;
-          sum_ += col.GetDouble(rows[i]);
+          NeumaierAdd(sum_, comp_, col.GetDouble(rows[i]));
         }
         break;
       default:
@@ -154,19 +172,23 @@ class SumAcc : public AggAccumulator {
   }
   bool Mergeable() const override { return true; }
   void Merge(const AggAccumulator& other) override {
+    // Compensated merge: fold the partial's value and its error term.
     const auto& o = static_cast<const SumAcc&>(other);
-    sum_ += o.sum_;
+    NeumaierAdd(sum_, comp_, o.sum_);
+    NeumaierAdd(sum_, comp_, o.comp_);
     any_ = any_ || o.any_;
     all_int_ = all_int_ && o.all_int_;
   }
   Value Finalize() const override {
     if (!any_) return Value::Null();
-    if (all_int_) return Value::Int(static_cast<int64_t>(std::llround(sum_)));
-    return Value::Double(sum_);
+    const double total = sum_ + comp_;
+    if (all_int_) return Value::Int(static_cast<int64_t>(std::llround(total)));
+    return Value::Double(total);
   }
 
  private:
   double sum_ = 0.0;
+  double comp_ = 0.0;  // Neumaier error term
   bool any_ = false;
   bool all_int_ = true;
 };
@@ -175,30 +197,32 @@ class AvgAcc : public AggAccumulator {
  public:
   void Add(const Value& v) override {
     if (v.is_null()) return;
-    sum_ += v.AsDouble();
+    NeumaierAdd(sum_, comp_, v.AsDouble());
     ++n_;
   }
   void AddBatch(const Column& col, const uint32_t* rows, size_t n) override {
     // GetNumeric matches Value::AsDouble for every type (strings read 0).
     for (size_t i = 0; i < n; ++i) {
       if (col.IsNull(rows[i])) continue;
-      sum_ += col.GetNumeric(rows[i]);
+      NeumaierAdd(sum_, comp_, col.GetNumeric(rows[i]));
       ++n_;
     }
   }
   bool Mergeable() const override { return true; }
   void Merge(const AggAccumulator& other) override {
     const auto& o = static_cast<const AvgAcc&>(other);
-    sum_ += o.sum_;
+    NeumaierAdd(sum_, comp_, o.sum_);
+    NeumaierAdd(sum_, comp_, o.comp_);
     n_ += o.n_;
   }
   Value Finalize() const override {
     if (n_ == 0) return Value::Null();
-    return Value::Double(sum_ / static_cast<double>(n_));
+    return Value::Double((sum_ + comp_) / static_cast<double>(n_));
   }
 
  private:
   double sum_ = 0.0;
+  double comp_ = 0.0;  // Neumaier error term
   int64_t n_ = 0;
 };
 
@@ -305,9 +329,9 @@ class VarAcc : public AggAccumulator {
   bool Mergeable() const override { return true; }
   void Merge(const AggAccumulator& other) override {
     // Chan et al.'s pairwise update of Welford state. Algebraically equal to
-    // the sequential recurrence; rounding can differ from it in the last
-    // ulps (the parallel path's deterministic morsel-order merge keeps the
-    // result independent of thread count regardless).
+    // the sequential recurrence (rounding can differ in the last ulps); the
+    // planner applies the same morsel decomposition and merge order at every
+    // thread count, so var/stddev are bit-identical across 1..N threads.
     const auto& o = static_cast<const VarAcc&>(other);
     if (o.n_ == 0) return;
     if (n_ == 0) {

@@ -44,10 +44,12 @@ class AggAccumulator {
   /// otherwise the planner keeps the serial path. UDAs default to false.
   virtual bool Mergeable() const { return false; }
   /// Folds a partial state into this one. `other` must be the same concrete
-  /// accumulator type, and both Mergeable(). The parallel path merges morsel
-  /// partials strictly in morsel order, so results are deterministic and
-  /// independent of thread count (for floating-point sums they can differ
-  /// from the serial row-order accumulation in the last ulps).
+  /// accumulator type, and both Mergeable(). The planner aggregates every
+  /// mergeable query through per-morsel partials merged strictly in morsel
+  /// order — the same decomposition at every thread count — so results are
+  /// bit-identical between serial and N-thread runs. Floating-point partials
+  /// (sum/avg) carry Neumaier compensation so the morsel split costs no
+  /// accuracy either.
   virtual void Merge(const AggAccumulator& other);
   virtual Value Finalize() const = 0;
 };

@@ -243,6 +243,38 @@ Column Column::FromData(TypeId type, std::vector<int64_t> ints,
   return c;
 }
 
+Column Column::ConcatChunks(std::vector<Column> chunks) {
+  if (chunks.size() == 1) return std::move(chunks[0]);
+  // Unify the chunk types. kNull (a chunk whose every value was NULL) is the
+  // identity: it concatenates into any type as NULLs.
+  TypeId t = TypeId::kNull;
+  bool uniform = true;
+  size_t total = 0;
+  for (const Column& c : chunks) {
+    total += c.size();
+    if (c.type() == TypeId::kNull) continue;
+    if (t == TypeId::kNull) {
+      t = c.type();
+    } else if (c.type() != t) {
+      uniform = false;
+    }
+  }
+  if (uniform) {
+    Column out(t);
+    out.Reserve(total);
+    for (const Column& c : chunks) out.AppendRange(c, 0, c.size());
+    return out;
+  }
+  // Chunk types differ (data-dependent inference, e.g. a CASE whose branches
+  // are uniform within one morsel but not another): per-value Append applies
+  // the same promotion/coercion sequence the whole-batch boxed path would.
+  Column out;
+  for (const Column& c : chunks) {
+    for (size_t k = 0; k < c.size(); ++k) out.Append(c.Get(k));
+  }
+  return out;
+}
+
 double Column::GetNumeric(size_t row) const {
   if (IsNull(row)) return 0.0;
   switch (type_) {

@@ -75,6 +75,14 @@ class Column {
                          std::vector<std::string> strings,
                          std::vector<uint8_t> nulls);
 
+  /// Concatenates per-morsel column chunks type-stably: chunks of one type
+  /// (kNull chunks absorb into any type) bulk-append; mixed chunk types fall
+  /// back to per-value Append, reproducing exactly the coercions the
+  /// whole-batch evaluator applies at its output boundary — so a chunked
+  /// (morsel-parallel) evaluation concatenates to the same column, bit for
+  /// bit, as one whole-batch evaluation.
+  static Column ConcatChunks(std::vector<Column> chunks);
+
  private:
   void PromoteToDouble();
   void EnsureNullMask();

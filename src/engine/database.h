@@ -58,9 +58,11 @@ class Database {
   Rng& rng() { return rng_; }
 
   /// Maximum threads the executor may use for one query (morsel-parallel
-  /// scans, partial aggregation, join probe, gathers). <= 0 means "all
-  /// hardware threads". 1 (the default) keeps the classic serial executor,
-  /// whose results are the bit-level reference.
+  /// scans, partial aggregation, join probe, projection, gathers). <= 0
+  /// means "all hardware threads"; 1 is the default. Results — values, row
+  /// order, and floating-point rounding — are bit-identical for every
+  /// setting: the morsel decomposition and merge order depend only on the
+  /// input, never on the thread count or the OS schedule.
   void set_num_threads(int n) { num_threads_ = n; }
   int num_threads() const;
 

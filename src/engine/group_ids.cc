@@ -9,6 +9,16 @@
 
 namespace vdb::engine {
 
+Status CheckGroupableRows(size_t num_rows) {
+  constexpr size_t kMaxRows = 0xFFFFFFFEu;
+  if (num_rows > kMaxRows) {
+    return Status::Unsupported(
+        "group-id assignment addresses at most 2^32 - 2 rows; input has " +
+        std::to_string(num_rows));
+  }
+  return Status::Ok();
+}
+
 namespace {
 
 // Distinct tags keep NULL apart from any data hash.

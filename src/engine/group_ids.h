@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "engine/column.h"
 
 namespace vdb::engine {
@@ -34,8 +35,14 @@ struct GroupAssignment {
 void HashGroupColumn(const Column& col, size_t num_rows,
                      std::vector<uint64_t>* hashes);
 
+/// Guard for the uint32_t gid/rep_row storage (and SelVector outputs built
+/// from it): callers must reject inputs above 2^32 - 2 rows with this Status
+/// instead of silently truncating ids.
+Status CheckGroupableRows(size_t num_rows);
+
 /// Assigns dense group ids over `cols` (all of size num_rows). With no
 /// columns, every row lands in one group (the implicit aggregate group).
+/// Precondition: CheckGroupableRows(num_rows).ok().
 GroupAssignment AssignGroupIds(const std::vector<const Column*>& cols,
                                size_t num_rows);
 

@@ -13,12 +13,12 @@ namespace {
 /// Sentinel in a right-side gather list: emit NULLs (left join extension).
 constexpr uint32_t kNullRow = 0xFFFFFFFFu;
 
-std::string JoinKeyOf(const Table& t, size_t row,
-                      const std::vector<int>& keys, bool* has_null) {
+std::string JoinKeyOf(size_t row, const std::vector<const Column*>& keys,
+                      bool* has_null) {
   std::string key;
   *has_null = false;
-  for (int k : keys) {
-    Value v = t.Get(row, static_cast<size_t>(k));
+  for (const Column* k : keys) {
+    Value v = k->Get(row);
     if (v.is_null()) *has_null = true;
     key += ValueGroupKey(v);
     key.push_back('\x1f');
@@ -110,8 +110,8 @@ Result<std::vector<uint8_t>> ResidualMask(const Table& left,
 }  // namespace
 
 Result<TablePtr> HashJoin(const Table& left, const Table& right,
-                          const std::vector<int>& left_keys,
-                          const std::vector<int>& right_keys,
+                          const std::vector<const Column*>& left_keys,
+                          const std::vector<const Column*>& right_keys,
                           sql::JoinType join_type, const sql::Expr* residual,
                           Rng* rng, int num_threads) {
   if (left_keys.empty() || left_keys.size() != right_keys.size()) {
@@ -123,7 +123,7 @@ Result<TablePtr> HashJoin(const Table& left, const Table& right,
   build.reserve(right.num_rows());
   for (size_t r = 0; r < right.num_rows(); ++r) {
     bool has_null = false;
-    std::string key = JoinKeyOf(right, r, right_keys, &has_null);
+    std::string key = JoinKeyOf(r, right_keys, &has_null);
     if (has_null) continue;  // NULL keys never match.
     build[key].push_back(static_cast<uint32_t>(r));
   }
@@ -144,7 +144,7 @@ Result<TablePtr> HashJoin(const Table& left, const Table& right,
                            SelVector* ol, SelVector* orr) {
       for (size_t lr = range_begin; lr < range_end; ++lr) {
         bool has_null = false;
-        std::string key = JoinKeyOf(left, lr, left_keys, &has_null);
+        std::string key = JoinKeyOf(lr, left_keys, &has_null);
         bool matched = false;
         if (!has_null) {
           auto it = build.find(key);
@@ -244,7 +244,7 @@ Result<TablePtr> HashJoin(const Table& left, const Table& right,
 
     for (size_t lr = 0; lr < left.num_rows(); ++lr) {
       bool has_null = false;
-      std::string key = JoinKeyOf(left, lr, left_keys, &has_null);
+      std::string key = JoinKeyOf(lr, left_keys, &has_null);
       const std::vector<uint32_t>* bucket = nullptr;
       if (!has_null) {
         auto it = build.find(key);
@@ -271,6 +271,22 @@ Result<TablePtr> HashJoin(const Table& left, const Table& right,
   }
 
   return GatherCombined(left, out_l, right, out_r, num_threads);
+}
+
+Result<TablePtr> HashJoin(const Table& left, const Table& right,
+                          const std::vector<int>& left_keys,
+                          const std::vector<int>& right_keys,
+                          sql::JoinType join_type, const sql::Expr* residual,
+                          Rng* rng, int num_threads) {
+  std::vector<const Column*> lcols, rcols;
+  lcols.reserve(left_keys.size());
+  rcols.reserve(right_keys.size());
+  for (int k : left_keys) lcols.push_back(&left.column(static_cast<size_t>(k)));
+  for (int k : right_keys) {
+    rcols.push_back(&right.column(static_cast<size_t>(k)));
+  }
+  return HashJoin(left, right, lcols, rcols, join_type, residual, rng,
+                  num_threads);
 }
 
 Result<TablePtr> CrossJoin(const Table& left, const Table& right,

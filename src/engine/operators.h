@@ -13,16 +13,27 @@
 
 namespace vdb::engine {
 
-/// Equi hash join. `left_keys` / `right_keys` are column ordinals of the two
-/// inputs (same length, >= 1). The output schema is all left columns followed
-/// by all right columns. `residual` (may be null) is a predicate already
-/// bound against the combined schema, applied to each matching pair.
-/// JoinType::kLeft emits unmatched left rows null-extended.
+/// Equi hash join. `left_keys` / `right_keys` are borrowed key columns (same
+/// length, >= 1; each sized to its input's row count) — plain column refs
+/// borrow the input's own columns, expression keys pass columns the caller
+/// evaluated, so the join never pads or copies its inputs. The output schema
+/// is all left columns followed by all right columns. `residual` (may be
+/// null) is a predicate already bound against the combined schema, applied
+/// to each matching pair. JoinType::kLeft emits unmatched left rows
+/// null-extended.
 ///
-/// With num_threads > 1 and no residual, the probe runs morsel-parallel over
-/// left-row ranges with the per-morsel match lists concatenated in morsel
-/// order, and the output materialization gathers columns in parallel — the
-/// emitted pairs and their order are identical to the serial probe.
+/// The probe output is pair lists (views into both inputs); the one
+/// materialization is the combined gather at the end — with num_threads > 1
+/// and no residual the probe runs morsel-parallel over left-row ranges with
+/// per-morsel pair lists concatenated in morsel order, and the gather runs
+/// column-parallel, so pairs and order are identical to the serial probe.
+Result<TablePtr> HashJoin(const Table& left, const Table& right,
+                          const std::vector<const Column*>& left_keys,
+                          const std::vector<const Column*>& right_keys,
+                          sql::JoinType join_type, const sql::Expr* residual,
+                          Rng* rng, int num_threads = 1);
+
+/// Ordinal convenience overload: joins on physical columns of the inputs.
 Result<TablePtr> HashJoin(const Table& left, const Table& right,
                           const std::vector<int>& left_keys,
                           const std::vector<int>& right_keys,

@@ -1,6 +1,7 @@
 #include "engine/planner.h"
 
 #include <algorithm>
+#include <deque>
 #include <map>
 #include <unordered_map>
 #include <vector>
@@ -38,6 +39,14 @@ void CollectConjuncts(Expr* e, std::vector<Expr*>* out) {
     return;
   }
   out->push_back(e);
+}
+
+/// True if the tree contains a window-function node. Window frames need
+/// contiguous physical rows, so their presence forces the one early gather.
+bool ContainsWindow(const Expr& e) {
+  return sql::AnyExprNode(e, [](const Expr& n) {
+    return n.kind == ExprKind::kFunction && n.is_window;
+  });
 }
 
 class SelectExecutor {
@@ -162,82 +171,39 @@ class SelectExecutor {
     return out;
   }
 
-  /// Hash join on arbitrary bound key expressions: materializes key columns,
-  /// then delegates to the column-ordinal HashJoin operator.
+  /// Hash join on arbitrary bound key expressions. Plain column-ref keys
+  /// borrow the input's own columns; expression keys are evaluated into
+  /// standalone columns passed by pointer — the join inputs are never padded
+  /// or copied, the output schema never contains helper columns, and
+  /// residual predicates (bound against the combined schema) compose with
+  /// expression keys without any ordinal shifting.
   Result<TablePtr> HashJoinExprs(const Table& left, const Table& right,
                                  const std::vector<Expr::Ptr>& lkeys,
                                  const std::vector<Expr::Ptr>& rkeys,
                                  sql::JoinType type, const Expr* residual) {
-    auto materialize = [&](const Table& t, const std::vector<Expr::Ptr>& keys,
-                           TablePtr* with_keys,
-                           std::vector<int>* ordinals) -> Status {
-      auto copy = std::make_shared<Table>();
-      for (size_t i = 0; i < t.num_columns(); ++i) {
-        copy->AddColumn(t.column_name(i), t.column(i));
-      }
+    // One pass per side decides borrow-vs-evaluate exactly once; the deque
+    // gives evaluated columns stable addresses as it grows.
+    std::deque<Column> owned;
+    auto collect = [&](const Table& t, const std::vector<Expr::Ptr>& keys,
+                       std::vector<const Column*>* cols) -> Status {
       Batch batch{&t, nullptr, &db_->rng()};
-      for (size_t k = 0; k < keys.size(); ++k) {
-        auto kc = EvalExprBatch(*keys[k], batch);
+      for (const auto& k : keys) {
+        if (k->kind == ExprKind::kColumnRef && k->bound_column >= 0) {
+          cols->push_back(&t.column(static_cast<size_t>(k->bound_column)));
+          continue;
+        }
+        auto kc = EvalExprBatch(*k, batch);
         if (!kc.ok()) return kc.status();
-        ordinals->push_back(static_cast<int>(copy->num_columns()));
-        copy->AddColumn("__jk" + std::to_string(k),
-                        std::move(kc).ValueOrDie());
+        owned.push_back(std::move(kc).ValueOrDie());
+        cols->push_back(&owned.back());
       }
-      *with_keys = std::move(copy);
       return Status::Ok();
     };
-
-    // Fast path: keys that are plain column refs need no materialization.
-    auto plain = [](const std::vector<Expr::Ptr>& keys, std::vector<int>* out) {
-      for (const auto& k : keys) {
-        if (k->kind != ExprKind::kColumnRef || k->bound_column < 0) {
-          return false;
-        }
-        out->push_back(k->bound_column);
-      }
-      return true;
-    };
-
-    std::vector<int> lords, rords;
-    TablePtr ltab, rtab;
-    const Table* lp = &left;
-    const Table* rp = &right;
-    if (!plain(lkeys, &lords)) {
-      lords.clear();
-      VDB_RETURN_IF_ERROR(materialize(left, lkeys, &ltab, &lords));
-      lp = ltab.get();
-    }
-    if (!plain(rkeys, &rords)) {
-      rords.clear();
-      VDB_RETURN_IF_ERROR(materialize(right, rkeys, &rtab, &rords));
-      rp = rtab.get();
-    }
-
-    // Residual binds against the ORIGINAL combined schema; materialized key
-    // columns (if any) are appended after each side's own columns, which
-    // shifts right-side ordinals. Rebinding is avoided by joining on the
-    // padded tables only when no residual is present.
-    if (residual != nullptr && (ltab || rtab)) {
-      return Status::Unsupported(
-          "join with both expression keys and residual predicates");
-    }
-    auto joined = HashJoin(*lp, *rp, lords, rords, type, residual, &db_->rng(),
-                           db_->num_threads());
-    if (!joined.ok()) return joined.status();
-    TablePtr out = std::move(joined).ValueOrDie();
-    if (!ltab && !rtab) return out;
-
-    // Strip the helper key columns: keep left originals + right originals.
-    auto stripped = std::make_shared<Table>();
-    size_t lcols_padded = lp->num_columns();
-    for (size_t i = 0; i < left.num_columns(); ++i) {
-      stripped->AddColumn(out->column_name(i), std::move(out->column(i)));
-    }
-    for (size_t i = 0; i < right.num_columns(); ++i) {
-      size_t src = lcols_padded + i;
-      stripped->AddColumn(out->column_name(src), std::move(out->column(src)));
-    }
-    return stripped;
+    std::vector<const Column*> lcols, rcols;
+    VDB_RETURN_IF_ERROR(collect(left, lkeys, &lcols));
+    VDB_RETURN_IF_ERROR(collect(right, rkeys, &rcols));
+    return HashJoin(left, right, lcols, rcols, type, residual, &db_->rng(),
+                    db_->num_threads());
   }
 
   // ------------------------------------------------------ scalar subquery --
@@ -307,18 +273,22 @@ class SelectExecutor {
       VDB_RETURN_IF_ERROR(ResolveSubqueries(o.expr.get()));
     }
 
-    // WHERE: morsel-parallel batch predicate -> selection vector -> bulk
-    // (column-parallel) materialization.
-    TablePtr current = input.table;
+    // WHERE: morsel-parallel batch predicate over the input view. The
+    // survivors stay a (table, SelVector) view — no gather; downstream
+    // operators evaluate through the view and the projection (or the result
+    // boundary) performs the query's one full-width gather.
+    auto inview = RowView::All(input.table);
+    if (!inview.ok()) return inview.status();
+    RowView view = std::move(inview).ValueOrDie();
     if (stmt->where) {
       VDB_RETURN_IF_ERROR(BindExpr(stmt->where.get(), input.scope));
       SelVector sel;
-      VDB_RETURN_IF_ERROR(EvalPredicateParallel(
-          *stmt->where, *current, &db_->rng(), db_->num_threads(), &sel));
-      if (sel.size() < current->num_rows()) {
-        auto filtered = current->CloneSchema();
-        filtered->AppendSelected(*current, sel, db_->num_threads());
-        current = filtered;
+      VDB_RETURN_IF_ERROR(EvalPredicateView(*stmt->where, view, &db_->rng(),
+                                            db_->num_threads(), &sel));
+      if (sel.size() < view.num_rows()) {
+        auto filtered = RowView::Select(input.table, std::move(sel));
+        if (!filtered.ok()) return filtered.status();
+        view = std::move(filtered).ValueOrDie();
       }
     }
 
@@ -335,27 +305,32 @@ class SelectExecutor {
 
     ResultSet out;
     if (grouped) {
-      auto rs = RunGrouped(stmt, current, input.scope);
+      auto rs = RunGrouped(stmt, view, input.scope);
       if (!rs.ok()) return rs.status();
       out = std::move(rs).ValueOrDie();
     } else {
-      auto rs = RunProjection(stmt, current, input.scope);
+      auto rs = RunProjection(stmt, view, input.scope);
       if (!rs.ok()) return rs.status();
       out = std::move(rs).ValueOrDie();
     }
 
-    if (stmt->distinct) out = Dedupe(std::move(out));
-    VDB_RETURN_IF_ERROR(ApplyOrderBy(stmt, &out));
-    if (stmt->limit >= 0 && out.NumRows() > static_cast<size_t>(stmt->limit)) {
-      auto trimmed = out.table->CloneSchema();
-      trimmed->AppendRange(*out.table, 0, static_cast<size_t>(stmt->limit));
-      out.table = trimmed;
+    // DISTINCT / ORDER BY / LIMIT compose views over the projected output
+    // instead of gathering after each step; the chain materializes at most
+    // once, at the result boundary below.
+    auto outview = RowView::All(out.table);
+    if (!outview.ok()) return outview.status();
+    RowView oview = std::move(outview).ValueOrDie();
+    if (stmt->distinct) VDB_RETURN_IF_ERROR(Dedupe(&oview));
+    VDB_RETURN_IF_ERROR(ApplyOrderBy(stmt, out, &oview));
+    if (stmt->limit >= 0) {
+      oview = oview.Prefix(static_cast<size_t>(stmt->limit));
     }
+    out.table = oview.Gather(db_->num_threads());
     return out;
   }
 
   // --------------------------------------------------- non-grouped select --
-  Result<ResultSet> RunProjection(SelectStmt* stmt, TablePtr current,
+  Result<ResultSet> RunProjection(SelectStmt* stmt, const RowView& input_view,
                                   const Scope& scope) {
     // Expand stars and build the output item list.
     struct OutItem {
@@ -363,7 +338,6 @@ class SelectExecutor {
       std::string name;
       int direct_column = -1;  // fast path: copy the input column wholesale
     };
-    std::vector<Expr::Ptr> extra_exprs;  // owns star-expansion column refs
     std::vector<OutItem> outs;
 
     for (auto& item : stmt->items) {
@@ -391,13 +365,29 @@ class SelectExecutor {
       outs.push_back(std::move(oi));
     }
 
-    // Window functions over raw rows.
-    TablePtr work = current;
-    std::map<std::string, int> window_cols;
-    for (auto& item : stmt->items) {
-      if (item.expr->kind == ExprKind::kStar) continue;
-      VDB_RETURN_IF_ERROR(
-          MaterializeWindows(item.expr.get(), &work, &window_cols));
+    // Window functions need contiguous physical frames: their presence
+    // forces the one full-width gather up front, after which the view is
+    // the identity again.
+    RowView view = input_view;
+    TablePtr work = view.table();
+    bool has_window = false;
+    for (const auto& item : stmt->items) {
+      if (item.expr->kind != ExprKind::kStar && ContainsWindow(*item.expr)) {
+        has_window = true;
+        break;
+      }
+    }
+    if (has_window) {
+      work = view.Gather(db_->num_threads());
+      std::map<std::string, int> window_cols;
+      for (auto& item : stmt->items) {
+        if (item.expr->kind == ExprKind::kStar) continue;
+        VDB_RETURN_IF_ERROR(
+            MaterializeWindows(item.expr.get(), &work, &window_cols));
+      }
+      auto wv = RowView::All(work);
+      if (!wv.ok()) return wv.status();
+      view = std::move(wv).ValueOrDie();
     }
 
     ResultSet rs;
@@ -405,14 +395,21 @@ class SelectExecutor {
     for (const auto& oi : outs) {
       rs.names.push_back(oi.name);
     }
-    // Column-copy fast path or batch evaluation.
+    // Materialize the output columns from the view: direct columns copy
+    // (identity) or gather once; expressions evaluate morsel-parallel with
+    // per-morsel chunks concatenated type-stably. This is the projection's
+    // single full-width materialization.
+    const int num_threads = db_->num_threads();
     for (const auto& oi : outs) {
       if (oi.direct_column >= 0) {
-        table->AddColumn(oi.name,
-                         work->column(static_cast<size_t>(oi.direct_column)));
+        const Column& src = work->column(static_cast<size_t>(oi.direct_column));
+        if (view.is_identity()) {
+          table->AddColumn(oi.name, src);
+        } else {
+          table->AddColumn(oi.name, view.GatherColumn(src, num_threads));
+        }
       } else {
-        Batch batch{work.get(), nullptr, &db_->rng()};
-        auto col = EvalExprBatch(*oi.expr, batch);
+        auto col = EvalExprView(*oi.expr, view, &db_->rng(), num_threads);
         if (!col.ok()) return col.status();
         table->AddColumn(oi.name, std::move(col).ValueOrDie());
       }
@@ -425,7 +422,7 @@ class SelectExecutor {
   }
 
   // ------------------------------------------------------- grouped select --
-  Result<ResultSet> RunGrouped(SelectStmt* stmt, TablePtr current,
+  Result<ResultSet> RunGrouped(SelectStmt* stmt, const RowView& view,
                                const Scope& scope) {
     // Resolve group-by items that name select aliases.
     for (auto& g : stmt->group_by) {
@@ -486,35 +483,39 @@ class SelectExecutor {
       return accs;
     };
 
-    // Morsel-parallel partial aggregation needs mergeable accumulator
-    // states and rand()-free grouping/argument expressions (the RNG draw
-    // sequence is serial, seed-reproducible semantics). Everything else
-    // keeps the serial reference path, including num_threads == 1, whose
-    // output is the bit-level baseline.
+    // Morsel-partial aggregation needs mergeable accumulator states and
+    // rand()-free grouping/argument expressions (the RNG draw sequence is
+    // serial, seed-reproducible semantics). When it applies, it applies at
+    // EVERY thread count: the morsel decomposition depends only on the row
+    // count, and partials merge strictly in morsel order, so 1-thread and
+    // N-thread runs execute the identical computation and produce
+    // bit-identical results (floating-point aggregates included). Queries it
+    // can't cover run the whole-input serial path — also at every thread
+    // count, so those stay consistent too.
     const int num_threads = db_->num_threads();
-    bool parallel = num_threads > 1 && current->num_rows() > MorselRows();
-    if (parallel) {
-      for (const auto& g : stmt->group_by) {
-        if (ExprContainsRand(*g)) parallel = false;
-      }
-      for (const auto& s : specs) {
-        if (s.arg != nullptr && ExprContainsRand(*s.arg)) parallel = false;
-      }
+    VDB_RETURN_IF_ERROR(CheckGroupableRows(view.num_rows()));
+    bool partials = true;
+    for (const auto& g : stmt->group_by) {
+      if (ExprContainsRand(*g)) partials = false;
     }
-    if (parallel) {
+    for (const auto& s : specs) {
+      if (s.arg != nullptr && ExprContainsRand(*s.arg)) partials = false;
+    }
+    if (partials) {
       auto probe = make_accs();
       if (!probe.ok()) return probe.status();
       for (const auto& acc : probe.value()) {
-        if (!acc->Mergeable()) parallel = false;
+        if (!acc->Mergeable()) partials = false;
       }
     }
 
-    if (!parallel) {
-      // Serial path: batch-evaluate group keys and aggregate arguments once,
-      // column-at-a-time, assign hashed group ids over the materialized key
-      // columns (vectorized — no per-row string keys), and accumulate each
-      // group through the selection-vector batch interface.
-      Batch batch{current.get(), nullptr, &db_->rng()};
+    if (!partials) {
+      // Serial path (rand()-bearing expressions or non-mergeable UDAs):
+      // batch-evaluate group keys and aggregate arguments once over the
+      // whole view, column-at-a-time, assign hashed group ids over the
+      // materialized key columns (vectorized — no per-row string keys), and
+      // accumulate each group through the selection-vector batch interface.
+      Batch batch = ViewBatch(view, &db_->rng());
       std::vector<Column> gcols;
       gcols.reserve(stmt->group_by.size());
       for (const auto& g : stmt->group_by) {
@@ -530,7 +531,7 @@ class SelectExecutor {
         acols[i] = std::move(c).ValueOrDie();
       }
 
-      const size_t n = current->num_rows();
+      const size_t n = view.num_rows();
       std::vector<const Column*> gptrs;
       gptrs.reserve(gcols.size());
       for (const auto& gc : gcols) gptrs.push_back(&gc);
@@ -571,11 +572,12 @@ class SelectExecutor {
         }
       }
     } else {
-      // Parallel path: each morsel evaluates the grouping and argument
-      // expressions over its own row range, aggregates into morsel-local
-      // partial states, and the partials are merged strictly in morsel
-      // order — so the output (group order included) is deterministic and
-      // independent of both the thread count and the OS schedule.
+      // Partial path: each morsel evaluates the grouping and argument
+      // expressions over its own slice of the view, aggregates into
+      // morsel-local partial states, and the partials are merged strictly in
+      // morsel order. The decomposition depends only on the view's row
+      // count, so the output — values, group order, and floating-point
+      // rounding — is identical for every thread count and OS schedule.
       struct LocalGroup {
         std::string key_text;  // ValueGroupKey concatenation, merge key
         std::vector<Value> keys;
@@ -585,10 +587,10 @@ class SelectExecutor {
         std::vector<LocalGroup> groups;
         Status status = Status::Ok();
       };
-      const size_t n = current->num_rows();
+      const size_t n = view.num_rows();
       auto parts = ParallelMorselMap<MorselAgg>(
           n, num_threads, [&](MorselAgg& res, size_t begin, size_t end) {
-            Batch batch{current.get(), nullptr, nullptr, begin, end};
+            Batch batch = ViewBatch(view, nullptr, begin, end);
             const size_t ln = end - begin;
             std::vector<Column> gcols;
             gcols.reserve(stmt->group_by.size());
@@ -665,6 +667,15 @@ class SelectExecutor {
           }
         }
       }
+      // An aggregate without GROUP BY keys emits one row even over an empty
+      // input (count(*) = 0, sum = NULL, ...).
+      if (stmt->group_by.empty() && groups.empty()) {
+        Group grp;
+        auto accs = make_accs();
+        if (!accs.ok()) return accs.status();
+        grp.accs = std::move(accs).ValueOrDie();
+        groups.push_back(std::move(grp));
+      }
     }
 
     // Materialize the aggregate table: group cols then agg cols.
@@ -705,19 +716,22 @@ class SelectExecutor {
       agg_to_col[text] = static_cast<int>(gk) + idx;
     }
 
-    // HAVING: batch predicate over the aggregate table (morsel-parallel
-    // when the group count warrants it).
+    // HAVING: batch predicate over the aggregate table. The surviving
+    // groups stay a view — the output projection below evaluates through it
+    // rather than gathering the aggregate table again.
+    auto aggview = RowView::All(agg_table);
+    if (!aggview.ok()) return aggview.status();
+    RowView aview = std::move(aggview).ValueOrDie();
     if (stmt->having) {
       auto bound = RebindPostAgg(*stmt->having, text_to_col, agg_to_col);
       if (!bound.ok()) return bound.status();
       SelVector hsel;
-      VDB_RETURN_IF_ERROR(EvalPredicateParallel(*bound.value(), *agg_table,
-                                                &db_->rng(),
-                                                db_->num_threads(), &hsel));
-      if (hsel.size() < agg_table->num_rows()) {
-        auto filtered = agg_table->CloneSchema();
-        filtered->AppendSelected(*agg_table, hsel, db_->num_threads());
-        agg_table = filtered;
+      VDB_RETURN_IF_ERROR(EvalPredicateView(*bound.value(), aview, &db_->rng(),
+                                            db_->num_threads(), &hsel));
+      if (hsel.size() < aview.num_rows()) {
+        auto filtered = RowView::Select(agg_table, std::move(hsel));
+        if (!filtered.ok()) return filtered.status();
+        aview = std::move(filtered).ValueOrDie();
       }
     }
 
@@ -737,16 +751,28 @@ class SelectExecutor {
                                     ? item.expr->name
                                     : sql::PrintExpr(*item.expr)));
     }
-    std::map<std::string, int> window_cols;
-    for (auto& be : bound_items) {
-      VDB_RETURN_IF_ERROR(MaterializeWindows(be.get(), &agg_table,
-                                             &window_cols));
+    bool has_window = false;
+    for (const auto& be : bound_items) {
+      if (ContainsWindow(*be)) has_window = true;
+    }
+    if (has_window) {
+      // Window frames over the (HAVING-filtered) groups need contiguous
+      // rows: gather the view, extend with window columns, reset identity.
+      agg_table = aview.Gather(db_->num_threads());
+      std::map<std::string, int> window_cols;
+      for (auto& be : bound_items) {
+        VDB_RETURN_IF_ERROR(MaterializeWindows(be.get(), &agg_table,
+                                               &window_cols));
+      }
+      auto wv = RowView::All(agg_table);
+      if (!wv.ok()) return wv.status();
+      aview = std::move(wv).ValueOrDie();
     }
 
     auto table = std::make_shared<Table>();
-    Batch obatch{agg_table.get(), nullptr, &db_->rng()};
     for (size_t i = 0; i < bound_items.size(); ++i) {
-      auto col = EvalExprBatch(*bound_items[i], obatch);
+      auto col = EvalExprView(*bound_items[i], aview, &db_->rng(),
+                              db_->num_threads());
       if (!col.ok()) return col.status();
       table->AddColumn(rs.names[i], std::move(col).ValueOrDie());
     }
@@ -891,25 +917,44 @@ class SelectExecutor {
   }
 
   // ------------------------------------------------------- distinct/order --
-  ResultSet Dedupe(ResultSet rs) {
-    // Vectorized DISTINCT: hashed group ids over the output columns; the
-    // representative rows (first occurrences, ascending) are the survivors.
+  /// Vectorized DISTINCT over the viewed output rows: hashed group ids over
+  /// the output columns; the representative positions (first occurrences,
+  /// ascending) compose into the view — no full-width gather. Identity views
+  /// (the common case: DISTINCT runs right after the projection) address the
+  /// columns directly; other views gather the key columns only.
+  Status Dedupe(RowView* view) {
+    VDB_RETURN_IF_ERROR(CheckGroupableRows(view->num_rows()));
+    const Table& table = *view->table();
+    std::vector<Column> gathered;
     std::vector<const Column*> cols;
-    cols.reserve(rs.table->num_columns());
-    for (size_t c = 0; c < rs.table->num_columns(); ++c) {
-      cols.push_back(&rs.table->column(c));
+    cols.reserve(table.num_columns());
+    if (view->is_identity()) {
+      for (size_t c = 0; c < table.num_columns(); ++c) {
+        cols.push_back(&table.column(c));
+      }
+    } else {
+      gathered.reserve(table.num_columns());
+      for (size_t c = 0; c < table.num_columns(); ++c) {
+        gathered.push_back(
+            view->GatherColumn(table.column(c), db_->num_threads()));
+      }
+      for (const Column& g : gathered) cols.push_back(&g);
     }
-    GroupAssignment ga = AssignGroupIds(cols, rs.NumRows());
-    if (ga.num_groups() == rs.NumRows()) return rs;
+    // Either way the columns are in view order, so rep_row holds view
+    // positions and composes directly.
+    GroupAssignment ga = AssignGroupIds(cols, view->num_rows());
+    if (ga.num_groups() == view->num_rows()) return Status::Ok();
     SelVector keep(ga.rep_row.begin(), ga.rep_row.end());
-    auto out = rs.table->CloneSchema();
-    out->AppendSelected(*rs.table, keep, db_->num_threads());
-    rs.table = out;
-    return rs;
+    auto composed = view->Compose(keep);
+    if (!composed.ok()) return composed.status();
+    *view = std::move(composed).ValueOrDie();
+    return Status::Ok();
   }
 
-  Status ApplyOrderBy(SelectStmt* stmt, ResultSet* rs) {
-    if (stmt->order_by.empty() || rs->NumRows() == 0) return Status::Ok();
+  /// Sorts the view positions by the resolved output columns and composes
+  /// the permutation into the view; the gather happens once, downstream.
+  Status ApplyOrderBy(SelectStmt* stmt, const ResultSet& rs, RowView* view) {
+    if (stmt->order_by.empty() || view->num_rows() == 0) return Status::Ok();
     // Resolve each order expression to an output column.
     std::vector<std::pair<int, bool>> keys;  // (column, ascending)
     for (auto& o : stmt->order_by) {
@@ -917,12 +962,12 @@ class SelectExecutor {
       if (o.expr->kind == ExprKind::kLiteral &&
           o.expr->literal.type() == TypeId::kInt64) {
         int64_t ord = o.expr->literal.AsInt();
-        if (ord < 1 || ord > static_cast<int64_t>(rs->NumCols())) {
+        if (ord < 1 || ord > static_cast<int64_t>(rs.NumCols())) {
           return Status::InvalidArgument("ORDER BY ordinal out of range");
         }
         col = static_cast<int>(ord - 1);
       } else if (o.expr->kind == ExprKind::kColumnRef) {
-        col = rs->ColumnIndex(o.expr->name);
+        col = rs.ColumnIndex(o.expr->name);
       }
       if (col < 0) {
         // Match by printed text against item expressions.
@@ -942,13 +987,14 @@ class SelectExecutor {
       keys.emplace_back(col, o.ascending);
     }
 
-    SelVector perm(rs->NumRows());
+    SelVector perm(view->num_rows());
     for (size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<uint32_t>(i);
-    const Table& t = *rs->table;
+    const Table& t = *rs.table;
+    const RowView& v = *view;
     std::stable_sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
       for (const auto& [col, asc] : keys) {
-        Value va = t.Get(a, static_cast<size_t>(col));
-        Value vb = t.Get(b, static_cast<size_t>(col));
+        Value va = t.Get(v.RowAt(a), static_cast<size_t>(col));
+        Value vb = t.Get(v.RowAt(b), static_cast<size_t>(col));
         // NULLs sort first ascending, last descending.
         if (va.is_null() != vb.is_null()) {
           return asc ? va.is_null() : vb.is_null();
@@ -959,9 +1005,9 @@ class SelectExecutor {
       return false;
     });
 
-    auto sorted = rs->table->CloneSchema();
-    sorted->AppendSelected(*rs->table, perm, db_->num_threads());
-    rs->table = sorted;
+    auto composed = view->Compose(perm);
+    if (!composed.ok()) return composed.status();
+    *view = std::move(composed).ValueOrDie();
     return Status::Ok();
   }
 

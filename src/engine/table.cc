@@ -101,4 +101,107 @@ TablePtr Table::CloneSchema() const {
   return t;
 }
 
+// ---- RowView ----------------------------------------------------------------
+
+Result<RowView> RowView::All(TablePtr table) {
+  if (!table) return Status::Internal("row view over a null table");
+  if (table->num_rows() > kMaxRows) {
+    return Status::Unsupported(
+        "selection vectors address at most 2^32 - 2 rows; table has " +
+        std::to_string(table->num_rows()));
+  }
+  RowView v;
+  v.end_ = table->num_rows();
+  v.table_ = std::move(table);
+  return v;
+}
+
+Result<RowView> RowView::Select(TablePtr table, SelVector sel) {
+  if (!table) return Status::Internal("row view over a null table");
+  if (table->num_rows() > kMaxRows) {
+    return Status::Unsupported(
+        "selection vectors address at most 2^32 - 2 rows; table has " +
+        std::to_string(table->num_rows()));
+  }
+  const size_t n = table->num_rows();
+  for (uint32_t r : sel) {
+    if (r >= n) {
+      return Status::Internal("row view selection index " + std::to_string(r) +
+                              " out of range (" + std::to_string(n) + " rows)");
+    }
+  }
+  RowView v;
+  v.has_sel_ = true;
+  v.sel_ = std::move(sel);
+  v.table_ = std::move(table);
+  return v;
+}
+
+Result<RowView> RowView::Compose(const SelVector& positions) const {
+  const size_t n = num_rows();
+  RowView out;
+  out.table_ = table_;
+  out.has_sel_ = true;
+  out.sel_.reserve(positions.size());
+  for (uint32_t p : positions) {
+    if (p >= n) {
+      return Status::Internal("view composition position " + std::to_string(p) +
+                              " out of range (" + std::to_string(n) +
+                              " view rows)");
+    }
+    out.sel_.push_back(RowAt(p));
+  }
+  return out;
+}
+
+RowView RowView::Prefix(size_t n) const {
+  RowView out;
+  out.table_ = table_;
+  if (has_sel_) {
+    // Copy only the surviving prefix: LIMIT k costs O(k), not O(survivors).
+    out.has_sel_ = true;
+    out.sel_.assign(sel_.begin(),
+                    sel_.begin() + static_cast<ptrdiff_t>(
+                                       std::min(n, sel_.size())));
+  } else {
+    out.begin_ = begin_;
+    out.end_ = std::min(end_, begin_ + n);
+  }
+  return out;
+}
+
+TablePtr RowView::Gather(int num_threads) const {
+  if (is_identity()) return table_;
+  auto out = table_->CloneSchema();
+  if (!has_sel_) {
+    out->AppendRange(*table_, begin_, end_ - begin_);
+    return out;
+  }
+  out->AppendSelected(*table_, sel_, num_threads);
+  return out;
+}
+
+Column RowView::GatherColumn(const Column& src, int num_threads) const {
+  const size_t n = num_rows();
+  if (!has_sel_) {
+    Column out(src.type());
+    out.AppendRange(src, begin_, n);
+    return out;
+  }
+  const size_t morsel = MorselRows();
+  if (num_threads <= 1 || n <= morsel) {
+    Column out(src.type());
+    out.AppendSelected(src, sel_.data(), n);
+    return out;
+  }
+  // Morsel-parallel chunked gather concatenated in morsel order; same-type
+  // chunks bulk-append, so the result matches the serial gather exactly.
+  auto chunks = ParallelMorselMap<Column>(
+      n, num_threads, [&](Column& chunk, size_t begin, size_t end) {
+        chunk = Column(src.type());
+        chunk.AppendSelected(src, sel_.data() + begin, end - begin);
+      });
+  return Column::ConcatChunks(std::move(chunks));
+}
+
 }  // namespace vdb::engine

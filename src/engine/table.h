@@ -73,6 +73,75 @@ class Table {
 
 using TablePtr = std::shared_ptr<Table>;
 
+/// A borrowed, late-materialized set of rows of one table: either the
+/// contiguous range [begin, end) (identity/range fast path, no selection
+/// vector allocated) or an explicit selection vector of physical row
+/// indices. Operators pass RowViews downstream instead of gathering
+/// survivors into fresh tables after every step; the single full-width
+/// gather happens at the result boundary (or where an operator genuinely
+/// needs contiguous storage, e.g. a join build or window frames).
+///
+/// Views always hold physical row indices — composing a view over a view
+/// flattens immediately, so stacking never chains indirections.
+class RowView {
+ public:
+  /// Selection vectors are uint32_t; 0xFFFFFFFF is the join null-extension
+  /// sentinel, so views address at most 2^32 - 2 rows.
+  static constexpr size_t kMaxRows = 0xFFFFFFFEu;
+
+  RowView() = default;
+
+  /// Identity view over the whole table. Errors (rather than silently
+  /// truncating uint32_t indices later) when the table exceeds kMaxRows.
+  static Result<RowView> All(TablePtr table);
+
+  /// View of the physical rows named by `sel`, in selection order. Validates
+  /// that every index addresses a row of `table`.
+  static Result<RowView> Select(TablePtr table, SelVector sel);
+
+  const TablePtr& table() const { return table_; }
+  size_t num_rows() const { return has_sel_ ? sel_.size() : end_ - begin_; }
+
+  /// True when the view is exactly the whole table in physical order (the
+  /// zero-copy fast path: Gather returns the table itself).
+  bool is_identity() const {
+    return table_ != nullptr && !has_sel_ && begin_ == 0 &&
+           end_ == table_->num_rows();
+  }
+
+  bool has_selection() const { return has_sel_; }
+  const SelVector& selection() const { return sel_; }
+  size_t range_begin() const { return begin_; }
+
+  /// Physical row index of view position i.
+  uint32_t RowAt(size_t i) const {
+    return has_sel_ ? sel_[i] : static_cast<uint32_t>(begin_ + i);
+  }
+
+  /// View-of-view composition: `positions` index THIS view's rows; the
+  /// result addresses the underlying table directly. Errors on positions
+  /// outside [0, num_rows()).
+  Result<RowView> Compose(const SelVector& positions) const;
+
+  /// The first min(n, num_rows()) rows of the view (LIMIT).
+  RowView Prefix(size_t n) const;
+
+  /// Materializes the viewed rows. Identity views return the underlying
+  /// table unchanged (zero-copy — callers who mutate must copy); range and
+  /// selection views bulk-gather (column-parallel for num_threads > 1).
+  TablePtr Gather(int num_threads = 1) const;
+
+  /// Materializes one column of the view (the projection path's per-column
+  /// gather; morsel-parallel chunked gather for large selections).
+  Column GatherColumn(const Column& src, int num_threads = 1) const;
+
+ private:
+  TablePtr table_;
+  bool has_sel_ = false;
+  SelVector sel_;             // meaningful when has_sel_
+  size_t begin_ = 0, end_ = 0;  // meaningful when !has_sel_
+};
+
 }  // namespace vdb::engine
 
 #endif  // VDB_ENGINE_TABLE_H_

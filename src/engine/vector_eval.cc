@@ -494,7 +494,8 @@ Result<Vec> ColumnRefVec(const Expr& e, const Batch& b) {
     v.borrowed = &src;
     v.offset = b.range_begin;
   } else {
-    v.owned.AppendSelected(src, b.sel->data(), b.sel->size());
+    // Selection (possibly a morsel slice of it): gather the referenced rows.
+    v.owned.AppendSelected(src, b.sel->data() + b.range_begin, b.size());
   }
   return v;
 }
@@ -978,6 +979,18 @@ Result<Vec> EvalVec(const Expr& e, const Batch& b) {
 
 }  // namespace
 
+Batch ViewBatch(const RowView& view, Rng* rng, size_t begin, size_t end) {
+  if (!view.has_selection()) {
+    return Batch{view.table().get(), nullptr, rng, view.range_begin() + begin,
+                 view.range_begin() + end};
+  }
+  return Batch{view.table().get(), &view.selection(), rng, begin, end};
+}
+
+Batch ViewBatch(const RowView& view, Rng* rng) {
+  return ViewBatch(view, rng, 0, view.num_rows());
+}
+
 Result<Column> EvalExprBatch(const Expr& e, const Batch& batch) {
   auto rv = EvalVec(e, batch);
   if (!rv.ok()) return rv.status();
@@ -1034,29 +1047,24 @@ Status EvalPredicateBatch(const Expr& e, const Batch& batch, SelVector* out) {
 }
 
 bool ExprContainsRand(const Expr& e) {
-  if (e.kind == ExprKind::kFunction &&
-      (e.name == "rand" || e.name == "random" || e.name == "rand_poisson")) {
-    return true;
-  }
-  for (const auto& a : e.args) {
-    if (a && ExprContainsRand(*a)) return true;
-  }
-  for (const auto& w : e.case_whens) {
-    if (ExprContainsRand(*w)) return true;
-  }
-  for (const auto& t : e.case_thens) {
-    if (ExprContainsRand(*t)) return true;
-  }
-  if (e.case_else && ExprContainsRand(*e.case_else)) return true;
-  for (const auto& p : e.partition_by) {
-    if (ExprContainsRand(*p)) return true;
-  }
-  return false;
+  return sql::AnyExprNode(e, [](const Expr& n) {
+    return n.kind == ExprKind::kFunction &&
+           (n.name == "rand" || n.name == "random" ||
+            n.name == "rand_poisson");
+  });
 }
 
 Status EvalPredicateParallel(const Expr& e, const Table& table, Rng* rng,
                              int num_threads, SelVector* out) {
   const size_t n = table.num_rows();
+  if (n > RowView::kMaxRows) {
+    // Explicit guard: selection entries are uint32_t, and 0xFFFFFFFF is the
+    // join null-extension sentinel; silently truncated indices would alias
+    // low rows.
+    return Status::Unsupported(
+        "selection vectors address at most 2^32 - 2 rows; input has " +
+        std::to_string(n));
+  }
   const size_t morsel = MorselRows();
   if (num_threads <= 1 || n <= morsel || ExprContainsRand(e)) {
     Batch batch{&table, nullptr, rng};
@@ -1083,6 +1091,67 @@ Status EvalPredicateParallel(const Expr& e, const Table& table, Rng* rng,
     out->insert(out->end(), slot.sel.begin(), slot.sel.end());
   }
   return Status::Ok();
+}
+
+Status EvalPredicateView(const Expr& e, const RowView& view, Rng* rng,
+                         int num_threads, SelVector* out) {
+  const size_t n = view.num_rows();
+  if (num_threads <= 1 || n <= MorselRows() || ExprContainsRand(e)) {
+    Batch batch = ViewBatch(view, rng);
+    return EvalPredicateBatch(e, batch, out);
+  }
+  struct PredSlot {
+    SelVector sel;
+    Status status = Status::Ok();
+  };
+  auto slots = ParallelMorselMap<PredSlot>(
+      n, num_threads, [&](PredSlot& slot, size_t begin, size_t end) {
+        Batch batch = ViewBatch(view, nullptr, begin, end);
+        slot.status = EvalPredicateBatch(e, batch, &slot.sel);
+      });
+  size_t total = 0;
+  for (const PredSlot& slot : slots) {
+    if (!slot.status.ok()) return slot.status;
+    total += slot.sel.size();
+  }
+  out->reserve(out->size() + total);
+  for (const PredSlot& slot : slots) {
+    out->insert(out->end(), slot.sel.begin(), slot.sel.end());
+  }
+  return Status::Ok();
+}
+
+Result<Column> EvalExprView(const Expr& e, const RowView& view, Rng* rng,
+                            int num_threads) {
+  const size_t n = view.num_rows();
+  if (num_threads <= 1 || n <= MorselRows() || ExprContainsRand(e)) {
+    // One whole-view batch. This also serves the empty view: the evaluator
+    // still walks the tree, so the output column keeps its natural type and
+    // empty results stay schema-complete.
+    Batch batch = ViewBatch(view, rng);
+    return EvalExprBatch(e, batch);
+  }
+  struct ChunkSlot {
+    Column col;
+    Status status = Status::Ok();
+  };
+  auto slots = ParallelMorselMap<ChunkSlot>(
+      n, num_threads, [&](ChunkSlot& slot, size_t begin, size_t end) {
+        Batch batch = ViewBatch(view, nullptr, begin, end);
+        auto c = EvalExprBatch(e, batch);
+        if (c.ok()) {
+          slot.col = std::move(c).ValueOrDie();
+        } else {
+          slot.status = c.status();
+        }
+      });
+  std::vector<Column> chunks;
+  chunks.reserve(slots.size());
+  for (ChunkSlot& slot : slots) {
+    if (!slot.status.ok()) return slot.status;
+    chunks.push_back(std::move(slot.col));
+  }
+  return Column::ConcatChunks(std::move(chunks));
 }
 
 }  // namespace vdb::engine

@@ -22,30 +22,40 @@
 namespace vdb::engine {
 
 /// A batch of input rows: a table plus an optional selection vector of
-/// surviving row indices. A null `sel` means the contiguous row range
-/// [range_begin, range_end) of the table — by default the whole table. The
-/// range form is how the morsel-driven parallel scan hands one worker its
-/// slice without materializing a selection vector.
+/// surviving row indices. [range_begin, range_end) slices the batch's
+/// position domain — physical rows when `sel` is null, positions INTO `sel`
+/// otherwise (a selection composed with a morsel row-range: how the
+/// morsel-driven scan hands one worker its slice of a RowView without
+/// copying the selection). The defaults cover the whole domain.
 struct Batch {
   static constexpr size_t kWholeTable = static_cast<size_t>(-1);
 
   const Table* table = nullptr;
-  const SelVector* sel = nullptr;  // null => rows [range_begin, range_end)
+  const SelVector* sel = nullptr;  // null => physical rows
   Rng* rng = nullptr;              // backs rand() via the row fallback
-  size_t range_begin = 0;          // used only when sel == null
-  size_t range_end = kWholeTable;  // kWholeTable => table->num_rows()
+  size_t range_begin = 0;
+  size_t range_end = kWholeTable;  // kWholeTable => whole domain
 
+  size_t Domain() const {
+    if (sel != nullptr) return sel->size();
+    return table != nullptr ? table->num_rows() : 0;
+  }
   size_t RangeEnd() const {
-    return range_end == kWholeTable ? (table != nullptr ? table->num_rows() : 0)
-                                    : range_end;
+    return range_end == kWholeTable ? Domain() : range_end;
   }
-  size_t size() const {
-    return sel != nullptr ? sel->size() : RangeEnd() - range_begin;
-  }
+  size_t size() const { return RangeEnd() - range_begin; }
   uint32_t RowAt(size_t i) const {
-    return sel != nullptr ? (*sel)[i] : static_cast<uint32_t>(range_begin + i);
+    return sel != nullptr ? (*sel)[range_begin + i]
+                          : static_cast<uint32_t>(range_begin + i);
   }
 };
+
+/// Batch over view positions [begin, end): the range form for identity/range
+/// views (zero-copy lanes), the sel-slice form otherwise. The view must
+/// outlive the batch (the batch borrows its selection vector).
+Batch ViewBatch(const RowView& view, Rng* rng, size_t begin, size_t end);
+/// Batch over the whole view.
+Batch ViewBatch(const RowView& view, Rng* rng);
 
 /// Evaluates a bound expression for every batch position, column-at-a-time.
 /// Returns a column of batch.size() rows, position i holding the value for
@@ -80,6 +90,22 @@ Status EvalPredicateBatch(const sql::Expr& e, const Batch& batch,
 /// smaller than a single morsel.
 Status EvalPredicateParallel(const sql::Expr& e, const Table& table, Rng* rng,
                              int num_threads, SelVector* out);
+
+/// Evaluates a predicate over a RowView (selection composed with morsel
+/// row-ranges) and appends the surviving PHYSICAL row indices to `*out` in
+/// view order — the survivors directly form the composed downstream view, so
+/// filters never gather. Morsel-parallel like EvalPredicateParallel, with the
+/// same serial fallbacks (rand(), sub-morsel inputs).
+Status EvalPredicateView(const sql::Expr& e, const RowView& view, Rng* rng,
+                         int num_threads, SelVector* out);
+
+/// Evaluates an expression over every view row, morsel-parallel: one
+/// EvalExprBatch per morsel of view positions, per-morsel column chunks
+/// concatenated type-stably in morsel order (Column::ConcatChunks), so the
+/// result is bit-identical to one whole-view evaluation. rand()-bearing
+/// expressions and sub-morsel inputs evaluate as a single serial batch.
+Result<Column> EvalExprView(const sql::Expr& e, const RowView& view, Rng* rng,
+                            int num_threads);
 
 /// True if the expression tree contains a function that draws from the
 /// engine RNG (rand / random / rand_poisson). Such expressions are pinned to

@@ -23,16 +23,19 @@ std::string JoinList(const std::vector<std::string>& items,
   return out;
 }
 
-/// Gathers the selected base rows plus a constant verdict_prob column into a
-/// fresh sample table (the vectorized sample-construction path). The gather
-/// runs column-parallel on num_threads.
-engine::TablePtr MaterializeSample(const engine::Table& base,
-                                   const engine::SelVector& sel,
-                                   double prob, int num_threads) {
-  auto sample = base.CloneSchema();
-  sample->AppendSelected(base, sel, num_threads);
+/// Materializes a membership view of the base table plus a constant
+/// verdict_prob column into a fresh sample table. The membership scan emits
+/// a (table, SelVector) view, not a copy; this gather — column-parallel on
+/// num_threads — is the sample construction's single materialization.
+Result<engine::TablePtr> MaterializeSample(engine::TablePtr base,
+                                           engine::SelVector sel, double prob,
+                                           int num_threads) {
+  auto view = engine::RowView::Select(std::move(base), std::move(sel));
+  if (!view.ok()) return view.status();
+  const size_t n = view.value().num_rows();
+  auto sample = view.value().Gather(num_threads);
   engine::Column prob_col = engine::Column::FromData(
-      TypeId::kDouble, {}, std::vector<double>(sel.size(), prob), {}, {});
+      TypeId::kDouble, {}, std::vector<double>(n, prob), {}, {});
   sample->AddColumn("verdict_prob", std::move(prob_col));
   return sample;
 }
@@ -96,10 +99,12 @@ Result<SampleInfo> SampleBuilder::CreateUniformSample(const std::string& base,
       }
     }
     db->AddRowsScanned(t->num_rows());
-    VDB_RETURN_IF_ERROR(db->catalog().CreateTable(
-        info.sample_table,
-        MaterializeSample(*t, sel, tau, db->num_threads())));
     info.sample_rows = sel.size();
+    auto sample =
+        MaterializeSample(t, std::move(sel), tau, db->num_threads());
+    if (!sample.ok()) return sample.status();
+    VDB_RETURN_IF_ERROR(db->catalog().CreateTable(
+        info.sample_table, std::move(sample).ValueOrDie()));
     VDB_RETURN_IF_ERROR(catalog_->Register(info));
     return info;
   }
@@ -165,9 +170,11 @@ Result<SampleInfo> SampleBuilder::CreateHashedSample(const std::string& base,
     info.ratio = n.value() == 0 ? 0.0
                                 : static_cast<double>(sel.size()) /
                                       static_cast<double>(n.value());
+    auto sample =
+        MaterializeSample(t, std::move(sel), info.ratio, db->num_threads());
+    if (!sample.ok()) return sample.status();
     VDB_RETURN_IF_ERROR(db->catalog().CreateTable(
-        info.sample_table,
-        MaterializeSample(*t, sel, info.ratio, db->num_threads())));
+        info.sample_table, std::move(sample).ValueOrDie()));
     VDB_RETURN_IF_ERROR(catalog_->Register(info));
     return info;
   }

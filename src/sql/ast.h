@@ -90,6 +90,28 @@ struct Expr {
   Ptr Clone() const;
 };
 
+/// True if `pred` holds for `e` or any node beneath it (args, CASE arms,
+/// window partition keys). The one traversal every "does this tree contain
+/// X" check shares, so a new Expr child field is added in exactly one place.
+template <typename Pred>
+bool AnyExprNode(const Expr& e, const Pred& pred) {
+  if (pred(e)) return true;
+  for (const auto& a : e.args) {
+    if (a && AnyExprNode(*a, pred)) return true;
+  }
+  for (const auto& w : e.case_whens) {
+    if (AnyExprNode(*w, pred)) return true;
+  }
+  for (const auto& t : e.case_thens) {
+    if (AnyExprNode(*t, pred)) return true;
+  }
+  if (e.case_else && AnyExprNode(*e.case_else, pred)) return true;
+  for (const auto& p : e.partition_by) {
+    if (AnyExprNode(*p, pred)) return true;
+  }
+  return false;
+}
+
 // ---- Convenience constructors used heavily by the rewriter ----------------
 
 Expr::Ptr MakeLiteral(Value v);

@@ -44,7 +44,7 @@ TEST(HashJoinTest, ResidualAcrossChunkBoundaries) {
       sql::MakeBinary(BinaryOp::kMod, CombinedRef(3), sql::MakeIntLit(2)),
       sql::MakeIntLit(0));
   Rng rng(1);
-  auto joined = HashJoin(*left, *right, {0}, {0}, sql::JoinType::kInner,
+  auto joined = HashJoin(*left, *right, std::vector<int>{0}, std::vector<int>{0}, sql::JoinType::kInner,
                          residual.get(), &rng);
   ASSERT_TRUE(joined.ok()) << joined.status().ToString();
   // 3 left rows x 25,000 even right payloads.
@@ -68,7 +68,7 @@ TEST(HashJoinTest, LeftJoinResidualNullExtensionOrder) {
   auto residual = sql::MakeBinary(BinaryOp::kGe, CombinedRef(3),
                                   sql::MakeIntLit(5));
   Rng rng(1);
-  auto joined = HashJoin(*left, *right, {0}, {0}, sql::JoinType::kLeft,
+  auto joined = HashJoin(*left, *right, std::vector<int>{0}, std::vector<int>{0}, sql::JoinType::kLeft,
                          residual.get(), &rng);
   ASSERT_TRUE(joined.ok()) << joined.status().ToString();
   const Table& out = *joined.value();
@@ -99,7 +99,7 @@ TEST(HashJoinTest, LeftJoinAllUnmatchedStreams) {
   auto residual = sql::MakeBinary(BinaryOp::kGt, CombinedRef(3),
                                   sql::MakeIntLit(0));
   Rng rng(1);
-  auto joined = HashJoin(*left, *right, {0}, {0}, sql::JoinType::kLeft,
+  auto joined = HashJoin(*left, *right, std::vector<int>{0}, std::vector<int>{0}, sql::JoinType::kLeft,
                          residual.get(), &rng);
   ASSERT_TRUE(joined.ok());
   ASSERT_EQ(joined.value()->num_rows(), 100u);

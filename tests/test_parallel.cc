@@ -2,15 +2,14 @@
 //
 // Every query here is executed against identical databases configured with
 // 1, 2 and 8 threads, and the full result sets (values AND row order) must
-// match. The fixtures shrink the morsel size so small tables still span many
-// morsels, and cover the boundary cases: row counts smaller than one
-// morsel, exact multiples of the morsel size, off-by-one around it, and
-// empty inputs. Floating-point note: the parallel path merges partial
-// aggregation states in morsel order, which is deterministic for any thread
-// count; test data uses exactly-representable doubles (multiples of 0.25)
-// so sums and averages are bit-identical to the serial path too. Welford
-// variance merges reassociate, so the var/stddev test allows last-ulp
-// differences between 1 thread and N > 1 (N = 2 vs N = 8 stays exact).
+// match BIT-IDENTICALLY — floating-point aggregates included. Mergeable
+// aggregation always runs through per-morsel partials merged in fixed morsel
+// order (the decomposition depends only on the row count, never the thread
+// count), and sum/avg kernels carry Neumaier compensation, so 1-thread and
+// N-thread runs execute the identical computation. The fixtures shrink the
+// morsel size so small tables still span many morsels, and cover the
+// boundary cases: row counts smaller than one morsel, exact multiples of
+// the morsel size, off-by-one around it, and empty inputs.
 
 #include <gtest/gtest.h>
 
@@ -165,12 +164,48 @@ TEST_F(ParallelTest, GroupByHighCardinalityWithHaving) {
 }
 
 TEST_F(ParallelTest, VarianceAcrossThreads) {
-  // Welford-state merges reassociate the recurrence: allow last-ulp noise.
+  // Bit-identical, no tolerance: every thread count runs the same morsel
+  // decomposition with Welford partials Chan-merged in morsel order.
   CheckQueryAcrossThreads(
       10007,
       "select city, var(price) as vp, stddev(qty) as sq from orders "
-      "group by city",
-      1e-12);
+      "group by city");
+}
+
+TEST_F(ParallelTest, FullMantissaSumsBitIdenticalAcrossThreads) {
+  // Doubles with full 53-bit mantissas, where naive partial-sum merges WOULD
+  // differ from a serial row-order accumulation in the last ulps. The fixed
+  // morsel decomposition plus Neumaier-compensated kernels make serial and
+  // N-thread sums/averages/variances bit-identical — no epsilon here.
+  auto build = [] {
+    Rng rng(kSeed + 1);
+    auto t = std::make_shared<Table>();
+    t->AddColumn("g", TypeId::kInt64);
+    t->AddColumn("x", TypeId::kDouble);
+    for (size_t r = 0; r < 10007; ++r) {
+      t->AppendRow({Value::Int(static_cast<int64_t>(r % 7)),
+                    Value::Double((rng.NextDouble() - 0.5) * 1e6)});
+    }
+    return t;
+  };
+  ResultSet ref;
+  const char* sql =
+      "select g, sum(x) as sx, avg(x) as ax, var(x) as vx, stddev(x) as dx "
+      "from t group by g";
+  for (int threads : {1, 2, 8}) {
+    Database db(kSeed);
+    db.set_num_threads(threads);
+    ASSERT_TRUE(db.RegisterTable("t", build()).ok());
+    auto rs = db.Execute(sql);
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+    if (threads == 1) {
+      ref = rs.value();
+    } else {
+      ExpectSameResults(ref, rs.value(),
+                        std::string("full-mantissa sums @") +
+                            std::to_string(threads) + " threads");
+    }
+  }
 }
 
 TEST_F(ParallelTest, HashJoinProbe) {

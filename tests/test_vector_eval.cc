@@ -3,14 +3,25 @@
 // interpreter (engine/expr_eval.h) — values and NULLs, including three-valued
 // logic — on randomized expression trees and NULL patterns, plus
 // selection-vector edge cases (empty, all-pass, single-row).
+//
+// The late-materialization section at the bottom fuzzes the full engine
+// pipeline: every query runs through the view pipeline (WHERE survivors stay
+// a (table, SelVector) RowView all the way to the result boundary) at 1, 2
+// and 8 threads, against an eager-gather reference that materializes the
+// filtered table between the scan and the rest of the query. All four runs
+// must be BIT-identical — doubles compared by bit pattern — across
+// randomized predicates, NULL patterns, and full-mantissa values.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "common/random.h"
+#include "common/thread_pool.h"
+#include "engine/database.h"
 #include "engine/expr_eval.h"
 #include "engine/table.h"
 #include "engine/vector_eval.h"
@@ -451,6 +462,348 @@ TEST(BulkCopyTest, TableAppendSelectedGathers) {
       EXPECT_TRUE(SameValue(out->Get(i, c), t->Get(sel[i], c)))
           << "col " << c << " sel " << i;
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RowView: composition, guards, gather fast paths
+// ---------------------------------------------------------------------------
+
+TablePtr MakeSequenceTable(size_t rows) {
+  auto t = std::make_shared<Table>();
+  std::vector<int64_t> v(rows);
+  std::vector<double> d(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    v[r] = static_cast<int64_t>(r);
+    d[r] = static_cast<double>(r) * 1.5;
+  }
+  t->AddColumn("v", Column::FromData(TypeId::kInt64, std::move(v), {}, {}, {}));
+  t->AddColumn("d", Column::FromData(TypeId::kDouble, {}, std::move(d), {}, {}));
+  return t;
+}
+
+TEST(RowViewTest, ComposeFlattensViewOfView) {
+  auto t = MakeSequenceTable(10);
+  auto view = RowView::Select(t, {2, 4, 6, 8});
+  ASSERT_TRUE(view.ok());
+  // Positions into the view, not the table: {3, 0, 0} -> physical {8, 2, 2}.
+  auto composed = view.value().Compose({3, 0, 0});
+  ASSERT_TRUE(composed.ok());
+  const RowView& cv = composed.value();
+  ASSERT_EQ(cv.num_rows(), 3u);
+  EXPECT_EQ(cv.RowAt(0), 8u);
+  EXPECT_EQ(cv.RowAt(1), 2u);
+  EXPECT_EQ(cv.RowAt(2), 2u);
+  auto gathered = cv.Gather();
+  ASSERT_EQ(gathered->num_rows(), 3u);
+  EXPECT_EQ(gathered->Get(0, 0).AsInt(), 8);
+  EXPECT_EQ(gathered->Get(1, 0).AsInt(), 2);
+}
+
+TEST(RowViewTest, ComposeOutOfRangeIsAStatusError) {
+  auto t = MakeSequenceTable(10);
+  auto view = RowView::Select(t, {1, 3});
+  ASSERT_TRUE(view.ok());
+  auto bad = view.value().Compose({2});  // view has 2 rows: positions 0 and 1
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(RowViewTest, SelectOutOfRangeIsAStatusError) {
+  auto t = MakeSequenceTable(10);
+  auto bad = RowView::Select(t, {9, 10});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(RowViewTest, IdentityGatherIsZeroCopyAndPrefixTrims) {
+  auto t = MakeSequenceTable(10);
+  auto view = RowView::All(t);
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(view.value().is_identity());
+  EXPECT_EQ(view.value().Gather().get(), t.get());  // zero-copy fast path
+  RowView prefix = view.value().Prefix(3);
+  EXPECT_FALSE(prefix.is_identity());
+  auto gathered = prefix.Gather();
+  ASSERT_EQ(gathered->num_rows(), 3u);
+  EXPECT_NE(gathered.get(), t.get());
+  EXPECT_EQ(gathered->Get(2, 0).AsInt(), 2);
+  // Prefix beyond the view is the whole view.
+  EXPECT_EQ(view.value().Prefix(99).num_rows(), 10u);
+}
+
+TEST(RowViewTest, ChunkedGatherColumnMatchesSerial) {
+  SetMorselRowsForTest(8);
+  auto t = MakeSequenceTable(200);
+  SelVector sel;
+  for (uint32_t r = 0; r < 200; r += 3) sel.push_back(r);
+  auto view = RowView::Select(t, sel);
+  ASSERT_TRUE(view.ok());
+  Column serial = view.value().GatherColumn(t->column(1), 1);
+  Column chunked = view.value().GatherColumn(t->column(1), 4);
+  ASSERT_EQ(serial.size(), chunked.size());
+  EXPECT_EQ(serial.type(), chunked.type());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(SameValue(serial.Get(i), chunked.Get(i))) << i;
+  }
+  SetMorselRowsForTest(0);
+}
+
+TEST(ConcatChunksTest, UniformAndMixedTypes) {
+  // Uniform int chunks with a kNull chunk absorbed as NULLs.
+  Column a(TypeId::kInt64);
+  a.AppendInt(1);
+  a.AppendInt(2);
+  Column allnull = Column::FromData(TypeId::kNull, {}, {}, {}, {1, 1});
+  Column b(TypeId::kInt64);
+  b.AppendInt(3);
+  std::vector<Column> chunks;
+  chunks.push_back(a);
+  chunks.push_back(allnull);
+  chunks.push_back(b);
+  Column out = Column::ConcatChunks(std::move(chunks));
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out.type(), TypeId::kInt64);
+  EXPECT_EQ(out.Get(0).AsInt(), 1);
+  EXPECT_TRUE(out.IsNull(2));
+  EXPECT_EQ(out.Get(4).AsInt(), 3);
+
+  // Int chunk + double chunk: promote exactly like per-value Append.
+  Column ic(TypeId::kInt64);
+  ic.AppendInt(7);
+  Column dc(TypeId::kDouble);
+  dc.AppendDouble(0.5);
+  std::vector<Column> mixed;
+  mixed.push_back(std::move(ic));
+  mixed.push_back(std::move(dc));
+  Column m = Column::ConcatChunks(std::move(mixed));
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.type(), TypeId::kDouble);
+  EXPECT_DOUBLE_EQ(m.Get(0).AsDouble(), 7.0);
+  EXPECT_DOUBLE_EQ(m.Get(1).AsDouble(), 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Late materialization: view pipeline vs eager-gather pipeline, 1/2/8 threads
+// ---------------------------------------------------------------------------
+
+/// Bit-level value equality: doubles must match in their bit patterns, not
+/// just numerically (this is what "at most one gather, and it changes
+/// nothing" means for floating point).
+bool BitIdentical(const Value& a, const Value& b) {
+  if (a.is_null() != b.is_null()) return false;
+  if (a.is_null()) return true;
+  if (a.type() != b.type()) return false;
+  if (a.type() == TypeId::kDouble) {
+    const double x = a.AsDouble(), y = b.AsDouble();
+    return std::memcmp(&x, &y, sizeof(double)) == 0;
+  }
+  if (a.type() == TypeId::kString) return a.AsString() == b.AsString();
+  return a.AsInt() == b.AsInt();
+}
+
+void ExpectBitIdenticalResults(const ResultSet& ref, const ResultSet& got,
+                               const std::string& what) {
+  ASSERT_EQ(ref.NumCols(), got.NumCols()) << what;
+  ASSERT_EQ(ref.NumRows(), got.NumRows()) << what;
+  for (size_t c = 0; c < ref.NumCols(); ++c) {
+    EXPECT_EQ(ref.names[c], got.names[c]) << what;
+  }
+  for (size_t r = 0; r < ref.NumRows(); ++r) {
+    for (size_t c = 0; c < ref.NumCols(); ++c) {
+      ASSERT_TRUE(BitIdentical(ref.Get(r, c), got.Get(r, c)))
+          << what << " cell (" << r << "," << c
+          << "): " << ref.Get(r, c).ToString() << " vs "
+          << got.Get(r, c).ToString();
+    }
+  }
+}
+
+/// Random fact table: a grouping key, full-mantissa doubles (partial-sum
+/// merges would be ulp-visible without the fixed morsel structure), a
+/// nullable int, and a nullable string.
+TablePtr MakeFactTable(Rng* rng, size_t rows) {
+  auto t = std::make_shared<Table>();
+  t->AddColumn("g", TypeId::kInt64);
+  t->AddColumn("x", TypeId::kDouble);
+  t->AddColumn("y", TypeId::kInt64);
+  t->AddColumn("s", TypeId::kString);
+  static const char* kStrings[] = {"a", "bb", "ccc", "d", ""};
+  for (size_t r = 0; r < rows; ++r) {
+    t->AppendRow({Value::Int(rng->NextInRange(0, 6)),
+                  Value::Double((rng->NextDouble() - 0.5) * 1e6),
+                  rng->NextBernoulli(0.2) ? Value::Null()
+                                          : Value::Int(rng->NextInRange(-50, 50)),
+                  rng->NextBernoulli(0.15)
+                      ? Value::Null()
+                      : Value::String(kStrings[rng->NextBounded(5)])});
+  }
+  return t;
+}
+
+class LateMaterializationTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SetMorselRowsForTest(512); }
+  void TearDown() override { SetMorselRowsForTest(0); }
+
+  static constexpr uint64_t kSeed = 20260729;
+  static constexpr size_t kRows = 4099;  // last morsel is a partial one
+
+  /// Runs `select_list ... from t where pred ... tail` over the view
+  /// pipeline (WHERE stays a view) at 1, 2 and 8 threads, and over an eager
+  /// reference that materializes the filtered table first (create table ..
+  /// as select * where ..), asserting all four result sets bit-identical.
+  void CheckQuery(const std::string& pred, const std::string& select_list,
+                  const std::string& tail = "") {
+    const std::string suffix = tail.empty() ? "" : " " + tail;
+    const std::string view_sql =
+        select_list + " from t where " + pred + suffix;
+    // Eager-gather reference: filter -> full-width materialize -> rest.
+    Database eager_db(kSeed);
+    {
+      Rng data_rng(kSeed);
+      ASSERT_TRUE(
+          eager_db.RegisterTable("t", MakeFactTable(&data_rng, kRows)).ok());
+    }
+    auto created =
+        eager_db.Execute("create table tf as select * from t where " + pred);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    auto ref = eager_db.Execute(select_list + " from tf" + suffix);
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+
+    for (int threads : {1, 2, 8}) {
+      Database db(kSeed);
+      Rng data_rng(kSeed);
+      ASSERT_TRUE(db.RegisterTable("t", MakeFactTable(&data_rng, kRows)).ok());
+      db.set_num_threads(threads);
+      auto got = db.Execute(view_sql);
+      ASSERT_TRUE(got.ok()) << view_sql << " -> " << got.status().ToString();
+      ExpectBitIdenticalResults(
+          ref.value(), got.value(),
+          view_sql + " @" + std::to_string(threads) + " threads");
+    }
+  }
+};
+
+TEST_F(LateMaterializationTest, FilterProject) {
+  CheckQuery("x > 0", "select g, x, x * 2.5 as xs");
+}
+
+TEST_F(LateMaterializationTest, FilterProjectNullableExpressions) {
+  CheckQuery("y is not null and y < 20",
+             "select y, x / y as q, coalesce(s, 'z') as cs");
+}
+
+TEST_F(LateMaterializationTest, FilterAggregate) {
+  CheckQuery("x > -100000",
+             "select g, count(*) as c, sum(x) as sx, avg(x) as ax, "
+             "var(x) as vx, min(y) as mn, count(distinct s) as ds",
+             "group by g");
+}
+
+TEST_F(LateMaterializationTest, FilterGlobalAggregate) {
+  CheckQuery("y is not null",
+             "select count(*) as c, sum(x * y) as sxy, stddev(x) as dx");
+}
+
+TEST_F(LateMaterializationTest, FilterHaving) {
+  CheckQuery("x < 250000", "select g, sum(x) as sx",
+             "group by g having count(*) > 100");
+}
+
+TEST_F(LateMaterializationTest, FilterDistinctOrderLimit) {
+  CheckQuery("y > 0", "select distinct g, y", "order by g, y limit 11");
+}
+
+TEST_F(LateMaterializationTest, FilterOrderByExpressionDesc) {
+  CheckQuery("x > 0", "select g, x", "order by x desc limit 37");
+}
+
+TEST_F(LateMaterializationTest, RandomizedPredicates) {
+  Rng rng(99);
+  for (int i = 0; i < 12; ++i) {
+    const int64_t c1 = rng.NextInRange(-400000, 400000);
+    const int64_t c2 = rng.NextInRange(-40, 40);
+    const std::string pred = "x > " + std::to_string(c1) + " and (y < " +
+                             std::to_string(c2) + " or y is null)";
+    CheckQuery(pred, "select g, count(*) as c, sum(x) as sx, avg(x) as ax",
+               "group by g");
+    CheckQuery(pred, "select g, x, y", "order by x limit 23");
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST_F(LateMaterializationTest, RandPredicateSeedReproducible) {
+  // rand() pins the scan serial; the draw sequence is identical whether the
+  // survivors are gathered eagerly or carried as a view.
+  CheckQuery("rand() < 0.5", "select g, count(*) as c, sum(x) as sx",
+             "group by g");
+}
+
+// ---- view-pipeline edge cases ---------------------------------------------
+
+TEST_F(LateMaterializationTest, AllFalsePredicateKeepsSchema) {
+  Database db(kSeed);
+  Rng data_rng(kSeed);
+  ASSERT_TRUE(db.RegisterTable("t", MakeFactTable(&data_rng, 100)).ok());
+  for (int threads : {1, 8}) {
+    db.set_num_threads(threads);
+    auto rs = db.Execute("select g, x, x + 1 as xp from t where x > 1e300");
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+    EXPECT_EQ(rs.value().NumRows(), 0u);
+    ASSERT_EQ(rs.value().NumCols(), 3u);  // schema-complete, not schema-less
+    EXPECT_EQ(rs.value().names[0], "g");
+    EXPECT_EQ(rs.value().names[2], "xp");
+    EXPECT_EQ(rs.value().table->num_columns(), 3u);
+  }
+}
+
+TEST_F(LateMaterializationTest, EmptySourceTableKeepsSchema) {
+  Database db(kSeed);
+  auto empty = std::make_shared<Table>();
+  empty->AddColumn("a", TypeId::kInt64);
+  empty->AddColumn("b", TypeId::kDouble);
+  ASSERT_TRUE(db.RegisterTable("t", empty).ok());
+  auto rs = db.Execute("select a, b, a * b as ab from t where a > 0");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs.value().NumRows(), 0u);
+  EXPECT_EQ(rs.value().NumCols(), 3u);
+  EXPECT_EQ(rs.value().table->num_columns(), 3u);
+}
+
+TEST_F(LateMaterializationTest, SelectionWithSingleRowLastMorsel) {
+  // 512-row morsels; exactly 2 * 512 + 1 surviving rows puts one lone row in
+  // the final morsel of every downstream view scan.
+  Database db(kSeed);
+  auto t = MakeSequenceTable(3000);
+  ASSERT_TRUE(db.RegisterTable("t", t).ok());
+  const std::string sql =
+      "select v, d, d * 2.0 as dd from t where v < 1025";  // 1025 survivors
+  ResultSet ref;
+  for (int threads : {1, 2, 8}) {
+    db.set_num_threads(threads);
+    auto rs = db.Execute(sql);
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+    ASSERT_EQ(rs.value().NumRows(), 1025u);
+    EXPECT_EQ(rs.value().Get(1024, 0).AsInt(), 1024);
+    if (threads == 1) {
+      ref = rs.value();
+    } else {
+      ExpectBitIdenticalResults(ref, rs.value(),
+                                sql + " @" + std::to_string(threads));
+    }
+  }
+}
+
+TEST_F(LateMaterializationTest, SingleSurvivorProjection) {
+  Database db(kSeed);
+  auto t = MakeSequenceTable(3000);
+  ASSERT_TRUE(db.RegisterTable("t", t).ok());
+  for (int threads : {1, 8}) {
+    db.set_num_threads(threads);
+    auto rs = db.Execute("select v, d from t where v = 1717");
+    ASSERT_TRUE(rs.ok());
+    ASSERT_EQ(rs.value().NumRows(), 1u);
+    ASSERT_EQ(rs.value().NumCols(), 2u);
+    EXPECT_EQ(rs.value().Get(0, 0).AsInt(), 1717);
   }
 }
 

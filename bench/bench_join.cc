@@ -1,0 +1,176 @@
+// Join benchmark: the flat radix-partitioned hash join vs. the old per-row
+// string-key std::unordered_map join (kept here as the baseline), swept over
+// build-side sizes (1K / 32K / 1M), key cardinalities (unique / skewed /
+// hot-key) and 1/2/4/8 threads.
+//
+// Probe sizes are chosen so every configuration emits ~build_size output
+// pairs — the modes differ in duplicate-chain length (1 / 16 / n/256), not
+// output volume, so timings compare build+probe cost, not gather volume.
+// Both sides share the combined-gather code path (GatherJoinPairsInto), so
+// the delta is purely key hashing + table build + probe.
+//
+// Acceptance bar (ISSUE 4): >= 3x single-thread build+probe speedup over
+// the string-map baseline on the 1M-row unique-key case.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "engine/aggregates.h"
+#include "engine/operators.h"
+#include "engine/table.h"
+
+namespace vdb::engine {
+namespace {
+
+constexpr uint32_t kNullRow = JoinPairView::kNullRightRow;
+
+/// Key cardinality shapes. Every shape emits ~build_size pairs.
+enum Mode : int { kUnique = 0, kSkewed = 1, kHotKey = 2 };
+
+size_t KeyDomain(size_t build_rows, int mode) {
+  switch (mode) {
+    case kUnique:
+      return build_rows;
+    case kSkewed:
+      return std::max<size_t>(1, build_rows / 16);
+    default:  // kHotKey: 256 keys, each with build_rows/256 duplicates.
+      return std::min<size_t>(256, build_rows);
+  }
+}
+
+size_t ProbeRows(size_t build_rows, int mode) {
+  // ~one emitted pair per build row: probe_rows * (build_rows / domain).
+  return KeyDomain(build_rows, mode);
+}
+
+TablePtr MakeSide(size_t rows, size_t key_domain, bool sequential,
+                  uint64_t seed, const char* payload) {
+  Rng rng(seed);
+  std::vector<int64_t> keys(rows), pay(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    keys[r] = sequential ? static_cast<int64_t>(r % key_domain)
+                         : static_cast<int64_t>(rng.NextBounded(key_domain));
+    pay[r] = static_cast<int64_t>(r);
+  }
+  auto t = std::make_shared<Table>();
+  t->AddColumn("k", Column::FromData(TypeId::kInt64, std::move(keys), {}, {},
+                                     {}));
+  t->AddColumn(payload, Column::FromData(TypeId::kInt64, std::move(pay), {},
+                                         {}, {}));
+  return t;
+}
+
+struct JoinInput {
+  TablePtr probe, build;
+};
+
+/// One input per (build_rows, mode), built once and shared across the
+/// baseline and every thread count so all variants join identical data.
+const JoinInput& InputFor(size_t build_rows, int mode) {
+  static std::map<std::pair<size_t, int>, JoinInput>* cache =
+      new std::map<std::pair<size_t, int>, JoinInput>();
+  auto it = cache->find({build_rows, mode});
+  if (it == cache->end()) {
+    const size_t domain = KeyDomain(build_rows, mode);
+    JoinInput in;
+    in.build = MakeSide(build_rows, domain, /*sequential=*/true, 7, "rv");
+    in.probe =
+        MakeSide(ProbeRows(build_rows, mode), domain, /*sequential=*/false,
+                 11, "lv");
+    it = cache->emplace(std::make_pair(build_rows, mode), std::move(in)).first;
+  }
+  return it->second;
+}
+
+/// The pre-rewrite join, verbatim in shape: per-row ValueGroupKey string
+/// keys on both sides, serial std::unordered_map<string, vector> build,
+/// left-row-major probe. The combined gather is shared with the new path.
+TablePtr StringMapJoinBaseline(const Table& left, const Table& right) {
+  auto key_of = [](const Table& t, size_t row, bool* has_null) {
+    Value v = t.column(0).Get(row);
+    *has_null = v.is_null();
+    std::string key = ValueGroupKey(v);
+    key.push_back('\x1f');
+    return key;
+  };
+  std::unordered_map<std::string, std::vector<uint32_t>> build;
+  build.reserve(right.num_rows());
+  for (size_t r = 0; r < right.num_rows(); ++r) {
+    bool has_null = false;
+    std::string key = key_of(right, r, &has_null);
+    if (!has_null) build[key].push_back(static_cast<uint32_t>(r));
+  }
+  SelVector out_l, out_r;
+  for (size_t lr = 0; lr < left.num_rows(); ++lr) {
+    bool has_null = false;
+    std::string key = key_of(left, lr, &has_null);
+    if (has_null) continue;
+    auto it = build.find(key);
+    if (it == build.end()) continue;
+    for (uint32_t rr : it->second) {
+      out_l.push_back(static_cast<uint32_t>(lr));
+      out_r.push_back(rr);
+    }
+  }
+  auto out = std::make_shared<Table>();
+  GatherJoinPairsInto(left, out_l.data(), right, out_r.data(), out_l.size(),
+                      1, out.get());
+  (void)kNullRow;
+  return out;
+}
+
+void BM_JoinStringMapBaseline(benchmark::State& state) {
+  const JoinInput& in = InputFor(static_cast<size_t>(state.range(0)),
+                                 static_cast<int>(state.range(1)));
+  size_t out_rows = 0;
+  for (auto _ : state) {
+    TablePtr out = StringMapJoinBaseline(*in.probe, *in.build);
+    out_rows = out->num_rows();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * out_rows));
+  state.counters["out_rows"] = static_cast<double>(out_rows);
+}
+
+void BM_JoinRadix(benchmark::State& state) {
+  const JoinInput& in = InputFor(static_cast<size_t>(state.range(0)),
+                                 static_cast<int>(state.range(1)));
+  const int threads = static_cast<int>(state.range(2));
+  Rng rng(1);
+  size_t out_rows = 0;
+  for (auto _ : state) {
+    auto out = HashJoin(*in.probe, *in.build, std::vector<int>{0},
+                        std::vector<int>{0}, sql::JoinType::kInner, nullptr,
+                        &rng, threads);
+    if (!out.ok()) {
+      state.SkipWithError(out.status().ToString().c_str());
+      return;
+    }
+    out_rows = out.value()->num_rows();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * out_rows));
+  state.counters["out_rows"] = static_cast<double>(out_rows);
+}
+
+BENCHMARK(BM_JoinStringMapBaseline)
+    ->ArgNames({"build", "mode"})
+    ->ArgsProduct({{1 << 10, 1 << 15, 1 << 20}, {kUnique, kSkewed, kHotKey}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_JoinRadix)
+    ->ArgNames({"build", "mode", "threads"})
+    ->ArgsProduct({{1 << 10, 1 << 15, 1 << 20},
+                   {kUnique, kSkewed, kHotKey},
+                   {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace vdb::engine
+
+BENCHMARK_MAIN();

@@ -69,6 +69,18 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
+/// Runs body(i) once per i in [0, count) on up to max_threads threads —
+/// the per-partition / per-column fan-out shape (morsel size 1), used by the
+/// radix-partitioned join build and column-parallel gathers. Iterations must
+/// touch disjoint state; completion order is unspecified, so callers that
+/// care about order index into preallocated slots.
+template <typename Body>
+void ParallelForEach(size_t count, int max_threads, Body&& body) {
+  ThreadPool::Global().ParallelFor(
+      count, 1, max_threads,
+      [&](size_t, size_t begin, size_t) { body(begin); });
+}
+
 /// The standard morsel fan-out shape: one default-constructed Slot per
 /// morsel of [0, total), filled by body(slot, begin, end), returned in
 /// morsel order for the caller to merge. Keeps the decomposition arithmetic

@@ -74,20 +74,19 @@ bool RowsEqual(const std::vector<const Column*>& cols, size_t a, size_t b) {
   return true;
 }
 
-}  // namespace
-
-void HashGroupColumn(const Column& col, size_t num_rows,
-                     std::vector<uint64_t>* hashes) {
-  std::vector<uint64_t>& h = *hashes;
+/// Mixes column `col`'s per-row hash into h[r] for r in [begin, end) —
+/// absolute row indexing, so morsel workers can share one output array.
+void HashColumnRange(const Column& col, size_t begin, size_t end,
+                     uint64_t* h) {
   const uint8_t* nulls = col.NullData();
   switch (col.type()) {
     case TypeId::kNull:
-      for (size_t r = 0; r < num_rows; ++r) h[r] = MixInto(h[r], kNullHash);
+      for (size_t r = begin; r < end; ++r) h[r] = MixInto(h[r], kNullHash);
       return;
     case TypeId::kBool:
     case TypeId::kInt64: {
       const int64_t* data = col.IntData();
-      for (size_t r = 0; r < num_rows; ++r) {
+      for (size_t r = begin; r < end; ++r) {
         const uint64_t v = (nulls != nullptr && nulls[r] != 0)
                                ? kNullHash
                                : HashMix64(static_cast<uint64_t>(data[r]));
@@ -97,7 +96,7 @@ void HashGroupColumn(const Column& col, size_t num_rows,
     }
     case TypeId::kDouble: {
       const double* data = col.DoubleData();
-      for (size_t r = 0; r < num_rows; ++r) {
+      for (size_t r = begin; r < end; ++r) {
         const uint64_t v = (nulls != nullptr && nulls[r] != 0)
                                ? kNullHash
                                : DoubleHash(data[r]);
@@ -106,7 +105,7 @@ void HashGroupColumn(const Column& col, size_t num_rows,
       return;
     }
     case TypeId::kString: {
-      for (size_t r = 0; r < num_rows; ++r) {
+      for (size_t r = begin; r < end; ++r) {
         uint64_t v;
         if (nulls != nullptr && nulls[r] != 0) {
           v = kNullHash;
@@ -119,6 +118,88 @@ void HashGroupColumn(const Column& col, size_t num_rows,
       return;
     }
   }
+}
+
+uint64_t g_join_key_hash_mask = ~0ull;
+
+/// Same-type equality across two columns (both cells non-null).
+bool CellsEqual2(const Column& a, size_t ra, const Column& b, size_t rb) {
+  switch (a.type()) {
+    case TypeId::kNull:
+      return true;
+    case TypeId::kBool:
+    case TypeId::kInt64:
+      return a.GetInt(ra) == b.GetInt(rb);
+    case TypeId::kDouble: {
+      const double x = a.GetDouble(ra), y = b.GetDouble(rb);
+      return x == y || (std::isnan(x) && std::isnan(y));
+    }
+    case TypeId::kString:
+      return a.GetString(ra) == b.GetString(rb);
+  }
+  return false;
+}
+
+/// Cross-column cell equality under ValueGroupKey equivalence; unlike
+/// CellsEqual the two cells may come from differently-typed columns (an
+/// Int64 key joining a Double key), so numerics compare by value.
+bool CellsEqualCross(const Column& a, size_t ra, const Column& b, size_t rb) {
+  const bool an = a.IsNull(ra);
+  if (an != b.IsNull(rb)) return false;
+  if (an) return true;
+  const TypeId at = a.type(), bt = b.type();
+  if (at == bt) return CellsEqual2(a, ra, b, rb);
+  // Mixed types: only numeric cross-type pairs can be equal (ValueGroupKey
+  // gives strings their own tag). Bool cells live in Int64 storage.
+  const bool a_int = at == TypeId::kBool || at == TypeId::kInt64;
+  const bool b_int = bt == TypeId::kBool || bt == TypeId::kInt64;
+  if (a_int && b_int) return a.GetInt(ra) == b.GetInt(rb);
+  if (a_int && bt == TypeId::kDouble) {
+    const double d = b.GetDouble(rb);
+    return d == std::floor(d) && std::abs(d) < 9.2e18 &&
+           static_cast<int64_t>(d) == a.GetInt(ra);
+  }
+  if (b_int && at == TypeId::kDouble) {
+    const double d = a.GetDouble(ra);
+    return d == std::floor(d) && std::abs(d) < 9.2e18 &&
+           static_cast<int64_t>(d) == b.GetInt(rb);
+  }
+  return false;
+}
+
+}  // namespace
+
+void HashGroupColumn(const Column& col, size_t num_rows,
+                     std::vector<uint64_t>* hashes) {
+  HashColumnRange(col, 0, num_rows, hashes->data());
+}
+
+void HashJoinKeyColumns(const std::vector<const Column*>& keys, size_t begin,
+                        size_t end, uint64_t* hashes, uint8_t* any_null) {
+  for (size_t r = begin; r < end; ++r) hashes[r] = 0x2545F4914F6CDD1Dull;
+  for (const Column* k : keys) {
+    HashColumnRange(*k, begin, end, hashes);
+    if (k->type() == TypeId::kNull) {
+      for (size_t r = begin; r < end; ++r) any_null[r] = 1;
+    } else if (const uint8_t* nulls = k->NullData()) {
+      for (size_t r = begin; r < end; ++r) any_null[r] |= nulls[r];
+    }
+  }
+  if (g_join_key_hash_mask != ~0ull) {
+    for (size_t r = begin; r < end; ++r) hashes[r] &= g_join_key_hash_mask;
+  }
+}
+
+bool JoinKeysEqual(const std::vector<const Column*>& a, size_t arow,
+                   const std::vector<const Column*>& b, size_t brow) {
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!CellsEqualCross(*a[i], arow, *b[i], brow)) return false;
+  }
+  return true;
+}
+
+void SetJoinKeyHashMaskForTest(uint64_t mask) {
+  g_join_key_hash_mask = mask;
 }
 
 GroupAssignment AssignGroupIds(const std::vector<const Column*>& cols,

@@ -35,6 +35,36 @@ struct GroupAssignment {
 void HashGroupColumn(const Column& col, size_t num_rows,
                      std::vector<uint64_t>* hashes);
 
+// ---------------------------------------------------------- join-key hashing
+
+/// Hashes multi-column join keys for rows [begin, end) column-at-a-time into
+/// hashes[begin..end) (absolute row indexing; callers morsel-parallelize by
+/// handing workers disjoint ranges of preallocated arrays) and ORs a flag
+/// into any_null[r] for rows with a NULL in any key column (NULL join keys
+/// never match, unlike grouping where NULL groups with NULL).
+///
+/// The hash respects ValueGroupKey equivalence across differently-typed key
+/// columns: 5 (Int64) and 5.0 (Double) hash equally, every NaN hashes to one
+/// class, and -0.0 hashes like 0 — so an Int64 key column joins against a
+/// Double key column exactly as the string-key reference did, and serial and
+/// radix-partitioned parallel builds agree bit-for-bit.
+void HashJoinKeyColumns(const std::vector<const Column*>& keys, size_t begin,
+                        size_t end, uint64_t* hashes, uint8_t* any_null);
+
+/// Cross-table key equality under ValueGroupKey equivalence: row `arow` of
+/// key columns `a` vs row `brow` of key columns `b` (same arity). Numeric
+/// values compare by value across Int64/Double columns, NaN equals NaN,
+/// -0.0 equals 0.0, strings never equal numerics. Only called for same-hash
+/// candidates, so it stays off the probe hot path.
+bool JoinKeysEqual(const std::vector<const Column*>& a, size_t arow,
+                   const std::vector<const Column*>& b, size_t brow);
+
+/// Test hook: ANDs every join-key hash with `mask` after mixing, forcing
+/// distinct keys into shared 64-bit hashes so collision handling in the flat
+/// build table is exercised deterministically. ~0ull (the default) disables.
+/// Applies to join-key hashing only, never to group-id assignment.
+void SetJoinKeyHashMaskForTest(uint64_t mask);
+
 /// Guard for the uint32_t gid/rep_row storage (and SelVector outputs built
 /// from it): callers must reject inputs above 2^32 - 2 rows with this Status
 /// instead of silently truncating ids.

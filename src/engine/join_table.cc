@@ -1,0 +1,108 @@
+#include "engine/join_table.h"
+
+#include <algorithm>
+
+namespace vdb::engine {
+
+namespace {
+
+/// Smallest power of two >= n (n >= 1).
+uint64_t NextPow2(uint64_t n) {
+  uint64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Slot capacity for `count` keyed rows: power of two, load factor <= 2/3.
+size_t SlotCapacity(size_t count) {
+  return static_cast<size_t>(NextPow2(std::max<uint64_t>(8, count + count / 2)));
+}
+
+}  // namespace
+
+void JoinBuildTable::PlanPartitions(const uint64_t* hashes,
+                                    const uint8_t* any_null, size_t num_rows,
+                                    int num_threads,
+                                    std::vector<uint32_t>* part_rows) {
+  // Partition only when the parallel build can win: several morsels of input
+  // and more than one thread. ~4 partitions per thread smooths skew without
+  // shrinking partitions below cache-friendly sizes; the cap bounds the
+  // histogram/prefix bookkeeping.
+  int bits = 0;
+  if (num_threads > 1 && num_rows > MorselRows()) {
+    const uint64_t want =
+        NextPow2(std::min<uint64_t>(256, static_cast<uint64_t>(num_threads) * 4));
+    while ((1ull << bits) < want) ++bits;
+  }
+  radix_bits_ = bits;
+  const size_t P = size_t{1} << bits;
+  parts_.assign(P, Partition{});
+
+  if (bits == 0) {
+    // Serial reference: one partition listing the non-NULL rows ascending.
+    part_rows->clear();
+    part_rows->reserve(num_rows);
+    for (size_t r = 0; r < num_rows; ++r) {
+      if (any_null[r] == 0) part_rows->push_back(static_cast<uint32_t>(r));
+    }
+    parts_[0].row_begin = 0;
+    parts_[0].row_end = static_cast<uint32_t>(part_rows->size());
+    if (!part_rows->empty()) {
+      parts_[0].slot_hash.assign(SlotCapacity(part_rows->size()), 0);
+      parts_[0].slot_head.assign(parts_[0].slot_hash.size(), kInvalidRow);
+    }
+    return;
+  }
+
+  const int shift = 64 - bits;
+  const size_t morsel = MorselRows();
+
+  // Pass 1: per-morsel histogram of non-NULL rows per partition.
+  auto counts = ParallelMorselMap<std::vector<uint32_t>>(
+      num_rows, num_threads,
+      [&](std::vector<uint32_t>& slot, size_t begin, size_t end) {
+        slot.assign(P, 0);
+        for (size_t r = begin; r < end; ++r) {
+          if (any_null[r] == 0) ++slot[hashes[r] >> shift];
+        }
+      });
+
+  // Prefix sum partition-major, morsel-minor: partition p's rows occupy one
+  // contiguous span, and within it morsel 0's rows precede morsel 1's — so
+  // every partition's row list is ascending, which the build relies on for
+  // duplicate-chain order.
+  const size_t M = counts.size();
+  std::vector<std::vector<uint32_t>> offsets(M, std::vector<uint32_t>(P));
+  uint32_t total = 0;
+  for (size_t p = 0; p < P; ++p) {
+    parts_[p].row_begin = total;
+    for (size_t m = 0; m < M; ++m) {
+      offsets[m][p] = total;
+      total += counts[m][p];
+    }
+    parts_[p].row_end = total;
+  }
+  part_rows->resize(total);
+
+  // Pass 2: scatter row indices; every (morsel, partition) cell writes its
+  // own precomputed span, so workers never contend.
+  ThreadPool::Global().ParallelFor(
+      num_rows, morsel, num_threads,
+      [&](size_t m, size_t begin, size_t end) {
+        std::vector<uint32_t>& off = offsets[m];
+        for (size_t r = begin; r < end; ++r) {
+          if (any_null[r] == 0) {
+            (*part_rows)[off[hashes[r] >> shift]++] = static_cast<uint32_t>(r);
+          }
+        }
+      });
+
+  for (size_t p = 0; p < P; ++p) {
+    const size_t count = parts_[p].row_end - parts_[p].row_begin;
+    if (count == 0) continue;
+    parts_[p].slot_hash.assign(SlotCapacity(count), 0);
+    parts_[p].slot_head.assign(parts_[p].slot_hash.size(), kInvalidRow);
+  }
+}
+
+}  // namespace vdb::engine

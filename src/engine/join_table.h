@@ -1,0 +1,128 @@
+// Flat open-addressing hash table over a join build side, with a
+// radix-partitioned parallel construction path.
+//
+// Replaces the serial std::unordered_map<std::string, std::vector<uint32_t>>
+// the join used: keys are 64-bit hashes computed column-at-a-time
+// (engine/group_ids.h) — no per-row string materialization anywhere — and
+// the table itself is two flat arrays per partition (slot hash + head build
+// row, power-of-two capacity, linear probing) plus one shared `next` array
+// chaining duplicate build rows in ascending row order. A probe hit walks
+// head -> next -> ... exactly in the order the old per-key vectors listed
+// rows, so pair lists are bit-identical to the string-map reference.
+//
+// Parallel build (num_threads > 1, input larger than one morsel): workers
+// histogram build-row hashes per morsel into 2^k radix partitions (top k
+// hash bits), a serial prefix sum fixes each partition's row-list boundary,
+// workers scatter row indices (disjoint writes; within a partition rows stay
+// ascending because the prefix sum runs partition-major, morsel-minor), and
+// each partition's sub-table is then built independently — no locks, no
+// atomics on the hot path. Slot lookups use the LOW hash bits, so radix
+// partitioning on the high bits keeps per-partition occupancy uniform.
+// num_threads == 1 builds one unpartitioned table with the identical
+// insertion loop: the bit-level reference the parallel path must match.
+
+#ifndef VDB_ENGINE_JOIN_TABLE_H_
+#define VDB_ENGINE_JOIN_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace vdb::engine {
+
+class JoinBuildTable {
+ public:
+  /// Absent build row / empty slot sentinel.
+  static constexpr uint32_t kInvalidRow = 0xFFFFFFFFu;
+
+  /// Builds over `num_rows` build rows whose key hashes and NULL-key flags
+  /// the caller precomputed (HashJoinKeyColumns). Rows with any_null set are
+  /// never inserted (NULL keys never match). `eq(a, b)` decides whether
+  /// build rows a and b carry equal keys — called only for same-hash pairs,
+  /// i.e. genuine 64-bit collisions and duplicate keys.
+  template <typename Eq>
+  void Build(const uint64_t* hashes, const uint8_t* any_null, size_t num_rows,
+             int num_threads, Eq&& eq) {
+    next_.assign(num_rows, kInvalidRow);
+    std::vector<uint32_t> part_rows;
+    PlanPartitions(hashes, any_null, num_rows, num_threads, &part_rows);
+    auto build_partition = [&](size_t p) {
+      Partition& part = parts_[p];
+      if (part.slot_hash.empty()) return;
+      const uint64_t mask = part.slot_hash.size() - 1;
+      std::vector<uint32_t> slot_tail(part.slot_hash.size(), kInvalidRow);
+      for (uint32_t idx = part.row_begin; idx < part.row_end; ++idx) {
+        const uint32_t r = part_rows[idx];
+        const uint64_t h = hashes[r];
+        uint64_t i = h & mask;
+        for (;;) {
+          if (part.slot_head[i] == kInvalidRow) {
+            part.slot_head[i] = r;
+            part.slot_hash[i] = h;
+            slot_tail[i] = r;
+            break;
+          }
+          if (part.slot_hash[i] == h && eq(part.slot_head[i], r)) {
+            // Duplicate key: append to the chain tail so chains list build
+            // rows ascending (rows arrive in ascending order per partition).
+            next_[slot_tail[i]] = r;
+            slot_tail[i] = r;
+            break;
+          }
+          i = (i + 1) & mask;
+        }
+      }
+    };
+    if (parts_.size() > 1) {
+      ParallelForEach(parts_.size(), num_threads, build_partition);
+    } else {
+      for (size_t p = 0; p < parts_.size(); ++p) build_partition(p);
+    }
+  }
+
+  /// First build row whose key hash is `hash` and whose key `eq(build_row)`
+  /// confirms equal; kInvalidRow on miss. Further duplicates via NextDup.
+  template <typename Eq>
+  uint32_t Find(uint64_t hash, Eq&& eq) const {
+    const Partition& part =
+        parts_[radix_bits_ == 0 ? 0 : hash >> (64 - radix_bits_)];
+    if (part.slot_hash.empty()) return kInvalidRow;
+    const uint64_t mask = part.slot_hash.size() - 1;
+    uint64_t i = hash & mask;
+    for (;;) {
+      const uint32_t head = part.slot_head[i];
+      if (head == kInvalidRow) return kInvalidRow;
+      if (part.slot_hash[i] == hash && eq(head)) return head;
+      i = (i + 1) & mask;
+    }
+  }
+
+  /// Next build row with the same key as `row` (ascending), or kInvalidRow.
+  uint32_t NextDup(uint32_t row) const { return next_[row]; }
+
+  /// 1 for the serial reference build, 2^k for a radix build.
+  size_t num_partitions() const { return parts_.size(); }
+
+ private:
+  struct Partition {
+    std::vector<uint64_t> slot_hash;  // valid where slot_head != kInvalidRow
+    std::vector<uint32_t> slot_head;  // first build row keyed here
+    uint32_t row_begin = 0, row_end = 0;  // this partition's part_rows span
+  };
+
+  /// Decides the radix split, fills `part_rows` with non-NULL build row
+  /// indices grouped by partition (ascending within each), and sizes every
+  /// partition's slot arrays. Defined in join_table.cc.
+  void PlanPartitions(const uint64_t* hashes, const uint8_t* any_null,
+                      size_t num_rows, int num_threads,
+                      std::vector<uint32_t>* part_rows);
+
+  int radix_bits_ = 0;  // partition index = hash >> (64 - radix_bits_)
+  std::vector<Partition> parts_;
+  std::vector<uint32_t> next_;
+};
+
+}  // namespace vdb::engine
+
+#endif  // VDB_ENGINE_JOIN_TABLE_H_

@@ -1,83 +1,23 @@
 #include "engine/operators.h"
 
-#include <unordered_map>
-
 #include "common/thread_pool.h"
-#include "engine/aggregates.h"
+#include "engine/group_ids.h"
+#include "engine/join_table.h"
 #include "engine/vector_eval.h"
 
 namespace vdb::engine {
 
 namespace {
 
-/// Sentinel in a right-side gather list: emit NULLs (left join extension).
-constexpr uint32_t kNullRow = 0xFFFFFFFFu;
+/// Sentinel in a right-side pair list: emit NULLs (left join extension).
+constexpr uint32_t kNullRow = JoinPairView::kNullRightRow;
 
-std::string JoinKeyOf(size_t row, const std::vector<const Column*>& keys,
-                      bool* has_null) {
-  std::string key;
-  *has_null = false;
-  for (const Column* k : keys) {
-    Value v = k->Get(row);
-    if (v.is_null()) *has_null = true;
-    key += ValueGroupKey(v);
-    key.push_back('\x1f');
-  }
-  return key;
-}
+constexpr uint32_t kInvalidRow = JoinBuildTable::kInvalidRow;
 
-/// Materializes the combined (left ++ right) schema for the pairs named by
-/// two parallel gather lists. Right-side entries equal to kNullRow emit
-/// NULLs (left-join null extension); with no sentinels each right column is
-/// a single bulk gather. Also the batch input for residual predicates.
-TablePtr GatherCombined(const Table& left, const SelVector& lrows,
-                        const Table& right, const SelVector& rrows,
-                        int num_threads) {
-  const size_t lcols = left.num_columns();
-  const size_t rcols = right.num_columns();
-  std::vector<Column> cols(lcols + rcols);
-  auto build_one = [&](size_t c) {
-    if (c < lcols) {
-      Column col(left.column(c).type());
-      col.AppendSelected(left.column(c), lrows.data(), lrows.size());
-      cols[c] = std::move(col);
-      return;
-    }
-    const Column& src = right.column(c - lcols);
-    Column col(src.type());
-    // Bulk-gather maximal sentinel-free segments; per-element work only for
-    // the null extensions themselves.
-    size_t i = 0;
-    const size_t n = rrows.size();
-    while (i < n) {
-      if (rrows[i] == kNullRow) {
-        col.AppendNull();
-        ++i;
-        continue;
-      }
-      size_t j = i;
-      while (j < n && rrows[j] != kNullRow) ++j;
-      col.AppendSelected(src, rrows.data() + i, j - i);
-      i = j;
-    }
-    cols[c] = std::move(col);
-  };
-  // Column-parallel materialization: every column writes only its own slot.
-  if (num_threads > 1 && lcols + rcols > 1 && lrows.size() >= 4096) {
-    ThreadPool::Global().ParallelFor(
-        lcols + rcols, 1, num_threads,
-        [&](size_t, size_t begin, size_t) { build_one(begin); });
-  } else {
-    for (size_t c = 0; c < lcols + rcols; ++c) build_one(c);
-  }
-  auto out = std::make_shared<Table>();
-  for (size_t c = 0; c < lcols; ++c) {
-    out->AddColumn(left.column_name(c), std::move(cols[c]));
-  }
-  for (size_t c = 0; c < rcols; ++c) {
-    out->AddColumn(right.column_name(c), std::move(cols[lcols + c]));
-  }
-  return out;
+/// Non-owning alias for the table-reference overloads, whose callers gather
+/// before the borrowed table can go away.
+TablePtr BorrowTable(const Table& t) {
+  return TablePtr(TablePtr{}, const_cast<Table*>(&t));
 }
 
 /// The selection-vector machinery (uint32_t indices, kNullRow sentinel)
@@ -90,50 +30,66 @@ Status CheckJoinInputSizes(const Table& left, const Table& right) {
   return Status::Ok();
 }
 
-/// Evaluates a bound residual predicate over candidate pairs, returning a
-/// pass/fail flag per candidate.
-Result<std::vector<uint8_t>> ResidualMask(const Table& left,
-                                          const SelVector& lrows,
-                                          const Table& right,
-                                          const SelVector& rrows,
-                                          const sql::Expr& residual,
-                                          Rng* rng, int num_threads) {
-  TablePtr scratch = GatherCombined(left, lrows, right, rrows, num_threads);
-  SelVector surviving;
-  Batch batch{scratch.get(), nullptr, rng};
-  VDB_RETURN_IF_ERROR(EvalPredicateBatch(residual, batch, &surviving));
-  std::vector<uint8_t> pass(lrows.size(), 0);
-  for (uint32_t s : surviving) pass[s] = 1;
-  return pass;
+/// Hashes one side's join keys, morsel-parallel: workers fill disjoint
+/// ranges of the preallocated hash/null arrays, so the result is identical
+/// to the serial column-at-a-time pass.
+void HashJoinKeysParallel(const std::vector<const Column*>& keys, size_t n,
+                          int num_threads, std::vector<uint64_t>* hashes,
+                          std::vector<uint8_t>* any_null) {
+  hashes->resize(n);
+  any_null->assign(n, 0);
+  if (num_threads > 1 && n > MorselRows()) {
+    ThreadPool::Global().ParallelFor(
+        n, MorselRows(), num_threads, [&](size_t, size_t begin, size_t end) {
+          HashJoinKeyColumns(keys, begin, end, hashes->data(),
+                             any_null->data());
+        });
+  } else {
+    HashJoinKeyColumns(keys, 0, n, hashes->data(), any_null->data());
+  }
 }
 
 }  // namespace
 
-Result<TablePtr> HashJoin(const Table& left, const Table& right,
-                          const std::vector<const Column*>& left_keys,
-                          const std::vector<const Column*>& right_keys,
-                          sql::JoinType join_type, const sql::Expr* residual,
-                          Rng* rng, int num_threads) {
+Result<JoinPairView> HashJoinPairs(TablePtr left, TablePtr right,
+                                   const std::vector<const Column*>& left_keys,
+                                   const std::vector<const Column*>& right_keys,
+                                   sql::JoinType join_type,
+                                   const sql::Expr* residual, Rng* rng,
+                                   int num_threads) {
   if (left_keys.empty() || left_keys.size() != right_keys.size()) {
     return Status::Internal("hash join requires matching key lists");
   }
-  VDB_RETURN_IF_ERROR(CheckJoinInputSizes(left, right));
-  // Build on the right input.
-  std::unordered_map<std::string, std::vector<uint32_t>> build;
-  build.reserve(right.num_rows());
-  for (size_t r = 0; r < right.num_rows(); ++r) {
-    bool has_null = false;
-    std::string key = JoinKeyOf(r, right_keys, &has_null);
-    if (has_null) continue;  // NULL keys never match.
-    build[key].push_back(static_cast<uint32_t>(r));
-  }
+  VDB_RETURN_IF_ERROR(CheckJoinInputSizes(*left, *right));
+  const size_t rn = right->num_rows();
+  const size_t ln = left->num_rows();
+
+  // Build on the right input: vectorized key hashing into the flat
+  // open-addressing table (radix-partitioned parallel for num_threads > 1).
+  std::vector<uint64_t> rhash;
+  std::vector<uint8_t> rnull;
+  HashJoinKeysParallel(right_keys, rn, num_threads, &rhash, &rnull);
+  JoinBuildTable build;
+  build.Build(rhash.data(), rnull.data(), rn, num_threads,
+              [&](uint32_t a, uint32_t b) {
+                return JoinKeysEqual(right_keys, a, right_keys, b);
+              });
+
+  std::vector<uint64_t> lhash;
+  std::vector<uint8_t> lnull;
+  HashJoinKeysParallel(left_keys, ln, num_threads, &lhash, &lnull);
+
+  // First build row matching left row `lr`'s key, else kInvalidRow; further
+  // duplicates (ascending build rows) via NextDup.
+  auto find_head = [&](size_t lr) -> uint32_t {
+    if (lnull[lr] != 0) return kInvalidRow;  // NULL keys never match.
+    return build.Find(lhash[lr], [&](uint32_t br) {
+      return JoinKeysEqual(left_keys, lr, right_keys, br);
+    });
+  };
 
   const bool left_join = join_type == sql::JoinType::kLeft;
   SelVector out_l, out_r;
-  auto emit_null_ext = [&](uint32_t lr) {
-    out_l.push_back(lr);
-    out_r.push_back(kNullRow);
-  };
 
   if (residual == nullptr) {
     // Probe and emit in left-row-major order. The build table is read-only
@@ -143,31 +99,26 @@ Result<TablePtr> HashJoin(const Table& left, const Table& right,
     auto probe_range = [&](size_t range_begin, size_t range_end,
                            SelVector* ol, SelVector* orr) {
       for (size_t lr = range_begin; lr < range_end; ++lr) {
-        bool has_null = false;
-        std::string key = JoinKeyOf(lr, left_keys, &has_null);
-        bool matched = false;
-        if (!has_null) {
-          auto it = build.find(key);
-          if (it != build.end()) {
-            for (uint32_t rr : it->second) {
-              ol->push_back(static_cast<uint32_t>(lr));
-              orr->push_back(rr);
-            }
-            matched = !it->second.empty();
+        uint32_t rr = find_head(lr);
+        if (rr == kInvalidRow) {
+          if (left_join) {
+            ol->push_back(static_cast<uint32_t>(lr));
+            orr->push_back(kNullRow);
           }
+          continue;
         }
-        if (!matched && left_join) {
+        for (; rr != kInvalidRow; rr = build.NextDup(rr)) {
           ol->push_back(static_cast<uint32_t>(lr));
-          orr->push_back(kNullRow);
+          orr->push_back(rr);
         }
       }
     };
-    if (num_threads > 1 && left.num_rows() > MorselRows()) {
+    if (num_threads > 1 && ln > MorselRows()) {
       struct ProbeSlot {
         SelVector l, r;
       };
       auto slots = ParallelMorselMap<ProbeSlot>(
-          left.num_rows(), num_threads,
+          ln, num_threads,
           [&](ProbeSlot& slot, size_t range_begin, size_t range_end) {
             probe_range(range_begin, range_end, &slot.l, &slot.r);
           });
@@ -180,7 +131,7 @@ Result<TablePtr> HashJoin(const Table& left, const Table& right,
         out_r.insert(out_r.end(), slot.r.begin(), slot.r.end());
       }
     } else {
-      probe_range(0, left.num_rows(), &out_l, &out_r);
+      probe_range(0, ln, &out_l, &out_r);
     }
   } else {
     // Streaming probe: the residual runs batch-at-a-time over bounded chunks
@@ -188,30 +139,36 @@ Result<TablePtr> HashJoin(const Table& left, const Table& right,
     // materializes the full candidate cross product. Chunk entries with
     // rr == kNullRow mark left rows with no candidates at all (left join).
     // `open_lr` tracks a left row whose candidates may span chunk
-    // boundaries; it null-extends once all its candidates have failed.
+    // boundaries; it null-extends once all its candidates have failed. The
+    // chunk lists, compaction lists, and the evaluator's combined-schema
+    // scratch are all hoisted out of the loop and reused across flushes.
     constexpr size_t kChunk = 1 << 16;
-    SelVector chunk_l, chunk_r;
+    SelVector chunk_l, chunk_r, real_l, real_r;
     chunk_l.reserve(kChunk);
     chunk_r.reserve(kChunk);
+    PairPredicateEvaluator eval(*left, *right, rng, num_threads);
     int64_t open_lr = -1;
     bool open_matched = false;
+    auto emit_null_ext = [&](uint32_t lr) {
+      out_l.push_back(lr);
+      out_r.push_back(kNullRow);
+    };
     auto flush = [&]() -> Status {
       if (chunk_l.empty()) return Status::Ok();
-      SelVector real_l, real_r;
-      real_l.reserve(chunk_l.size());
-      real_r.reserve(chunk_l.size());
+      real_l.clear();
+      real_r.clear();
       for (size_t i = 0; i < chunk_l.size(); ++i) {
         if (chunk_r[i] != kNullRow) {
           real_l.push_back(chunk_l[i]);
           real_r.push_back(chunk_r[i]);
         }
       }
-      std::vector<uint8_t> pass;
+      const std::vector<uint8_t>* pass = nullptr;
       if (!real_l.empty()) {
-        auto mask = ResidualMask(left, real_l, right, real_r, *residual, rng,
-                                 num_threads);
+        auto mask = eval.Eval(*residual, real_l.data(), real_r.data(),
+                              real_l.size());
         if (!mask.ok()) return mask.status();
-        pass = std::move(mask).ValueOrDie();
+        pass = mask.value();
       }
       size_t ri = 0;
       for (size_t i = 0; i < chunk_l.size(); ++i) {
@@ -229,7 +186,7 @@ Result<TablePtr> HashJoin(const Table& left, const Table& right,
             open_lr = lr;
             open_matched = false;
           }
-          if (pass[ri] != 0) {
+          if ((*pass)[ri] != 0) {
             out_l.push_back(lr);
             out_r.push_back(chunk_r[i]);
             open_matched = true;
@@ -242,15 +199,9 @@ Result<TablePtr> HashJoin(const Table& left, const Table& right,
       return Status::Ok();
     };
 
-    for (size_t lr = 0; lr < left.num_rows(); ++lr) {
-      bool has_null = false;
-      std::string key = JoinKeyOf(lr, left_keys, &has_null);
-      const std::vector<uint32_t>* bucket = nullptr;
-      if (!has_null) {
-        auto it = build.find(key);
-        if (it != build.end() && !it->second.empty()) bucket = &it->second;
-      }
-      if (bucket == nullptr) {
+    for (size_t lr = 0; lr < ln; ++lr) {
+      uint32_t rr = find_head(lr);
+      if (rr == kInvalidRow) {
         if (left_join) {
           chunk_l.push_back(static_cast<uint32_t>(lr));
           chunk_r.push_back(kNullRow);
@@ -258,7 +209,7 @@ Result<TablePtr> HashJoin(const Table& left, const Table& right,
         }
         continue;
       }
-      for (uint32_t rr : *bucket) {
+      for (; rr != kInvalidRow; rr = build.NextDup(rr)) {
         chunk_l.push_back(static_cast<uint32_t>(lr));
         chunk_r.push_back(rr);
         if (chunk_l.size() >= kChunk) VDB_RETURN_IF_ERROR(flush());
@@ -270,7 +221,20 @@ Result<TablePtr> HashJoin(const Table& left, const Table& right,
     }
   }
 
-  return GatherCombined(left, out_l, right, out_r, num_threads);
+  return JoinPairView(std::move(left), std::move(right), std::move(out_l),
+                      std::move(out_r));
+}
+
+Result<TablePtr> HashJoin(const Table& left, const Table& right,
+                          const std::vector<const Column*>& left_keys,
+                          const std::vector<const Column*>& right_keys,
+                          sql::JoinType join_type, const sql::Expr* residual,
+                          Rng* rng, int num_threads) {
+  auto pairs = HashJoinPairs(BorrowTable(left), BorrowTable(right), left_keys,
+                             right_keys, join_type, residual, rng,
+                             num_threads);
+  if (!pairs.ok()) return pairs.status();
+  return pairs.value().Gather(num_threads);
 }
 
 Result<TablePtr> HashJoin(const Table& left, const Table& right,
@@ -289,11 +253,13 @@ Result<TablePtr> HashJoin(const Table& left, const Table& right,
                   num_threads);
 }
 
-Result<TablePtr> CrossJoin(const Table& left, const Table& right,
-                           const sql::Expr* residual, Rng* rng,
-                           size_t max_pairs, int num_threads) {
-  VDB_RETURN_IF_ERROR(CheckJoinInputSizes(left, right));
-  const size_t pairs = left.num_rows() * right.num_rows();
+Result<JoinPairView> CrossJoinPairs(TablePtr left, TablePtr right,
+                                    const sql::Expr* residual, Rng* rng,
+                                    size_t max_pairs, int num_threads) {
+  VDB_RETURN_IF_ERROR(CheckJoinInputSizes(*left, *right));
+  const size_t ln = left->num_rows();
+  const size_t rn = right->num_rows();
+  const size_t pairs = ln * rn;
   if (pairs > max_pairs) {
     return Status::Unsupported(
         "cross join would produce too many candidate pairs: " +
@@ -304,28 +270,30 @@ Result<TablePtr> CrossJoin(const Table& left, const Table& right,
   if (residual == nullptr) {
     out_l.reserve(pairs);
     out_r.reserve(pairs);
-    for (size_t lr = 0; lr < left.num_rows(); ++lr) {
-      for (size_t rr = 0; rr < right.num_rows(); ++rr) {
+    for (size_t lr = 0; lr < ln; ++lr) {
+      for (size_t rr = 0; rr < rn; ++rr) {
         out_l.push_back(static_cast<uint32_t>(lr));
         out_r.push_back(static_cast<uint32_t>(rr));
       }
     }
-    return GatherCombined(left, out_l, right, out_r, num_threads);
+    return JoinPairView(std::move(left), std::move(right), std::move(out_l),
+                        std::move(out_r));
   }
 
   // With a residual: evaluate the predicate batch-at-a-time over bounded
   // chunks of the pair space, keeping peak memory proportional to the chunk
-  // plus the surviving pairs.
+  // plus the surviving pairs; the evaluator's scratch is reused per chunk.
   constexpr size_t kChunk = 1 << 16;
   SelVector chunk_l, chunk_r;
   chunk_l.reserve(kChunk);
   chunk_r.reserve(kChunk);
+  PairPredicateEvaluator eval(*left, *right, rng, num_threads);
   auto flush = [&]() -> Status {
     if (chunk_l.empty()) return Status::Ok();
-    auto mask = ResidualMask(left, chunk_l, right, chunk_r, *residual, rng,
-                             num_threads);
+    auto mask = eval.Eval(*residual, chunk_l.data(), chunk_r.data(),
+                          chunk_l.size());
     if (!mask.ok()) return mask.status();
-    const std::vector<uint8_t>& pass = mask.value();
+    const std::vector<uint8_t>& pass = *mask.value();
     for (size_t i = 0; i < chunk_l.size(); ++i) {
       if (pass[i] != 0) {
         out_l.push_back(chunk_l[i]);
@@ -336,15 +304,25 @@ Result<TablePtr> CrossJoin(const Table& left, const Table& right,
     chunk_r.clear();
     return Status::Ok();
   };
-  for (size_t lr = 0; lr < left.num_rows(); ++lr) {
-    for (size_t rr = 0; rr < right.num_rows(); ++rr) {
+  for (size_t lr = 0; lr < ln; ++lr) {
+    for (size_t rr = 0; rr < rn; ++rr) {
       chunk_l.push_back(static_cast<uint32_t>(lr));
       chunk_r.push_back(static_cast<uint32_t>(rr));
       if (chunk_l.size() >= kChunk) VDB_RETURN_IF_ERROR(flush());
     }
   }
   VDB_RETURN_IF_ERROR(flush());
-  return GatherCombined(left, out_l, right, out_r, num_threads);
+  return JoinPairView(std::move(left), std::move(right), std::move(out_l),
+                      std::move(out_r));
+}
+
+Result<TablePtr> CrossJoin(const Table& left, const Table& right,
+                           const sql::Expr* residual, Rng* rng,
+                           size_t max_pairs, int num_threads) {
+  auto pairs = CrossJoinPairs(BorrowTable(left), BorrowTable(right), residual,
+                              rng, max_pairs, num_threads);
+  if (!pairs.ok()) return pairs.status();
+  return pairs.value().Gather(num_threads);
 }
 
 }  // namespace vdb::engine

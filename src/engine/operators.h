@@ -13,20 +13,32 @@
 
 namespace vdb::engine {
 
-/// Equi hash join. `left_keys` / `right_keys` are borrowed key columns (same
-/// length, >= 1; each sized to its input's row count) — plain column refs
-/// borrow the input's own columns, expression keys pass columns the caller
-/// evaluated, so the join never pads or copies its inputs. The output schema
-/// is all left columns followed by all right columns. `residual` (may be
-/// null) is a predicate already bound against the combined schema, applied
-/// to each matching pair. JoinType::kLeft emits unmatched left rows
-/// null-extended.
+/// Equi hash join producing a pair-list view. `left_keys` / `right_keys` are
+/// borrowed key columns (same length, >= 1; each sized to its input's row
+/// count) — plain column refs borrow the input's own columns, expression
+/// keys pass columns the caller evaluated, so the join never pads or copies
+/// its inputs. `residual` (may be null) is a predicate already bound against
+/// the combined (left ++ right) schema, applied to candidate pairs before
+/// null extension. JoinType::kLeft emits unmatched left rows with
+/// JoinPairView::kNullRightRow sentinels.
 ///
-/// The probe output is pair lists (views into both inputs); the one
-/// materialization is the combined gather at the end — with num_threads > 1
-/// and no residual the probe runs morsel-parallel over left-row ranges with
-/// per-morsel pair lists concatenated in morsel order, and the gather runs
-/// column-parallel, so pairs and order are identical to the serial probe.
+/// No per-row string keys anywhere: build and probe keys are hashed
+/// column-at-a-time (engine/group_ids.h, ValueGroupKey-equivalent: NaN joins
+/// NaN, -0.0 joins 0.0, 5 joins 5.0 across Int64/Double columns) into a flat
+/// open-addressing JoinBuildTable. With num_threads > 1 the build side is
+/// radix-partitioned and built in parallel, and the probe runs
+/// morsel-parallel over left-row ranges; pairs and their order are identical
+/// to the serial (num_threads == 1) reference, bit for bit. The caller
+/// filters the returned view further (pushed-down WHERE) and/or performs the
+/// one combined materialization with JoinPairView::Gather.
+Result<JoinPairView> HashJoinPairs(TablePtr left, TablePtr right,
+                                   const std::vector<const Column*>& left_keys,
+                                   const std::vector<const Column*>& right_keys,
+                                   sql::JoinType join_type,
+                                   const sql::Expr* residual, Rng* rng,
+                                   int num_threads = 1);
+
+/// HashJoinPairs + the combined gather, for callers that want the table.
 Result<TablePtr> HashJoin(const Table& left, const Table& right,
                           const std::vector<const Column*>& left_keys,
                           const std::vector<const Column*>& right_keys,
@@ -40,8 +52,15 @@ Result<TablePtr> HashJoin(const Table& left, const Table& right,
                           sql::JoinType join_type, const sql::Expr* residual,
                           Rng* rng, int num_threads = 1);
 
-/// Cross join with an optional bound residual predicate. Guarded: errors if
-/// the candidate pair count exceeds `max_pairs`.
+/// Cross join as a pair-list view, with an optional bound residual predicate
+/// evaluated in streaming chunks. Guarded: errors if the candidate pair
+/// count exceeds `max_pairs`.
+Result<JoinPairView> CrossJoinPairs(TablePtr left, TablePtr right,
+                                    const sql::Expr* residual, Rng* rng,
+                                    size_t max_pairs = 200'000'000,
+                                    int num_threads = 1);
+
+/// CrossJoinPairs + the combined gather.
 Result<TablePtr> CrossJoin(const Table& left, const Table& right,
                            const sql::Expr* residual, Rng* rng,
                            size_t max_pairs = 200'000'000,

@@ -102,6 +102,10 @@ class SelectExecutor {
   }
 
   Result<RelResult> ExecuteJoin(TableRef* ref) {
+    // The FROM-root join consumes the pushed-down WHERE (if any); nested
+    // join children, executed below, must not see it.
+    const Expr* pushdown = pushdown_where_;
+    pushdown_where_ = nullptr;
     auto left = ExecuteFrom(ref->left.get());
     if (!left.ok()) return left.status();
     auto right = ExecuteFrom(ref->right.get());
@@ -153,20 +157,38 @@ class SelectExecutor {
       VDB_RETURN_IF_ERROR(BindExpr(residual.get(), combined));
     }
 
-    Result<TablePtr> joined = Status::Internal("join not executed");
+    Result<JoinPairView> joined = Status::Internal("join not executed");
     if (!left_keys.empty()) {
-      joined = HashJoinExprs(*lr.table, *rr.table, left_keys, right_keys,
-                             ref->join_type, residual.get());
+      joined = HashJoinPairsExprs(lr.table, rr.table, left_keys, right_keys,
+                                  ref->join_type, residual.get());
     } else {
       if (ref->join_type == sql::JoinType::kLeft) {
         return Status::Unsupported("left join requires an equi condition");
       }
-      joined = CrossJoin(*lr.table, *rr.table, residual.get(), &db_->rng(),
-                         200'000'000, db_->num_threads());
+      joined = CrossJoinPairs(lr.table, rr.table, residual.get(), &db_->rng(),
+                              200'000'000, db_->num_threads());
     }
     if (!joined.ok()) return joined.status();
+    JoinPairView pairs = std::move(joined).ValueOrDie();
+
+    // Pair-view WHERE pushdown: the query's WHERE filters candidate pairs
+    // while they are still a view, so non-surviving pairs never reach the
+    // combined gather below. Valid for inner joins (identical to a residual)
+    // AND left joins (null-extended pairs evaluate with NULL right columns,
+    // exactly as the materialized rows would); rand()-bearing predicates
+    // were excluded by the caller. If the clone fails to bind against the
+    // combined scope, fall back to the post-gather WHERE path.
+    if (pushdown != nullptr) {
+      auto w = pushdown->Clone();
+      if (BindExpr(w.get(), combined).ok()) {
+        VDB_RETURN_IF_ERROR(FilterJoinPairs(*w, &pairs, &db_->rng(),
+                                            db_->num_threads()));
+        pushdown_where_applied_ = true;
+      }
+    }
+
     RelResult out;
-    out.table = std::move(joined).ValueOrDie();
+    out.table = pairs.Gather(db_->num_threads());
     out.scope = std::move(combined);
     return out;
   }
@@ -177,12 +199,16 @@ class SelectExecutor {
   /// or copied, the output schema never contains helper columns, and
   /// residual predicates (bound against the combined schema) compose with
   /// expression keys without any ordinal shifting.
-  Result<TablePtr> HashJoinExprs(const Table& left, const Table& right,
-                                 const std::vector<Expr::Ptr>& lkeys,
-                                 const std::vector<Expr::Ptr>& rkeys,
-                                 sql::JoinType type, const Expr* residual) {
+  Result<JoinPairView> HashJoinPairsExprs(const TablePtr& left,
+                                          const TablePtr& right,
+                                          const std::vector<Expr::Ptr>& lkeys,
+                                          const std::vector<Expr::Ptr>& rkeys,
+                                          sql::JoinType type,
+                                          const Expr* residual) {
     // One pass per side decides borrow-vs-evaluate exactly once; the deque
-    // gives evaluated columns stable addresses as it grows.
+    // gives evaluated columns stable addresses as it grows. The key columns
+    // only need to live through HashJoinPairs — the returned pair view holds
+    // row indices, not key references.
     std::deque<Column> owned;
     auto collect = [&](const Table& t, const std::vector<Expr::Ptr>& keys,
                        std::vector<const Column*>* cols) -> Status {
@@ -200,10 +226,10 @@ class SelectExecutor {
       return Status::Ok();
     };
     std::vector<const Column*> lcols, rcols;
-    VDB_RETURN_IF_ERROR(collect(left, lkeys, &lcols));
-    VDB_RETURN_IF_ERROR(collect(right, rkeys, &rcols));
-    return HashJoin(left, right, lcols, rcols, type, residual, &db_->rng(),
-                    db_->num_threads());
+    VDB_RETURN_IF_ERROR(collect(*left, lkeys, &lcols));
+    VDB_RETURN_IF_ERROR(collect(*right, rkeys, &rcols));
+    return HashJoinPairs(left, right, lcols, rcols, type, residual,
+                         &db_->rng(), db_->num_threads());
   }
 
   // ------------------------------------------------------ scalar subquery --
@@ -247,12 +273,29 @@ class SelectExecutor {
 
   // ------------------------------------------------------------ main body --
   Result<ResultSet> RunSingle(SelectStmt* stmt) {
+    // WHERE pushdown eligibility: when the FROM root is a join, the WHERE
+    // can filter candidate pairs before the join's one combined gather
+    // (ExecuteJoin consumes pushdown_where_). Excluded: rand()-bearing
+    // predicates (the draw-per-row sequence must stay on the serial
+    // post-materialization path) and subquery-bearing predicates (their
+    // resolution draws from the engine RNG in statement order, which must
+    // not move ahead of FROM execution — they resolve below, as always).
+    pushdown_where_ = nullptr;
+    pushdown_where_applied_ = false;
+    if (stmt->where && !ExprContainsRand(*stmt->where) &&
+        !sql::AnyExprNode(*stmt->where, [](const Expr& n) {
+          return n.subquery != nullptr;
+        })) {
+      pushdown_where_ = stmt->where.get();
+    }
+
     // FROM
     RelResult input;
     if (stmt->from) {
       auto r = ExecuteFrom(stmt->from.get());
       if (!r.ok()) return r.status();
       input = std::move(r).ValueOrDie();
+      pushdown_where_ = nullptr;  // only the FROM-root join may consume it
     } else {
       auto dummy = std::make_shared<Table>();
       Column c(TypeId::kInt64);
@@ -280,7 +323,7 @@ class SelectExecutor {
     auto inview = RowView::All(input.table);
     if (!inview.ok()) return inview.status();
     RowView view = std::move(inview).ValueOrDie();
-    if (stmt->where) {
+    if (stmt->where && !pushdown_where_applied_) {
       VDB_RETURN_IF_ERROR(BindExpr(stmt->where.get(), input.scope));
       SelVector sel;
       VDB_RETURN_IF_ERROR(EvalPredicateView(*stmt->where, view, &db_->rng(),
@@ -1012,6 +1055,12 @@ class SelectExecutor {
   }
 
   Database* db_;
+  /// The current statement's WHERE while eligible for pair-view pushdown;
+  /// consumed (nulled) by the FROM-root ExecuteJoin, which sets the applied
+  /// flag after filtering candidate pairs so RunSingle skips the normal
+  /// post-materialization WHERE.
+  const Expr* pushdown_where_ = nullptr;
+  bool pushdown_where_applied_ = false;
 };
 
 }  // namespace

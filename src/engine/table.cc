@@ -204,4 +204,60 @@ Column RowView::GatherColumn(const Column& src, int num_threads) const {
   return Column::ConcatChunks(std::move(chunks));
 }
 
+// ---- JoinPairView -----------------------------------------------------------
+
+TablePtr JoinPairView::Gather(int num_threads) const {
+  auto out = std::make_shared<Table>();
+  GatherJoinPairsInto(*left_, lrows_.data(), *right_, rrows_.data(),
+                      lrows_.size(), num_threads, out.get());
+  return out;
+}
+
+void GatherJoinPairsInto(const Table& left, const uint32_t* lrows,
+                         const Table& right, const uint32_t* rrows,
+                         size_t count, int num_threads, Table* out,
+                         const std::vector<uint8_t>* column_mask) {
+  const size_t lcols = left.num_columns();
+  const size_t rcols = right.num_columns();
+  if (out->num_columns() == 0) {
+    for (size_t c = 0; c < lcols; ++c) {
+      out->AddColumn(left.column_name(c), left.column(c).type());
+    }
+    for (size_t c = 0; c < rcols; ++c) {
+      out->AddColumn(right.column_name(c), right.column(c).type());
+    }
+  }
+  out->ClearRows();
+  auto build_one = [&](size_t c) {
+    if (column_mask != nullptr && (*column_mask)[c] == 0) return;
+    Column& col = out->column(c);
+    if (c < lcols) {
+      col.AppendSelected(left.column(c), lrows, count);
+      return;
+    }
+    const Column& src = right.column(c - lcols);
+    // Bulk-gather maximal sentinel-free segments; per-element work only for
+    // the null extensions themselves.
+    size_t i = 0;
+    while (i < count) {
+      if (rrows[i] == JoinPairView::kNullRightRow) {
+        col.AppendNull();
+        ++i;
+        continue;
+      }
+      size_t j = i;
+      while (j < count && rrows[j] != JoinPairView::kNullRightRow) ++j;
+      col.AppendSelected(src, rrows + i, j - i);
+      i = j;
+    }
+  };
+  // Column-parallel materialization: every column writes only its own slot.
+  if (num_threads > 1 && lcols + rcols > 1 && count >= 4096) {
+    ParallelForEach(lcols + rcols, num_threads, build_one);
+  } else {
+    for (size_t c = 0; c < lcols + rcols; ++c) build_one(c);
+  }
+  out->SetRowCount(count);
+}
+
 }  // namespace vdb::engine

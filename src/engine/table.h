@@ -62,8 +62,14 @@ class Table {
 
   std::shared_ptr<Table> CloneSchema() const;
 
-  /// Removes all rows, keeping the schema.
+  /// Removes all rows, keeping the schema (and column capacity, so cleared
+  /// scratch tables reuse their buffers).
   void ClearRows();
+
+  /// Restores the row-count invariant after a caller has appended directly
+  /// into the columns (the combined-gather path writes columns in parallel);
+  /// every column must hold exactly `n` rows.
+  void SetRowCount(size_t n) { num_rows_ = n; }
 
  private:
   std::vector<std::string> names_;
@@ -141,6 +147,59 @@ class RowView {
   SelVector sel_;             // meaningful when has_sel_
   size_t begin_ = 0, end_ = 0;  // meaningful when !has_sel_
 };
+
+/// The two-source counterpart of RowView: a join result that stays a view.
+/// Parallel lists of (left_row, right_row) physical index pairs over two
+/// borrowed tables, in output order; a right entry of kNullRightRow is a
+/// LEFT JOIN null extension. Pair lists let post-join predicates — the ON
+/// residual and a pushed-down WHERE — filter candidate pairs BEFORE the one
+/// combined materialization, which Gather() performs (column-parallel) at
+/// the result boundary: the join-stage form of the gather-once invariant.
+class JoinPairView {
+ public:
+  /// Right-side null-extension sentinel (matches the SelVector contract:
+  /// tables address at most 2^32 - 2 rows).
+  static constexpr uint32_t kNullRightRow = 0xFFFFFFFFu;
+
+  JoinPairView() = default;
+  JoinPairView(TablePtr left, TablePtr right, SelVector lrows, SelVector rrows)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        lrows_(std::move(lrows)),
+        rrows_(std::move(rrows)) {}
+
+  size_t num_pairs() const { return lrows_.size(); }
+  const TablePtr& left() const { return left_; }
+  const TablePtr& right() const { return right_; }
+  const SelVector& lrows() const { return lrows_; }
+  const SelVector& rrows() const { return rrows_; }
+
+  /// The single combined (left ++ right) materialization of the surviving
+  /// pairs; null extensions emit NULL right columns.
+  TablePtr Gather(int num_threads = 1) const;
+
+ private:
+  TablePtr left_, right_;
+  SelVector lrows_, rrows_;
+};
+
+/// Gathers the combined (left ++ right) schema for `count` parallel row
+/// pairs into `*out`: existing rows are cleared but column storage is kept,
+/// so a streaming caller (the chunked residual/WHERE pair filter) reuses one
+/// scratch table's buffers across every chunk; on an empty `*out` the schema
+/// is created first. Right rows equal to JoinPairView::kNullRightRow emit
+/// NULLs; sentinel-free spans bulk-gather. Column-parallel when num_threads
+/// > 1 and the gather is large enough to amortize the fan-out.
+///
+/// `column_mask` (may be null = all columns), one flag per combined column,
+/// restricts the gather to the flagged columns: unflagged columns keep the
+/// schema slot but stay EMPTY while the table reports `count` rows, so the
+/// caller must only read flagged columns (the predicate-scratch path gathers
+/// just the columns the predicate references).
+void GatherJoinPairsInto(const Table& left, const uint32_t* lrows,
+                         const Table& right, const uint32_t* rrows,
+                         size_t count, int num_threads, Table* out,
+                         const std::vector<uint8_t>* column_mask = nullptr);
 
 }  // namespace vdb::engine
 

@@ -1154,4 +1154,59 @@ Result<Column> EvalExprView(const Expr& e, const RowView& view, Rng* rng,
   return Column::ConcatChunks(std::move(chunks));
 }
 
+// ---- pair-list predicate evaluation -----------------------------------------
+
+Result<const std::vector<uint8_t>*> PairPredicateEvaluator::Eval(
+    const sql::Expr& pred, const uint32_t* lrows, const uint32_t* rrows,
+    size_t count) {
+  if (mask_pred_ != &pred) {
+    // Gather only the combined-schema ordinals the predicate references;
+    // streaming callers reuse one predicate, so this walk runs once.
+    mask_pred_ = &pred;
+    col_mask_.assign(left_.num_columns() + right_.num_columns(), 0);
+    sql::AnyExprNode(pred, [&](const sql::Expr& n) {
+      if (n.kind == sql::ExprKind::kColumnRef && n.bound_column >= 0 &&
+          static_cast<size_t>(n.bound_column) < col_mask_.size()) {
+        col_mask_[static_cast<size_t>(n.bound_column)] = 1;
+      }
+      return false;
+    });
+  }
+  GatherJoinPairsInto(left_, lrows, right_, rrows, count, num_threads_,
+                      &scratch_, &col_mask_);
+  surviving_.clear();
+  Batch batch{&scratch_, nullptr, rng_};
+  VDB_RETURN_IF_ERROR(EvalPredicateBatch(pred, batch, &surviving_));
+  pass_.assign(count, 0);
+  for (uint32_t s : surviving_) pass_[s] = 1;
+  return const_cast<const std::vector<uint8_t>*>(&pass_);
+}
+
+Status FilterJoinPairs(const sql::Expr& pred, JoinPairView* pairs, Rng* rng,
+                       int num_threads) {
+  constexpr size_t kChunk = 1 << 16;
+  const size_t n = pairs->num_pairs();
+  PairPredicateEvaluator eval(*pairs->left(), *pairs->right(), rng,
+                              num_threads);
+  // Survivors stream straight into fresh pair lists (never positions into
+  // the old list, which could exceed the uint32 index range).
+  SelVector out_l, out_r;
+  for (size_t begin = 0; begin < n; begin += kChunk) {
+    const size_t end = std::min(n, begin + kChunk);
+    auto mask = eval.Eval(pred, pairs->lrows().data() + begin,
+                          pairs->rrows().data() + begin, end - begin);
+    if (!mask.ok()) return mask.status();
+    const std::vector<uint8_t>& pass = *mask.value();
+    for (size_t i = 0; i < end - begin; ++i) {
+      if (pass[i] != 0) {
+        out_l.push_back(pairs->lrows()[begin + i]);
+        out_r.push_back(pairs->rrows()[begin + i]);
+      }
+    }
+  }
+  *pairs = JoinPairView(pairs->left(), pairs->right(), std::move(out_l),
+                        std::move(out_r));
+  return Status::Ok();
+}
+
 }  // namespace vdb::engine

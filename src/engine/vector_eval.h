@@ -113,6 +113,50 @@ Result<Column> EvalExprView(const sql::Expr& e, const RowView& view, Rng* rng,
 /// seed-reproducible semantics, and Rng is not thread-safe.
 bool ExprContainsRand(const sql::Expr& e);
 
+/// Evaluates predicates over candidate (left_row, right_row) join pairs:
+/// each call gathers its pairs into a combined left ++ right scratch table
+/// and runs EvalPredicateBatch over it. Only the columns the predicate
+/// actually references (bound column ordinals in its tree) are gathered —
+/// the scratch keeps the full combined schema so ordinals line up, but
+/// unreferenced columns stay empty. The scratch table, survivor vector, and
+/// flag vector are all REUSED across calls — the streaming residual path
+/// evaluates millions of candidate pairs in 64K-pair chunks, and per-chunk
+/// allocation dominated the old flush loop. Right rows equal to
+/// JoinPairView::kNullRightRow gather as NULL right columns (pushed-down
+/// WHERE over left-join null extensions). The returned flags (one per pair:
+/// predicate non-null and true) stay valid until the next Eval call.
+class PairPredicateEvaluator {
+ public:
+  PairPredicateEvaluator(const Table& left, const Table& right, Rng* rng,
+                         int num_threads)
+      : left_(left), right_(right), rng_(rng), num_threads_(num_threads) {}
+
+  Result<const std::vector<uint8_t>*> Eval(const sql::Expr& pred,
+                                           const uint32_t* lrows,
+                                           const uint32_t* rrows,
+                                           size_t count);
+
+ private:
+  const Table& left_;
+  const Table& right_;
+  Rng* rng_;
+  int num_threads_;
+  Table scratch_;               // combined schema, rows cleared per call
+  const sql::Expr* mask_pred_ = nullptr;  // predicate col_mask_ was built for
+  std::vector<uint8_t> col_mask_;
+  SelVector surviving_;
+  std::vector<uint8_t> pass_;
+};
+
+/// Filters a JoinPairView in place by a predicate bound against the combined
+/// (left ++ right) schema, streaming in bounded chunks through one reused
+/// PairPredicateEvaluator scratch — candidate pairs are decided BEFORE the
+/// combined gather, so non-survivors are never materialized. Null-extended
+/// pairs evaluate with NULL right columns, matching post-materialization
+/// WHERE semantics exactly (the planner's pair-view WHERE pushdown).
+Status FilterJoinPairs(const sql::Expr& pred, JoinPairView* pairs, Rng* rng,
+                       int num_threads);
+
 }  // namespace vdb::engine
 
 #endif  // VDB_ENGINE_VECTOR_EVAL_H_

@@ -221,6 +221,33 @@ TEST_F(ParallelTest, LeftJoinNullExtension) {
       "select o.id, d.label from orders o left join dim d on o.k = d.k");
 }
 
+TEST_F(ParallelTest, LeftJoinWhereOnNullExtendedColumn) {
+  // The WHERE is pushed down onto the join's pair-list view (filtering
+  // candidate pairs before the combined gather); IS NULL over the
+  // null-extended right column must see exactly the post-materialization
+  // semantics, at every thread count.
+  CheckQueryAcrossThreads(
+      10007,
+      "select o.id, o.k from orders o left join dim d on o.k = d.k "
+      "where d.label is null");
+}
+
+TEST_F(ParallelTest, JoinWhereMixingBothSides) {
+  CheckQueryAcrossThreads(
+      10007,
+      "select o.id, d.label from orders o join dim d on o.k = d.k "
+      "where o.price > 100 and d.k % 3 = 1");
+}
+
+TEST_F(ParallelTest, JoinWhereWithRandStaysSerial) {
+  // rand() in the WHERE is excluded from pair-view pushdown: the predicate
+  // must keep drawing once per joined row in row order, so seeded runs are
+  // reproducible and thread-count independent.
+  CheckQueryAcrossThreads(
+      2003,
+      "select o.id from orders o join dim d on o.k = d.k where rand() < 0.5");
+}
+
 TEST_F(ParallelTest, JoinThenGroupedAggregate) {
   CheckQueryAcrossThreads(
       10007,

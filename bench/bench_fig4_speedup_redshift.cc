@@ -2,6 +2,7 @@
 // over the 33-query workload (18 TPC-H + 15 insta micro-benchmarks).
 
 #include <cmath>
+#include <string>
 
 #include "bench_util.h"
 
@@ -24,5 +25,14 @@ int main() {
   run_set(workload::InstaQueries());
   std::printf("geometric-mean speedup over %d queries: %.2fx\n", n,
               std::exp(geo / n));
+
+  // The rewritten variational query (GROUP BY g, __vdb_sid with a
+  // row-addressed rand() sid) at 1/2/4/8 engine threads: the subsample hot
+  // path now rides the parallel substrate instead of the serial rand() pin.
+  bench::RunAqpThreadSweep(
+      fx.ctx.get(),
+      "select l_returnflag, count(*) as c, sum(l_extendedprice) as s,"
+      " avg(l_discount) as a from lineitem group by l_returnflag",
+      "AQP query thread sweep (TPC-H Q1-shaped aggregate)");
   return 0;
 }

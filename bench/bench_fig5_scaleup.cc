@@ -52,6 +52,15 @@ int main() {
     measure(kQ14, &e14, &v14);
     std::printf("%-10.2f %12.1f %12.1f %9.2fx %12.1f %12.1f %9.2fx\n", scale,
                 e6, v6, e6 / v6, e14, v14, e14 / v14);
+
+    if (scale == 1.0) {
+      // AQP-path thread sweep at the largest scale: the rewritten
+      // variational query (row-addressed rand() sid) on 1/2/4/8 engine
+      // threads. Restores num_threads to 1 afterwards, so adding larger
+      // scales to the list keeps their exact-vs-vdb timings comparable.
+      bench::RunAqpThreadSweep(&ctx, kQ6,
+                               "AQP query thread sweep (tq6 @ scale 1.0)");
+    }
   }
   std::printf("expected shape: speedup grows with the data/sample ratio\n");
   return 0;

@@ -141,12 +141,11 @@ void BM_JoinRadix(benchmark::State& state) {
   const JoinInput& in = InputFor(static_cast<size_t>(state.range(0)),
                                  static_cast<int>(state.range(1)));
   const int threads = static_cast<int>(state.range(2));
-  Rng rng(1);
   size_t out_rows = 0;
   for (auto _ : state) {
     auto out = HashJoin(*in.probe, *in.build, std::vector<int>{0},
                         std::vector<int>{0}, sql::JoinType::kInner, nullptr,
-                        &rng, threads);
+                        /*rand_seed=*/1, threads);
     if (!out.ok()) {
       state.SkipWithError(out.status().ToString().c_str());
       return;

@@ -63,7 +63,6 @@ struct Case {
 };
 
 void RunCase(const Table& t, const Expr& pred, const char* label) {
-  Rng rng(1);
   size_t row_hits = 0, batch_hits = 0;
 
   double row_ms = 1e300;
@@ -71,7 +70,7 @@ void RunCase(const Table& t, const Expr& pred, const char* label) {
     row_ms = std::min(row_ms, TimeMs([&] {
       SelVector sel;
       for (size_t r = 0; r < t.num_rows(); ++r) {
-        RowCtx ctx{&t, r, &rng};
+        RowCtx ctx{&t, r, /*rand_seed=*/1};
         auto pass = EvalPredicate(pred, ctx);
         if (pass.ok() && pass.value()) sel.push_back(static_cast<uint32_t>(r));
       }
@@ -83,7 +82,7 @@ void RunCase(const Table& t, const Expr& pred, const char* label) {
   for (int rep = 0; rep < kReps; ++rep) {
     batch_ms = std::min(batch_ms, TimeMs([&] {
       SelVector sel;
-      Batch batch{&t, nullptr, &rng};
+      Batch batch{&t, nullptr, /*rand_seed=*/1};
       (void)EvalPredicateBatch(pred, batch, &sel);
       batch_hits = sel.size();
     }));
@@ -135,9 +134,8 @@ void RunGatherCost(Rng* rng) {
       BinaryOp::kMul, Ref(*t, "price"),
       sql::MakeBinary(BinaryOp::kAdd, Ref(*t, "qty"), sql::MakeIntLit(1)));
 
-  Rng eval_rng(3);
   SelVector sel;
-  Batch batch{t.get(), nullptr, &eval_rng};
+  Batch batch{t.get(), nullptr, /*rand_seed=*/3};
   (void)EvalPredicateBatch(*pred, batch, &sel);
 
   size_t eager_rows = 0, late_rows = 0;
@@ -149,7 +147,7 @@ void RunGatherCost(Rng* rng) {
       filtered->AppendSelected(*t, sel);
       auto out = std::make_shared<Table>();
       out->AddColumn("id", filtered->column(0));
-      Batch fb{filtered.get(), nullptr, &eval_rng};
+      Batch fb{filtered.get(), nullptr, /*rand_seed=*/3};
       auto col = EvalExprBatch(*out_expr, fb);
       if (col.ok()) out->AddColumn("e", std::move(col).ValueOrDie());
       eager_rows = out->num_rows();
@@ -161,7 +159,7 @@ void RunGatherCost(Rng* rng) {
       if (!view.ok()) return;
       auto out = std::make_shared<Table>();
       out->AddColumn("id", view.value().GatherColumn(t->column(0)));
-      auto col = engine::EvalExprView(*out_expr, view.value(), &eval_rng, 1);
+      auto col = engine::EvalExprView(*out_expr, view.value(), /*rand_seed=*/3, 1);
       if (col.ok()) out->AddColumn("e", std::move(col).ValueOrDie());
       late_rows = out->num_rows();
     }));

@@ -176,4 +176,21 @@ void PrintOutcome(const QueryOutcome& o) {
               mode.c_str());
 }
 
+void RunAqpThreadSweep(core::VerdictContext* ctx, const char* sql,
+                       const char* title) {
+  std::printf("\n== %s ==\n", title);
+  std::printf("%-10s %12s %10s\n", "threads", "approx(ms)", "speedup");
+  (void)ctx->Execute(sql);  // untimed warm-up
+  double base_ms = 0.0;
+  for (int threads : {1, 2, 4, 8}) {
+    ctx->options().num_threads = threads;
+    core::VerdictContext::ExecInfo info;
+    double ms = TimeMs([&] { (void)ctx->Execute(sql, &info); });
+    if (threads == 1) base_ms = ms;
+    std::printf("%-10d %12.1f %9.2fx  (%s)\n", threads, ms, base_ms / ms,
+                info.approximated ? "approx" : info.skip_reason.c_str());
+  }
+  ctx->options().num_threads = 1;
+}
+
 }  // namespace vdb::bench

@@ -58,6 +58,14 @@ QueryOutcome RunOne(AqpFixture& fx, const workload::WorkloadQuery& q);
 void PrintHeader(const char* title);
 void PrintOutcome(const QueryOutcome& o);
 
+/// AQP-path thread sweep, bench_micro_filter-style: one untimed warm-up,
+/// then the approximated query at 1/2/4/8 engine threads with speedups vs
+/// the 1-thread run. Restores num_threads to 1 before returning. The
+/// row-addressed rand() substrate makes the answers bit-identical at every
+/// setting; only the timings differ.
+void RunAqpThreadSweep(core::VerdictContext* ctx, const char* sql,
+                       const char* title);
+
 }  // namespace vdb::bench
 
 #endif  // VDB_BENCH_BENCH_UTIL_H_

@@ -20,6 +20,10 @@ int main() {
   core::VerdictOptions opts;
   opts.min_rows_for_sampling = 10000;
   opts.io_budget = 0.05;
+  // All hardware threads: the rewritten variational query (rand()-assigned
+  // subsample ids) runs morsel-parallel — its rand draws are row-addressed,
+  // so the answer is bit-identical at any thread count.
+  opts.num_threads = 0;
   core::VerdictContext verdict(&db, driver::EngineKind::kGeneric, opts);
 
   // 3. Offline stage: prepare a 1% uniform sample (plain SQL under the hood).

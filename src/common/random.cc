@@ -5,14 +5,45 @@
 namespace vdb {
 
 namespace {
-inline uint64_t SplitMix64(uint64_t& x) {
-  uint64_t z = (x += 0x9E3779B97F4A7C15ull);
+inline uint64_t Mix64(uint64_t z) {
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
   return z ^ (z >> 31);
 }
+inline uint64_t SplitMix64(uint64_t& x) {
+  return Mix64(x += 0x9E3779B97F4A7C15ull);
+}
 inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+bool g_biased_bounded_for_test = false;
 }  // namespace
+
+uint64_t CounterRandom(uint64_t seed, uint64_t row, uint64_t site) {
+  // Three chained finalizer rounds: feeding each word through a full Mix64
+  // (rather than one mix of a linear combination) breaks the lattice
+  // structure that a*row + b*site inputs would otherwise share.
+  uint64_t h = Mix64(seed ^ (row + 0x9E3779B97F4A7C15ull));
+  h = Mix64(h ^ (site + 0xD1B54A32D192ED03ull));
+  return Mix64(h);
+}
+
+double CounterRandomDouble(uint64_t seed, uint64_t row, uint64_t site) {
+  return static_cast<double>(CounterRandom(seed, row, site) >> 11) * 0x1.0p-53;
+}
+
+int PoissonOneFromUniform(double u) {
+  int k = 0;
+  double p = std::exp(-1.0), cdf = p;
+  // cdf stops changing once p falls below one ulp of 1.0 (k ~ 18); the cap
+  // is a safety net, not a distributional truncation.
+  while (u > cdf && k < 64) {
+    ++k;
+    p /= static_cast<double>(k);
+    if (p <= 0.0) break;
+    cdf += p;
+  }
+  return k;
+}
 
 Rng::Rng(uint64_t seed) {
   uint64_t x = seed;
@@ -36,9 +67,27 @@ double Rng::NextDouble() {
   return static_cast<double>(Next() >> 11) * 0x1.0p-53;
 }
 
+void Rng::SetBiasedNextBoundedForTest(bool biased) {
+  g_biased_bounded_for_test = biased;
+}
+
 uint64_t Rng::NextBounded(uint64_t bound) {
-  // Modulo bias is negligible for bound << 2^64; acceptable for sampling.
-  return Next() % bound;
+  if (g_biased_bounded_for_test) return Next() % bound;
+  // Lemire multiply-shift: (x * bound) >> 64 maps uniformly onto [0, bound)
+  // except for the 2^64 mod bound lowest fractional values, which are
+  // rejected and redrawn.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t lo = static_cast<uint64_t>(m);
+  if (lo < bound) {
+    const uint64_t threshold = (0 - bound) % bound;  // 2^64 mod bound
+    while (lo < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
 }
 
 int64_t Rng::NextInRange(int64_t lo, int64_t hi) {

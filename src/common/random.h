@@ -1,8 +1,25 @@
-// Deterministic, fast pseudo-random number generation.
+// Deterministic pseudo-random number generation: a stateful stream generator
+// (Rng) for offline/estimator code, and a stateless row-addressed counter
+// generator for everything the query engine evaluates.
 //
-// All stochastic behaviour in the library (sample construction, variational
-// sid assignment, workload generation) flows through Rng so experiments are
-// reproducible given a seed.
+// Reproducibility contract — row-addressed, NOT draw-ordered:
+//
+// Every rand-family draw the engine performs (rand(), rand_poisson(),
+// Bernoulli sample membership, variational __vdb_sid assignment) is a pure
+// function of a (query seed, physical row id, call-site id) triple mixed by
+// CounterRandom(). There is no shared stream and no draw order: the value a
+// row receives does not depend on evaluation order, plan shape (WHERE
+// pushdown, view pipeline vs eager gather), morsel decomposition, or thread
+// count. Seeded runs are reproducible because the Database draws one fresh
+// query seed per statement from its seeded Rng, call sites are numbered
+// deterministically per statement, and row ids are physical positions in the
+// evaluated relation (global pair ordinals for join pair views — which equal
+// the materialized row positions, so pushed-down and post-gather evaluation
+// of the same predicate see identical draws).
+//
+// The stateful Rng (xoshiro256**) remains for code with a genuine sequential
+// stream: workload generation, estimator resampling, and per-statement query
+// seed derivation. Neither generator is cryptographic.
 
 #ifndef VDB_COMMON_RANDOM_H_
 #define VDB_COMMON_RANDOM_H_
@@ -10,6 +27,38 @@
 #include <cstdint>
 
 namespace vdb {
+
+// ---- Row-addressed counter-based randomness --------------------------------
+
+/// Addresses one logical engine draw: the per-statement query seed, the
+/// physical row id the draw belongs to, and the call-site id of the
+/// rand-family node within the statement (so two rand() calls in one query
+/// are independent).
+struct RandAddr {
+  uint64_t seed = 0;
+  uint64_t row = 0;
+  uint64_t site = 0;
+};
+
+/// Stateless SplitMix64-style finalizer chain over (seed, row, site).
+/// Uniform 64-bit output; equal triples give equal values, nearby triples
+/// (row+1, site+1) give statistically independent ones.
+uint64_t CounterRandom(uint64_t seed, uint64_t row, uint64_t site);
+
+/// Uniform double in [0, 1) for the addressed draw (53 high bits).
+double CounterRandomDouble(uint64_t seed, uint64_t row, uint64_t site);
+
+inline double RandAt(const RandAddr& a) {
+  return CounterRandomDouble(a.seed, a.row, a.site);
+}
+
+/// Poisson(1) via the inverse CDF from one uniform u in [0, 1). The single
+/// shared kernel behind SQL rand_poisson() and the consolidated-bootstrap
+/// estimator; the walk runs until the CDF absorbs u (far beyond the old
+/// k < 8 truncation, which clipped the upper tail).
+int PoissonOneFromUniform(double u);
+
+// ---- Stateful stream generator ---------------------------------------------
 
 /// xoshiro256** generator seeded via SplitMix64. Not cryptographic.
 class Rng {
@@ -22,7 +71,10 @@ class Rng {
   /// Uniform double in [0, 1).
   double NextDouble();
 
-  /// Uniform integer in [0, bound). bound must be > 0.
+  /// Uniform integer in [0, bound), unbiased: Lemire multiply-shift with
+  /// rejection of the short biased range, so subsample-size uniformity holds
+  /// even at large bounds. bound must be > 0. May consume more than one
+  /// Next() draw (rarely, ~bound/2^64 of calls).
   uint64_t NextBounded(uint64_t bound);
 
   /// Uniform integer in [lo, hi] inclusive.
@@ -33,6 +85,11 @@ class Rng {
 
   /// Bernoulli trial with probability p.
   bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// Test hook: process-wide switch restoring the pre-Lemire `Next() %
+  /// bound` path (one draw per call, modulo-biased) for tests that pinned
+  /// draw sequences against it. false restores the unbiased default.
+  static void SetBiasedNextBoundedForTest(bool biased);
 
  private:
   uint64_t s_[4];

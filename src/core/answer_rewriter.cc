@@ -53,8 +53,11 @@ Result<ApproxAnswer> AnswerRewriter::Rewrite(
         static_cast<size_t>(col.estimate_column));
     for (size_t r = 0; r < raw.NumRows(); ++r) {
       if (raw_col.IsNull(r)) {
-        // A single subsample in the group: no spread information.
+        // A single subsample in the group: no spread information. Counted,
+        // not ignored — the contract check treats such rows as unverified.
         scaled.AppendNull();
+        ++info.no_spread_rows;
+        ++out.unmeasured_rows;
         continue;
       }
       double half = z * raw_col.Get(r).AsDouble();
@@ -64,6 +67,15 @@ Result<ApproxAnswer> AnswerRewriter::Rewrite(
         double rel = std::abs(half / point);
         info.max_relative_error = std::max(info.max_relative_error, rel);
         out.max_relative_error = std::max(out.max_relative_error, rel);
+        ++info.measured_rows;
+      } else if (std::abs(half) <= 1e-12) {
+        // Point and spread both ~0: an exact zero, relative error 0.
+        ++info.measured_rows;
+      } else {
+        // Near-zero point with real spread: the relative error is
+        // unbounded, so it must not silently drop out of the max.
+        ++info.tiny_point_rows;
+        ++out.unmeasured_rows;
       }
     }
     if (options_.include_error_columns) {

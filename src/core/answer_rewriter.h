@@ -21,16 +21,30 @@ struct AggregateErrorInfo {
   std::string name;
   int point_column = -1;  // ordinal in the final result
   int error_column = -1;  // ordinal of its ±error column (-1 when stripped)
-  /// Max over rows of (half-width / |point|) at the configured confidence.
+  /// Max over rows of (half-width / |point|) at the configured confidence,
+  /// taken over measured rows only (see the counters below).
   double max_relative_error = 0.0;
+  /// Rows whose relative error was actually measured (or provably zero).
+  int64_t measured_rows = 0;
+  /// Rows with a NULL standard error: the group landed in a single
+  /// subsample, so there is no spread information at all.
+  int64_t no_spread_rows = 0;
+  /// Rows with |point| <= 1e-12 but a non-negligible half-width: the
+  /// relative error is unbounded, not small.
+  int64_t tiny_point_rows = 0;
 };
 
 struct ApproxAnswer {
   engine::ResultSet result;
   std::vector<AggregateErrorInfo> aggregates;
   double confidence = 0.95;
-  /// Max relative error across all aggregates and rows.
+  /// Max relative error across all aggregates and measured rows.
   double max_relative_error = 0.0;
+  /// Rows excluded from max_relative_error (NULL stderr or unbounded
+  /// relative error). When > 0 the error summary is incomplete: the
+  /// High-level Accuracy Contract must treat the answer as unverified
+  /// rather than passing vacuously on the measured subset.
+  int64_t unmeasured_rows = 0;
 };
 
 class AnswerRewriter {

@@ -316,6 +316,16 @@ Expr::Ptr CombineError(int stat_index) {
 ///   T  ->  (select *, 1 + floor(rand()*b) as __vdb_sid from T_sample) as T
 /// Relations using hash-block sids expose the sample directly (their sid is
 /// computed from the hashed column at aggregation time).
+///
+/// rand() here is row-addressed (common/random.h): the sid a sample tuple
+/// receives is a pure function of (query seed, its physical row in the
+/// sample, the rand call site), so the sid projection — and every downstream
+/// GROUP BY (g, __vdb_sid) — runs on the vectorized, morsel-parallel
+/// substrate with bit-identical results at every thread count and plan
+/// shape. The paper's requirement is only that each tuple draws its
+/// subsample uniformly and independently (§4.1, Query 3); which uniform
+/// value a given tuple draws was never specified, so addressing draws by row
+/// rather than by draw order preserves the estimator exactly.
 Status SubstituteSamples(TableRef* ref, const RewriteCtx& ctx) {
   switch (ref->kind) {
     case TableRef::Kind::kBase: {
@@ -333,7 +343,8 @@ Status SubstituteSamples(TableRef* ref, const RewriteCtx& ctx) {
         auto inner = std::make_unique<SelectStmt>();
         inner->items.emplace_back(sql::MakeStar(), "");
         // 1 + floor(rand() * b): Query 3 with every tuple kept (default
-        // b*ns = n).
+        // b*ns = n). The engine evaluates this with the row-addressed rand
+        // batch kernel — no serial pin, no draw-order dependence.
         auto fl = Fn("floor", {});
         fl->args.push_back(Bin(BinaryOp::kMul, Fn("rand", {}),
                                sql::MakeIntLit(ctx.b)));

@@ -14,10 +14,13 @@
 //   group by g...
 //
 // Subsample ids come from (a) `1 + floor(rand()*b)` for uniform/stratified
-// samples (§4.2, Query 3), (b) hash blocks of the universe column for hashed
-// samples (count-distinct and universe joins), or (c) the recombination
-// function h(i,j) of Theorem 4 when two independently-sampled relations are
-// joined.
+// samples (§4.2, Query 3) — rand() is row-addressed (common/random.h), so
+// the sid assignment is a pure function of the sample row and the query
+// seed, and the rewritten query runs fully on the vectorized
+// morsel-parallel substrate — (b) hash blocks of the universe column for
+// hashed samples (count-distinct and universe joins), or (c) the
+// recombination function h(i,j) of Theorem 4 when two independently-sampled
+// relations are joined.
 
 #ifndef VDB_CORE_REWRITER_H_
 #define VDB_CORE_REWRITER_H_

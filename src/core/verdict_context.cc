@@ -260,8 +260,13 @@ Result<ApproxAnswer> VerdictContext::TryApproximate(const std::string& sql,
   info->max_relative_error = answer.value().max_relative_error;
 
   // ---- High-level Accuracy Contract (§2.4) --------------------------------
+  // Conservative: rows whose relative error could not be measured (NULL
+  // stderr from single-subsample groups, near-zero points with real spread)
+  // count as contract violations — the contract must never pass vacuously
+  // on the measured subset.
   if (options_.min_accuracy > 0.0 &&
-      answer.value().max_relative_error > (1.0 - options_.min_accuracy)) {
+      (answer.value().max_relative_error > (1.0 - options_.min_accuracy) ||
+       answer.value().unmeasured_rows > 0)) {
     info->exact_rerun = true;
     info->approximated = false;
     auto exact = conn_.Execute(sql);
@@ -363,6 +368,7 @@ Result<ApproxAnswer> VerdictContext::DecomposeAndExecute(
   ApproxAnswer out;
   out.confidence = a.confidence;
   out.max_relative_error = a.max_relative_error;
+  out.unmeasured_rows = a.unmeasured_rows;
   out.aggregates = a.aggregates;
   auto table = std::make_shared<engine::Table>();
   // Final schema: original items, then the error columns of the mean half.

@@ -57,6 +57,14 @@ class Database {
   const Catalog& catalog() const { return catalog_; }
   Rng& rng() { return rng_; }
 
+  /// Draws the per-statement seed for the row-addressed rand() substrate
+  /// (common/random.h): one Rng draw per executed statement, so consecutive
+  /// statements get independent draws while a fixed database seed plus a
+  /// fixed statement sequence stays fully reproducible. Within a statement
+  /// every rand-family value is a pure function of (this seed, row id, call
+  /// site) — never of evaluation order, plan shape, or thread count.
+  uint64_t NewQuerySeed() { return rng_.Next(); }
+
   /// Maximum threads the executor may use for one query (morsel-parallel
   /// scans, partial aggregation, join probe, projection, gathers). <= 0
   /// means "all hardware threads"; 1 is the default. Results — values, row

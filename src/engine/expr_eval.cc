@@ -136,7 +136,10 @@ Result<Value> EvalExpr(const Expr& e, const RowCtx& ctx) {
         if (!v.ok()) return v.status();
         argv.push_back(std::move(v).ValueOrDie());
       }
-      return CallScalarFunction(e.name, argv, ctx.rng);
+      return CallScalarFunction(
+          e.name, argv,
+          RandAddr{ctx.rand_seed, ctx.row + ctx.row_id_offset,
+                   static_cast<uint64_t>(e.rand_site)});
     }
     case ExprKind::kCase: {
       for (size_t i = 0; i < e.case_whens.size(); ++i) {

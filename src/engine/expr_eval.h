@@ -10,12 +10,16 @@
 
 namespace vdb::engine {
 
-/// Evaluation context: the current input row plus the engine RNG (for
-/// rand()).
+/// Evaluation context: the current input row plus the row-addressed rand
+/// state. `rand_seed` is the per-statement query seed; `row_id_offset` maps
+/// local rows of a scratch table onto global row ids (join pair-chunk
+/// evaluation) and is 0 everywhere else. rand-family draws are
+/// CounterRandom(rand_seed, row + row_id_offset, node.rand_site).
 struct RowCtx {
   const Table* table = nullptr;
   size_t row = 0;
-  Rng* rng = nullptr;
+  uint64_t rand_seed = 0;
+  uint64_t row_id_offset = 0;
 };
 
 /// Evaluates a bound expression for one row. Aggregates and windows must

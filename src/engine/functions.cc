@@ -64,25 +64,20 @@ bool AnyNull(const std::vector<Value>& args) {
 }  // namespace
 
 Result<Value> CallScalarFunction(const std::string& name,
-                                 const std::vector<Value>& args, Rng* rng) {
-  // rand() first: no args, no null handling.
+                                 const std::vector<Value>& args,
+                                 const RandAddr& rand) {
+  // rand-family first: no args, no null handling. Row-addressed: the value
+  // depends only on (query seed, row id, call site), so the row interpreter
+  // and the batch kernels in vector_eval.cc agree bit for bit.
   if (name == "rand" || name == "random") {
     VDB_RETURN_IF_ERROR(Arity(name, args, 0, 0));
-    return Value::Double(rng->NextDouble());
+    return Value::Double(RandAt(rand));
   }
   if (name == "rand_poisson") {
     // Poisson(1) draw; used by SQL formulations of consolidated bootstrap
     // (each tuple's multiplicity within one resample).
     VDB_RETURN_IF_ERROR(Arity(name, args, 0, 0));
-    double u = rng->NextDouble();
-    int k = 0;
-    double p = std::exp(-1.0), cdf = p;
-    while (u > cdf && k < 12) {
-      ++k;
-      p /= static_cast<double>(k);
-      cdf += p;
-    }
-    return Value::Int(k);
+    return Value::Int(PoissonOneFromUniform(RandAt(rand)));
   }
   if (name == "coalesce") {
     for (const auto& a : args) {

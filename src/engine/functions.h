@@ -21,10 +21,12 @@ namespace vdb::engine {
 /// approx_median, ndv, approx_distinct, or a registered UDA).
 bool IsAggregateFunction(const std::string& name);
 
-/// Evaluates a scalar builtin. `rng` backs rand(). Unknown names produce
-/// kUnsupported.
+/// Evaluates a scalar builtin. `rand` addresses rand-family draws — each is
+/// a pure function of (query seed, row id, call site), never a stream draw
+/// (common/random.h). Unknown names produce kUnsupported.
 Result<Value> CallScalarFunction(const std::string& name,
-                                 const std::vector<Value>& args, Rng* rng);
+                                 const std::vector<Value>& args,
+                                 const RandAddr& rand);
 
 /// SQL LIKE with % and _ wildcards.
 bool LikeMatch(const std::string& text, const std::string& pattern);

@@ -55,8 +55,8 @@ Result<JoinPairView> HashJoinPairs(TablePtr left, TablePtr right,
                                    const std::vector<const Column*>& left_keys,
                                    const std::vector<const Column*>& right_keys,
                                    sql::JoinType join_type,
-                                   const sql::Expr* residual, Rng* rng,
-                                   int num_threads) {
+                                   const sql::Expr* residual,
+                                   uint64_t rand_seed, int num_threads) {
   if (left_keys.empty() || left_keys.size() != right_keys.size()) {
     return Status::Internal("hash join requires matching key lists");
   }
@@ -146,7 +146,11 @@ Result<JoinPairView> HashJoinPairs(TablePtr left, TablePtr right,
     SelVector chunk_l, chunk_r, real_l, real_r;
     chunk_l.reserve(kChunk);
     chunk_r.reserve(kChunk);
-    PairPredicateEvaluator eval(*left, *right, rng, num_threads);
+    PairPredicateEvaluator eval(*left, *right, rand_seed, num_threads);
+    // Global ordinal of the next candidate pair handed to the evaluator:
+    // candidates are enumerated in a deterministic left-row-major order, so
+    // the ordinal addresses rand-family draws in the residual.
+    uint64_t cand_base = 0;
     int64_t open_lr = -1;
     bool open_matched = false;
     auto emit_null_ext = [&](uint32_t lr) {
@@ -166,9 +170,10 @@ Result<JoinPairView> HashJoinPairs(TablePtr left, TablePtr right,
       const std::vector<uint8_t>* pass = nullptr;
       if (!real_l.empty()) {
         auto mask = eval.Eval(*residual, real_l.data(), real_r.data(),
-                              real_l.size());
+                              real_l.size(), cand_base);
         if (!mask.ok()) return mask.status();
         pass = mask.value();
+        cand_base += real_l.size();
       }
       size_t ri = 0;
       for (size_t i = 0; i < chunk_l.size(); ++i) {
@@ -229,9 +234,9 @@ Result<TablePtr> HashJoin(const Table& left, const Table& right,
                           const std::vector<const Column*>& left_keys,
                           const std::vector<const Column*>& right_keys,
                           sql::JoinType join_type, const sql::Expr* residual,
-                          Rng* rng, int num_threads) {
+                          uint64_t rand_seed, int num_threads) {
   auto pairs = HashJoinPairs(BorrowTable(left), BorrowTable(right), left_keys,
-                             right_keys, join_type, residual, rng,
+                             right_keys, join_type, residual, rand_seed,
                              num_threads);
   if (!pairs.ok()) return pairs.status();
   return pairs.value().Gather(num_threads);
@@ -241,7 +246,7 @@ Result<TablePtr> HashJoin(const Table& left, const Table& right,
                           const std::vector<int>& left_keys,
                           const std::vector<int>& right_keys,
                           sql::JoinType join_type, const sql::Expr* residual,
-                          Rng* rng, int num_threads) {
+                          uint64_t rand_seed, int num_threads) {
   std::vector<const Column*> lcols, rcols;
   lcols.reserve(left_keys.size());
   rcols.reserve(right_keys.size());
@@ -249,13 +254,14 @@ Result<TablePtr> HashJoin(const Table& left, const Table& right,
   for (int k : right_keys) {
     rcols.push_back(&right.column(static_cast<size_t>(k)));
   }
-  return HashJoin(left, right, lcols, rcols, join_type, residual, rng,
+  return HashJoin(left, right, lcols, rcols, join_type, residual, rand_seed,
                   num_threads);
 }
 
 Result<JoinPairView> CrossJoinPairs(TablePtr left, TablePtr right,
-                                    const sql::Expr* residual, Rng* rng,
-                                    size_t max_pairs, int num_threads) {
+                                    const sql::Expr* residual,
+                                    uint64_t rand_seed, size_t max_pairs,
+                                    int num_threads) {
   VDB_RETURN_IF_ERROR(CheckJoinInputSizes(*left, *right));
   const size_t ln = left->num_rows();
   const size_t rn = right->num_rows();
@@ -287,11 +293,14 @@ Result<JoinPairView> CrossJoinPairs(TablePtr left, TablePtr right,
   SelVector chunk_l, chunk_r;
   chunk_l.reserve(kChunk);
   chunk_r.reserve(kChunk);
-  PairPredicateEvaluator eval(*left, *right, rng, num_threads);
+  PairPredicateEvaluator eval(*left, *right, rand_seed, num_threads);
+  // Pairs are enumerated row-major, so the running count IS the global pair
+  // ordinal lr * rn + rr of the chunk's first pair.
+  uint64_t pair_base = 0;
   auto flush = [&]() -> Status {
     if (chunk_l.empty()) return Status::Ok();
     auto mask = eval.Eval(*residual, chunk_l.data(), chunk_r.data(),
-                          chunk_l.size());
+                          chunk_l.size(), pair_base);
     if (!mask.ok()) return mask.status();
     const std::vector<uint8_t>& pass = *mask.value();
     for (size_t i = 0; i < chunk_l.size(); ++i) {
@@ -300,6 +309,7 @@ Result<JoinPairView> CrossJoinPairs(TablePtr left, TablePtr right,
         out_r.push_back(chunk_r[i]);
       }
     }
+    pair_base += chunk_l.size();
     chunk_l.clear();
     chunk_r.clear();
     return Status::Ok();
@@ -317,10 +327,10 @@ Result<JoinPairView> CrossJoinPairs(TablePtr left, TablePtr right,
 }
 
 Result<TablePtr> CrossJoin(const Table& left, const Table& right,
-                           const sql::Expr* residual, Rng* rng,
+                           const sql::Expr* residual, uint64_t rand_seed,
                            size_t max_pairs, int num_threads) {
   auto pairs = CrossJoinPairs(BorrowTable(left), BorrowTable(right), residual,
-                              rng, max_pairs, num_threads);
+                              rand_seed, max_pairs, num_threads);
   if (!pairs.ok()) return pairs.status();
   return pairs.value().Gather(num_threads);
 }

@@ -35,34 +35,35 @@ Result<JoinPairView> HashJoinPairs(TablePtr left, TablePtr right,
                                    const std::vector<const Column*>& left_keys,
                                    const std::vector<const Column*>& right_keys,
                                    sql::JoinType join_type,
-                                   const sql::Expr* residual, Rng* rng,
-                                   int num_threads = 1);
+                                   const sql::Expr* residual,
+                                   uint64_t rand_seed, int num_threads = 1);
 
 /// HashJoinPairs + the combined gather, for callers that want the table.
 Result<TablePtr> HashJoin(const Table& left, const Table& right,
                           const std::vector<const Column*>& left_keys,
                           const std::vector<const Column*>& right_keys,
                           sql::JoinType join_type, const sql::Expr* residual,
-                          Rng* rng, int num_threads = 1);
+                          uint64_t rand_seed, int num_threads = 1);
 
 /// Ordinal convenience overload: joins on physical columns of the inputs.
 Result<TablePtr> HashJoin(const Table& left, const Table& right,
                           const std::vector<int>& left_keys,
                           const std::vector<int>& right_keys,
                           sql::JoinType join_type, const sql::Expr* residual,
-                          Rng* rng, int num_threads = 1);
+                          uint64_t rand_seed, int num_threads = 1);
 
 /// Cross join as a pair-list view, with an optional bound residual predicate
 /// evaluated in streaming chunks. Guarded: errors if the candidate pair
 /// count exceeds `max_pairs`.
 Result<JoinPairView> CrossJoinPairs(TablePtr left, TablePtr right,
-                                    const sql::Expr* residual, Rng* rng,
+                                    const sql::Expr* residual,
+                                    uint64_t rand_seed,
                                     size_t max_pairs = 200'000'000,
                                     int num_threads = 1);
 
 /// CrossJoinPairs + the combined gather.
 Result<TablePtr> CrossJoin(const Table& left, const Table& right,
-                           const sql::Expr* residual, Rng* rng,
+                           const sql::Expr* residual, uint64_t rand_seed,
                            size_t max_pairs = 200'000'000,
                            int num_threads = 1);
 

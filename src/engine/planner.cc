@@ -26,6 +26,74 @@ using sql::ExprKind;
 using sql::SelectStmt;
 using sql::TableRef;
 
+/// Test hook (SetJoinWherePushdownForTest): pair-view WHERE pushdown on/off.
+bool g_join_where_pushdown = true;
+
+// ---- rand call-site numbering ---------------------------------------------
+// Every rand/random/rand_poisson node gets a 1-based call-site id, assigned
+// once per statement in a fixed traversal order (select items, WHERE,
+// GROUP BY, HAVING, ORDER BY, FROM tree, UNION chain; recursing into derived
+// tables and subqueries). The id is part of the row-addressed draw
+// (RandAddr.site), so distinct call sites draw independently while clones of
+// the same site — pushdown copies, rebinds — keep identical draws. Numbering
+// is two-pass: a scan pass finds the maximum id already present (statements
+// may mix fresh nodes with pre-numbered cloned subtrees, in either traversal
+// order), then fresh ids start above it — so a fresh node can never collide
+// with a pre-numbered one and silently correlate two call sites. Re-entry on
+// a fully numbered statement is a no-op.
+
+void WalkRandSitesStmt(SelectStmt* stmt, int* next, bool assign);
+
+void WalkRandSitesExpr(Expr* e, int* next, bool assign) {
+  if (e == nullptr) return;
+  if (sql::IsRandFunctionExpr(*e)) {
+    if (!assign) {
+      if (e->rand_site >= *next) *next = e->rand_site + 1;
+    } else if (e->rand_site == 0) {
+      e->rand_site = (*next)++;
+    }
+  }
+  for (auto& a : e->args) WalkRandSitesExpr(a.get(), next, assign);
+  for (auto& w : e->case_whens) WalkRandSitesExpr(w.get(), next, assign);
+  for (auto& t : e->case_thens) WalkRandSitesExpr(t.get(), next, assign);
+  WalkRandSitesExpr(e->case_else.get(), next, assign);
+  for (auto& p : e->partition_by) WalkRandSitesExpr(p.get(), next, assign);
+  if (e->subquery) WalkRandSitesStmt(e->subquery.get(), next, assign);
+}
+
+void WalkRandSitesRef(TableRef* ref, int* next, bool assign) {
+  if (ref == nullptr) return;
+  switch (ref->kind) {
+    case TableRef::Kind::kBase:
+      return;
+    case TableRef::Kind::kDerived:
+      WalkRandSitesStmt(ref->derived.get(), next, assign);
+      return;
+    case TableRef::Kind::kJoin:
+      WalkRandSitesRef(ref->left.get(), next, assign);
+      WalkRandSitesRef(ref->right.get(), next, assign);
+      WalkRandSitesExpr(ref->on.get(), next, assign);
+      return;
+  }
+}
+
+void WalkRandSitesStmt(SelectStmt* stmt, int* next, bool assign) {
+  if (stmt == nullptr) return;
+  for (auto& it : stmt->items) WalkRandSitesExpr(it.expr.get(), next, assign);
+  WalkRandSitesExpr(stmt->where.get(), next, assign);
+  for (auto& g : stmt->group_by) WalkRandSitesExpr(g.get(), next, assign);
+  WalkRandSitesExpr(stmt->having.get(), next, assign);
+  for (auto& o : stmt->order_by) WalkRandSitesExpr(o.expr.get(), next, assign);
+  WalkRandSitesRef(stmt->from.get(), next, assign);
+  WalkRandSitesStmt(stmt->union_next.get(), next, assign);
+}
+
+void AssignRandSites(SelectStmt* stmt) {
+  int next = 1;
+  WalkRandSitesStmt(stmt, &next, /*assign=*/false);
+  WalkRandSitesStmt(stmt, &next, /*assign=*/true);
+}
+
 struct RelResult {
   TablePtr table;
   Scope scope;
@@ -41,6 +109,27 @@ void CollectConjuncts(Expr* e, std::vector<Expr*>* out) {
   out->push_back(e);
 }
 
+/// True if the statement draws rand anywhere outside its WHERE clause
+/// (select items, GROUP BY, HAVING, ORDER BY). Such statements are barred
+/// from the pair-view WHERE pushdown: see the eligibility comment in
+/// RunSingle.
+bool RandOutsideWhere(const SelectStmt& stmt) {
+  for (const auto& it : stmt.items) {
+    if (it.expr->kind != ExprKind::kStar &&
+        sql::ContainsRandFunction(*it.expr)) {
+      return true;
+    }
+  }
+  for (const auto& g : stmt.group_by) {
+    if (sql::ContainsRandFunction(*g)) return true;
+  }
+  if (stmt.having && sql::ContainsRandFunction(*stmt.having)) return true;
+  for (const auto& o : stmt.order_by) {
+    if (sql::ContainsRandFunction(*o.expr)) return true;
+  }
+  return false;
+}
+
 /// True if the tree contains a window-function node. Window frames need
 /// contiguous physical rows, so their presence forces the one early gather.
 bool ContainsWindow(const Expr& e) {
@@ -51,7 +140,8 @@ bool ContainsWindow(const Expr& e) {
 
 class SelectExecutor {
  public:
-  explicit SelectExecutor(Database* db) : db_(db) {}
+  SelectExecutor(Database* db, uint64_t rand_seed)
+      : db_(db), rand_seed_(rand_seed) {}
 
   Result<ResultSet> Run(SelectStmt* stmt) {
     auto head = RunSingle(stmt);
@@ -87,7 +177,7 @@ class SelectExecutor {
         return r;
       }
       case TableRef::Kind::kDerived: {
-        SelectExecutor sub(db_);
+        SelectExecutor sub(db_, rand_seed_);
         auto rs = sub.Run(ref->derived.get());
         if (!rs.ok()) return rs.status();
         RelResult r;
@@ -165,7 +255,7 @@ class SelectExecutor {
       if (ref->join_type == sql::JoinType::kLeft) {
         return Status::Unsupported("left join requires an equi condition");
       }
-      joined = CrossJoinPairs(lr.table, rr.table, residual.get(), &db_->rng(),
+      joined = CrossJoinPairs(lr.table, rr.table, residual.get(), rand_seed_,
                               200'000'000, db_->num_threads());
     }
     if (!joined.ok()) return joined.status();
@@ -175,13 +265,15 @@ class SelectExecutor {
     // while they are still a view, so non-surviving pairs never reach the
     // combined gather below. Valid for inner joins (identical to a residual)
     // AND left joins (null-extended pairs evaluate with NULL right columns,
-    // exactly as the materialized rows would); rand()-bearing predicates
-    // were excluded by the caller. If the clone fails to bind against the
-    // combined scope, fall back to the post-gather WHERE path.
+    // exactly as the materialized rows would) — including rand()-bearing
+    // predicates: their draws address the global pair ordinal, which equals
+    // the materialized row position the post-gather WHERE would see. If the
+    // clone fails to bind against the combined scope, fall back to the
+    // post-gather WHERE path.
     if (pushdown != nullptr) {
       auto w = pushdown->Clone();
       if (BindExpr(w.get(), combined).ok()) {
-        VDB_RETURN_IF_ERROR(FilterJoinPairs(*w, &pairs, &db_->rng(),
+        VDB_RETURN_IF_ERROR(FilterJoinPairs(*w, &pairs, rand_seed_,
                                             db_->num_threads()));
         pushdown_where_applied_ = true;
       }
@@ -212,7 +304,7 @@ class SelectExecutor {
     std::deque<Column> owned;
     auto collect = [&](const Table& t, const std::vector<Expr::Ptr>& keys,
                        std::vector<const Column*>* cols) -> Status {
-      Batch batch{&t, nullptr, &db_->rng()};
+      Batch batch{&t, nullptr, rand_seed_};
       for (const auto& k : keys) {
         if (k->kind == ExprKind::kColumnRef && k->bound_column >= 0) {
           cols->push_back(&t.column(static_cast<size_t>(k->bound_column)));
@@ -229,13 +321,13 @@ class SelectExecutor {
     VDB_RETURN_IF_ERROR(collect(*left, lkeys, &lcols));
     VDB_RETURN_IF_ERROR(collect(*right, rkeys, &rcols));
     return HashJoinPairs(left, right, lcols, rcols, type, residual,
-                         &db_->rng(), db_->num_threads());
+                         rand_seed_, db_->num_threads());
   }
 
   // ------------------------------------------------------ scalar subquery --
   Status ResolveSubqueries(Expr* e) {
     if (e->kind == ExprKind::kSubquery) {
-      SelectExecutor sub(db_);
+      SelectExecutor sub(db_, rand_seed_);
       auto rs = sub.Run(e->subquery.get());
       if (!rs.ok()) return rs.status();
       const ResultSet& r = rs.value();
@@ -251,7 +343,7 @@ class SelectExecutor {
       return Status::Ok();
     }
     if (e->kind == ExprKind::kExists) {
-      SelectExecutor sub(db_);
+      SelectExecutor sub(db_, rand_seed_);
       auto rs = sub.Run(e->subquery.get());
       if (!rs.ok()) return rs.status();
       e->kind = ExprKind::kLiteral;
@@ -275,14 +367,20 @@ class SelectExecutor {
   Result<ResultSet> RunSingle(SelectStmt* stmt) {
     // WHERE pushdown eligibility: when the FROM root is a join, the WHERE
     // can filter candidate pairs before the join's one combined gather
-    // (ExecuteJoin consumes pushdown_where_). Excluded: rand()-bearing
-    // predicates (the draw-per-row sequence must stay on the serial
-    // post-materialization path) and subquery-bearing predicates (their
-    // resolution draws from the engine RNG in statement order, which must
-    // not move ahead of FROM execution — they resolve below, as always).
+    // (ExecuteJoin consumes pushdown_where_). rand()-bearing predicates are
+    // eligible — row-addressed draws make pushdown and post-gather
+    // evaluation of the WHERE bit-identical (global pair ordinal =
+    // materialized row). Excluded: subquery-bearing predicates, whose
+    // subqueries resolve only after FROM execution (the pushdown clone
+    // would carry unresolved subquery nodes into the pair evaluator), and
+    // statements drawing rand ANYWHERE OUTSIDE the WHERE — pushdown
+    // compacts the gathered join to the WHERE survivors, so downstream
+    // rand draws would address compacted positions instead of the pair
+    // ordinals the post-gather plan sees, breaking plan-shape invariance.
     pushdown_where_ = nullptr;
     pushdown_where_applied_ = false;
-    if (stmt->where && !ExprContainsRand(*stmt->where) &&
+    if (g_join_where_pushdown && stmt->where &&
+        !RandOutsideWhere(*stmt) &&
         !sql::AnyExprNode(*stmt->where, [](const Expr& n) {
           return n.subquery != nullptr;
         })) {
@@ -326,7 +424,7 @@ class SelectExecutor {
     if (stmt->where && !pushdown_where_applied_) {
       VDB_RETURN_IF_ERROR(BindExpr(stmt->where.get(), input.scope));
       SelVector sel;
-      VDB_RETURN_IF_ERROR(EvalPredicateView(*stmt->where, view, &db_->rng(),
+      VDB_RETURN_IF_ERROR(EvalPredicateView(*stmt->where, view, rand_seed_,
                                             db_->num_threads(), &sel));
       if (sel.size() < view.num_rows()) {
         auto filtered = RowView::Select(input.table, std::move(sel));
@@ -452,7 +550,7 @@ class SelectExecutor {
           table->AddColumn(oi.name, view.GatherColumn(src, num_threads));
         }
       } else {
-        auto col = EvalExprView(*oi.expr, view, &db_->rng(), num_threads);
+        auto col = EvalExprView(*oi.expr, view, rand_seed_, num_threads);
         if (!col.ok()) return col.status();
         table->AddColumn(oi.name, std::move(col).ValueOrDie());
       }
@@ -526,25 +624,19 @@ class SelectExecutor {
       return accs;
     };
 
-    // Morsel-partial aggregation needs mergeable accumulator states and
-    // rand()-free grouping/argument expressions (the RNG draw sequence is
-    // serial, seed-reproducible semantics). When it applies, it applies at
-    // EVERY thread count: the morsel decomposition depends only on the row
-    // count, and partials merge strictly in morsel order, so 1-thread and
-    // N-thread runs execute the identical computation and produce
-    // bit-identical results (floating-point aggregates included). Queries it
-    // can't cover run the whole-input serial path — also at every thread
-    // count, so those stay consistent too.
+    // Morsel-partial aggregation needs mergeable accumulator states. When
+    // it applies, it applies at EVERY thread count: the morsel decomposition
+    // depends only on the row count, and partials merge strictly in morsel
+    // order, so 1-thread and N-thread runs execute the identical computation
+    // and produce bit-identical results (floating-point aggregates
+    // included). rand()-bearing grouping/argument expressions are fine here:
+    // row-addressed draws make every morsel see the values the whole-input
+    // batch would. Queries it can't cover run the whole-input serial path —
+    // also at every thread count, so those stay consistent too.
     const int num_threads = db_->num_threads();
     VDB_RETURN_IF_ERROR(CheckGroupableRows(view.num_rows()));
     bool partials = true;
-    for (const auto& g : stmt->group_by) {
-      if (ExprContainsRand(*g)) partials = false;
-    }
-    for (const auto& s : specs) {
-      if (s.arg != nullptr && ExprContainsRand(*s.arg)) partials = false;
-    }
-    if (partials) {
+    {
       auto probe = make_accs();
       if (!probe.ok()) return probe.status();
       for (const auto& acc : probe.value()) {
@@ -553,12 +645,12 @@ class SelectExecutor {
     }
 
     if (!partials) {
-      // Serial path (rand()-bearing expressions or non-mergeable UDAs):
+      // Serial path (non-mergeable UDAs):
       // batch-evaluate group keys and aggregate arguments once over the
       // whole view, column-at-a-time, assign hashed group ids over the
       // materialized key columns (vectorized — no per-row string keys), and
       // accumulate each group through the selection-vector batch interface.
-      Batch batch = ViewBatch(view, &db_->rng());
+      Batch batch = ViewBatch(view, rand_seed_);
       std::vector<Column> gcols;
       gcols.reserve(stmt->group_by.size());
       for (const auto& g : stmt->group_by) {
@@ -633,7 +725,7 @@ class SelectExecutor {
       const size_t n = view.num_rows();
       auto parts = ParallelMorselMap<MorselAgg>(
           n, num_threads, [&](MorselAgg& res, size_t begin, size_t end) {
-            Batch batch = ViewBatch(view, nullptr, begin, end);
+            Batch batch = ViewBatch(view, rand_seed_, begin, end);
             const size_t ln = end - begin;
             std::vector<Column> gcols;
             gcols.reserve(stmt->group_by.size());
@@ -769,7 +861,7 @@ class SelectExecutor {
       auto bound = RebindPostAgg(*stmt->having, text_to_col, agg_to_col);
       if (!bound.ok()) return bound.status();
       SelVector hsel;
-      VDB_RETURN_IF_ERROR(EvalPredicateView(*bound.value(), aview, &db_->rng(),
+      VDB_RETURN_IF_ERROR(EvalPredicateView(*bound.value(), aview, rand_seed_,
                                             db_->num_threads(), &hsel));
       if (hsel.size() < aview.num_rows()) {
         auto filtered = RowView::Select(agg_table, std::move(hsel));
@@ -814,7 +906,7 @@ class SelectExecutor {
 
     auto table = std::make_shared<Table>();
     for (size_t i = 0; i < bound_items.size(); ++i) {
-      auto col = EvalExprView(*bound_items[i], aview, &db_->rng(),
+      auto col = EvalExprView(*bound_items[i], aview, rand_seed_,
                               db_->num_threads());
       if (!col.ok()) return col.status();
       table->AddColumn(rs.names[i], std::move(col).ValueOrDie());
@@ -919,7 +1011,7 @@ class SelectExecutor {
       auto it = window_cols->find(text);
       int col;
       if (it == window_cols->end()) {
-        auto wcol = EvalWindowExpr(*e, **work, &db_->rng());
+        auto wcol = EvalWindowExpr(*e, **work, rand_seed_);
         if (!wcol.ok()) return wcol.status();
         // Copy-on-write: the work table may be shared (base table).
         auto extended = std::make_shared<Table>();
@@ -1055,6 +1147,9 @@ class SelectExecutor {
   }
 
   Database* db_;
+  /// Per-statement query seed: every rand-family draw this statement (and
+  /// its derived tables / subqueries) performs is addressed by it.
+  uint64_t rand_seed_ = 0;
   /// The current statement's WHERE while eligible for pair-view pushdown;
   /// consumed (nulled) by the FROM-root ExecuteJoin, which sets the applied
   /// flag after filtering candidate pairs so RunSingle skips the normal
@@ -1065,8 +1160,15 @@ class SelectExecutor {
 
 }  // namespace
 
+void SetJoinWherePushdownForTest(bool enabled) {
+  g_join_where_pushdown = enabled;
+}
+
 Result<ResultSet> RunSelect(Database* db, sql::SelectStmt* stmt) {
-  SelectExecutor exec(db);
+  // Number the statement's rand call sites, then draw its query seed — the
+  // two inputs (with the row id) of every row-addressed rand draw below.
+  AssignRandSites(stmt);
+  SelectExecutor exec(db, db->NewQuerySeed());
   return exec.Run(stmt);
 }
 

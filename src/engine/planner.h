@@ -14,6 +14,13 @@ namespace vdb::engine {
 /// does this automatically).
 Result<ResultSet> RunSelect(Database* db, sql::SelectStmt* stmt);
 
+/// Test hook: disables the pair-view WHERE pushdown (the planner's
+/// filter-before-gather path for FROM-root joins), forcing the post-gather
+/// WHERE instead. Results must be bit-identical either way — including
+/// rand()-bearing predicates, whose draws address the global pair ordinal =
+/// materialized row. true restores the default (pushdown on).
+void SetJoinWherePushdownForTest(bool enabled);
+
 }  // namespace vdb::engine
 
 #endif  // VDB_ENGINE_PLANNER_H_

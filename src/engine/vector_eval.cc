@@ -17,6 +17,16 @@ using sql::UnaryOp;
 
 namespace {
 
+/// Test/bench baseline switch (SetSerialRandBaselineForTest): reproduces the
+/// pre-row-addressed executor, where rand-family expressions had no batch
+/// kernel and pinned their queries serial.
+bool g_serial_rand_baseline = false;
+
+/// True when the baseline hook demands the old serial pinning for `e`.
+bool PinnedSerialForBaseline(const Expr& e) {
+  return g_serial_rand_baseline && sql::ContainsRandFunction(e);
+}
+
 // Tri-state predicate vector: -1 unknown (NULL), 0 false, 1 true.
 using TriVec = std::vector<int8_t>;
 
@@ -265,24 +275,33 @@ void CmpKernel(int8_t* t, size_t n, const View& a, const View& b, Cmp cmp) {
 template <typename T, typename View>
 void CmpOpDispatch(BinaryOp op, int8_t* t, size_t n, const View& a,
                    const View& b) {
+  // Each predicate is phrased as OpHolds(op, three-way(x, y)) with the
+  // three-way built from < and > only, exactly like Value::Compare /
+  // ThreeWayD — so NaN operands (which compare neither < nor >) land in the
+  // cmp == 0 bucket here too, and the lanes cannot drift from the row
+  // interpreter. NaN-compares-equal deviates from IEEE/standard SQL, but it
+  // is this engine's deliberate repo-wide convention (Value::Compare
+  // ordering, ValueGroupKey grouping, JoinKeysEqual — "NaN joins NaN"), and
+  // the row interpreter is the semantic reference the differential fuzz
+  // enforces. For Int64 the forms are identical to the raw operators.
   switch (op) {
     case BinaryOp::kEq:
-      CmpKernel<T>(t, n, a, b, [](T x, T y) { return x == y; });
+      CmpKernel<T>(t, n, a, b, [](T x, T y) { return !(x < y) && !(x > y); });
       break;
     case BinaryOp::kNe:
-      CmpKernel<T>(t, n, a, b, [](T x, T y) { return x != y; });
+      CmpKernel<T>(t, n, a, b, [](T x, T y) { return x < y || x > y; });
       break;
     case BinaryOp::kLt:
       CmpKernel<T>(t, n, a, b, [](T x, T y) { return x < y; });
       break;
     case BinaryOp::kLe:
-      CmpKernel<T>(t, n, a, b, [](T x, T y) { return x <= y; });
+      CmpKernel<T>(t, n, a, b, [](T x, T y) { return !(x > y); });
       break;
     case BinaryOp::kGt:
       CmpKernel<T>(t, n, a, b, [](T x, T y) { return x > y; });
       break;
     case BinaryOp::kGe:
-      CmpKernel<T>(t, n, a, b, [](T x, T y) { return x >= y; });
+      CmpKernel<T>(t, n, a, b, [](T x, T y) { return !(x < y); });
       break;
     default:
       break;
@@ -466,15 +485,17 @@ TriVec LikeVecs(const Vec& l, const Vec& r, size_t n) {
   return t;
 }
 
-/// Row-interpreter fallback for node types without a batch kernel (rand(),
+/// Row-interpreter fallback for node types without a batch kernel (most
 /// scalar functions, mixed-type CASE): evaluates the subtree per selected
-/// row in batch order, so rand() draw order matches the row executor.
+/// row. rand-family draws inside the subtree are row-addressed, so the
+/// fallback and the batch kernels produce identical values regardless of
+/// which path a node takes.
 Result<Vec> RowFallback(const Expr& e, const Batch& b) {
   const size_t n = b.size();
   std::vector<Value> vals;
   vals.reserve(n);
   for (size_t k = 0; k < n; ++k) {
-    RowCtx ctx{b.table, b.RowAt(k), b.rng};
+    RowCtx ctx{b.table, b.RowAt(k), b.rand_seed, b.row_id_offset};
     auto r = EvalExpr(e, ctx);
     if (!r.ok()) return r.status();
     vals.push_back(std::move(r).ValueOrDie());
@@ -732,7 +753,8 @@ Result<TriVec> EvalTri(const Expr& e, const Batch& b) {
         for (size_t k = 0; k < n; ++k) {
           if (l[k] != 0) survivors.push_back(b.RowAt(k));
         }
-        Batch sub{b.table, &survivors, b.rng};
+        Batch sub{b.table,          &survivors, b.rand_seed, 0,
+                  Batch::kWholeTable, b.row_id_offset};
         auto rt = EvalTri(*e.args[1], sub);
         if (!rt.ok()) return rt.status();
         const TriVec& r = rt.value();
@@ -937,6 +959,106 @@ Result<Vec> EvalVec(const Expr& e, const Batch& b) {
         return Status::Internal("aggregate/window '" + e.name +
                                 "' in row context");
       }
+      // rand-family batch kernels (the variational-subsampling hot path:
+      // __vdb_sid assignment and Bernoulli predicates). Each lane value is
+      // the row-addressed draw CounterRandom(seed, row id, call site) — a
+      // pure function of row identity, so the kernel, the row fallback, and
+      // every morsel decomposition agree bit for bit.
+      if (sql::IsRandFunctionExpr(e) && e.args.empty() &&
+          !g_serial_rand_baseline) {
+        const uint64_t site = static_cast<uint64_t>(e.rand_site);
+        if (e.name == "rand_poisson") {
+          std::vector<int64_t> out(n);
+          for (size_t k = 0; k < n; ++k) {
+            out[k] = PoissonOneFromUniform(
+                CounterRandomDouble(b.rand_seed, b.RowIdAt(k), site));
+          }
+          Vec v;
+          v.owned =
+              Column::FromData(TypeId::kInt64, std::move(out), {}, {}, {});
+          return v;
+        }
+        std::vector<double> out(n);
+        for (size_t k = 0; k < n; ++k) {
+          out[k] = CounterRandomDouble(b.rand_seed, b.RowIdAt(k), site);
+        }
+        Vec v;
+        v.owned = Column::FromData(TypeId::kDouble, {}, std::move(out), {}, {});
+        return v;
+      }
+      // Unary numeric math (floor/ceil/abs/sqrt): typed lanes instead of a
+      // per-row tree walk — floor() wraps every rand() in the rewritten sid
+      // expression `1 + floor(rand() * b)`, so without this kernel the rand
+      // kernel above would never be reached on the AQP hot path.
+      if (e.args.size() == 1 &&
+          (e.name == "floor" || e.name == "ceil" || e.name == "ceiling" ||
+           e.name == "abs" || e.name == "sqrt") &&
+          !PinnedSerialForBaseline(e)) {
+        // The baseline hook row-interprets rand-bearing subtrees whole, as
+        // the pre-row-addressed executor did with floor(rand() * b).
+        auto av = EvalVec(*e.args[0], b);
+        if (!av.ok()) return av.status();
+        const Vec& a = av.value();
+        if (!a.mixed && a.type() != TypeId::kString) {
+          if (a.type() == TypeId::kNull) return ConstVec(Value::Null());
+          std::vector<uint8_t> nulls;
+          auto set_null = [&](size_t k) {
+            if (nulls.empty()) nulls.assign(n, 0);
+            nulls[k] = 1;
+          };
+          // abs over Int64 storage keeps the integer lane (matching
+          // CallScalarFunction's Value::Int(std::abs(..)) semantics; Bool
+          // values take the double lane there, so they do here too).
+          if (e.name == "abs" && a.type() == TypeId::kInt64) {
+            std::vector<int64_t> out(n, 0);
+            for (size_t k = 0; k < n; ++k) {
+              if (a.IsNull(k)) {
+                set_null(k);
+              } else {
+                out[k] = std::abs(a.IntRaw(k));
+              }
+            }
+            Vec v;
+            v.owned = Column::FromData(TypeId::kInt64, std::move(out), {}, {},
+                                       std::move(nulls));
+            return v;
+          }
+          if (e.name == "abs" || e.name == "sqrt") {
+            std::vector<double> out(n, 0.0);
+            const bool is_abs = e.name == "abs";
+            for (size_t k = 0; k < n; ++k) {
+              if (a.IsNull(k)) {
+                set_null(k);
+              } else {
+                const double x = a.Num(k);
+                out[k] = is_abs ? std::abs(x) : std::sqrt(x);
+              }
+            }
+            Vec v;
+            v.owned = Column::FromData(TypeId::kDouble, {}, std::move(out), {},
+                                       std::move(nulls));
+            return v;
+          }
+          // floor/ceil return Int64, like the row interpreter.
+          std::vector<int64_t> out(n, 0);
+          const bool is_floor = e.name == "floor";
+          for (size_t k = 0; k < n; ++k) {
+            if (a.IsNull(k)) {
+              set_null(k);
+            } else {
+              const double x = a.Num(k);
+              out[k] = static_cast<int64_t>(is_floor ? std::floor(x)
+                                                     : std::ceil(x));
+            }
+          }
+          Vec v;
+          v.owned = Column::FromData(TypeId::kInt64, std::move(out), {}, {},
+                                     std::move(nulls));
+          return v;
+        }
+        // String/mixed operands: defer to the row interpreter's Value
+        // semantics below.
+      }
       // Universe-sample membership hash (the Fig. 11 hot path): batch kernel
       // over the evaluated argument instead of a per-row tree walk.
       if ((e.name == "verdict_hash" || e.name == "unit_hash") &&
@@ -979,16 +1101,17 @@ Result<Vec> EvalVec(const Expr& e, const Batch& b) {
 
 }  // namespace
 
-Batch ViewBatch(const RowView& view, Rng* rng, size_t begin, size_t end) {
+Batch ViewBatch(const RowView& view, uint64_t rand_seed, size_t begin,
+                size_t end) {
   if (!view.has_selection()) {
-    return Batch{view.table().get(), nullptr, rng, view.range_begin() + begin,
-                 view.range_begin() + end};
+    return Batch{view.table().get(), nullptr, rand_seed,
+                 view.range_begin() + begin, view.range_begin() + end};
   }
-  return Batch{view.table().get(), &view.selection(), rng, begin, end};
+  return Batch{view.table().get(), &view.selection(), rand_seed, begin, end};
 }
 
-Batch ViewBatch(const RowView& view, Rng* rng) {
-  return ViewBatch(view, rng, 0, view.num_rows());
+Batch ViewBatch(const RowView& view, uint64_t rand_seed) {
+  return ViewBatch(view, rand_seed, 0, view.num_rows());
 }
 
 Result<Column> EvalExprBatch(const Expr& e, const Batch& batch) {
@@ -1046,16 +1169,13 @@ Status EvalPredicateBatch(const Expr& e, const Batch& batch, SelVector* out) {
   return Status::Ok();
 }
 
-bool ExprContainsRand(const Expr& e) {
-  return sql::AnyExprNode(e, [](const Expr& n) {
-    return n.kind == ExprKind::kFunction &&
-           (n.name == "rand" || n.name == "random" ||
-            n.name == "rand_poisson");
-  });
+void SetSerialRandBaselineForTest(bool enabled) {
+  g_serial_rand_baseline = enabled;
 }
 
-Status EvalPredicateParallel(const Expr& e, const Table& table, Rng* rng,
-                             int num_threads, SelVector* out) {
+Status EvalPredicateParallel(const Expr& e, const Table& table,
+                             uint64_t rand_seed, int num_threads,
+                             SelVector* out) {
   const size_t n = table.num_rows();
   if (n > RowView::kMaxRows) {
     // Explicit guard: selection entries are uint32_t, and 0xFFFFFFFF is the
@@ -1066,8 +1186,8 @@ Status EvalPredicateParallel(const Expr& e, const Table& table, Rng* rng,
         std::to_string(n));
   }
   const size_t morsel = MorselRows();
-  if (num_threads <= 1 || n <= morsel || ExprContainsRand(e)) {
-    Batch batch{&table, nullptr, rng};
+  if (num_threads <= 1 || n <= morsel || PinnedSerialForBaseline(e)) {
+    Batch batch{&table, nullptr, rand_seed};
     return EvalPredicateBatch(e, batch, out);
   }
   struct PredSlot {
@@ -1076,9 +1196,9 @@ Status EvalPredicateParallel(const Expr& e, const Table& table, Rng* rng,
   };
   auto slots = ParallelMorselMap<PredSlot>(
       n, num_threads, [&](PredSlot& slot, size_t begin, size_t end) {
-        // No RNG in the morsel batches: rand()-bearing expressions were
-        // routed to the serial path above, and Rng is not thread-safe.
-        Batch batch{&table, nullptr, nullptr, begin, end};
+        // rand-family draws are row-addressed, so every morsel addresses the
+        // same (seed, row, site) triples the serial batch would.
+        Batch batch{&table, nullptr, rand_seed, begin, end};
         slot.status = EvalPredicateBatch(e, batch, &slot.sel);
       });
   size_t total = 0;
@@ -1093,11 +1213,11 @@ Status EvalPredicateParallel(const Expr& e, const Table& table, Rng* rng,
   return Status::Ok();
 }
 
-Status EvalPredicateView(const Expr& e, const RowView& view, Rng* rng,
-                         int num_threads, SelVector* out) {
+Status EvalPredicateView(const Expr& e, const RowView& view,
+                         uint64_t rand_seed, int num_threads, SelVector* out) {
   const size_t n = view.num_rows();
-  if (num_threads <= 1 || n <= MorselRows() || ExprContainsRand(e)) {
-    Batch batch = ViewBatch(view, rng);
+  if (num_threads <= 1 || n <= MorselRows() || PinnedSerialForBaseline(e)) {
+    Batch batch = ViewBatch(view, rand_seed);
     return EvalPredicateBatch(e, batch, out);
   }
   struct PredSlot {
@@ -1106,7 +1226,7 @@ Status EvalPredicateView(const Expr& e, const RowView& view, Rng* rng,
   };
   auto slots = ParallelMorselMap<PredSlot>(
       n, num_threads, [&](PredSlot& slot, size_t begin, size_t end) {
-        Batch batch = ViewBatch(view, nullptr, begin, end);
+        Batch batch = ViewBatch(view, rand_seed, begin, end);
         slot.status = EvalPredicateBatch(e, batch, &slot.sel);
       });
   size_t total = 0;
@@ -1121,14 +1241,14 @@ Status EvalPredicateView(const Expr& e, const RowView& view, Rng* rng,
   return Status::Ok();
 }
 
-Result<Column> EvalExprView(const Expr& e, const RowView& view, Rng* rng,
-                            int num_threads) {
+Result<Column> EvalExprView(const Expr& e, const RowView& view,
+                            uint64_t rand_seed, int num_threads) {
   const size_t n = view.num_rows();
-  if (num_threads <= 1 || n <= MorselRows() || ExprContainsRand(e)) {
+  if (num_threads <= 1 || n <= MorselRows() || PinnedSerialForBaseline(e)) {
     // One whole-view batch. This also serves the empty view: the evaluator
     // still walks the tree, so the output column keeps its natural type and
     // empty results stay schema-complete.
-    Batch batch = ViewBatch(view, rng);
+    Batch batch = ViewBatch(view, rand_seed);
     return EvalExprBatch(e, batch);
   }
   struct ChunkSlot {
@@ -1137,7 +1257,7 @@ Result<Column> EvalExprView(const Expr& e, const RowView& view, Rng* rng,
   };
   auto slots = ParallelMorselMap<ChunkSlot>(
       n, num_threads, [&](ChunkSlot& slot, size_t begin, size_t end) {
-        Batch batch = ViewBatch(view, nullptr, begin, end);
+        Batch batch = ViewBatch(view, rand_seed, begin, end);
         auto c = EvalExprBatch(e, batch);
         if (c.ok()) {
           slot.col = std::move(c).ValueOrDie();
@@ -1158,7 +1278,7 @@ Result<Column> EvalExprView(const Expr& e, const RowView& view, Rng* rng,
 
 Result<const std::vector<uint8_t>*> PairPredicateEvaluator::Eval(
     const sql::Expr& pred, const uint32_t* lrows, const uint32_t* rrows,
-    size_t count) {
+    size_t count, uint64_t row_id_base) {
   if (mask_pred_ != &pred) {
     // Gather only the combined-schema ordinals the predicate references;
     // streaming callers reuse one predicate, so this walk runs once.
@@ -1175,26 +1295,31 @@ Result<const std::vector<uint8_t>*> PairPredicateEvaluator::Eval(
   GatherJoinPairsInto(left_, lrows, right_, rrows, count, num_threads_,
                       &scratch_, &col_mask_);
   surviving_.clear();
-  Batch batch{&scratch_, nullptr, rng_};
+  // Scratch rows are chunk-local; row_id_base lifts them onto the global
+  // pair ordinal so rand-family draws are invariant to the chunking.
+  Batch batch{&scratch_,          nullptr, rand_seed_, 0,
+              Batch::kWholeTable, row_id_base};
   VDB_RETURN_IF_ERROR(EvalPredicateBatch(pred, batch, &surviving_));
   pass_.assign(count, 0);
   for (uint32_t s : surviving_) pass_[s] = 1;
   return const_cast<const std::vector<uint8_t>*>(&pass_);
 }
 
-Status FilterJoinPairs(const sql::Expr& pred, JoinPairView* pairs, Rng* rng,
-                       int num_threads) {
+Status FilterJoinPairs(const sql::Expr& pred, JoinPairView* pairs,
+                       uint64_t rand_seed, int num_threads) {
   constexpr size_t kChunk = 1 << 16;
   const size_t n = pairs->num_pairs();
-  PairPredicateEvaluator eval(*pairs->left(), *pairs->right(), rng,
+  PairPredicateEvaluator eval(*pairs->left(), *pairs->right(), rand_seed,
                               num_threads);
   // Survivors stream straight into fresh pair lists (never positions into
-  // the old list, which could exceed the uint32 index range).
+  // the old list, which could exceed the uint32 index range). `begin` is the
+  // global pair ordinal — the row this pair would occupy in the materialized
+  // join — so pushed-down rand() draws match the post-gather WHERE path.
   SelVector out_l, out_r;
   for (size_t begin = 0; begin < n; begin += kChunk) {
     const size_t end = std::min(n, begin + kChunk);
     auto mask = eval.Eval(pred, pairs->lrows().data() + begin,
-                          pairs->rrows().data() + begin, end - begin);
+                          pairs->rrows().data() + begin, end - begin, begin);
     if (!mask.ok()) return mask.status();
     const std::vector<uint8_t>& pass = *mask.value();
     for (size_t i = 0; i < end - begin; ++i) {

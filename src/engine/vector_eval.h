@@ -6,10 +6,12 @@
 // dominates. The batch evaluator walks the tree once per batch and runs
 // type-specialized inner loops directly over the columnar storage
 // (engine/column.h), materializing NULL masks lazily. Node types without a
-// specialized kernel (e.g. rand(), mixed-type CASE) fall back to the row
-// interpreter per element, so the row evaluator remains the semantic
+// specialized kernel (most scalar functions, mixed-type CASE) fall back to
+// the row interpreter per element, so the row evaluator remains the semantic
 // reference; tests/test_vector_eval.cc asserts batch == row on randomized
-// expressions.
+// expressions. rand-family functions have true batch kernels: their values
+// are row-addressed (common/random.h), so the kernel and the row fallback
+// agree bit for bit and rand()-bearing queries need no serial pinning.
 
 #ifndef VDB_ENGINE_VECTOR_EVAL_H_
 #define VDB_ENGINE_VECTOR_EVAL_H_
@@ -27,14 +29,21 @@ namespace vdb::engine {
 /// otherwise (a selection composed with a morsel row-range: how the
 /// morsel-driven scan hands one worker its slice of a RowView without
 /// copying the selection). The defaults cover the whole domain.
+///
+/// `rand_seed` is the per-statement query seed and `row_id_offset` shifts
+/// physical rows onto global row ids (join pair-chunk scratch tables; 0
+/// elsewhere): rand-family draws are pure functions of
+/// (rand_seed, RowIdAt(i), node.rand_site), so every morsel split, plan
+/// shape, and thread count sees identical values.
 struct Batch {
   static constexpr size_t kWholeTable = static_cast<size_t>(-1);
 
   const Table* table = nullptr;
   const SelVector* sel = nullptr;  // null => physical rows
-  Rng* rng = nullptr;              // backs rand() via the row fallback
+  uint64_t rand_seed = 0;          // per-statement query seed
   size_t range_begin = 0;
   size_t range_end = kWholeTable;  // kWholeTable => whole domain
+  uint64_t row_id_offset = 0;      // global row id = physical row + offset
 
   size_t Domain() const {
     if (sel != nullptr) return sel->size();
@@ -48,14 +57,16 @@ struct Batch {
     return sel != nullptr ? (*sel)[range_begin + i]
                           : static_cast<uint32_t>(range_begin + i);
   }
+  uint64_t RowIdAt(size_t i) const { return RowAt(i) + row_id_offset; }
 };
 
 /// Batch over view positions [begin, end): the range form for identity/range
 /// views (zero-copy lanes), the sel-slice form otherwise. The view must
 /// outlive the batch (the batch borrows its selection vector).
-Batch ViewBatch(const RowView& view, Rng* rng, size_t begin, size_t end);
+Batch ViewBatch(const RowView& view, uint64_t rand_seed, size_t begin,
+                size_t end);
 /// Batch over the whole view.
-Batch ViewBatch(const RowView& view, Rng* rng);
+Batch ViewBatch(const RowView& view, uint64_t rand_seed);
 
 /// Evaluates a bound expression for every batch position, column-at-a-time.
 /// Returns a column of batch.size() rows, position i holding the value for
@@ -85,33 +96,42 @@ Status EvalPredicateBatch(const sql::Expr& e, const Batch& batch,
 /// Evaluates a predicate over the whole table on up to num_threads threads:
 /// one EvalPredicateBatch per row-range morsel, with the per-morsel selection
 /// vectors concatenated in morsel order, so the result is identical to a
-/// single-threaded evaluation. Expressions that draw randomness (rand(),
-/// rand_poisson()) fall back to one serial whole-table batch, as do inputs
-/// smaller than a single morsel.
-Status EvalPredicateParallel(const sql::Expr& e, const Table& table, Rng* rng,
-                             int num_threads, SelVector* out);
+/// single-threaded evaluation. rand-family draws are row-addressed (pure
+/// functions of row identity), so rand()-bearing predicates run on the same
+/// morsel-parallel path as everything else; only sub-morsel inputs take the
+/// single serial batch.
+Status EvalPredicateParallel(const sql::Expr& e, const Table& table,
+                             uint64_t rand_seed, int num_threads,
+                             SelVector* out);
 
 /// Evaluates a predicate over a RowView (selection composed with morsel
 /// row-ranges) and appends the surviving PHYSICAL row indices to `*out` in
 /// view order — the survivors directly form the composed downstream view, so
 /// filters never gather. Morsel-parallel like EvalPredicateParallel, with the
-/// same serial fallbacks (rand(), sub-morsel inputs).
-Status EvalPredicateView(const sql::Expr& e, const RowView& view, Rng* rng,
-                         int num_threads, SelVector* out);
+/// same sub-morsel serial fallback.
+Status EvalPredicateView(const sql::Expr& e, const RowView& view,
+                         uint64_t rand_seed, int num_threads, SelVector* out);
 
 /// Evaluates an expression over every view row, morsel-parallel: one
 /// EvalExprBatch per morsel of view positions, per-morsel column chunks
 /// concatenated type-stably in morsel order (Column::ConcatChunks), so the
-/// result is bit-identical to one whole-view evaluation. rand()-bearing
-/// expressions and sub-morsel inputs evaluate as a single serial batch.
-Result<Column> EvalExprView(const sql::Expr& e, const RowView& view, Rng* rng,
-                            int num_threads);
+/// result is bit-identical to one whole-view evaluation. Sub-morsel inputs
+/// evaluate as a single serial batch; rand()-bearing expressions are NOT
+/// special-cased (row-addressed draws).
+Result<Column> EvalExprView(const sql::Expr& e, const RowView& view,
+                            uint64_t rand_seed, int num_threads);
 
-/// True if the expression tree contains a function that draws from the
-/// engine RNG (rand / random / rand_poisson). Such expressions are pinned to
-/// serial evaluation: the draw sequence is part of the deterministic,
-/// seed-reproducible semantics, and Rng is not thread-safe.
-bool ExprContainsRand(const sql::Expr& e);
+/// Test/bench hook: when enabled, rand-bearing expressions lose their batch
+/// kernels (the whole subtree row-interprets, including wrappers like
+/// floor(rand() * b)) and the EvalPredicateParallel / EvalPredicateView /
+/// EvalExprView entry points pin them to one serial whole-input batch —
+/// approximating the pre-row-addressed "rand() stays serial" executor as a
+/// performance baseline. Approximating, not reproducing: the planner's
+/// partial-aggregation and pair-view pushdown decisions are NOT reverted,
+/// so measure baselines at num_threads == 1, where those paths are serial
+/// anyway. Results are identical either way (draws are row-addressed in
+/// both modes); only the execution strategy changes. Off by default.
+void SetSerialRandBaselineForTest(bool enabled);
 
 /// Evaluates predicates over candidate (left_row, right_row) join pairs:
 /// each call gathers its pairs into a combined left ++ right scratch table
@@ -127,19 +147,28 @@ bool ExprContainsRand(const sql::Expr& e);
 /// predicate non-null and true) stay valid until the next Eval call.
 class PairPredicateEvaluator {
  public:
-  PairPredicateEvaluator(const Table& left, const Table& right, Rng* rng,
-                         int num_threads)
-      : left_(left), right_(right), rng_(rng), num_threads_(num_threads) {}
+  PairPredicateEvaluator(const Table& left, const Table& right,
+                         uint64_t rand_seed, int num_threads)
+      : left_(left),
+        right_(right),
+        rand_seed_(rand_seed),
+        num_threads_(num_threads) {}
 
+  /// `row_id_base` is the global ordinal of the first pair in this chunk
+  /// (pairs are streamed in a deterministic order), so rand-family draws in
+  /// the predicate address (rand_seed, row_id_base + i, site) — for
+  /// pushed-down WHERE chunks that ordinal equals the row the pair would
+  /// occupy in the materialized join output, making pushdown-on and
+  /// pushdown-off evaluation bit-identical.
   Result<const std::vector<uint8_t>*> Eval(const sql::Expr& pred,
                                            const uint32_t* lrows,
-                                           const uint32_t* rrows,
-                                           size_t count);
+                                           const uint32_t* rrows, size_t count,
+                                           uint64_t row_id_base);
 
  private:
   const Table& left_;
   const Table& right_;
-  Rng* rng_;
+  uint64_t rand_seed_;
   int num_threads_;
   Table scratch_;               // combined schema, rows cleared per call
   const sql::Expr* mask_pred_ = nullptr;  // predicate col_mask_ was built for
@@ -154,8 +183,8 @@ class PairPredicateEvaluator {
 /// combined gather, so non-survivors are never materialized. Null-extended
 /// pairs evaluate with NULL right columns, matching post-materialization
 /// WHERE semantics exactly (the planner's pair-view WHERE pushdown).
-Status FilterJoinPairs(const sql::Expr& pred, JoinPairView* pairs, Rng* rng,
-                       int num_threads);
+Status FilterJoinPairs(const sql::Expr& pred, JoinPairView* pairs,
+                       uint64_t rand_seed, int num_threads);
 
 }  // namespace vdb::engine
 

@@ -9,7 +9,7 @@
 namespace vdb::engine {
 
 Result<Column> EvalWindowExpr(const sql::Expr& e, const Table& table,
-                              Rng* rng) {
+                              uint64_t rand_seed) {
   if (e.kind != sql::ExprKind::kFunction || !e.is_window) {
     return Status::Internal("EvalWindowExpr on a non-window expression");
   }
@@ -26,7 +26,7 @@ Result<Column> EvalWindowExpr(const sql::Expr& e, const Table& table,
   std::vector<std::unique_ptr<AggAccumulator>> accs;
 
   for (size_t r = 0; r < n; ++r) {
-    RowCtx ctx{&table, r, rng};
+    RowCtx ctx{&table, r, rand_seed};
     std::string key;
     for (const auto& p : e.partition_by) {
       auto v = EvalExpr(*p, ctx);

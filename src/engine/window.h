@@ -17,9 +17,10 @@ namespace vdb::engine {
 /// Evaluates a bound window expression over every row of `table`, returning
 /// one result column aligned with the input rows. `e.args[0]` and each
 /// partition expression must already be bound against `table`'s scope.
+/// `rand_seed` is the per-statement query seed (row-addressed rand draws).
 /// Supported window aggregates: sum, count, avg, min, max.
 Result<Column> EvalWindowExpr(const sql::Expr& e, const Table& table,
-                              Rng* rng);
+                              uint64_t rand_seed);
 
 }  // namespace vdb::engine
 

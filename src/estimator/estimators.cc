@@ -69,15 +69,10 @@ ErrorEstimate ConsolidatedBootstrap(const std::vector<double>& sample,
   std::vector<double> counts(b, 0.0);
   for (size_t i = 0; i < n; ++i) {
     for (int j = 0; j < b; ++j) {
-      // Inverse-CDF Poisson(1) draw; E[k]=1, so expected resample size is n.
-      double u = rng->NextDouble();
-      int k = 0;
-      double p = std::exp(-1.0), cdf = p;
-      while (u > cdf && k < 8) {
-        ++k;
-        p /= static_cast<double>(k);
-        cdf += p;
-      }
+      // Poisson(1) multiplicity; E[k]=1, so expected resample size is n.
+      // Shared inverse-CDF kernel with SQL rand_poisson() (common/random.h),
+      // which also removed the old k < 8 truncation of the upper tail.
+      int k = PoissonOneFromUniform(rng->NextDouble());
       if (k > 0) {
         sums[j] += static_cast<double>(k) * sample[i];
         counts[j] += static_cast<double>(k);
@@ -86,8 +81,10 @@ ErrorEstimate ConsolidatedBootstrap(const std::vector<double>& sample,
   }
   std::vector<double> devs(b);
   for (int j = 0; j < b; ++j) {
-    double mean_j = counts[j] > 0 ? sums[j] / counts[j] : 0.0;
-    devs[j] = g0 - scale * mean_j;
+    // An empty resample carries no information about the spread: its
+    // deviation is 0 (ghat_j = g0), NOT g0 - 0 — the old fallback injected
+    // the full point estimate as a spurious outlier deviation.
+    devs[j] = counts[j] > 0 ? g0 - scale * (sums[j] / counts[j]) : 0.0;
   }
   return IntervalFromDeviations(g0, std::move(devs), 1.0, confidence);
 }

@@ -86,18 +86,20 @@ Result<SampleInfo> SampleBuilder::CreateUniformSample(const std::string& base,
   // In-process engines take a vectorized direct scan: a Bernoulli selection
   // vector over the base table, bulk-gathered into the sample. Other
   // dialects go through SQL so their syntax rules still apply. The Bernoulli
-  // draw itself stays serial (the RNG sequence is part of the reproducible,
-  // seeded semantics); the gather is column-parallel.
+  // draws are row-addressed (one query seed, CounterRandom per physical
+  // row), so the membership scan runs morsel-parallel and still yields the
+  // identical sample at every thread count; the gather is column-parallel.
   if (conn_->dialect().kind == driver::EngineKind::kGeneric) {
     auto* db = conn_->database();
     auto t = db->catalog().GetTable(base);
     if (!t) return Status::NotFound("no such table: " + base);
+    auto pred = sql::MakeBinary(sql::BinaryOp::kLt,
+                                sql::MakeFunction("rand", {}),
+                                sql::MakeDoubleLit(tau));
+    pred->args[0]->rand_site = 1;
     engine::SelVector sel;
-    for (size_t r = 0; r < t->num_rows(); ++r) {
-      if (db->rng().NextDouble() < tau) {
-        sel.push_back(static_cast<uint32_t>(r));
-      }
-    }
+    VDB_RETURN_IF_ERROR(engine::EvalPredicateParallel(
+        *pred, *t, db->NewQuerySeed(), db->num_threads(), &sel));
     db->AddRowsScanned(t->num_rows());
     info.sample_rows = sel.size();
     auto sample =
@@ -162,8 +164,11 @@ Result<SampleInfo> SampleBuilder::CreateHashedSample(const std::string& base,
                         sql::MakeFunction("verdict_hash", std::move(args)),
                         sql::MakeDoubleLit(tau));
     engine::SelVector sel;
+    // The hash predicate is fully deterministic (no rand-family node), so
+    // no query seed is drawn — drawing one would needlessly shift the
+    // seeded per-statement seed sequence of everything that follows.
     VDB_RETURN_IF_ERROR(engine::EvalPredicateParallel(
-        *pred, *t, &db->rng(), db->num_threads(), &sel));
+        *pred, *t, /*rand_seed=*/0, db->num_threads(), &sel));
     db->AddRowsScanned(t->num_rows());
     info.sample_rows = sel.size();
     // Hashed samples record the realized ratio |Ts|/|T| (paper §3.1).

@@ -20,6 +20,7 @@ Expr::Ptr Expr::Clone() const {
   e->negated = negated;
   e->bound_column = bound_column;
   e->bound_agg = bound_agg;
+  e->rand_site = rand_site;
   return e;
 }
 

@@ -82,6 +82,12 @@ struct Expr {
   // ---- Binder outputs (engine-internal; not part of the surface syntax) ----
   int bound_column = -1;   // kColumnRef: input column ordinal
   int bound_agg = -1;      // kFunction aggregate: ordinal in aggregate list
+  // kFunction rand/random/rand_poisson: 1-based call-site id, assigned once
+  // per statement in deterministic traversal order (engine/planner). Part of
+  // the row-addressed draw (common/random.h RandAddr), so distinct rand()
+  // calls in one query draw independent values; copied by Clone, so every
+  // rewrite of the same logical call site keeps the same draws.
+  int rand_site = 0;
 
   Expr() : kind(ExprKind::kLiteral) {}
   explicit Expr(ExprKind k) : kind(k) {}
@@ -110,6 +116,22 @@ bool AnyExprNode(const Expr& e, const Pred& pred) {
     if (AnyExprNode(*p, pred)) return true;
   }
   return false;
+}
+
+/// The one definition of the rand family. Everything keyed to these names —
+/// call-site numbering (engine/planner.cc), the batch kernels and the serial
+/// baseline hook (engine/vector_eval.cc), function evaluation
+/// (engine/functions.cc) — must agree on the set: a name recognized by one
+/// consumer but not another would silently leave call sites unnumbered
+/// (perfectly correlated draws) or renumber its neighbors.
+inline bool IsRandFunctionExpr(const Expr& e) {
+  return e.kind == ExprKind::kFunction &&
+         (e.name == "rand" || e.name == "random" || e.name == "rand_poisson");
+}
+
+/// True if any node under `e` is a rand-family call.
+inline bool ContainsRandFunction(const Expr& e) {
+  return AnyExprNode(e, IsRandFunctionExpr);
 }
 
 // ---- Convenience constructors used heavily by the rewriter ----------------

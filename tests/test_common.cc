@@ -92,6 +92,72 @@ TEST(RngTest, BoundedStaysInRange) {
   }
 }
 
+TEST(RngTest, BoundedIsUnbiasedAtLargeBounds) {
+  // Lemire rejection sampling: even for a bound where plain modulo would be
+  // visibly biased toward low values (bound ~ 2/3 * 2^64), the mean must sit
+  // at bound/2.
+  Rng rng(6);
+  const uint64_t bound = 0xAAAAAAAAAAAAAAAAull;  // ~2^64 * 2/3
+  long double sum = 0.0L;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    uint64_t v = rng.NextBounded(bound);
+    ASSERT_LT(v, bound);
+    sum += static_cast<long double>(v);
+  }
+  const long double mean = sum / n;
+  const long double expected = static_cast<long double>(bound) / 2.0L;
+  // Plain modulo would pull the mean to ~0.4375 * bound (-12.5%); allow 1%.
+  EXPECT_NEAR(static_cast<double>(mean / expected), 1.0, 0.01);
+}
+
+TEST(RngTest, BiasedBoundedTestHookRestoresModuloPath) {
+  Rng a(7), b(7);
+  Rng::SetBiasedNextBoundedForTest(true);
+  uint64_t biased = a.NextBounded(1000);
+  Rng::SetBiasedNextBoundedForTest(false);
+  EXPECT_EQ(biased, b.Next() % 1000);  // exactly the old path
+}
+
+TEST(CounterRandomTest, PureFunctionOfAddress) {
+  EXPECT_EQ(CounterRandom(1, 2, 3), CounterRandom(1, 2, 3));
+  EXPECT_NE(CounterRandom(1, 2, 3), CounterRandom(1, 3, 3));
+  EXPECT_NE(CounterRandom(1, 2, 3), CounterRandom(1, 2, 4));
+  EXPECT_NE(CounterRandom(2, 2, 3), CounterRandom(1, 2, 3));
+  std::set<uint64_t> seen;
+  for (uint64_t row = 0; row < 1000; ++row) {
+    seen.insert(CounterRandom(42, row, 1));
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(CounterRandomTest, DoubleUniformMeanOverRows) {
+  // Sequential rows (the engine's access pattern) must look uniform.
+  double sum = 0.0;
+  const int n = 100000;
+  for (int row = 0; row < n; ++row) {
+    double u = CounterRandomDouble(99, static_cast<uint64_t>(row), 1);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(PoissonKernelTest, InverseCdfShape) {
+  // Monotone in u, k = 0 below e^-1, and no k < 8 truncation: a u extremely
+  // close to 1 must walk past 8.
+  EXPECT_EQ(PoissonOneFromUniform(0.0), 0);
+  EXPECT_EQ(PoissonOneFromUniform(0.36), 0);  // e^-1 ~ 0.3679
+  EXPECT_EQ(PoissonOneFromUniform(0.5), 1);
+  EXPECT_GE(PoissonOneFromUniform(1.0 - 1e-13), 8);
+  double sum = 0.0;
+  const int n = 200000;
+  Rng rng(8);
+  for (int i = 0; i < n; ++i) sum += PoissonOneFromUniform(rng.NextDouble());
+  EXPECT_NEAR(sum / n, 1.0, 0.02);  // E[Poisson(1)] = 1
+}
+
 TEST(HashTest, DeterministicAndSpread) {
   EXPECT_EQ(HashMix64(123), HashMix64(123));
   EXPECT_NE(HashMix64(123), HashMix64(124));

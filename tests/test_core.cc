@@ -119,7 +119,10 @@ class VerdictE2E : public ::testing::Test {
     ctx_ = std::make_unique<VerdictContext>(&db_,
                                             driver::EngineKind::kGeneric,
                                             opts);
-    auto s = ctx_->sample_builder().CreateUniformSample("big", 0.02);
+    // 4% of 200K = ~8000 rows (~800 per g10 group): per-group estimates
+    // carry ~3.5% relative stderr, so the 15% tolerances below sit at >4
+    // sigma for any seed rather than relying on a lucky draw.
+    auto s = ctx_->sample_builder().CreateUniformSample("big", 0.04);
     ASSERT_TRUE(s.ok()) << s.status().ToString();
     sample_rows_ = s.value().sample_rows;
   }
@@ -136,7 +139,7 @@ class VerdictE2E : public ::testing::Test {
 };
 
 TEST_F(VerdictE2E, SampleSizeNearExpectation) {
-  EXPECT_NEAR(static_cast<double>(sample_rows_), 4000.0, 400.0);
+  EXPECT_NEAR(static_cast<double>(sample_rows_), 8000.0, 600.0);
 }
 
 TEST_F(VerdictE2E, ApproximateCount) {
@@ -255,6 +258,55 @@ TEST_F(VerdictE2E, HacFallsBackToExact) {
   EXPECT_DOUBLE_EQ(rs.value().GetDouble(0, 0),
                    Exact("select avg(value) as a from big"));
   ctx_->options().min_accuracy = 0.0;
+}
+
+TEST_F(VerdictE2E, HacTreatsUnmeasurableGroupsConservatively) {
+  // A group whose sample contains exactly ONE tuple lands in exactly one
+  // subsample, so its stderr is NULL (stddev over one estimate) and its
+  // relative error cannot be measured. The contract must count such groups
+  // and fail conservatively instead of passing vacuously on the measured
+  // subset.
+  engine::Database db(4321);
+  auto t = std::make_shared<engine::Table>();
+  t->AddColumn("g", TypeId::kInt64);
+  t->AddColumn("v", TypeId::kDouble);
+  for (int i = 0; i < 5000; ++i) {
+    t->AppendRow({Value::Int(1), Value::Double(10.0 + (i % 7))});
+  }
+  t->AppendRow({Value::Int(2), Value::Double(42.0)});  // the singleton group
+  ASSERT_TRUE(db.RegisterTable("skew", t).ok());
+  VerdictOptions opts;
+  opts.min_rows_for_sampling = 1000;
+  opts.io_budget = 1.0;
+  VerdictContext vctx(&db, driver::EngineKind::kGeneric, opts);
+  // tau = 1.0: every row (including the singleton) enters the sample, so
+  // the vacuous-stderr row is guaranteed, not seed-dependent.
+  ASSERT_TRUE(vctx.sample_builder().CreateUniformSample("skew", 1.0).ok());
+
+  const std::string sql =
+      "select g, sum(v) as s from skew group by g order by g";
+  auto ans = vctx.ExecuteApprox(sql);
+  ASSERT_TRUE(ans.ok());
+  EXPECT_GT(ans.value().unmeasured_rows, 0);
+  int64_t no_spread = 0;
+  for (const auto& agg : ans.value().aggregates) {
+    no_spread += agg.no_spread_rows;
+  }
+  EXPECT_GT(no_spread, 0);
+
+  // With a (loose) contract enabled, the unverifiable group must force the
+  // exact fallback even though every measured group is well within bounds.
+  vctx.options().min_accuracy = 0.5;
+  VerdictContext::ExecInfo info;
+  auto rs = vctx.Execute(sql, &info);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(info.exact_rerun);
+  auto exact = db.Execute(sql);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_EQ(rs.value().NumRows(), exact.value().NumRows());
+  for (size_t r = 0; r < rs.value().NumRows(); ++r) {
+    EXPECT_DOUBLE_EQ(rs.value().GetDouble(r, 1), exact.value().GetDouble(r, 1));
+  }
 }
 
 TEST_F(VerdictE2E, HighCardinalityGroupingIsRejected) {

@@ -63,6 +63,34 @@ TEST(ConsolidatedBootstrapTest, MatchesPlainBootstrap) {
   EXPECT_NEAR(cons.half_width, plain.half_width, plain.half_width * 0.35);
 }
 
+TEST(ConsolidatedBootstrapTest, EmptyResamplesCarryZeroDeviation) {
+  // One tuple, many resamples: ~e^-1 of the Poisson(1) resamples are empty.
+  // An empty resample carries no spread information — its deviation must be
+  // 0, so with a single-value sample EVERY deviation is 0 and the interval
+  // collapses onto the point. The old fallback (mean_j = 0, deviation g0)
+  // injected the full point estimate as an outlier and inflated the
+  // interval to ~|g0|.
+  std::vector<double> xs = {250.0};
+  Rng rng(21);
+  auto e = ConsolidatedBootstrap(xs, 1.0, 2000, 0.95, &rng);
+  EXPECT_DOUBLE_EQ(e.point, 250.0);
+  EXPECT_DOUBLE_EQ(e.half_width, 0.0);
+  EXPECT_DOUBLE_EQ(e.lo, 250.0);
+  EXPECT_DOUBLE_EQ(e.hi, 250.0);
+}
+
+TEST(ConsolidatedBootstrapTest, PoissonTailNotTruncated) {
+  // The shared Poisson kernel must produce multiplicities >= 8 at realistic
+  // rates (P[X >= 8] ~ 1e-5; 2M draws give ~20 expected) — the old
+  // hand-rolled loop clipped at k < 8.
+  Rng rng(22);
+  int high = 0;
+  for (int i = 0; i < 2000000; ++i) {
+    if (PoissonOneFromUniform(rng.NextDouble()) >= 8) ++high;
+  }
+  EXPECT_GT(high, 0);
+}
+
 TEST(TraditionalSubsamplingTest, HalfWidthTracksClt) {
   auto xs = Sample(50000, 11);
   Rng rng(12);

@@ -59,9 +59,8 @@ TEST(HashJoinTest, ResidualAcrossChunkBoundaries) {
       BinaryOp::kEq,
       sql::MakeBinary(BinaryOp::kMod, CombinedRef(3), sql::MakeIntLit(2)),
       sql::MakeIntLit(0));
-  Rng rng(1);
   auto joined = HashJoin(*left, *right, std::vector<int>{0}, std::vector<int>{0}, sql::JoinType::kInner,
-                         residual.get(), &rng);
+                         residual.get(), /*rand_seed=*/1);
   ASSERT_TRUE(joined.ok()) << joined.status().ToString();
   // 3 left rows x 25,000 even right payloads.
   EXPECT_EQ(joined.value()->num_rows(), 75'000u);
@@ -83,9 +82,8 @@ TEST(HashJoinTest, LeftJoinResidualNullExtensionOrder) {
   auto right = MakeKeyed(10, 5, "rv");  // rv r has key r % 5
   auto residual = sql::MakeBinary(BinaryOp::kGe, CombinedRef(3),
                                   sql::MakeIntLit(5));
-  Rng rng(1);
   auto joined = HashJoin(*left, *right, std::vector<int>{0}, std::vector<int>{0}, sql::JoinType::kLeft,
-                         residual.get(), &rng);
+                         residual.get(), /*rand_seed=*/1);
   ASSERT_TRUE(joined.ok()) << joined.status().ToString();
   const Table& out = *joined.value();
   // Every left key 0..4 matches exactly one right row (payload 5..9); keys
@@ -114,9 +112,8 @@ TEST(HashJoinTest, LeftJoinAllUnmatchedStreams) {
   right->AddColumn("rv", std::move(rv));
   auto residual = sql::MakeBinary(BinaryOp::kGt, CombinedRef(3),
                                   sql::MakeIntLit(0));
-  Rng rng(1);
   auto joined = HashJoin(*left, *right, std::vector<int>{0}, std::vector<int>{0}, sql::JoinType::kLeft,
-                         residual.get(), &rng);
+                         residual.get(), /*rand_seed=*/1);
   ASSERT_TRUE(joined.ok());
   ASSERT_EQ(joined.value()->num_rows(), 100u);
   for (size_t r = 0; r < 100; ++r) {
@@ -131,8 +128,7 @@ TEST(CrossJoinTest, ResidualAcrossChunkBoundaries) {
   auto right = MakeKeyed(300, 300, "rv");
   auto residual = sql::MakeBinary(BinaryOp::kLt, CombinedRef(1),
                                   CombinedRef(3));  // lv < rv
-  Rng rng(1);
-  auto joined = CrossJoin(*left, *right, residual.get(), &rng);
+  auto joined = CrossJoin(*left, *right, residual.get(), /*rand_seed=*/1);
   ASSERT_TRUE(joined.ok()) << joined.status().ToString();
   // Pairs with lv < rv: 300*299/2.
   EXPECT_EQ(joined.value()->num_rows(), 300u * 299u / 2u);
@@ -264,9 +260,8 @@ void CheckJoinMatchesReference(const Table& left, const Table& right,
                                         type == sql::JoinType::kLeft,
                                         residual_ref);
   for (int threads : {1, 2, 8}) {
-    Rng rng(1);
-    auto got =
-        HashJoin(left, right, lkeys, rkeys, type, residual, &rng, threads);
+    auto got = HashJoin(left, right, lkeys, rkeys, type, residual,
+                        /*rand_seed=*/1, threads);
     ASSERT_TRUE(got.ok()) << what << ": " << got.status().ToString();
     ExpectTablesBitIdentical(*ref, *got.value(),
                              what + " @" + std::to_string(threads));
@@ -314,9 +309,8 @@ TEST_F(JoinRewriteTest, NanAndSignedZeroKeys) {
                             "nan/zero inner");
   CheckJoinMatchesReference(*left, *right, {0}, {0}, sql::JoinType::kLeft,
                             "nan/zero left");
-  Rng rng(1);
   auto got = HashJoin(*left, *right, std::vector<int>{0}, std::vector<int>{0},
-                      sql::JoinType::kInner, nullptr, &rng, 8);
+                      sql::JoinType::kInner, nullptr, /*rand_seed=*/1, 8);
   ASSERT_TRUE(got.ok());
   // Pairs: NaN->-nan, 0.0->-0.0, -0.0->-0.0, 1.5->1.5.
   EXPECT_EQ(got.value()->num_rows(), 4u);

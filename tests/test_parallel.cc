@@ -24,6 +24,8 @@
 #include "common/thread_pool.h"
 #include "core/verdict_context.h"
 #include "engine/database.h"
+#include "engine/planner.h"
+#include "engine/vector_eval.h"
 
 namespace vdb::engine {
 namespace {
@@ -239,10 +241,10 @@ TEST_F(ParallelTest, JoinWhereMixingBothSides) {
       "where o.price > 100 and d.k % 3 = 1");
 }
 
-TEST_F(ParallelTest, JoinWhereWithRandStaysSerial) {
-  // rand() in the WHERE is excluded from pair-view pushdown: the predicate
-  // must keep drawing once per joined row in row order, so seeded runs are
-  // reproducible and thread-count independent.
+TEST_F(ParallelTest, JoinWhereWithRandPushedDown) {
+  // rand() in the WHERE rides the pair-view pushdown like any other
+  // predicate: draws address the global pair ordinal (= materialized row),
+  // so seeded runs are reproducible and thread-count independent.
   CheckQueryAcrossThreads(
       2003,
       "select o.id from orders o join dim d on o.k = d.k where rand() < 0.5");
@@ -260,9 +262,9 @@ TEST_F(ParallelTest, DistinctAndOrderBy) {
       10007, "select distinct city, qty from orders order by city, qty");
 }
 
-TEST_F(ParallelTest, RandPredicateStaysSerialAndSeeded) {
-  // rand() pins the scan to the serial path; the draw sequence (and thus
-  // the selected rows) must be identical for every thread setting.
+TEST_F(ParallelTest, RandPredicateRowAddressedAcrossThreads) {
+  // rand() runs on the morsel-parallel path; row-addressed draws make the
+  // selected rows identical for every thread setting.
   CheckQueryAcrossThreads(10007,
                           "select count(*) as c from orders where rand() < 0.5");
 }
@@ -378,6 +380,162 @@ TEST_F(ParallelTest, ConcurrentCallersShareThePool) {
   b.join();
   EXPECT_EQ(fail_a, 0);
   EXPECT_EQ(fail_b, 0);
+}
+
+// ---- row-addressed rand: plan-shape and substrate invariance ---------------
+
+/// The AQP hot-path shape: GROUP BY (g, __vdb_sid) over a derived table that
+/// assigns `1 + floor(rand() * b)` per row (core/rewriter.cc, Appendix G
+/// Query 9's inner query).
+constexpr const char* kSidAggregateSql =
+    "select city, sid, count(*) as c, sum(price) as sp from "
+    "(select *, 1 + floor(rand() * 64) as sid from orders) t "
+    "group by city, sid order by city, sid";
+
+class RowAddressedRandTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SetMorselRowsForTest(kTestMorselRows); }
+  void TearDown() override {
+    SetMorselRowsForTest(0);
+    SetJoinWherePushdownForTest(true);
+    SetSerialRandBaselineForTest(false);
+  }
+};
+
+TEST_F(RowAddressedRandTest, SidGroupByBitIdenticalAcrossThreads) {
+  CheckQueryAcrossThreads(10007, kSidAggregateSql);
+}
+
+TEST_F(RowAddressedRandTest, BernoulliWhereBitIdenticalAcrossThreads) {
+  CheckQueryAcrossThreads(
+      10007,
+      "select count(*) as c, sum(price) as sp, avg(qty) as aq "
+      "from orders where rand() < 0.3");
+}
+
+TEST_F(RowAddressedRandTest, SampledJoinAggregateAcrossThreads) {
+  CheckQueryAcrossThreads(
+      10007,
+      "select d.label, count(*) as c, sum(o.price) as sp "
+      "from orders o join dim d on o.k = d.k where rand() < 0.5 "
+      "group by d.label order by d.label");
+}
+
+TEST_F(RowAddressedRandTest, RandPoissonAcrossThreads) {
+  CheckQueryAcrossThreads(
+      10007,
+      "select qty, sum(price * rand_poisson()) as s from orders "
+      "where qty is not null group by qty order by qty");
+}
+
+TEST_F(RowAddressedRandTest, RandInGroupByRunsPartialAggregation) {
+  // rand() directly in the grouping expression: no serial pin remains, and
+  // morsel-partial aggregation must still merge to the serial reference.
+  CheckQueryAcrossThreads(
+      10007,
+      "select 1 + floor(rand() * 8) as bucket, count(*) as c from orders "
+      "group by bucket order by bucket");
+}
+
+/// Runs `sql` on a fresh seeded database and returns the result.
+ResultSet RunFresh(const std::string& sql, int threads) {
+  auto db = MakeDb(10007, threads);
+  auto rs = db->Execute(sql);
+  EXPECT_TRUE(rs.ok()) << sql << " -> " << rs.status().ToString();
+  return rs.ok() ? rs.value() : ResultSet{};
+}
+
+TEST_F(RowAddressedRandTest, PairViewPushdownToggleInvariant) {
+  // The same rand()-bearing join WHERE, evaluated on candidate pairs
+  // (pushdown) vs the materialized join (post-gather): the draws address
+  // the pair ordinal = materialized row, so results are bit-identical.
+  const std::string sql =
+      "select o.id, d.label from orders o join dim d on o.k = d.k "
+      "where rand() < 0.5 and o.price > 100";
+  SetJoinWherePushdownForTest(true);
+  ResultSet on = RunFresh(sql, 8);
+  SetJoinWherePushdownForTest(false);
+  ResultSet off = RunFresh(sql, 8);
+  ExpectSameResults(on, off, "pushdown on vs off");
+}
+
+TEST_F(RowAddressedRandTest, RandInProjectionOverJoinPushdownInvariant) {
+  // rand() in the SELECT list of a joined-and-filtered query: pushdown would
+  // compact the gathered join to the WHERE survivors, changing the physical
+  // rows the projection's draws address — so the planner must keep such
+  // statements on the post-gather plan, making the toggle a no-op and the
+  // results identical.
+  const std::string sql =
+      "select o.id, 1 + floor(rand() * 16) as sid from orders o "
+      "join dim d on o.k = d.k where o.id % 2 = 0";
+  SetJoinWherePushdownForTest(true);
+  ResultSet on = RunFresh(sql, 8);
+  SetJoinWherePushdownForTest(false);
+  ResultSet off = RunFresh(sql, 8);
+  ExpectSameResults(on, off, "projection rand, pushdown on vs off");
+}
+
+TEST_F(RowAddressedRandTest, SerialRandBaselineProducesIdenticalResults) {
+  // The pre-row-addressed executor (row-interpreter fallback + serial pin),
+  // re-enabled via the baseline hook, must produce the same values the
+  // vectorized parallel substrate does: draws are row-addressed in both.
+  SetSerialRandBaselineForTest(false);
+  ResultSet vectorized = RunFresh(kSidAggregateSql, 8);
+  SetSerialRandBaselineForTest(true);
+  ResultSet pinned = RunFresh(kSidAggregateSql, 1);
+  ExpectSameResults(vectorized, pinned, "vectorized vs pinned-serial baseline");
+}
+
+TEST_F(RowAddressedRandTest, ViewPipelineMatchesEagerReference) {
+  // View pipeline (WHERE stays a view) vs an eager reference that
+  // materializes the Bernoulli survivors first. Both databases execute the
+  // same statement sequence from the same seed, so the rand() draws — and
+  // therefore the surviving rows — must coincide.
+  const std::string pred = "rand() < 0.4";
+  auto eager_db = MakeDb(10007, 8);
+  ASSERT_TRUE(eager_db
+                  ->Execute("create table tf as select * from orders where " +
+                            pred)
+                  .ok());
+  auto ref = eager_db->Execute(
+      "select city, count(*) as c, sum(price) as sp from tf group by city");
+  ASSERT_TRUE(ref.ok());
+  auto view_db = MakeDb(10007, 8);
+  auto got = view_db->Execute(
+      "select city, count(*) as c, sum(price) as sp from orders where " +
+      pred + " group by city");
+  ASSERT_TRUE(got.ok());
+  ExpectSameResults(ref.value(), got.value(), "eager vs view pipeline");
+}
+
+TEST_F(RowAddressedRandTest, EndToEndAqpBitIdenticalAcrossThreads) {
+  // Full middleware path: sample preparation + the rewritten variational
+  // query (GROUP BY g, __vdb_sid) at 1/2/8 threads. Sample membership, sid
+  // assignment, and every aggregate must agree bit for bit.
+  std::vector<ResultSet> results;
+  for (int threads : {1, 2, 8}) {
+    auto db = std::make_unique<Database>(kSeed);
+    ASSERT_TRUE(db->RegisterTable("orders", BuildOrders(50000)).ok());
+    core::VerdictOptions opts;
+    opts.num_threads = threads;
+    opts.min_rows_for_sampling = 10000;
+    opts.io_budget = 0.2;
+    core::VerdictContext ctx(db.get(), driver::EngineKind::kGeneric, opts);
+    ASSERT_TRUE(
+        ctx.sample_builder().CreateUniformSample("orders", 0.1).ok());
+    core::VerdictContext::ExecInfo info;
+    auto rs = ctx.Execute(
+        "select city, count(*) as c, sum(price) as sp from orders "
+        "group by city order by city",
+        &info);
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+    EXPECT_TRUE(info.approximated) << info.skip_reason;
+    results.push_back(rs.value());
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    ExpectSameResults(results[0], results[i],
+                      "AQP e2e @" + std::to_string(i == 1 ? 2 : 8));
+  }
 }
 
 // ---- sample construction ---------------------------------------------------

@@ -181,9 +181,10 @@ class ExprGen {
   }
 
   Expr::Ptr GenFunction(int depth) {
-    // Deterministic scalar builtins only (rand() would diverge between the
-    // two evaluations by construction).
-    switch (rng_->NextBounded(7)) {
+    // rand-family calls are fair game: draws are row-addressed, so the
+    // batch kernels and the row interpreter produce identical values (each
+    // generated call gets its own site id).
+    switch (rng_->NextBounded(11)) {
       case 0: return Call("abs", Gen(depth - 1));
       case 1: return Call("floor", Gen(depth - 1));
       case 2: return Call("coalesce", Gen(depth - 1), Gen(depth - 1));
@@ -191,8 +192,17 @@ class ExprGen {
         return Call("if", Gen(depth - 1), Gen(depth - 1), Gen(depth - 1));
       case 4: return Call("length", Gen(depth - 1));
       case 5: return Call("verdict_hash", Gen(depth - 1));
+      case 6: return Sited(Call("rand"));
+      case 7: return Sited(Call("rand_poisson"));
+      case 8: return Call("ceil", Gen(depth - 1));
+      case 9: return Call("sqrt", Gen(depth - 1));
       default: return Call("greatest", Gen(depth - 1), Gen(depth - 1));
     }
+  }
+
+  Expr::Ptr Sited(Expr::Ptr e) {
+    e->rand_site = next_site_++;
+    return e;
   }
 
   template <typename... Args>
@@ -203,6 +213,7 @@ class ExprGen {
   }
 
   Rng* rng_;
+  int next_site_ = 1;
 };
 
 // ---------------------------------------------------------------------------
@@ -228,7 +239,7 @@ bool SameValue(const Value& a, const Value& b) {
 Result<Column> RowReference(const Expr& e, const Batch& b) {
   Column col;
   for (size_t k = 0; k < b.size(); ++k) {
-    RowCtx ctx{b.table, b.RowAt(k), b.rng};
+    RowCtx ctx{b.table, b.RowAt(k), b.rand_seed, b.row_id_offset};
     auto v = EvalExpr(e, ctx);
     if (!v.ok()) return v.status();
     col.Append(v.value());
@@ -256,7 +267,7 @@ void ExpectBatchMatchesRow(const Expr& e, const Batch& b) {
   ASSERT_TRUE(EvalPredicateBatch(e, b, &batch_sel).ok());
   SelVector row_sel;
   for (size_t k = 0; k < b.size(); ++k) {
-    RowCtx ctx{b.table, b.RowAt(k), b.rng};
+    RowCtx ctx{b.table, b.RowAt(k), b.rand_seed, b.row_id_offset};
     auto pass = EvalPredicate(e, ctx);
     ASSERT_TRUE(pass.ok());
     if (pass.value()) row_sel.push_back(b.RowAt(k));
@@ -272,10 +283,9 @@ TEST(VectorEvalFuzz, BatchMatchesRowOnFullTable) {
   Rng rng(20260729);
   auto t = MakeRandomTable(&rng, 257);
   ExprGen gen(&rng);
-  Rng eval_rng(7);
   for (int i = 0; i < 400; ++i) {
     auto e = gen.Gen(4);
-    Batch b{t.get(), nullptr, &eval_rng};
+    Batch b{t.get(), nullptr, /*rand_seed=*/7};
     ExpectBatchMatchesRow(*e, b);
     if (::testing::Test::HasFatalFailure()) return;
   }
@@ -285,14 +295,13 @@ TEST(VectorEvalFuzz, BatchMatchesRowUnderSelectionVector) {
   Rng rng(42424242);
   auto t = MakeRandomTable(&rng, 301);
   ExprGen gen(&rng);
-  Rng eval_rng(11);
   for (int i = 0; i < 200; ++i) {
     SelVector sel;
     for (uint32_t r = 0; r < t->num_rows(); ++r) {
       if (rng.NextBernoulli(0.4)) sel.push_back(r);
     }
     auto e = gen.Gen(3);
-    Batch b{t.get(), &sel, &eval_rng};
+    Batch b{t.get(), &sel, /*rand_seed=*/11};
     ExpectBatchMatchesRow(*e, b);
     if (::testing::Test::HasFatalFailure()) return;
   }
@@ -315,10 +324,9 @@ TEST(VectorEvalFuzz, RandomNullPatterns) {
                   Value::Null(), Value::Null(), Value::Null()});
   }
   ExprGen gen(&rng);
-  Rng eval_rng(3);
   for (int i = 0; i < 150; ++i) {
     auto e = gen.Gen(3);
-    Batch b{t.get(), nullptr, &eval_rng};
+    Batch b{t.get(), nullptr, /*rand_seed=*/3};
     ExpectBatchMatchesRow(*e, b);
     if (::testing::Test::HasFatalFailure()) return;
   }
@@ -345,12 +353,11 @@ class VectorEvalEdgeTest : public ::testing::Test {
 
   TablePtr table_;
   Expr::Ptr pred_;
-  Rng eval_rng_{1};
 };
 
 TEST_F(VectorEvalEdgeTest, EmptySelection) {
   SelVector sel;  // no rows survive upstream
-  Batch b{table_.get(), &sel, &eval_rng_};
+  Batch b{table_.get(), &sel, /*rand_seed=*/1};
   auto col = EvalExprBatch(*pred_, b);
   ASSERT_TRUE(col.ok());
   EXPECT_EQ(col.value().size(), 0u);
@@ -361,7 +368,7 @@ TEST_F(VectorEvalEdgeTest, EmptySelection) {
 
 TEST_F(VectorEvalEdgeTest, EmptyTable) {
   auto empty = table_->CloneSchema();
-  Batch b{empty.get(), nullptr, &eval_rng_};
+  Batch b{empty.get(), nullptr, /*rand_seed=*/1};
   auto col = EvalExprBatch(*pred_, b);
   ASSERT_TRUE(col.ok());
   EXPECT_EQ(col.value().size(), 0u);
@@ -370,7 +377,7 @@ TEST_F(VectorEvalEdgeTest, EmptyTable) {
 TEST_F(VectorEvalEdgeTest, AllPassSelection) {
   auto always = sql::MakeBinary(BinaryOp::kEq, sql::MakeIntLit(1),
                                 sql::MakeIntLit(1));
-  Batch b{table_.get(), nullptr, &eval_rng_};
+  Batch b{table_.get(), nullptr, /*rand_seed=*/1};
   SelVector out;
   ASSERT_TRUE(EvalPredicateBatch(*always, b, &out).ok());
   ASSERT_EQ(out.size(), table_->num_rows());
@@ -379,7 +386,7 @@ TEST_F(VectorEvalEdgeTest, AllPassSelection) {
 
 TEST_F(VectorEvalEdgeTest, SingleRowSelection) {
   SelVector sel{7};
-  Batch b{table_.get(), &sel, &eval_rng_};
+  Batch b{table_.get(), &sel, /*rand_seed=*/1};
   ExpectBatchMatchesRow(*pred_, b);
   auto col = EvalExprBatch(*BoundRef("d1", 2), b);
   ASSERT_TRUE(col.ok());
@@ -397,7 +404,6 @@ TEST(VectorEvalLogicTest, KleeneTruthTable) {
   Column c(TypeId::kInt64);
   c.AppendInt(0);
   t->AddColumn("x", std::move(c));
-  Rng rng(5);
 
   auto lit = [](int tri) -> Expr::Ptr {  // -1 null, 0 false, 1 true
     if (tri < 0) return sql::MakeLiteral(Value::Null());
@@ -409,14 +415,14 @@ TEST(VectorEvalLogicTest, KleeneTruthTable) {
       for (bool is_and : {true, false}) {
         auto e = sql::MakeBinary(is_and ? BinaryOp::kAnd : BinaryOp::kOr,
                                  lit(a), lit(bvals));
-        Batch batch{t.get(), nullptr, &rng};
+        Batch batch{t.get(), nullptr, /*rand_seed=*/5};
         ExpectBatchMatchesRow(*e, batch);
       }
     }
   }
   for (int a : tris) {
     auto e = sql::MakeUnary(UnaryOp::kNot, lit(a));
-    Batch batch{t.get(), nullptr, &rng};
+    Batch batch{t.get(), nullptr, /*rand_seed=*/5};
     ExpectBatchMatchesRow(*e, batch);
   }
 }
@@ -732,8 +738,9 @@ TEST_F(LateMaterializationTest, RandomizedPredicates) {
 }
 
 TEST_F(LateMaterializationTest, RandPredicateSeedReproducible) {
-  // rand() pins the scan serial; the draw sequence is identical whether the
-  // survivors are gathered eagerly or carried as a view.
+  // rand() runs morsel-parallel; its draws are row-addressed, so the
+  // selected rows are identical whether the survivors are gathered eagerly
+  // or carried as a view, at every thread count.
   CheckQuery("rand() < 0.5", "select g, count(*) as c, sum(x) as sx",
              "group by g");
 }

@@ -52,6 +52,8 @@ double RunAqpThreadSweep(engine::Database* db, const std::string& table,
   std::printf("%-38s %10.1f %11.2fM %9.2fx\n",
               "pinned-serial baseline (pre-change)", pinned,
               static_cast<double>(rows) / pinned / 1e3, 1.0);
+  bench::BenchJsonRecord("aqp sweep: group by (g, sid)", "pinned-serial",
+                         pinned, 1);
 
   double speedup_1t = 0.0;
   for (int threads : {1, 2, 4, 8}) {
@@ -63,6 +65,8 @@ double RunAqpThreadSweep(engine::Database* db, const std::string& table,
                               (threads == 1 ? " thread" : " threads");
     std::printf("%-38s %10.1f %11.2fM %9.2fx\n", label.c_str(), ms,
                 static_cast<double>(rows) / ms / 1e3, pinned / ms);
+    bench::BenchJsonRecord("aqp sweep: group by (g, sid)", "vectorized", ms,
+                           threads);
   }
   db->set_num_threads(1);
   return speedup_1t;
@@ -124,6 +128,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   }
+  bench::BenchJsonInit("fig7", argc, argv);
   if (smoke) {
     engine::Database db(808);
     const int64_t n = 60000;
@@ -147,6 +152,7 @@ int main(int argc, char** argv) {
                   ms, info.approximated ? "approx" : "EXACT!");
       if (!info.approximated) return 1;
     }
+    bench::BenchJsonWrite();
     return 0;
   }
 
@@ -185,6 +191,10 @@ int main(int argc, char** argv) {
     double cons = RunConsolidatedFlat(&db, "big_vdb_uniform", "value");
     std::printf("%-8s %10.1f %12.1f %14.1f %14.1f   (%s)\n", "flat", none,
                 vdb, trad, cons, info.approximated ? "approx" : "EXACT!");
+    bench::BenchJsonRecord("fig7 flat", "none", none, 1);
+    bench::BenchJsonRecord("fig7 flat", "variational", vdb, 1);
+    bench::BenchJsonRecord("fig7 flat", "traditional", trad, 1);
+    bench::BenchJsonRecord("fig7 flat", "consolidated", cons, 1);
   }
   // ---- join ---------------------------------------------------------------
   {
@@ -209,6 +219,10 @@ int main(int argc, char** argv) {
     double cons = RunConsolidatedFlat(&db, "__joined", "v");
     std::printf("%-8s %10.1f %12.1f %14.1f %14.1f   (%s)\n", "join", none,
                 vdb, trad, cons, info.approximated ? "approx" : "EXACT!");
+    bench::BenchJsonRecord("fig7 join", "none", none, 1);
+    bench::BenchJsonRecord("fig7 join", "variational", vdb, 1);
+    bench::BenchJsonRecord("fig7 join", "traditional", trad, 1);
+    bench::BenchJsonRecord("fig7 join", "consolidated", cons, 1);
   }
   // ---- nested -------------------------------------------------------------
   {
@@ -247,6 +261,10 @@ int main(int argc, char** argv) {
     });
     std::printf("%-8s %10.1f %12.1f %14.1f %14.1f   (%s)\n", "nested", none,
                 vdb, trad, cons, info.approximated ? "approx" : "EXACT!");
+    bench::BenchJsonRecord("fig7 nested", "none", none, 1);
+    bench::BenchJsonRecord("fig7 nested", "variational", vdb, 1);
+    bench::BenchJsonRecord("fig7 nested", "traditional", trad, 1);
+    bench::BenchJsonRecord("fig7 nested", "consolidated", cons, 1);
   }
   std::printf("expected shape: variational within a small factor of 'none';"
               " traditional/consolidated ~b times slower\n");
@@ -263,5 +281,6 @@ int main(int argc, char** argv) {
                 " baseline (got %.2fx); additional scaling with threads\n",
                 speedup);
   }
+  bench::BenchJsonWrite();
   return 0;
 }

@@ -14,13 +14,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <map>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/random.h"
 #include "engine/aggregates.h"
+#include "engine/join_table.h"
 #include "engine/operators.h"
 #include "engine/table.h"
 
@@ -169,7 +172,112 @@ BENCHMARK(BM_JoinRadix)
                    {1, 2, 4, 8}})
     ->Unit(benchmark::kMillisecond);
 
+/// Bloom pre-probe section: a build side big enough to enable the filter
+/// automatically, probed at two hit rates. Low-hit probes are the filter's
+/// target — most probe rows are rejected by a single gathered Bloom word
+/// instead of a slot-array walk — while the 100%-hit probe bounds the
+/// overhead when the filter never rejects anything. Every (on, off) pair is
+/// differentially checked: the filter has no false negatives, so the pair
+/// lists must be identical element for element.
+bool RunBloomSection(bool smoke) {
+  using vdb::bench::BenchJsonRecord;
+  using vdb::bench::TimeMedianMs;
+
+  const size_t build_rows = smoke ? (1 << 16) : (1 << 20);
+  const size_t probe_rows = smoke ? (1 << 18) : (1 << 21);
+  const int reps = smoke ? 3 : 5;
+  // Low hit rate: probe keys span 64x the build domain (~1.6% hits).
+  // Full hit rate: probe keys drawn from the build domain itself.
+  struct HitCase {
+    const char* label;
+    size_t probe_domain;
+  };
+  const HitCase hit_cases[] = {
+      {"low-hit (~1.6%)", build_rows * 64},
+      {"all-hit (100%)", build_rows},
+  };
+
+  TablePtr build = MakeSide(build_rows, build_rows, /*sequential=*/true, 7,
+                            "rv");
+  std::printf("\n== join Bloom pre-probe: build=%zu probe=%zu ==\n",
+              build_rows, probe_rows);
+  std::printf("%-18s %-6s %12s %12s %9s  %s\n", "probe mix", "thr",
+              "off ms", "on ms", "speedup", "pairs (off == on)");
+
+  bool all_ok = true;
+  for (const HitCase& hc : hit_cases) {
+    TablePtr probe = MakeSide(probe_rows, hc.probe_domain,
+                              /*sequential=*/false, 11, "lv");
+    const std::vector<const Column*> lk{&probe->column(0)};
+    const std::vector<const Column*> rk{&build->column(0)};
+    for (int threads : smoke ? std::vector<int>{1} : std::vector<int>{1, 2}) {
+      auto run_pairs = [&](int bloom_mode, size_t* pairs) {
+        SetJoinBloomForTest(bloom_mode);
+        auto out = HashJoinPairs(probe, build, lk, rk, sql::JoinType::kInner,
+                                 nullptr, /*rand_seed=*/1, threads);
+        SetJoinBloomForTest(-1);
+        if (!out.ok()) {
+          std::printf("ERROR: %s\n", out.status().ToString().c_str());
+          return false;
+        }
+        *pairs = out.value().num_pairs();
+        return true;
+      };
+      size_t pairs_off = 0, pairs_on = 0;
+      bool ok = true;
+      const double off_ms = TimeMedianMs(
+          reps, [&] { ok = ok && run_pairs(0, &pairs_off); });
+      const double on_ms = TimeMedianMs(
+          reps, [&] { ok = ok && run_pairs(1, &pairs_on); });
+      if (!ok) {
+        all_ok = false;
+        continue;
+      }
+      // Differential: identical pair lists element for element (no false
+      // negatives), checked directly once per configuration.
+      SetJoinBloomForTest(0);
+      auto ref = HashJoinPairs(probe, build, lk, rk, sql::JoinType::kInner,
+                               nullptr, 1, threads);
+      SetJoinBloomForTest(1);
+      auto fil = HashJoinPairs(probe, build, lk, rk, sql::JoinType::kInner,
+                               nullptr, 1, threads);
+      SetJoinBloomForTest(-1);
+      const bool same = ref.ok() && fil.ok() &&
+                        ref.value().lrows() == fil.value().lrows() &&
+                        ref.value().rrows() == fil.value().rrows();
+      if (!same || pairs_off != pairs_on) all_ok = false;
+      std::printf("%-18s %-6d %12.2f %12.2f %8.2fx  %zu %s\n", hc.label,
+                  threads, off_ms, on_ms, off_ms / on_ms, pairs_off,
+                  same && pairs_off == pairs_on ? "ok" : "MISMATCH");
+      const std::string op = std::string("join probe ") + hc.label;
+      BenchJsonRecord(op, "bloom=off", off_ms, threads);
+      BenchJsonRecord(op, "bloom=on", on_ms, threads);
+    }
+  }
+  return all_ok;
+}
+
 }  // namespace
 }  // namespace vdb::engine
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  vdb::bench::BenchJsonInit("join", argc, argv);
+  const bool smoke = vdb::bench::HasFlag(argc, argv, "--smoke");
+
+  const bool bloom_ok = vdb::engine::RunBloomSection(smoke);
+
+  if (!smoke) {
+    // Drop our flags before Google Benchmark sees (and rejects) them.
+    std::vector<char*> kept;
+    for (int i = 0; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a != "--json" && a != "--smoke") kept.push_back(argv[i]);
+    }
+    int kept_argc = static_cast<int>(kept.size());
+    benchmark::Initialize(&kept_argc, kept.data());
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  vdb::bench::BenchJsonWrite();
+  return bloom_ok ? 0 : 1;
+}

@@ -6,11 +6,14 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
 #include "bench_util.h"
 #include "common/random.h"
 #include "engine/database.h"
 #include "engine/expr_eval.h"
+#include "engine/kernels/bitmap.h"
+#include "engine/kernels/kernels.h"
 #include "engine/table.h"
 #include "engine/vector_eval.h"
 #include "sql/ast.h"
@@ -88,6 +91,8 @@ void RunCase(const Table& t, const Expr& pred, const char* label) {
     }));
   }
 
+  BenchJsonRecord(std::string("predicate: ") + label, "row", row_ms, 1);
+  BenchJsonRecord(std::string("predicate: ") + label, "batch", batch_ms, 1);
   const double row_rps = static_cast<double>(kRows) / (row_ms / 1000.0);
   const double batch_rps = static_cast<double>(kRows) / (batch_ms / 1000.0);
   std::printf("%-34s %10.1f %12.2fM %10.2f %12.2fM %8.1fx  %s\n", label,
@@ -178,6 +183,100 @@ void RunGatherCost(Rng* rng) {
               eager_rows == late_rows ? "ok" : "MISMATCH");
 }
 
+/// Dispatch-kernel sweep: the same 1M-row kernel timed at every available
+/// SIMD level (SetSimdLevelForTest swaps the dispatch table in place), with
+/// a checksum cross-check — the AVX2 lanes must be bit-identical to the
+/// scalar reference, so any speedup is pure execution, not semantics.
+void RunSimdKernels(Rng* rng) {
+  namespace k = engine::kernels;
+  const size_t n = kRows;
+  std::vector<double> da(n), db(n), dout(n);
+  std::vector<int64_t> ia(n), ib(n);
+  std::vector<int64_t> iout(n);
+  std::vector<uint64_t> h(n);
+  for (size_t r = 0; r < n; ++r) {
+    da[r] = rng->NextDouble() * 1000.0;
+    db[r] = rng->NextDouble() * 1000.0;
+    ia[r] = rng->NextInRange(0, 1'000'000);
+    ib[r] = rng->NextInRange(0, 1'000'000);
+  }
+  k::Bitmap bits;
+  bits.ResetForOverwrite(n);
+
+  struct KernelCase {
+    const char* label;
+    std::function<uint64_t()> run;  // returns a checksum
+  };
+  auto bits_sum = [&]() {
+    uint64_t s = 0;
+    for (size_t w = 0; w < bits.num_words(); ++w) s += bits.word(w);
+    return s;
+  };
+  std::vector<KernelCase> cases;
+  cases.push_back({"cmp_f64_vc: a < 500.0", [&] {
+                     k::Ops().cmp_f64_vc(k::CmpOp::kLt, da.data(), 500.0, n,
+                                         bits.words());
+                     return bits_sum();
+                   }});
+  cases.push_back({"cmp_i64_vv: a < b", [&] {
+                     k::Ops().cmp_i64_vv(k::CmpOp::kLt, ia.data(), ib.data(),
+                                         n, bits.words());
+                     return bits_sum();
+                   }});
+  cases.push_back({"arith_f64_vv: a * b", [&] {
+                     k::Ops().arith_f64_vv(k::ArithOp::kMul, da.data(),
+                                           db.data(), n, dout.data());
+                     uint64_t s;
+                     std::memcpy(&s, &dout[n - 1], sizeof(s));
+                     return s;
+                   }});
+  cases.push_back({"arith_i64_vc: a + 7", [&] {
+                     k::Ops().arith_i64_vc(k::ArithOp::kAdd, ia.data(), 7, n,
+                                           iout.data());
+                     return static_cast<uint64_t>(iout[n - 1]);
+                   }});
+  cases.push_back({"rand_f64_seq (CounterRandom)", [&] {
+                     k::Ops().rand_f64_seq(/*seed=*/42, /*row0=*/0,
+                                           /*site=*/1, n, dout.data());
+                     uint64_t s;
+                     std::memcpy(&s, &dout[n - 1], sizeof(s));
+                     return s;
+                   }});
+  cases.push_back({"hash_mix_i64 (group/join keys)", [&] {
+                     std::fill(h.begin(), h.end(), 0x2545F4914F6CDD1Dull);
+                     k::Ops().hash_mix_i64(h.data(), ia.data(), nullptr,
+                                           /*null_hash=*/0, n);
+                     return h[n - 1];
+                   }});
+
+  PrintHeader(
+      "micro: dispatch kernels, scalar vs AVX2 (1M rows, identical results "
+      "required)");
+  std::printf("%-34s %12s %12s %9s  %s\n", "kernel", "scalar ms", "simd ms",
+              "speedup", "");
+  const bool have_avx2 =
+      engine::kernels::DetectedSimdLevel() != k::SimdLevel::kScalar;
+  for (auto& c : cases) {
+    uint64_t scalar_sum = 0, simd_sum = 0;
+    k::SetSimdLevelForTest(k::SimdLevel::kScalar);
+    const double scalar_ms = TimeMedianMs(kReps, [&] { scalar_sum = c.run(); });
+    BenchJsonRecord(c.label, "scalar", scalar_ms, 1);
+    if (!have_avx2) {
+      std::printf("%-34s %12.2f %12s %9s  (no AVX2 on this host)\n", c.label,
+                  scalar_ms, "-", "-");
+      continue;
+    }
+    k::SetSimdLevelForTest(k::SimdLevel::kAvx2);
+    const double simd_ms = TimeMedianMs(kReps, [&] { simd_sum = c.run(); });
+    k::SetSimdLevelForTest(k::DetectedSimdLevel());
+    BenchJsonRecord(c.label, "avx2", simd_ms, 1);
+    std::printf("%-34s %12.2f %12.2f %8.1fx  %s\n", c.label, scalar_ms,
+                simd_ms, scalar_ms / simd_ms,
+                scalar_sum == simd_sum ? "ok" : "MISMATCH");
+  }
+  k::SetSimdLevelForTest(k::DetectedSimdLevel());
+}
+
 /// Thread scale-up on the engine's full execution path: parse, morsel-
 /// parallel WHERE, column-parallel materialization, parallel partial
 /// aggregation with morsel-order merge.
@@ -235,11 +334,12 @@ void RunThreadSweep(TablePtr t) {
 }  // namespace
 }  // namespace vdb::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vdb;
   using namespace vdb::bench;
   using sql::BinaryOp;
 
+  BenchJsonInit("micro_filter", argc, argv);
   Rng rng(20260729);
   auto t = BuildTable(&rng);
 
@@ -278,7 +378,9 @@ int main() {
     RunCase(*t, *in, "qty in (1, 17, 42)");
   }
 
+  RunSimdKernels(&rng);
   RunGatherCost(&rng);
   RunThreadSweep(t);
+  BenchJsonWrite();
   return 0;
 }

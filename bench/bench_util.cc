@@ -17,6 +17,86 @@ double TimeMs(const std::function<void()>& fn) {
   return std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
 
+double TimeMedianMs(int reps, const std::function<void()>& fn) {
+  std::vector<double> ms(static_cast<size_t>(std::max(1, reps)));
+  for (double& m : ms) m = TimeMs(fn);
+  std::sort(ms.begin(), ms.end());
+  const size_t mid = ms.size() / 2;
+  return ms.size() % 2 == 1 ? ms[mid] : 0.5 * (ms[mid - 1] + ms[mid]);
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == flag) return true;
+  }
+  return false;
+}
+
+namespace {
+
+struct JsonRow {
+  std::string op, config;
+  double median_ms;
+  int threads;
+};
+
+struct JsonState {
+  bool enabled = false;
+  std::string name;
+  std::vector<JsonRow> rows;
+};
+
+JsonState& Json() {
+  static JsonState state;
+  return state;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+void BenchJsonInit(const char* bench_name, int argc, char** argv) {
+  Json().name = bench_name;
+  Json().enabled = HasFlag(argc, argv, "--json");
+}
+
+void BenchJsonRecord(const std::string& op, const std::string& config,
+                     double median_ms, int threads) {
+  if (!Json().enabled) return;
+  Json().rows.push_back(JsonRow{op, config, median_ms, threads});
+}
+
+void BenchJsonWrite() {
+  JsonState& j = Json();
+  if (!j.enabled) return;
+  const std::string path = "BENCH_" + j.name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\"bench\": \"%s\", \"results\": [\n",
+               JsonEscape(j.name).c_str());
+  for (size_t i = 0; i < j.rows.size(); ++i) {
+    const JsonRow& r = j.rows[i];
+    std::fprintf(f,
+                 "  {\"op\": \"%s\", \"config\": \"%s\", \"median_ms\": %.4f, "
+                 "\"threads\": %d}%s\n",
+                 JsonEscape(r.op).c_str(), JsonEscape(r.config).c_str(),
+                 r.median_ms, r.threads, i + 1 < j.rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu results)\n", path.c_str(), j.rows.size());
+}
+
 AqpFixture::AqpFixture(driver::EngineKind kind, double tpch_scale,
                        double insta_scale, uint64_t seed)
     : db(seed) {

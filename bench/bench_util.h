@@ -24,6 +24,28 @@ namespace vdb::bench {
 /// Wall-clock milliseconds of one call.
 double TimeMs(const std::function<void()>& fn);
 
+/// Median wall-clock milliseconds over `reps` calls (reps >= 1). The
+/// machine-readable results report medians: robust to one-off scheduling
+/// noise without the min's optimism.
+double TimeMedianMs(int reps, const std::function<void()>& fn);
+
+/// True when `flag` (e.g. "--json", "--smoke") appears in argv.
+bool HasFlag(int argc, char** argv, const char* flag);
+
+/// Machine-readable bench output. A bench binary calls BenchJsonInit first
+/// thing in main; when --json is among the args, every BenchJsonRecord
+/// appends one result row and BenchJsonWrite (end of main) writes them all
+/// to BENCH_<name>.json in the working directory:
+///   {"bench": "<name>", "results": [
+///     {"op": ..., "config": ..., "median_ms": ..., "threads": ...}, ...]}
+/// Without --json the calls are no-ops, so the human-readable tables stay
+/// the default. `op` names the measured operation, `config` the variant
+/// (e.g. "scalar" vs "avx2", "bloom=on").
+void BenchJsonInit(const char* bench_name, int argc, char** argv);
+void BenchJsonRecord(const std::string& op, const std::string& config,
+                     double median_ms, int threads);
+void BenchJsonWrite();
+
 /// Builds TPC-H + Instacart data and a VerdictContext with the standard
 /// sample set used by the §6.2 / §6.3 experiments:
 ///   lineitem:       1% uniform, 2% universe on l_orderkey

@@ -5,15 +5,6 @@
 
 namespace vdb {
 
-uint64_t HashMix64(uint64_t x) {
-  x ^= x >> 33;
-  x *= 0xFF51AFD7ED558CCDull;
-  x ^= x >> 33;
-  x *= 0xC4CEB9FE1A85EC53ull;
-  x ^= x >> 33;
-  return x;
-}
-
 uint64_t HashBytes(const void* data, size_t len) {
   const auto* p = static_cast<const unsigned char*>(data);
   uint64_t h = 0xCBF29CE484222325ull;

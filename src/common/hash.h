@@ -16,7 +16,17 @@
 namespace vdb {
 
 /// Fibonacci/murmur-style 64-bit mixer. Deterministic across platforms.
-uint64_t HashMix64(uint64_t x);
+/// Inline (header) definition: the SIMD kernel layer (engine/kernels)
+/// vectorizes this exact constant/shift chain, and its scalar reference path
+/// must inline the same formula the rest of the engine uses.
+inline uint64_t HashMix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ull;
+  x ^= x >> 33;
+  return x;
+}
 
 /// FNV-1a over bytes, then mixed.
 uint64_t HashBytes(const void* data, size_t len);

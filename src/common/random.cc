@@ -5,31 +5,13 @@
 namespace vdb {
 
 namespace {
-inline uint64_t Mix64(uint64_t z) {
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-  return z ^ (z >> 31);
-}
 inline uint64_t SplitMix64(uint64_t& x) {
-  return Mix64(x += 0x9E3779B97F4A7C15ull);
+  return SplitMix64Finalize(x += 0x9E3779B97F4A7C15ull);
 }
 inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 bool g_biased_bounded_for_test = false;
 }  // namespace
-
-uint64_t CounterRandom(uint64_t seed, uint64_t row, uint64_t site) {
-  // Three chained finalizer rounds: feeding each word through a full Mix64
-  // (rather than one mix of a linear combination) breaks the lattice
-  // structure that a*row + b*site inputs would otherwise share.
-  uint64_t h = Mix64(seed ^ (row + 0x9E3779B97F4A7C15ull));
-  h = Mix64(h ^ (site + 0xD1B54A32D192ED03ull));
-  return Mix64(h);
-}
-
-double CounterRandomDouble(uint64_t seed, uint64_t row, uint64_t site) {
-  return static_cast<double>(CounterRandom(seed, row, site) >> 11) * 0x1.0p-53;
-}
 
 int PoissonOneFromUniform(double u) {
   int k = 0;

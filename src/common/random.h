@@ -40,13 +40,33 @@ struct RandAddr {
   uint64_t site = 0;
 };
 
+/// The SplitMix64 finalizer: the single mixing round CounterRandom chains.
+/// Inline here because the SIMD kernel layer (engine/kernels) carries a
+/// 4-lane vectorization of this exact constant/shift chain, and the scalar
+/// reference path must inline the identical formula.
+inline uint64_t SplitMix64Finalize(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 /// Stateless SplitMix64-style finalizer chain over (seed, row, site).
 /// Uniform 64-bit output; equal triples give equal values, nearby triples
 /// (row+1, site+1) give statistically independent ones.
-uint64_t CounterRandom(uint64_t seed, uint64_t row, uint64_t site);
+///
+/// Three chained finalizer rounds: feeding each word through a full
+/// SplitMix64Finalize (rather than one mix of a linear combination) breaks
+/// the lattice structure that a*row + b*site inputs would otherwise share.
+inline uint64_t CounterRandom(uint64_t seed, uint64_t row, uint64_t site) {
+  uint64_t h = SplitMix64Finalize(seed ^ (row + 0x9E3779B97F4A7C15ull));
+  h = SplitMix64Finalize(h ^ (site + 0xD1B54A32D192ED03ull));
+  return SplitMix64Finalize(h);
+}
 
 /// Uniform double in [0, 1) for the addressed draw (53 high bits).
-double CounterRandomDouble(uint64_t seed, uint64_t row, uint64_t site);
+inline double CounterRandomDouble(uint64_t seed, uint64_t row, uint64_t site) {
+  return static_cast<double>(CounterRandom(seed, row, site) >> 11) * 0x1.0p-53;
+}
 
 inline double RandAt(const RandAddr& a) {
   return CounterRandomDouble(a.seed, a.row, a.site);

@@ -98,7 +98,11 @@ Result<Value> ApplyBinaryOp(BinaryOp op, const Value& l, const Value& r) {
 
 Value NegateValue(const Value& v) {
   if (v.is_null()) return Value::Null();
-  if (v.type() == TypeId::kInt64) return Value::Int(-v.AsInt());
+  if (v.type() == TypeId::kInt64) {
+    // Unsigned negation: defined two's-complement wrap (-INT64_MIN ==
+    // INT64_MIN), matching the engine's uint64-wrap arithmetic kernels.
+    return Value::Int(static_cast<int64_t>(0ull - static_cast<uint64_t>(v.AsInt())));
+  }
   return Value::Double(-v.AsDouble());
 }
 

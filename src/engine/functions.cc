@@ -110,7 +110,11 @@ Result<Value> CallScalarFunction(const std::string& name,
   if (name == "abs") {
     VDB_RETURN_IF_ERROR(Arity(name, args, 1, 1));
     if (args[0].type() == TypeId::kInt64) {
-      return Value::Int(std::abs(args[0].AsInt()));
+      // Unsigned negation: defined wrap on INT64_MIN (abs(INT64_MIN) ==
+      // INT64_MIN), matching NegateValue and the arithmetic kernels.
+      const int64_t x = args[0].AsInt();
+      return Value::Int(
+          x < 0 ? static_cast<int64_t>(0ull - static_cast<uint64_t>(x)) : x);
     }
     return Value::Double(std::abs(args[0].AsDouble()));
   }

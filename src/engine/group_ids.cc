@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/hash.h"
+#include "engine/kernels/kernels.h"
 
 namespace vdb::engine {
 
@@ -85,13 +86,12 @@ void HashColumnRange(const Column& col, size_t begin, size_t end,
       return;
     case TypeId::kBool:
     case TypeId::kInt64: {
+      // The dispatch kernel vectorizes exactly this lane: per-row HashMix64
+      // of the raw value (kNullHash at null rows), combined via MixInto.
       const int64_t* data = col.IntData();
-      for (size_t r = begin; r < end; ++r) {
-        const uint64_t v = (nulls != nullptr && nulls[r] != 0)
-                               ? kNullHash
-                               : HashMix64(static_cast<uint64_t>(data[r]));
-        h[r] = MixInto(h[r], v);
-      }
+      kernels::Ops().hash_mix_i64(h + begin, data + begin,
+                                  nulls != nullptr ? nulls + begin : nullptr,
+                                  kNullHash, end - begin);
       return;
     }
     case TypeId::kDouble: {

@@ -18,7 +18,18 @@ size_t SlotCapacity(size_t count) {
   return static_cast<size_t>(NextPow2(std::max<uint64_t>(8, count + count / 2)));
 }
 
+/// -1 = automatic (size threshold below), 0 = forced off, 1 = forced on.
+int g_join_bloom_mode = -1;
+
+/// Below this many keyed build rows the Bloom pre-probe is pure overhead:
+/// the whole slot array already fits in L1/L2 and probes are cheap.
+constexpr size_t kBloomAutoThreshold = 16384;
+
 }  // namespace
+
+void SetJoinBloomForTest(int mode) { g_join_bloom_mode = mode; }
+
+bool JoinBloomForced() { return g_join_bloom_mode == 1; }
 
 void JoinBuildTable::PlanPartitions(const uint64_t* hashes,
                                     const uint8_t* any_null, size_t num_rows,
@@ -38,6 +49,27 @@ void JoinBuildTable::PlanPartitions(const uint64_t* hashes,
   const size_t P = size_t{1} << bits;
   parts_.assign(P, Partition{});
 
+  // Blocked Bloom sizing: ~8 bits per keyed row (two test bits per key ->
+  // ~6% false-positive rate), rounded up to a power of two, and never fewer
+  // words than partitions so each radix partition owns a disjoint word span
+  // (the build fills the filter lock-free inside build_partition). The word
+  // count depends only on the keyed-row COUNT, and the bit content only on
+  // the hashes, so serial and parallel builds produce identical filters.
+  auto plan_bloom = [&](size_t keyed) {
+    bloom_.clear();
+    bloom_shift_ = 0;
+    const bool enabled =
+        g_join_bloom_mode == 1 ||
+        (g_join_bloom_mode < 0 && keyed >= kBloomAutoThreshold);
+    if (!enabled || keyed == 0) return;
+    const uint64_t words =
+        NextPow2(std::max<uint64_t>(P, std::max<uint64_t>(2, keyed / 8)));
+    int lg = 0;
+    while ((1ull << lg) < words) ++lg;
+    bloom_shift_ = 64 - lg;
+    bloom_.assign(words, 0);
+  };
+
   if (bits == 0) {
     // Serial reference: one partition listing the non-NULL rows ascending.
     part_rows->clear();
@@ -47,6 +79,7 @@ void JoinBuildTable::PlanPartitions(const uint64_t* hashes,
     }
     parts_[0].row_begin = 0;
     parts_[0].row_end = static_cast<uint32_t>(part_rows->size());
+    plan_bloom(part_rows->size());
     if (!part_rows->empty()) {
       parts_[0].slot_hash.assign(SlotCapacity(part_rows->size()), 0);
       parts_[0].slot_head.assign(parts_[0].slot_hash.size(), kInvalidRow);
@@ -83,6 +116,7 @@ void JoinBuildTable::PlanPartitions(const uint64_t* hashes,
     parts_[p].row_end = total;
   }
   part_rows->resize(total);
+  plan_bloom(total);
 
   // Pass 2: scatter row indices; every (morsel, partition) cell writes its
   // own precomputed span, so workers never contend.

@@ -28,8 +28,19 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "engine/kernels/kernels_scalar.h"
 
 namespace vdb::engine {
+
+/// Test hook: forces the join Bloom pre-probe filter on (1), off (0), or
+/// restores the automatic size-based policy (-1, the default). Plain global
+/// set before parallel regions, like SetJoinKeyHashMaskForTest.
+void SetJoinBloomForTest(int mode);
+
+/// True when SetJoinBloomForTest(1) forced the filter on — the probe side's
+/// adaptive pass-rate bail-out is disabled so tests and benches measure the
+/// filtered path unconditionally.
+bool JoinBloomForced();
 
 class JoinBuildTable {
  public:
@@ -49,6 +60,18 @@ class JoinBuildTable {
     PlanPartitions(hashes, any_null, num_rows, num_threads, &part_rows);
     auto build_partition = [&](size_t p) {
       Partition& part = parts_[p];
+      // Blocked Bloom fill rides the per-partition build loop lock-free:
+      // key h owns word h >> bloom_shift_, and since the filter has at least
+      // as many words as there are radix partitions, a word's top bits
+      // contain the partition id — partitions own disjoint word spans. The
+      // filter content depends only on the key hashes (not the partition
+      // split), so serial and parallel builds produce identical filters.
+      if (!bloom_.empty()) {
+        for (uint32_t idx = part.row_begin; idx < part.row_end; ++idx) {
+          const uint64_t h = hashes[part_rows[idx]];
+          bloom_[h >> bloom_shift_] |= kernels::scalar::BloomBitMask(h);
+        }
+      }
       if (part.slot_hash.empty()) return;
       const uint64_t mask = part.slot_hash.size() - 1;
       std::vector<uint32_t> slot_tail(part.slot_hash.size(), kInvalidRow);
@@ -104,6 +127,21 @@ class JoinBuildTable {
   /// 1 for the serial reference build, 2^k for a radix build.
   size_t num_partitions() const { return parts_.size(); }
 
+  /// Blocked Bloom pre-probe filter over the keyed build rows. Probes with
+  /// hashes that cannot be in the table are rejected without touching the
+  /// slot arrays — a win when the probe side mostly misses (selective or
+  /// disjoint key domains). No false negatives: filter-on and filter-off
+  /// probes produce identical pair lists. Present only when the build
+  /// enabled it (automatic above a size threshold; SetJoinBloomForTest).
+  bool has_bloom() const { return !bloom_.empty(); }
+  const uint64_t* bloom_words() const { return bloom_.data(); }
+  int bloom_shift() const { return bloom_shift_; }
+  /// Scalar membership test (the SIMD probe path uses the batch kernel).
+  bool BloomMaybeContains(uint64_t hash) const {
+    return kernels::scalar::BloomMaybeContains(bloom_.data(), bloom_shift_,
+                                               hash);
+  }
+
  private:
   struct Partition {
     std::vector<uint64_t> slot_hash;  // valid where slot_head != kInvalidRow
@@ -121,6 +159,8 @@ class JoinBuildTable {
   int radix_bits_ = 0;  // partition index = hash >> (64 - radix_bits_)
   std::vector<Partition> parts_;
   std::vector<uint32_t> next_;
+  std::vector<uint64_t> bloom_;  // empty when the pre-probe is disabled
+  int bloom_shift_ = 0;          // word index = hash >> bloom_shift_
 };
 
 }  // namespace vdb::engine

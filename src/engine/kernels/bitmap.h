@@ -1,0 +1,85 @@
+// Word-addressed row bitmap: 1 bit per row, little-endian within each 64-bit
+// word (row k lives at word k/64, bit k%64).
+//
+// This is the mask currency of the kernel layer (engine/kernels/kernels.h):
+// comparison kernels emit one bit per row, NULL byte-masks convert to bitmaps
+// once per batch, and predicate combination (AND/OR/NOT, Kleene tri-state)
+// becomes bitwise ops over 64 rows at a time with popcount-based survivor
+// counting — replacing the byte-per-row std::vector<uint8_t>/int8_t masks the
+// evaluator used before.
+//
+// Invariant: bits at positions >= bits() in the last word are ZERO. Every
+// producer must uphold it (kernels zero their tails; ClearTail() re-masks
+// after whole-word ops like negation), so CountSet() and word-wise combines
+// never see ghost rows.
+
+#ifndef VDB_ENGINE_KERNELS_BITMAP_H_
+#define VDB_ENGINE_KERNELS_BITMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vdb::engine::kernels {
+
+class Bitmap {
+ public:
+  static constexpr size_t kWordBits = 64;
+
+  static size_t WordsFor(size_t bits) { return (bits + 63) / 64; }
+
+  size_t bits() const { return bits_; }
+  size_t num_words() const { return words_.size(); }
+  uint64_t* words() { return words_.data(); }
+  const uint64_t* words() const { return words_.data(); }
+  uint64_t word(size_t w) const { return words_[w]; }
+
+  /// Sizes to `bits` rows, all zero.
+  void ResetZero(size_t bits) {
+    bits_ = bits;
+    words_.assign(WordsFor(bits), 0);
+  }
+
+  /// Sizes to `bits` rows WITHOUT clearing existing words — for buffers a
+  /// kernel is about to overwrite wholesale (the reused-scratch path; avoids
+  /// the per-chunk re-zeroing the byte masks paid).
+  void ResetForOverwrite(size_t bits) {
+    bits_ = bits;
+    words_.resize(WordsFor(bits));
+  }
+
+  /// Sizes to `bits` rows, all one (tail kept zero).
+  void ResetOnes(size_t bits) {
+    bits_ = bits;
+    words_.assign(WordsFor(bits), ~uint64_t{0});
+    ClearTail();
+  }
+
+  bool Test(size_t i) const { return (words_[i >> 6] >> (i & 63)) & 1u; }
+  void Set(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+  void Clear(size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+
+  /// Re-zeros the bits past bits() in the last word (call after whole-word
+  /// operations that may have set them, e.g. negation).
+  void ClearTail() {
+    if ((bits_ & 63) != 0 && !words_.empty()) {
+      words_.back() &= ~uint64_t{0} >> (64 - (bits_ & 63));
+    }
+  }
+
+  /// Number of set bits (popcount over the words; tail bits are zero by
+  /// invariant, so this is exact).
+  size_t CountSet() const {
+    size_t n = 0;
+    for (uint64_t w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+ private:
+  size_t bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace vdb::engine::kernels
+
+#endif  // VDB_ENGINE_KERNELS_BITMAP_H_

@@ -3,6 +3,7 @@
 #include "common/thread_pool.h"
 #include "engine/group_ids.h"
 #include "engine/join_table.h"
+#include "engine/kernels/kernels.h"
 #include "engine/vector_eval.h"
 
 namespace vdb::engine {
@@ -79,10 +80,42 @@ Result<JoinPairView> HashJoinPairs(TablePtr left, TablePtr right,
   std::vector<uint8_t> lnull;
   HashJoinKeysParallel(left_keys, ln, num_threads, &lhash, &lnull);
 
+  // When the build enabled its Bloom pre-probe, run the probe side through
+  // the batch prefilter kernel up front: bloom_pass bit lr clear means
+  // lhash[lr] is provably absent from the build table, so the probe skips
+  // Find() entirely. No false negatives, so pair lists are identical with
+  // the filter on or off; the win comes on low-hit-rate probes, where most
+  // rows never touch the slot arrays. The decision is adaptive: prefilter a
+  // prefix first, and when its pass rate shows probes mostly hit (the
+  // filter would be pure overhead on top of unavoidable Find() calls), drop
+  // the filter for the rest. The bail-out depends only on the key hashes,
+  // so it is deterministic across thread counts.
+  kernels::Bitmap bloom_pass;
+  bool use_bloom = build.has_bloom() && ln > 0;
+  if (use_bloom) {
+    constexpr size_t kProbeSample = 16384;  // multiple of 64: whole words
+    const size_t sample = std::min(ln, kProbeSample);
+    bloom_pass.ResetForOverwrite(ln);
+    kernels::Ops().bloom_prefilter(build.bloom_words(), build.bloom_shift(),
+                                   lhash.data(), sample, bloom_pass.words());
+    size_t passed = 0;
+    for (size_t w = 0; w < (sample + 63) / 64; ++w) {
+      passed += static_cast<size_t>(__builtin_popcountll(bloom_pass.word(w)));
+    }
+    if (!JoinBloomForced() && passed * 4 > sample * 3) {
+      use_bloom = false;  // > 75% of probes hit anyway
+    } else if (ln > sample) {
+      kernels::Ops().bloom_prefilter(
+          build.bloom_words(), build.bloom_shift(), lhash.data() + sample,
+          ln - sample, bloom_pass.words() + sample / 64);
+    }
+  }
+
   // First build row matching left row `lr`'s key, else kInvalidRow; further
   // duplicates (ascending build rows) via NextDup.
   auto find_head = [&](size_t lr) -> uint32_t {
     if (lnull[lr] != 0) return kInvalidRow;  // NULL keys never match.
+    if (use_bloom && !bloom_pass.Test(lr)) return kInvalidRow;
     return build.Find(lhash[lr], [&](uint32_t br) {
       return JoinKeysEqual(left_keys, lr, right_keys, br);
     });
@@ -167,7 +200,7 @@ Result<JoinPairView> HashJoinPairs(TablePtr left, TablePtr right,
           real_r.push_back(chunk_r[i]);
         }
       }
-      const std::vector<uint8_t>* pass = nullptr;
+      const kernels::Bitmap* pass = nullptr;
       if (!real_l.empty()) {
         auto mask = eval.Eval(*residual, real_l.data(), real_r.data(),
                               real_l.size(), cand_base);
@@ -191,7 +224,7 @@ Result<JoinPairView> HashJoinPairs(TablePtr left, TablePtr right,
             open_lr = lr;
             open_matched = false;
           }
-          if ((*pass)[ri] != 0) {
+          if (pass->Test(ri)) {
             out_l.push_back(lr);
             out_r.push_back(chunk_r[i]);
             open_matched = true;
@@ -302,11 +335,14 @@ Result<JoinPairView> CrossJoinPairs(TablePtr left, TablePtr right,
     auto mask = eval.Eval(*residual, chunk_l.data(), chunk_r.data(),
                           chunk_l.size(), pair_base);
     if (!mask.ok()) return mask.status();
-    const std::vector<uint8_t>& pass = *mask.value();
-    for (size_t i = 0; i < chunk_l.size(); ++i) {
-      if (pass[i] != 0) {
+    const kernels::Bitmap& pass = *mask.value();
+    for (size_t w = 0; w < pass.num_words(); ++w) {
+      uint64_t word = pass.word(w);
+      while (word != 0) {
+        const size_t i = w * 64 + static_cast<size_t>(__builtin_ctzll(word));
         out_l.push_back(chunk_l[i]);
         out_r.push_back(chunk_r[i]);
+        word &= word - 1;
       }
     }
     pair_base += chunk_l.size();

@@ -7,6 +7,7 @@
 #include "common/thread_pool.h"
 #include "engine/expr_eval.h"
 #include "engine/functions.h"
+#include "engine/kernels/kernels.h"
 
 namespace vdb::engine {
 
@@ -27,8 +28,104 @@ bool PinnedSerialForBaseline(const Expr& e) {
   return g_serial_rand_baseline && sql::ContainsRandFunction(e);
 }
 
-// Tri-state predicate vector: -1 unknown (NULL), 0 false, 1 true.
-using TriVec = std::vector<int8_t>;
+using kernels::Bitmap;
+
+/// Tri-state predicate mask over a batch, one BIT per row in two
+/// word-addressed bitmaps (replacing the old byte-per-row int8 vector):
+///   known bit set  -> the predicate value is not NULL
+///   truth bit set  -> the predicate value is TRUE (truth is a subset of
+///                     known; a set truth bit implies a set known bit)
+/// so NULL = known clear, FALSE = known set / truth clear, TRUE = both set.
+/// Both bitmaps keep the zeroed-tail invariant (Bitmap), which makes
+/// whole-word Kleene combines and popcount-based survivor counting safe
+/// without masking anywhere but the final word.
+struct TriMask {
+  Bitmap truth;
+  Bitmap known;
+
+  size_t size() const { return truth.bits(); }
+
+  /// Every row NULL; the state scalar fill loops start from (SetTrue /
+  /// SetFalse flip individual rows known-ward).
+  void ResetNull(size_t n) {
+    truth.ResetZero(n);
+    known.ResetZero(n);
+  }
+  void SetTrue(size_t k) {
+    truth.Set(k);
+    known.Set(k);
+  }
+  void SetFalse(size_t k) { known.Set(k); }
+  /// From an int8 tri-state value (-1 NULL / 0 false / 1 true), starting
+  /// from the ResetNull state.
+  void SetTri(size_t k, int8_t v) {
+    if (v >= 0) {
+      known.Set(k);
+      if (v != 0) truth.Set(k);
+    }
+  }
+  bool IsTrue(size_t k) const { return truth.Test(k); }
+  bool IsKnown(size_t k) const { return known.Test(k); }
+
+  /// Rows that are NOT known-false (true or NULL) — the rows an AND's right
+  /// operand still has to decide. Counted via known&~truth, whose tail is
+  /// zero, so no masking is needed.
+  size_t CountNotFalse() const {
+    size_t false_rows = 0;
+    for (size_t w = 0; w < truth.num_words(); ++w) {
+      false_rows += static_cast<size_t>(
+          __builtin_popcountll(known.word(w) & ~truth.word(w)));
+    }
+    return size() - false_rows;
+  }
+  /// One word of the not-false row set, tail-masked (the ~known complement
+  /// raises the tail bits, unlike every other combine here).
+  uint64_t NotFalseWord(size_t w) const {
+    uint64_t nf = truth.word(w) | ~known.word(w);
+    const size_t tail = truth.bits() & 63;
+    if (tail != 0 && w + 1 == truth.num_words()) {
+      nf &= ~uint64_t{0} >> (64 - tail);
+    }
+    return nf;
+  }
+};
+
+/// known-mask construction from up to two byte null masks: known = no input
+/// null. Routed through the bytes->bits kernel; `scratch` holds the second
+/// mask's bits when both sides carry nulls.
+void KnownFromNulls(const uint8_t* an, const uint8_t* bn, size_t n,
+                    Bitmap* known, Bitmap* scratch) {
+  if (an == nullptr && bn == nullptr) {
+    known->ResetOnes(n);
+    return;
+  }
+  known->ResetForOverwrite(n);
+  kernels::Ops().bytes_nonzero_bits(an != nullptr ? an : bn, n,
+                                    known->words());
+  if (an != nullptr && bn != nullptr) {
+    scratch->ResetForOverwrite(n);
+    kernels::Ops().bytes_nonzero_bits(bn, n, scratch->words());
+    for (size_t w = 0; w < known->num_words(); ++w) {
+      known->words()[w] |= scratch->word(w);
+    }
+  }
+  // So far the bits mark "some input null"; complement into "known".
+  for (size_t w = 0; w < known->num_words(); ++w) {
+    known->words()[w] = ~known->word(w);
+  }
+  known->ClearTail();
+}
+
+kernels::CmpOp ToCmpOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq: return kernels::CmpOp::kEq;
+    case BinaryOp::kNe: return kernels::CmpOp::kNe;
+    case BinaryOp::kLt: return kernels::CmpOp::kLt;
+    case BinaryOp::kLe: return kernels::CmpOp::kLe;
+    case BinaryOp::kGt: return kernels::CmpOp::kGt;
+    default: return kernels::CmpOp::kGe;
+  }
+}
 
 /// Intermediate vector: borrows a whole input column (zero-copy column
 /// reference), owns a materialized column, broadcasts a one-row constant, or
@@ -243,99 +340,75 @@ IntView ResolveInt(const Vec& v) {
   return o;
 }
 
-/// Comparison inner loop, specialized on operand shapes (vector/constant)
-/// and the presence of null masks.
-template <typename T, typename View, typename Cmp>
-void CmpKernel(int8_t* t, size_t n, const View& a, const View& b, Cmp cmp) {
-  const uint8_t* an = a.nulls;
-  const uint8_t* bn = b.nulls;
-  auto run = [&](auto ga, auto gb) {
-    if (an == nullptr && bn == nullptr) {
-      for (size_t k = 0; k < n; ++k) t[k] = cmp(ga(k), gb(k)) ? 1 : 0;
-    } else {
-      for (size_t k = 0; k < n; ++k) {
-        t[k] = ((an != nullptr && an[k] != 0) || (bn != nullptr && bn[k] != 0))
-                   ? -1
-                   : (cmp(ga(k), gb(k)) ? 1 : 0);
-      }
-    }
-  };
-  const T ac = static_cast<T>(a.cval), bc = static_cast<T>(b.cval);
+// Each compare is phrased under the engine's three-way convention — built
+// from < and > only, exactly like Value::Compare / ThreeWayD — so NaN
+// operands (which compare neither < nor >) land in the cmp == 0 bucket, and
+// the lanes cannot drift from the row interpreter. NaN-compares-equal
+// deviates from IEEE/standard SQL, but it is this engine's deliberate
+// repo-wide convention (Value::Compare ordering, ValueGroupKey grouping,
+// JoinKeysEqual — "NaN joins NaN"), and the row interpreter is the semantic
+// reference the differential fuzz enforces. The kernel layer (engine/kernels)
+// carries the same convention: its CmpOp table is specified against the
+// scalar reference built from </> only, at every dispatch level.
+//
+// Constant-vs-vector shapes route through the VC kernel with the operator
+// mirrored (MirrorCmp: c < x[k] == x[k] > c), so only VV and VC kernels
+// exist. Null handling is separated from value compares: the kernels compare
+// every lane (null slots hold zero placeholders, so the payloads are
+// well-defined), and the null masks fold into `known` afterwards, clearing
+// truth bits at null rows.
+
+void CmpMask(BinaryOp bop, const IntView& a, const IntView& b, size_t n,
+             TriMask* t, Bitmap* scratch) {
+  const kernels::KernelOps& ops = kernels::Ops();
+  const kernels::CmpOp op = ToCmpOp(bop);
   if (a.is_const && b.is_const) {
-    run([&](size_t) { return ac; }, [&](size_t) { return bc; });
-  } else if (a.is_const) {
-    run([&](size_t) { return ac; }, [&](size_t k) { return b.data[k]; });
-  } else if (b.is_const) {
-    run([&](size_t k) { return a.data[k]; }, [&](size_t) { return bc; });
+    if (OpHolds(bop, ThreeWayI(a.cval, b.cval))) {
+      t->truth.ResetOnes(n);
+    } else {
+      t->truth.ResetZero(n);
+    }
   } else {
-    run([&](size_t k) { return a.data[k]; }, [&](size_t k) { return b.data[k]; });
+    t->truth.ResetForOverwrite(n);
+    if (!a.is_const && !b.is_const) {
+      ops.cmp_i64_vv(op, a.data, b.data, n, t->truth.words());
+    } else if (b.is_const) {
+      ops.cmp_i64_vc(op, a.data, b.cval, n, t->truth.words());
+    } else {
+      ops.cmp_i64_vc(kernels::MirrorCmp(op), b.data, a.cval, n,
+                     t->truth.words());
+    }
+  }
+  KnownFromNulls(a.nulls, b.nulls, n, &t->known, scratch);
+  for (size_t w = 0; w < t->truth.num_words(); ++w) {
+    t->truth.words()[w] &= t->known.word(w);
   }
 }
 
-template <typename T, typename View>
-void CmpOpDispatch(BinaryOp op, int8_t* t, size_t n, const View& a,
-                   const View& b) {
-  // Each predicate is phrased as OpHolds(op, three-way(x, y)) with the
-  // three-way built from < and > only, exactly like Value::Compare /
-  // ThreeWayD — so NaN operands (which compare neither < nor >) land in the
-  // cmp == 0 bucket here too, and the lanes cannot drift from the row
-  // interpreter. NaN-compares-equal deviates from IEEE/standard SQL, but it
-  // is this engine's deliberate repo-wide convention (Value::Compare
-  // ordering, ValueGroupKey grouping, JoinKeysEqual — "NaN joins NaN"), and
-  // the row interpreter is the semantic reference the differential fuzz
-  // enforces. For Int64 the forms are identical to the raw operators.
-  switch (op) {
-    case BinaryOp::kEq:
-      CmpKernel<T>(t, n, a, b, [](T x, T y) { return !(x < y) && !(x > y); });
-      break;
-    case BinaryOp::kNe:
-      CmpKernel<T>(t, n, a, b, [](T x, T y) { return x < y || x > y; });
-      break;
-    case BinaryOp::kLt:
-      CmpKernel<T>(t, n, a, b, [](T x, T y) { return x < y; });
-      break;
-    case BinaryOp::kLe:
-      CmpKernel<T>(t, n, a, b, [](T x, T y) { return !(x > y); });
-      break;
-    case BinaryOp::kGt:
-      CmpKernel<T>(t, n, a, b, [](T x, T y) { return x > y; });
-      break;
-    case BinaryOp::kGe:
-      CmpKernel<T>(t, n, a, b, [](T x, T y) { return !(x < y); });
-      break;
-    default:
-      break;
-  }
-}
-
-/// Arithmetic inner loop (add/sub/mul); null propagation via mask merge.
-template <typename T, typename View, typename F>
-void ArithKernel(T* out, uint8_t* nulls, size_t n, const View& a,
-                 const View& b, F f) {
-  const uint8_t* an = a.nulls;
-  const uint8_t* bn = b.nulls;
-  auto run = [&](auto ga, auto gb) {
-    if (nulls == nullptr) {
-      for (size_t k = 0; k < n; ++k) out[k] = f(ga(k), gb(k));
-    } else {
-      for (size_t k = 0; k < n; ++k) {
-        if ((an != nullptr && an[k] != 0) || (bn != nullptr && bn[k] != 0)) {
-          nulls[k] = 1;
-        } else {
-          out[k] = f(ga(k), gb(k));
-        }
-      }
-    }
-  };
-  const T ac = static_cast<T>(a.cval), bc = static_cast<T>(b.cval);
+void CmpMask(BinaryOp bop, const NumView& a, const NumView& b, size_t n,
+             TriMask* t, Bitmap* scratch) {
+  const kernels::KernelOps& ops = kernels::Ops();
+  const kernels::CmpOp op = ToCmpOp(bop);
   if (a.is_const && b.is_const) {
-    run([&](size_t) { return ac; }, [&](size_t) { return bc; });
-  } else if (a.is_const) {
-    run([&](size_t) { return ac; }, [&](size_t k) { return b.data[k]; });
-  } else if (b.is_const) {
-    run([&](size_t k) { return a.data[k]; }, [&](size_t) { return bc; });
+    if (OpHolds(bop, ThreeWayD(a.cval, b.cval))) {
+      t->truth.ResetOnes(n);
+    } else {
+      t->truth.ResetZero(n);
+    }
   } else {
-    run([&](size_t k) { return a.data[k]; }, [&](size_t k) { return b.data[k]; });
+    t->truth.ResetForOverwrite(n);
+    if (!a.is_const && !b.is_const) {
+      ops.cmp_f64_vv(op, a.data, b.data, n, t->truth.words());
+    } else if (b.is_const) {
+      ops.cmp_f64_vc(op, a.data, b.cval, n, t->truth.words());
+    } else {
+      ops.cmp_f64_vc(kernels::MirrorCmp(op), b.data, a.cval, n,
+                     t->truth.words());
+    }
+  }
+  KnownFromNulls(a.nulls, b.nulls, n, &t->known, scratch);
+  for (size_t w = 0; w < t->truth.num_words(); ++w) {
+    t->truth.words()[w] &= t->known.word(w);
   }
 }
 
@@ -358,50 +431,91 @@ int CmpAt(const Vec& l, const Vec& r, size_t k) {
 }
 
 Result<Vec> EvalVec(const Expr& e, const Batch& b);
-Result<TriVec> EvalTri(const Expr& e, const Batch& b);
+Result<TriMask> EvalTri(const Expr& e, const Batch& b);
 
 /// Converts a materialized vector into tri-state booleans with Value::AsBool
 /// semantics (only Bool/Int64 storage can be true; doubles/strings are
 /// false because Value keeps them out of the integer slot).
-TriVec VecToTri(const Vec& v, size_t n) {
-  TriVec t(n);
+TriMask VecToTri(const Vec& v, size_t n) {
+  TriMask t;
   if (v.mixed) {
+    t.ResetNull(n);
     for (size_t k = 0; k < n; ++k) {
       const Value val = v.At(k);
-      t[k] = val.is_null() ? -1 : (val.AsBool() ? 1 : 0);
+      if (!val.is_null()) {
+        if (val.AsBool()) {
+          t.SetTrue(k);
+        } else {
+          t.SetFalse(k);
+        }
+      }
+    }
+    return t;
+  }
+  if (v.is_const) {
+    // One decision broadcast to the batch. Only Bool/Int64 storage can be
+    // true, mirroring the typed switch below.
+    if (v.IsNull(0)) {
+      t.ResetNull(n);
+    } else {
+      t.known.ResetOnes(n);
+      const bool truth =
+          (v.type() == TypeId::kBool || v.type() == TypeId::kInt64) &&
+          v.IntRaw(0) != 0;
+      if (truth) {
+        t.truth.ResetOnes(n);
+      } else {
+        t.truth.ResetZero(n);
+      }
     }
     return t;
   }
   switch (v.type()) {
     case TypeId::kNull:
-      std::fill(t.begin(), t.end(), static_cast<int8_t>(-1));
+      t.ResetNull(n);
       break;
     case TypeId::kBool:
-    case TypeId::kInt64:
-      for (size_t k = 0; k < n; ++k) {
-        t[k] = v.IsNull(k) ? -1 : (v.IntRaw(k) != 0 ? 1 : 0);
+    case TypeId::kInt64: {
+      // truth = (value != 0) via the compare kernel, masked by the nulls.
+      t.truth.ResetForOverwrite(n);
+      kernels::Ops().cmp_i64_vc(kernels::CmpOp::kNe,
+                                v.col().IntData() + v.offset, 0, n,
+                                t.truth.words());
+      const uint8_t* nulls = v.col().NullData();
+      Bitmap scratch;
+      KnownFromNulls(nulls == nullptr ? nullptr : nulls + v.offset, nullptr,
+                     n, &t.known, &scratch);
+      for (size_t w = 0; w < t.truth.num_words(); ++w) {
+        t.truth.words()[w] &= t.known.word(w);
       }
       break;
+    }
     case TypeId::kDouble:
-    case TypeId::kString:
-      for (size_t k = 0; k < n; ++k) t[k] = v.IsNull(k) ? -1 : 0;
+    case TypeId::kString: {
+      // Never true; NULL where the storage is null.
+      t.truth.ResetZero(n);
+      const uint8_t* nulls = v.col().NullData();
+      Bitmap scratch;
+      KnownFromNulls(nulls == nullptr ? nullptr : nulls + v.offset, nullptr,
+                     n, &t.known, &scratch);
       break;
+    }
   }
   return t;
 }
 
 /// Materializes tri-state booleans as a nullable Bool column vector.
-Vec TriToVec(const TriVec& t) {
+Vec TriToVec(const TriMask& t) {
   const size_t n = t.size();
   std::vector<int64_t> ints(n);
   std::vector<uint8_t> nulls;
+  const bool any_null = t.known.CountSet() != n;
+  if (any_null) nulls.assign(n, 0);
   for (size_t k = 0; k < n; ++k) {
-    if (t[k] < 0) {
-      if (nulls.empty()) nulls.assign(n, 0);
+    if (!t.IsKnown(k)) {
       nulls[k] = 1;
-      ints[k] = 0;
     } else {
-      ints[k] = t[k];
+      ints[k] = t.IsTrue(k) ? 1 : 0;
     }
   }
   Vec v;
@@ -411,76 +525,89 @@ Vec TriToVec(const TriVec& t) {
 }
 
 /// Comparison kernels (kEq..kGe): type-specialized lanes, NULL -> unknown.
-TriVec CompareVecs(BinaryOp op, const Vec& l, const Vec& r, size_t n) {
-  TriVec t(n);
+TriMask CompareVecs(BinaryOp op, const Vec& l, const Vec& r, size_t n) {
+  TriMask t;
   if (l.mixed || r.mixed) {
+    t.ResetNull(n);
     for (size_t k = 0; k < n; ++k) {
-      t[k] = (l.IsNull(k) || r.IsNull(k))
-                 ? -1
-                 : (OpHolds(op, l.At(k).Compare(r.At(k))) ? 1 : 0);
+      if (l.IsNull(k) || r.IsNull(k)) continue;
+      if (OpHolds(op, l.At(k).Compare(r.At(k)))) {
+        t.SetTrue(k);
+      } else {
+        t.SetFalse(k);
+      }
     }
     return t;
   }
   const TypeId lt = l.type(), rt = r.type();
   if (lt == TypeId::kNull || rt == TypeId::kNull) {
-    std::fill(t.begin(), t.end(), static_cast<int8_t>(-1));
+    t.ResetNull(n);
     return t;
   }
   if (lt == TypeId::kInt64 && rt == TypeId::kInt64) {
     IntView a = ResolveInt(l), bview = ResolveInt(r);
     if (a.const_null || bview.const_null) {
-      std::fill(t.begin(), t.end(), static_cast<int8_t>(-1));
+      t.ResetNull(n);
       return t;
     }
-    CmpOpDispatch<int64_t>(op, t.data(), n, a, bview);
+    Bitmap scratch;
+    CmpMask(op, a, bview, n, &t, &scratch);
     return t;
   }
   if (IsNumericType(lt) && IsNumericType(rt)) {
     NumView a = ResolveNum(l, n), bview = ResolveNum(r, n);
     if (a.const_null || bview.const_null) {
-      std::fill(t.begin(), t.end(), static_cast<int8_t>(-1));
+      t.ResetNull(n);
       return t;
     }
-    CmpOpDispatch<double>(op, t.data(), n, a, bview);
+    Bitmap scratch;
+    CmpMask(op, a, bview, n, &t, &scratch);
     return t;
   }
   if (lt == TypeId::kString && rt == TypeId::kString) {
+    t.ResetNull(n);
     for (size_t k = 0; k < n; ++k) {
-      t[k] = (l.IsNull(k) || r.IsNull(k))
-                 ? -1
-                 : (OpHolds(op, l.col().GetString(l.pos(k)).compare(
-                                    r.col().GetString(r.pos(k))))
-                        ? 1
-                        : 0);
+      if (l.IsNull(k) || r.IsNull(k)) continue;
+      if (OpHolds(op, l.col().GetString(l.pos(k)).compare(
+                          r.col().GetString(r.pos(k))))) {
+        t.SetTrue(k);
+      } else {
+        t.SetFalse(k);
+      }
     }
     return t;
   }
   // Mixed string/numeric: rare; box per element (type-ordered compare).
+  t.ResetNull(n);
   for (size_t k = 0; k < n; ++k) {
-    t[k] = (l.IsNull(k) || r.IsNull(k))
-               ? -1
-               : (OpHolds(op, l.At(k).Compare(r.At(k))) ? 1 : 0);
+    if (l.IsNull(k) || r.IsNull(k)) continue;
+    if (OpHolds(op, l.At(k).Compare(r.At(k)))) {
+      t.SetTrue(k);
+    } else {
+      t.SetFalse(k);
+    }
   }
   return t;
 }
 
-TriVec LikeVecs(const Vec& l, const Vec& r, size_t n) {
-  TriVec t(n);
+TriMask LikeVecs(const Vec& l, const Vec& r, size_t n) {
+  TriMask t;
+  t.ResetNull(n);
   // The pattern is almost always a literal: render it once.
   std::string const_pattern;
   const bool pattern_const = r.is_const && !r.IsNull(0);
   if (pattern_const) const_pattern = r.At(0).ToString();
   for (size_t k = 0; k < n; ++k) {
-    if (l.IsNull(k) || r.IsNull(k)) {
-      t[k] = -1;
-      continue;
-    }
+    if (l.IsNull(k) || r.IsNull(k)) continue;
     const std::string text = l.type() == TypeId::kString
                                  ? l.col().GetString(l.pos(k))
                                  : l.At(k).ToString();
-    t[k] = LikeMatch(text, pattern_const ? const_pattern : r.At(k).ToString())
-               ? 1
-               : 0;
+    if (LikeMatch(text,
+                  pattern_const ? const_pattern : r.At(k).ToString())) {
+      t.SetTrue(k);
+    } else {
+      t.SetFalse(k);
+    }
   }
   return t;
 }
@@ -552,26 +679,48 @@ Result<Vec> EvalArith(const Expr& e, const Batch& b) {
 
   const bool numeric =
       IsNumericType(l.type()) && IsNumericType(r.type());
+  // Null propagation is separated from the value lanes: the dispatch kernels
+  // compute every row unconditionally (null slots hold zero placeholders, so
+  // the payloads are well-defined and identical at every dispatch level; a
+  // null row's payload is never observable through Column), and the byte
+  // null masks merge here.
+  auto merge_nulls = [&](const uint8_t* an, const uint8_t* bn) {
+    if (an == nullptr && bn == nullptr) return;
+    nulls.assign(n, 0);
+    if (an != nullptr && bn != nullptr) {
+      for (size_t k = 0; k < n; ++k) {
+        nulls[k] = (an[k] != 0 || bn[k] != 0) ? 1 : 0;
+      }
+    } else {
+      const uint8_t* p = an != nullptr ? an : bn;
+      for (size_t k = 0; k < n; ++k) nulls[k] = p[k] != 0 ? 1 : 0;
+    }
+  };
   switch (e.binary_op) {
     case BinaryOp::kAdd:
     case BinaryOp::kSub:
     case BinaryOp::kMul: {
-      const BinaryOp op = e.binary_op;
+      const kernels::ArithOp kop =
+          e.binary_op == BinaryOp::kAdd
+              ? kernels::ArithOp::kAdd
+              : (e.binary_op == BinaryOp::kSub ? kernels::ArithOp::kSub
+                                               : kernels::ArithOp::kMul);
+      const kernels::KernelOps& ops = kernels::Ops();
       if (l.type() == TypeId::kInt64 && r.type() == TypeId::kInt64) {
         IntView a = ResolveInt(l), c = ResolveInt(r);
         std::vector<int64_t> out(n, 0);
-        if (a.nulls != nullptr || c.nulls != nullptr) nulls.assign(n, 0);
-        uint8_t* np = nulls.empty() ? nullptr : nulls.data();
-        if (op == BinaryOp::kAdd) {
-          ArithKernel<int64_t>(out.data(), np, n, a, c,
-                               [](int64_t x, int64_t y) { return x + y; });
-        } else if (op == BinaryOp::kSub) {
-          ArithKernel<int64_t>(out.data(), np, n, a, c,
-                               [](int64_t x, int64_t y) { return x - y; });
-        } else {
-          ArithKernel<int64_t>(out.data(), np, n, a, c,
-                               [](int64_t x, int64_t y) { return x * y; });
+        if (!a.is_const && !c.is_const) {
+          ops.arith_i64_vv(kop, a.data, c.data, n, out.data());
+        } else if (!a.is_const) {
+          ops.arith_i64_vc(kop, a.data, c.cval, n, out.data());
+        } else if (!c.is_const) {
+          ops.arith_i64_cv(kop, a.cval, c.data, n, out.data());
+        } else if (n > 0) {
+          int64_t cc = 0;
+          ops.arith_i64_vc(kop, &a.cval, c.cval, 1, &cc);
+          std::fill(out.begin(), out.end(), cc);
         }
+        merge_nulls(a.nulls, c.nulls);
         Vec v;
         v.owned = Column::FromData(TypeId::kInt64, std::move(out), {}, {},
                                    std::move(nulls));
@@ -580,18 +729,18 @@ Result<Vec> EvalArith(const Expr& e, const Batch& b) {
       if (numeric) {
         NumView a = ResolveNum(l, n), c = ResolveNum(r, n);
         std::vector<double> out(n, 0.0);
-        if (a.nulls != nullptr || c.nulls != nullptr) nulls.assign(n, 0);
-        uint8_t* np = nulls.empty() ? nullptr : nulls.data();
-        if (op == BinaryOp::kAdd) {
-          ArithKernel<double>(out.data(), np, n, a, c,
-                              [](double x, double y) { return x + y; });
-        } else if (op == BinaryOp::kSub) {
-          ArithKernel<double>(out.data(), np, n, a, c,
-                              [](double x, double y) { return x - y; });
-        } else {
-          ArithKernel<double>(out.data(), np, n, a, c,
-                              [](double x, double y) { return x * y; });
+        if (!a.is_const && !c.is_const) {
+          ops.arith_f64_vv(kop, a.data, c.data, n, out.data());
+        } else if (!a.is_const) {
+          ops.arith_f64_vc(kop, a.data, c.cval, n, out.data());
+        } else if (!c.is_const) {
+          ops.arith_f64_cv(kop, a.cval, c.data, n, out.data());
+        } else if (n > 0) {
+          double cc = 0.0;
+          ops.arith_f64_vc(kop, &a.cval, c.cval, 1, &cc);
+          std::fill(out.begin(), out.end(), cc);
         }
+        merge_nulls(a.nulls, c.nulls);
         Vec v;
         v.owned = Column::FromData(TypeId::kDouble, {}, std::move(out), {},
                                    std::move(nulls));
@@ -683,7 +832,7 @@ Result<Vec> EvalArith(const Expr& e, const Batch& b) {
 
 Result<Vec> EvalCase(const Expr& e, const Batch& b) {
   const size_t n = b.size();
-  std::vector<TriVec> whens;
+  std::vector<TriMask> whens;
   whens.reserve(e.case_whens.size());
   for (const auto& w : e.case_whens) {
     auto t = EvalTri(*w, b);
@@ -710,7 +859,7 @@ Result<Vec> EvalCase(const Expr& e, const Batch& b) {
   for (size_t k = 0; k < n; ++k) {
     const Vec* src = &else_vec;
     for (size_t i = 0; i < whens.size(); ++i) {
-      if (whens[i][k] == 1) {
+      if (whens[i].IsTrue(k)) {
         src = &thens[i];
         break;
       }
@@ -720,7 +869,7 @@ Result<Vec> EvalCase(const Expr& e, const Batch& b) {
   return VecFromValues(std::move(vals));
 }
 
-Result<TriVec> EvalTri(const Expr& e, const Batch& b) {
+Result<TriMask> EvalTri(const Expr& e, const Batch& b) {
   const size_t n = b.size();
   switch (e.kind) {
     case ExprKind::kBinary: {
@@ -734,33 +883,60 @@ Result<TriVec> EvalTri(const Expr& e, const Batch& b) {
         // whole-batch lanes win and the extra rows are simply masked out.
         auto lt = EvalTri(*e.args[0], b);
         if (!lt.ok()) return lt.status();
-        TriVec& l = lt.value();
-        size_t surviving = 0;
-        for (size_t k = 0; k < n; ++k) surviving += (l[k] != 0) ? 1 : 0;
+        TriMask& l = lt.value();
+        const size_t surviving = l.CountNotFalse();
         if (surviving == 0) return std::move(l);  // all false
-        auto combine = [](int8_t lv, int8_t rv) -> int8_t {
-          return (lv == 0 || rv == 0) ? 0 : (lv == 1 && rv == 1) ? 1 : -1;
-        };
         if (surviving * 4 > n) {
           auto rt = EvalTri(*e.args[1], b);
           if (!rt.ok()) return rt.status();
-          const TriVec& r = rt.value();
-          for (size_t k = 0; k < n; ++k) l[k] = combine(l[k], r[k]);
+          const TriMask& r = rt.value();
+          // Word-wise Kleene AND: t = lt & rt; false when either side is
+          // known-false; known = t | false.
+          for (size_t w = 0; w < l.truth.num_words(); ++w) {
+            const uint64_t false_l = l.known.word(w) & ~l.truth.word(w);
+            const uint64_t false_r = r.known.word(w) & ~r.truth.word(w);
+            const uint64_t t = l.truth.word(w) & r.truth.word(w);
+            l.truth.words()[w] = t;
+            l.known.words()[w] = t | false_l | false_r;
+          }
           return std::move(l);
         }
         SelVector survivors;
         survivors.reserve(surviving);
-        for (size_t k = 0; k < n; ++k) {
-          if (l[k] != 0) survivors.push_back(b.RowAt(k));
+        for (size_t w = 0; w < l.truth.num_words(); ++w) {
+          uint64_t nf = l.NotFalseWord(w);
+          while (nf != 0) {
+            const size_t k = w * 64 +
+                             static_cast<size_t>(__builtin_ctzll(nf));
+            survivors.push_back(b.RowAt(k));
+            nf &= nf - 1;
+          }
         }
         Batch sub{b.table,          &survivors, b.rand_seed, 0,
                   Batch::kWholeTable, b.row_id_offset};
         auto rt = EvalTri(*e.args[1], sub);
         if (!rt.ok()) return rt.status();
-        const TriVec& r = rt.value();
+        const TriMask& r = rt.value();
+        // Merge the sub-batch verdicts back onto the surviving positions:
+        // r false decides the row false (NULL AND FALSE = FALSE); r NULL
+        // erases the row's knowledge; r true keeps the left verdict.
         size_t i = 0;
-        for (size_t k = 0; k < n; ++k) {
-          if (l[k] != 0) l[k] = combine(l[k], r[i++]);
+        for (size_t w = 0; w < l.truth.num_words(); ++w) {
+          uint64_t nf = l.NotFalseWord(w);
+          while (nf != 0) {
+            const size_t k = w * 64 +
+                             static_cast<size_t>(__builtin_ctzll(nf));
+            if (!r.IsTrue(i)) {
+              l.truth.Clear(k);
+              if (r.IsKnown(i)) {
+                l.known.Set(k);  // known false
+              } else {
+                l.known.Clear(k);  // NULL (unless left was false — excluded)
+              }
+            }
+            ++i;
+            nf &= nf - 1;
+          }
         }
         return std::move(l);
       }
@@ -772,12 +948,15 @@ Result<TriVec> EvalTri(const Expr& e, const Batch& b) {
         if (!lt.ok()) return lt.status();
         auto rt = EvalTri(*e.args[1], b);
         if (!rt.ok()) return rt.status();
-        TriVec& l = lt.value();
-        const TriVec& r = rt.value();
-        for (size_t k = 0; k < n; ++k) {
-          l[k] = (l[k] == 1 || r[k] == 1) ? 1
-                 : (l[k] == 0 && r[k] == 0) ? 0
-                                            : -1;
+        TriMask& l = lt.value();
+        const TriMask& r = rt.value();
+        // t = lt | rt; false only when both sides are known-false.
+        for (size_t w = 0; w < l.truth.num_words(); ++w) {
+          const uint64_t false_l = l.known.word(w) & ~l.truth.word(w);
+          const uint64_t false_r = r.known.word(w) & ~r.truth.word(w);
+          const uint64_t t = l.truth.word(w) | r.truth.word(w);
+          l.truth.words()[w] = t;
+          l.known.words()[w] = t | (false_l & false_r);
         }
         return std::move(l);
       }
@@ -803,9 +982,11 @@ Result<TriVec> EvalTri(const Expr& e, const Batch& b) {
       if (e.unary_op == UnaryOp::kNot) {
         auto t = EvalTri(*e.args[0], b);
         if (!t.ok()) return t.status();
-        TriVec& v = t.value();
-        for (size_t k = 0; k < n; ++k) {
-          if (v[k] >= 0) v[k] = static_cast<int8_t>(1 - v[k]);
+        TriMask& v = t.value();
+        // NOT flips truth within the known rows; NULL stays NULL. known's
+        // zeroed tail keeps the masked complement's tail zeroed too.
+        for (size_t w = 0; w < v.truth.num_words(); ++w) {
+          v.truth.words()[w] = v.known.word(w) & ~v.truth.word(w);
         }
         return std::move(v);
       }
@@ -814,10 +995,35 @@ Result<TriVec> EvalTri(const Expr& e, const Batch& b) {
     case ExprKind::kIsNull: {
       auto v = EvalVec(*e.args[0], b);
       if (!v.ok()) return v.status();
-      TriVec t(n);
-      for (size_t k = 0; k < n; ++k) {
-        const bool isnull = v.value().IsNull(k);
-        t[k] = (e.negated ? !isnull : isnull) ? 1 : 0;
+      const Vec& a = v.value();
+      TriMask t;
+      t.known.ResetOnes(n);  // IS [NOT] NULL is never NULL itself
+      t.truth.ResetForOverwrite(n);
+      if (a.is_const) {
+        if (a.IsNull(0)) {
+          t.truth.ResetOnes(n);
+        } else {
+          t.truth.ResetZero(n);
+        }
+      } else if (!a.mixed) {
+        const uint8_t* nulls = a.col().NullData();
+        if (nulls == nullptr) {
+          t.truth.ResetZero(n);
+        } else {
+          kernels::Ops().bytes_nonzero_bits(nulls + a.offset, n,
+                                            t.truth.words());
+        }
+      } else {
+        t.truth.ResetZero(n);
+        for (size_t k = 0; k < n; ++k) {
+          if (a.IsNull(k)) t.truth.Set(k);
+        }
+      }
+      if (e.negated) {
+        for (size_t w = 0; w < t.truth.num_words(); ++w) {
+          t.truth.words()[w] = ~t.truth.word(w);
+        }
+        t.truth.ClearTail();
       }
       return t;
     }
@@ -831,14 +1037,16 @@ Result<TriVec> EvalTri(const Expr& e, const Batch& b) {
       const Vec& x = xv.value();
       const Vec& lo = lov.value();
       const Vec& hi = hiv.value();
-      TriVec t(n);
+      TriMask t;
+      t.ResetNull(n);
       for (size_t k = 0; k < n; ++k) {
-        if (x.IsNull(k) || lo.IsNull(k) || hi.IsNull(k)) {
-          t[k] = -1;
-          continue;
-        }
+        if (x.IsNull(k) || lo.IsNull(k) || hi.IsNull(k)) continue;
         const bool in = CmpAt(x, lo, k) >= 0 && CmpAt(x, hi, k) <= 0;
-        t[k] = (e.negated ? !in : in) ? 1 : 0;
+        if (e.negated ? !in : in) {
+          t.SetTrue(k);
+        } else {
+          t.SetFalse(k);
+        }
       }
       return t;
     }
@@ -853,12 +1061,10 @@ Result<TriVec> EvalTri(const Expr& e, const Batch& b) {
         items.push_back(std::move(iv).ValueOrDie());
       }
       const Vec& x = xv.value();
-      TriVec t(n);
+      TriMask t;
+      t.ResetNull(n);
       for (size_t k = 0; k < n; ++k) {
-        if (x.IsNull(k)) {
-          t[k] = -1;
-          continue;
-        }
+        if (x.IsNull(k)) continue;
         bool hit = false, any_null = false;
         for (const Vec& item : items) {
           if (item.IsNull(k)) {
@@ -870,7 +1076,10 @@ Result<TriVec> EvalTri(const Expr& e, const Batch& b) {
             break;
           }
         }
-        t[k] = hit ? (e.negated ? 0 : 1) : (any_null ? -1 : (e.negated ? 1 : 0));
+        const int8_t tri =
+            hit ? (e.negated ? 0 : 1)
+                : (any_null ? int8_t{-1} : (e.negated ? int8_t{1} : int8_t{0}));
+        t.SetTri(k, tri);
       }
       return t;
     }
@@ -919,7 +1128,8 @@ Result<Vec> EvalVec(const Expr& e, const Batch& b) {
             set_null(k);
             continue;
           }
-          out[k] = -a.IntRaw(k);
+          // Unsigned negation: defined wrap on INT64_MIN (see NegateValue).
+          out[k] = static_cast<int64_t>(0ull - static_cast<uint64_t>(a.IntRaw(k)));
         }
         Vec v;
         v.owned = Column::FromData(TypeId::kInt64, std::move(out), {}, {},
@@ -967,23 +1177,35 @@ Result<Vec> EvalVec(const Expr& e, const Batch& b) {
       if (sql::IsRandFunctionExpr(e) && e.args.empty() &&
           !g_serial_rand_baseline) {
         const uint64_t site = static_cast<uint64_t>(e.rand_site);
+        // Range batches draw for consecutive row ids, which is exactly the
+        // shape the SIMD rand lane covers (4 CounterRandom draws per
+        // vector); selection batches address scattered ids row by row. Both
+        // produce the identical row-addressed draws.
+        const bool contiguous = b.sel == nullptr;
+        const uint64_t row0 =
+            contiguous ? b.row_id_offset + b.range_begin : 0;
+        std::vector<double> uniforms(n);
+        if (contiguous) {
+          kernels::Ops().rand_f64_seq(b.rand_seed, row0, site, n,
+                                      uniforms.data());
+        } else {
+          for (size_t k = 0; k < n; ++k) {
+            uniforms[k] = CounterRandomDouble(b.rand_seed, b.RowIdAt(k), site);
+          }
+        }
         if (e.name == "rand_poisson") {
           std::vector<int64_t> out(n);
           for (size_t k = 0; k < n; ++k) {
-            out[k] = PoissonOneFromUniform(
-                CounterRandomDouble(b.rand_seed, b.RowIdAt(k), site));
+            out[k] = PoissonOneFromUniform(uniforms[k]);
           }
           Vec v;
           v.owned =
               Column::FromData(TypeId::kInt64, std::move(out), {}, {}, {});
           return v;
         }
-        std::vector<double> out(n);
-        for (size_t k = 0; k < n; ++k) {
-          out[k] = CounterRandomDouble(b.rand_seed, b.RowIdAt(k), site);
-        }
         Vec v;
-        v.owned = Column::FromData(TypeId::kDouble, {}, std::move(out), {}, {});
+        v.owned = Column::FromData(TypeId::kDouble, {}, std::move(uniforms),
+                                   {}, {});
         return v;
       }
       // Unary numeric math (floor/ceil/abs/sqrt): typed lanes instead of a
@@ -1015,7 +1237,13 @@ Result<Vec> EvalVec(const Expr& e, const Batch& b) {
               if (a.IsNull(k)) {
                 set_null(k);
               } else {
-                out[k] = std::abs(a.IntRaw(k));
+                // Wrap-defined abs: abs(INT64_MIN) == INT64_MIN (see
+                // CallScalarFunction).
+                const int64_t x = a.IntRaw(k);
+                out[k] = x < 0
+                             ? static_cast<int64_t>(0ull -
+                                                    static_cast<uint64_t>(x))
+                             : x;
               }
             }
             Vec v;
@@ -1161,10 +1389,16 @@ Result<Column> EvalExprBatch(const Expr& e, const Batch& batch) {
 Status EvalPredicateBatch(const Expr& e, const Batch& batch, SelVector* out) {
   auto t = EvalTri(e, batch);
   if (!t.ok()) return t.status();
-  const TriVec& tri = t.value();
-  const size_t n = tri.size();
-  for (size_t k = 0; k < n; ++k) {
-    if (tri[k] == 1) out->push_back(batch.RowAt(k));
+  const TriMask& tri = t.value();
+  // Survivors are exactly the truth bits: walk set bits word-at-a-time
+  // (count-trailing-zeros) instead of testing every row.
+  for (size_t w = 0; w < tri.truth.num_words(); ++w) {
+    uint64_t word = tri.truth.word(w);
+    while (word != 0) {
+      const size_t k = w * 64 + static_cast<size_t>(__builtin_ctzll(word));
+      out->push_back(batch.RowAt(k));
+      word &= word - 1;
+    }
   }
   return Status::Ok();
 }
@@ -1211,6 +1445,48 @@ Status EvalPredicateParallel(const Expr& e, const Table& table,
     out->insert(out->end(), slot.sel.begin(), slot.sel.end());
   }
   return Status::Ok();
+}
+
+Result<TablePtr> FilterGatherParallel(const Expr& pred, const Table& table,
+                                      uint64_t rand_seed, int num_threads) {
+  const size_t n = table.num_rows();
+  if (n > RowView::kMaxRows) {
+    return Status::Unsupported(
+        "selection vectors address at most 2^32 - 2 rows; input has " +
+        std::to_string(n));
+  }
+  auto out = table.CloneSchema();
+  if (num_threads <= 1 || n <= MorselRows() || PinnedSerialForBaseline(pred)) {
+    Batch batch{&table, nullptr, rand_seed};
+    SelVector sel;
+    VDB_RETURN_IF_ERROR(EvalPredicateBatch(pred, batch, &sel));
+    out->AppendSelected(table, sel, num_threads);
+    return out;
+  }
+  struct ChunkSlot {
+    TablePtr chunk;
+    Status status = Status::Ok();
+  };
+  auto slots = ParallelMorselMap<ChunkSlot>(
+      n, num_threads, [&](ChunkSlot& slot, size_t begin, size_t end) {
+        // Filter the morsel, then gather its survivors immediately — the
+        // selection stays worker-local and the morsel's columns are still
+        // hot. rand-family draws are row-addressed, so each morsel sees the
+        // identical (seed, row, site) triples the serial batch would.
+        Batch batch{&table, nullptr, rand_seed, begin, end};
+        SelVector sel;
+        slot.status = EvalPredicateBatch(pred, batch, &sel);
+        if (!slot.status.ok()) return;
+        slot.chunk = table.CloneSchema();
+        slot.chunk->AppendSelected(table, sel, /*num_threads=*/1);
+      });
+  for (const ChunkSlot& slot : slots) {
+    if (!slot.status.ok()) return slot.status;
+  }
+  for (const ChunkSlot& slot : slots) {
+    out->AppendRange(*slot.chunk, 0, slot.chunk->num_rows());
+  }
+  return out;
 }
 
 Status EvalPredicateView(const Expr& e, const RowView& view,
@@ -1276,7 +1552,7 @@ Result<Column> EvalExprView(const Expr& e, const RowView& view,
 
 // ---- pair-list predicate evaluation -----------------------------------------
 
-Result<const std::vector<uint8_t>*> PairPredicateEvaluator::Eval(
+Result<const kernels::Bitmap*> PairPredicateEvaluator::Eval(
     const sql::Expr& pred, const uint32_t* lrows, const uint32_t* rrows,
     size_t count, uint64_t row_id_base) {
   if (mask_pred_ != &pred) {
@@ -1294,15 +1570,17 @@ Result<const std::vector<uint8_t>*> PairPredicateEvaluator::Eval(
   }
   GatherJoinPairsInto(left_, lrows, right_, rrows, count, num_threads_,
                       &scratch_, &col_mask_);
-  surviving_.clear();
   // Scratch rows are chunk-local; row_id_base lifts them onto the global
   // pair ordinal so rand-family draws are invariant to the chunking.
   Batch batch{&scratch_,          nullptr, rand_seed_, 0,
               Batch::kWholeTable, row_id_base};
-  VDB_RETURN_IF_ERROR(EvalPredicateBatch(pred, batch, &surviving_));
-  pass_.assign(count, 0);
-  for (uint32_t s : surviving_) pass_[s] = 1;
-  return const_cast<const std::vector<uint8_t>*>(&pass_);
+  // The scratch batch has no selection, so batch position i IS pair i: the
+  // evaluator's truth bitmap is the pass mask directly — no survivor list,
+  // no per-chunk byte-mask re-zeroing (the evaluator overwrites every word).
+  auto t = EvalTri(pred, batch);
+  if (!t.ok()) return t.status();
+  pass_ = std::move(t.value().truth);
+  return const_cast<const kernels::Bitmap*>(&pass_);
 }
 
 Status FilterJoinPairs(const sql::Expr& pred, JoinPairView* pairs,
@@ -1321,11 +1599,14 @@ Status FilterJoinPairs(const sql::Expr& pred, JoinPairView* pairs,
     auto mask = eval.Eval(pred, pairs->lrows().data() + begin,
                           pairs->rrows().data() + begin, end - begin, begin);
     if (!mask.ok()) return mask.status();
-    const std::vector<uint8_t>& pass = *mask.value();
-    for (size_t i = 0; i < end - begin; ++i) {
-      if (pass[i] != 0) {
+    const kernels::Bitmap& pass = *mask.value();
+    for (size_t w = 0; w < pass.num_words(); ++w) {
+      uint64_t word = pass.word(w);
+      while (word != 0) {
+        const size_t i = w * 64 + static_cast<size_t>(__builtin_ctzll(word));
         out_l.push_back(pairs->lrows()[begin + i]);
         out_r.push_back(pairs->rrows()[begin + i]);
+        word &= word - 1;
       }
     }
   }

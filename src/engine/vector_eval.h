@@ -18,6 +18,7 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "engine/kernels/bitmap.h"
 #include "engine/table.h"
 #include "sql/ast.h"
 
@@ -104,6 +105,20 @@ Status EvalPredicateParallel(const sql::Expr& e, const Table& table,
                              uint64_t rand_seed, int num_threads,
                              SelVector* out);
 
+/// Fused membership scan + gather: evaluates `pred` over the whole table and
+/// materializes the surviving rows in one morsel-parallel pass. Each worker
+/// evaluates its morsel's batch and immediately gathers that morsel's
+/// survivors into a per-morsel chunk table — survivor indices never leave
+/// the worker, and the filtered morsel's columns are still cache-resident
+/// when the gather touches them; chunks concatenate in morsel order. The
+/// result is bit-identical to EvalPredicateParallel followed by
+/// RowView::Select(...).Gather(...), without the full-table selection vector
+/// or the second pass over the input. The sample builder's membership scans
+/// (Bernoulli rand() < tau, verdict_hash(C) < tau) are the primary caller.
+Result<TablePtr> FilterGatherParallel(const sql::Expr& pred,
+                                      const Table& table, uint64_t rand_seed,
+                                      int num_threads);
+
 /// Evaluates a predicate over a RowView (selection composed with morsel
 /// row-ranges) and appends the surviving PHYSICAL row indices to `*out` in
 /// view order — the survivors directly form the composed downstream view, so
@@ -138,13 +153,15 @@ void SetSerialRandBaselineForTest(bool enabled);
 /// and runs EvalPredicateBatch over it. Only the columns the predicate
 /// actually references (bound column ordinals in its tree) are gathered —
 /// the scratch keeps the full combined schema so ordinals line up, but
-/// unreferenced columns stay empty. The scratch table, survivor vector, and
-/// flag vector are all REUSED across calls — the streaming residual path
-/// evaluates millions of candidate pairs in 64K-pair chunks, and per-chunk
-/// allocation dominated the old flush loop. Right rows equal to
+/// unreferenced columns stay empty. The scratch table and pass bitmap are
+/// REUSED across calls — the streaming residual path evaluates millions of
+/// candidate pairs in 64K-pair chunks, and per-chunk allocation dominated
+/// the old flush loop; the bitmap is overwritten wholesale by the evaluator
+/// (never re-zeroed per chunk). Right rows equal to
 /// JoinPairView::kNullRightRow gather as NULL right columns (pushed-down
-/// WHERE over left-join null extensions). The returned flags (one per pair:
-/// predicate non-null and true) stay valid until the next Eval call.
+/// WHERE over left-join null extensions). The returned bitmap (bit i set:
+/// predicate non-null and true for pair i) stays valid until the next Eval
+/// call.
 class PairPredicateEvaluator {
  public:
   PairPredicateEvaluator(const Table& left, const Table& right,
@@ -160,10 +177,10 @@ class PairPredicateEvaluator {
   /// pushed-down WHERE chunks that ordinal equals the row the pair would
   /// occupy in the materialized join output, making pushdown-on and
   /// pushdown-off evaluation bit-identical.
-  Result<const std::vector<uint8_t>*> Eval(const sql::Expr& pred,
-                                           const uint32_t* lrows,
-                                           const uint32_t* rrows, size_t count,
-                                           uint64_t row_id_base);
+  Result<const kernels::Bitmap*> Eval(const sql::Expr& pred,
+                                      const uint32_t* lrows,
+                                      const uint32_t* rrows, size_t count,
+                                      uint64_t row_id_base);
 
  private:
   const Table& left_;
@@ -173,8 +190,7 @@ class PairPredicateEvaluator {
   Table scratch_;               // combined schema, rows cleared per call
   const sql::Expr* mask_pred_ = nullptr;  // predicate col_mask_ was built for
   std::vector<uint8_t> col_mask_;
-  SelVector surviving_;
-  std::vector<uint8_t> pass_;
+  kernels::Bitmap pass_;
 };
 
 /// Filters a JoinPairView in place by a predicate bound against the combined

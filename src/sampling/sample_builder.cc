@@ -23,21 +23,18 @@ std::string JoinList(const std::vector<std::string>& items,
   return out;
 }
 
-/// Materializes a membership view of the base table plus a constant
-/// verdict_prob column into a fresh sample table. The membership scan emits
-/// a (table, SelVector) view, not a copy; this gather — column-parallel on
-/// num_threads — is the sample construction's single materialization.
-Result<engine::TablePtr> MaterializeSample(engine::TablePtr base,
-                                           engine::SelVector sel, double prob,
-                                           int num_threads) {
-  auto view = engine::RowView::Select(std::move(base), std::move(sel));
-  if (!view.ok()) return view.status();
-  const size_t n = view.value().num_rows();
-  auto sample = view.value().Gather(num_threads);
+/// Appends the constant verdict_prob column to a materialized sample. The
+/// membership scan itself is engine::FilterGatherParallel — one fused
+/// morsel-parallel filter+gather pass over the base table (each worker
+/// gathers its own morsel's survivors while they are cache-hot; no
+/// full-table selection vector, no second scan of the base columns). The
+/// probability attaches afterwards because hashed samples derive it from the
+/// realized survivor count.
+void AttachProbColumn(engine::Table* sample, double prob) {
   engine::Column prob_col = engine::Column::FromData(
-      TypeId::kDouble, {}, std::vector<double>(n, prob), {}, {});
+      TypeId::kDouble, {}, std::vector<double>(sample->num_rows(), prob), {},
+      {});
   sample->AddColumn("verdict_prob", std::move(prob_col));
-  return sample;
 }
 
 }  // namespace
@@ -97,14 +94,12 @@ Result<SampleInfo> SampleBuilder::CreateUniformSample(const std::string& base,
                                 sql::MakeFunction("rand", {}),
                                 sql::MakeDoubleLit(tau));
     pred->args[0]->rand_site = 1;
-    engine::SelVector sel;
-    VDB_RETURN_IF_ERROR(engine::EvalPredicateParallel(
-        *pred, *t, db->NewQuerySeed(), db->num_threads(), &sel));
-    db->AddRowsScanned(t->num_rows());
-    info.sample_rows = sel.size();
-    auto sample =
-        MaterializeSample(t, std::move(sel), tau, db->num_threads());
+    auto sample = engine::FilterGatherParallel(*pred, *t, db->NewQuerySeed(),
+                                               db->num_threads());
     if (!sample.ok()) return sample.status();
+    db->AddRowsScanned(t->num_rows());
+    info.sample_rows = sample.value()->num_rows();
+    AttachProbColumn(sample.value().get(), tau);
     VDB_RETURN_IF_ERROR(db->catalog().CreateTable(
         info.sample_table, std::move(sample).ValueOrDie()));
     VDB_RETURN_IF_ERROR(catalog_->Register(info));
@@ -163,21 +158,19 @@ Result<SampleInfo> SampleBuilder::CreateHashedSample(const std::string& base,
         sql::MakeBinary(sql::BinaryOp::kLt,
                         sql::MakeFunction("verdict_hash", std::move(args)),
                         sql::MakeDoubleLit(tau));
-    engine::SelVector sel;
     // The hash predicate is fully deterministic (no rand-family node), so
     // no query seed is drawn — drawing one would needlessly shift the
     // seeded per-statement seed sequence of everything that follows.
-    VDB_RETURN_IF_ERROR(engine::EvalPredicateParallel(
-        *pred, *t, /*rand_seed=*/0, db->num_threads(), &sel));
+    auto sample = engine::FilterGatherParallel(*pred, *t, /*rand_seed=*/0,
+                                               db->num_threads());
+    if (!sample.ok()) return sample.status();
     db->AddRowsScanned(t->num_rows());
-    info.sample_rows = sel.size();
+    info.sample_rows = sample.value()->num_rows();
     // Hashed samples record the realized ratio |Ts|/|T| (paper §3.1).
     info.ratio = n.value() == 0 ? 0.0
-                                : static_cast<double>(sel.size()) /
+                                : static_cast<double>(info.sample_rows) /
                                       static_cast<double>(n.value());
-    auto sample =
-        MaterializeSample(t, std::move(sel), info.ratio, db->num_threads());
-    if (!sample.ok()) return sample.status();
+    AttachProbColumn(sample.value().get(), info.ratio);
     VDB_RETURN_IF_ERROR(db->catalog().CreateTable(
         info.sample_table, std::move(sample).ValueOrDie()));
     VDB_RETURN_IF_ERROR(catalog_->Register(info));

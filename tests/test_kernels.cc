@@ -1,0 +1,378 @@
+// Direct differential units for the SIMD kernel layer (engine/kernels):
+// every kernel, every dispatch level the machine supports, bit-identical
+// against the scalar reference — including NaN/±0.0 payloads, INT64_MIN/MAX
+// edges, and non-multiple-of-64 batch tails.
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "engine/kernels/bitmap.h"
+#include "engine/kernels/kernels.h"
+#include "engine/kernels/kernels_scalar.h"
+
+namespace vdb::engine::kernels {
+namespace {
+
+// Batch sizes straddling the 64-row word and 4-lane vector boundaries.
+const size_t kSizes[] = {0, 1, 3, 4, 5, 63, 64, 65, 127, 128, 129, 1000, 4096};
+
+std::vector<SimdLevel> LevelsToTest() {
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  if (DetectedSimdLevel() == SimdLevel::kAvx2) {
+    levels.push_back(SimdLevel::kAvx2);
+  }
+  return levels;
+}
+
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(SimdLevel level) : saved_(CurrentSimdLevel()) {
+    SetSimdLevelForTest(level);
+  }
+  ~ScopedSimdLevel() { SetSimdLevelForTest(saved_); }
+
+ private:
+  SimdLevel saved_;
+};
+
+/// memcmp is declared nonnull; empty vectors hand out null data pointers,
+/// so the n == 0 cases must short-circuit before touching libc.
+int CmpBytes(const void* a, const void* b, size_t bytes) {
+  return bytes == 0 ? 0 : std::memcmp(a, b, bytes);
+}
+
+std::vector<int64_t> RandomI64(Rng& rng, size_t n) {
+  std::vector<int64_t> v(n);
+  for (size_t k = 0; k < n; ++k) {
+    switch (rng.NextBounded(8)) {
+      case 0: v[k] = 0; break;
+      case 1: v[k] = std::numeric_limits<int64_t>::min(); break;
+      case 2: v[k] = std::numeric_limits<int64_t>::max(); break;
+      case 3: v[k] = rng.NextInRange(-4, 4); break;  // force compare ties
+      default: v[k] = static_cast<int64_t>(rng.Next());
+    }
+  }
+  return v;
+}
+
+std::vector<double> RandomF64(Rng& rng, size_t n) {
+  std::vector<double> v(n);
+  for (size_t k = 0; k < n; ++k) {
+    switch (rng.NextBounded(8)) {
+      case 0: v[k] = std::numeric_limits<double>::quiet_NaN(); break;
+      case 1: v[k] = 0.0; break;
+      case 2: v[k] = -0.0; break;
+      case 3: v[k] = std::numeric_limits<double>::infinity(); break;
+      case 4: v[k] = -std::numeric_limits<double>::infinity(); break;
+      case 5: v[k] = static_cast<double>(rng.NextInRange(-4, 4)); break;
+      default: v[k] = (rng.NextDouble() - 0.5) * 1e12;
+    }
+  }
+  return v;
+}
+
+const CmpOp kCmpOps[] = {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt,
+                         CmpOp::kLe, CmpOp::kGt, CmpOp::kGe};
+const ArithOp kArithOps[] = {ArithOp::kAdd, ArithOp::kSub, ArithOp::kMul};
+
+TEST(KernelsTest, DetectReportsConsistentLevel) {
+  // CurrentSimdLevel starts at the detected level (no VDB_SIMD in the test
+  // environment contract) and SetSimdLevelForTest clamps to it.
+  ScopedSimdLevel scoped(SimdLevel::kAvx2);
+  EXPECT_EQ(CurrentSimdLevel(), DetectedSimdLevel());
+  SetSimdLevelForTest(SimdLevel::kScalar);
+  EXPECT_EQ(CurrentSimdLevel(), SimdLevel::kScalar);
+}
+
+TEST(KernelsTest, CmpI64MatchesScalarReference) {
+  Rng rng(7);
+  for (size_t n : kSizes) {
+    auto a = RandomI64(rng, n);
+    auto b = RandomI64(rng, n);
+    const int64_t c = n == 0 ? 0 : a[rng.NextBounded(n)];
+    for (CmpOp op : kCmpOps) {
+      Bitmap ref_vv, ref_vc;
+      ref_vv.ResetForOverwrite(n);
+      ref_vc.ResetForOverwrite(n);
+      scalar::CmpVV(op, a.data(), b.data(), n, ref_vv.words());
+      scalar::CmpVC(op, a.data(), c, n, ref_vc.words());
+      for (SimdLevel level : LevelsToTest()) {
+        ScopedSimdLevel scoped(level);
+        Bitmap got;
+        got.ResetForOverwrite(n);
+        Ops().cmp_i64_vv(op, a.data(), b.data(), n, got.words());
+        for (size_t w = 0; w < got.num_words(); ++w) {
+          ASSERT_EQ(got.word(w), ref_vv.word(w))
+              << "vv op=" << static_cast<int>(op) << " n=" << n << " w=" << w
+              << " level=" << SimdLevelName(level);
+        }
+        Ops().cmp_i64_vc(op, a.data(), c, n, got.words());
+        for (size_t w = 0; w < got.num_words(); ++w) {
+          ASSERT_EQ(got.word(w), ref_vc.word(w))
+              << "vc op=" << static_cast<int>(op) << " n=" << n << " w=" << w
+              << " level=" << SimdLevelName(level);
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, CmpF64MatchesScalarReferenceIncludingNaN) {
+  Rng rng(11);
+  for (size_t n : kSizes) {
+    auto a = RandomF64(rng, n);
+    auto b = RandomF64(rng, n);
+    for (double c : {0.0, std::numeric_limits<double>::quiet_NaN(), 1.5}) {
+      for (CmpOp op : kCmpOps) {
+        Bitmap ref_vv, ref_vc;
+        ref_vv.ResetForOverwrite(n);
+        ref_vc.ResetForOverwrite(n);
+        scalar::CmpVV(op, a.data(), b.data(), n, ref_vv.words());
+        scalar::CmpVC(op, a.data(), c, n, ref_vc.words());
+        for (SimdLevel level : LevelsToTest()) {
+          ScopedSimdLevel scoped(level);
+          Bitmap got;
+          got.ResetForOverwrite(n);
+          Ops().cmp_f64_vv(op, a.data(), b.data(), n, got.words());
+          for (size_t w = 0; w < got.num_words(); ++w) {
+            ASSERT_EQ(got.word(w), ref_vv.word(w))
+                << "vv op=" << static_cast<int>(op) << " n=" << n
+                << " w=" << w << " level=" << SimdLevelName(level);
+          }
+          Ops().cmp_f64_vc(op, a.data(), c, n, got.words());
+          for (size_t w = 0; w < got.num_words(); ++w) {
+            ASSERT_EQ(got.word(w), ref_vc.word(w))
+                << "vc op=" << static_cast<int>(op) << " n=" << n
+                << " w=" << w << " level=" << SimdLevelName(level);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, CmpF64NaNLandsInEqualBucket) {
+  // The engine's three-way convention: compares are built from < and > only,
+  // so NaN is neither less nor greater — kEq holds, kLt/kGt/kNe do not.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double a[1] = {nan};
+  for (SimdLevel level : LevelsToTest()) {
+    ScopedSimdLevel scoped(level);
+    uint64_t bits = 0;
+    Ops().cmp_f64_vc(CmpOp::kEq, a, 3.0, 1, &bits);
+    EXPECT_EQ(bits, 1u) << SimdLevelName(level);
+    Ops().cmp_f64_vc(CmpOp::kLt, a, 3.0, 1, &bits);
+    EXPECT_EQ(bits, 0u) << SimdLevelName(level);
+    Ops().cmp_f64_vc(CmpOp::kNe, a, 3.0, 1, &bits);
+    EXPECT_EQ(bits, 0u) << SimdLevelName(level);
+  }
+}
+
+TEST(KernelsTest, ArithI64MatchesScalarReferenceWithWrap) {
+  Rng rng(13);
+  for (size_t n : kSizes) {
+    auto a = RandomI64(rng, n);
+    auto b = RandomI64(rng, n);
+    const int64_t c = 0x7FFFFFFFFFFFFFF1ll;
+    for (ArithOp op : kArithOps) {
+      std::vector<int64_t> ref_vv(n), ref_vc(n), ref_cv(n);
+      for (size_t k = 0; k < n; ++k) {
+        ref_vv[k] = scalar::ArithApply(op, a[k], b[k]);
+        ref_vc[k] = scalar::ArithApply(op, a[k], c);
+        ref_cv[k] = scalar::ArithApply(op, c, b[k]);
+      }
+      for (SimdLevel level : LevelsToTest()) {
+        ScopedSimdLevel scoped(level);
+        std::vector<int64_t> got(n);
+        Ops().arith_i64_vv(op, a.data(), b.data(), n, got.data());
+        EXPECT_EQ(got, ref_vv) << SimdLevelName(level);
+        Ops().arith_i64_vc(op, a.data(), c, n, got.data());
+        EXPECT_EQ(got, ref_vc) << SimdLevelName(level);
+        Ops().arith_i64_cv(op, c, b.data(), n, got.data());
+        EXPECT_EQ(got, ref_cv) << SimdLevelName(level);
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, ArithF64BitIdenticalAcrossLevels) {
+  Rng rng(17);
+  for (size_t n : kSizes) {
+    auto a = RandomF64(rng, n);
+    auto b = RandomF64(rng, n);
+    const double c = 1.0 / 3.0;
+    for (ArithOp op : kArithOps) {
+      std::vector<double> ref_vv(n), ref_vc(n), ref_cv(n);
+      for (size_t k = 0; k < n; ++k) {
+        ref_vv[k] = scalar::ArithApply(op, a[k], b[k]);
+        ref_vc[k] = scalar::ArithApply(op, a[k], c);
+        ref_cv[k] = scalar::ArithApply(op, c, b[k]);
+      }
+      for (SimdLevel level : LevelsToTest()) {
+        ScopedSimdLevel scoped(level);
+        std::vector<double> got(n);
+        Ops().arith_f64_vv(op, a.data(), b.data(), n, got.data());
+        ASSERT_EQ(CmpBytes(got.data(), ref_vv.data(), n * sizeof(double)),
+                  0)
+            << "vv " << SimdLevelName(level) << " n=" << n;
+        Ops().arith_f64_vc(op, a.data(), c, n, got.data());
+        ASSERT_EQ(CmpBytes(got.data(), ref_vc.data(), n * sizeof(double)),
+                  0)
+            << "vc " << SimdLevelName(level) << " n=" << n;
+        Ops().arith_f64_cv(op, c, b.data(), n, got.data());
+        ASSERT_EQ(CmpBytes(got.data(), ref_cv.data(), n * sizeof(double)),
+                  0)
+            << "cv " << SimdLevelName(level) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, BytesNonzeroBitsMatchesScalar) {
+  Rng rng(19);
+  for (size_t n : kSizes) {
+    std::vector<uint8_t> bytes(n);
+    for (size_t k = 0; k < n; ++k) {
+      bytes[k] = static_cast<uint8_t>(rng.NextBounded(3) == 0 ? 0
+                                                              : rng.Next());
+    }
+    Bitmap ref;
+    ref.ResetForOverwrite(n);
+    scalar::BytesNonzeroBits(bytes.data(), n, ref.words());
+    for (SimdLevel level : LevelsToTest()) {
+      ScopedSimdLevel scoped(level);
+      Bitmap got;
+      got.ResetForOverwrite(n);
+      Ops().bytes_nonzero_bits(bytes.data(), n, got.words());
+      for (size_t w = 0; w < got.num_words(); ++w) {
+        ASSERT_EQ(got.word(w), ref.word(w))
+            << "n=" << n << " w=" << w << " level=" << SimdLevelName(level);
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, RandF64SeqBitIdenticalToCounterRandomDouble) {
+  for (size_t n : kSizes) {
+    const uint64_t seed = 0xDEADBEEFCAFEF00Dull;
+    const uint64_t row0 = 12345;
+    const uint64_t site = 3;
+    std::vector<double> ref(n);
+    for (size_t k = 0; k < n; ++k) {
+      ref[k] = CounterRandomDouble(seed, row0 + k, site);
+    }
+    for (SimdLevel level : LevelsToTest()) {
+      ScopedSimdLevel scoped(level);
+      std::vector<double> got(n);
+      Ops().rand_f64_seq(seed, row0, site, n, got.data());
+      ASSERT_EQ(CmpBytes(got.data(), ref.data(), n * sizeof(double)), 0)
+          << SimdLevelName(level) << " n=" << n;
+    }
+  }
+}
+
+TEST(KernelsTest, HashMixI64MatchesScalarWithAndWithoutNulls) {
+  Rng rng(23);
+  const uint64_t kNullHash = 0x9AE16A3B2F90404Full;
+  for (size_t n : kSizes) {
+    auto data = RandomI64(rng, n);
+    std::vector<uint8_t> nulls(n);
+    for (size_t k = 0; k < n; ++k) {
+      nulls[k] = rng.NextBounded(4) == 0 ? 1 : 0;
+    }
+    std::vector<uint64_t> seed_h(n);
+    for (size_t k = 0; k < n; ++k) seed_h[k] = rng.Next();
+
+    const uint8_t* null_variants[] = {nullptr, nulls.data()};
+    for (const uint8_t* null_ptr : null_variants) {
+      std::vector<uint64_t> ref = seed_h;
+      scalar::HashMixI64(ref.data(), data.data(), null_ptr, kNullHash, n);
+      for (SimdLevel level : LevelsToTest()) {
+        ScopedSimdLevel scoped(level);
+        std::vector<uint64_t> got = seed_h;
+        Ops().hash_mix_i64(got.data(), data.data(), null_ptr, kNullHash, n);
+        ASSERT_EQ(got, ref) << SimdLevelName(level) << " n=" << n
+                            << " nulls=" << (null_ptr != nullptr);
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, BloomPrefilterMatchesScalarAndHasNoFalseNegatives) {
+  Rng rng(29);
+  const size_t kWords = 1 << 6;  // 64 words -> shift 58
+  const int shift = 64 - 6;
+  std::vector<uint64_t> bloom(kWords, 0);
+  std::vector<uint64_t> members(300);
+  for (auto& h : members) {
+    h = rng.Next();
+    bloom[h >> shift] |= (uint64_t{1} << ((h >> 38) & 63)) |
+                         (uint64_t{1} << ((h >> 44) & 63));
+  }
+  for (size_t n : kSizes) {
+    std::vector<uint64_t> probes(n);
+    for (size_t k = 0; k < n; ++k) {
+      probes[k] = rng.NextBounded(2) == 0 && !members.empty()
+                      ? members[rng.NextBounded(members.size())]
+                      : rng.Next();
+    }
+    Bitmap ref;
+    ref.ResetForOverwrite(n);
+    scalar::BloomPrefilter(bloom.data(), shift, probes.data(), n, ref.words());
+    // No false negatives: every member probe must pass the reference.
+    for (size_t k = 0; k < n; ++k) {
+      bool is_member = false;
+      for (uint64_t m : members) is_member |= (m == probes[k]);
+      if (is_member) {
+        ASSERT_TRUE(ref.Test(k));
+      }
+    }
+    for (SimdLevel level : LevelsToTest()) {
+      ScopedSimdLevel scoped(level);
+      Bitmap got;
+      got.ResetForOverwrite(n);
+      Ops().bloom_prefilter(bloom.data(), shift, probes.data(), n,
+                            got.words());
+      for (size_t w = 0; w < got.num_words(); ++w) {
+        ASSERT_EQ(got.word(w), ref.word(w))
+            << "n=" << n << " w=" << w << " level=" << SimdLevelName(level);
+      }
+    }
+  }
+}
+
+TEST(BitmapTest, TailInvariantAndCounts) {
+  Bitmap m;
+  m.ResetZero(70);
+  EXPECT_EQ(m.num_words(), 2u);
+  EXPECT_EQ(m.CountSet(), 0u);
+  m.Set(0);
+  m.Set(63);
+  m.Set(69);
+  EXPECT_EQ(m.CountSet(), 3u);
+  EXPECT_TRUE(m.Test(63));
+  EXPECT_FALSE(m.Test(64));
+  m.Clear(63);
+  EXPECT_EQ(m.CountSet(), 2u);
+
+  m.ResetOnes(70);
+  EXPECT_EQ(m.CountSet(), 70u);
+  // Zeroed-tail invariant: bits past 70 in the last word must be clear.
+  EXPECT_EQ(m.word(1) >> (70 - 64), 0u);
+
+  m.ResetOnes(64);
+  EXPECT_EQ(m.num_words(), 1u);
+  EXPECT_EQ(m.CountSet(), 64u);
+
+  m.ResetZero(0);
+  EXPECT_EQ(m.CountSet(), 0u);
+}
+
+}  // namespace
+}  // namespace vdb::engine::kernels

@@ -21,6 +21,7 @@
 #include "common/thread_pool.h"
 #include "engine/aggregates.h"
 #include "engine/group_ids.h"
+#include "engine/join_table.h"
 #include "engine/operators.h"
 #include "sql/ast.h"
 
@@ -348,6 +349,112 @@ TEST_F(JoinRewriteTest, ForcedCollisionsOnMultiColumnStringKeys) {
   auto right = make(90, 15, "rv");
   CheckJoinMatchesReference(*left, *right, {0, 1}, {0, 1},
                             sql::JoinType::kInner, "multi-key collisions");
+}
+
+// ---------------------------------------------------------------------------
+// Join Bloom pre-probe. The blocked Bloom filter may only ever REJECT probe
+// rows that cannot match — no false negatives — so pair lists with the
+// filter forced on and forced off must be identical, element for element, at
+// any thread count, any hit rate, and under forced hash collisions.
+// ---------------------------------------------------------------------------
+
+TablePtr MakeKeyedRange(size_t rows, int64_t base, const char* payload_name,
+                        int null_every = 0) {
+  auto t = std::make_shared<Table>();
+  Column key(TypeId::kInt64), payload(TypeId::kInt64);
+  for (size_t r = 0; r < rows; ++r) {
+    if (null_every > 0 && r % null_every == 0) {
+      key.Append(Value::Null());
+    } else {
+      key.AppendInt(base + static_cast<int64_t>(r));
+    }
+    payload.AppendInt(static_cast<int64_t>(r));
+  }
+  t->AddColumn("k", std::move(key));
+  t->AddColumn(payload_name, std::move(payload));
+  return t;
+}
+
+class JoinBloomTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kAnyCount = static_cast<size_t>(-1);
+
+  void SetUp() override { SetMorselRowsForTest(64); }
+  void TearDown() override {
+    SetMorselRowsForTest(0);
+    SetJoinKeyHashMaskForTest(~0ull);
+    SetJoinBloomForTest(-1);
+  }
+
+  static Result<JoinPairView> RunPairs(const TablePtr& left,
+                                       const TablePtr& right, int bloom_mode,
+                                       int threads) {
+    SetJoinBloomForTest(bloom_mode);
+    auto view = HashJoinPairs(left, right, {&left->column(0)},
+                              {&right->column(0)}, sql::JoinType::kInner,
+                              /*residual=*/nullptr, /*rand_seed=*/1, threads);
+    SetJoinBloomForTest(-1);
+    return view;
+  }
+
+  /// Runs the join with the filter forced off (reference) and forced on at
+  /// 1/2/8 threads; the pair lists must match exactly. `expect_pairs`
+  /// additionally pins the join cardinality (kAnyCount skips that check).
+  static void CheckBloomDifferential(const TablePtr& left,
+                                     const TablePtr& right,
+                                     size_t expect_pairs, const char* what) {
+    for (int threads : {1, 2, 8}) {
+      auto ref = RunPairs(left, right, /*bloom_mode=*/0, threads);
+      auto fil = RunPairs(left, right, /*bloom_mode=*/1, threads);
+      ASSERT_TRUE(ref.ok()) << what << ": " << ref.status().ToString();
+      ASSERT_TRUE(fil.ok()) << what << ": " << fil.status().ToString();
+      if (expect_pairs != kAnyCount) {
+        EXPECT_EQ(ref.value().num_pairs(), expect_pairs)
+            << what << " @" << threads;
+      }
+      ASSERT_EQ(fil.value().lrows(), ref.value().lrows())
+          << what << " @" << threads << ": filter dropped/reordered pairs";
+      ASSERT_EQ(fil.value().rrows(), ref.value().rrows())
+          << what << " @" << threads << ": filter dropped/reordered pairs";
+    }
+  }
+};
+
+TEST_F(JoinBloomTest, ZeroHitProbe) {
+  // Disjoint key domains: every probe row is Bloom-rejectable (modulo false
+  // positives) and the join is empty with or without the filter.
+  auto left = MakeKeyedRange(500, 100000, "lv");
+  auto right = MakeKeyedRange(400, 0, "rv");
+  CheckBloomDifferential(left, right, /*expect_pairs=*/0, "zero-hit");
+}
+
+TEST_F(JoinBloomTest, FullHitProbe) {
+  // Every probe key is present: the filter rejects nothing and must not
+  // drop or reorder a single pair. (The production auto policy bails out of
+  // this case adaptively; forcing the filter on via SetJoinBloomForTest(1)
+  // disables the bail-out and exercises the worst case end to end.)
+  auto left = MakeKeyedRange(300, 0, "lv");
+  auto right = MakeKeyedRange(300, 0, "rv");
+  CheckBloomDifferential(left, right, /*expect_pairs=*/300, "full-hit");
+}
+
+TEST_F(JoinBloomTest, MixedHitWithDuplicatesAndNullKeys) {
+  // Duplicate build keys (chains), NULL probe and build keys (never join,
+  // checked before the Bloom test), and a partial-overlap key range.
+  auto left = MakeKeyedRange(240, 0, "lv", /*null_every=*/7);
+  auto right = MakeKeyed(160, 40, "rv");  // keys 0..39, four dups each
+  CheckBloomDifferential(left, right, kAnyCount, "mixed-hit");
+}
+
+TEST_F(JoinBloomTest, ForcedCollisionMaskDegeneratesFilterSafely) {
+  // 3-bit hashes collapse the Bloom addressing: every key owns word 0 and
+  // test bit 0, so the filter passes everything — maximum false-positive
+  // rate, but still zero false negatives. Pair lists must stay identical
+  // while the collision chains resolve through key verification.
+  SetJoinKeyHashMaskForTest(0x7);
+  auto left = MakeKeyed(200, 37, "lv");
+  auto right = MakeKeyed(150, 25, "rv");
+  CheckBloomDifferential(left, right, kAnyCount, "collision");
 }
 
 TEST_F(JoinRewriteTest, EmptyBuildSide) {

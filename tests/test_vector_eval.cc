@@ -16,6 +16,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "common/thread_pool.h"
 #include "engine/database.h"
 #include "engine/expr_eval.h"
+#include "engine/kernels/kernels.h"
 #include "engine/table.h"
 #include "engine/vector_eval.h"
 #include "sql/ast.h"
@@ -329,6 +331,139 @@ TEST(VectorEvalFuzz, RandomNullPatterns) {
     Batch b{t.get(), nullptr, /*rand_seed=*/3};
     ExpectBatchMatchesRow(*e, b);
     if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch-level differential fuzz: every randomized expression must produce
+// BIT-identical results (doubles compared by bit pattern, NULL masks exactly)
+// under every available SIMD dispatch level. Tables carry the adversarial
+// float classes (NaN, +0.0/-0.0, +/-inf) and extreme int64 values, and row
+// counts straddle the 64-row word boundary so the AVX2 kernels' scalar tail
+// handoff is exercised on every width.
+// ---------------------------------------------------------------------------
+
+TablePtr MakeAdversarialTable(Rng* rng, size_t rows) {
+  auto t = std::make_shared<Table>();
+  t->AddColumn("i1", TypeId::kInt64);
+  t->AddColumn("i2", TypeId::kInt64);
+  t->AddColumn("d1", TypeId::kDouble);
+  t->AddColumn("d2", TypeId::kDouble);
+  t->AddColumn("s1", TypeId::kString);
+  t->AddColumn("b1", TypeId::kBool);
+  const double kDoublePool[] = {
+      std::numeric_limits<double>::quiet_NaN(),
+      0.0,
+      -0.0,
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      1.5,
+      -2.25,
+      1e300,
+  };
+  const int64_t kIntPool[] = {std::numeric_limits<int64_t>::min(),
+                              std::numeric_limits<int64_t>::max(), -3, 0, 5};
+  static const char* kStrings[] = {"a", "ab", "", "ba"};
+  auto pick_double = [&] {
+    return rng->NextBernoulli(0.5)
+               ? kDoublePool[rng->NextBounded(8)]
+               : static_cast<double>(rng->NextInRange(-40, 40)) / 8.0;
+  };
+  auto pick_int = [&] {
+    return rng->NextBernoulli(0.3) ? kIntPool[rng->NextBounded(5)]
+                                   : rng->NextInRange(-6, 6);
+  };
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<Value> row;
+    row.push_back(Value::Int(pick_int()));
+    row.push_back(rng->NextBernoulli(0.25) ? Value::Null()
+                                           : Value::Int(pick_int()));
+    row.push_back(Value::Double(pick_double()));
+    row.push_back(rng->NextBernoulli(0.25) ? Value::Null()
+                                           : Value::Double(pick_double()));
+    row.push_back(rng->NextBernoulli(0.2)
+                      ? Value::Null()
+                      : Value::String(kStrings[rng->NextBounded(4)]));
+    row.push_back(Value::Bool(rng->NextBernoulli(0.5)));
+    t->AppendRow(row);
+  }
+  return t;
+}
+
+/// Bit-exact column equality: NULL masks must match exactly, doubles are
+/// compared as raw bit patterns (distinguishing -0.0 from 0.0 and preserving
+/// the NaN class), everything else by exact value.
+void ExpectColumnsBitIdentical(const Column& a, const Column& b,
+                               const Expr& e, const char* level) {
+  ASSERT_EQ(a.size(), b.size()) << sql::PrintExpr(e);
+  ASSERT_EQ(a.type(), b.type()) << sql::PrintExpr(e) << " level " << level;
+  for (size_t k = 0; k < a.size(); ++k) {
+    ASSERT_EQ(a.IsNull(k), b.IsNull(k))
+        << sql::PrintExpr(e) << " row " << k << " level " << level;
+    if (a.IsNull(k)) continue;
+    const Value va = a.Get(k), vb = b.Get(k);
+    if (va.type() == TypeId::kDouble && vb.type() == TypeId::kDouble) {
+      const double x = va.AsDouble(), y = vb.AsDouble();
+      uint64_t xb, yb;
+      std::memcpy(&xb, &x, sizeof(xb));
+      std::memcpy(&yb, &y, sizeof(yb));
+      ASSERT_EQ(xb, yb) << sql::PrintExpr(e) << " row " << k << " level "
+                        << level << ": " << x << " vs " << y;
+    } else {
+      ASSERT_TRUE(SameValue(va, vb))
+          << sql::PrintExpr(e) << " row " << k << " level " << level << ": "
+          << va.ToString() << " vs " << vb.ToString();
+    }
+  }
+}
+
+TEST(SimdDispatchFuzz, BatchResultsBitIdenticalAcrossDispatchLevels) {
+  namespace k = kernels;
+  const k::SimdLevel detected = k::DetectedSimdLevel();
+  std::vector<k::SimdLevel> levels{k::SimdLevel::kScalar};
+  if (detected != k::SimdLevel::kScalar) levels.push_back(detected);
+  // With only the scalar level available the loop still validates the
+  // scalar-vs-scalar plumbing; the real cross-check needs AVX2 hardware.
+  Rng rng(0xD15BA7C4);
+  // Row counts straddling whole-word boundaries: sub-word, exact words, and
+  // words plus ragged tails.
+  const size_t kRowCounts[] = {1, 63, 64, 65, 127, 192, 301};
+  for (size_t rows : kRowCounts) {
+    auto t = MakeAdversarialTable(&rng, rows);
+    ExprGen gen(&rng);
+    for (int i = 0; i < 40; ++i) {
+      auto e = gen.Gen(4);
+      std::vector<Column> cols;
+      std::vector<SelVector> sels;
+      bool evals_ok = true;
+      for (size_t li = 0; li < levels.size(); ++li) {
+        k::SetSimdLevelForTest(levels[li]);
+        Batch b{t.get(), nullptr, /*rand_seed=*/7};
+        auto c = EvalExprBatch(*e, b);
+        SelVector sel;
+        Status ps = EvalPredicateBatch(*e, b, &sel);
+        k::SetSimdLevelForTest(detected);
+        // Errors come from the expression tree, never from a kernel, so if
+        // any level errors it must be level 0 (and all levels alike).
+        if (!c.ok() || !ps.ok()) {
+          ASSERT_EQ(li, size_t{0})
+              << "level-dependent error: " << sql::PrintExpr(*e);
+          evals_ok = false;
+          break;
+        }
+        cols.push_back(std::move(c).ValueOrDie());
+        sels.push_back(std::move(sel));
+      }
+      if (!evals_ok) continue;
+      for (size_t li = 1; li < cols.size(); ++li) {
+        ExpectColumnsBitIdentical(cols[0], cols[li], *e,
+                                  k::SimdLevelName(levels[li]));
+        EXPECT_EQ(sels[0], sels[li])
+            << sql::PrintExpr(*e) << " predicate survivors diverge at level "
+            << k::SimdLevelName(levels[li]);
+      }
+      if (::testing::Test::HasFatalFailure()) return;
+    }
   }
 }
 

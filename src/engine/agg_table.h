@@ -1,0 +1,199 @@
+// Flat open-addressing group tables for hash aggregation, DISTINCT, and
+// window partitioning — the aggregation-side sibling of engine/join_table.
+// One power-of-two slot array (64-bit mixed key hash + group id per slot),
+// linear probing, hash-first match with representative-row verification, no
+// per-row or per-group string keys anywhere. The same table backs three
+// clients:
+//
+//   - AssignGroupIds / AssignGroupIdsSelected: dense group-id assignment
+//     over column key tuples (kernel-backed hashing via HashGroupColumn);
+//   - GroupMergeTable: the morsel-partial merge, keyed on group-key Value
+//     tuples whose hashes the producing morsels already computed;
+//   - the flat DISTINCT value set in aggregates.cc.
+
+#ifndef VDB_ENGINE_AGG_TABLE_H_
+#define VDB_ENGINE_AGG_TABLE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/value.h"
+#include "engine/column.h"
+#include "engine/group_ids.h"
+
+namespace vdb::engine {
+
+/// Test hook: ANDs every group hash (AssignGroupIds, the merge table, the
+/// flat DISTINCT set) with `mask` after mixing, forcing distinct keys into
+/// shared 64-bit hashes so collision handling is exercised
+/// deterministically. ~0ull (the default) disables. The group-side sibling
+/// of SetJoinKeyHashMaskForTest; plain global, set outside parallel regions.
+void SetGroupHashMaskForTest(uint64_t mask);
+uint64_t GroupHashMaskForTest();
+
+/// Hashes multi-column group keys for rows [0, num_rows) column-at-a-time
+/// (kernel-dispatched typed lanes via HashGroupColumn) into *hashes,
+/// applying the test mask. With no columns every row hashes to the bare
+/// seed (the implicit aggregate group).
+void HashGroupKeys(const std::vector<const Column*>& cols, size_t num_rows,
+                   std::vector<uint64_t>* hashes);
+
+/// A group-key column with a row base: batch position k reads col row
+/// base + k. The flat sink's zero-copy direct-column path points straight at
+/// a table column with the morsel's start row as base instead of slicing it
+/// into a fresh Column; evaluated expression columns use base 0.
+struct KeyCol {
+  const Column* col = nullptr;
+  size_t base = 0;
+};
+
+/// Power-of-two open-addressing group table, reusable as scratch. Callers
+/// must Reset before first use. FindOrInsert assigns dense group ids in
+/// first-occurrence order and records each group's hash, which doubles as
+/// the rehash source on growth.
+class GroupTable {
+ public:
+  static constexpr uint32_t kNoGroup = 0xFFFFFFFFu;
+
+  /// Clears to zero groups, sized so `expected` groups fit without growth.
+  void Reset(size_t expected);
+
+  size_t num_groups() const { return group_hashes_.size(); }
+  uint64_t group_hash(uint32_t gid) const { return group_hashes_[gid]; }
+
+  /// Moves the per-group hash array out (insertion order); Reset before
+  /// reusing the table afterwards.
+  std::vector<uint64_t> TakeGroupHashes() { return std::move(group_hashes_); }
+
+  /// Finds the group with hash `h` for which eq(gid) holds, or inserts a
+  /// new one (returning the next dense id). eq runs only on same-hash
+  /// candidates — the representative-row verification — so it stays off the
+  /// hot path unless hashes collide.
+  template <typename Eq>
+  uint32_t FindOrInsert(uint64_t h, Eq&& eq, bool* inserted) {
+    if ((group_hashes_.size() + 1) * 4 > slots_.size() * 3) Grow();
+    const uint64_t mask = slots_.size() - 1;
+    size_t i = h & mask;
+    while (slots_[i].gid != kNoGroup) {
+      if (slots_[i].hash == h && eq(slots_[i].gid)) {
+        *inserted = false;
+        return slots_[i].gid;
+      }
+      i = (i + 1) & mask;
+    }
+    const uint32_t gid = static_cast<uint32_t>(group_hashes_.size());
+    slots_[i] = Slot{h, gid};
+    group_hashes_.push_back(h);
+    *inserted = true;
+    return gid;
+  }
+
+  /// Batched FindOrInsert over n keys: gids[k] = group id of hashes[k], with
+  /// eq(k, gid) the same-hash verification and on_insert(k, gid) called once
+  /// per fresh group BEFORE eq can see it (callers append the representative
+  /// there). Functionally identical to n FindOrInsert calls; the batch form
+  /// hoists the slot pointer, probe mask, and growth threshold out of the
+  /// per-row path — the dense group-id assignment loop is the hottest loop
+  /// in hash aggregation.
+  template <typename Eq, typename OnInsert>
+  void FindOrInsertBatch(const uint64_t* hashes, size_t n, Eq&& eq,
+                         OnInsert&& on_insert, uint32_t* gids) {
+    Slot* slots = slots_.data();
+    uint64_t mask = slots_.size() - 1;
+    size_t grow_at = slots_.size() / 4 * 3;
+    for (size_t k = 0; k < n; ++k) {
+      const uint64_t h = hashes[k];
+      size_t i = h & mask;
+      uint32_t gid;
+      for (;;) {
+        const Slot s = slots[i];
+        if (s.gid == kNoGroup) {
+          gid = static_cast<uint32_t>(group_hashes_.size());
+          slots[i] = Slot{h, gid};
+          group_hashes_.push_back(h);
+          on_insert(k, gid);
+          if (group_hashes_.size() >= grow_at) {
+            Grow();
+            slots = slots_.data();
+            mask = slots_.size() - 1;
+            grow_at = slots_.size() / 4 * 3;
+          }
+          break;
+        }
+        if (s.hash == h && eq(k, s.gid)) {
+          gid = s.gid;
+          break;
+        }
+        i = (i + 1) & mask;
+      }
+      gids[k] = gid;
+    }
+  }
+
+ private:
+  /// One probe touches one cache line: hash and gid live in the same
+  /// 16-byte slot rather than split across two arrays.
+  struct Slot {
+    uint64_t hash;
+    uint32_t gid;
+  };
+
+  void Grow();
+
+  std::vector<Slot> slots_;
+  std::vector<uint64_t> group_hashes_;  // per-gid, insertion order
+};
+
+/// Hashed merge table over group-key Value tuples: replaces the string-keyed
+/// merge map in the morsel-partial aggregation merge. Keys arrive with their
+/// hash already computed by the producing morsel's AssignGroupIds
+/// (GroupAssignment::group_hash — a pure function of the key values, so
+/// every morsel agrees); equality is GroupValuesEqual per component.
+class GroupMergeTable {
+ public:
+  void Reset(size_t arity, size_t expected);
+
+  size_t num_groups() const { return table_.num_groups(); }
+
+  /// Key tuple of group `gid` (`arity` values, insertion order).
+  const Value* group_keys(uint32_t gid) const {
+    return keys_.data() + static_cast<size_t>(gid) * arity_;
+  }
+
+  /// Finds or inserts the group whose key tuple is keys[0..arity); `h` must
+  /// be that tuple's group hash.
+  uint32_t FindOrInsert(uint64_t h, const Value* keys, bool* inserted);
+
+ private:
+  GroupTable table_;
+  std::vector<Value> keys_;
+  size_t arity_ = 0;
+};
+
+/// Assigns dense group ids over the selected rows rows[0..n) (ascending) of
+/// `cols`, each of dense size num_dense — the bitmap GROUP BY path, which
+/// dense-evaluates key expressions over a survivor span and groups only the
+/// set-bit rows without expanding the mask. out->gid_of_row[i] is the gid of
+/// rows[i]; rep_row holds dense row indices. Hashing runs over the full
+/// dense span (the typed kernels want contiguous lanes); only selected rows
+/// are probed, so gids, first-occurrence order, and group hashes match what
+/// AssignGroupIds would produce on the compacted rows.
+void AssignGroupIdsSelected(const std::vector<const Column*>& cols,
+                            size_t num_dense, const uint32_t* rows, size_t n,
+                            GroupAssignment* out);
+
+/// Based-column forms of AssignGroupIds / AssignGroupIdsSelected: batch
+/// position k of key column c reads c.col row c.base + k. Row indices in
+/// the result (gid_of_row positions, rep_row, `rows`) stay batch-relative.
+/// Output is identical to first slicing each column to [base, base + n) and
+/// calling the unbased form.
+GroupAssignment AssignGroupIdsBased(const std::vector<KeyCol>& cols,
+                                    size_t num_rows);
+void AssignGroupIdsSelectedBased(const std::vector<KeyCol>& cols,
+                                 size_t num_dense, const uint32_t* rows,
+                                 size_t n, GroupAssignment* out);
+
+}  // namespace vdb::engine
+
+#endif  // VDB_ENGINE_AGG_TABLE_H_

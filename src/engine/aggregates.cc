@@ -3,11 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <unordered_set>
 #include <vector>
 
 #include "common/hash.h"
+#include "engine/agg_table.h"
 #include "engine/hll.h"
+#include "engine/kernels/kernels.h"
 
 namespace vdb::engine {
 
@@ -105,22 +106,34 @@ class CountAcc : public AggAccumulator {
   int64_t count_ = 0;
 };
 
+/// COUNT(DISTINCT x): a flat open-addressing set of Values under the group
+/// equivalence — the same GroupTable, hash, and equality the group-id path
+/// uses, with no per-value string keys. The collision test mask applies so
+/// the differential fuzz exercises same-hash distinct values here too.
 class DistinctCountAcc : public AggAccumulator {
  public:
+  DistinctCountAcc() { table_.Reset(8); }
   void Add(const Value& v) override {
-    if (!v.is_null()) seen_.insert(ValueGroupKey(v));
+    if (v.is_null()) return;
+    const uint64_t h = GroupValueHash(v) & GroupHashMaskForTest();
+    bool inserted;
+    table_.FindOrInsert(
+        h, [&](uint32_t g) { return GroupValuesEqual(values_[g], v); },
+        &inserted);
+    if (inserted) values_.push_back(v);
   }
   bool Mergeable() const override { return true; }
   void Merge(const AggAccumulator& other) override {
     const auto& o = static_cast<const DistinctCountAcc&>(other);
-    seen_.insert(o.seen_.begin(), o.seen_.end());
+    for (const Value& v : o.values_) Add(v);
   }
   Value Finalize() const override {
-    return Value::Int(static_cast<int64_t>(seen_.size()));
+    return Value::Int(static_cast<int64_t>(values_.size()));
   }
 
  private:
-  std::unordered_set<std::string> seen_;
+  GroupTable table_;
+  std::vector<Value> values_;
 };
 
 /// Kahan–Babuška–Neumaier compensated accumulation: (sum, comp) carries the
@@ -420,6 +433,436 @@ class NdvAcc : public AggAccumulator {
   HyperLogLog hll_;
 };
 
+// ---------------------------------------------------- flat SoA accumulators
+//
+// One class per scatterable aggregate, each mirroring its object-path
+// counterpart above value for value: the same per-row recurrence in the same
+// row order, the same per-call batch semantics, the same merge algebra.
+// Group state lives in typed lane arrays indexed by gid; AddScatter is one
+// pass over a batch column, no per-group heap objects, no per-group
+// selection vectors.
+
+class FlatCountAgg : public FlatAggregator {
+ public:
+  explicit FlatCountAgg(bool star) : star_(star) {}
+  void ResizeGroups(size_t n) override { counts_.resize(n, 0); }
+  void AddScatter(const Column* col, size_t base, const uint32_t* gids,
+                  size_t n) override {
+    if (star_ || col == nullptr) {
+      for (size_t k = 0; k < n; ++k) ++counts_[gids[k]];
+      return;
+    }
+    for (size_t k = 0; k < n; ++k) {
+      if (!col->IsNull(base + k)) ++counts_[gids[k]];
+    }
+  }
+  void AddScatterSelected(const Column* col, size_t base, const uint32_t* rows,
+                          const uint32_t* gids, size_t n) override {
+    if (star_ || col == nullptr) {
+      for (size_t k = 0; k < n; ++k) ++counts_[gids[k]];
+      return;
+    }
+    for (size_t k = 0; k < n; ++k) {
+      if (!col->IsNull(base + rows[k])) ++counts_[gids[k]];
+    }
+  }
+  void MergeGroup(const FlatAggregator& other, uint32_t dst,
+                  uint32_t src) override {
+    counts_[dst] += static_cast<const FlatCountAgg&>(other).counts_[src];
+  }
+  void CopyGroup(const FlatAggregator& other, uint32_t dst,
+                 uint32_t src) override {
+    counts_[dst] = static_cast<const FlatCountAgg&>(other).counts_[src];
+  }
+  Value FinalizeGroup(uint32_t g) const override {
+    return Value::Int(counts_[g]);
+  }
+
+ private:
+  bool star_;
+  std::vector<int64_t> counts_;
+};
+
+/// SUM via the scatter-sum kernel: per-gid (sum, comp) Neumaier lanes plus
+/// the any-value and saw-non-Int64 flags SumAcc tracks.
+class FlatSumAgg : public FlatAggregator {
+ public:
+  void ResizeGroups(size_t n) override {
+    sums_.resize(n, 0.0);
+    comps_.resize(n, 0.0);
+    any_.resize(n, 0);
+    nonint_.resize(n, 0);
+  }
+  void AddScatter(const Column* col, size_t base, const uint32_t* gids,
+                  size_t n) override {
+    Scatter(col, base, nullptr, gids, n);
+  }
+  void AddScatterSelected(const Column* col, size_t base, const uint32_t* rows,
+                          const uint32_t* gids, size_t n) override {
+    Scatter(col, base, rows, gids, n);
+  }
+  void MergeGroup(const FlatAggregator& other, uint32_t dst,
+                  uint32_t src) override {
+    const auto& o = static_cast<const FlatSumAgg&>(other);
+    NeumaierAdd(sums_[dst], comps_[dst], o.sums_[src]);
+    NeumaierAdd(sums_[dst], comps_[dst], o.comps_[src]);
+    any_[dst] |= o.any_[src];
+    nonint_[dst] |= o.nonint_[src];
+  }
+  void CopyGroup(const FlatAggregator& other, uint32_t dst,
+                 uint32_t src) override {
+    const auto& o = static_cast<const FlatSumAgg&>(other);
+    sums_[dst] = o.sums_[src];
+    comps_[dst] = o.comps_[src];
+    any_[dst] = o.any_[src];
+    nonint_[dst] = o.nonint_[src];
+  }
+  Value FinalizeGroup(uint32_t g) const override {
+    if (!any_[g]) return Value::Null();
+    const double total = sums_[g] + comps_[g];
+    if (!nonint_[g]) {
+      return Value::Int(static_cast<int64_t>(std::llround(total)));
+    }
+    return Value::Double(total);
+  }
+
+ private:
+  void Scatter(const Column* col, size_t base, const uint32_t* rows,
+               const uint32_t* gids, size_t n) {
+    const uint8_t* nulls = col->NullData();
+    if (nulls != nullptr) nulls += base;
+    switch (col->type()) {
+      case TypeId::kInt64:
+        kernels::Ops().scatter_sum_i64(col->IntData() + base, nulls, rows,
+                                       gids, n, sums_.data(), comps_.data(),
+                                       any_.data(), nullptr);
+        return;
+      case TypeId::kDouble: {
+        kernels::Ops().scatter_sum_f64(col->DoubleData() + base, nulls, rows,
+                                       gids, n, sums_.data(), comps_.data(),
+                                       any_.data(), nullptr);
+        // SumAcc flips all_int_ per non-null double it adds; mark the same
+        // groups here (cheap second pass — the kernel carries one flag).
+        for (size_t k = 0; k < n; ++k) {
+          const size_t r = rows == nullptr ? k : rows[k];
+          if (nulls == nullptr || nulls[r] == 0) nonint_[gids[k]] = 1;
+        }
+        return;
+      }
+      default:
+        for (size_t k = 0; k < n; ++k) {
+          const size_t r = base + (rows == nullptr ? k : rows[k]);
+          const Value v = col->Get(r);
+          if (v.is_null()) continue;
+          const uint32_t g = gids[k];
+          any_[g] = 1;
+          if (v.type() != TypeId::kInt64) nonint_[g] = 1;
+          NeumaierAdd(sums_[g], comps_[g], v.AsDouble());
+        }
+    }
+  }
+
+  std::vector<double> sums_;
+  std::vector<double> comps_;
+  std::vector<uint8_t> any_;
+  std::vector<uint8_t> nonint_;  // saw a non-Int64 value (inverse of all_int_)
+};
+
+/// AVG: Neumaier (sum, comp) lanes plus the non-null count. AvgAcc adds
+/// GetNumeric for every column type; Int64/Bool lanes hit the i64 kernel
+/// (static_cast<double> of the raw storage — the same value GetNumeric
+/// reads), Double lanes the f64 kernel, everything else the generic loop.
+class FlatAvgAgg : public FlatAggregator {
+ public:
+  void ResizeGroups(size_t n) override {
+    sums_.resize(n, 0.0);
+    comps_.resize(n, 0.0);
+    ns_.resize(n, 0);
+  }
+  void AddScatter(const Column* col, size_t base, const uint32_t* gids,
+                  size_t n) override {
+    Scatter(col, base, nullptr, gids, n);
+  }
+  void AddScatterSelected(const Column* col, size_t base, const uint32_t* rows,
+                          const uint32_t* gids, size_t n) override {
+    Scatter(col, base, rows, gids, n);
+  }
+  void MergeGroup(const FlatAggregator& other, uint32_t dst,
+                  uint32_t src) override {
+    const auto& o = static_cast<const FlatAvgAgg&>(other);
+    NeumaierAdd(sums_[dst], comps_[dst], o.sums_[src]);
+    NeumaierAdd(sums_[dst], comps_[dst], o.comps_[src]);
+    ns_[dst] += o.ns_[src];
+  }
+  void CopyGroup(const FlatAggregator& other, uint32_t dst,
+                 uint32_t src) override {
+    const auto& o = static_cast<const FlatAvgAgg&>(other);
+    sums_[dst] = o.sums_[src];
+    comps_[dst] = o.comps_[src];
+    ns_[dst] = o.ns_[src];
+  }
+  Value FinalizeGroup(uint32_t g) const override {
+    if (ns_[g] == 0) return Value::Null();
+    return Value::Double((sums_[g] + comps_[g]) / static_cast<double>(ns_[g]));
+  }
+
+ private:
+  void Scatter(const Column* col, size_t base, const uint32_t* rows,
+               const uint32_t* gids, size_t n) {
+    const uint8_t* nulls = col->NullData();
+    if (nulls != nullptr) nulls += base;
+    switch (col->type()) {
+      case TypeId::kBool:
+      case TypeId::kInt64:
+        kernels::Ops().scatter_sum_i64(col->IntData() + base, nulls, rows,
+                                       gids, n, sums_.data(), comps_.data(),
+                                       nullptr, ns_.data());
+        return;
+      case TypeId::kDouble:
+        kernels::Ops().scatter_sum_f64(col->DoubleData() + base, nulls, rows,
+                                       gids, n, sums_.data(), comps_.data(),
+                                       nullptr, ns_.data());
+        return;
+      default:
+        for (size_t k = 0; k < n; ++k) {
+          const size_t r = base + (rows == nullptr ? k : rows[k]);
+          if (col->IsNull(r)) continue;
+          const uint32_t g = gids[k];
+          NeumaierAdd(sums_[g], comps_[g], col->GetNumeric(r));
+          ++ns_[g];
+        }
+    }
+  }
+
+  std::vector<double> sums_;
+  std::vector<double> comps_;
+  std::vector<int64_t> ns_;
+};
+
+/// MIN/MAX. One AddScatter call is one reference AddBatch: each touched
+/// group's batch-local extremum is found with the same strict typed
+/// comparisons MinMaxAcc::AddBatch uses, then folded ONCE through the Add
+/// recurrence — NOT folded row by row, which would diverge on NaNs
+/// (Value::Compare buckets NaN as equal, so a NaN-then-smaller batch keeps
+/// the pre-batch best under batch semantics but takes the smaller value
+/// under row folding). Epoch-stamped scratch lanes avoid re-clearing
+/// per-group state on every call.
+class FlatMinMaxAgg : public FlatAggregator {
+ public:
+  explicit FlatMinMaxAgg(bool is_min) : is_min_(is_min) {}
+  void ResizeGroups(size_t n) override {
+    best_.resize(n);
+    any_.resize(n, 0);
+    epoch_.resize(n, 0);
+  }
+  void AddScatter(const Column* col, size_t base, const uint32_t* gids,
+                  size_t n) override {
+    Scatter(col, base, nullptr, gids, n);
+  }
+  void AddScatterSelected(const Column* col, size_t base, const uint32_t* rows,
+                          const uint32_t* gids, size_t n) override {
+    Scatter(col, base, rows, gids, n);
+  }
+  void MergeGroup(const FlatAggregator& other, uint32_t dst,
+                  uint32_t src) override {
+    const auto& o = static_cast<const FlatMinMaxAgg&>(other);
+    if (o.any_[src]) Fold(dst, o.best_[src]);
+  }
+  void CopyGroup(const FlatAggregator& other, uint32_t dst,
+                 uint32_t src) override {
+    const auto& o = static_cast<const FlatMinMaxAgg&>(other);
+    best_[dst] = o.best_[src];
+    any_[dst] = o.any_[src];
+  }
+  Value FinalizeGroup(uint32_t g) const override {
+    return any_[g] ? best_[g] : Value::Null();
+  }
+
+ private:
+  /// MinMaxAcc::Add's exact recurrence (first-seen kept on ties and NaNs).
+  void Fold(uint32_t g, const Value& v) {
+    if (!any_[g]) {
+      best_[g] = v;
+      any_[g] = 1;
+      return;
+    }
+    const int c = v.Compare(best_[g]);
+    if ((is_min_ && c < 0) || (!is_min_ && c > 0)) best_[g] = v;
+  }
+
+  /// First touch of group g this call; stamps it and queues the fold.
+  bool Touch(uint32_t g) {
+    if (epoch_[g] == cur_epoch_) return false;
+    epoch_[g] = cur_epoch_;
+    touched_.push_back(g);
+    return true;
+  }
+
+  void Scatter(const Column* col, size_t base, const uint32_t* rows,
+               const uint32_t* gids, size_t n) {
+    ++cur_epoch_;
+    touched_.clear();
+    switch (col->type()) {
+      case TypeId::kInt64: {
+        if (batch_i64_.size() < best_.size()) batch_i64_.resize(best_.size());
+        for (size_t k = 0; k < n; ++k) {
+          const size_t r = base + (rows == nullptr ? k : rows[k]);
+          if (col->IsNull(r)) continue;
+          const int64_t x = col->GetInt(r);
+          const uint32_t g = gids[k];
+          if (Touch(g) || (is_min_ ? x < batch_i64_[g] : x > batch_i64_[g])) {
+            batch_i64_[g] = x;
+          }
+        }
+        for (uint32_t g : touched_) Fold(g, Value::Int(batch_i64_[g]));
+        return;
+      }
+      case TypeId::kDouble: {
+        if (batch_f64_.size() < best_.size()) batch_f64_.resize(best_.size());
+        for (size_t k = 0; k < n; ++k) {
+          const size_t r = base + (rows == nullptr ? k : rows[k]);
+          if (col->IsNull(r)) continue;
+          const double x = col->GetDouble(r);
+          const uint32_t g = gids[k];
+          if (Touch(g) || (is_min_ ? x < batch_f64_[g] : x > batch_f64_[g])) {
+            batch_f64_[g] = x;
+          }
+        }
+        for (uint32_t g : touched_) Fold(g, Value::Double(batch_f64_[g]));
+        return;
+      }
+      case TypeId::kString: {
+        if (batch_str_.size() < best_.size()) batch_str_.resize(best_.size());
+        for (size_t k = 0; k < n; ++k) {
+          const size_t r = base + (rows == nullptr ? k : rows[k]);
+          if (col->IsNull(r)) continue;
+          const std::string& x = col->GetString(r);
+          const uint32_t g = gids[k];
+          if (Touch(g) || (is_min_ ? x.compare(*batch_str_[g]) < 0
+                                   : x.compare(*batch_str_[g]) > 0)) {
+            batch_str_[g] = &x;
+          }
+        }
+        for (uint32_t g : touched_) Fold(g, Value::String(*batch_str_[g]));
+        return;
+      }
+      default:
+        // MinMaxAcc::AddBatch falls back to row-at-a-time Add here; so do we.
+        for (size_t k = 0; k < n; ++k) {
+          const size_t r = base + (rows == nullptr ? k : rows[k]);
+          const Value v = col->Get(r);
+          if (!v.is_null()) Fold(gids[k], v);
+        }
+    }
+  }
+
+  bool is_min_;
+  std::vector<Value> best_;
+  std::vector<uint8_t> any_;
+  // Per-call scratch: epoch stamp + batch-local extremum lanes.
+  std::vector<uint64_t> epoch_;
+  uint64_t cur_epoch_ = 0;
+  std::vector<uint32_t> touched_;
+  std::vector<int64_t> batch_i64_;
+  std::vector<double> batch_f64_;
+  std::vector<const std::string*> batch_str_;
+};
+
+/// VAR/STDDEV: Welford (n, mean, m2) lanes, Chan pairwise merge — the exact
+/// recurrences of VarAcc in the same row order.
+class FlatVarAgg : public FlatAggregator {
+ public:
+  explicit FlatVarAgg(bool stddev) : stddev_(stddev) {}
+  void ResizeGroups(size_t n) override {
+    ns_.resize(n, 0);
+    means_.resize(n, 0.0);
+    m2s_.resize(n, 0.0);
+  }
+  void AddScatter(const Column* col, size_t base, const uint32_t* gids,
+                  size_t n) override {
+    Scatter(col, base, nullptr, gids, n);
+  }
+  void AddScatterSelected(const Column* col, size_t base, const uint32_t* rows,
+                          const uint32_t* gids, size_t n) override {
+    Scatter(col, base, rows, gids, n);
+  }
+  void MergeGroup(const FlatAggregator& other, uint32_t dst,
+                  uint32_t src) override {
+    const auto& o = static_cast<const FlatVarAgg&>(other);
+    if (o.ns_[src] == 0) return;
+    if (ns_[dst] == 0) {
+      CopyGroup(other, dst, src);
+      return;
+    }
+    const double na = static_cast<double>(ns_[dst]);
+    const double nb = static_cast<double>(o.ns_[src]);
+    const double delta = o.means_[src] - means_[dst];
+    const double total = na + nb;
+    m2s_[dst] += o.m2s_[src] + delta * delta * (na * nb / total);
+    means_[dst] += delta * (nb / total);
+    ns_[dst] += o.ns_[src];
+  }
+  void CopyGroup(const FlatAggregator& other, uint32_t dst,
+                 uint32_t src) override {
+    const auto& o = static_cast<const FlatVarAgg&>(other);
+    ns_[dst] = o.ns_[src];
+    means_[dst] = o.means_[src];
+    m2s_[dst] = o.m2s_[src];
+  }
+  Value FinalizeGroup(uint32_t g) const override {
+    if (ns_[g] < 2) return Value::Null();
+    const double var = m2s_[g] / static_cast<double>(ns_[g] - 1);
+    return Value::Double(stddev_ ? std::sqrt(var) : var);
+  }
+
+ private:
+  void Welford(uint32_t g, double x) {
+    ++ns_[g];
+    const double d = x - means_[g];
+    means_[g] += d / static_cast<double>(ns_[g]);
+    m2s_[g] += d * (x - means_[g]);
+  }
+  void Scatter(const Column* col, size_t base, const uint32_t* rows,
+               const uint32_t* gids, size_t n) {
+    // VarAcc::AddBatch reads GetNumeric per row for every type; the typed
+    // lanes below read the raw storage, which is the same value.
+    const uint8_t* nulls = col->NullData();
+    if (nulls != nullptr) nulls += base;
+    switch (col->type()) {
+      case TypeId::kBool:
+      case TypeId::kInt64: {
+        const int64_t* data = col->IntData() + base;
+        for (size_t k = 0; k < n; ++k) {
+          const size_t r = rows == nullptr ? k : rows[k];
+          if (nulls != nullptr && nulls[r] != 0) continue;
+          Welford(gids[k], static_cast<double>(data[r]));
+        }
+        return;
+      }
+      case TypeId::kDouble: {
+        const double* data = col->DoubleData() + base;
+        for (size_t k = 0; k < n; ++k) {
+          const size_t r = rows == nullptr ? k : rows[k];
+          if (nulls != nullptr && nulls[r] != 0) continue;
+          Welford(gids[k], data[r]);
+        }
+        return;
+      }
+      default:
+        for (size_t k = 0; k < n; ++k) {
+          const size_t r = base + (rows == nullptr ? k : rows[k]);
+          if (col->IsNull(r)) continue;
+          Welford(gids[k], col->GetNumeric(r));
+        }
+    }
+  }
+
+  bool stddev_;
+  std::vector<int64_t> ns_;
+  std::vector<double> means_;
+  std::vector<double> m2s_;
+};
+
 }  // namespace
 
 Result<std::unique_ptr<AggAccumulator>> CreateAccumulator(const AggSpec& s) {
@@ -450,6 +893,25 @@ Result<std::unique_ptr<AggAccumulator>> CreateAccumulator(const AggSpec& s) {
   auto uda = AggregateRegistry::Global().Create(s.name);
   if (uda) return uda;
   return Status::Unsupported("unknown aggregate: " + s.name);
+}
+
+std::unique_ptr<FlatAggregator> CreateFlatAggregator(const AggSpec& s) {
+  if (s.distinct) return nullptr;  // DISTINCT keeps the per-group set path.
+  if (s.name == "count") {
+    return std::make_unique<FlatCountAgg>(s.arg == nullptr);
+  }
+  if (s.name == "sum") return std::make_unique<FlatSumAgg>();
+  if (s.name == "avg") return std::make_unique<FlatAvgAgg>();
+  if (s.name == "min") return std::make_unique<FlatMinMaxAgg>(true);
+  if (s.name == "max") return std::make_unique<FlatMinMaxAgg>(false);
+  if (s.name == "var" || s.name == "var_samp" || s.name == "variance") {
+    return std::make_unique<FlatVarAgg>(false);
+  }
+  if (s.name == "stddev" || s.name == "stddev_samp") {
+    return std::make_unique<FlatVarAgg>(true);
+  }
+  // quantile/median (sorted-vector), ndv/HLL, and UDAs are not scatterable.
+  return nullptr;
 }
 
 }  // namespace vdb::engine

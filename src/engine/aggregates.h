@@ -54,6 +54,54 @@ class AggAccumulator {
   virtual Value Finalize() const = 0;
 };
 
+/// SoA (structure-of-arrays) aggregate state: typed lane arrays indexed by
+/// group id instead of one heap accumulator object per group, fed
+/// column-at-a-time by the flat aggregation sink. Each implementation
+/// mirrors its AggAccumulator counterpart's arithmetic exactly — same
+/// per-value recurrence, same per-call batch semantics, same merge algebra —
+/// so flat and per-group results are bit-identical (the object path stays
+/// the semantic reference, pinned by the FlatAggTest differential fuzz).
+class FlatAggregator {
+ public:
+  virtual ~FlatAggregator() = default;
+  /// Grows state to `n` groups (never shrinks). New groups start empty.
+  virtual void ResizeGroups(size_t n) = 0;
+  /// Accumulates col[base + k] into group gids[k] for k in [0, n), in k
+  /// order. `col` is nullptr for count(*). `base` is the row offset of batch
+  /// position 0 — nonzero when the flat sink feeds a table column directly
+  /// at the morsel's start row instead of slicing it (the zero-copy
+  /// direct-column path). One call is one batch: aggregates with per-batch
+  /// semantics (min/max's batch-local extremum fold) treat the whole call as
+  /// the reference's AddBatch.
+  virtual void AddScatter(const Column* col, size_t base, const uint32_t* gids,
+                          size_t n) = 0;
+  /// Bitmap-selected form: accumulates col[base + rows[k]] into gids[k].
+  /// `rows` ascends, so selective GROUP BYs skip mask expansion without
+  /// changing accumulation order.
+  virtual void AddScatterSelected(const Column* col, size_t base,
+                                  const uint32_t* rows, const uint32_t* gids,
+                                  size_t n) = 0;
+  /// Folds group `src` of `other` into group `dst` of this — the SoA mirror
+  /// of AggAccumulator::Merge. `other` is the same concrete type. Merging
+  /// morsel partials strictly in morsel order keeps results bit-identical
+  /// across thread counts, exactly like the object path.
+  virtual void MergeGroup(const FlatAggregator& other, uint32_t dst,
+                          uint32_t src) = 0;
+  /// Copies group `src` of `other` over group `dst` verbatim — the mirror of
+  /// the reference merge loop MOVING a first-occurrence partial into the
+  /// global slot. Merging into an empty group instead would re-round
+  /// compensated sums (NeumaierAdd(0, 0, sum) then comp collapses the error
+  /// term), so first occurrences must copy, not merge.
+  virtual void CopyGroup(const FlatAggregator& other, uint32_t dst,
+                         uint32_t src) = 0;
+  virtual Value FinalizeGroup(uint32_t gid) const = 0;
+};
+
+/// Creates the SoA accumulator for `spec`, or null when the aggregate is not
+/// scatterable — DISTINCT, quantile/median, ndv/HLL, and UDAs keep the
+/// per-group object path (the planner falls back per query).
+std::unique_ptr<FlatAggregator> CreateFlatAggregator(const AggSpec& spec);
+
 using UdaFactory = std::function<std::unique_ptr<AggAccumulator>()>;
 
 /// Process-wide registry of user-defined aggregates.

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "engine/kernels/kernels.h"
+
 namespace vdb::engine {
 
 void Column::EnsureNullMask() {
@@ -191,15 +193,15 @@ void Column::AppendSelected(const Column& src, const uint32_t* rows,
     case TypeId::kInt64: {
       size_t base = ints_.size();
       ints_.resize(base + count);
-      for (size_t i = 0; i < count; ++i) ints_[base + i] = src.ints_[rows[i]];
+      kernels::Ops().gather_i64(src.ints_.data(), rows, count,
+                                ints_.data() + base);
       break;
     }
     case TypeId::kDouble: {
       size_t base = doubles_.size();
       doubles_.resize(base + count);
-      for (size_t i = 0; i < count; ++i) {
-        doubles_[base + i] = src.doubles_[rows[i]];
-      }
+      kernels::Ops().gather_f64(src.doubles_.data(), rows, count,
+                                doubles_.data() + base);
       break;
     }
     case TypeId::kString: {

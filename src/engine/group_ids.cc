@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
-#include <unordered_map>
 
 #include "common/hash.h"
 #include "engine/kernels/kernels.h"
@@ -68,52 +67,46 @@ bool CellsEqual(const Column& c, size_t a, size_t b) {
   return false;
 }
 
-bool RowsEqual(const std::vector<const Column*>& cols, size_t a, size_t b) {
-  for (const Column* c : cols) {
-    if (!CellsEqual(*c, a, b)) return false;
-  }
-  return true;
-}
-
-/// Mixes column `col`'s per-row hash into h[r] for r in [begin, end) —
-/// absolute row indexing, so morsel workers can share one output array.
+/// Mixes column `col`'s per-row hash for rows [begin, end) into
+/// out[0 .. end - begin) — RELATIVE output indexing; callers holding a
+/// shared absolute array pass h + begin.
 void HashColumnRange(const Column& col, size_t begin, size_t end,
-                     uint64_t* h) {
+                     uint64_t* out) {
+  const size_t n = end - begin;
   const uint8_t* nulls = col.NullData();
+  if (nulls != nullptr) nulls += begin;
   switch (col.type()) {
     case TypeId::kNull:
-      for (size_t r = begin; r < end; ++r) h[r] = MixInto(h[r], kNullHash);
+      for (size_t k = 0; k < n; ++k) out[k] = MixInto(out[k], kNullHash);
       return;
     case TypeId::kBool:
     case TypeId::kInt64: {
       // The dispatch kernel vectorizes exactly this lane: per-row HashMix64
       // of the raw value (kNullHash at null rows), combined via MixInto.
-      const int64_t* data = col.IntData();
-      kernels::Ops().hash_mix_i64(h + begin, data + begin,
-                                  nulls != nullptr ? nulls + begin : nullptr,
-                                  kNullHash, end - begin);
+      kernels::Ops().hash_mix_i64(out, col.IntData() + begin, nulls, kNullHash,
+                                  n);
       return;
     }
     case TypeId::kDouble: {
-      const double* data = col.DoubleData();
-      for (size_t r = begin; r < end; ++r) {
-        const uint64_t v = (nulls != nullptr && nulls[r] != 0)
+      const double* data = col.DoubleData() + begin;
+      for (size_t k = 0; k < n; ++k) {
+        const uint64_t v = (nulls != nullptr && nulls[k] != 0)
                                ? kNullHash
-                               : DoubleHash(data[r]);
-        h[r] = MixInto(h[r], v);
+                               : DoubleHash(data[k]);
+        out[k] = MixInto(out[k], v);
       }
       return;
     }
     case TypeId::kString: {
-      for (size_t r = begin; r < end; ++r) {
+      for (size_t k = 0; k < n; ++k) {
         uint64_t v;
-        if (nulls != nullptr && nulls[r] != 0) {
+        if (nulls != nullptr && nulls[k] != 0) {
           v = kNullHash;
         } else {
-          const std::string& s = col.GetString(r);
+          const std::string& s = col.GetString(begin + k);
           v = HashBytes(s.data(), s.size());
         }
-        h[r] = MixInto(h[r], v);
+        out[k] = MixInto(out[k], v);
       }
       return;
     }
@@ -174,11 +167,63 @@ void HashGroupColumn(const Column& col, size_t num_rows,
   HashColumnRange(col, 0, num_rows, hashes->data());
 }
 
+void HashGroupColumnRange(const Column& col, size_t begin, size_t end,
+                          uint64_t* out) {
+  HashColumnRange(col, begin, end, out);
+}
+
+bool GroupRowsEqual(const std::vector<const Column*>& cols, size_t a,
+                    size_t b) {
+  for (const Column* c : cols) {
+    if (!CellsEqual(*c, a, b)) return false;
+  }
+  return true;
+}
+
+uint64_t GroupValueHash(const Value& v) {
+  switch (v.type()) {
+    case TypeId::kNull:
+      return kNullHash;
+    case TypeId::kBool:
+    case TypeId::kInt64:
+      return HashMix64(static_cast<uint64_t>(v.AsInt()));
+    case TypeId::kDouble:
+      return DoubleHash(v.AsDouble());
+    case TypeId::kString: {
+      const std::string& s = v.AsString();
+      return HashBytes(s.data(), s.size());
+    }
+  }
+  return 0;
+}
+
+bool GroupValuesEqual(const Value& a, const Value& b) {
+  if (a.is_null() != b.is_null()) return false;
+  if (a.is_null()) return true;
+  const TypeId at = a.type(), bt = b.type();
+  const bool a_int = at == TypeId::kBool || at == TypeId::kInt64;
+  const bool b_int = bt == TypeId::kBool || bt == TypeId::kInt64;
+  if (a_int && b_int) return a.AsInt() == b.AsInt();
+  if (at == TypeId::kString || bt == TypeId::kString) {
+    return at == bt && a.AsString() == b.AsString();
+  }
+  if (at == TypeId::kDouble && bt == TypeId::kDouble) {
+    const double x = a.AsDouble(), y = b.AsDouble();
+    return x == y || (std::isnan(x) && std::isnan(y));
+  }
+  // Numeric cross-type pair: equal iff the double side is integral and
+  // matches the integer side (ValueGroupKey's folding).
+  const double d = a_int ? b.AsDouble() : a.AsDouble();
+  const int64_t i = a_int ? a.AsInt() : b.AsInt();
+  return d == std::floor(d) && std::abs(d) < 9.2e18 &&
+         static_cast<int64_t>(d) == i;
+}
+
 void HashJoinKeyColumns(const std::vector<const Column*>& keys, size_t begin,
                         size_t end, uint64_t* hashes, uint8_t* any_null) {
-  for (size_t r = begin; r < end; ++r) hashes[r] = 0x2545F4914F6CDD1Dull;
+  for (size_t r = begin; r < end; ++r) hashes[r] = kGroupHashSeed;
   for (const Column* k : keys) {
-    HashColumnRange(*k, begin, end, hashes);
+    HashColumnRange(*k, begin, end, hashes + begin);
     if (k->type() == TypeId::kNull) {
       for (size_t r = begin; r < end; ++r) any_null[r] = 1;
     } else if (const uint8_t* nulls = k->NullData()) {
@@ -202,39 +247,8 @@ void SetJoinKeyHashMaskForTest(uint64_t mask) {
   g_join_key_hash_mask = mask;
 }
 
-GroupAssignment AssignGroupIds(const std::vector<const Column*>& cols,
-                               size_t num_rows) {
-  GroupAssignment out;
-  out.gid_of_row.resize(num_rows);
-  if (cols.empty()) {
-    std::fill(out.gid_of_row.begin(), out.gid_of_row.end(), 0u);
-    if (num_rows > 0) out.rep_row.push_back(0);
-    return out;
-  }
-
-  std::vector<uint64_t> hashes(num_rows, 0x2545F4914F6CDD1Dull);
-  for (const Column* c : cols) HashGroupColumn(*c, num_rows, &hashes);
-
-  // hash -> group ids sharing it (singular in the non-adversarial case).
-  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
-  buckets.reserve(num_rows / 4 + 8);
-  for (size_t r = 0; r < num_rows; ++r) {
-    std::vector<uint32_t>& bucket = buckets[hashes[r]];
-    uint32_t gid = static_cast<uint32_t>(-1);
-    for (uint32_t g : bucket) {
-      if (RowsEqual(cols, r, out.rep_row[g])) {
-        gid = g;
-        break;
-      }
-    }
-    if (gid == static_cast<uint32_t>(-1)) {
-      gid = static_cast<uint32_t>(out.rep_row.size());
-      out.rep_row.push_back(static_cast<uint32_t>(r));
-      bucket.push_back(gid);
-    }
-    out.gid_of_row[r] = gid;
-  }
-  return out;
-}
+// AssignGroupIds lives in engine/agg_table.cc: it is the flat GroupTable's
+// first client, and keeping it beside the table keeps the probe loop and the
+// growth policy in one place.
 
 }  // namespace vdb::engine

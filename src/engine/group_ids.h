@@ -16,9 +16,15 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/value.h"
 #include "engine/column.h"
 
 namespace vdb::engine {
+
+/// Initial mixing state for every multi-column group/join key hash. Hashes
+/// are pure functions of the key values, so any two sites that hash the same
+/// values (different morsels, the partial-merge table, a test) agree.
+constexpr uint64_t kGroupHashSeed = 0x2545F4914F6CDD1Dull;
 
 struct GroupAssignment {
   /// Group id of each input row; ids are dense and assigned in order of
@@ -26,6 +32,10 @@ struct GroupAssignment {
   std::vector<uint32_t> gid_of_row;
   /// First input row of each group, ascending.
   std::vector<uint32_t> rep_row;
+  /// Mixed key hash of each group (the per-row hash of its representative,
+  /// after the test mask). Pure function of the key values, so partial
+  /// results from different morsels carry merge-table-ready hashes.
+  std::vector<uint64_t> group_hash;
 
   size_t num_groups() const { return rep_row.size(); }
 };
@@ -34,6 +44,31 @@ struct GroupAssignment {
 /// once per group column; the loops are type-specialized over raw storage.
 void HashGroupColumn(const Column& col, size_t num_rows,
                      std::vector<uint64_t>* hashes);
+
+/// Range form: mixes the group hash of rows [begin, end) into
+/// out[0 .. end - begin) (relative output indexing). The flat sink's
+/// zero-copy direct-column path hashes a morsel's slice of a table column
+/// without materializing it first.
+void HashGroupColumnRange(const Column& col, size_t begin, size_t end,
+                          uint64_t* out);
+
+/// Raw-storage equality of rows `a` and `b` across the group columns, under
+/// ValueGroupKey equivalence (NULL == NULL, NaN == NaN, -0.0 == 0.0). The
+/// representative-row verification step of every flat group table.
+bool GroupRowsEqual(const std::vector<const Column*>& cols, size_t a,
+                    size_t b);
+
+/// Per-value group hash under the same equivalence the column hashers use:
+/// 5 (Int64) and 5.0 (Double) hash equally, every NaN hashes to one class,
+/// -0.0 hashes like 0, NULL gets its own tag. Feeds the hashed partial-merge
+/// table and the flat DISTINCT value set.
+uint64_t GroupValueHash(const Value& v);
+
+/// Value equality under ValueGroupKey equivalence — the Value mirror of
+/// GroupRowsEqual's per-cell check (Value::Compare cannot serve here: it
+/// buckets NaN as equal to everything, while grouping needs NaN == NaN
+/// only).
+bool GroupValuesEqual(const Value& a, const Value& b);
 
 // ---------------------------------------------------------- join-key hashing
 
@@ -73,6 +108,8 @@ Status CheckGroupableRows(size_t num_rows);
 /// Assigns dense group ids over `cols` (all of size num_rows). With no
 /// columns, every row lands in one group (the implicit aggregate group).
 /// Precondition: CheckGroupableRows(num_rows).ok().
+/// Implemented in engine/agg_table.cc over the flat open-addressing
+/// GroupTable (hash-first match, representative-row verification).
 GroupAssignment AssignGroupIds(const std::vector<const Column*>& cols,
                                size_t num_rows);
 

@@ -85,6 +85,10 @@ const KernelOps kScalarOps = {
     scalar::RandF64Seq,
     scalar::HashMixI64,
     scalar::BloomPrefilter,
+    scalar::GatherI64,
+    scalar::GatherF64,
+    scalar::ScatterSumI64,
+    scalar::ScatterSumF64,
 };
 
 const KernelOps* OpsFor(SimdLevel level) {

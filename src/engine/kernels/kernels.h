@@ -124,6 +124,33 @@ struct KernelOps {
   // (h>>38)&63 and (h>>44)&63 of word h>>shift (gathered under AVX2).
   void (*bloom_prefilter)(const uint64_t* bloom_words, int shift,
                           const uint64_t* hashes, size_t n, uint64_t* bits);
+
+  // out[k] = src[rows[k]]: the materialization gather lane behind
+  // Column::AppendSelected / RowView::GatherColumn. Row indices are uint32
+  // physical rows; vector gathers must zero-extend them to 64-bit lanes
+  // (i32-indexed gathers sign-extend and would misread rows >= 2^31).
+  void (*gather_i64)(const int64_t* src, const uint32_t* rows, size_t n,
+                     int64_t* out);
+  void (*gather_f64)(const double* src, const uint32_t* rows, size_t n,
+                     double* out);
+
+  // Scatter-accumulate for the flat SoA aggregation sink: for each k in row
+  // order, skipping NULL rows, Neumaier-add the value at row (rows ? rows[k]
+  // : k) into group gids[k]'s (sums, comps) lanes. `rows` indexes x/nulls
+  // (the bitmap-selected form); gids is always parallel to k. Optional
+  // per-group side outputs: any[g] = 1 on each non-null add (SUM's NULL-
+  // if-empty flag), ns[g] incremented per non-null add (AVG's divisor).
+  // The (sum, comp) recurrence is a loop-carried dependency per group, so
+  // accumulation order IS the semantics: kernels must add strictly in k
+  // order for the engine's bit-identity contract to hold.
+  void (*scatter_sum_i64)(const int64_t* x, const uint8_t* nulls,
+                          const uint32_t* rows, const uint32_t* gids, size_t n,
+                          double* sums, double* comps, uint8_t* any,
+                          int64_t* ns);
+  void (*scatter_sum_f64)(const double* x, const uint8_t* nulls,
+                          const uint32_t* rows, const uint32_t* gids, size_t n,
+                          double* sums, double* comps, uint8_t* any,
+                          int64_t* ns);
 };
 
 /// The table for the current dispatch level.

@@ -433,6 +433,56 @@ void BloomPrefilter(const uint64_t* bloom_words, int shift,
   }
 }
 
+// ---- materialization gather lanes -------------------------------------------
+
+/// 4 uint32 row indices zero-extended to 64-bit gather lanes. i32-indexed
+/// gathers (_mm256_i32gather_*) treat indices as SIGNED, which would read
+/// rows >= 2^31 at negative offsets; cvtepu32 + i64gather is exact over the
+/// engine's full 2^32 - 2 row-id range.
+inline __m256i LoadIdx4(const uint32_t* rows) {
+  return _mm256_cvtepu32_epi64(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows)));
+}
+
+void GatherI64(const int64_t* src, const uint32_t* rows, size_t n,
+               int64_t* out) {
+  const size_t nfull = n & ~size_t{3};
+  for (size_t i = 0; i < nfull; i += 4) {
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(out + i),
+        _mm256_i64gather_epi64(reinterpret_cast<const long long*>(src),
+                               LoadIdx4(rows + i), 8));
+  }
+  if (n > nfull) scalar::GatherI64(src, rows + nfull, n - nfull, out + nfull);
+}
+
+void GatherF64(const double* src, const uint32_t* rows, size_t n,
+               double* out) {
+  const size_t nfull = n & ~size_t{3};
+  for (size_t i = 0; i < nfull; i += 4) {
+    _mm256_storeu_pd(out + i,
+                     _mm256_i64gather_pd(src, LoadIdx4(rows + i), 8));
+  }
+  if (n > nfull) scalar::GatherF64(src, rows + nfull, n - nfull, out + nfull);
+}
+
+// ---- scatter-accumulate lanes -----------------------------------------------
+
+// The AVX2 table dispatches the SCALAR scatter-sum lanes. The Neumaier
+// (sum, comp) recurrence is a loop-carried dependency through whichever
+// group the current row hits: lane k+1 may target the same gid as lane k, so
+// a 4-wide step needs conflict detection (vpconflictd is AVX-512CD) plus a
+// serial in-register fold for colliding lanes, and the compensated add's
+// abs-compare branch becomes two extra blends per element. A prototype
+// measured below parity on the reference host (bench_agg's group-count
+// sweep is the workload: scatter time is the per-group load-add-store
+// chain, not lane arithmetic) before the conflict handling was even
+// correct for 3+ way collisions — and
+// the i64 lane additionally needs per-element exact int64->double conversion
+// (vcvtqq2pd is AVX-512DQ; the 2^84/2^52 magic split above is only exact
+// below 2^53). A lane only earns a slot by winning; AVX-512 would reopen
+// both doors.
+
 const KernelOps kAvx2Ops = {
     CmpI64VV,
     CmpI64VC,
@@ -448,6 +498,10 @@ const KernelOps kAvx2Ops = {
     scalar::RandF64Seq,  // see "rand lane" above: scalar wins on AVX2
     HashMixI64,
     BloomPrefilter,
+    GatherI64,
+    GatherF64,
+    scalar::ScatterSumI64,  // see "scatter-accumulate lanes" above
+    scalar::ScatterSumF64,
 };
 
 }  // namespace

@@ -10,6 +10,7 @@
 #ifndef VDB_ENGINE_KERNELS_KERNELS_SCALAR_H_
 #define VDB_ENGINE_KERNELS_KERNELS_SCALAR_H_
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 
@@ -183,6 +184,57 @@ inline void BloomPrefilter(const uint64_t* bloom_words, int shift,
     }
     bits[w] = word;
   }
+}
+
+inline void GatherI64(const int64_t* src, const uint32_t* rows, size_t n,
+                      int64_t* out) {
+  for (size_t k = 0; k < n; ++k) out[k] = src[rows[k]];
+}
+
+inline void GatherF64(const double* src, const uint32_t* rows, size_t n,
+                      double* out) {
+  for (size_t k = 0; k < n; ++k) out[k] = src[rows[k]];
+}
+
+/// Kahan–Babuška–Neumaier step, identical to engine/aggregates.cc's
+/// NeumaierAdd: the flat SoA sink and the per-group reference accumulators
+/// must round the same way at every addition.
+inline void NeumaierStep(double& sum, double& comp, double x) {
+  const double t = sum + x;
+  if (std::abs(sum) >= std::abs(x)) {
+    comp += (sum - t) + x;
+  } else {
+    comp += (x - t) + sum;
+  }
+  sum = t;
+}
+
+template <typename T>
+inline void ScatterSum(const T* x, const uint8_t* nulls, const uint32_t* rows,
+                       const uint32_t* gids, size_t n, double* sums,
+                       double* comps, uint8_t* any, int64_t* ns) {
+  for (size_t k = 0; k < n; ++k) {
+    const size_t r = rows == nullptr ? k : rows[k];
+    if (nulls != nullptr && nulls[r] != 0) continue;
+    const uint32_t g = gids[k];
+    NeumaierStep(sums[g], comps[g], static_cast<double>(x[r]));
+    if (any != nullptr) any[g] = 1;
+    if (ns != nullptr) ++ns[g];
+  }
+}
+
+inline void ScatterSumI64(const int64_t* x, const uint8_t* nulls,
+                          const uint32_t* rows, const uint32_t* gids, size_t n,
+                          double* sums, double* comps, uint8_t* any,
+                          int64_t* ns) {
+  ScatterSum(x, nulls, rows, gids, n, sums, comps, any, ns);
+}
+
+inline void ScatterSumF64(const double* x, const uint8_t* nulls,
+                          const uint32_t* rows, const uint32_t* gids, size_t n,
+                          double* sums, double* comps, uint8_t* any,
+                          int64_t* ns) {
+  ScatterSum(x, nulls, rows, gids, n, sums, comps, any, ns);
 }
 
 }  // namespace vdb::engine::kernels::scalar

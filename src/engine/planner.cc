@@ -3,15 +3,18 @@
 #include <algorithm>
 #include <deque>
 #include <map>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "engine/agg_table.h"
 #include "engine/aggregates.h"
 #include "engine/binder.h"
 #include "engine/expr_eval.h"
 #include "engine/functions.h"
 #include "engine/group_ids.h"
+#include "engine/kernels/bitmap.h"
 #include "engine/operators.h"
 #include "engine/vector_eval.h"
 #include "engine/window.h"
@@ -28,6 +31,34 @@ using sql::TableRef;
 
 /// Test hook (SetJoinWherePushdownForTest): pair-view WHERE pushdown on/off.
 bool g_join_where_pushdown = true;
+
+/// Test hook (SetFlatAggSinkForTest): flat SoA aggregation sink on/off.
+bool g_flat_agg_sink = true;
+
+/// Test hook (SetGroupedWhereBitmapForTest): bitmap WHERE for grouped
+/// queries on/off.
+bool g_grouped_where_bitmap = true;
+
+/// Rank-select over a filter bitmap: the view position of the rank-th set
+/// bit (0-based). `wprefix[w]` is the number of set bits before word w
+/// (wprefix.size() == num_words + 1) — binary-search the owning word, then
+/// walk its bits. The flat sink's bitmap path uses this to turn a morsel's
+/// survivor-rank range into the dense row span it must evaluate.
+size_t BitmapSelect(const kernels::Bitmap& bits,
+                    const std::vector<size_t>& wprefix, size_t rank) {
+  size_t lo = 0, hi = bits.num_words();
+  while (lo + 1 < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (wprefix[mid] <= rank) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  uint64_t word = bits.word(lo);
+  for (size_t r = wprefix[lo]; r < rank; ++r) word &= word - 1;
+  return lo * 64 + static_cast<size_t>(__builtin_ctzll(word));
+}
 
 // ---- rand call-site numbering ---------------------------------------------
 // Every rand/random/rand_poisson node gets a 1-based call-site id, assigned
@@ -130,6 +161,54 @@ bool RandOutsideWhere(const SelectStmt& stmt) {
   return false;
 }
 
+// ---- Derived-table projection pruning --------------------------------------
+// Column names a statement can reference from a derived table in its FROM:
+// every kColumnRef name in the statement's own expressions (select list,
+// WHERE, GROUP BY, HAVING, ORDER BY, join ON conditions). Nested derived
+// subqueries and scalar subqueries resolve against their own scopes (the
+// engine has no correlated subqueries), so the walk does not descend into
+// them — descending would also pick up their internal `*` items and defeat
+// the prune. A `*` select item references everything; the star that is
+// count(*)'s argument references nothing and is skipped.
+void CollectColumnRefNames(const Expr& e, std::set<std::string>* names,
+                           bool* star) {
+  switch (e.kind) {
+    case ExprKind::kColumnRef: names->insert(e.name); return;
+    case ExprKind::kStar: *star = true; return;
+    default: break;
+  }
+  for (const auto& a : e.args) {
+    if (!a) continue;
+    if (e.kind == ExprKind::kFunction && a->kind == ExprKind::kStar) continue;
+    CollectColumnRefNames(*a, names, star);
+  }
+  for (const auto& w : e.case_whens) CollectColumnRefNames(*w, names, star);
+  for (const auto& t : e.case_thens) CollectColumnRefNames(*t, names, star);
+  if (e.case_else) CollectColumnRefNames(*e.case_else, names, star);
+  for (const auto& p : e.partition_by) CollectColumnRefNames(*p, names, star);
+}
+
+void CollectColumnRefNamesFrom(const TableRef& ref,
+                               std::set<std::string>* names, bool* star) {
+  if (ref.on) CollectColumnRefNames(*ref.on, names, star);
+  if (ref.left) CollectColumnRefNamesFrom(*ref.left, names, star);
+  if (ref.right) CollectColumnRefNamesFrom(*ref.right, names, star);
+}
+
+void CollectColumnRefNamesStmt(const SelectStmt& stmt,
+                               std::set<std::string>* names, bool* star) {
+  for (const auto& it : stmt.items) {
+    CollectColumnRefNames(*it.expr, names, star);
+  }
+  if (stmt.where) CollectColumnRefNames(*stmt.where, names, star);
+  for (const auto& g : stmt.group_by) CollectColumnRefNames(*g, names, star);
+  if (stmt.having) CollectColumnRefNames(*stmt.having, names, star);
+  for (const auto& o : stmt.order_by) {
+    CollectColumnRefNames(*o.expr, names, star);
+  }
+  if (stmt.from) CollectColumnRefNamesFrom(*stmt.from, names, star);
+}
+
 /// True if the tree contains a window-function node. Window frames need
 /// contiguous physical rows, so their presence forces the one early gather.
 bool ContainsWindow(const Expr& e) {
@@ -178,7 +257,26 @@ class SelectExecutor {
       }
       case TableRef::Kind::kDerived: {
         SelectExecutor sub(db_, rand_seed_);
-        auto rs = sub.Run(ref->derived.get());
+        SelectStmt* d = ref->derived.get();
+        // Prune derived outputs this statement never references: a
+        // `select *, ...` subquery otherwise materializes every input
+        // column (the VerdictDB rewriter's sid-assigning derived table
+        // copies the whole scan width). Pruning only skips evaluation —
+        // rand draws are (row, site)-addressed, so the surviving items see
+        // identical values — and is disabled whenever dropping a column
+        // could change the derived result itself (DISTINCT row set, ORDER
+        // BY positions, UNION arity) or a `*` in the outer wants it all.
+        if (current_stmt_ != nullptr && d->union_next == nullptr &&
+            !d->distinct && d->order_by.empty()) {
+          bool star = false;
+          std::set<std::string> needed;
+          CollectColumnRefNamesStmt(*current_stmt_, &needed, &star);
+          if (!star) {
+            sub.output_keep_ = std::move(needed);
+            sub.output_keep_active_ = true;
+          }
+        }
+        auto rs = sub.Run(d);
         if (!rs.ok()) return rs.status();
         RelResult r;
         r.table = rs.value().table;
@@ -365,6 +463,7 @@ class SelectExecutor {
 
   // ------------------------------------------------------------ main body --
   Result<ResultSet> RunSingle(SelectStmt* stmt) {
+    current_stmt_ = stmt;
     // WHERE pushdown eligibility: when the FROM root is a join, the WHERE
     // can filter candidate pairs before the join's one combined gather
     // (ExecuteJoin consumes pushdown_where_). rand()-bearing predicates are
@@ -414,24 +513,9 @@ class SelectExecutor {
       VDB_RETURN_IF_ERROR(ResolveSubqueries(o.expr.get()));
     }
 
-    // WHERE: morsel-parallel batch predicate over the input view. The
-    // survivors stay a (table, SelVector) view — no gather; downstream
-    // operators evaluate through the view and the projection (or the result
-    // boundary) performs the query's one full-width gather.
     auto inview = RowView::All(input.table);
     if (!inview.ok()) return inview.status();
     RowView view = std::move(inview).ValueOrDie();
-    if (stmt->where && !pushdown_where_applied_) {
-      VDB_RETURN_IF_ERROR(BindExpr(stmt->where.get(), input.scope));
-      SelVector sel;
-      VDB_RETURN_IF_ERROR(EvalPredicateView(*stmt->where, view, rand_seed_,
-                                            db_->num_threads(), &sel));
-      if (sel.size() < view.num_rows()) {
-        auto filtered = RowView::Select(input.table, std::move(sel));
-        if (!filtered.ok()) return filtered.status();
-        view = std::move(filtered).ValueOrDie();
-      }
-    }
 
     bool grouped = !stmt->group_by.empty();
     if (!grouped) {
@@ -444,9 +528,41 @@ class SelectExecutor {
       if (stmt->having && ContainsAggregate(*stmt->having)) grouped = true;
     }
 
+    // WHERE: morsel-parallel batch predicate over the input view. Grouped
+    // queries keep the survivors as a row BITMAP — the flat aggregation sink
+    // consumes the mask directly (selected-row group assignment and scatter),
+    // so selective GROUP BYs never expand the mask into a selection vector or
+    // gather survivors; grouped paths that can't consume a bitmap expand it
+    // inside RunGrouped, bit-identically. Everything else keeps the
+    // (table, SelVector) view — no gather; downstream operators evaluate
+    // through the view and the projection (or the result boundary) performs
+    // the query's one full-width gather.
+    kernels::Bitmap where_bits;
+    const kernels::Bitmap* group_filter = nullptr;
+    if (stmt->where && !pushdown_where_applied_) {
+      VDB_RETURN_IF_ERROR(BindExpr(stmt->where.get(), input.scope));
+      if (grouped && g_grouped_where_bitmap) {
+        VDB_RETURN_IF_ERROR(EvalPredicateBitmap(*stmt->where, view, rand_seed_,
+                                                db_->num_threads(),
+                                                &where_bits));
+        if (where_bits.CountSet() < view.num_rows()) {
+          group_filter = &where_bits;
+        }
+      } else {
+        SelVector sel;
+        VDB_RETURN_IF_ERROR(EvalPredicateView(*stmt->where, view, rand_seed_,
+                                              db_->num_threads(), &sel));
+        if (sel.size() < view.num_rows()) {
+          auto filtered = RowView::Select(input.table, std::move(sel));
+          if (!filtered.ok()) return filtered.status();
+          view = std::move(filtered).ValueOrDie();
+        }
+      }
+    }
+
     ResultSet out;
     if (grouped) {
-      auto rs = RunGrouped(stmt, view, input.scope);
+      auto rs = RunGrouped(stmt, view, input.scope, group_filter);
       if (!rs.ok()) return rs.status();
       out = std::move(rs).ValueOrDie();
     } else {
@@ -506,6 +622,19 @@ class SelectExecutor {
       outs.push_back(std::move(oi));
     }
 
+    // Derived-table projection pruning (see ExecuteFrom): drop outputs the
+    // outer statement never references, before any of them are evaluated
+    // or copied. At least one column always survives so the result keeps
+    // its row count (a bare outer count(*) references none).
+    if (output_keep_active_ && !outs.empty()) {
+      std::vector<OutItem> kept;
+      for (auto& oi : outs) {
+        if (output_keep_.count(oi.name) != 0) kept.push_back(std::move(oi));
+      }
+      if (kept.empty()) kept.push_back(std::move(outs[0]));
+      outs = std::move(kept);
+    }
+
     // Window functions need contiguous physical frames: their presence
     // forces the one full-width gather up front, after which the view is
     // the identity again.
@@ -540,8 +669,24 @@ class SelectExecutor {
     // (identity) or gather once; expressions evaluate morsel-parallel with
     // per-morsel chunks concatenated type-stably. This is the projection's
     // single full-width materialization.
+    //
+    // Expressions are evaluated BEFORE the wholesale direct-column copies
+    // (results staged, appended in select order): expression pipelines
+    // allocate and release large intermediate vectors, and running them
+    // first lets the allocator hand that memory straight to the retained
+    // copies instead of growing the heap past both at once. Expression
+    // results are order-independent — rand() draws are addressed by row
+    // ordinal, not evaluation sequence — so staging cannot change output.
     const int num_threads = db_->num_threads();
-    for (const auto& oi : outs) {
+    std::vector<Column> computed(outs.size());
+    for (size_t i = 0; i < outs.size(); ++i) {
+      if (outs[i].direct_column >= 0) continue;
+      auto col = EvalExprView(*outs[i].expr, view, rand_seed_, num_threads);
+      if (!col.ok()) return col.status();
+      computed[i] = std::move(col).ValueOrDie();
+    }
+    for (size_t i = 0; i < outs.size(); ++i) {
+      const auto& oi = outs[i];
       if (oi.direct_column >= 0) {
         const Column& src = work->column(static_cast<size_t>(oi.direct_column));
         if (view.is_identity()) {
@@ -550,9 +695,7 @@ class SelectExecutor {
           table->AddColumn(oi.name, view.GatherColumn(src, num_threads));
         }
       } else {
-        auto col = EvalExprView(*oi.expr, view, rand_seed_, num_threads);
-        if (!col.ok()) return col.status();
-        table->AddColumn(oi.name, std::move(col).ValueOrDie());
+        table->AddColumn(oi.name, std::move(computed[i]));
       }
     }
     if (table->num_columns() == 0) {
@@ -563,8 +706,14 @@ class SelectExecutor {
   }
 
   // ------------------------------------------------------- grouped select --
-  Result<ResultSet> RunGrouped(SelectStmt* stmt, const RowView& view,
-                               const Scope& scope) {
+  // `filter` (optional) is a WHERE-survivor bitmap over view positions. Only
+  // the flat sink consumes it directly; the reference paths expand it into
+  // the equivalent selection view below (set bits in position order — the
+  // exact selection vector a SelVector WHERE would have produced).
+  Result<ResultSet> RunGrouped(SelectStmt* stmt, const RowView& view_in,
+                               const Scope& scope,
+                               const kernels::Bitmap* filter = nullptr) {
+    RowView view = view_in;
     // Resolve group-by items that name select aliases.
     for (auto& g : stmt->group_by) {
       if (g->kind == ExprKind::kColumnRef && g->qualifier.empty() &&
@@ -644,6 +793,43 @@ class SelectExecutor {
       }
     }
 
+    // Flat sink eligibility: every aggregate must be scatterable
+    // (scatterable implies mergeable — the flat sink is the SoA form of the
+    // partial path). `flats` becomes the global merged state; per-morsel
+    // partials are created inside the morsels.
+    std::vector<std::unique_ptr<FlatAggregator>> flats;
+    bool flat = g_flat_agg_sink && partials;
+    if (flat) {
+      for (const auto& s : specs) {
+        auto f = CreateFlatAggregator(s);
+        if (f == nullptr) {
+          flat = false;
+          flats.clear();
+          break;
+        }
+        flats.push_back(std::move(f));
+      }
+    }
+    GroupMergeTable flat_merge;  // global key -> dense gid (flat sink)
+    size_t flat_ngroups = 0;
+
+    if (filter != nullptr && !flat) {
+      SelVector sel;
+      sel.reserve(filter->CountSet());
+      for (size_t w = 0; w < filter->num_words(); ++w) {
+        uint64_t word = filter->word(w);
+        while (word != 0) {
+          const size_t k = w * 64 + static_cast<size_t>(__builtin_ctzll(word));
+          sel.push_back(view.RowAt(k));
+          word &= word - 1;
+        }
+      }
+      auto filtered = RowView::Select(view.table(), std::move(sel));
+      if (!filtered.ok()) return filtered.status();
+      view = std::move(filtered).ValueOrDie();
+      filter = nullptr;
+    }
+
     if (!partials) {
       // Serial path (non-mergeable UDAs):
       // batch-evaluate group keys and aggregate arguments once over the
@@ -706,15 +892,17 @@ class SelectExecutor {
           }
         }
       }
-    } else {
-      // Partial path: each morsel evaluates the grouping and argument
-      // expressions over its own slice of the view, aggregates into
-      // morsel-local partial states, and the partials are merged strictly in
-      // morsel order. The decomposition depends only on the view's row
-      // count, so the output — values, group order, and floating-point
-      // rounding — is identical for every thread count and OS schedule.
+    } else if (!flat) {
+      // Reference partial path (mergeable but not scatterable — DISTINCT,
+      // quantile, HLL, mergeable UDAs, or the flat sink disabled): each
+      // morsel evaluates the grouping and argument expressions over its own
+      // slice of the view, aggregates into morsel-local partial states, and
+      // the partials are merged strictly in morsel order. The decomposition
+      // depends only on the view's row count, so the output — values, group
+      // order, and floating-point rounding — is identical for every thread
+      // count and OS schedule.
       struct LocalGroup {
-        std::string key_text;  // ValueGroupKey concatenation, merge key
+        uint64_t hash = 0;  // mixed group-key hash (AssignGroupIds)
         std::vector<Value> keys;
         std::vector<std::unique_ptr<AggAccumulator>> accs;
       };
@@ -762,10 +950,7 @@ class SelectExecutor {
               for (const auto& gc : gcols) {
                 lg.keys.push_back(gc.Get(ga.rep_row[g]));
               }
-              for (const Value& v : lg.keys) {
-                lg.key_text += ValueGroupKey(v);
-                lg.key_text.push_back('\x1f');
-              }
+              lg.hash = ga.group_hash[g];
               auto accs = make_accs();
               if (!accs.ok()) {
                 res.status = accs.status();
@@ -784,18 +969,24 @@ class SelectExecutor {
             }
           });
 
-      std::unordered_map<std::string, size_t> merge_ids;
+      // Hashed merge: every morsel's AssignGroupIds already computed each
+      // group's key hash (a pure function of the key values, so all morsels
+      // agree); FindOrInsert probes it directly — no per-group string keys.
+      GroupMergeTable merge;
+      merge.Reset(stmt->group_by.size(), 64);
       for (MorselAgg& part : parts) {
         if (!part.status.ok()) return part.status;
         for (LocalGroup& lg : part.groups) {
-          auto [it, inserted] = merge_ids.emplace(lg.key_text, groups.size());
+          bool inserted;
+          const uint32_t gid =
+              merge.FindOrInsert(lg.hash, lg.keys.data(), &inserted);
           if (inserted) {
             Group grp;
             grp.keys = std::move(lg.keys);
             grp.accs = std::move(lg.accs);
             groups.push_back(std::move(grp));
           } else {
-            Group& dst = groups[it->second];
+            Group& dst = groups[gid];
             for (size_t i = 0; i < specs.size(); ++i) {
               dst.accs[i]->Merge(*lg.accs[i]);
             }
@@ -811,6 +1002,160 @@ class SelectExecutor {
         grp.accs = std::move(accs).ValueOrDie();
         groups.push_back(std::move(grp));
       }
+    } else {
+      // Flat sink: per-morsel SoA partials (dense group ids + typed lane
+      // arrays, column-at-a-time scatter), merged strictly in morsel order
+      // through the hashed merge table into the global `flats` state. With a
+      // WHERE bitmap, morsels decompose over SURVIVOR RANKS: each morsel
+      // dense-evaluates its survivors' physical span (arithmetic is per-row
+      // pure and rand is row-addressed, so dense evaluation produces the
+      // identical values at surviving rows that compacted evaluation would)
+      // and groups/scatters only the set-bit rows — the mask is never
+      // expanded to row indices, and the gid sequence, first-occurrence
+      // order, and group hashes all match the compacted path's.
+      struct MorselFlat {
+        GroupAssignment ga;
+        std::vector<std::vector<Value>> keys;  // per local group
+        std::vector<std::unique_ptr<FlatAggregator>> parts;
+        Status status = Status::Ok();
+      };
+
+      // Word prefix popcounts for rank-select over the filter bitmap.
+      std::vector<size_t> wprefix;
+      size_t total = view.num_rows();
+      if (filter != nullptr) {
+        wprefix.resize(filter->num_words() + 1, 0);
+        for (size_t w = 0; w < filter->num_words(); ++w) {
+          wprefix[w + 1] =
+              wprefix[w] +
+              static_cast<size_t>(__builtin_popcountll(filter->word(w)));
+        }
+        total = wprefix.back();
+      }
+
+      auto body = [&](MorselFlat& res, size_t begin, size_t end) {
+        // Resolve this morsel's dense row span and (with a filter) its
+        // span-relative selected rows.
+        size_t row_lo = begin, row_hi = end;
+        SelVector sel_local;
+        if (filter != nullptr) {
+          row_lo = BitmapSelect(*filter, wprefix, begin);
+          row_hi = BitmapSelect(*filter, wprefix, end - 1) + 1;
+          sel_local.reserve(end - begin);
+          for (size_t w = row_lo / 64; w <= (row_hi - 1) / 64; ++w) {
+            uint64_t word = filter->word(w);
+            while (word != 0) {
+              const size_t p =
+                  w * 64 + static_cast<size_t>(__builtin_ctzll(word));
+              word &= word - 1;
+              if (p < row_lo) continue;
+              if (p >= row_hi) break;
+              sel_local.push_back(static_cast<uint32_t>(p - row_lo));
+            }
+          }
+        }
+        Batch batch = ViewBatch(view, rand_seed_, row_lo, row_hi);
+        const size_t span = row_hi - row_lo;
+        const size_t ln = end - begin;
+        // Batch columns: a bound column ref over a dense (no-selection)
+        // batch reads the table column IN PLACE at the morsel's base row —
+        // the zero-copy direct-column path, no per-morsel slice
+        // materialization (ColumnRefVec's borrowed-lane form, carried
+        // through grouping and scatter). Everything else evaluates into an
+        // owned column with base 0.
+        struct BatchCol {
+          Column owned;
+          const Column* col = nullptr;
+          size_t base = 0;
+        };
+        auto eval_col = [&](const sql::Expr& e, BatchCol* out) -> Status {
+          if (e.kind == ExprKind::kColumnRef && e.bound_column >= 0 &&
+              batch.sel == nullptr) {
+            out->col =
+                &batch.table->column(static_cast<size_t>(e.bound_column));
+            out->base = batch.range_begin;
+            return Status::Ok();
+          }
+          auto c = EvalExprBatch(e, batch);
+          if (!c.ok()) return c.status();
+          out->owned = std::move(c).ValueOrDie();
+          out->col = &out->owned;
+          return Status::Ok();
+        };
+        std::vector<BatchCol> gcols(stmt->group_by.size());
+        for (size_t i = 0; i < stmt->group_by.size(); ++i) {
+          res.status = eval_col(*stmt->group_by[i], &gcols[i]);
+          if (!res.status.ok()) return;
+        }
+        std::vector<BatchCol> acols(specs.size());
+        for (size_t i = 0; i < specs.size(); ++i) {
+          if (specs[i].arg == nullptr) continue;
+          res.status = eval_col(*specs[i].arg, &acols[i]);
+          if (!res.status.ok()) return;
+        }
+        std::vector<KeyCol> kcs;
+        kcs.reserve(gcols.size());
+        for (const auto& gc : gcols) kcs.push_back(KeyCol{gc.col, gc.base});
+        if (filter != nullptr) {
+          AssignGroupIdsSelectedBased(kcs, span, sel_local.data(), ln,
+                                      &res.ga);
+        } else {
+          res.ga = AssignGroupIdsBased(kcs, ln);
+        }
+        const size_t ngroups = res.ga.num_groups();
+        res.keys.resize(ngroups);
+        for (size_t g = 0; g < ngroups; ++g) {
+          res.keys[g].reserve(gcols.size());
+          for (const auto& gc : gcols) {
+            res.keys[g].push_back(gc.col->Get(gc.base + res.ga.rep_row[g]));
+          }
+        }
+        res.parts.reserve(specs.size());
+        for (size_t i = 0; i < specs.size(); ++i) {
+          auto f = CreateFlatAggregator(specs[i]);
+          f->ResizeGroups(ngroups);
+          const Column* col = specs[i].arg != nullptr ? acols[i].col : nullptr;
+          const size_t base = specs[i].arg != nullptr ? acols[i].base : 0;
+          if (filter != nullptr) {
+            f->AddScatterSelected(col, base, sel_local.data(),
+                                  res.ga.gid_of_row.data(), ln);
+          } else {
+            f->AddScatter(col, base, res.ga.gid_of_row.data(), ln);
+          }
+          res.parts.push_back(std::move(f));
+        }
+      };
+      auto parts = ParallelMorselMap<MorselFlat>(total, num_threads, body);
+
+      flat_merge.Reset(stmt->group_by.size(), 64);
+      for (MorselFlat& part : parts) {
+        if (!part.status.ok()) return part.status;
+        for (uint32_t g = 0; g < part.keys.size(); ++g) {
+          bool inserted;
+          const uint32_t gid = flat_merge.FindOrInsert(
+              part.ga.group_hash[g], part.keys[g].data(), &inserted);
+          if (inserted) {
+            // First occurrence: verbatim state copy, mirroring the reference
+            // merge loop MOVING the first partial into the global slot
+            // (merging into an empty group would re-round compensated sums).
+            for (auto& f : flats) f->ResizeGroups(flat_merge.num_groups());
+            for (size_t i = 0; i < specs.size(); ++i) {
+              flats[i]->CopyGroup(*part.parts[i], gid, g);
+            }
+          } else {
+            for (size_t i = 0; i < specs.size(); ++i) {
+              flats[i]->MergeGroup(*part.parts[i], gid, g);
+            }
+          }
+        }
+      }
+      flat_ngroups = flat_merge.num_groups();
+      // An aggregate without GROUP BY keys emits one row even over an empty
+      // input (count(*) = 0, sum = NULL, ...).
+      if (stmt->group_by.empty() && flat_ngroups == 0) {
+        flat_ngroups = 1;
+        for (auto& f : flats) f->ResizeGroups(1);
+      }
     }
 
     // Materialize the aggregate table: group cols then agg cols.
@@ -818,6 +1163,17 @@ class SelectExecutor {
     const size_t gk = stmt->group_by.size();
     {
       std::vector<Column> cols(gk + specs.size());
+      if (flat) {
+        for (size_t g = 0; g < flat_ngroups; ++g) {
+          const Value* keys =
+              flat_merge.group_keys(static_cast<uint32_t>(g));
+          for (size_t i = 0; i < gk; ++i) cols[i].Append(keys[i]);
+          for (size_t i = 0; i < specs.size(); ++i) {
+            cols[gk + i].Append(
+                flats[i]->FinalizeGroup(static_cast<uint32_t>(g)));
+          }
+        }
+      }
       for (auto& g : groups) {
         for (size_t i = 0; i < gk; ++i) cols[i].Append(g.keys[i]);
         for (size_t i = 0; i < specs.size(); ++i) {
@@ -1156,12 +1512,30 @@ class SelectExecutor {
   /// post-materialization WHERE.
   const Expr* pushdown_where_ = nullptr;
   bool pushdown_where_applied_ = false;
+
+  /// Statement currently executing in RunSingle — the reference scope
+  /// ExecuteFrom consults when deciding which derived-table outputs the
+  /// outer level can actually touch.
+  const SelectStmt* current_stmt_ = nullptr;
+  /// Derived-table projection pruning (set by the PARENT executor before
+  /// Run): when active, RunProjection drops select outputs whose names are
+  /// not in the keep set. Never applied to DISTINCT / ORDER BY / UNION /
+  /// grouped statements — those shapes are gated off at the call site or
+  /// take the grouped path, which ignores the filter.
+  std::set<std::string> output_keep_;
+  bool output_keep_active_ = false;
 };
 
 }  // namespace
 
 void SetJoinWherePushdownForTest(bool enabled) {
   g_join_where_pushdown = enabled;
+}
+
+void SetFlatAggSinkForTest(bool enabled) { g_flat_agg_sink = enabled; }
+
+void SetGroupedWhereBitmapForTest(bool enabled) {
+  g_grouped_where_bitmap = enabled;
 }
 
 Result<ResultSet> RunSelect(Database* db, sql::SelectStmt* stmt) {

@@ -1517,6 +1517,46 @@ Status EvalPredicateView(const Expr& e, const RowView& view,
   return Status::Ok();
 }
 
+Status EvalPredicateBitmap(const Expr& e, const RowView& view,
+                           uint64_t rand_seed, int num_threads,
+                           kernels::Bitmap* out) {
+  const size_t n = view.num_rows();
+  out->ResetZero(n);
+  // Morsels rounded up to whole 64-bit words: each worker then owns a
+  // disjoint word range of the output bitmap, so per-morsel truth words copy
+  // straight in with no cross-morsel bit splicing. The decomposition still
+  // depends only on n, and the truth CONTENT is per-row pure, so any morsel
+  // size produces the identical bitmap.
+  const size_t wmorsel = (MorselRows() + 63) / 64 * 64;
+  if (num_threads <= 1 || n <= wmorsel || PinnedSerialForBaseline(e)) {
+    Batch batch = ViewBatch(view, rand_seed);
+    auto t = EvalTri(e, batch);
+    if (!t.ok()) return t.status();
+    const kernels::Bitmap& truth = t.value().truth;
+    for (size_t w = 0; w < truth.num_words(); ++w) {
+      out->words()[w] = truth.word(w);
+    }
+    return Status::Ok();
+  }
+  std::vector<Status> statuses((n + wmorsel - 1) / wmorsel, Status::Ok());
+  ThreadPool::Global().ParallelFor(
+      n, wmorsel, num_threads, [&](size_t m, size_t begin, size_t end) {
+        Batch batch = ViewBatch(view, rand_seed, begin, end);
+        auto t = EvalTri(e, batch);
+        if (!t.ok()) {
+          statuses[m] = t.status();
+          return;
+        }
+        const kernels::Bitmap& truth = t.value().truth;
+        uint64_t* dst = out->words() + begin / 64;
+        for (size_t w = 0; w < truth.num_words(); ++w) dst[w] = truth.word(w);
+      });
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
 Result<Column> EvalExprView(const Expr& e, const RowView& view,
                             uint64_t rand_seed, int num_threads) {
   const size_t n = view.num_rows();

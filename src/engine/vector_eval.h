@@ -127,6 +127,18 @@ Result<TablePtr> FilterGatherParallel(const sql::Expr& pred,
 Status EvalPredicateView(const sql::Expr& e, const RowView& view,
                          uint64_t rand_seed, int num_threads, SelVector* out);
 
+/// Evaluates a predicate over a RowView into a row bitmap (bit i set:
+/// predicate non-null and true at view position i) instead of a selection
+/// vector — the mask currency of the flat aggregation sink's selective
+/// GROUP BY path, which walks set bits without ever expanding them to row
+/// indices. Morsel-parallel with morsels rounded up to whole 64-bit words,
+/// so each worker owns a disjoint word range of the output bitmap; the
+/// predicate is per-row pure (rand draws are row-addressed), so the bitmap
+/// CONTENT is identical at every thread count and morsel size.
+Status EvalPredicateBitmap(const sql::Expr& e, const RowView& view,
+                           uint64_t rand_seed, int num_threads,
+                           kernels::Bitmap* out);
+
 /// Evaluates an expression over every view row, morsel-parallel: one
 /// EvalExprBatch per morsel of view positions, per-morsel column chunks
 /// concatenated type-stably in morsel order (Column::ConcatChunks), so the

@@ -1,10 +1,12 @@
 #include "engine/window.h"
 
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
+#include "engine/agg_table.h"
 #include "engine/aggregates.h"
 #include "engine/expr_eval.h"
+#include "engine/vector_eval.h"
 
 namespace vdb::engine {
 
@@ -20,35 +22,44 @@ Result<Column> EvalWindowExpr(const sql::Expr& e, const Table& table,
   spec.arg = (e.args.empty() || star) ? nullptr : e.args[0].get();
 
   const size_t n = table.num_rows();
-  // Partition id per row.
-  std::vector<uint32_t> part_of(n, 0);
-  std::unordered_map<std::string, uint32_t> part_ids;
+  // Partition ids: evaluate each PARTITION BY expression column-at-a-time
+  // and assign dense ids through the flat group table — hashed typed lanes
+  // instead of the per-row string-key concatenation this loop used to build.
+  // AssignGroupIds' partition matches ValueGroupKey's equivalence (NULL with
+  // NULL, NaN with NaN, -0.0 with 0.0, 5 with 5.0) and numbers partitions in
+  // first-occurrence order, exactly like the string map did.
+  std::vector<Column> pcols;
+  pcols.reserve(e.partition_by.size());
+  Batch batch{&table, nullptr, rand_seed, 0, Batch::kWholeTable, 0};
+  for (const auto& p : e.partition_by) {
+    auto c = EvalExprBatch(*p, batch);
+    if (!c.ok()) return c.status();
+    pcols.push_back(std::move(c).ValueOrDie());
+  }
+  std::vector<const Column*> pptrs;
+  pptrs.reserve(pcols.size());
+  for (const auto& pc : pcols) pptrs.push_back(&pc);
+  VDB_RETURN_IF_ERROR(CheckGroupableRows(n));
+  const GroupAssignment ga = AssignGroupIds(pptrs, n);
+
   std::vector<std::unique_ptr<AggAccumulator>> accs;
+  accs.reserve(ga.num_groups());
+  for (size_t g = 0; g < ga.num_groups(); ++g) {
+    auto acc = CreateAccumulator(spec);
+    if (!acc.ok()) return acc.status();
+    accs.push_back(std::move(acc).ValueOrDie());
+  }
 
+  // Accumulate in row order (the reference order the per-row path used).
   for (size_t r = 0; r < n; ++r) {
-    RowCtx ctx{&table, r, rand_seed};
-    std::string key;
-    for (const auto& p : e.partition_by) {
-      auto v = EvalExpr(*p, ctx);
-      if (!v.ok()) return v.status();
-      key += ValueGroupKey(v.value());
-      key.push_back('\x1f');
-    }
-    auto [it, inserted] = part_ids.emplace(key, static_cast<uint32_t>(accs.size()));
-    if (inserted) {
-      auto acc = CreateAccumulator(spec);
-      if (!acc.ok()) return acc.status();
-      accs.push_back(std::move(acc).ValueOrDie());
-    }
-    part_of[r] = it->second;
-
     Value arg = Value::Int(1);
     if (spec.arg != nullptr) {
+      RowCtx ctx{&table, r, rand_seed};
       auto v = EvalExpr(*spec.arg, ctx);
       if (!v.ok()) return v.status();
       arg = std::move(v).ValueOrDie();
     }
-    accs[it->second]->Add(arg);
+    accs[ga.gid_of_row[r]]->Add(arg);
   }
 
   std::vector<Value> results(accs.size());
@@ -56,7 +67,7 @@ Result<Column> EvalWindowExpr(const sql::Expr& e, const Table& table,
 
   Column out;
   out.Reserve(n);
-  for (size_t r = 0; r < n; ++r) out.Append(results[part_of[r]]);
+  for (size_t r = 0; r < n; ++r) out.Append(results[ga.gid_of_row[r]]);
   return out;
 }
 

@@ -1,0 +1,379 @@
+// Differential tests for the flat SoA aggregation sink: every grouped query
+// executed through the flat path (open-addressing group table + typed
+// scatter-accumulate lanes, engine/agg_table.h + FlatAggregator) must be
+// BIT-identical — doubles compared by bit pattern — to the per-group
+// accumulator-object reference path, across:
+//
+//   - 1, 2 and 8 threads (morsel partials merged in fixed morsel order),
+//   - scalar vs. native SIMD dispatch (VDB_SIMD's mechanism),
+//   - bitmap vs. selection-vector WHERE masks for grouped queries,
+//   - forced hash collisions (SetGroupHashMaskForTest truncates every group
+//     hash to a handful of buckets, so correctness rides on the group
+//     table's representative-row verification, not on hash quality),
+//   - adversarial values: NaN and ±0.0 group keys, full-mantissa doubles,
+//     NULL-heavy columns, all-NULL aggregate inputs, and morsel sizes that
+//     leave ragged tails.
+//
+// The object path is the semantic reference (aggregates.h); these tests are
+// what pins the flat path to it.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "engine/agg_table.h"
+#include "engine/database.h"
+#include "engine/kernels/kernels.h"
+#include "engine/planner.h"
+#include "engine/table.h"
+
+namespace vdb::engine {
+namespace {
+
+constexpr uint64_t kSeed = 20260808;
+
+// ---------------------------------------------------------------------------
+// Adversarial input table
+// ---------------------------------------------------------------------------
+
+TablePtr BuildAggTable(size_t rows) {
+  Rng rng(kSeed);
+  auto t = std::make_shared<Table>();
+  t->AddColumn("gi", TypeId::kInt64);    // int group key, small domain
+  t->AddColumn("gd", TypeId::kDouble);   // double key: NaN, -0.0, NULLs
+  t->AddColumn("gs", TypeId::kString);   // string key with NULLs
+  t->AddColumn("v", TypeId::kDouble);    // full-mantissa doubles, NULLs
+  t->AddColumn("w", TypeId::kInt64);     // int measure with NULLs
+  t->AddColumn("z", TypeId::kDouble);    // all NULL
+  static const char* kStrs[] = {"a", "b", "ab", "", "long-group-name"};
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<Value> row;
+    row.push_back(Value::Int(rng.NextInRange(-3, 12)));
+    switch (rng.NextBounded(8)) {
+      case 0: row.push_back(Value::Double(nan)); break;
+      case 1: row.push_back(Value::Double(-0.0)); break;
+      case 2: row.push_back(Value::Double(0.0)); break;
+      case 3: row.push_back(Value::Null()); break;
+      default:
+        row.push_back(Value::Double(rng.NextInRange(-4, 4) * 0.5));
+        break;
+    }
+    row.push_back(rng.NextBernoulli(0.15)
+                      ? Value::Null()
+                      : Value::String(kStrs[rng.NextBounded(5)]));
+    // Full-mantissa doubles: merge-order sensitivity would show up here.
+    row.push_back(rng.NextBernoulli(0.1)
+                      ? Value::Null()
+                      : Value::Double(rng.NextDouble() * 1e9 - 5e8));
+    row.push_back(rng.NextBernoulli(0.2)
+                      ? Value::Null()
+                      : Value::Int(rng.NextInRange(-1000, 1000)));
+    row.push_back(Value::Null());
+    t->AppendRow(row);
+  }
+  return t;
+}
+
+std::unique_ptr<Database> MakeDb(size_t rows, int threads) {
+  auto db = std::make_unique<Database>(kSeed);
+  db->set_num_threads(threads);
+  EXPECT_TRUE(db->RegisterTable("t", BuildAggTable(rows)).ok());
+  return db;
+}
+
+// Bit-pattern comparison: flat vs. reference must not differ even in the
+// sign of a zero or the payload of a NaN.
+void ExpectBitIdentical(const ResultSet& ref, const ResultSet& got,
+                        const std::string& what) {
+  ASSERT_EQ(ref.NumCols(), got.NumCols()) << what;
+  ASSERT_EQ(ref.NumRows(), got.NumRows()) << what;
+  for (size_t r = 0; r < ref.NumRows(); ++r) {
+    for (size_t c = 0; c < ref.NumCols(); ++c) {
+      const Value a = ref.Get(r, c);
+      const Value b = got.Get(r, c);
+      ASSERT_EQ(a.is_null(), b.is_null())
+          << what << " cell (" << r << "," << c << ")";
+      if (a.is_null()) continue;
+      ASSERT_EQ(a.type(), b.type()) << what << " cell (" << r << "," << c
+                                    << "): " << a.ToString() << " vs "
+                                    << b.ToString();
+      if (a.type() == TypeId::kDouble) {
+        uint64_t ab, bb;
+        const double ad = a.AsDouble(), bd = b.AsDouble();
+        std::memcpy(&ab, &ad, 8);
+        std::memcpy(&bb, &bd, 8);
+        ASSERT_EQ(ab, bb) << what << " cell (" << r << "," << c
+                          << "): " << ad << " vs " << bd;
+      } else {
+        ASSERT_TRUE(a.Equals(b)) << what << " cell (" << r << "," << c
+                                 << "): " << a.ToString() << " vs "
+                                 << b.ToString();
+      }
+    }
+  }
+}
+
+// Restores every knob the tests twist, so suites sharing the binary see
+// defaults.
+class FlatAggTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    detected_ = kernels::DetectedSimdLevel();
+    SetMorselRowsForTest(257);  // ragged tails on every morsel boundary
+  }
+  void TearDown() override {
+    SetMorselRowsForTest(0);
+    SetFlatAggSinkForTest(true);
+    SetGroupedWhereBitmapForTest(true);
+    SetGroupHashMaskForTest(~0ull);
+    kernels::SetSimdLevelForTest(detected_);
+  }
+  kernels::SimdLevel detected_ = kernels::SimdLevel::kScalar;
+};
+
+const char* const kGroupQueries[] = {
+    "select gi, count(*) as c, sum(v) as s from t group by gi",
+    "select gd, count(*) as c, sum(v) as s, min(v) as mn, max(v) as mx "
+    "from t group by gd",
+    "select gi, gd, avg(v) as a, sum(w) as sw from t group by gi, gd",
+    "select gs, count(w) as cw, var_samp(v) as vv, stddev(v) as sd "
+    "from t group by gs",
+    "select gi, gs, min(w) as mn, max(w) as mx, avg(w) as aw "
+    "from t group by gi, gs",
+    "select gi, sum(z) as sz, count(z) as cz, min(z) as mz, avg(z) as az "
+    "from t group by gi",
+    "select gi, count(*) as c, sum(v) as s from t "
+    "where w > 0 and v < 2.5e8 group by gi",
+    "select gd, gs, sum(v) as s, count(*) as c from t "
+    "where gi >= 0 group by gd, gs",
+    "select count(*) as c, sum(v) as s, min(v) as mn, max(w) as mx, "
+    "avg(v) as av from t",
+    "select gi, count(*) as c from t where v > 1e18 group by gi",  // empty
+    // Derived-table shape (the AQP rewriter's): projection pruning keeps
+    // only gi/v/sid of the six-column `select *` expansion.
+    "select gi, sid, sum(v) as s, count(*) as c from "
+    "(select *, 1 + floor(rand() * 7) as sid from t) as d group by gi, sid",
+};
+
+// The reference for every differential test: object-accumulator sink,
+// serial, native SIMD, full group hashes.
+ResultSet RunReference(size_t rows, const std::string& sql) {
+  SetFlatAggSinkForTest(false);
+  auto db = MakeDb(rows, 1);
+  auto ref = db->Execute(sql);
+  SetFlatAggSinkForTest(true);
+  EXPECT_TRUE(ref.ok()) << sql << " -> " << ref.status().ToString();
+  return std::move(ref).ValueOrDie();
+}
+
+TEST_F(FlatAggTest, FlatMatchesReferenceAcrossThreadsAndSimd) {
+  const size_t kRows = 5003;  // prime: ragged final morsel
+  std::vector<kernels::SimdLevel> levels{kernels::SimdLevel::kScalar};
+  if (detected_ != kernels::SimdLevel::kScalar) levels.push_back(detected_);
+  for (const char* sql : kGroupQueries) {
+    const ResultSet ref = RunReference(kRows, sql);
+    for (kernels::SimdLevel level : levels) {
+      kernels::SetSimdLevelForTest(level);
+      for (int threads : {1, 2, 8}) {
+        auto db = MakeDb(kRows, threads);
+        auto got = db->Execute(sql);
+        ASSERT_TRUE(got.ok()) << sql << " -> " << got.status().ToString();
+        ExpectBitIdentical(ref, got.value(),
+                           std::string(sql) + " @" + std::to_string(threads) +
+                               " threads, " + kernels::SimdLevelName(level));
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+      kernels::SetSimdLevelForTest(detected_);
+    }
+  }
+}
+
+TEST_F(FlatAggTest, BitmapAndSelectionVectorMasksAgree) {
+  const size_t kRows = 4096;  // exact morsel multiples with morsel 256
+  SetMorselRowsForTest(256);
+  const char* const kSelective[] = {
+      // High selectivity: nearly all rows survive.
+      "select gi, sum(v) as s, count(*) as c from t where w > -999 group by gi",
+      // Low selectivity: sparse survivors exercise rank-select decomposition.
+      "select gi, gd, sum(v) as s, count(*) as c from t "
+      "where w > 900 group by gi, gd",
+      // Predicate on the group key itself.
+      "select gs, avg(v) as a, max(w) as mx from t "
+      "where gd = 0.0 group by gs",
+  };
+  for (const char* sql : kSelective) {
+    const ResultSet ref = RunReference(kRows, sql);
+    for (bool bitmap : {true, false}) {
+      SetGroupedWhereBitmapForTest(bitmap);
+      for (int threads : {1, 2, 8}) {
+        auto db = MakeDb(kRows, threads);
+        auto got = db->Execute(sql);
+        ASSERT_TRUE(got.ok()) << sql << " -> " << got.status().ToString();
+        ExpectBitIdentical(ref, got.value(),
+                           std::string(sql) + " @" + std::to_string(threads) +
+                               " threads, bitmap=" + (bitmap ? "on" : "off"));
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+    SetGroupedWhereBitmapForTest(true);
+  }
+}
+
+TEST_F(FlatAggTest, ForcedHashCollisionsStillGroupCorrectly) {
+  const size_t kRows = 3001;
+  // Reference runs with honest 64-bit hashes; the flat runs squeeze every
+  // group hash into 8, then 1, bucket(s). Results must not move: collided
+  // groups are separated by the representative-row key verification.
+  for (const char* sql : kGroupQueries) {
+    const ResultSet ref = RunReference(kRows, sql);
+    for (uint64_t mask : {uint64_t{0x7}, uint64_t{0}}) {
+      SetGroupHashMaskForTest(mask);
+      for (int threads : {1, 8}) {
+        auto db = MakeDb(kRows, threads);
+        auto got = db->Execute(sql);
+        ASSERT_TRUE(got.ok()) << sql << " -> " << got.status().ToString();
+        ExpectBitIdentical(ref, got.value(),
+                           std::string(sql) + " mask=" + std::to_string(mask) +
+                               " @" + std::to_string(threads) + " threads");
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+      SetGroupHashMaskForTest(~0ull);
+    }
+  }
+}
+
+TEST_F(FlatAggTest, NanNegativeZeroAndNullKeysGroupTogether) {
+  // ValueGroupKey equivalence, pinned on the flat path: -0.0 groups with
+  // +0.0, NaN with NaN, NULL with NULL — and 5 (int) with 5.0 (double)
+  // is exercised via the mixed-type gi+gd key in the fuzz above.
+  auto t = std::make_shared<Table>();
+  t->AddColumn("d", TypeId::kDouble);
+  t->AddColumn("v", TypeId::kInt64);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  t->AppendRow({Value::Double(0.0), Value::Int(1)});
+  t->AppendRow({Value::Double(-0.0), Value::Int(2)});
+  t->AppendRow({Value::Double(nan), Value::Int(4)});
+  t->AppendRow({Value::Null(), Value::Int(8)});
+  t->AppendRow({Value::Double(nan), Value::Int(16)});
+  t->AppendRow({Value::Double(1.0), Value::Int(32)});
+  t->AppendRow({Value::Null(), Value::Int(64)});
+  for (bool flat : {true, false}) {
+    SetFlatAggSinkForTest(flat);
+    Database db(kSeed);
+    ASSERT_TRUE(db.RegisterTable("k", t).ok());
+    auto rs = db.Execute("select d, count(*) as c, sum(v) as s from k "
+                         "group by d");
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+    const ResultSet& r = rs.value();
+    ASSERT_EQ(r.NumRows(), 4u) << "flat=" << flat;
+    // First-occurrence group order: 0.0, NaN, NULL, 1.0.
+    EXPECT_EQ(r.Get(0, 2).AsInt(), 3) << "±0.0 group, flat=" << flat;
+    EXPECT_EQ(r.Get(1, 2).AsInt(), 20) << "NaN group, flat=" << flat;
+    EXPECT_EQ(r.Get(2, 2).AsInt(), 72) << "NULL group, flat=" << flat;
+    EXPECT_EQ(r.Get(3, 2).AsInt(), 32) << "flat=" << flat;
+  }
+}
+
+TEST_F(FlatAggTest, AllNullAggregateInputs) {
+  // sum/avg/min/max of an all-NULL column are NULL; count is 0 — on both
+  // sinks, serial and parallel.
+  const size_t kRows = 1500;
+  const char* sql =
+      "select gi, sum(z) as s, avg(z) as a, min(z) as mn, max(z) as mx, "
+      "count(z) as c from t group by gi";
+  const ResultSet ref = RunReference(kRows, sql);
+  for (size_t r = 0; r < ref.NumRows(); ++r) {
+    EXPECT_TRUE(ref.Get(r, 1).is_null());
+    EXPECT_TRUE(ref.Get(r, 2).is_null());
+    EXPECT_TRUE(ref.Get(r, 3).is_null());
+    EXPECT_TRUE(ref.Get(r, 4).is_null());
+    EXPECT_EQ(ref.Get(r, 5).AsInt(), 0);
+  }
+  for (int threads : {1, 8}) {
+    auto db = MakeDb(kRows, threads);
+    auto got = db->Execute(sql);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ExpectBitIdentical(ref, got.value(),
+                       std::string("all-null @") + std::to_string(threads));
+  }
+}
+
+TEST_F(FlatAggTest, DerivedTableProjectionPruning) {
+  // The planner prunes derived-table outputs the outer statement never
+  // references (ExecuteFrom). Pruning must be invisible: same values as
+  // the explicit-select-list spelling, row counts preserved when nothing
+  // is referenced, and `select *` outers disable it entirely.
+  const size_t kRows = 2048;
+
+  // Pruned spelling vs. explicit spelling — bit-identical, rand() included
+  // (draws are (row, site)-addressed; both queries have one rand site).
+  // Each query runs first on a fresh identically-seeded database so both
+  // draw the same per-query seed.
+  auto a = MakeDb(kRows, 2)->Execute(
+      "select gi, sid, sum(v) as s, count(*) as c from "
+      "(select *, 1 + floor(rand() * 5) as sid from t) as d group by gi, sid");
+  auto b = MakeDb(kRows, 2)->Execute(
+      "select gi, sid, sum(v) as s, count(*) as c from "
+      "(select gi, v, 1 + floor(rand() * 5) as sid from t) as d "
+      "group by gi, sid");
+  auto db = MakeDb(kRows, 2);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  ExpectBitIdentical(a.value(), b.value(), "pruned vs explicit select list");
+
+  // Outer references no derived column: the row count must survive.
+  auto c = db->Execute("select count(*) as c from (select * from t) as d");
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_EQ(c.value().Get(0, 0).AsInt(), static_cast<int64_t>(kRows));
+
+  // `select *` outer wants every column: pruning is disabled.
+  auto e = db->Execute("select * from (select * from t) as d limit 3");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_EQ(e.value().NumCols(), 6u);
+
+  // DISTINCT derived tables are never pruned (dropping a column would
+  // change the distinct row set).
+  auto f = db->Execute(
+      "select count(*) as c from (select distinct gi, gs from t) as d");
+  auto g = db->Execute(
+      "select count(*) as c, min(gi) as m from "
+      "(select distinct gi, gs from t) as d");
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(f.value().Get(0, 0).AsInt(), g.value().Get(0, 0).AsInt());
+}
+
+TEST_F(FlatAggTest, TinyMorselsAndTinyTables) {
+  // Morsel sizes far below a batch plus row counts around the boundaries:
+  // 0 rows, 1 row, exactly one morsel, one morsel ± 1.
+  const char* sql =
+      "select gi, gd, count(*) as c, sum(v) as s, min(w) as mn "
+      "from t group by gi, gd";
+  for (size_t morsel : {size_t{1}, size_t{7}, size_t{64}}) {
+    for (size_t rows : {size_t{0}, size_t{1}, morsel, morsel + 1, 4 * morsel + 3}) {
+      SetMorselRowsForTest(morsel);
+      const ResultSet ref = RunReference(rows, sql);
+      for (int threads : {1, 2, 8}) {
+        auto db = MakeDb(rows, threads);
+        auto got = db->Execute(sql);
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        ExpectBitIdentical(ref, got.value(),
+                           "morsel=" + std::to_string(morsel) + " rows=" +
+                               std::to_string(rows) + " @" +
+                               std::to_string(threads));
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vdb::engine

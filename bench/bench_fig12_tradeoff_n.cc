@@ -27,8 +27,9 @@ int main() {
       double err = 0, ms = 0;
     } accs[3] = {{"bootstrap"}, {"subsampling"}, {"variational"}};
     for (int t = 0; t < trials; ++t) {
-      auto xs = workload::SyntheticValues(n, 90000 + t);
-      Rng rng(91000 + t);
+      auto xs =
+          workload::SyntheticValues(n, static_cast<uint64_t>(90000 + t));
+      Rng rng(static_cast<uint64_t>(91000 + t));
       auto run = [&](int which) {
         auto t0 = std::chrono::steady_clock::now();
         est::ErrorEstimate e;

@@ -28,7 +28,7 @@ int main() {
     } accs[3] = {{"bootstrap"}, {"subsampling"}, {"variational"}};
     const int trials = 2;
     for (int t = 0; t < trials; ++t) {
-      Rng rng(92000 + 13 * b + t);
+      Rng rng(static_cast<uint64_t>(92000 + 13 * b + t));
       auto run = [&](int which) {
         auto t0 = std::chrono::steady_clock::now();
         est::ErrorEstimate e;

@@ -28,19 +28,20 @@ int main() {
     double err_g = 0, err_c = 0;
     for (int t = 0; t < trials; ++t) {
       // Gaussian N(10,10).
-      auto xs = workload::SyntheticValues(n, 95000 + t);
+      auto xs =
+          workload::SyntheticValues(n, static_cast<uint64_t>(95000 + t));
       double truth_g = z * 10.0 / std::sqrt(static_cast<double>(n));
-      Rng r1(96000 + t);
+      Rng r1(static_cast<uint64_t>(96000 + t));
       auto eg = est::VariationalSubsampling(xs, 1.0, ns, 0.95, &r1);
       err_g += std::abs(eg.half_width - truth_g) / truth_g;
       // Chi-square(1): mean 1, sd sqrt(2), heavy right tail.
-      Rng data(97000 + t);
+      Rng data(static_cast<uint64_t>(97000 + t));
       for (auto& x : xs) {
         double g = data.NextGaussian();
         x = g * g;
       }
       double truth_c = z * std::sqrt(2.0) / std::sqrt(static_cast<double>(n));
-      Rng r2(98000 + t);
+      Rng r2(static_cast<uint64_t>(98000 + t));
       auto ec = est::VariationalSubsampling(xs, 1.0, ns, 0.95, &r2);
       err_c += std::abs(ec.half_width - truth_c) / truth_c;
     }

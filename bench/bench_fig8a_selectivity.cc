@@ -25,10 +25,10 @@ int main() {
     double truth = z * std::sqrt(sel * (1 - sel) / n) / sel;
     std::vector<double> rel_errs;
     for (int t = 0; t < trials; ++t) {
-      Rng data(10000 + t);
+      Rng data(static_cast<uint64_t>(10000 + t));
       std::vector<double> indicators(n);
       for (auto& x : indicators) x = data.NextBernoulli(sel) ? 1.0 : 0.0;
-      Rng rng(20000 + t);
+      Rng rng(static_cast<uint64_t>(20000 + t));
       auto e = est::VariationalSubsampling(indicators, 1.0, 0, 0.95, &rng);
       if (e.point > 0) rel_errs.push_back(e.half_width / e.point);
     }

@@ -32,8 +32,9 @@ int main() {
       double rel = 0, ms = 0;
     } accs[4] = {{"CLT"}, {"bootstrap"}, {"subsampling"}, {"variational"}};
     for (int t = 0; t < c.trials; ++t) {
-      auto xs = workload::SyntheticValues(c.n, 40000 + t);
-      Rng rng(50000 + t);
+      auto xs =
+          workload::SyntheticValues(c.n, static_cast<uint64_t>(40000 + t));
+      Rng rng(static_cast<uint64_t>(50000 + t));
       auto run = [&](int which) {
         auto t0 = std::chrono::steady_clock::now();
         est::ErrorEstimate e;

@@ -136,7 +136,9 @@ void BM_JoinStringMapBaseline(benchmark::State& state) {
     out_rows = out->num_rows();
     benchmark::DoNotOptimize(out);
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * out_rows));
+  state.SetItemsProcessed(
+      static_cast<int64_t>(static_cast<uint64_t>(state.iterations()) *
+                           out_rows));
   state.counters["out_rows"] = static_cast<double>(out_rows);
 }
 
@@ -156,7 +158,9 @@ void BM_JoinRadix(benchmark::State& state) {
     out_rows = out.value()->num_rows();
     benchmark::DoNotOptimize(out);
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * out_rows));
+  state.SetItemsProcessed(
+      static_cast<int64_t>(static_cast<uint64_t>(state.iterations()) *
+                           out_rows));
   state.counters["out_rows"] = static_cast<double>(out_rows);
 }
 

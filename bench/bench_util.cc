@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "common/thread_annotations.h"
 #include "core/flattener.h"
 #include "engine/aggregates.h"
 #include "sql/parser.h"
@@ -40,10 +41,15 @@ struct JsonRow {
   int threads;
 };
 
+// Bench mains are single-threaded today, but RunAqpThreadSweep-style
+// helpers are one refactor away from recording from worker callbacks — so
+// the accumulated rows are guarded now and the contract is machine-checked
+// under -Wthread-safety rather than re-derived at each call site.
 struct JsonState {
-  bool enabled = false;
-  std::string name;
-  std::vector<JsonRow> rows;
+  Mutex mu;
+  bool enabled GUARDED_BY(mu) = false;
+  std::string name GUARDED_BY(mu);
+  std::vector<JsonRow> rows GUARDED_BY(mu);
 };
 
 JsonState& Json() {
@@ -63,18 +69,23 @@ std::string JsonEscape(const std::string& s) {
 }  // namespace
 
 void BenchJsonInit(const char* bench_name, int argc, char** argv) {
-  Json().name = bench_name;
-  Json().enabled = HasFlag(argc, argv, "--json");
+  JsonState& j = Json();
+  MutexLock lock(j.mu);
+  j.name = bench_name;
+  j.enabled = HasFlag(argc, argv, "--json");
 }
 
 void BenchJsonRecord(const std::string& op, const std::string& config,
                      double median_ms, int threads) {
-  if (!Json().enabled) return;
-  Json().rows.push_back(JsonRow{op, config, median_ms, threads});
+  JsonState& j = Json();
+  MutexLock lock(j.mu);
+  if (!j.enabled) return;
+  j.rows.push_back(JsonRow{op, config, median_ms, threads});
 }
 
 void BenchJsonWrite() {
   JsonState& j = Json();
+  MutexLock lock(j.mu);
   if (!j.enabled) return;
   const std::string path = "BENCH_" + j.name + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");

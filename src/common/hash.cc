@@ -60,7 +60,10 @@ std::array<uint32_t, 256> MakeCrcTable() {
 uint32_t Crc32(const std::string& s) {
   static const std::array<uint32_t, 256> kTable = MakeCrcTable();
   uint32_t c = 0xFFFFFFFFu;
-  for (unsigned char ch : s) c = kTable[(c ^ ch) & 0xFF] ^ (c >> 8);
+  for (const char raw : s) {
+    const auto ch = static_cast<unsigned char>(raw);
+    c = kTable[(c ^ ch) & 0xFF] ^ (c >> 8);
+  }
   return c ^ 0xFFFFFFFFu;
 }
 

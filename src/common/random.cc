@@ -1,6 +1,7 @@
 #include "common/random.h"
 
 #include <cmath>
+#include <atomic>
 
 namespace vdb {
 
@@ -10,7 +11,9 @@ inline uint64_t SplitMix64(uint64_t& x) {
 }
 inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
-bool g_biased_bounded_for_test = false;
+// Test hook: atomic (relaxed) — tests write between queries while pool
+// workers may still read; see docs/INVARIANTS.md (test-hook contract).
+std::atomic<bool> g_biased_bounded_for_test{false};
 }  // namespace
 
 int PoissonOneFromUniform(double u) {
@@ -50,11 +53,13 @@ double Rng::NextDouble() {
 }
 
 void Rng::SetBiasedNextBoundedForTest(bool biased) {
-  g_biased_bounded_for_test = biased;
+  g_biased_bounded_for_test.store(biased, std::memory_order_relaxed);
 }
 
 uint64_t Rng::NextBounded(uint64_t bound) {
-  if (g_biased_bounded_for_test) return Next() % bound;
+  if (g_biased_bounded_for_test.load(std::memory_order_relaxed)) {
+    return Next() % bound;
+  }
   // Lemire multiply-shift: (x * bound) >> 64 maps uniformly onto [0, bound)
   // except for the 2^64 mod bound lowest fractional values, which are
   // rejected and redrawn.

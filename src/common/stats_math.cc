@@ -65,7 +65,8 @@ double BinomialTailAtLeast(int64_t n, double p, int64_t m) {
   double log_comb = 0.0;
   for (int64_t k = 0; k <= n; ++k) {
     if (k >= m) {
-      total += std::exp(log_comb + k * log_p + (n - k) * log_q);
+      total += std::exp(log_comb + static_cast<double>(k) * log_p +
+                        static_cast<double>(n - k) * log_q);
     }
     // C(n, k+1) = C(n, k) * (n-k) / (k+1)
     log_comb += std::log(static_cast<double>(n - k)) -

@@ -35,7 +35,10 @@ struct ThreadPool::Job {
   std::atomic<size_t> next{0};       // next unclaimed morsel index
   std::atomic<size_t> completed{0};  // morsels whose body has returned
   int max_participants = 0;          // includes the caller
-  int participants = 1;              // guarded by mu_; caller counts as one
+  // Guarded by the pool's mu_ by convention (a nested struct can't name the
+  // owner's mutex in a GUARDED_BY, so this one contract stays prose): every
+  // read and write of participants below happens inside a MutexLock block.
+  int participants = 1;  // caller counts as one
 
   void RunMorsels() {
     for (;;) {
@@ -57,12 +60,14 @@ ThreadPool& ThreadPool::Global() {
 }
 
 ThreadPool::~ThreadPool() {
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
+    workers = std::move(workers_);
   }
-  work_cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  work_cv_.NotifyAll();
+  for (auto& w : workers) w.join();
 }
 
 void ThreadPool::EnsureWorkersLocked(size_t n) {
@@ -78,11 +83,11 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     Job* job = nullptr;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      work_cv_.wait(lk, [&] {
-        return stop_ || (job_ != nullptr && job_seq_ != seen_seq &&
-                         job_->participants < job_->max_participants);
-      });
+      MutexLock lock(mu_);
+      while (!stop_ && (job_ == nullptr || job_seq_ == seen_seq ||
+                        job_->participants >= job_->max_participants)) {
+        work_cv_.Wait(lock);
+      }
       if (stop_) return;
       job = job_;
       seen_seq = job_seq_;
@@ -90,10 +95,10 @@ void ThreadPool::WorkerLoop() {
     }
     job->RunMorsels();
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lock(mu_);
       --job->participants;
     }
-    done_cv_.notify_all();
+    done_cv_.NotifyAll();
   }
 }
 
@@ -119,36 +124,37 @@ void ThreadPool::ParallelFor(
   job.morsel_rows = morsel_rows;
   job.num_morsels = num_morsels;
   job.max_participants =
-      static_cast<int>(std::min<size_t>(max_threads, num_morsels));
+      static_cast<int>(std::min<size_t>(static_cast<size_t>(max_threads),
+                                        num_morsels));
   {
-    std::unique_lock<std::mutex> lk(mu_);
+    MutexLock lock(mu_);
     EnsureWorkersLocked(static_cast<size_t>(job.max_participants - 1));
     // One published job at a time: a second concurrent caller waits for the
     // slot rather than clobbering a live job (which would strand it without
     // workers and clear it from under the other caller).
-    done_cv_.wait(lk, [&] { return job_ == nullptr; });
+    while (job_ != nullptr) done_cv_.Wait(lock);
     job_ = &job;
     ++job_seq_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 
   tls_in_parallel_region = true;
   job.RunMorsels();
   tls_in_parallel_region = false;
 
   {
-    std::unique_lock<std::mutex> lk(mu_);
+    MutexLock lock(mu_);
     // The job lives on this stack frame: wait until every morsel has run AND
     // every worker has detached from the job before letting it go out of
     // scope. The mutex hand-off also publishes the workers' writes (slot
     // results) to the caller.
-    done_cv_.wait(lk, [&] {
-      return job.completed.load(std::memory_order_acquire) == num_morsels &&
-             job.participants == 1;
-    });
+    while (job.completed.load(std::memory_order_acquire) != num_morsels ||
+           job.participants != 1) {
+      done_cv_.Wait(lock);
+    }
     job_ = nullptr;
   }
-  done_cv_.notify_all();  // wake any caller waiting to publish its job
+  done_cv_.NotifyAll();  // wake any caller waiting to publish its job
 }
 
 }  // namespace vdb

@@ -11,12 +11,12 @@
 #ifndef VDB_COMMON_THREAD_POOL_H_
 #define VDB_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace vdb {
 
@@ -49,24 +49,31 @@ class ThreadPool {
   ///
   /// The body must not throw. Calls from inside a worker (nesting) run all
   /// morsels inline on the calling thread.
+  ///
+  /// Lock contract (REQUIRES(!mu_)): the caller must NOT hold the pool
+  /// mutex — the enqueue path locks mu_ to publish the job and again to
+  /// wait for completion, so calling with it held self-deadlocks. Morsel
+  /// bodies run with no pool lock held; a body that needs mu_-guarded pool
+  /// state is a design error (bodies see only caller-owned slots).
   void ParallelFor(size_t total, size_t morsel_rows, int max_threads,
-                   const std::function<void(size_t, size_t, size_t)>& body);
+                   const std::function<void(size_t, size_t, size_t)>& body)
+      REQUIRES(!mu_);
 
  private:
   ThreadPool() = default;
 
   struct Job;
 
-  void WorkerLoop();
-  void EnsureWorkersLocked(size_t n);
+  void WorkerLoop() REQUIRES(!mu_);
+  void EnsureWorkersLocked(size_t n) REQUIRES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // workers: a new job is available
-  std::condition_variable done_cv_;  // caller: the current job finished
-  Job* job_ = nullptr;               // guarded by mu_
-  uint64_t job_seq_ = 0;             // guarded by mu_; bumps per job
-  bool stop_ = false;                // guarded by mu_
-  std::vector<std::thread> workers_;
+  Mutex mu_;
+  CondVar work_cv_;  // workers: a new job is available
+  CondVar done_cv_;  // caller: the current job finished
+  Job* job_ GUARDED_BY(mu_) = nullptr;
+  uint64_t job_seq_ GUARDED_BY(mu_) = 0;  // bumps per published job
+  bool stop_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_ GUARDED_BY(mu_);
 };
 
 /// Runs body(i) once per i in [0, count) on up to max_threads threads —
@@ -74,6 +81,10 @@ class ThreadPool {
 /// radix-partitioned join build and column-parallel gathers. Iterations must
 /// touch disjoint state; completion order is unspecified, so callers that
 /// care about order index into preallocated slots.
+///
+/// Inherits ParallelFor's lock contract: the caller must not hold the pool
+/// mutex, and bodies run lock-free — any state a body mutates must be its
+/// own slot or independently synchronized (and annotated as such).
 template <typename Body>
 void ParallelForEach(size_t count, int max_threads, Body&& body) {
   ThreadPool::Global().ParallelFor(

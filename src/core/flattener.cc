@@ -134,7 +134,7 @@ struct PendingJoin {
 void FindAndRewrite(Expr* e, std::vector<PendingJoin>* joins) {
   if (e->kind == ExprKind::kBinary && IsComparison(e->binary_op)) {
     for (int side = 0; side < 2; ++side) {
-      Expr* operand = e->args[side].get();
+      Expr* operand = e->args[static_cast<size_t>(side)].get();
       if (operand->kind != ExprKind::kSubquery) continue;
       FlattenPlan plan;
       if (!MatchCorrelated(*operand->subquery, &plan)) continue;

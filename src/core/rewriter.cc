@@ -515,9 +515,10 @@ Result<RewriteResult> AqpRewriter::RewriteNested(
       return Status::Unsupported(
           "nested AQP infeasible: inner grouping too fine for the sample");
     }
-    ictx.b = std::min<int64_t>(ictx.b, b_max);
+    ictx.b = static_cast<int>(std::min<int64_t>(ictx.b, b_max));
     if (ictx.sid.mode == SidPlan::Mode::kRecombine) {
-      int k = std::max(2, static_cast<int>(std::sqrt(ictx.b)));
+      int k = std::max(
+          2, static_cast<int>(std::sqrt(static_cast<double>(ictx.b))));
       ictx.b = k * k;  // Theorem 4 needs a perfect square
     }
   }
@@ -701,11 +702,12 @@ Result<RewriteResult> BuildRewrite(const SelectStmt& original, RewriteCtx& ctx,
       out.columns.push_back(
           {RewrittenColumn::Kind::kGroup, name, -1});
     } else {
+      const auto st = static_cast<size_t>(ip.stat);
       outer->items.emplace_back(
-          CombinePoint(ip.stat, stats[ip.stat].round_to_int,
-                       !stats[ip.stat].scaled_total, ctx.b),
+          CombinePoint(ip.stat, stats[st].round_to_int,
+                       !stats[st].scaled_total, ctx.b),
           name);
-      estimate_col_of_stat[ip.stat] = static_cast<int>(out.columns.size());
+      estimate_col_of_stat[st] = static_cast<int>(out.columns.size());
       out.columns.push_back(
           {RewrittenColumn::Kind::kEstimate, name, -1});
     }
@@ -716,8 +718,9 @@ Result<RewriteResult> BuildRewrite(const SelectStmt& original, RewriteCtx& ctx,
     if (ip.is_group) continue;
     std::string name = ItemOutputName(original.items[j]) + "_err";
     outer->items.emplace_back(CombineError(ip.stat), name);
-    out.columns.push_back({RewrittenColumn::Kind::kError, name,
-                           estimate_col_of_stat[ip.stat]});
+    out.columns.push_back(
+        {RewrittenColumn::Kind::kError, name,
+         estimate_col_of_stat[static_cast<size_t>(ip.stat)]});
   }
 
   for (size_t i = 0; i < original.group_by.size(); ++i) {
@@ -735,8 +738,9 @@ Result<RewriteResult> BuildRewrite(const SelectStmt& original, RewriteCtx& ctx,
             vdb::engine::IsAggregateFunction(e.name)) {
           auto it = stat_index->find(sql::PrintExpr(e));
           if (it != stat_index->end()) {
-            return CombinePoint(it->second, false,
-                                !(*stats)[it->second].scaled_total, b);
+            return CombinePoint(
+                it->second, false,
+                !(*stats)[static_cast<size_t>(it->second)].scaled_total, b);
           }
         }
         auto out = e.Clone();
@@ -793,7 +797,8 @@ Result<RewriteResult> BuildRewrite(const SelectStmt& original, RewriteCtx& ctx,
       }
     }
     if (matched >= 0) {
-      oi.expr = Ref("", ItemOutputName(original.items[matched]));
+      oi.expr = Ref(
+          "", ItemOutputName(original.items[static_cast<size_t>(matched)]));
     } else {
       oi.expr = o.expr->Clone();
     }

@@ -86,7 +86,7 @@ Result<SamplePlan> SamplePlanner::Plan(
                 });
       stats_.candidates_pruned += static_cast<int>(rc.cands.size()) - 1 -
                                   options_.planner_top_k;
-      rc.cands.resize(1 + options_.planner_top_k);
+      rc.cands.resize(static_cast<size_t>(1 + options_.planner_top_k));
     }
     rels.push_back(std::move(rc));
   }

@@ -1,12 +1,17 @@
 #include "engine/agg_table.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 namespace vdb::engine {
 
 namespace {
-uint64_t g_group_hash_mask = ~0ull;
+// Test hook read by pool workers during parallel group-id assignment while
+// tests write it from the main thread between queries: atomic (relaxed) so
+// that handoff is a defined data point, not a formal race. Loaded once per
+// hashing call, never per row.
+std::atomic<uint64_t> g_group_hash_mask{~0ull};
 
 /// Raw-lane view of one group-key column for the inlined representative-row
 /// verification — the same relation as group_ids.cc's CellsEqual (NULLs
@@ -129,16 +134,21 @@ inline bool NumRowsEqual(const KeyLane* lanes, size_t nlanes, uint32_t a,
 
 }  // namespace
 
-void SetGroupHashMaskForTest(uint64_t mask) { g_group_hash_mask = mask; }
+void SetGroupHashMaskForTest(uint64_t mask) {
+  g_group_hash_mask.store(mask, std::memory_order_relaxed);
+}
 
-uint64_t GroupHashMaskForTest() { return g_group_hash_mask; }
+uint64_t GroupHashMaskForTest() {
+  return g_group_hash_mask.load(std::memory_order_relaxed);
+}
 
 void HashGroupKeys(const std::vector<const Column*>& cols, size_t num_rows,
                    std::vector<uint64_t>* hashes) {
   hashes->assign(num_rows, kGroupHashSeed);
   for (const Column* c : cols) HashGroupColumn(*c, num_rows, hashes);
-  if (g_group_hash_mask != ~0ull) {
-    for (uint64_t& h : *hashes) h &= g_group_hash_mask;
+  const uint64_t mask = GroupHashMaskForTest();
+  if (mask != ~0ull) {
+    for (uint64_t& h : *hashes) h &= mask;
   }
 }
 
@@ -153,8 +163,9 @@ void HashGroupKeysBased(const std::vector<KeyCol>& cols, size_t num_rows,
     HashGroupColumnRange(*kc.col, kc.base, kc.base + num_rows,
                          hashes->data());
   }
-  if (g_group_hash_mask != ~0ull) {
-    for (uint64_t& h : *hashes) h &= g_group_hash_mask;
+  const uint64_t mask = GroupHashMaskForTest();
+  if (mask != ~0ull) {
+    for (uint64_t& h : *hashes) h &= mask;
   }
 }
 
@@ -231,7 +242,7 @@ GroupAssignment AssignGroupIdsBased(const std::vector<KeyCol>& cols,
     std::fill(out.gid_of_row.begin(), out.gid_of_row.end(), 0u);
     if (num_rows > 0) {
       out.rep_row.push_back(0);
-      out.group_hash.push_back(kGroupHashSeed & g_group_hash_mask);
+      out.group_hash.push_back(kGroupHashSeed & GroupHashMaskForTest());
     }
     return out;
   }
@@ -285,7 +296,7 @@ void AssignGroupIdsSelectedBased(const std::vector<KeyCol>& cols,
   if (cols.empty()) {
     std::fill(out->gid_of_row.begin(), out->gid_of_row.end(), 0u);
     out->rep_row.push_back(rows[0]);
-    out->group_hash.push_back(kGroupHashSeed & g_group_hash_mask);
+    out->group_hash.push_back(kGroupHashSeed & GroupHashMaskForTest());
     return;
   }
 

@@ -82,7 +82,7 @@ class GroupTable {
       }
       i = (i + 1) & mask;
     }
-    const uint32_t gid = static_cast<uint32_t>(group_hashes_.size());
+    const uint32_t gid = static_cast<uint32_t>(group_hashes_.size());  // vdb-lint: allow(naked-size-narrowing) group count <= row count, guarded by CheckGroupIdCapacity
     slots_[i] = Slot{h, gid};
     group_hashes_.push_back(h);
     *inserted = true;
@@ -109,7 +109,7 @@ class GroupTable {
       for (;;) {
         const Slot s = slots[i];
         if (s.gid == kNoGroup) {
-          gid = static_cast<uint32_t>(group_hashes_.size());
+          gid = static_cast<uint32_t>(group_hashes_.size());  // vdb-lint: allow(naked-size-narrowing) group count <= row count, guarded by CheckGroupIdCapacity
           slots[i] = Slot{h, gid};
           group_hashes_.push_back(h);
           on_insert(k, gid);

@@ -147,9 +147,9 @@ class DistinctCountAcc : public AggAccumulator {
 inline void NeumaierAdd(double& sum, double& comp, double x) {
   const double t = sum + x;
   if (std::abs(sum) >= std::abs(x)) {
-    comp += (sum - t) + x;
+    comp += (sum - t) + x;  // vdb-lint: allow(raw-double-accumulate) this IS the Neumaier compensation
   } else {
-    comp += (x - t) + sum;
+    comp += (x - t) + sum;  // vdb-lint: allow(raw-double-accumulate) this IS the Neumaier compensation
   }
   sum = t;
 }

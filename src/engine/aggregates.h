@@ -114,7 +114,7 @@ class AggregateRegistry {
   std::unique_ptr<AggAccumulator> Create(const std::string& name) const;
 
  private:
-  std::map<std::string, UdaFactory> factories_;
+  std::map<std::string, UdaFactory> factories_;  // vdb-lint: allow(string-keyed-map) UDA registry: looked up once per aggregate at plan time
 };
 
 /// Creates the accumulator for a builtin or registered aggregate.

@@ -23,7 +23,7 @@ class Catalog {
   std::vector<std::string> ListTables() const;
 
  private:
-  std::map<std::string, TablePtr> tables_;
+  std::map<std::string, TablePtr> tables_;  // vdb-lint: allow(string-keyed-map) DDL-time table catalog, never touched per row
 };
 
 }  // namespace vdb::engine

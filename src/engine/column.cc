@@ -146,20 +146,22 @@ void Column::AppendRange(const Column& src, size_t start, size_t count) {
     for (size_t i = 0; i < count; ++i) Append(src.Get(start + i));
     return;
   }
+  const auto off = static_cast<std::ptrdiff_t>(start);
+  const auto cnt = static_cast<std::ptrdiff_t>(count);
   switch (type_) {
     case TypeId::kNull: break;
     case TypeId::kBool:
     case TypeId::kInt64:
-      ints_.insert(ints_.end(), src.ints_.begin() + start,
-                   src.ints_.begin() + start + count);
+      ints_.insert(ints_.end(), src.ints_.begin() + off,
+                   src.ints_.begin() + off + cnt);
       break;
     case TypeId::kDouble:
-      doubles_.insert(doubles_.end(), src.doubles_.begin() + start,
-                      src.doubles_.begin() + start + count);
+      doubles_.insert(doubles_.end(), src.doubles_.begin() + off,
+                      src.doubles_.begin() + off + cnt);
       break;
     case TypeId::kString:
-      strings_.insert(strings_.end(), src.strings_.begin() + start,
-                      src.strings_.begin() + start + count);
+      strings_.insert(strings_.end(), src.strings_.begin() + off,
+                      src.strings_.begin() + off + cnt);
       break;
   }
   const bool src_has_nulls =
@@ -169,8 +171,8 @@ void Column::AppendRange(const Column& src, size_t start, size_t count) {
     if (src.nulls_.empty()) {
       nulls_.insert(nulls_.end(), count, src.type_ == TypeId::kNull ? 1 : 0);
     } else {
-      nulls_.insert(nulls_.end(), src.nulls_.begin() + start,
-                    src.nulls_.begin() + start + count);
+      nulls_.insert(nulls_.end(), src.nulls_.begin() + off,
+                    src.nulls_.begin() + off + cnt);
     }
   }
   size_ += count;

@@ -5,12 +5,14 @@
 #ifndef VDB_ENGINE_DATABASE_H_
 #define VDB_ENGINE_DATABASE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/random.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engine/catalog.h"
 #include "engine/table.h"
 #include "sql/ast.h"
@@ -55,7 +57,14 @@ class Database {
 
   Catalog& catalog() { return catalog_; }
   const Catalog& catalog() const { return catalog_; }
-  Rng& rng() { return rng_; }
+
+  /// Direct access to the database RNG, for serial setup code (the
+  /// integrated-AQP baseline draws its shuffles here). NOT safe while other
+  /// threads execute statements — concurrent draws go through
+  /// NewQuerySeed(), which serializes on seed_mu_. The analysis exemption
+  /// is deliberate: the returned reference escapes the lock scope, which is
+  /// exactly why this accessor is restricted to single-threaded phases.
+  Rng& rng() NO_THREAD_SAFETY_ANALYSIS { return rng_; }
 
   /// Draws the per-statement seed for the row-addressed rand() substrate
   /// (common/random.h): one Rng draw per executed statement, so consecutive
@@ -63,7 +72,17 @@ class Database {
   /// fixed statement sequence stays fully reproducible. Within a statement
   /// every rand-family value is a pure function of (this seed, row id, call
   /// site) — never of evaluation order, plan shape, or thread count.
-  uint64_t NewQuerySeed() { return rng_.Next(); }
+  ///
+  /// Serialized on seed_mu_, so concurrent callers sharing one Database
+  /// (read-only statements; DDL still needs external exclusion) each get a
+  /// distinct, valid seed instead of racing the generator state. Which
+  /// caller gets which seed depends on arrival order — per-statement
+  /// reproducibility under concurrency comes from the row-addressed
+  /// substrate, not from the seed sequence.
+  uint64_t NewQuerySeed() {
+    MutexLock lock(seed_mu_);
+    return rng_.Next();
+  }
 
   /// Maximum threads the executor may use for one query (morsel-parallel
   /// scans, partial aggregation, join probe, projection, gathers). <= 0
@@ -75,14 +94,20 @@ class Database {
   int num_threads() const;
 
   /// Total base-table rows scanned by queries since construction. Used by
-  /// benches to report I/O-proportional costs.
-  uint64_t rows_scanned() const { return rows_scanned_; }
-  void AddRowsScanned(uint64_t n) { rows_scanned_ += n; }
+  /// benches to report I/O-proportional costs. Atomic so concurrent
+  /// statements sharing one Database tally without lost updates.
+  uint64_t rows_scanned() const {
+    return rows_scanned_.load(std::memory_order_relaxed);
+  }
+  void AddRowsScanned(uint64_t n) {
+    rows_scanned_.fetch_add(n, std::memory_order_relaxed);
+  }
 
  private:
   Catalog catalog_;
-  Rng rng_;
-  uint64_t rows_scanned_ = 0;
+  Mutex seed_mu_;
+  Rng rng_ GUARDED_BY(seed_mu_);
+  std::atomic<uint64_t> rows_scanned_{0};
   int num_threads_ = 1;
 };
 

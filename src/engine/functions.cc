@@ -65,19 +65,19 @@ bool AnyNull(const std::vector<Value>& args) {
 
 Result<Value> CallScalarFunction(const std::string& name,
                                  const std::vector<Value>& args,
-                                 const RandAddr& rand) {
+                                 const RandAddr& rand_addr) {
   // rand-family first: no args, no null handling. Row-addressed: the value
   // depends only on (query seed, row id, call site), so the row interpreter
   // and the batch kernels in vector_eval.cc agree bit for bit.
   if (name == "rand" || name == "random") {
     VDB_RETURN_IF_ERROR(Arity(name, args, 0, 0));
-    return Value::Double(RandAt(rand));
+    return Value::Double(RandAt(rand_addr));
   }
   if (name == "rand_poisson") {
     // Poisson(1) draw; used by SQL formulations of consolidated bootstrap
     // (each tuple's multiplicity within one resample).
     VDB_RETURN_IF_ERROR(Arity(name, args, 0, 0));
-    return Value::Int(PoissonOneFromUniform(RandAt(rand)));
+    return Value::Int(PoissonOneFromUniform(RandAt(rand_addr)));
   }
   if (name == "coalesce") {
     for (const auto& a : args) {

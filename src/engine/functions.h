@@ -26,7 +26,7 @@ bool IsAggregateFunction(const std::string& name);
 /// (common/random.h). Unknown names produce kUnsupported.
 Result<Value> CallScalarFunction(const std::string& name,
                                  const std::vector<Value>& args,
-                                 const RandAddr& rand);
+                                 const RandAddr& rand_addr);
 
 /// SQL LIKE with % and _ wildcards.
 bool LikeMatch(const std::string& text, const std::string& pattern);

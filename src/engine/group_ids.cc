@@ -1,6 +1,7 @@
 #include "engine/group_ids.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 
@@ -113,7 +114,10 @@ void HashColumnRange(const Column& col, size_t begin, size_t end,
   }
 }
 
-uint64_t g_join_key_hash_mask = ~0ull;
+// Like agg_table.cc's group-hash mask: written by tests between queries,
+// read by workers inside the morsel-parallel join prehash — atomic so the
+// handoff is defined. Loaded once per range, never per row.
+std::atomic<uint64_t> g_join_key_hash_mask{~0ull};
 
 /// Same-type equality across two columns (both cells non-null).
 bool CellsEqual2(const Column& a, size_t ra, const Column& b, size_t rb) {
@@ -230,8 +234,9 @@ void HashJoinKeyColumns(const std::vector<const Column*>& keys, size_t begin,
       for (size_t r = begin; r < end; ++r) any_null[r] |= nulls[r];
     }
   }
-  if (g_join_key_hash_mask != ~0ull) {
-    for (size_t r = begin; r < end; ++r) hashes[r] &= g_join_key_hash_mask;
+  const uint64_t mask = g_join_key_hash_mask.load(std::memory_order_relaxed);
+  if (mask != ~0ull) {
+    for (size_t r = begin; r < end; ++r) hashes[r] &= mask;
   }
 }
 
@@ -244,7 +249,7 @@ bool JoinKeysEqual(const std::vector<const Column*>& a, size_t arow,
 }
 
 void SetJoinKeyHashMaskForTest(uint64_t mask) {
-  g_join_key_hash_mask = mask;
+  g_join_key_hash_mask.store(mask, std::memory_order_relaxed);
 }
 
 // AssignGroupIds lives in engine/agg_table.cc: it is the flat GroupTable's

@@ -1,6 +1,7 @@
 #include "engine/join_table.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace vdb::engine {
 
@@ -19,7 +20,9 @@ size_t SlotCapacity(size_t count) {
 }
 
 /// -1 = automatic (size threshold below), 0 = forced off, 1 = forced on.
-int g_join_bloom_mode = -1;
+// Test hook: atomic (relaxed) — tests write between queries while pool
+// workers may still read; see docs/INVARIANTS.md (test-hook contract).
+std::atomic<int> g_join_bloom_mode{-1};
 
 /// Below this many keyed build rows the Bloom pre-probe is pure overhead:
 /// the whole slot array already fits in L1/L2 and probes are cheap.
@@ -27,9 +30,13 @@ constexpr size_t kBloomAutoThreshold = 16384;
 
 }  // namespace
 
-void SetJoinBloomForTest(int mode) { g_join_bloom_mode = mode; }
+void SetJoinBloomForTest(int mode) {
+  g_join_bloom_mode.store(mode, std::memory_order_relaxed);
+}
 
-bool JoinBloomForced() { return g_join_bloom_mode == 1; }
+bool JoinBloomForced() {
+  return g_join_bloom_mode.load(std::memory_order_relaxed) == 1;
+}
 
 void JoinBuildTable::PlanPartitions(const uint64_t* hashes,
                                     const uint8_t* any_null, size_t num_rows,
@@ -58,9 +65,9 @@ void JoinBuildTable::PlanPartitions(const uint64_t* hashes,
   auto plan_bloom = [&](size_t keyed) {
     bloom_.clear();
     bloom_shift_ = 0;
+    const int mode = g_join_bloom_mode.load(std::memory_order_relaxed);
     const bool enabled =
-        g_join_bloom_mode == 1 ||
-        (g_join_bloom_mode < 0 && keyed >= kBloomAutoThreshold);
+        mode == 1 || (mode < 0 && keyed >= kBloomAutoThreshold);
     if (!enabled || keyed == 0) return;
     const uint64_t words =
         NextPow2(std::max<uint64_t>(P, std::max<uint64_t>(2, keyed / 8)));
@@ -78,7 +85,7 @@ void JoinBuildTable::PlanPartitions(const uint64_t* hashes,
       if (any_null[r] == 0) part_rows->push_back(static_cast<uint32_t>(r));
     }
     parts_[0].row_begin = 0;
-    parts_[0].row_end = static_cast<uint32_t>(part_rows->size());
+    parts_[0].row_end = static_cast<uint32_t>(part_rows->size());  // vdb-lint: allow(naked-size-narrowing) join inputs rejected above 2^32-2 rows (operators.cc)
     plan_bloom(part_rows->size());
     if (!part_rows->empty()) {
       parts_[0].slot_hash.assign(SlotCapacity(part_rows->size()), 0);

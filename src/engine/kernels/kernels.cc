@@ -9,6 +9,7 @@
 
 #include "engine/kernels/kernels.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 
@@ -106,20 +107,29 @@ SimdLevel ClampToDetected(SimdLevel level) {
              : DetectedSimdLevel();
 }
 
+// The pair is atomic (not GUARDED_BY a mutex) because the readers are the
+// per-batch kernel call sites — a lock there would serialize the substrate
+// the dispatch exists to speed up. SetSimdLevelForTest stores between
+// queries; idle pool workers may still load concurrently, so plain fields
+// would be a formal (and TSan-visible) race even though every table is an
+// immutable static. level and ops are independently atomic rather than one
+// word: a reader that sees the new ops with the old level only misreports
+// the level name mid-swap, never calls through a torn pointer.
 struct Dispatch {
-  SimdLevel level;
-  const KernelOps* ops;
+  std::atomic<SimdLevel> level;
+  std::atomic<const KernelOps*> ops;
 
   Dispatch() {
-    level = DetectedSimdLevel();
+    SimdLevel l = DetectedSimdLevel();
     if (const char* env = std::getenv("VDB_SIMD")) {
       if (std::strcmp(env, "scalar") == 0) {
-        level = SimdLevel::kScalar;
+        l = SimdLevel::kScalar;
       } else if (std::strcmp(env, "avx2") == 0) {
-        level = ClampToDetected(SimdLevel::kAvx2);
+        l = ClampToDetected(SimdLevel::kAvx2);
       }
     }
-    ops = OpsFor(level);
+    level.store(l, std::memory_order_relaxed);
+    ops.store(OpsFor(l), std::memory_order_relaxed);
   }
 };
 
@@ -140,18 +150,23 @@ SimdLevel DetectedSimdLevel() {
 #endif
 }
 
-SimdLevel CurrentSimdLevel() { return GetDispatch().level; }
+SimdLevel CurrentSimdLevel() {
+  return GetDispatch().level.load(std::memory_order_relaxed);
+}
 
 void SetSimdLevelForTest(SimdLevel level) {
   Dispatch& d = GetDispatch();
-  d.level = ClampToDetected(level);
-  d.ops = OpsFor(d.level);
+  const SimdLevel clamped = ClampToDetected(level);
+  d.level.store(clamped, std::memory_order_relaxed);
+  d.ops.store(OpsFor(clamped), std::memory_order_release);
 }
 
 const char* SimdLevelName(SimdLevel level) {
   return level == SimdLevel::kAvx2 ? "avx2" : "scalar";
 }
 
-const KernelOps& Ops() { return *GetDispatch().ops; }
+const KernelOps& Ops() {
+  return *GetDispatch().ops.load(std::memory_order_acquire);
+}
 
 }  // namespace vdb::engine::kernels

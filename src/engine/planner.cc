@@ -1,6 +1,7 @@
 #include "engine/planner.h"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
 #include <map>
 #include <set>
@@ -30,10 +31,14 @@ using sql::SelectStmt;
 using sql::TableRef;
 
 /// Test hook (SetJoinWherePushdownForTest): pair-view WHERE pushdown on/off.
-bool g_join_where_pushdown = true;
+// Test hook: atomic (relaxed) — tests write between queries while pool
+// workers may still read; see docs/INVARIANTS.md (test-hook contract).
+std::atomic<bool> g_join_where_pushdown{true};
 
 /// Test hook (SetFlatAggSinkForTest): flat SoA aggregation sink on/off.
-bool g_flat_agg_sink = true;
+// Test hook: atomic (relaxed) — tests write between queries while pool
+// workers may still read; see docs/INVARIANTS.md (test-hook contract).
+std::atomic<bool> g_flat_agg_sink{true};
 
 /// Test hook (SetGroupedWhereBitmapForTest): bitmap WHERE for grouped
 /// queries on/off.
@@ -478,7 +483,7 @@ class SelectExecutor {
     // ordinals the post-gather plan sees, breaking plan-shape invariance.
     pushdown_where_ = nullptr;
     pushdown_where_applied_ = false;
-    if (g_join_where_pushdown && stmt->where &&
+    if (g_join_where_pushdown.load(std::memory_order_relaxed) && stmt->where &&
         !RandOutsideWhere(*stmt) &&
         !sql::AnyExprNode(*stmt->where, [](const Expr& n) {
           return n.subquery != nullptr;
@@ -649,7 +654,7 @@ class SelectExecutor {
     }
     if (has_window) {
       work = view.Gather(db_->num_threads());
-      std::map<std::string, int> window_cols;
+      std::map<std::string, int> window_cols;  // vdb-lint: allow(string-keyed-map) plan-time metadata, bounded by SELECT-list length
       for (auto& item : stmt->items) {
         if (item.expr->kind == ExprKind::kStar) continue;
         VDB_RETURN_IF_ERROR(
@@ -730,7 +735,7 @@ class SelectExecutor {
 
     // Collect aggregate calls (deduplicated by printed text).
     std::vector<Expr*> agg_exprs;
-    std::map<std::string, int> agg_index;
+    std::map<std::string, int> agg_index;  // vdb-lint: allow(string-keyed-map) plan-time metadata, bounded by SELECT-list length
     for (auto& item : stmt->items) {
       CollectAggs(item.expr.get(), &agg_exprs, &agg_index);
     }
@@ -798,7 +803,7 @@ class SelectExecutor {
     // partial path). `flats` becomes the global merged state; per-morsel
     // partials are created inside the morsels.
     std::vector<std::unique_ptr<FlatAggregator>> flats;
-    bool flat = g_flat_agg_sink && partials;
+    bool flat = g_flat_agg_sink.load(std::memory_order_relaxed) && partials;
     if (flat) {
       for (const auto& s : specs) {
         auto f = CreateFlatAggregator(s);
@@ -1191,7 +1196,7 @@ class SelectExecutor {
     }
 
     // Maps from printed expression text to aggregate-table ordinal.
-    std::map<std::string, int> text_to_col;
+    std::map<std::string, int> text_to_col;  // vdb-lint: allow(string-keyed-map) plan-time metadata, bounded by SELECT-list length
     for (size_t i = 0; i < gk; ++i) {
       const Expr& g = *stmt->group_by[i];
       text_to_col[sql::PrintExpr(g)] = static_cast<int>(i);
@@ -1202,7 +1207,7 @@ class SelectExecutor {
         }
       }
     }
-    std::map<std::string, int> agg_to_col;
+    std::map<std::string, int> agg_to_col;  // vdb-lint: allow(string-keyed-map) plan-time metadata, bounded by SELECT-list length
     for (const auto& [text, idx] : agg_index) {
       agg_to_col[text] = static_cast<int>(gk) + idx;
     }
@@ -1250,7 +1255,7 @@ class SelectExecutor {
       // Window frames over the (HAVING-filtered) groups need contiguous
       // rows: gather the view, extend with window columns, reset identity.
       agg_table = aview.Gather(db_->num_threads());
-      std::map<std::string, int> window_cols;
+      std::map<std::string, int> window_cols;  // vdb-lint: allow(string-keyed-map) plan-time metadata, bounded by SELECT-list length
       for (auto& be : bound_items) {
         VDB_RETURN_IF_ERROR(MaterializeWindows(be.get(), &agg_table,
                                                &window_cols));
@@ -1275,7 +1280,7 @@ class SelectExecutor {
   /// deduplicating by printed text. Recurses into window arguments so that
   /// e.g. sum(count(*)) over (...) registers the inner count(*).
   void CollectAggs(Expr* e, std::vector<Expr*>* aggs,
-                   std::map<std::string, int>* index) {
+                   std::map<std::string, int>* index) {  // vdb-lint: allow(string-keyed-map) plan-time metadata, bounded by SELECT-list length
     if (e->kind == ExprKind::kFunction && !e->is_window &&
         IsAggregateFunction(e->name)) {
       std::string text = sql::PrintExpr(*e);
@@ -1301,8 +1306,8 @@ class SelectExecutor {
   /// Rewrites an expression for evaluation against the aggregate table:
   /// group-by expressions and aggregate calls become bound column refs.
   Result<Expr::Ptr> RebindPostAgg(const Expr& e,
-                                  const std::map<std::string, int>& group_map,
-                                  const std::map<std::string, int>& agg_map) {
+                                  const std::map<std::string, int>& group_map,  // vdb-lint: allow(string-keyed-map) plan-time metadata, bounded by SELECT-list length
+                                  const std::map<std::string, int>& agg_map) {  // vdb-lint: allow(string-keyed-map) plan-time metadata, bounded by SELECT-list length
     std::string text = sql::PrintExpr(e);
     auto git = group_map.find(text);
     if (git == group_map.end() && e.kind == ExprKind::kColumnRef) {
@@ -1361,7 +1366,7 @@ class SelectExecutor {
   /// Replaces window-function nodes under `e` with references to freshly
   /// computed columns appended to `*work`. Deduplicates by printed text.
   Status MaterializeWindows(Expr* e, TablePtr* work,
-                            std::map<std::string, int>* window_cols) {
+                            std::map<std::string, int>* window_cols) {  // vdb-lint: allow(string-keyed-map) plan-time metadata, bounded by SELECT-list length
     if (e->kind == ExprKind::kFunction && e->is_window) {
       std::string text = sql::PrintExpr(*e);
       auto it = window_cols->find(text);
@@ -1529,10 +1534,12 @@ class SelectExecutor {
 }  // namespace
 
 void SetJoinWherePushdownForTest(bool enabled) {
-  g_join_where_pushdown = enabled;
+  g_join_where_pushdown.store(enabled, std::memory_order_relaxed);
 }
 
-void SetFlatAggSinkForTest(bool enabled) { g_flat_agg_sink = enabled; }
+void SetFlatAggSinkForTest(bool enabled) {
+  g_flat_agg_sink.store(enabled, std::memory_order_relaxed);
+}
 
 void SetGroupedWhereBitmapForTest(bool enabled) {
   g_grouped_where_bitmap = enabled;

@@ -1,6 +1,7 @@
 #include "engine/vector_eval.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/hash.h"
@@ -21,11 +22,14 @@ namespace {
 /// Test/bench baseline switch (SetSerialRandBaselineForTest): reproduces the
 /// pre-row-addressed executor, where rand-family expressions had no batch
 /// kernel and pinned their queries serial.
-bool g_serial_rand_baseline = false;
+// Test hook: atomic (relaxed) — tests write between queries while pool
+// workers may still read; see docs/INVARIANTS.md (test-hook contract).
+std::atomic<bool> g_serial_rand_baseline{false};
 
 /// True when the baseline hook demands the old serial pinning for `e`.
 bool PinnedSerialForBaseline(const Expr& e) {
-  return g_serial_rand_baseline && sql::ContainsRandFunction(e);
+  return g_serial_rand_baseline.load(std::memory_order_relaxed) &&
+         sql::ContainsRandFunction(e);
 }
 
 using kernels::Bitmap;
@@ -1175,7 +1179,7 @@ Result<Vec> EvalVec(const Expr& e, const Batch& b) {
       // pure function of row identity, so the kernel, the row fallback, and
       // every morsel decomposition agree bit for bit.
       if (sql::IsRandFunctionExpr(e) && e.args.empty() &&
-          !g_serial_rand_baseline) {
+          !g_serial_rand_baseline.load(std::memory_order_relaxed)) {
         const uint64_t site = static_cast<uint64_t>(e.rand_site);
         // Range batches draw for consecutive row ids, which is exactly the
         // shape the SIMD rand lane covers (4 CounterRandom draws per
@@ -1404,7 +1408,7 @@ Status EvalPredicateBatch(const Expr& e, const Batch& batch, SelVector* out) {
 }
 
 void SetSerialRandBaselineForTest(bool enabled) {
-  g_serial_rand_baseline = enabled;
+  g_serial_rand_baseline.store(enabled, std::memory_order_relaxed);
 }
 
 Status EvalPredicateParallel(const Expr& e, const Table& table,

@@ -46,9 +46,10 @@ ErrorEstimate CltEstimate(const std::vector<double>& sample, double scale,
 ErrorEstimate Bootstrap(const std::vector<double>& sample, double scale,
                         int b, double confidence, Rng* rng) {
   const size_t n = sample.size();
+  const size_t nb = static_cast<size_t>(std::max(0, b));
   const double g0 = scale * vdb::Mean(sample);
-  std::vector<double> devs(b);
-  for (int j = 0; j < b; ++j) {
+  std::vector<double> devs(nb);
+  for (size_t j = 0; j < nb; ++j) {
     double sum = 0.0;
     for (size_t i = 0; i < n; ++i) {
       sum += sample[rng->NextBounded(n)];
@@ -64,11 +65,12 @@ ErrorEstimate ConsolidatedBootstrap(const std::vector<double>& sample,
   // Single pass over the data; per tuple, draw a Poisson(1) multiplicity for
   // each of the b resamples (multinomial resampling approximation).
   const size_t n = sample.size();
+  const size_t nb = static_cast<size_t>(std::max(0, b));
   const double g0 = scale * vdb::Mean(sample);
-  std::vector<double> sums(b, 0.0);
-  std::vector<double> counts(b, 0.0);
+  std::vector<double> sums(nb, 0.0);
+  std::vector<double> counts(nb, 0.0);
   for (size_t i = 0; i < n; ++i) {
-    for (int j = 0; j < b; ++j) {
+    for (size_t j = 0; j < nb; ++j) {
       // Poisson(1) multiplicity; E[k]=1, so expected resample size is n.
       // Shared inverse-CDF kernel with SQL rand_poisson() (common/random.h),
       // which also removed the old k < 8 truncation of the upper tail.
@@ -79,8 +81,8 @@ ErrorEstimate ConsolidatedBootstrap(const std::vector<double>& sample,
       }
     }
   }
-  std::vector<double> devs(b);
-  for (int j = 0; j < b; ++j) {
+  std::vector<double> devs(nb);
+  for (size_t j = 0; j < nb; ++j) {
     // An empty resample carries no information about the spread: its
     // deviation is 0 (ghat_j = g0), NOT g0 - 0 — the old fallback injected
     // the full point estimate as a spurious outlier deviation.
@@ -97,12 +99,12 @@ ErrorEstimate TraditionalSubsampling(const std::vector<double>& sample,
   // Partial Fisher-Yates per subsample: draw ns indices without replacement.
   std::vector<uint32_t> idx(n);
   for (size_t i = 0; i < n; ++i) idx[i] = static_cast<uint32_t>(i);
-  std::vector<double> devs(b);
+  std::vector<double> devs(static_cast<size_t>(std::max(0, b)));
   const double root = std::sqrt(static_cast<double>(ns));
-  for (int j = 0; j < b; ++j) {
+  for (size_t j = 0; j < devs.size(); ++j) {
     double sum = 0.0;
-    for (int64_t k = 0; k < ns; ++k) {
-      size_t pick = k + rng->NextBounded(n - static_cast<size_t>(k));
+    for (size_t k = 0; k < static_cast<size_t>(ns); ++k) {
+      size_t pick = k + rng->NextBounded(n - k);
       std::swap(idx[k], idx[pick]);
       sum += sample[idx[k]];
     }
@@ -126,18 +128,19 @@ ErrorEstimate VariationalSubsampling(const std::vector<double>& sample,
   const int64_t b =
       std::max<int64_t>(2, static_cast<int64_t>(n) / std::max<int64_t>(1, ns));
   const double g0 = scale * vdb::Mean(sample);
+  const size_t nb = static_cast<size_t>(b);
 
   // Single pass: each tuple joins exactly one of the b subsamples.
-  std::vector<double> sums(b, 0.0);
-  std::vector<int64_t> counts(b, 0);
+  std::vector<double> sums(nb, 0.0);
+  std::vector<int64_t> counts(nb, 0);
   for (size_t i = 0; i < n; ++i) {
     uint64_t sid = rng->NextBounded(static_cast<uint64_t>(b));
     sums[sid] += sample[i];
     counts[sid] += 1;
   }
   std::vector<double> devs;
-  devs.reserve(b);
-  for (int64_t j = 0; j < b; ++j) {
+  devs.reserve(nb);
+  for (size_t j = 0; j < nb; ++j) {
     if (counts[j] == 0) continue;
     double ghat = scale * (sums[j] / static_cast<double>(counts[j]));
     devs.push_back(std::sqrt(static_cast<double>(counts[j])) * (ghat - g0));

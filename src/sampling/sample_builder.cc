@@ -249,8 +249,9 @@ Result<SampleInfo> SampleBuilder::CreateStratifiedSample(
 
   // Equation 1: per-stratum minimum m = |T| * tau / d.
   int64_t m = std::max<int64_t>(
-      1, static_cast<int64_t>(static_cast<double>(n.value()) * tau /
-                              std::max<int64_t>(1, d.value())));
+      1, static_cast<int64_t>(
+             static_cast<double>(n.value()) * tau /
+             static_cast<double>(std::max<int64_t>(1, d.value()))));
   auto steps = BuildStaircase(max_stratum, m, options_.delta,
                               options_.staircase_growth);
   auto case_expr = StaircaseCaseExpr(steps, "strata_size");

@@ -119,16 +119,19 @@ Result<std::vector<SampleInfo>> SampleCatalog::SamplesFor(
   int c_cols = r.ColumnIndex("column_set");
   int c_brows = r.ColumnIndex("base_rows");
   int c_srows = r.ColumnIndex("sample_rows");
+  auto cell = [&r](size_t row, int col) {
+    return r.Get(row, static_cast<size_t>(col));
+  };
   std::vector<SampleInfo> out;
   for (size_t row = 0; row < r.NumRows(); ++row) {
     SampleInfo info;
-    info.sample_table = r.Get(row, c_sample).AsString();
-    info.base_table = r.Get(row, c_base).AsString();
-    info.type = SampleTypeFromName(r.Get(row, c_type).AsString());
-    info.ratio = r.Get(row, c_ratio).AsDouble();
-    info.columns = SplitColumns(r.Get(row, c_cols).AsString());
-    info.base_rows = static_cast<uint64_t>(r.Get(row, c_brows).AsInt());
-    info.sample_rows = static_cast<uint64_t>(r.Get(row, c_srows).AsInt());
+    info.sample_table = cell(row, c_sample).AsString();
+    info.base_table = cell(row, c_base).AsString();
+    info.type = SampleTypeFromName(cell(row, c_type).AsString());
+    info.ratio = cell(row, c_ratio).AsDouble();
+    info.columns = SplitColumns(cell(row, c_cols).AsString());
+    info.base_rows = static_cast<uint64_t>(cell(row, c_brows).AsInt());
+    info.sample_rows = static_cast<uint64_t>(cell(row, c_srows).AsInt());
     out.push_back(std::move(info));
   }
   return out;

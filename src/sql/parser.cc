@@ -57,7 +57,7 @@ class Parser {
  private:
   // ---- token helpers ----
   const Token& Peek(int ahead = 0) const {
-    size_t i = std::min(pos_ + ahead, toks_.size() - 1);
+    size_t i = std::min(pos_ + static_cast<size_t>(ahead), toks_.size() - 1);
     return toks_[i];
   }
   bool At(TokenKind k) const { return Peek().kind == k; }

@@ -131,7 +131,8 @@ Status GenerateTpch(engine::Database* db, const TpchConfig& cfg) {
                        Value::String("part." + std::to_string(i)),
                        Value::String(brand), Value::String(type),
                        Value::Int(static_cast<int64_t>(1 + rng.NextBounded(50))),
-                       Value::Double(900.0 + (i % 1000) + rng.NextDouble())});
+                       Value::Double(900.0 + static_cast<double>(i % 1000) +
+                                     rng.NextDouble())});
     }
     VDB_RETURN_IF_ERROR(db->RegisterTable("part", part));
 
@@ -184,10 +185,13 @@ Status GenerateTpch(engine::Database* db, const TpchConfig& cfg) {
       double total = 0.0;
       for (int ln = 1; ln <= nlines; ++ln) {
         int64_t qty = static_cast<int64_t>(1 + rng.NextBounded(50));
-        double price = (90000.0 + rng.NextBounded(100000)) / 100.0 *
+        double price = (90000.0 +
+                        static_cast<double>(rng.NextBounded(100000))) /
+                       100.0 *
                        static_cast<double>(qty) / 10.0;
         double discount = static_cast<double>(rng.NextBounded(11)) / 100.0;
-        int64_t shipdate = AddDays(odate, 1 + rng.NextBounded(120));
+        int64_t shipdate =
+            AddDays(odate, static_cast<int64_t>(1 + rng.NextBounded(120)));
         lineitem->AppendRow(
             {Value::Int(o),
              Value::Int(static_cast<int64_t>(
@@ -200,7 +204,8 @@ Status GenerateTpch(engine::Database* db, const TpchConfig& cfg) {
              Value::String(kReturnFlags[rng.NextBounded(3)]),
              Value::String(shipdate < 19950617 ? "F" : "O"),
              Value::Int(shipdate),
-             Value::Int(AddDays(shipdate, 1 + rng.NextBounded(30))),
+             Value::Int(AddDays(
+                 shipdate, static_cast<int64_t>(1 + rng.NextBounded(30)))),
              Value::String(kShipModes[rng.NextBounded(7)])});
         total += price * (1.0 - discount);
       }

@@ -130,7 +130,7 @@ class VerdictE2E : public ::testing::Test {
   double Exact(const std::string& sql, int col = 0) {
     auto rs = db_.Execute(sql);
     EXPECT_TRUE(rs.ok()) << rs.status().ToString();
-    return rs.value().GetDouble(0, col);
+    return rs.value().GetDouble(0, static_cast<size_t>(col));
   }
 
   engine::Database db_{7777};
@@ -152,7 +152,7 @@ TEST_F(VerdictE2E, ApproximateCount) {
   // Error column present and sane.
   int err_col = rs.value().ColumnIndex("c_err");
   ASSERT_GE(err_col, 0);
-  double err = rs.value().GetDouble(0, err_col);
+  double err = rs.value().GetDouble(0, static_cast<size_t>(err_col));
   EXPECT_GT(err, 0.0);
   EXPECT_LT(err, 200000.0 * 0.10);
 }
@@ -209,7 +209,8 @@ TEST_F(VerdictE2E, ErrorEstimateCoversTruth) {
   int covered = 0;
   for (size_t r = 0; r < 10; ++r) {
     double point = ans.value().result.GetDouble(r, 1);
-    double half = ans.value().result.GetDouble(r, err_col);
+    double half =
+        ans.value().result.GetDouble(r, static_cast<size_t>(err_col));
     double truth = exact.value().GetDouble(r, 1);
     if (truth >= point - 2 * half && truth <= point + 2 * half) ++covered;
   }

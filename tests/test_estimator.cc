@@ -127,8 +127,8 @@ TEST_P(CoverageTest, CoversTrueMean) {
   const int64_t n = 4000;
   int covered = 0;
   for (int t = 0; t < trials; ++t) {
-    auto xs = Sample(n, 1000 + t);
-    Rng rng(2000 + t);
+    auto xs = Sample(n, static_cast<uint64_t>(1000 + t));
+    Rng rng(static_cast<uint64_t>(2000 + t));
     ErrorEstimate e;
     switch (GetParam()) {
       case Method::kClt:
@@ -170,7 +170,7 @@ TEST(SubsampleSizeTest, SqrtNIsNearOptimal) {
     double err = 0;
     const int trials = 30;
     for (int t = 0; t < trials; ++t) {
-      Rng data(5000 + t);
+      Rng data(static_cast<uint64_t>(5000 + t));
       std::vector<double> xs(n);
       for (auto& x : xs) {
         double z = data.NextGaussian();
@@ -178,7 +178,7 @@ TEST(SubsampleSizeTest, SqrtNIsNearOptimal) {
       }
       double true_hw = vdb::NormalCriticalValue(0.95) * std::sqrt(2.0) /
                        std::sqrt(static_cast<double>(n));
-      Rng rng(6000 + t);
+      Rng rng(static_cast<uint64_t>(6000 + t));
       auto e = VariationalSubsampling(
           xs, 1.0, static_cast<int64_t>(std::pow(n, exponent)), 0.95, &rng);
       err += std::abs(e.half_width - true_hw) / true_hw;

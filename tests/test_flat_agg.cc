@@ -63,7 +63,8 @@ TablePtr BuildAggTable(size_t rows) {
       case 2: row.push_back(Value::Double(0.0)); break;
       case 3: row.push_back(Value::Null()); break;
       default:
-        row.push_back(Value::Double(rng.NextInRange(-4, 4) * 0.5));
+        row.push_back(
+            Value::Double(static_cast<double>(rng.NextInRange(-4, 4)) * 0.5));
         break;
     }
     row.push_back(rng.NextBernoulli(0.15)

@@ -363,7 +363,7 @@ TablePtr MakeKeyedRange(size_t rows, int64_t base, const char* payload_name,
   auto t = std::make_shared<Table>();
   Column key(TypeId::kInt64), payload(TypeId::kInt64);
   for (size_t r = 0; r < rows; ++r) {
-    if (null_every > 0 && r % null_every == 0) {
+    if (null_every > 0 && r % static_cast<size_t>(null_every) == 0) {
       key.Append(Value::Null());
     } else {
       key.AppendInt(base + static_cast<int64_t>(r));
@@ -639,10 +639,12 @@ TEST_F(JoinRewriteTest, DifferentialFuzzWithResidual) {
   // including left-join "all candidates failed" null extension.
   Rng rng(42);
   for (int iter = 0; iter < 10; ++iter) {
-    auto left = MakeKeyed(50 + rng.NextBounded(200), 1 + rng.NextBounded(20),
-                          "lv");
-    auto right = MakeKeyed(30 + rng.NextBounded(150), 1 + rng.NextBounded(12),
-                           "rv");
+    auto left =
+        MakeKeyed(static_cast<size_t>(50 + rng.NextBounded(200)),
+                  static_cast<int64_t>(1 + rng.NextBounded(20)), "lv");
+    auto right =
+        MakeKeyed(static_cast<size_t>(30 + rng.NextBounded(150)),
+                  static_cast<int64_t>(1 + rng.NextBounded(12)), "rv");
     // Combined schema: k, lv, k, rv -> lv is ordinal 1, rv is ordinal 3.
     auto residual = sql::MakeBinary(
         BinaryOp::kEq,

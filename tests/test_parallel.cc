@@ -382,6 +382,51 @@ TEST_F(ParallelTest, ConcurrentCallersShareThePool) {
   EXPECT_EQ(fail_b, 0);
 }
 
+TEST_F(ParallelTest, SharedDatabaseConcurrentSelects) {
+  // Regression for the shared-Database races: NewQuerySeed() used to mutate
+  // the Rng unlocked and AddRowsScanned() was a plain += — two threads
+  // running SELECTs against ONE Database could corrupt generator state and
+  // lose scan-count updates. NewQuerySeed now serializes on seed_mu_ and
+  // rows_scanned_ is atomic, so this must be exact (and TSan-clean; the CI
+  // thread-sanitizer job runs this suite).
+  auto db = MakeDb(10007, 4);
+  const char* kSql =
+      "select city, count(*) as c, sum(price) as sp "
+      "from orders group by city order by city";
+  auto ref = db->Execute(kSql);
+  ASSERT_TRUE(ref.ok());
+  const uint64_t scanned_per_query = db->rows_scanned();
+  ASSERT_GT(scanned_per_query, 0u);
+
+  constexpr int kItersPerThread = 20;
+  auto worker = [&](int* failures) {
+    for (int i = 0; i < kItersPerThread; ++i) {
+      auto got = db->Execute(kSql);
+      if (!got.ok() || got.value().NumRows() != ref.value().NumRows()) {
+        ++*failures;
+        continue;
+      }
+      for (size_t r = 0; r < ref.value().NumRows(); ++r) {
+        for (size_t c = 0; c < ref.value().NumCols(); ++c) {
+          if (!ref.value().Get(r, c).Equals(got.value().Get(r, c))) {
+            ++*failures;
+          }
+        }
+      }
+    }
+  };
+  int fail_a = 0, fail_b = 0;
+  std::thread a(worker, &fail_a);
+  std::thread b(worker, &fail_b);
+  a.join();
+  b.join();
+  EXPECT_EQ(fail_a, 0);
+  EXPECT_EQ(fail_b, 0);
+  // Every execution scans the base table exactly once; a lost update here
+  // means AddRowsScanned raced.
+  EXPECT_EQ(db->rows_scanned(), scanned_per_query * (1 + 2 * kItersPerThread));
+}
+
 // ---- row-addressed rand: plan-shape and substrate invariance ---------------
 
 /// The AQP hot-path shape: GROUP BY (g, __vdb_sid) over a derived table that

@@ -1,0 +1,211 @@
+// Self-test for the vdb-lint contract checker (tools/vdb_lint/).
+//
+// Two layers: in-memory LintSource cases that pin tokenizer behavior (path
+// scoping, comment/string skipping, allow() parsing), and checked-in fixture
+// files under tools/vdb_lint/fixtures/ that pin each rule's pass and fail
+// behavior through the same LintPaths entry point CI uses.
+//
+// Rule-triggering code lives in string literals or in the fixture tree, both
+// of which the production scan ignores (strings are skipped by the
+// tokenizer; CI lints src/ tests/ bench/ only), so this file itself stays
+// lint-clean.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.h"
+
+namespace vdb::lint {
+namespace {
+
+#ifndef VDB_LINT_FIXTURE_DIR
+#error "test_vdb_lint requires VDB_LINT_FIXTURE_DIR (set by CMakeLists.txt)"
+#endif
+
+std::string Fixture(const std::string& rel) {
+  return std::string(VDB_LINT_FIXTURE_DIR) + "/" + rel;
+}
+
+size_t CountRule(const Report& r, const std::string& rule) {
+  return static_cast<size_t>(
+      std::count_if(r.violations.begin(), r.violations.end(),
+                    [&](const Diagnostic& d) { return d.rule == rule; }));
+}
+
+Report LintOne(const std::string& path, const std::string& content) {
+  Report r;
+  LintSource(path, content, &r);
+  return r;
+}
+
+// ---- unit layer: LintSource over in-memory sources -------------------------
+
+TEST(VdbLintUnit, RuleRegistryListsAllFiveContracts) {
+  const std::vector<std::string>& names = RuleNames();
+  ASSERT_EQ(names.size(), 5u);
+  for (const char* expected :
+       {"rng-outside-random", "simd-outside-kernel-tu", "string-keyed-map",
+        "raw-double-accumulate", "naked-size-narrowing"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing rule " << expected;
+  }
+}
+
+TEST(VdbLintUnit, RngBannedOutsideRandomTuButAllowedInside) {
+  const std::string src = "int f() { return rand(); }\n";
+  EXPECT_EQ(LintOne("src/engine/foo.cc", src).violations.size(), 1u);
+  EXPECT_EQ(LintOne("src/common/random.cc", src).violations.size(), 0u);
+  EXPECT_EQ(LintOne("src/common/random.h", src).violations.size(), 0u);
+}
+
+TEST(VdbLintUnit, BannedNamesInCommentsAndStringsAreIgnored) {
+  const std::string src =
+      "// rand() mt19937 _mm256_add_epi64\n"
+      "/* srand(1); std::random_device rd; */\n"
+      "const char* s = \"rand() and _mm_loadu_si128\";\n"
+      "const char* r = R\"x(mt19937 inside raw string)x\";\n";
+  EXPECT_TRUE(LintOne("src/engine/foo.cc", src).ok());
+}
+
+TEST(VdbLintUnit, IdentifiersMerelyContainingBannedNamesAreIgnored) {
+  // rand_addr, operand, brand: none of these is the token `rand`.
+  const std::string src =
+      "void f(const RandAddr& rand_addr, int operand, int brand);\n";
+  EXPECT_TRUE(LintOne("src/engine/foo.cc", src).ok());
+}
+
+TEST(VdbLintUnit, SimdIncludeAndIntrinsicFlaggedOutsideKernelTu) {
+  const std::string src =
+      "#include <immintrin.h>\n"
+      "void f() { __m256i z = _mm256_setzero_si256(); (void)z; }\n";
+  const Report r = LintOne("src/engine/vector_eval.cc", src);
+  EXPECT_EQ(CountRule(r, "simd-outside-kernel-tu"), 3u);  // include + 2 idents
+  EXPECT_TRUE(LintOne("src/engine/kernels/kernels_avx2.cc", src).ok());
+}
+
+TEST(VdbLintUnit, StringKeyedMapScopedToEngineDir) {
+  const std::string src = "std::map<std::string, int> m;\n";
+  EXPECT_EQ(CountRule(LintOne("src/engine/planner.cc", src),
+                      "string-keyed-map"),
+            1u);
+  // Same container outside src/engine/ is not this rule's business.
+  EXPECT_TRUE(LintOne("src/sql/parser.cc", src).ok());
+  // Nested string on the VALUE side only must not fire.
+  const std::string value_side = "std::map<int, std::string> m;\n";
+  EXPECT_TRUE(LintOne("src/engine/planner.cc", value_side).ok());
+}
+
+TEST(VdbLintUnit, RawAccumulateMatchesMembersAndIndexedForms) {
+  const std::string src =
+      "void f(double x) { sum_ += x; comps_[2] += x; local += x; }\n";
+  const Report r = LintOne("src/engine/agg_table.cc", src);
+  EXPECT_EQ(CountRule(r, "raw-double-accumulate"), 2u);
+  // Outside the two aggregate TUs the rule stays quiet.
+  EXPECT_TRUE(LintOne("src/engine/vector_eval.cc", src).ok());
+}
+
+TEST(VdbLintUnit, SizeNarrowingMatchesDotAndArrowForms) {
+  const std::string src =
+      "uint32_t a = static_cast<uint32_t>(v.size());\n"
+      "uint32_t b = static_cast<uint32_t>(p->size());\n"
+      "uint64_t c = static_cast<uint64_t>(v.size());\n"
+      "uint32_t d = static_cast<uint32_t>(n);\n";
+  const Report r = LintOne("src/engine/foo.cc", src);
+  EXPECT_EQ(CountRule(r, "naked-size-narrowing"), 2u);
+}
+
+TEST(VdbLintUnit, AllowCommentSuppressesOnlyTheNamedRuleOnThatLine) {
+  const std::string suppressed =
+      "int f() { return rand(); }  // vdb-lint: allow(rng-outside-random)\n";
+  Report r = LintOne("src/engine/foo.cc", suppressed);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.suppressions_used, 1u);
+
+  // Wrong rule name in the allow(): the violation must survive.
+  const std::string wrong =
+      "int f() { return rand(); }  // vdb-lint: allow(string-keyed-map)\n";
+  r = LintOne("src/engine/foo.cc", wrong);
+  EXPECT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.suppressions_used, 0u);
+
+  // Next line is not covered by the previous line's allow().
+  const std::string next_line =
+      "// vdb-lint: allow(rng-outside-random)\n"
+      "int f() { return rand(); }\n";
+  r = LintOne("src/engine/foo.cc", next_line);
+  EXPECT_EQ(r.violations.size(), 1u);
+}
+
+TEST(VdbLintUnit, AllowCommentMaySuppressMultipleRules) {
+  const std::string src =
+      "std::map<std::string, int> m = f(rand());"
+      "  // vdb-lint: allow(rng-outside-random, string-keyed-map)\n";
+  const Report r = LintOne("src/engine/foo.cc", src);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.suppressions_used, 2u);
+}
+
+TEST(VdbLintUnit, DiagnosticFormatIsCompilerStyle) {
+  const Diagnostic d{"src/engine/foo.cc", 12, "rng-outside-random", "boom"};
+  EXPECT_EQ(FormatDiagnostic(d),
+            "src/engine/foo.cc:12: [rng-outside-random] boom");
+}
+
+// ---- fixture layer: LintPaths over checked-in files ------------------------
+
+TEST(VdbLintFixtures, PassTreeIsCleanAndCountsSuppressions) {
+  const Report r = LintPaths({Fixture("pass")});
+  EXPECT_TRUE(r.ok()) << (r.violations.empty()
+                              ? ""
+                              : FormatDiagnostic(r.violations.front()));
+  EXPECT_EQ(r.files_scanned, 3u);
+  // suppressed.cc acknowledges three findings.
+  EXPECT_EQ(r.suppressions_used, 3u);
+}
+
+TEST(VdbLintFixtures, FailTreeTriggersEveryRule) {
+  const Report r = LintPaths({Fixture("fail")});
+  EXPECT_EQ(r.files_scanned, 5u);
+  EXPECT_EQ(CountRule(r, "rng-outside-random"), 5u);
+  EXPECT_EQ(CountRule(r, "simd-outside-kernel-tu"), 3u);
+  EXPECT_EQ(CountRule(r, "string-keyed-map"), 2u);
+  EXPECT_EQ(CountRule(r, "raw-double-accumulate"), 3u);
+  EXPECT_EQ(CountRule(r, "naked-size-narrowing"), 2u);
+  EXPECT_EQ(r.violations.size(), 15u);
+  EXPECT_EQ(r.suppressions_used, 0u);
+}
+
+TEST(VdbLintFixtures, MultiFileScanSortsDiagnosticsByFileThenLine) {
+  const Report r = LintPaths({Fixture("fail")});
+  ASSERT_GT(r.violations.size(), 1u);
+  for (size_t i = 1; i < r.violations.size(); ++i) {
+    const Diagnostic& a = r.violations[i - 1];
+    const Diagnostic& b = r.violations[i];
+    EXPECT_TRUE(a.file < b.file || (a.file == b.file && a.line <= b.line))
+        << FormatDiagnostic(a) << " vs " << FormatDiagnostic(b);
+  }
+}
+
+TEST(VdbLintFixtures, MixedRootsAggregateAcrossDirectories) {
+  const Report r = LintPaths({Fixture("pass"), Fixture("fail")});
+  EXPECT_EQ(r.files_scanned, 8u);
+  EXPECT_EQ(r.violations.size(), 15u);
+  EXPECT_EQ(r.suppressions_used, 3u);
+}
+
+TEST(VdbLintFixtures, SingleFileRootAndMissingRoot) {
+  const Report one = LintPaths({Fixture("fail/simd_leak.cc")});
+  EXPECT_EQ(one.files_scanned, 1u);
+  EXPECT_EQ(CountRule(one, "simd-outside-kernel-tu"), 3u);
+
+  const Report missing = LintPaths({Fixture("no_such_dir")});
+  EXPECT_EQ(missing.files_scanned, 0u);
+  ASSERT_EQ(missing.violations.size(), 1u);
+  EXPECT_EQ(missing.violations[0].rule, "io");
+}
+
+}  // namespace
+}  // namespace vdb::lint

@@ -57,10 +57,13 @@ TablePtr MakeRandomTable(Rng* rng, size_t rows) {
     row.push_back(rng->NextBernoulli(0.25)
                       ? Value::Null()
                       : Value::Int(rng->NextInRange(-4, 4)));
-    row.push_back(Value::Double(rng->NextInRange(-40, 40) / 8.0));
+    row.push_back(
+        Value::Double(static_cast<double>(rng->NextInRange(-40, 40)) / 8.0));
     row.push_back(rng->NextBernoulli(0.25)
                       ? Value::Null()
-                      : Value::Double(rng->NextInRange(-20, 20) / 4.0));
+                      : Value::Double(
+                            static_cast<double>(rng->NextInRange(-20, 20)) /
+                            4.0));
     row.push_back(rng->NextBernoulli(0.2)
                       ? Value::Null()
                       : Value::String(kStrings[rng->NextBounded(6)]));
@@ -102,7 +105,9 @@ class ExprGen {
     }
     switch (rng_->NextBounded(5)) {
       case 0: return sql::MakeIntLit(rng_->NextInRange(-5, 5));
-      case 1: return sql::MakeDoubleLit(rng_->NextInRange(-10, 10) / 4.0);
+      case 1:
+        return sql::MakeDoubleLit(
+            static_cast<double>(rng_->NextInRange(-10, 10)) / 4.0);
       case 2: {
         static const char* kPool[] = {"a", "ab", "b", "%b%", "a_"};
         return sql::MakeStringLit(kPool[rng_->NextBounded(5)]);

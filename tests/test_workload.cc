@@ -107,8 +107,8 @@ std::vector<WorkloadQuery> AllQueries() {
 
 INSTANTIATE_TEST_SUITE_P(
     Workload, AllQueriesRun, ::testing::ValuesIn(AllQueries()),
-    [](const ::testing::TestParamInfo<WorkloadQuery>& info) {
-      std::string name = info.param.id;
+    [](const ::testing::TestParamInfo<WorkloadQuery>& param_info) {
+      std::string name = param_info.param.id;
       for (auto& c : name) {
         if (c == '-') c = '_';
       }

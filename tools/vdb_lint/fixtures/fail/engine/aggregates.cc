@@ -1,0 +1,20 @@
+// Fixture: raw-double-accumulate must fire on the three raw accumulator
+// updates (path ends in engine/aggregates.cc), but not on the local `total`.
+namespace fixture {
+
+struct Acc {
+  double sum_ = 0.0;
+  double comp_ = 0.0;
+  double sums[4] = {0, 0, 0, 0};
+
+  void Add(double x) {
+    sum_ += x;       // fires
+    comp_ += 0.0;    // fires
+    sums[1] += x;    // fires
+    double total = 0.0;
+    total += x;      // does not fire: not an accumulator member name
+    (void)total;
+  }
+};
+
+}  // namespace fixture

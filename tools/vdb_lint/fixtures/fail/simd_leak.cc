@@ -1,0 +1,9 @@
+// Fixture: simd-outside-kernel-tu must fire — this path is not the AVX2 TU.
+// Expected: 3 violations (the include, the __m256i type, the intrinsic).
+#include <immintrin.h>
+
+namespace fixture {
+
+__m256i MakeZero() { return _mm256_setzero_si256(); }
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: naked-size-narrowing must fire on both the dot and arrow forms,
+// but not on the uint64_t cast or the non-size cast.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+uint32_t Bad(const std::vector<int>& v) {
+  return static_cast<uint32_t>(v.size());  // fires
+}
+
+uint32_t BadArrow(const std::vector<int>* v) {
+  return static_cast<uint32_t>(v->size());  // fires
+}
+
+uint64_t FineWide(const std::vector<int>& v) {
+  return static_cast<uint64_t>(v.size());  // does not fire: no narrowing
+}
+
+uint32_t FineScalar(long long x) {
+  return static_cast<uint32_t>(x);  // does not fire: not a .size() call
+}
+
+}  // namespace fixture

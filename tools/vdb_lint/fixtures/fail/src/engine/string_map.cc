@@ -1,0 +1,15 @@
+// Fixture: string-keyed-map must fire on both containers (path contains
+// src/engine/), but NOT on the int-keyed map.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+struct PerRowState {
+  std::map<std::string, long long> counts;            // fires
+  std::unordered_map<std::string, double> sums;       // fires
+  std::map<int, double> by_ordinal;                   // does not fire
+};
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: rng-outside-random must fire on the engine construction, the
+// libc calls, and the <random> include — 5 violations total.
+#include <random>
+
+namespace fixture {
+
+int Draw() {
+  static std::mt19937 gen(std::random_device{}());
+  srand(7);
+  return static_cast<int>(gen()) + rand();
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: clean file — no rule fires. Mentions of banned names inside
+// comments and string literals must be ignored by the tokenizer:
+// rand() srand(1) std::mt19937 _mm256_add_epi64 <immintrin.h>
+#include "common/random.h"
+
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+const char* kMessage = "call rand() and _mm256_setzero_si256() today!";
+const char* kRaw = R"delim(std::mt19937 gen; gen(); // still a string)delim";
+
+double Draw(vdb::Rng& rng) { return rng.NextDouble(); }
+
+uint64_t SafeCount(const std::string& s) { return s.size(); }
+
+}  // namespace fixture

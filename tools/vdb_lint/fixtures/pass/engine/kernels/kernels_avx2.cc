@@ -1,0 +1,15 @@
+// Fixture: a file whose path ends in engine/kernels/kernels_avx2.cc — the
+// one TU where intrinsics are allowed, so none of this may be flagged.
+#include <immintrin.h>
+
+namespace fixture {
+
+long long SumLanes(const long long* p) {
+  __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  __m256i s = _mm256_add_epi64(v, v);
+  long long out[4];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), s);
+  return out[0] + out[1] + out[2] + out[3];
+}
+
+}  // namespace fixture

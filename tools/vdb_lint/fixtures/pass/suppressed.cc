@@ -1,0 +1,16 @@
+// Fixture: violations acknowledged in place with allow() comments — the
+// file must lint clean, and each honored allow() must be counted.
+#include <cstdlib>
+
+namespace fixture {
+
+int LegacyDraw() {
+  return rand();  // vdb-lint: allow(rng-outside-random) fixture: legacy shim
+}
+
+int LegacySeedAndDraw() {
+  srand(42);  // vdb-lint: allow(rng-outside-random) fixture: legacy shim
+  return rand();  // vdb-lint: allow(rng-outside-random) fixture: legacy shim
+}
+
+}  // namespace fixture

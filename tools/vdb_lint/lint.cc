@@ -1,0 +1,530 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace vdb::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+//
+// Just enough C++ lexing for contract rules: identifiers, punctuation, and
+// #include targets, with comments / string literals / char literals / raw
+// strings skipped so "rand" inside a diagnostic message never fires a rule.
+// Comments are not discarded entirely — `// vdb-lint: allow(...)` trailers
+// are parsed into a per-line suppression table.
+// ---------------------------------------------------------------------------
+
+enum class TokKind { kIdent, kPunct, kNumber };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  size_t line;
+};
+
+struct Include {
+  std::string header;  // text between <> or "" in an #include
+  size_t line;
+};
+
+struct Source {
+  std::vector<Token> tokens;
+  std::vector<Include> includes;
+  // line -> rule names allowed on that line via `// vdb-lint: allow(...)`.
+  std::unordered_map<size_t, std::set<std::string>> allows;
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Parses the body of a comment for `vdb-lint: allow(rule-a, rule-b)` and
+// records the named rules against `line`.
+void ParseAllowComment(const std::string& comment, size_t line, Source* out) {
+  const std::string kTag = "vdb-lint:";
+  size_t at = comment.find(kTag);
+  if (at == std::string::npos) return;
+  at += kTag.size();
+  while (at < comment.size() &&
+         std::isspace(static_cast<unsigned char>(comment[at]))) {
+    ++at;
+  }
+  if (comment.compare(at, 5, "allow") != 0) return;
+  const size_t open = comment.find('(', at);
+  if (open == std::string::npos) return;
+  const size_t close = comment.find(')', open);
+  if (close == std::string::npos) return;
+  std::string inside = comment.substr(open + 1, close - open - 1);
+  std::string name;
+  std::stringstream ss(inside);
+  while (std::getline(ss, name, ',')) {
+    const size_t b = name.find_first_not_of(" \t");
+    const size_t e = name.find_last_not_of(" \t");
+    if (b == std::string::npos) continue;
+    out->allows[line].insert(name.substr(b, e - b + 1));
+  }
+}
+
+Source Tokenize(const std::string& src) {
+  Source out;
+  size_t i = 0;
+  size_t line = 1;
+  const size_t n = src.size();
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  auto advance = [&](size_t count) {
+    for (size_t k = 0; k < count && i < n; ++k) {
+      if (src[i] == '\n') {
+        ++line;
+        at_line_start = true;
+      }
+      ++i;
+    }
+  };
+
+  while (i < n) {
+    const char c = src[i];
+
+    if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+
+    // Line comment — capture it for allow() parsing, then skip to newline.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const size_t start = i;
+      while (i < n && src[i] != '\n') ++i;
+      ParseAllowComment(src.substr(start, i - start), line, &out);
+      at_line_start = false;
+      continue;
+    }
+
+    // Block comment. An allow() applies to the line the comment starts on.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const size_t start = i;
+      const size_t start_line = line;
+      advance(2);
+      while (i < n && !(src[i] == '*' && i + 1 < n && src[i + 1] == '/')) {
+        advance(1);
+      }
+      ParseAllowComment(src.substr(start, i - start), start_line, &out);
+      advance(2);
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim"
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(' && src[j] != '\n') delim += src[j++];
+      if (j < n && src[j] == '(') {
+        const std::string closer = ")" + delim + "\"";
+        const size_t end = src.find(closer, j + 1);
+        advance((end == std::string::npos ? n : end + closer.size()) - i);
+        continue;
+      }
+      // Not actually a raw string ("R" followed by something odd): fall
+      // through and lex R as an identifier.
+    }
+
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      advance(1);
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) advance(1);
+        advance(1);
+      }
+      advance(1);
+      continue;
+    }
+
+    // Preprocessor line; record #include targets, skip the rest (with
+    // continuation handling so multi-line macros don't leak tokens).
+    if (c == '#' && at_line_start) {
+      size_t j = i + 1;
+      while (j < n && (src[j] == ' ' || src[j] == '\t')) ++j;
+      if (src.compare(j, 7, "include") == 0) {
+        j += 7;
+        while (j < n && (src[j] == ' ' || src[j] == '\t')) ++j;
+        if (j < n && (src[j] == '<' || src[j] == '"')) {
+          const char close = src[j] == '<' ? '>' : '"';
+          const size_t end = src.find(close, j + 1);
+          if (end != std::string::npos) {
+            out.includes.push_back({src.substr(j + 1, end - j - 1), line});
+          }
+        }
+      }
+      while (i < n && src[i] != '\n') {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') advance(1);
+        advance(1);
+      }
+      continue;
+    }
+    at_line_start = false;
+
+    if (IsIdentStart(c)) {
+      const size_t start = i;
+      while (i < n && IsIdentChar(src[i])) ++i;
+      out.tokens.push_back({TokKind::kIdent, src.substr(start, i - start), line});
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      while (i < n && (IsIdentChar(src[i]) || src[i] == '.')) ++i;
+      out.tokens.push_back({TokKind::kNumber, "", line});
+      continue;
+    }
+
+    // Punctuation. Only `+=` needs to be fused for the rules; everything
+    // else (including < > : ( ) . , ;) is emitted one char at a time.
+    if (c == '+' && i + 1 < n && src[i + 1] == '=') {
+      out.tokens.push_back({TokKind::kPunct, "+=", line});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rule plumbing
+// ---------------------------------------------------------------------------
+
+struct Ctx {
+  const std::string& path;  // slash-normalized
+  const Source& src;
+  Report* report;
+
+  bool PathEndsWith(const std::string& suffix) const {
+    return path.size() >= suffix.size() &&
+           path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
+               0;
+  }
+  bool PathContains(const std::string& piece) const {
+    return path.find(piece) != std::string::npos;
+  }
+
+  void Emit(const std::string& rule, size_t line, const std::string& message) {
+    auto it = src.allows.find(line);
+    if (it != src.allows.end() && it->second.count(rule)) {
+      ++report->suppressions_used;
+      return;
+    }
+    report->violations.push_back({path, line, rule, message});
+  }
+};
+
+// --- rng-outside-random -----------------------------------------------------
+//
+// Draws must route through the row-addressed substrate in common/random.*;
+// a stray rand() or thread-local mt19937 reintroduces draw-order dependence
+// and breaks run-to-run reproducibility of the parallel executor.
+void RuleRngOutsideRandom(Ctx& ctx) {
+  static const char* kRule = "rng-outside-random";
+  if (ctx.PathEndsWith("common/random.h") ||
+      ctx.PathEndsWith("common/random.cc")) {
+    return;
+  }
+  static const std::unordered_set<std::string> kBanned = {
+      "rand",          "srand",        "rand_r",
+      "drand48",       "lrand48",      "srand48",
+      "mt19937",       "mt19937_64",   "random_device",
+      "minstd_rand",   "minstd_rand0", "default_random_engine",
+      "ranlux24",      "ranlux48",     "knuth_b",
+  };
+  for (const Token& t : ctx.src.tokens) {
+    if (t.kind == TokKind::kIdent && kBanned.count(t.text)) {
+      ctx.Emit(kRule, t.line,
+               "'" + t.text +
+                   "' bypasses the row-addressed RNG; use vdb::Rng / RandAt "
+                   "from common/random.h");
+    }
+  }
+  for (const Include& inc : ctx.src.includes) {
+    if (inc.header == "random" || inc.header == "cstdlib" ||
+        inc.header == "stdlib.h") {
+      // <cstdlib> is fine by itself (exit, getenv, strtol live there); only
+      // <random> implies an engine is about to be constructed.
+      if (inc.header == "random") {
+        ctx.Emit(kRule, inc.line,
+                 "#include <random> outside common/random.*; engines live "
+                 "behind vdb::Rng");
+      }
+    }
+  }
+}
+
+// --- simd-outside-kernel-tu -------------------------------------------------
+//
+// kernels_avx2.cc is the only TU compiled with -mavx2; an intrinsic anywhere
+// else either SIGILLs on baseline CPUs or forces the flag onto the whole
+// build.
+void RuleSimdOutsideKernelTu(Ctx& ctx) {
+  static const char* kRule = "simd-outside-kernel-tu";
+  if (ctx.PathEndsWith("engine/kernels/kernels_avx2.cc")) return;
+  static const std::unordered_set<std::string> kHeaders = {
+      "immintrin.h", "x86intrin.h", "emmintrin.h", "xmmintrin.h",
+      "avxintrin.h", "avx2intrin.h", "smmintrin.h", "tmmintrin.h",
+      "nmmintrin.h", "pmmintrin.h",
+  };
+  for (const Include& inc : ctx.src.includes) {
+    if (kHeaders.count(inc.header)) {
+      ctx.Emit(kRule, inc.line,
+               "#include <" + inc.header +
+                   "> outside engine/kernels/kernels_avx2.cc (the only TU "
+                   "built with -mavx2)");
+    }
+  }
+  auto is_intrinsic = [](const std::string& s) {
+    auto starts = [&s](const char* p) { return s.rfind(p, 0) == 0; };
+    return starts("_mm_") || starts("_mm256_") || starts("_mm512_") ||
+           starts("__m128") || starts("__m256") || starts("__m512");
+  };
+  for (const Token& t : ctx.src.tokens) {
+    if (t.kind == TokKind::kIdent && is_intrinsic(t.text)) {
+      ctx.Emit(kRule, t.line,
+               "intrinsic '" + t.text +
+                   "' outside engine/kernels/kernels_avx2.cc");
+    }
+  }
+}
+
+// --- string-keyed-map -------------------------------------------------------
+//
+// Under src/engine/ a std::map / std::unordered_map keyed by std::string is
+// the per-row hash-map shape PRs 4/7 replaced with flat hashed tables; new
+// ones are either a hot-path regression or plan-time metadata that should
+// say so with an allow() comment.
+void RuleStringKeyedMap(Ctx& ctx) {
+  static const char* kRule = "string-keyed-map";
+  if (!ctx.PathContains("src/engine/")) return;
+  const std::vector<Token>& toks = ctx.src.tokens;
+  for (size_t k = 0; k + 1 < toks.size(); ++k) {
+    const Token& t = toks[k];
+    if (t.kind != TokKind::kIdent ||
+        (t.text != "map" && t.text != "unordered_map")) {
+      continue;
+    }
+    if (toks[k + 1].kind != TokKind::kPunct || toks[k + 1].text != "<") {
+      continue;
+    }
+    // Scan the first template argument (depth-1 tokens up to the first ','
+    // or the closing '>').
+    int depth = 1;
+    bool string_key = false;
+    for (size_t j = k + 2; j < toks.size() && depth > 0; ++j) {
+      const Token& u = toks[j];
+      if (u.kind == TokKind::kPunct) {
+        if (u.text == "<") ++depth;
+        else if (u.text == ">") --depth;
+        else if (u.text == "," && depth == 1) break;
+        else if (u.text == ";" || u.text == "{") break;  // not a template
+      } else if (u.kind == TokKind::kIdent && depth == 1 &&
+                 u.text == "string") {
+        string_key = true;
+      }
+    }
+    if (string_key) {
+      ctx.Emit(kRule, t.line,
+               "std::" + t.text +
+                   " keyed by std::string in src/engine/; hot paths use the "
+                   "flat hashed tables (agg_table.h / join_table.h)");
+    }
+  }
+}
+
+// --- raw-double-accumulate --------------------------------------------------
+//
+// In the aggregate kernels, `+=` straight onto a sum/comp accumulator member
+// skips Neumaier compensation, so 1-thread and N-thread results stop being
+// bit-identical. All float accumulation goes through NeumaierAdd.
+void RuleRawDoubleAccumulate(Ctx& ctx) {
+  static const char* kRule = "raw-double-accumulate";
+  if (!ctx.PathEndsWith("engine/aggregates.cc") &&
+      !ctx.PathEndsWith("engine/agg_table.cc")) {
+    return;
+  }
+  static const std::unordered_set<std::string> kAccumulators = {
+      "sum", "sum_", "sums", "sums_", "comp", "comp_", "comps", "comps_",
+  };
+  const std::vector<Token>& toks = ctx.src.tokens;
+  for (size_t k = 0; k < toks.size(); ++k) {
+    if (toks[k].kind != TokKind::kPunct || toks[k].text != "+=") continue;
+    // Walk left over a possible [index] to the target identifier.
+    size_t j = k;
+    if (j > 0 && toks[j - 1].kind == TokKind::kPunct &&
+        toks[j - 1].text == "]") {
+      int depth = 1;
+      --j;
+      while (j > 0 && depth > 0) {
+        --j;
+        if (toks[j].kind == TokKind::kPunct) {
+          if (toks[j].text == "]") ++depth;
+          if (toks[j].text == "[") --depth;
+        }
+      }
+    }
+    if (j == 0) continue;
+    const Token& target = toks[j - 1];
+    if (target.kind == TokKind::kIdent && kAccumulators.count(target.text)) {
+      ctx.Emit(kRule, toks[k].line,
+               "raw '+=' on accumulator '" + target.text +
+                   "'; route through NeumaierAdd to keep serial/parallel "
+                   "results bit-identical");
+    }
+  }
+}
+
+// --- naked-size-narrowing ---------------------------------------------------
+//
+// Row ids narrow to uint32_t only behind the explicit 2^32 Status guards; a
+// static_cast<uint32_t>(x.size()) with no allow() comment is a silent
+// truncation waiting for a big table.
+void RuleNakedSizeNarrowing(Ctx& ctx) {
+  static const char* kRule = "naked-size-narrowing";
+  if (!ctx.PathContains("src/engine/") && !ctx.PathContains("src/common/")) {
+    return;
+  }
+  const std::vector<Token>& toks = ctx.src.tokens;
+  for (size_t k = 0; k + 4 < toks.size(); ++k) {
+    // static_cast < uint32_t > ( ... .size() ... )
+    if (toks[k].kind != TokKind::kIdent || toks[k].text != "static_cast")
+      continue;
+    if (toks[k + 1].text != "<" || toks[k + 2].text != "uint32_t" ||
+        toks[k + 3].text != ">" || toks[k + 4].text != "(") {
+      continue;
+    }
+    int depth = 1;
+    for (size_t j = k + 5; j < toks.size() && depth > 0; ++j) {
+      const Token& u = toks[j];
+      if (u.kind == TokKind::kPunct) {
+        if (u.text == "(") ++depth;
+        if (u.text == ")") --depth;
+      } else if (u.kind == TokKind::kIdent && u.text == "size" && j >= 1 &&
+                 (toks[j - 1].text == "." ||
+                  (j >= 2 && toks[j - 1].text == ">" &&
+                   toks[j - 2].text == "-")) &&
+                 j + 1 < toks.size() && toks[j + 1].text == "(") {
+        ctx.Emit(kRule, toks[k].line,
+                 "static_cast<uint32_t>(...size()) without a 2^32 guard "
+                 "acknowledgment; check the row count first (see "
+                 "docs/INVARIANTS.md)");
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+std::string NormalizePath(const std::string& path) {
+  std::string out = path;
+  std::replace(out.begin(), out.end(), '\\', '/');
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& RuleNames() {
+  static const std::vector<std::string> kNames = {
+      "rng-outside-random",    "simd-outside-kernel-tu",
+      "string-keyed-map",      "raw-double-accumulate",
+      "naked-size-narrowing",
+  };
+  return kNames;
+}
+
+void LintSource(const std::string& path, const std::string& content,
+                Report* report) {
+  const std::string norm = NormalizePath(path);
+  const Source src = Tokenize(content);
+  Ctx ctx{norm, src, report};
+  RuleRngOutsideRandom(ctx);
+  RuleSimdOutsideKernelTu(ctx);
+  RuleStringKeyedMap(ctx);
+  RuleRawDoubleAccumulate(ctx);
+  RuleNakedSizeNarrowing(ctx);
+  ++report->files_scanned;
+}
+
+Report LintPaths(const std::vector<std::string>& roots) {
+  namespace fs = std::filesystem;
+  Report report;
+
+  auto wants = [](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".h" || ext == ".cpp" || ext == ".hpp";
+  };
+  auto skip_dir = [](const fs::path& p) {
+    const std::string name = p.filename().string();
+    return name.rfind("build", 0) == 0 ||
+           (!name.empty() && name[0] == '.' && name != ".");
+  };
+
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      fs::recursive_directory_iterator it(root, ec), end;
+      for (; it != end; it.increment(ec)) {
+        if (ec) break;
+        if (it->is_directory(ec) && skip_dir(it->path())) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file(ec) && wants(it->path())) {
+          files.push_back(it->path().generic_string());
+        }
+      }
+    } else if (fs::exists(root, ec)) {
+      files.push_back(fs::path(root).generic_string());
+    } else {
+      report.violations.push_back(
+          {root, 0, "io", "no such file or directory"});
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      report.violations.push_back({file, 0, "io", "unable to read file"});
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    LintSource(file, buf.str(), &report);
+  }
+
+  std::sort(report.violations.begin(), report.violations.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return report;
+}
+
+std::string FormatDiagnostic(const Diagnostic& d) {
+  std::ostringstream os;
+  os << d.file << ":" << d.line << ": [" << d.rule << "] " << d.message;
+  return os.str();
+}
+
+}  // namespace vdb::lint

@@ -1,0 +1,80 @@
+// vdb-lint: the project-contract checker.
+//
+// A deliberately small static checker — a C++ tokenizer plus per-rule token
+// matchers, no libclang — that turns this repo's written-down invariants
+// into pass/fail CI diagnostics. The rules (see docs/INVARIANTS.md for the
+// history behind each):
+//
+//   rng-outside-random      rand()/srand/std::mt19937/std::random_device &
+//                           friends anywhere but common/random.* — every
+//                           engine draw must go through the row-addressed
+//                           CounterRandom substrate (PR 5), or parallel
+//                           results silently depend on draw order again.
+//   simd-outside-kernel-tu  <immintrin.h> / _mm*/__m256-family intrinsics
+//                           outside engine/kernels/kernels_avx2.cc — the one
+//                           TU built with -mavx2 (PR 6). An intrinsic in any
+//                           other file executes illegal instructions on
+//                           baseline CPUs, or silently pins the whole build
+//                           to AVX2.
+//   string-keyed-map        std::map/std::unordered_map keyed by std::string
+//                           under src/engine/ — per-row string keys are the
+//                           exact structure PRs 4/7 removed; new hot paths
+//                           must use the flat hashed tables. Plan-time
+//                           metadata maps carry explicit allow() comments.
+//   raw-double-accumulate   a raw `+=` onto sum/comp accumulator members in
+//                           engine/aggregates.cc / engine/agg_table.cc —
+//                           float accumulation must go through NeumaierAdd
+//                           or 1-thread vs N-thread results stop being
+//                           bit-identical (PR 3).
+//   naked-size-narrowing    static_cast<uint32_t>(....size()...) in
+//                           src/engine/ / src/common/ — row counts narrow to
+//                            uint32 only behind an explicit 2^32 Status
+//                           guard; a naked cast truncates silently at scale.
+//
+// Any diagnostic can be acknowledged in place with a trailing comment:
+//     ... code ...  // vdb-lint: allow(rule-name[, rule-name]) <rationale>
+// Honored suppressions are counted and reported so drift stays visible.
+
+#ifndef VDB_TOOLS_VDB_LINT_LINT_H_
+#define VDB_TOOLS_VDB_LINT_LINT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vdb::lint {
+
+struct Diagnostic {
+  std::string file;
+  size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Report {
+  std::vector<Diagnostic> violations;
+  size_t files_scanned = 0;
+  size_t suppressions_used = 0;  // diagnostics silenced by allow() comments
+
+  bool ok() const { return violations.empty(); }
+};
+
+/// All rule names, for self-tests and --list-rules.
+const std::vector<std::string>& RuleNames();
+
+/// Lints one in-memory source. `path` (slash-normalized, matched by
+/// suffix/substring) decides which rules apply. Appends to *report.
+void LintSource(const std::string& path, const std::string& content,
+                Report* report);
+
+/// Expands roots (files or directories; directories are walked recursively
+/// for .cc/.h/.cpp/.hpp, skipping build*/ and hidden dirs) and lints each
+/// file. Diagnostics come back sorted by file then line.
+Report LintPaths(const std::vector<std::string>& roots);
+
+/// "file:line: [rule] message" — the compiler-style form editors jump on.
+std::string FormatDiagnostic(const Diagnostic& d);
+
+}  // namespace vdb::lint
+
+#endif  // VDB_TOOLS_VDB_LINT_LINT_H_

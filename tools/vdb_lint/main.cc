@@ -1,0 +1,43 @@
+// vdb-lint driver: `vdb_lint <paths...>` lints the given files/directories
+// and exits non-zero if any contract violation survives its allow() check.
+// See lint.h for the rule set and docs/INVARIANTS.md for the rationale.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list-rules") == 0) {
+      for (const std::string& r : vdb::lint::RuleNames()) {
+        std::printf("%s\n", r.c_str());
+      }
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      std::printf(
+          "usage: vdb_lint [--list-rules] <file-or-dir>...\n"
+          "Checks the project contracts (see docs/INVARIANTS.md).\n"
+          "Suppress a finding in place with: // vdb-lint: allow(<rule>)\n");
+      return 0;
+    }
+    roots.emplace_back(argv[i]);
+  }
+  if (roots.empty()) roots.emplace_back(".");
+
+  const vdb::lint::Report report = vdb::lint::LintPaths(roots);
+  for (const auto& d : report.violations) {
+    std::fprintf(stderr, "%s\n", vdb::lint::FormatDiagnostic(d).c_str());
+  }
+  std::printf(
+      "vdb-lint: scanned %zu files, %zu violation(s), %zu suppression(s) "
+      "honored\n",
+      report.files_scanned, report.violations.size(),
+      report.suppressions_used);
+  return report.ok() ? 0 : 1;
+}

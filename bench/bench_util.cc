@@ -57,6 +57,22 @@ JsonState& Json() {
   return state;
 }
 
+// Peak resident set size of this process in bytes (VmHWM from
+// /proc/self/status); 0 where the proc interface is unavailable. Recorded in
+// the JSON envelope so perf tracking catches memory regressions, not just
+// time ones.
+uint64_t PeakRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  unsigned long long kb = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %llu kB", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return static_cast<uint64_t>(kb) * 1024;
+}
+
 std::string JsonEscape(const std::string& s) {
   std::string out;
   for (char c : s) {
@@ -93,8 +109,10 @@ void BenchJsonWrite() {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return;
   }
-  std::fprintf(f, "{\"bench\": \"%s\", \"results\": [\n",
-               JsonEscape(j.name).c_str());
+  std::fprintf(f, "{\"bench\": \"%s\", \"peak_rss_bytes\": %llu, "
+               "\"results\": [\n",
+               JsonEscape(j.name).c_str(),
+               static_cast<unsigned long long>(PeakRssBytes()));
   for (size_t i = 0; i < j.rows.size(); ++i) {
     const JsonRow& r = j.rows[i];
     std::fprintf(f,

@@ -36,7 +36,8 @@ bool HasFlag(int argc, char** argv, const char* flag);
 /// thing in main; when --json is among the args, every BenchJsonRecord
 /// appends one result row and BenchJsonWrite (end of main) writes them all
 /// to BENCH_<name>.json in the working directory:
-///   {"bench": "<name>", "results": [
+///   {"bench": "<name>", "peak_rss_bytes": <VmHWM at write time>,
+///    "results": [
 ///     {"op": ..., "config": ..., "median_ms": ..., "threads": ...}, ...]}
 /// Without --json the calls are no-ops, so the human-readable tables stay
 /// the default. `op` names the measured operation, `config` the variant

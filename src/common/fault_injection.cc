@@ -1,0 +1,170 @@
+#include "common/fault_injection.h"
+
+#include <cstdlib>
+#include <map>
+
+#include "common/random.h"
+#include "common/thread_annotations.h"
+
+namespace vdb {
+
+namespace fault_internal {
+std::atomic<int> g_active{0};
+}  // namespace fault_internal
+
+namespace {
+
+struct PointState {
+  // Armed trigger; nth == 0 && p == 0 means "observe only" (registered by
+  // observation mode on first hit).
+  uint64_t nth = 0;          // 1-based failing hit; 0 = no Nth trigger
+  double p = 0.0;            // per-hit failure probability; 0 = off
+  uint64_t seed = 0;         // counter-addressed draw seed for `p`
+  StatusCode code = StatusCode::kResourceExhausted;
+  uint64_t hits = 0;         // consultations so far
+};
+
+// The registry is mutex-guarded: it is only ever touched while the harness
+// is armed (tests / fault-injection CI legs), never on production hot
+// paths, which bail on the relaxed g_active load.
+struct Registry {
+  Mutex mu;
+  std::map<std::string, PointState> points GUARDED_BY(mu);
+  bool observe GUARDED_BY(mu) = false;
+};
+
+Registry& Reg() {
+  static Registry* r = new Registry();  // leaked: workers may poll at exit
+  return *r;
+}
+
+/// SplitMix-folded hash of the site name; addresses the site axis of the
+/// counter-addressed probabilistic draw.
+uint64_t SiteHash(const std::string& site) {
+  uint64_t h = 0x243F6A8885A308D3ull;
+  for (char c : site) {
+    h = SplitMix64Finalize(h ^ static_cast<uint64_t>(
+                                   static_cast<unsigned char>(c)));
+  }
+  return h;
+}
+
+Status MakeInjected(StatusCode code, const std::string& site, uint64_t hit) {
+  const std::string msg =
+      "injected fault at " + site + " (hit " + std::to_string(hit) + ")";
+  switch (code) {
+    case StatusCode::kCancelled: return Status::Cancelled(msg);
+    case StatusCode::kDeadlineExceeded: return Status::DeadlineExceeded(msg);
+    default: return Status::ResourceExhausted(msg);
+  }
+}
+
+// Arm VDB_FAULT before main() so the disarmed fast path stays a single
+// relaxed load with no lazy-parse branch.
+const bool g_env_parsed = [] {
+  const char* spec = std::getenv("VDB_FAULT");
+  if (spec != nullptr && spec[0] != '\0') (void)ArmFromEnvSpec(spec);
+  return true;
+}();
+
+}  // namespace
+
+Status FaultPointCheck(const char* site) {
+  Registry& reg = Reg();
+  MutexLock lock(reg.mu);
+  auto it = reg.points.find(site);
+  if (it == reg.points.end()) {
+    if (!reg.observe) return Status::Ok();
+    it = reg.points.emplace(site, PointState{}).first;
+  }
+  PointState& ps = it->second;
+  const uint64_t hit = ++ps.hits;
+  if (reg.observe) return Status::Ok();
+  if (ps.nth != 0 && hit >= ps.nth) return MakeInjected(ps.code, site, hit);
+  if (ps.p > 0.0) {
+    const double u = CounterRandomDouble(ps.seed, hit, SiteHash(site));
+    if (u < ps.p) return MakeInjected(ps.code, site, hit);
+  }
+  return Status::Ok();
+}
+
+void ArmFaultPointNth(const std::string& site, uint64_t nth, StatusCode code) {
+  Registry& reg = Reg();
+  MutexLock lock(reg.mu);
+  PointState& ps = reg.points[site];
+  ps.nth = nth;
+  ps.code = code;
+  ps.hits = 0;
+  fault_internal::g_active.store(1, std::memory_order_relaxed);
+}
+
+void ArmFaultPointProbabilistic(const std::string& site, double p,
+                                uint64_t seed, StatusCode code) {
+  Registry& reg = Reg();
+  MutexLock lock(reg.mu);
+  PointState& ps = reg.points[site];
+  ps.p = p;
+  ps.seed = seed;
+  ps.code = code;
+  ps.hits = 0;
+  fault_internal::g_active.store(1, std::memory_order_relaxed);
+}
+
+void DisarmAllFaultPoints() {
+  Registry& reg = Reg();
+  MutexLock lock(reg.mu);
+  reg.points.clear();
+  reg.observe = false;
+  fault_internal::g_active.store(0, std::memory_order_relaxed);
+}
+
+void SetFaultObservationForTest(bool on) {
+  Registry& reg = Reg();
+  MutexLock lock(reg.mu);
+  reg.observe = on;
+  // Observation keeps the harness active even with no armed points; arming
+  // state is recomputed from the registry when observation turns off.
+  fault_internal::g_active.store(
+      (on || !reg.points.empty()) ? 1 : 0, std::memory_order_relaxed);
+}
+
+std::vector<std::string> ObservedFaultSites() {
+  Registry& reg = Reg();
+  MutexLock lock(reg.mu);
+  std::vector<std::string> sites;
+  for (const auto& [name, ps] : reg.points) {
+    if (ps.hits > 0) sites.push_back(name);
+  }
+  return sites;  // std::map iteration is already name-sorted
+}
+
+uint64_t FaultPointHits(const std::string& site) {
+  Registry& reg = Reg();
+  MutexLock lock(reg.mu);
+  auto it = reg.points.find(site);
+  return it == reg.points.end() ? 0 : it->second.hits;
+}
+
+bool ArmFromEnvSpec(const std::string& spec) {
+  size_t start = 0;
+  bool armed_any = false;
+  while (start < spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(start, comma - start);
+    start = comma + 1;
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) return false;
+    const std::string site = entry.substr(0, eq);
+    char* end = nullptr;
+    const unsigned long long nth =
+        std::strtoull(entry.c_str() + eq + 1, &end, 10);
+    if (end == nullptr || *end != '\0' || nth == 0) return false;
+    ArmFaultPointNth(site, static_cast<uint64_t>(nth));
+    armed_any = true;
+  }
+  return armed_any;
+}
+
+}  // namespace vdb

@@ -1,0 +1,92 @@
+// Named fault points for the governor's adversarial test harness.
+//
+// Every governed site (a GuardCheck / GuardTryReserve call naming itself,
+// e.g. "join_build_alloc") doubles as a fault point: when the harness is
+// armed for that name, the poll returns an injected error Status instead of
+// kOk, exercising the exact unwind path a real cancellation, deadline, or
+// allocation failure would take — without needing a query large enough to
+// trip the limit for real.
+//
+// Triggers are deterministic by construction:
+//   - fail-on-Nth: the Nth consultation of the point fails (N is a
+//     per-point hit counter, so single-threaded sweeps are exactly
+//     reproducible);
+//   - counter-addressed probability: hit k fails iff
+//     CounterRandom(seed, k, hash(site)) < p * 2^64 — the same seeded
+//     SplitMix-style substrate as the engine's row-addressed rand(), so
+//     probabilistic sweeps replay bit-identically from the seed and
+//     vdb-lint's rng-outside-random rule stays clean.
+//
+// Cost when disarmed: one relaxed atomic load (FaultInjectionArmed) at each
+// governed site — no registry lookup, no string hashing.
+//
+// Arming: test hooks below, or the VDB_FAULT environment variable parsed at
+// process start ("site=N" fail-on-Nth, comma-separated; see ArmFromEnvSpec).
+
+#ifndef VDB_COMMON_FAULT_INJECTION_H_
+#define VDB_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vdb {
+
+namespace fault_internal {
+// > 0 while any fault point is armed OR observation mode is on. The one
+// relaxed load every governed site pays when the harness is idle.
+extern std::atomic<int> g_active;
+}  // namespace fault_internal
+
+/// True when any fault point is armed (or observation is on); governed
+/// sites gate the out-of-line FaultPointCheck call on this.
+inline bool FaultInjectionArmed() {
+  return fault_internal::g_active.load(std::memory_order_relaxed) > 0;
+}
+
+/// Consults the fault point named `site`. Returns the injected Status when
+/// the point is armed and its trigger fires on this hit; kOk otherwise.
+/// Callers must gate on FaultInjectionArmed() (the governor helpers do).
+Status FaultPointCheck(const char* site);
+
+// ---- test hooks -------------------------------------------------------------
+
+/// Arms `site` to fail on its Nth consultation (1-based; every subsequent
+/// hit also fails, so "the first poll after N-1 successes" is what trips —
+/// matching how a real deadline stays tripped once passed). `code` is the
+/// Status the injection returns.
+void ArmFaultPointNth(const std::string& site, uint64_t nth,
+                      StatusCode code = StatusCode::kResourceExhausted);
+
+/// Arms `site` to fail each hit k independently with probability p, drawn
+/// counter-addressed from (seed, k, hash(site)) — deterministic replay.
+void ArmFaultPointProbabilistic(const std::string& site, double p,
+                                uint64_t seed,
+                                StatusCode code = StatusCode::kResourceExhausted);
+
+/// Disarms everything and clears hit counters and the observed-site set.
+void DisarmAllFaultPoints();
+
+/// Observation mode: fault points record their names and hit counts but
+/// never fire. Lets a sweep discover which sites a workload actually
+/// reaches before arming them one by one.
+void SetFaultObservationForTest(bool on);
+
+/// Sites consulted since the last DisarmAllFaultPoints, sorted by name.
+std::vector<std::string> ObservedFaultSites();
+
+/// Consultations of `site` since the last DisarmAllFaultPoints.
+uint64_t FaultPointHits(const std::string& site);
+
+/// Parses a VDB_FAULT-style spec ("site=N" or "site=N,site2=M", N the
+/// 1-based failing hit) and arms the named points. Returns false on a
+/// malformed spec. Called automatically at process start with the VDB_FAULT
+/// environment variable; exposed for tests.
+bool ArmFromEnvSpec(const std::string& spec);
+
+}  // namespace vdb
+
+#endif  // VDB_COMMON_FAULT_INJECTION_H_

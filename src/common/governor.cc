@@ -1,0 +1,22 @@
+#include "common/governor.h"
+
+#include <string>
+
+namespace vdb::governor_internal {
+
+Status CancelledAt(const char* site) {
+  return Status::Cancelled(std::string("statement cancelled at ") + site);
+}
+
+Status DeadlineExceededAt(const char* site) {
+  return Status::DeadlineExceeded(std::string("deadline exceeded at ") + site);
+}
+
+Status BudgetExceededAt(const char* site, uint64_t needed, uint64_t budget) {
+  return Status::ResourceExhausted(
+      std::string("memory budget exceeded at ") + site + ": " +
+      std::to_string(needed) + " bytes reserved would exceed budget of " +
+      std::to_string(budget));
+}
+
+}  // namespace vdb::governor_internal

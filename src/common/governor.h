@@ -1,0 +1,220 @@
+// Per-statement query governor: cooperative cancellation, a monotonic
+// deadline, and a memory budget with atomic accounting.
+//
+// One ExecGuard is carried per statement along the same route num_threads
+// took (VerdictOptions -> VerdictContext -> Database -> planner/operators).
+// The executor never blocks on it; instead, every morsel claim, chunk
+// boundary, hash-table growth, gather, and large reserve polls the guard
+// through the null-safe helpers below and unwinds with a clean Status
+// (kCancelled / kDeadlineExceeded / kResourceExhausted) when it trips.
+//
+// Contract (docs/INVARIANTS.md, "Cancellation / budget contract"):
+//   - Poll points sit on batch boundaries, never inside per-row loops, so
+//     the untripped overhead is one predictable branch per batch.
+//   - When the guard never trips, results are bit-identical to an
+//     unguarded run: polling reads state, it never influences morsel
+//     decomposition, merge order, or any RNG draw.
+//   - Deadline checks call steady_clock::now() only at poll points (coarse
+//     by design); cancellation and budget checks are single atomic loads.
+//   - Every poll site names itself (the `site` argument), which doubles as
+//     the fault-injection point name (common/fault_injection.h).
+
+#ifndef VDB_COMMON_GOVERNOR_H_
+#define VDB_COMMON_GOVERNOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/fault_injection.h"
+#include "common/status.h"
+
+namespace vdb {
+
+namespace governor_internal {
+// Cold paths, out of line (governor.cc) so the inlined poll fast path stays
+// a couple of loads and a branch.
+Status CancelledAt(const char* site);
+Status DeadlineExceededAt(const char* site);
+Status BudgetExceededAt(const char* site, uint64_t needed, uint64_t budget);
+}  // namespace governor_internal
+
+/// Per-statement execution guard. The owner (the statement issuer)
+/// configures limits before execution and may RequestCancel() from any
+/// thread while the statement runs; the executor threads a `const
+/// ExecGuard*` down the stack and polls. All executor-facing members are
+/// const — polling and budget accounting mutate only atomics — so a guard
+/// can be shared by every worker of a statement without synchronization
+/// beyond the atomics themselves.
+class ExecGuard {
+ public:
+  ExecGuard() = default;
+  ExecGuard(const ExecGuard&) = delete;
+  ExecGuard& operator=(const ExecGuard&) = delete;
+
+  // ---- owner-side configuration (before / during execution) ----
+
+  /// Arms the monotonic deadline `timeout_ms` from now; <= 0 disarms.
+  void set_deadline_after_ms(int64_t timeout_ms) {
+    if (timeout_ms <= 0) {
+      deadline_ns_.store(0, std::memory_order_relaxed);
+      return;
+    }
+    const int64_t now = NowNanos();
+    deadline_ns_.store(now + timeout_ms * 1'000'000, std::memory_order_relaxed);
+  }
+
+  /// Arms the memory budget; 0 disarms. Configure before execution starts
+  /// (plain store; the executor only reads it through TryReserve).
+  void set_memory_budget_bytes(uint64_t bytes) {
+    budget_bytes_.store(bytes, std::memory_order_relaxed);
+  }
+
+  /// Requests cooperative cancellation; safe from any thread, any time.
+  void RequestCancel() { cancel_.store(true, std::memory_order_relaxed); }
+
+  bool cancel_requested() const {
+    return cancel_.load(std::memory_order_relaxed);
+  }
+
+  // ---- executor-side polling ----
+
+  /// The cooperative poll: kOk, or kCancelled / kDeadlineExceeded carrying
+  /// the polling site's name as operator context. Also consults the
+  /// site-named fault point when the fault-injection harness is armed.
+  Status Check(const char* site) const {
+    if (FaultInjectionArmed()) {
+      Status injected = FaultPointCheck(site);
+      if (!injected.ok()) return injected;
+    }
+    if (cancel_.load(std::memory_order_relaxed)) {
+      return governor_internal::CancelledAt(site);
+    }
+    const int64_t dl = deadline_ns_.load(std::memory_order_relaxed);
+    if (dl != 0 && NowNanos() > dl) {
+      return governor_internal::DeadlineExceededAt(site);
+    }
+    return Status::Ok();
+  }
+
+  /// Budget-checked reservation of `bytes` for a row-proportional buffer.
+  /// Charges atomically and returns kOk, or kResourceExhausted (charging
+  /// nothing) when the reservation would exceed the budget. Polls
+  /// cancel/deadline first so every reserve is also a poll point.
+  Status TryReserve(uint64_t bytes, const char* site) const {
+    VDB_RETURN_IF_ERROR(Check(site));
+    const uint64_t budget = budget_bytes_.load(std::memory_order_relaxed);
+    uint64_t cur = reserved_.load(std::memory_order_relaxed);
+    for (;;) {
+      const uint64_t next = cur + bytes;
+      if (budget != 0 && (next > budget || next < cur)) {
+        return governor_internal::BudgetExceededAt(site, next, budget);
+      }
+      if (reserved_.compare_exchange_weak(cur, next,
+                                          std::memory_order_relaxed)) {
+        break;
+      }
+    }
+    // Peak tracking is monotone; relaxed CAS loop keeps it exact.
+    uint64_t after = reserved_.load(std::memory_order_relaxed);
+    uint64_t peak = peak_.load(std::memory_order_relaxed);
+    while (after > peak &&
+           !peak_.compare_exchange_weak(peak, after,
+                                        std::memory_order_relaxed)) {
+    }
+    return Status::Ok();
+  }
+
+  /// Returns a reservation (scratch freed / buffer shrunk). Saturating:
+  /// never underflows even if callers release conservative estimates.
+  void Release(uint64_t bytes) const {
+    uint64_t cur = reserved_.load(std::memory_order_relaxed);
+    while (!reserved_.compare_exchange_weak(
+        cur, cur >= bytes ? cur - bytes : 0, std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t reserved_bytes() const {
+    return reserved_.load(std::memory_order_relaxed);
+  }
+  uint64_t peak_reserved_bytes() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  uint64_t memory_budget_bytes() const {
+    return budget_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Re-arms the guard for the next statement: clears the cancel flag and
+  /// resets accounting, keeping the configured budget. (Deadlines are
+  /// re-armed per statement by the issuer.)
+  void ResetForStatement() {
+    cancel_.store(false, std::memory_order_relaxed);
+    reserved_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static int64_t NowNanos() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  // All mutable: polling and accounting run through const pointers shared
+  // by every worker of the statement.
+  mutable std::atomic<bool> cancel_{false};
+  mutable std::atomic<int64_t> deadline_ns_{0};   // steady_clock ns; 0 = off
+  mutable std::atomic<uint64_t> budget_bytes_{0}; // 0 = unlimited
+  mutable std::atomic<uint64_t> reserved_{0};
+  mutable std::atomic<uint64_t> peak_{0};
+};
+
+// ---- null-safe call-site helpers -------------------------------------------
+//
+// The guard is optional everywhere (nullptr = ungoverned statement, the
+// default for existing callers). These helpers keep governed sites
+// one-liners and give the ungoverned path a single branch — except for the
+// fault point, which fires even without a guard so the injection sweep
+// covers ungoverned code paths too.
+
+inline Status GuardCheck(const ExecGuard* guard, const char* site) {
+  if (guard != nullptr) return guard->Check(site);
+  if (FaultInjectionArmed()) return FaultPointCheck(site);
+  return Status::Ok();
+}
+
+inline Status GuardTryReserve(const ExecGuard* guard, uint64_t bytes,
+                              const char* site) {
+  if (guard != nullptr) return guard->TryReserve(bytes, site);
+  if (FaultInjectionArmed()) return FaultPointCheck(site);
+  return Status::Ok();
+}
+
+inline void GuardRelease(const ExecGuard* guard, uint64_t bytes) {
+  if (guard != nullptr) guard->Release(bytes);
+}
+
+/// RAII form for scratch reservations: charges on construction (status()
+/// reports the outcome), releases on destruction.
+class ScopedReservation {
+ public:
+  ScopedReservation(const ExecGuard* guard, uint64_t bytes, const char* site)
+      : guard_(guard), bytes_(bytes), status_(GuardTryReserve(guard, bytes,
+                                                              site)) {
+    if (!status_.ok()) bytes_ = 0;
+  }
+  ~ScopedReservation() { GuardRelease(guard_, bytes_); }
+  ScopedReservation(const ScopedReservation&) = delete;
+  ScopedReservation& operator=(const ScopedReservation&) = delete;
+
+  const Status& status() const { return status_; }
+
+ private:
+  const ExecGuard* guard_;
+  uint64_t bytes_;
+  Status status_;
+};
+
+}  // namespace vdb
+
+#endif  // VDB_COMMON_GOVERNOR_H_

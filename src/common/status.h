@@ -21,6 +21,9 @@ enum class StatusCode {
   kAlreadyExists,     // duplicate table or sample
   kUnsupported,       // valid SQL the engine or rewriter does not handle
   kInternal,          // invariant violation inside the library
+  kCancelled,         // statement cancelled cooperatively (ExecGuard)
+  kDeadlineExceeded,  // statement ran past its monotonic deadline
+  kResourceExhausted, // memory budget tripped before an allocation
 };
 
 /// A success-or-error result with a human-readable message.
@@ -46,6 +49,15 @@ class Status {
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
   }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -62,6 +74,9 @@ class Status {
       case StatusCode::kAlreadyExists: name = "ALREADY_EXISTS"; break;
       case StatusCode::kUnsupported: name = "UNSUPPORTED"; break;
       case StatusCode::kInternal: name = "INTERNAL"; break;
+      case StatusCode::kCancelled: name = "CANCELLED"; break;
+      case StatusCode::kDeadlineExceeded: name = "DEADLINE_EXCEEDED"; break;
+      case StatusCode::kResourceExhausted: name = "RESOURCE_EXHAUSTED"; break;
     }
     return std::string(name) + ": " + message_;
   }

@@ -157,4 +157,34 @@ void ThreadPool::ParallelFor(
   done_cv_.NotifyAll();  // wake any caller waiting to publish its job
 }
 
+Status ThreadPool::ParallelForStatus(
+    size_t total, size_t morsel_rows, int max_threads, const ExecGuard* guard,
+    const char* site,
+    const std::function<Status(size_t, size_t, size_t)>& body) {
+  if (total == 0) return Status::Ok();
+  if (morsel_rows == 0) morsel_rows = 1;
+  const size_t num_morsels = (total + morsel_rows - 1) / morsel_rows;
+
+  // Layered over ParallelFor rather than a second job protocol: the stop
+  // token turns unclaimed morsels into no-ops, each morsel's Status lands in
+  // its own slot (no cross-morsel writes), and ParallelFor's completion
+  // hand-off publishes the slots to the caller.
+  std::atomic<bool> stop{false};
+  std::vector<Status> statuses(num_morsels);
+  ParallelFor(total, morsel_rows, max_threads,
+              [&](size_t m, size_t begin, size_t end) {
+                if (stop.load(std::memory_order_relaxed)) return;
+                Status st = GuardCheck(guard, site);
+                if (st.ok()) st = body(m, begin, end);
+                if (!st.ok()) {
+                  statuses[m] = std::move(st);
+                  stop.store(true, std::memory_order_relaxed);
+                }
+              });
+  for (size_t m = 0; m < num_morsels; ++m) {
+    if (!statuses[m].ok()) return statuses[m];
+  }
+  return Status::Ok();
+}
+
 }  // namespace vdb

@@ -11,11 +11,14 @@
 #ifndef VDB_COMMON_THREAD_POOL_H_
 #define VDB_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <thread>
 #include <vector>
 
+#include "common/governor.h"
+#include "common/status.h"
 #include "common/thread_annotations.h"
 
 namespace vdb {
@@ -57,6 +60,31 @@ class ThreadPool {
   /// state is a design error (bodies see only caller-owned slots).
   void ParallelFor(size_t total, size_t morsel_rows, int max_threads,
                    const std::function<void(size_t, size_t, size_t)>& body)
+      REQUIRES(!mu_);
+
+  /// ParallelFor with first-error/stop propagation — the fix for the
+  /// silent-completion gap where a failing morsel body could not abort the
+  /// sweep. The body returns Status; the first non-OK return (or a guard
+  /// trip, polled at every morsel claim when `guard` is non-null) raises a
+  /// shared stop token that makes unclaimed morsels no-ops. Already-running
+  /// morsels finish their current body call — cancellation is cooperative,
+  /// never preemptive.
+  ///
+  /// Returns kOk only when every morsel ran and returned kOk. On failure,
+  /// per-morsel statuses are merged in MORSEL order and the first non-OK
+  /// one is returned, so a deterministic failure reports the same morsel's
+  /// message regardless of thread count or schedule. (When several morsels
+  /// fail concurrently before the stop token lands, which subset recorded a
+  /// status can vary, but the earliest recorded morsel is always the one
+  /// reported.) Skipped morsels record nothing.
+  ///
+  /// The morsel decomposition is identical to ParallelFor's, and on the
+  /// all-OK path the bodies observe nothing of the machinery — results
+  /// stay bit-identical to an unguarded ParallelFor.
+  Status ParallelForStatus(
+      size_t total, size_t morsel_rows, int max_threads,
+      const ExecGuard* guard, const char* site,
+      const std::function<Status(size_t, size_t, size_t)>& body)
       REQUIRES(!mu_);
 
  private:
@@ -104,6 +132,28 @@ std::vector<Slot> ParallelMorselMap(size_t total, int max_threads,
   ThreadPool::Global().ParallelFor(
       total, morsel_rows, max_threads,
       [&](size_t m, size_t begin, size_t end) { body(slots[m], begin, end); });
+  return slots;
+}
+
+/// ParallelMorselMap over a Status-returning body with guard polling at
+/// every morsel claim: body(slot, begin, end) -> Status. Returns the filled
+/// slots, or the first failure in morsel order (see ParallelForStatus).
+/// Slots of skipped/failed morsels stay default-constructed; callers only
+/// see them on the error path, which discards the vector.
+template <typename Slot, typename Body>
+Result<std::vector<Slot>> ParallelMorselMapStatus(size_t total,
+                                                  int max_threads,
+                                                  const ExecGuard* guard,
+                                                  const char* site,
+                                                  Body&& body) {
+  const size_t morsel_rows = MorselRows();
+  std::vector<Slot> slots((total + morsel_rows - 1) / morsel_rows);
+  Status st = ThreadPool::Global().ParallelForStatus(
+      total, morsel_rows, max_threads, guard, site,
+      [&](size_t m, size_t begin, size_t end) {
+        return body(slots[m], begin, end);
+      });
+  if (!st.ok()) return st;
   return slots;
 }
 

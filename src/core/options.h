@@ -52,6 +52,22 @@ struct VerdictOptions {
   /// <= 0 = all hardware threads. Results are deterministic for any fixed
   /// setting, and identical across all settings > 1.
   int num_threads = 1;
+
+  /// Per-query wall-clock deadline in milliseconds; 0 disables. The whole
+  /// user query — sample probes, the rewritten approximate query, and any
+  /// HAC exact fallback — shares one deadline, polled cooperatively at
+  /// morsel/batch boundaries. An expired deadline unwinds the statement
+  /// with kDeadlineExceeded; if the approximate answer is already in hand
+  /// when the exact fallback trips, the approximate answer is served
+  /// instead (with its error bounds and a degradation note in ExecInfo).
+  int64_t timeout_ms = 0;
+
+  /// Per-query memory budget in bytes for row-proportional execution
+  /// buffers (join build/probe structures, group tables, gathered outputs);
+  /// 0 disables. Exceeding it unwinds with kResourceExhausted naming the
+  /// operator that tripped — never an abort. Accounting covers the large
+  /// engine-side allocations, not every transient byte.
+  uint64_t memory_budget_bytes = 0;
 };
 
 }  // namespace vdb::core

@@ -95,6 +95,11 @@ VerdictContext::VerdictContext(engine::Database* db,
       catalog_(&conn_),
       builder_(&conn_, &catalog_) {
   db->set_num_threads(options_.num_threads);
+  // The memory budget is a standing limit, armed from construction so the
+  // offline stage (sample builds issued directly on the builder) is governed
+  // too; deadlines are per-query and armed in ExecuteApprox.
+  guard_.set_memory_budget_bytes(options_.memory_budget_bytes);
+  conn_.set_exec_guard(&guard_);
 }
 
 Result<engine::ResultSet> VerdictContext::Execute(const std::string& sql,
@@ -109,10 +114,18 @@ Result<ApproxAnswer> VerdictContext::ExecuteApprox(const std::string& sql,
   // Options are mutable between queries; re-sync the engine-side knob so
   // options().num_threads sweeps (benches, tests) take effect per query.
   conn_.database()->set_num_threads(options_.num_threads);
+  // Re-arm the governor for this query: clear any stale cancel/accounting,
+  // then arm the deadline and budget from the current options. Every
+  // statement the query issues over conn_ runs under this one guard.
+  guard_.ResetForStatement();
+  guard_.set_memory_budget_bytes(options_.memory_budget_bytes);
+  guard_.set_deadline_after_ms(options_.timeout_ms);
+  conn_.set_exec_guard(&guard_);
   ExecInfo local;
   ExecInfo* ei = info ? info : &local;
   bool handled = false;
   auto approx = TryApproximate(sql, ei, &handled);
+  ei->peak_memory_bytes = guard_.peak_reserved_bytes();
   if (handled) return approx;
   if (!approx.ok() && approx.status().code() != StatusCode::kOk) {
     // TryApproximate only returns an error when it also sets handled; fall
@@ -134,6 +147,7 @@ Result<ApproxAnswer> VerdictContext::ExecuteApprox(const std::string& sql,
   ApproxAnswer out;
   out.result = std::move(rs).ValueOrDie();
   out.confidence = options_.confidence;
+  ei->peak_memory_bytes = guard_.peak_reserved_bytes();
   return out;
 }
 
@@ -270,7 +284,24 @@ Result<ApproxAnswer> VerdictContext::TryApproximate(const std::string& sql,
     info->exact_rerun = true;
     info->approximated = false;
     auto exact = conn_.Execute(sql);
-    if (!exact.ok()) return exact.status();
+    if (!exact.ok()) {
+      // Graceful degradation: when the exact fallback trips the governor
+      // (out of time or budget after the approximate answer is already in
+      // hand), serve the approximate answer with its error bounds instead
+      // of failing the query. Genuine execution errors still propagate.
+      const StatusCode code = exact.status().code();
+      if (code == StatusCode::kCancelled ||
+          code == StatusCode::kDeadlineExceeded ||
+          code == StatusCode::kResourceExhausted) {
+        info->approximated = true;
+        info->degraded = true;
+        info->degradation_note =
+            "HAC exact fallback aborted (" + exact.status().message() +
+            "); serving the approximate answer with error bounds";
+        return answer;
+      }
+      return exact.status();
+    }
     ApproxAnswer out;
     out.result = std::move(exact).ValueOrDie();
     out.confidence = options_.confidence;

@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 
+#include "common/governor.h"
 #include "common/status.h"
 #include "core/answer_rewriter.h"
 #include "core/options.h"
@@ -31,10 +32,14 @@ class VerdictContext {
   struct ExecInfo {
     bool approximated = false;   // a rewritten query was used
     bool exact_rerun = false;    // HAC violated -> exact fallback executed
+    bool degraded = false;       // exact fallback tripped the governor;
+                                 // the approximate answer was served instead
     std::string skip_reason;     // why a query passed through
     std::string rewritten_sql;   // the SQL actually sent (when approximated)
+    std::string degradation_note;  // what degraded and why (when degraded)
     double max_relative_error = 0.0;
     int subsamples = 0;          // b
+    uint64_t peak_memory_bytes = 0;  // governor peak reservation this query
   };
 
   /// Executes one statement. Supported aggregate SELECTs are approximated;
@@ -51,6 +56,12 @@ class VerdictContext {
   sampling::SampleCatalog& sample_catalog() { return catalog_; }
   driver::Connection& connection() { return conn_; }
   VerdictOptions& options() { return options_; }
+
+  /// The per-query execution guard. Re-armed at the start of every Execute /
+  /// ExecuteApprox from options().timeout_ms / memory_budget_bytes; exposed
+  /// so another thread can RequestCancel() a query in flight (the next
+  /// cooperative poll unwinds it with kCancelled).
+  ExecGuard& exec_guard() { return guard_; }
 
  private:
   Result<ApproxAnswer> TryApproximate(const std::string& sql, ExecInfo* info,
@@ -70,6 +81,10 @@ class VerdictContext {
       const std::vector<sampling::SampleInfo>& samples);
 
   VerdictOptions options_;
+  /// One guard per context, re-armed per query; every statement the query
+  /// issues (probes, rewritten query, exact fallback) shares it, so the
+  /// deadline and budget cover the query end to end.
+  ExecGuard guard_;
   driver::Connection conn_;
   sampling::SampleCatalog catalog_;
   sampling::SampleBuilder builder_;

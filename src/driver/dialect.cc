@@ -145,7 +145,7 @@ Result<engine::ResultSet> Connection::ExecuteAst(const sql::Statement& stmt) {
 
 Result<engine::ResultSet> Connection::Execute(const std::string& sql) {
   log_.push_back(sql);
-  return db_->Execute(sql);
+  return db_->Execute(sql, guard_);
 }
 
 }  // namespace vdb::driver

@@ -14,6 +14,7 @@
 
 #include <string>
 
+#include "common/governor.h"
 #include "common/status.h"
 #include "engine/database.h"
 #include "sql/ast.h"
@@ -60,6 +61,15 @@ class Connection {
   const Dialect& dialect() const { return dialect_; }
   engine::Database* database() { return db_; }
 
+  /// Attaches a per-statement execution guard (nullptr = ungoverned): every
+  /// statement issued over this connection runs under it — the middleware
+  /// resets the guard per user query, and all the statements that query
+  /// issues (sample probes, the rewritten query, the exact fallback) share
+  /// the one deadline / budget. The guard must outlive the connection or be
+  /// detached with set_exec_guard(nullptr).
+  void set_exec_guard(const ExecGuard* guard) { guard_ = guard; }
+  const ExecGuard* exec_guard() const { return guard_; }
+
   /// SQL statements issued over this connection (for tests / accounting).
   const std::vector<std::string>& statement_log() const { return log_; }
   void ClearLog() { log_.clear(); }
@@ -67,6 +77,7 @@ class Connection {
  private:
   engine::Database* db_;
   const Dialect& dialect_;
+  const ExecGuard* guard_ = nullptr;
   std::vector<std::string> log_;
 };
 

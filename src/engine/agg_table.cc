@@ -30,7 +30,7 @@ struct KeyLane {
 
 std::vector<KeyLane> MakeKeyLanes(const std::vector<KeyCol>& cols) {
   std::vector<KeyLane> lanes;
-  lanes.reserve(cols.size());
+  lanes.reserve(cols.size());  // vdb-lint: allow(naked-reserve) column-count bounded
   for (const KeyCol& kc : cols) {
     const Column* c = kc.col;
     KeyLane l;
@@ -171,7 +171,7 @@ void HashGroupKeysBased(const std::vector<KeyCol>& cols, size_t num_rows,
 
 std::vector<KeyCol> ZeroBased(const std::vector<const Column*>& cols) {
   std::vector<KeyCol> kcs;
-  kcs.reserve(cols.size());
+  kcs.reserve(cols.size());  // vdb-lint: allow(naked-reserve) column-count bounded
   for (const Column* c : cols) kcs.push_back(KeyCol{c, 0});
   return kcs;
 }
@@ -182,12 +182,38 @@ void GroupTable::Reset(size_t expected) {
   size_t cap = 16;
   // Size so `expected` groups stay under the 3/4 load factor.
   while (cap * 3 < (expected + 1) * 4) cap <<= 1;
+  GuardRelease(guard_, charged_bytes_);
+  charged_bytes_ = 0;
+  guard_status_ = Status::Ok();
+  Status st = GuardTryReserve(
+      guard_, static_cast<uint64_t>(cap) * sizeof(Slot), "agg_group_grow");
+  if (!st.ok()) {
+    // Latch and fall back to the minimum capacity (uncharged) so callers
+    // that probe before checking guard_status() stay in-bounds; the first
+    // growth attempt re-fails and stops inserts.
+    guard_status_ = std::move(st);
+    cap = 16;
+  } else if (guard_ != nullptr) {
+    charged_bytes_ = static_cast<uint64_t>(cap) * sizeof(Slot);
+  }
   slots_.assign(cap, Slot{0, kNoGroup});
   group_hashes_.clear();
 }
 
 void GroupTable::Grow() {
   const size_t cap = slots_.empty() ? 16 : slots_.size() * 2;
+  // Charge the doubled array before releasing the old charge: both buffers
+  // are briefly alive during the reallocation, and a failed charge must
+  // leave the existing (still valid) table untouched.
+  Status st = GuardTryReserve(
+      guard_, static_cast<uint64_t>(cap) * sizeof(Slot), "agg_group_grow");
+  if (!st.ok()) {
+    if (guard_status_.ok()) guard_status_ = std::move(st);
+    return;
+  }
+  GuardRelease(guard_, charged_bytes_);
+  charged_bytes_ =
+      guard_ != nullptr ? static_cast<uint64_t>(cap) * sizeof(Slot) : 0;
   slots_.assign(cap, Slot{0, kNoGroup});
   const uint64_t mask = cap - 1;
   // Rehash from the stored per-group hashes; no equality checks needed —
@@ -237,7 +263,7 @@ void AssignGroupIdsSelected(const std::vector<const Column*>& cols,
 GroupAssignment AssignGroupIdsBased(const std::vector<KeyCol>& cols,
                                     size_t num_rows) {
   GroupAssignment out;
-  out.gid_of_row.resize(num_rows);
+  out.gid_of_row.resize(num_rows);  // vdb-lint: allow(naked-reserve) 4B/row gid scratch, morsel- or input-bounded
   if (cols.empty()) {
     std::fill(out.gid_of_row.begin(), out.gid_of_row.end(), 0u);
     if (num_rows > 0) {
@@ -291,7 +317,7 @@ void AssignGroupIdsSelectedBased(const std::vector<KeyCol>& cols,
   out->gid_of_row.clear();
   out->rep_row.clear();
   out->group_hash.clear();
-  out->gid_of_row.resize(n);
+  out->gid_of_row.resize(n);  // vdb-lint: allow(naked-reserve) 4B/row gid scratch, morsel- or input-bounded
   if (n == 0) return;
   if (cols.empty()) {
     std::fill(out->gid_of_row.begin(), out->gid_of_row.end(), 0u);

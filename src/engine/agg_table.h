@@ -18,6 +18,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/governor.h"
+#include "common/status.h"
 #include "common/value.h"
 #include "engine/column.h"
 #include "engine/group_ids.h"
@@ -56,6 +58,19 @@ class GroupTable {
  public:
   static constexpr uint32_t kNoGroup = 0xFFFFFFFFu;
 
+  ~GroupTable() { GuardRelease(guard_, charged_bytes_); }
+
+  /// Attaches a per-statement guard: slot-array growth is budget-charged
+  /// through TryReserve (site "agg_group_grow") and a trip latches into
+  /// guard_status() instead of growing — inserts then stop assigning fresh
+  /// groups (returning gid 0) so the table never fills to the point of an
+  /// unterminated probe. Callers MUST check guard_status() after an insert
+  /// batch and discard results on failure. Set before Reset.
+  void set_guard(const ExecGuard* guard) { guard_ = guard; }
+
+  /// First guard/budget failure observed by Reset or growth; kOk otherwise.
+  const Status& guard_status() const { return guard_status_; }
+
   /// Clears to zero groups, sized so `expected` groups fit without growth.
   void Reset(size_t expected);
 
@@ -72,7 +87,16 @@ class GroupTable {
   /// hot path unless hashes collide.
   template <typename Eq>
   uint32_t FindOrInsert(uint64_t h, Eq&& eq, bool* inserted) {
-    if ((group_hashes_.size() + 1) * 4 > slots_.size() * 3) Grow();
+    if ((group_hashes_.size() + 1) * 4 > slots_.size() * 3) {
+      Grow();
+      if (!guard_status_.ok()) {
+        // Budget trip: stop assigning fresh groups (the caller checks
+        // guard_status() and discards). gid 0 keeps downstream indexing
+        // in-bounds until the unwind.
+        *inserted = false;
+        return 0;
+      }
+    }
     const uint64_t mask = slots_.size() - 1;
     size_t i = h & mask;
     while (slots_[i].gid != kNoGroup) {
@@ -115,6 +139,13 @@ class GroupTable {
           on_insert(k, gid);
           if (group_hashes_.size() >= grow_at) {
             Grow();
+            if (!guard_status_.ok()) {
+              // Budget trip mid-batch: zero-fill the remaining gids (kept
+              // in-bounds for the caller's unwind path) and stop probing a
+              // table that can no longer grow.
+              for (size_t j = k; j < n; ++j) gids[j] = 0;
+              return;
+            }
             slots = slots_.data();
             mask = slots_.size() - 1;
             grow_at = slots_.size() / 4 * 3;
@@ -143,6 +174,9 @@ class GroupTable {
 
   std::vector<Slot> slots_;
   std::vector<uint64_t> group_hashes_;  // per-gid, insertion order
+  const ExecGuard* guard_ = nullptr;    // polled/charged on growth
+  uint64_t charged_bytes_ = 0;          // released on destruction / Reset
+  Status guard_status_ = Status::Ok();  // first growth failure, latched
 };
 
 /// Hashed merge table over group-key Value tuples: replaces the string-keyed
@@ -153,6 +187,12 @@ class GroupTable {
 class GroupMergeTable {
  public:
   void Reset(size_t arity, size_t expected);
+
+  /// Guard plumbing: forwards to the underlying GroupTable (growth charged
+  /// at site "agg_group_grow", failures latched). Set before Reset; check
+  /// guard_status() after each merge batch.
+  void set_guard(const ExecGuard* guard) { table_.set_guard(guard); }
+  const Status& guard_status() const { return table_.guard_status(); }
 
   size_t num_groups() const { return table_.num_groups(); }
 

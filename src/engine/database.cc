@@ -65,22 +65,24 @@ Status Database::RegisterTable(const std::string& name, TablePtr table) {
   return catalog_.CreateTable(name, std::move(table));
 }
 
-Result<ResultSet> Database::ExecuteSelect(const sql::SelectStmt& stmt) {
+Result<ResultSet> Database::ExecuteSelect(const sql::SelectStmt& stmt,
+                                          const ExecGuard* guard) {
   auto clone = stmt.Clone();
-  return RunSelect(this, clone.get());
+  return RunSelect(this, clone.get(), guard);
 }
 
-Result<ResultSet> Database::Execute(const std::string& sql) {
+Result<ResultSet> Database::Execute(const std::string& sql,
+                                    const ExecGuard* guard) {
   auto parsed = sql::ParseStatement(sql);
   if (!parsed.ok()) return parsed.status();
   auto stmt = std::move(parsed).ValueOrDie();
 
   switch (stmt->kind) {
     case sql::StatementKind::kSelect:
-      return RunSelect(this, stmt->select.get());
+      return RunSelect(this, stmt->select.get(), guard);
 
     case sql::StatementKind::kCreateTableAs: {
-      auto rs = RunSelect(this, stmt->select.get());
+      auto rs = RunSelect(this, stmt->select.get(), guard);
       if (!rs.ok()) return rs.status();
       ResultSet r = std::move(rs).ValueOrDie();
       // Rebuild with unique lowercase column names.
@@ -114,7 +116,7 @@ Result<ResultSet> Database::Execute(const std::string& sql) {
       if (!target) {
         return Status::NotFound("no such table: " + stmt->table_name);
       }
-      auto rs = RunSelect(this, stmt->select.get());
+      auto rs = RunSelect(this, stmt->select.get(), guard);
       if (!rs.ok()) return rs.status();
       const ResultSet& r = rs.value();
       if (r.NumCols() != target->num_columns()) {

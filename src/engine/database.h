@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/governor.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -46,11 +47,17 @@ class Database {
   explicit Database(uint64_t seed = 0xC0FFEE);
 
   /// Parses and executes one statement. DDL returns an empty ResultSet.
-  Result<ResultSet> Execute(const std::string& sql);
+  /// `guard` (optional, nullptr = ungoverned) is the per-statement execution
+  /// guard threaded into every SELECT body the statement runs (including the
+  /// SELECT inside CREATE TABLE AS / INSERT ... SELECT); a tripped guard
+  /// unwinds with kCancelled / kDeadlineExceeded / kResourceExhausted.
+  Result<ResultSet> Execute(const std::string& sql,
+                            const ExecGuard* guard = nullptr);
 
   /// Executes an already-parsed SELECT (the statement is cloned; the input
   /// is not mutated).
-  Result<ResultSet> ExecuteSelect(const sql::SelectStmt& stmt);
+  Result<ResultSet> ExecuteSelect(const sql::SelectStmt& stmt,
+                                  const ExecGuard* guard = nullptr);
 
   /// Registers a prebuilt table (workload generators use this).
   Status RegisterTable(const std::string& name, TablePtr table);

@@ -38,10 +38,10 @@ bool JoinBloomForced() {
   return g_join_bloom_mode.load(std::memory_order_relaxed) == 1;
 }
 
-void JoinBuildTable::PlanPartitions(const uint64_t* hashes,
-                                    const uint8_t* any_null, size_t num_rows,
-                                    int num_threads,
-                                    std::vector<uint32_t>* part_rows) {
+Status JoinBuildTable::PlanPartitions(const uint64_t* hashes,
+                                      const uint8_t* any_null, size_t num_rows,
+                                      int num_threads,
+                                      std::vector<uint32_t>* part_rows) {
   // Partition only when the parallel build can win: several morsels of input
   // and more than one thread. ~4 partitions per thread smooths skew without
   // shrinking partitions below cache-friendly sizes; the cap bounds the
@@ -62,50 +62,64 @@ void JoinBuildTable::PlanPartitions(const uint64_t* hashes,
   // (the build fills the filter lock-free inside build_partition). The word
   // count depends only on the keyed-row COUNT, and the bit content only on
   // the hashes, so serial and parallel builds produce identical filters.
-  auto plan_bloom = [&](size_t keyed) {
+  auto plan_bloom = [&](size_t keyed) -> Status {
     bloom_.clear();
     bloom_shift_ = 0;
     const int mode = g_join_bloom_mode.load(std::memory_order_relaxed);
     const bool enabled =
         mode == 1 || (mode < 0 && keyed >= kBloomAutoThreshold);
-    if (!enabled || keyed == 0) return;
+    if (!enabled || keyed == 0) return Status::Ok();
     const uint64_t words =
         NextPow2(std::max<uint64_t>(P, std::max<uint64_t>(2, keyed / 8)));
+    VDB_RETURN_IF_ERROR(
+        Charge(words * sizeof(uint64_t), "join_build_alloc"));
     int lg = 0;
     while ((1ull << lg) < words) ++lg;
     bloom_shift_ = 64 - lg;
     bloom_.assign(words, 0);
+    return Status::Ok();
   };
 
   if (bits == 0) {
     // Serial reference: one partition listing the non-NULL rows ascending.
+    VDB_RETURN_IF_ERROR(GuardCheck(guard_, "join_build"));
+    VDB_RETURN_IF_ERROR(
+        Charge(num_rows * sizeof(uint32_t), "join_build_alloc"));
     part_rows->clear();
-    part_rows->reserve(num_rows);
+    part_rows->reserve(num_rows);  // vdb-lint: allow(naked-reserve) charged via Charge() above
     for (size_t r = 0; r < num_rows; ++r) {
       if (any_null[r] == 0) part_rows->push_back(static_cast<uint32_t>(r));
     }
     parts_[0].row_begin = 0;
     parts_[0].row_end = static_cast<uint32_t>(part_rows->size());  // vdb-lint: allow(naked-size-narrowing) join inputs rejected above 2^32-2 rows (operators.cc)
-    plan_bloom(part_rows->size());
+    VDB_RETURN_IF_ERROR(plan_bloom(part_rows->size()));
     if (!part_rows->empty()) {
-      parts_[0].slot_hash.assign(SlotCapacity(part_rows->size()), 0);
+      const size_t cap = SlotCapacity(part_rows->size());
+      VDB_RETURN_IF_ERROR(
+          Charge(cap * (sizeof(uint64_t) + sizeof(uint32_t)),
+                 "join_build_alloc"));
+      parts_[0].slot_hash.assign(cap, 0);
       parts_[0].slot_head.assign(parts_[0].slot_hash.size(), kInvalidRow);
     }
-    return;
+    return Status::Ok();
   }
 
   const int shift = 64 - bits;
   const size_t morsel = MorselRows();
 
-  // Pass 1: per-morsel histogram of non-NULL rows per partition.
-  auto counts = ParallelMorselMap<std::vector<uint32_t>>(
-      num_rows, num_threads,
+  // Pass 1: per-morsel histogram of non-NULL rows per partition, with the
+  // guard polled at every morsel claim.
+  auto counts_or = ParallelMorselMapStatus<std::vector<uint32_t>>(
+      num_rows, num_threads, guard_, "join_build",
       [&](std::vector<uint32_t>& slot, size_t begin, size_t end) {
         slot.assign(P, 0);
         for (size_t r = begin; r < end; ++r) {
           if (any_null[r] == 0) ++slot[hashes[r] >> shift];
         }
+        return Status::Ok();
       });
+  if (!counts_or.ok()) return counts_or.status();
+  const std::vector<std::vector<uint32_t>>& counts = counts_or.value();
 
   // Prefix sum partition-major, morsel-minor: partition p's rows occupy one
   // contiguous span, and within it morsel 0's rows precede morsel 1's — so
@@ -122,13 +136,16 @@ void JoinBuildTable::PlanPartitions(const uint64_t* hashes,
     }
     parts_[p].row_end = total;
   }
-  part_rows->resize(total);
-  plan_bloom(total);
+  VDB_RETURN_IF_ERROR(
+      Charge(static_cast<uint64_t>(total) * sizeof(uint32_t),
+             "join_build_alloc"));
+  part_rows->resize(total);  // vdb-lint: allow(naked-reserve) charged via Charge() above
+  VDB_RETURN_IF_ERROR(plan_bloom(total));
 
   // Pass 2: scatter row indices; every (morsel, partition) cell writes its
   // own precomputed span, so workers never contend.
-  ThreadPool::Global().ParallelFor(
-      num_rows, morsel, num_threads,
+  VDB_RETURN_IF_ERROR(ThreadPool::Global().ParallelForStatus(
+      num_rows, morsel, num_threads, guard_, "join_build",
       [&](size_t m, size_t begin, size_t end) {
         std::vector<uint32_t>& off = offsets[m];
         for (size_t r = begin; r < end; ++r) {
@@ -136,14 +153,24 @@ void JoinBuildTable::PlanPartitions(const uint64_t* hashes,
             (*part_rows)[off[hashes[r] >> shift]++] = static_cast<uint32_t>(r);
           }
         }
-      });
+        return Status::Ok();
+      }));
 
+  uint64_t slot_bytes = 0;
+  for (size_t p = 0; p < P; ++p) {
+    const size_t count = parts_[p].row_end - parts_[p].row_begin;
+    if (count == 0) continue;
+    slot_bytes += static_cast<uint64_t>(SlotCapacity(count)) *
+                  (sizeof(uint64_t) + sizeof(uint32_t));
+  }
+  VDB_RETURN_IF_ERROR(Charge(slot_bytes, "join_build_alloc"));
   for (size_t p = 0; p < P; ++p) {
     const size_t count = parts_[p].row_end - parts_[p].row_begin;
     if (count == 0) continue;
     parts_[p].slot_hash.assign(SlotCapacity(count), 0);
     parts_[p].slot_head.assign(parts_[p].slot_hash.size(), kInvalidRow);
   }
+  return Status::Ok();
 }
 
 }  // namespace vdb::engine

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/governor.h"
 #include "common/thread_pool.h"
 #include "engine/kernels/kernels_scalar.h"
 
@@ -47,18 +48,33 @@ class JoinBuildTable {
   /// Absent build row / empty slot sentinel.
   static constexpr uint32_t kInvalidRow = 0xFFFFFFFFu;
 
+  ~JoinBuildTable() { GuardRelease(guard_, charged_bytes_); }
+
   /// Builds over `num_rows` build rows whose key hashes and NULL-key flags
   /// the caller precomputed (HashJoinKeyColumns). Rows with any_null set are
   /// never inserted (NULL keys never match). `eq(a, b)` decides whether
   /// build rows a and b carry equal keys — called only for same-hash pairs,
   /// i.e. genuine 64-bit collisions and duplicate keys.
+  ///
+  /// `guard` (optional) is polled per morsel/partition and charged for every
+  /// row-proportional allocation (next chain, partition row list, slot
+  /// arrays, Bloom words) via TryReserve — an over-budget build returns
+  /// kResourceExhausted instead of aborting in the allocator. The charge is
+  /// released when the table is destroyed or rebuilt.
   template <typename Eq>
-  void Build(const uint64_t* hashes, const uint8_t* any_null, size_t num_rows,
-             int num_threads, Eq&& eq) {
+  Status Build(const uint64_t* hashes, const uint8_t* any_null,
+               size_t num_rows, int num_threads, Eq&& eq,
+               const ExecGuard* guard = nullptr) {
+    GuardRelease(guard_, charged_bytes_);
+    charged_bytes_ = 0;
+    guard_ = guard;
+    VDB_RETURN_IF_ERROR(
+        Charge(num_rows * sizeof(uint32_t), "join_build_alloc"));
     next_.assign(num_rows, kInvalidRow);
     std::vector<uint32_t> part_rows;
-    PlanPartitions(hashes, any_null, num_rows, num_threads, &part_rows);
-    auto build_partition = [&](size_t p) {
+    VDB_RETURN_IF_ERROR(
+        PlanPartitions(hashes, any_null, num_rows, num_threads, &part_rows));
+    auto build_partition = [&](size_t p) -> Status {
       Partition& part = parts_[p];
       // Blocked Bloom fill rides the per-partition build loop lock-free:
       // key h owns word h >> bloom_shift_, and since the filter has at least
@@ -72,8 +88,13 @@ class JoinBuildTable {
           bloom_[h >> bloom_shift_] |= kernels::scalar::BloomBitMask(h);
         }
       }
-      if (part.slot_hash.empty()) return;
+      if (part.slot_hash.empty()) return Status::Ok();
       const uint64_t mask = part.slot_hash.size() - 1;
+      // Per-partition scratch, charged for its own lifetime only.
+      ScopedReservation tail_charge(
+          guard_, part.slot_hash.size() * sizeof(uint32_t),
+          "join_build_alloc");
+      VDB_RETURN_IF_ERROR(tail_charge.status());
       std::vector<uint32_t> slot_tail(part.slot_hash.size(), kInvalidRow);
       for (uint32_t idx = part.row_begin; idx < part.row_end; ++idx) {
         const uint32_t r = part_rows[idx];
@@ -96,12 +117,20 @@ class JoinBuildTable {
           i = (i + 1) & mask;
         }
       }
+      return Status::Ok();
     };
     if (parts_.size() > 1) {
-      ParallelForEach(parts_.size(), num_threads, build_partition);
-    } else {
-      for (size_t p = 0; p < parts_.size(); ++p) build_partition(p);
+      // One morsel per partition: the guard is polled at every partition
+      // claim, and the first failing partition's status is reported.
+      return ThreadPool::Global().ParallelForStatus(
+          parts_.size(), 1, num_threads, guard_, "join_build",
+          [&](size_t, size_t p, size_t) { return build_partition(p); });
     }
+    for (size_t p = 0; p < parts_.size(); ++p) {
+      VDB_RETURN_IF_ERROR(GuardCheck(guard_, "join_build"));
+      VDB_RETURN_IF_ERROR(build_partition(p));
+    }
+    return Status::Ok();
   }
 
   /// First build row whose key hash is `hash` and whose key `eq(build_row)`
@@ -151,16 +180,27 @@ class JoinBuildTable {
 
   /// Decides the radix split, fills `part_rows` with non-NULL build row
   /// indices grouped by partition (ascending within each), and sizes every
-  /// partition's slot arrays. Defined in join_table.cc.
-  void PlanPartitions(const uint64_t* hashes, const uint8_t* any_null,
-                      size_t num_rows, int num_threads,
-                      std::vector<uint32_t>* part_rows);
+  /// partition's slot arrays. Polls the guard per morsel and charges the
+  /// row-proportional allocations. Defined in join_table.cc.
+  Status PlanPartitions(const uint64_t* hashes, const uint8_t* any_null,
+                        size_t num_rows, int num_threads,
+                        std::vector<uint32_t>* part_rows);
+
+  /// Budget-charges `bytes` against the current guard and remembers the
+  /// total so the destructor (or the next Build) releases it.
+  Status Charge(uint64_t bytes, const char* site) {
+    VDB_RETURN_IF_ERROR(GuardTryReserve(guard_, bytes, site));
+    charged_bytes_ += bytes;
+    return Status::Ok();
+  }
 
   int radix_bits_ = 0;  // partition index = hash >> (64 - radix_bits_)
   std::vector<Partition> parts_;
   std::vector<uint32_t> next_;
   std::vector<uint64_t> bloom_;  // empty when the pre-probe is disabled
   int bloom_shift_ = 0;          // word index = hash >> bloom_shift_
+  const ExecGuard* guard_ = nullptr;  // set per Build; polled and charged
+  uint64_t charged_bytes_ = 0;        // released on destruction / rebuild
 };
 
 }  // namespace vdb::engine

@@ -37,7 +37,7 @@ Status CheckJoinInputSizes(const Table& left, const Table& right) {
 void HashJoinKeysParallel(const std::vector<const Column*>& keys, size_t n,
                           int num_threads, std::vector<uint64_t>* hashes,
                           std::vector<uint8_t>* any_null) {
-  hashes->resize(n);
+  hashes->resize(n);  // vdb-lint: allow(naked-reserve) charged by HashJoinPairs (hash_charge)
   any_null->assign(n, 0);
   if (num_threads > 1 && n > MorselRows()) {
     ThreadPool::Global().ParallelFor(
@@ -57,7 +57,8 @@ Result<JoinPairView> HashJoinPairs(TablePtr left, TablePtr right,
                                    const std::vector<const Column*>& right_keys,
                                    sql::JoinType join_type,
                                    const sql::Expr* residual,
-                                   uint64_t rand_seed, int num_threads) {
+                                   uint64_t rand_seed, int num_threads,
+                                   const ExecGuard* guard) {
   if (left_keys.empty() || left_keys.size() != right_keys.size()) {
     return Status::Internal("hash join requires matching key lists");
   }
@@ -65,16 +66,25 @@ Result<JoinPairView> HashJoinPairs(TablePtr left, TablePtr right,
   const size_t rn = right->num_rows();
   const size_t ln = left->num_rows();
 
+  // Key-hash scratch for both sides (8B hash + 1B null flag per row),
+  // released when the join returns.
+  ScopedReservation hash_charge(
+      guard, static_cast<uint64_t>(rn + ln) * (sizeof(uint64_t) + 1),
+      "join_build_alloc");
+  VDB_RETURN_IF_ERROR(hash_charge.status());
+
   // Build on the right input: vectorized key hashing into the flat
   // open-addressing table (radix-partitioned parallel for num_threads > 1).
   std::vector<uint64_t> rhash;
   std::vector<uint8_t> rnull;
   HashJoinKeysParallel(right_keys, rn, num_threads, &rhash, &rnull);
   JoinBuildTable build;
-  build.Build(rhash.data(), rnull.data(), rn, num_threads,
-              [&](uint32_t a, uint32_t b) {
-                return JoinKeysEqual(right_keys, a, right_keys, b);
-              });
+  VDB_RETURN_IF_ERROR(
+      build.Build(rhash.data(), rnull.data(), rn, num_threads,
+                  [&](uint32_t a, uint32_t b) {
+                    return JoinKeysEqual(right_keys, a, right_keys, b);
+                  },
+                  guard));
 
   std::vector<uint64_t> lhash;
   std::vector<uint8_t> lnull;
@@ -150,21 +160,33 @@ Result<JoinPairView> HashJoinPairs(TablePtr left, TablePtr right,
       struct ProbeSlot {
         SelVector l, r;
       };
-      auto slots = ParallelMorselMap<ProbeSlot>(
-          ln, num_threads,
+      auto slots = ParallelMorselMapStatus<ProbeSlot>(
+          ln, num_threads, guard, "join_probe",
           [&](ProbeSlot& slot, size_t range_begin, size_t range_end) {
             probe_range(range_begin, range_end, &slot.l, &slot.r);
+            return Status::Ok();
           });
+      if (!slots.ok()) return slots.status();
       size_t total = 0;
-      for (const ProbeSlot& slot : slots) total += slot.l.size();
-      out_l.reserve(total);
-      out_r.reserve(total);
-      for (const ProbeSlot& slot : slots) {
+      for (const ProbeSlot& slot : slots.value()) total += slot.l.size();
+      VDB_RETURN_IF_ERROR(GuardTryReserve(
+          guard, static_cast<uint64_t>(total) * 2 * sizeof(uint32_t),
+          "join_probe_alloc"));
+      out_l.reserve(total);  // vdb-lint: allow(naked-reserve) charged via GuardTryReserve above
+      out_r.reserve(total);  // vdb-lint: allow(naked-reserve) charged via GuardTryReserve above
+      for (const ProbeSlot& slot : slots.value()) {
         out_l.insert(out_l.end(), slot.l.begin(), slot.l.end());
         out_r.insert(out_r.end(), slot.r.begin(), slot.r.end());
       }
+      // The pair lists live to the end of the statement (they become the
+      // JoinPairView); the charge stays until ResetForStatement.
     } else {
-      probe_range(0, ln, &out_l, &out_r);
+      // Serial probe, chunked so the guard still sees batch-boundary polls.
+      const size_t step = MorselRows();
+      for (size_t begin = 0; begin < ln; begin += step) {
+        VDB_RETURN_IF_ERROR(GuardCheck(guard, "join_probe"));
+        probe_range(begin, std::min(ln, begin + step), &out_l, &out_r);
+      }
     }
   } else {
     // Streaming probe: the residual runs batch-at-a-time over bounded chunks
@@ -177,9 +199,9 @@ Result<JoinPairView> HashJoinPairs(TablePtr left, TablePtr right,
     // scratch are all hoisted out of the loop and reused across flushes.
     constexpr size_t kChunk = 1 << 16;
     SelVector chunk_l, chunk_r, real_l, real_r;
-    chunk_l.reserve(kChunk);
-    chunk_r.reserve(kChunk);
-    PairPredicateEvaluator eval(*left, *right, rand_seed, num_threads);
+    chunk_l.reserve(kChunk);  // vdb-lint: allow(naked-reserve) fixed 64K chunk scratch
+    chunk_r.reserve(kChunk);  // vdb-lint: allow(naked-reserve) fixed 64K chunk scratch
+    PairPredicateEvaluator eval(*left, *right, rand_seed, num_threads, guard);
     // Global ordinal of the next candidate pair handed to the evaluator:
     // candidates are enumerated in a deterministic left-row-major order, so
     // the ordinal addresses rand-family draws in the residual.
@@ -238,6 +260,11 @@ Result<JoinPairView> HashJoinPairs(TablePtr left, TablePtr right,
     };
 
     for (size_t lr = 0; lr < ln; ++lr) {
+      // Chunk-boundary poll: flushes only happen when candidates accumulate,
+      // so a mostly-missing probe still polls every kChunk left rows.
+      if ((lr & (kChunk - 1)) == 0) {
+        VDB_RETURN_IF_ERROR(GuardCheck(guard, "join_probe"));
+      }
       uint32_t rr = find_head(lr);
       if (rr == kInvalidRow) {
         if (left_join) {
@@ -267,10 +294,11 @@ Result<TablePtr> HashJoin(const Table& left, const Table& right,
                           const std::vector<const Column*>& left_keys,
                           const std::vector<const Column*>& right_keys,
                           sql::JoinType join_type, const sql::Expr* residual,
-                          uint64_t rand_seed, int num_threads) {
+                          uint64_t rand_seed, int num_threads,
+                          const ExecGuard* guard) {
   auto pairs = HashJoinPairs(BorrowTable(left), BorrowTable(right), left_keys,
                              right_keys, join_type, residual, rand_seed,
-                             num_threads);
+                             num_threads, guard);
   if (!pairs.ok()) return pairs.status();
   return pairs.value().Gather(num_threads);
 }
@@ -281,8 +309,8 @@ Result<TablePtr> HashJoin(const Table& left, const Table& right,
                           sql::JoinType join_type, const sql::Expr* residual,
                           uint64_t rand_seed, int num_threads) {
   std::vector<const Column*> lcols, rcols;
-  lcols.reserve(left_keys.size());
-  rcols.reserve(right_keys.size());
+  lcols.reserve(left_keys.size());  // vdb-lint: allow(naked-reserve) key-count bounded
+  rcols.reserve(right_keys.size());  // vdb-lint: allow(naked-reserve) key-count bounded
   for (int k : left_keys) lcols.push_back(&left.column(static_cast<size_t>(k)));
   for (int k : right_keys) {
     rcols.push_back(&right.column(static_cast<size_t>(k)));
@@ -294,7 +322,7 @@ Result<TablePtr> HashJoin(const Table& left, const Table& right,
 Result<JoinPairView> CrossJoinPairs(TablePtr left, TablePtr right,
                                     const sql::Expr* residual,
                                     uint64_t rand_seed, size_t max_pairs,
-                                    int num_threads) {
+                                    int num_threads, const ExecGuard* guard) {
   VDB_RETURN_IF_ERROR(CheckJoinInputSizes(*left, *right));
   const size_t ln = left->num_rows();
   const size_t rn = right->num_rows();
@@ -307,9 +335,19 @@ Result<JoinPairView> CrossJoinPairs(TablePtr left, TablePtr right,
 
   SelVector out_l, out_r;
   if (residual == nullptr) {
-    out_l.reserve(pairs);
-    out_r.reserve(pairs);
+    VDB_RETURN_IF_ERROR(GuardTryReserve(
+        guard, static_cast<uint64_t>(pairs) * 2 * sizeof(uint32_t),
+        "cross_join_alloc"));
+    out_l.reserve(pairs);  // vdb-lint: allow(naked-reserve) charged via GuardTryReserve above
+    out_r.reserve(pairs);  // vdb-lint: allow(naked-reserve) charged via GuardTryReserve above
+    size_t since_poll = 0;
     for (size_t lr = 0; lr < ln; ++lr) {
+      // Batch-boundary poll: once per ~64K emitted pairs, never per row.
+      if (since_poll >= (size_t{1} << 16) || lr == 0) {
+        VDB_RETURN_IF_ERROR(GuardCheck(guard, "cross_join"));
+        since_poll = 0;
+      }
+      since_poll += rn;
       for (size_t rr = 0; rr < rn; ++rr) {
         out_l.push_back(static_cast<uint32_t>(lr));
         out_r.push_back(static_cast<uint32_t>(rr));
@@ -324,9 +362,9 @@ Result<JoinPairView> CrossJoinPairs(TablePtr left, TablePtr right,
   // plus the surviving pairs; the evaluator's scratch is reused per chunk.
   constexpr size_t kChunk = 1 << 16;
   SelVector chunk_l, chunk_r;
-  chunk_l.reserve(kChunk);
-  chunk_r.reserve(kChunk);
-  PairPredicateEvaluator eval(*left, *right, rand_seed, num_threads);
+  chunk_l.reserve(kChunk);  // vdb-lint: allow(naked-reserve) fixed 64K chunk scratch
+  chunk_r.reserve(kChunk);  // vdb-lint: allow(naked-reserve) fixed 64K chunk scratch
+  PairPredicateEvaluator eval(*left, *right, rand_seed, num_threads, guard);
   // Pairs are enumerated row-major, so the running count IS the global pair
   // ordinal lr * rn + rr of the chunk's first pair.
   uint64_t pair_base = 0;
@@ -364,9 +402,10 @@ Result<JoinPairView> CrossJoinPairs(TablePtr left, TablePtr right,
 
 Result<TablePtr> CrossJoin(const Table& left, const Table& right,
                            const sql::Expr* residual, uint64_t rand_seed,
-                           size_t max_pairs, int num_threads) {
+                           size_t max_pairs, int num_threads,
+                           const ExecGuard* guard) {
   auto pairs = CrossJoinPairs(BorrowTable(left), BorrowTable(right), residual,
-                              rand_seed, max_pairs, num_threads);
+                              rand_seed, max_pairs, num_threads, guard);
   if (!pairs.ok()) return pairs.status();
   return pairs.value().Gather(num_threads);
 }

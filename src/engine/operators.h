@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "common/governor.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "engine/table.h"
@@ -31,19 +32,24 @@ namespace vdb::engine {
 /// to the serial (num_threads == 1) reference, bit for bit. The caller
 /// filters the returned view further (pushed-down WHERE) and/or performs the
 /// one combined materialization with JoinPairView::Gather.
+/// `guard` (optional, nullptr = ungoverned) is polled at build and probe
+/// morsel boundaries and charged for row-proportional buffers (build table,
+/// probe pair lists) — a tripped guard unwinds with its Status.
 Result<JoinPairView> HashJoinPairs(TablePtr left, TablePtr right,
                                    const std::vector<const Column*>& left_keys,
                                    const std::vector<const Column*>& right_keys,
                                    sql::JoinType join_type,
                                    const sql::Expr* residual,
-                                   uint64_t rand_seed, int num_threads = 1);
+                                   uint64_t rand_seed, int num_threads = 1,
+                                   const ExecGuard* guard = nullptr);
 
 /// HashJoinPairs + the combined gather, for callers that want the table.
 Result<TablePtr> HashJoin(const Table& left, const Table& right,
                           const std::vector<const Column*>& left_keys,
                           const std::vector<const Column*>& right_keys,
                           sql::JoinType join_type, const sql::Expr* residual,
-                          uint64_t rand_seed, int num_threads = 1);
+                          uint64_t rand_seed, int num_threads = 1,
+                          const ExecGuard* guard = nullptr);
 
 /// Ordinal convenience overload: joins on physical columns of the inputs.
 Result<TablePtr> HashJoin(const Table& left, const Table& right,
@@ -59,13 +65,15 @@ Result<JoinPairView> CrossJoinPairs(TablePtr left, TablePtr right,
                                     const sql::Expr* residual,
                                     uint64_t rand_seed,
                                     size_t max_pairs = 200'000'000,
-                                    int num_threads = 1);
+                                    int num_threads = 1,
+                                    const ExecGuard* guard = nullptr);
 
 /// CrossJoinPairs + the combined gather.
 Result<TablePtr> CrossJoin(const Table& left, const Table& right,
                            const sql::Expr* residual, uint64_t rand_seed,
                            size_t max_pairs = 200'000'000,
-                           int num_threads = 1);
+                           int num_threads = 1,
+                           const ExecGuard* guard = nullptr);
 
 }  // namespace vdb::engine
 

@@ -224,8 +224,9 @@ bool ContainsWindow(const Expr& e) {
 
 class SelectExecutor {
  public:
-  SelectExecutor(Database* db, uint64_t rand_seed)
-      : db_(db), rand_seed_(rand_seed) {}
+  SelectExecutor(Database* db, uint64_t rand_seed,
+                 const ExecGuard* guard = nullptr)
+      : db_(db), rand_seed_(rand_seed), guard_(guard) {}
 
   Result<ResultSet> Run(SelectStmt* stmt) {
     auto head = RunSingle(stmt);
@@ -261,7 +262,7 @@ class SelectExecutor {
         return r;
       }
       case TableRef::Kind::kDerived: {
-        SelectExecutor sub(db_, rand_seed_);
+        SelectExecutor sub(db_, rand_seed_, guard_);
         SelectStmt* d = ref->derived.get();
         // Prune derived outputs this statement never references: a
         // `select *, ...` subquery otherwise materializes every input
@@ -359,7 +360,7 @@ class SelectExecutor {
         return Status::Unsupported("left join requires an equi condition");
       }
       joined = CrossJoinPairs(lr.table, rr.table, residual.get(), rand_seed_,
-                              200'000'000, db_->num_threads());
+                              200'000'000, db_->num_threads(), guard_);
     }
     if (!joined.ok()) return joined.status();
     JoinPairView pairs = std::move(joined).ValueOrDie();
@@ -377,13 +378,15 @@ class SelectExecutor {
       auto w = pushdown->Clone();
       if (BindExpr(w.get(), combined).ok()) {
         VDB_RETURN_IF_ERROR(FilterJoinPairs(*w, &pairs, rand_seed_,
-                                            db_->num_threads()));
+                                            db_->num_threads(), guard_));
         pushdown_where_applied_ = true;
       }
     }
 
     RelResult out;
-    out.table = pairs.Gather(db_->num_threads());
+    auto gathered = pairs.GatherGuarded(db_->num_threads(), guard_);
+    if (!gathered.ok()) return gathered.status();
+    out.table = std::move(gathered).ValueOrDie();
     out.scope = std::move(combined);
     return out;
   }
@@ -424,13 +427,13 @@ class SelectExecutor {
     VDB_RETURN_IF_ERROR(collect(*left, lkeys, &lcols));
     VDB_RETURN_IF_ERROR(collect(*right, rkeys, &rcols));
     return HashJoinPairs(left, right, lcols, rcols, type, residual,
-                         rand_seed_, db_->num_threads());
+                         rand_seed_, db_->num_threads(), guard_);
   }
 
   // ------------------------------------------------------ scalar subquery --
   Status ResolveSubqueries(Expr* e) {
     if (e->kind == ExprKind::kSubquery) {
-      SelectExecutor sub(db_, rand_seed_);
+      SelectExecutor sub(db_, rand_seed_, guard_);
       auto rs = sub.Run(e->subquery.get());
       if (!rs.ok()) return rs.status();
       const ResultSet& r = rs.value();
@@ -446,7 +449,7 @@ class SelectExecutor {
       return Status::Ok();
     }
     if (e->kind == ExprKind::kExists) {
-      SelectExecutor sub(db_, rand_seed_);
+      SelectExecutor sub(db_, rand_seed_, guard_);
       auto rs = sub.Run(e->subquery.get());
       if (!rs.ok()) return rs.status();
       e->kind = ExprKind::kLiteral;
@@ -549,14 +552,15 @@ class SelectExecutor {
       if (grouped && g_grouped_where_bitmap) {
         VDB_RETURN_IF_ERROR(EvalPredicateBitmap(*stmt->where, view, rand_seed_,
                                                 db_->num_threads(),
-                                                &where_bits));
+                                                &where_bits, guard_));
         if (where_bits.CountSet() < view.num_rows()) {
           group_filter = &where_bits;
         }
       } else {
         SelVector sel;
         VDB_RETURN_IF_ERROR(EvalPredicateView(*stmt->where, view, rand_seed_,
-                                              db_->num_threads(), &sel));
+                                              db_->num_threads(), &sel,
+                                              guard_));
         if (sel.size() < view.num_rows()) {
           auto filtered = RowView::Select(input.table, std::move(sel));
           if (!filtered.ok()) return filtered.status();
@@ -587,7 +591,9 @@ class SelectExecutor {
     if (stmt->limit >= 0) {
       oview = oview.Prefix(static_cast<size_t>(stmt->limit));
     }
-    out.table = oview.Gather(db_->num_threads());
+    auto final_table = oview.GatherGuarded(db_->num_threads(), guard_);
+    if (!final_table.ok()) return final_table.status();
+    out.table = std::move(final_table).ValueOrDie();
     return out;
   }
 
@@ -653,7 +659,9 @@ class SelectExecutor {
       }
     }
     if (has_window) {
-      work = view.Gather(db_->num_threads());
+      auto gathered = view.GatherGuarded(db_->num_threads(), guard_);
+      if (!gathered.ok()) return gathered.status();
+      work = std::move(gathered).ValueOrDie();
       std::map<std::string, int> window_cols;  // vdb-lint: allow(string-keyed-map) plan-time metadata, bounded by SELECT-list length
       for (auto& item : stmt->items) {
         if (item.expr->kind == ExprKind::kStar) continue;
@@ -686,7 +694,8 @@ class SelectExecutor {
     std::vector<Column> computed(outs.size());
     for (size_t i = 0; i < outs.size(); ++i) {
       if (outs[i].direct_column >= 0) continue;
-      auto col = EvalExprView(*outs[i].expr, view, rand_seed_, num_threads);
+      auto col = EvalExprView(*outs[i].expr, view, rand_seed_, num_threads,
+                              guard_);
       if (!col.ok()) return col.status();
       computed[i] = std::move(col).ValueOrDie();
     }
@@ -841,6 +850,7 @@ class SelectExecutor {
       // whole view, column-at-a-time, assign hashed group ids over the
       // materialized key columns (vectorized — no per-row string keys), and
       // accumulate each group through the selection-vector batch interface.
+      VDB_RETURN_IF_ERROR(GuardCheck(guard_, "agg_partial"));
       Batch batch = ViewBatch(view, rand_seed_);
       std::vector<Column> gcols;
       gcols.reserve(stmt->group_by.size());
@@ -913,31 +923,25 @@ class SelectExecutor {
       };
       struct MorselAgg {
         std::vector<LocalGroup> groups;
-        Status status = Status::Ok();
       };
       const size_t n = view.num_rows();
-      auto parts = ParallelMorselMap<MorselAgg>(
-          n, num_threads, [&](MorselAgg& res, size_t begin, size_t end) {
+      auto parts_or = ParallelMorselMapStatus<MorselAgg>(
+          n, num_threads, guard_, "agg_partial",
+          [&](MorselAgg& res, size_t begin, size_t end) -> Status {
             Batch batch = ViewBatch(view, rand_seed_, begin, end);
             const size_t ln = end - begin;
             std::vector<Column> gcols;
             gcols.reserve(stmt->group_by.size());
             for (const auto& g : stmt->group_by) {
               auto c = EvalExprBatch(*g, batch);
-              if (!c.ok()) {
-                res.status = c.status();
-                return;
-              }
+              if (!c.ok()) return c.status();
               gcols.push_back(std::move(c).ValueOrDie());
             }
             std::vector<Column> acols(specs.size());
             for (size_t i = 0; i < specs.size(); ++i) {
               if (specs[i].arg == nullptr) continue;
               auto c = EvalExprBatch(*specs[i].arg, batch);
-              if (!c.ok()) {
-                res.status = c.status();
-                return;
-              }
+              if (!c.ok()) return c.status();
               acols[i] = std::move(c).ValueOrDie();
             }
             std::vector<const Column*> gptrs;
@@ -957,10 +961,7 @@ class SelectExecutor {
               }
               lg.hash = ga.group_hash[g];
               auto accs = make_accs();
-              if (!accs.ok()) {
-                res.status = accs.status();
-                return;
-              }
+              if (!accs.ok()) return accs.status();
               lg.accs = std::move(accs).ValueOrDie();
               for (size_t i = 0; i < specs.size(); ++i) {
                 if (specs[i].arg != nullptr) {
@@ -972,15 +973,18 @@ class SelectExecutor {
               }
               res.groups.push_back(std::move(lg));
             }
+            return Status::Ok();
           });
+      if (!parts_or.ok()) return parts_or.status();
+      std::vector<MorselAgg>& parts = parts_or.value();
 
       // Hashed merge: every morsel's AssignGroupIds already computed each
       // group's key hash (a pure function of the key values, so all morsels
       // agree); FindOrInsert probes it directly — no per-group string keys.
       GroupMergeTable merge;
+      merge.set_guard(guard_);
       merge.Reset(stmt->group_by.size(), 64);
       for (MorselAgg& part : parts) {
-        if (!part.status.ok()) return part.status;
         for (LocalGroup& lg : part.groups) {
           bool inserted;
           const uint32_t gid =
@@ -998,6 +1002,9 @@ class SelectExecutor {
           }
         }
       }
+      // A budget trip during merge-table growth latches instead of throwing
+      // mid-probe; discard the partially merged state here.
+      VDB_RETURN_IF_ERROR(merge.guard_status());
       // An aggregate without GROUP BY keys emits one row even over an empty
       // input (count(*) = 0, sum = NULL, ...).
       if (stmt->group_by.empty() && groups.empty()) {
@@ -1022,7 +1029,6 @@ class SelectExecutor {
         GroupAssignment ga;
         std::vector<std::vector<Value>> keys;  // per local group
         std::vector<std::unique_ptr<FlatAggregator>> parts;
-        Status status = Status::Ok();
       };
 
       // Word prefix popcounts for rank-select over the filter bitmap.
@@ -1038,7 +1044,7 @@ class SelectExecutor {
         total = wprefix.back();
       }
 
-      auto body = [&](MorselFlat& res, size_t begin, size_t end) {
+      auto body = [&](MorselFlat& res, size_t begin, size_t end) -> Status {
         // Resolve this morsel's dense row span and (with a filter) its
         // span-relative selected rows.
         size_t row_lo = begin, row_hi = end;
@@ -1089,14 +1095,12 @@ class SelectExecutor {
         };
         std::vector<BatchCol> gcols(stmt->group_by.size());
         for (size_t i = 0; i < stmt->group_by.size(); ++i) {
-          res.status = eval_col(*stmt->group_by[i], &gcols[i]);
-          if (!res.status.ok()) return;
+          VDB_RETURN_IF_ERROR(eval_col(*stmt->group_by[i], &gcols[i]));
         }
         std::vector<BatchCol> acols(specs.size());
         for (size_t i = 0; i < specs.size(); ++i) {
           if (specs[i].arg == nullptr) continue;
-          res.status = eval_col(*specs[i].arg, &acols[i]);
-          if (!res.status.ok()) return;
+          VDB_RETURN_IF_ERROR(eval_col(*specs[i].arg, &acols[i]));
         }
         std::vector<KeyCol> kcs;
         kcs.reserve(gcols.size());
@@ -1129,12 +1133,16 @@ class SelectExecutor {
           }
           res.parts.push_back(std::move(f));
         }
+        return Status::Ok();
       };
-      auto parts = ParallelMorselMap<MorselFlat>(total, num_threads, body);
+      auto parts_or = ParallelMorselMapStatus<MorselFlat>(
+          total, num_threads, guard_, "agg_partial", body);
+      if (!parts_or.ok()) return parts_or.status();
+      std::vector<MorselFlat>& parts = parts_or.value();
 
+      flat_merge.set_guard(guard_);
       flat_merge.Reset(stmt->group_by.size(), 64);
       for (MorselFlat& part : parts) {
-        if (!part.status.ok()) return part.status;
         for (uint32_t g = 0; g < part.keys.size(); ++g) {
           bool inserted;
           const uint32_t gid = flat_merge.FindOrInsert(
@@ -1154,6 +1162,9 @@ class SelectExecutor {
           }
         }
       }
+      // A budget trip during merge-table growth latches instead of throwing
+      // mid-probe; discard the partially merged state here.
+      VDB_RETURN_IF_ERROR(flat_merge.guard_status());
       flat_ngroups = flat_merge.num_groups();
       // An aggregate without GROUP BY keys emits one row even over an empty
       // input (count(*) = 0, sum = NULL, ...).
@@ -1223,7 +1234,8 @@ class SelectExecutor {
       if (!bound.ok()) return bound.status();
       SelVector hsel;
       VDB_RETURN_IF_ERROR(EvalPredicateView(*bound.value(), aview, rand_seed_,
-                                            db_->num_threads(), &hsel));
+                                            db_->num_threads(), &hsel,
+                                            guard_));
       if (hsel.size() < aview.num_rows()) {
         auto filtered = RowView::Select(agg_table, std::move(hsel));
         if (!filtered.ok()) return filtered.status();
@@ -1254,7 +1266,9 @@ class SelectExecutor {
     if (has_window) {
       // Window frames over the (HAVING-filtered) groups need contiguous
       // rows: gather the view, extend with window columns, reset identity.
-      agg_table = aview.Gather(db_->num_threads());
+      auto gathered = aview.GatherGuarded(db_->num_threads(), guard_);
+      if (!gathered.ok()) return gathered.status();
+      agg_table = std::move(gathered).ValueOrDie();
       std::map<std::string, int> window_cols;  // vdb-lint: allow(string-keyed-map) plan-time metadata, bounded by SELECT-list length
       for (auto& be : bound_items) {
         VDB_RETURN_IF_ERROR(MaterializeWindows(be.get(), &agg_table,
@@ -1268,7 +1282,7 @@ class SelectExecutor {
     auto table = std::make_shared<Table>();
     for (size_t i = 0; i < bound_items.size(); ++i) {
       auto col = EvalExprView(*bound_items[i], aview, rand_seed_,
-                              db_->num_threads());
+                              db_->num_threads(), guard_);
       if (!col.ok()) return col.status();
       table->AddColumn(rs.names[i], std::move(col).ValueOrDie());
     }
@@ -1511,6 +1525,9 @@ class SelectExecutor {
   /// Per-statement query seed: every rand-family draw this statement (and
   /// its derived tables / subqueries) performs is addressed by it.
   uint64_t rand_seed_ = 0;
+  /// Per-statement execution guard (nullptr = ungoverned), shared with
+  /// derived-table / subquery sub-executors: one statement, one guard.
+  const ExecGuard* guard_ = nullptr;
   /// The current statement's WHERE while eligible for pair-view pushdown;
   /// consumed (nulled) by the FROM-root ExecuteJoin, which sets the applied
   /// flag after filtering candidate pairs so RunSingle skips the normal
@@ -1545,11 +1562,12 @@ void SetGroupedWhereBitmapForTest(bool enabled) {
   g_grouped_where_bitmap = enabled;
 }
 
-Result<ResultSet> RunSelect(Database* db, sql::SelectStmt* stmt) {
+Result<ResultSet> RunSelect(Database* db, sql::SelectStmt* stmt,
+                            const ExecGuard* guard) {
   // Number the statement's rand call sites, then draw its query seed — the
   // two inputs (with the row id) of every row-addressed rand draw below.
   AssignRandSites(stmt);
-  SelectExecutor exec(db, db->NewQuerySeed());
+  SelectExecutor exec(db, db->NewQuerySeed(), guard);
   return exec.Run(stmt);
 }
 

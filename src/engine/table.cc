@@ -181,6 +181,21 @@ TablePtr RowView::Gather(int num_threads) const {
   return out;
 }
 
+Result<TablePtr> RowView::GatherGuarded(int num_threads,
+                                        const ExecGuard* guard) const {
+  VDB_RETURN_IF_ERROR(GuardCheck(guard, "gather"));
+  if (!is_identity() && table_->num_rows() > 0) {
+    // Pre-charge the output footprint from the source's per-row estimate;
+    // the gathered table lives to the end of the statement, so the charge
+    // is reclaimed by ResetForStatement, not here.
+    const uint64_t per_row =
+        static_cast<uint64_t>(table_->ApproxBytes()) / table_->num_rows();
+    VDB_RETURN_IF_ERROR(GuardTryReserve(
+        guard, per_row * static_cast<uint64_t>(num_rows()), "gather_alloc"));
+  }
+  return Gather(num_threads);
+}
+
 Column RowView::GatherColumn(const Column& src, int num_threads) const {
   const size_t n = num_rows();
   if (!has_sel_) {
@@ -211,6 +226,23 @@ TablePtr JoinPairView::Gather(int num_threads) const {
   GatherJoinPairsInto(*left_, lrows_.data(), *right_, rrows_.data(),
                       lrows_.size(), num_threads, out.get());
   return out;
+}
+
+Result<TablePtr> JoinPairView::GatherGuarded(int num_threads,
+                                             const ExecGuard* guard) const {
+  VDB_RETURN_IF_ERROR(GuardCheck(guard, "gather"));
+  uint64_t per_pair = 0;
+  if (left_->num_rows() > 0) {
+    per_pair += static_cast<uint64_t>(left_->ApproxBytes()) / left_->num_rows();
+  }
+  if (right_->num_rows() > 0) {
+    per_pair +=
+        static_cast<uint64_t>(right_->ApproxBytes()) / right_->num_rows();
+  }
+  // Charge persists with the combined table (see RowView::GatherGuarded).
+  VDB_RETURN_IF_ERROR(GuardTryReserve(
+      guard, per_pair * static_cast<uint64_t>(lrows_.size()), "gather_alloc"));
+  return Gather(num_threads);
 }
 
 void GatherJoinPairsInto(const Table& left, const uint32_t* lrows,

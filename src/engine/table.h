@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/governor.h"
 #include "common/status.h"
 #include "engine/column.h"
 
@@ -137,6 +138,14 @@ class RowView {
   /// selection views bulk-gather (column-parallel for num_threads > 1).
   TablePtr Gather(int num_threads = 1) const;
 
+  /// Guard-aware Gather: polls `guard` (site "gather") and pre-charges the
+  /// approximate output footprint against the budget (site "gather_alloc")
+  /// before materializing. Identity views are zero-copy and charge nothing.
+  /// The charge persists — gathered tables live to the end of the statement
+  /// (ExecGuard::ResetForStatement reclaims the accounting). With guard ==
+  /// nullptr this is exactly Gather().
+  Result<TablePtr> GatherGuarded(int num_threads, const ExecGuard* guard) const;
+
   /// Materializes one column of the view (the projection path's per-column
   /// gather; morsel-parallel chunked gather for large selections).
   Column GatherColumn(const Column& src, int num_threads = 1) const;
@@ -177,6 +186,12 @@ class JoinPairView {
   /// The single combined (left ++ right) materialization of the surviving
   /// pairs; null extensions emit NULL right columns.
   TablePtr Gather(int num_threads = 1) const;
+
+  /// Guard-aware Gather: polls `guard` (site "gather") and pre-charges the
+  /// approximate combined output footprint (site "gather_alloc") before
+  /// materializing; the charge persists with the gathered table. With
+  /// guard == nullptr this is exactly Gather().
+  Result<TablePtr> GatherGuarded(int num_threads, const ExecGuard* guard) const;
 
  private:
   TablePtr left_, right_;

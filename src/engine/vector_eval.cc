@@ -1413,7 +1413,7 @@ void SetSerialRandBaselineForTest(bool enabled) {
 
 Status EvalPredicateParallel(const Expr& e, const Table& table,
                              uint64_t rand_seed, int num_threads,
-                             SelVector* out) {
+                             SelVector* out, const ExecGuard* guard) {
   const size_t n = table.num_rows();
   if (n > RowView::kMaxRows) {
     // Explicit guard: selection entries are uint32_t, and 0xFFFFFFFF is the
@@ -1425,34 +1425,31 @@ Status EvalPredicateParallel(const Expr& e, const Table& table,
   }
   const size_t morsel = MorselRows();
   if (num_threads <= 1 || n <= morsel || PinnedSerialForBaseline(e)) {
+    VDB_RETURN_IF_ERROR(GuardCheck(guard, "pred_scan"));
     Batch batch{&table, nullptr, rand_seed};
     return EvalPredicateBatch(e, batch, out);
   }
-  struct PredSlot {
-    SelVector sel;
-    Status status = Status::Ok();
-  };
-  auto slots = ParallelMorselMap<PredSlot>(
-      n, num_threads, [&](PredSlot& slot, size_t begin, size_t end) {
+  auto slots = ParallelMorselMapStatus<SelVector>(
+      n, num_threads, guard, "pred_scan",
+      [&](SelVector& sel, size_t begin, size_t end) {
         // rand-family draws are row-addressed, so every morsel addresses the
         // same (seed, row, site) triples the serial batch would.
         Batch batch{&table, nullptr, rand_seed, begin, end};
-        slot.status = EvalPredicateBatch(e, batch, &slot.sel);
+        return EvalPredicateBatch(e, batch, &sel);
       });
+  if (!slots.ok()) return slots.status();
   size_t total = 0;
-  for (const PredSlot& slot : slots) {
-    if (!slot.status.ok()) return slot.status;
-    total += slot.sel.size();
-  }
+  for (const SelVector& sel : slots.value()) total += sel.size();
   out->reserve(out->size() + total);
-  for (const PredSlot& slot : slots) {
-    out->insert(out->end(), slot.sel.begin(), slot.sel.end());
+  for (const SelVector& sel : slots.value()) {
+    out->insert(out->end(), sel.begin(), sel.end());
   }
   return Status::Ok();
 }
 
 Result<TablePtr> FilterGatherParallel(const Expr& pred, const Table& table,
-                                      uint64_t rand_seed, int num_threads) {
+                                      uint64_t rand_seed, int num_threads,
+                                      const ExecGuard* guard) {
   const size_t n = table.num_rows();
   if (n > RowView::kMaxRows) {
     return Status::Unsupported(
@@ -1460,70 +1457,73 @@ Result<TablePtr> FilterGatherParallel(const Expr& pred, const Table& table,
         std::to_string(n));
   }
   auto out = table.CloneSchema();
+  // The gathered output is row-proportional (survivor count x the parent's
+  // per-row footprint); charge it against the budget once the survivor count
+  // is known, before materializing. The charge persists with the output
+  // table (freed by the statement issuer's accounting reset).
+  const uint64_t per_row =
+      n > 0 ? static_cast<uint64_t>(table.ApproxBytes()) / n : 0;
   if (num_threads <= 1 || n <= MorselRows() || PinnedSerialForBaseline(pred)) {
+    VDB_RETURN_IF_ERROR(GuardCheck(guard, "filter_gather"));
     Batch batch{&table, nullptr, rand_seed};
     SelVector sel;
     VDB_RETURN_IF_ERROR(EvalPredicateBatch(pred, batch, &sel));
+    VDB_RETURN_IF_ERROR(GuardTryReserve(guard, per_row * sel.size(),
+                                        "filter_gather_alloc"));
     out->AppendSelected(table, sel, num_threads);
     return out;
   }
-  struct ChunkSlot {
-    TablePtr chunk;
-    Status status = Status::Ok();
-  };
-  auto slots = ParallelMorselMap<ChunkSlot>(
-      n, num_threads, [&](ChunkSlot& slot, size_t begin, size_t end) {
+  auto slots = ParallelMorselMapStatus<TablePtr>(
+      n, num_threads, guard, "filter_gather",
+      [&](TablePtr& chunk, size_t begin, size_t end) {
         // Filter the morsel, then gather its survivors immediately — the
         // selection stays worker-local and the morsel's columns are still
         // hot. rand-family draws are row-addressed, so each morsel sees the
         // identical (seed, row, site) triples the serial batch would.
         Batch batch{&table, nullptr, rand_seed, begin, end};
         SelVector sel;
-        slot.status = EvalPredicateBatch(pred, batch, &sel);
-        if (!slot.status.ok()) return;
-        slot.chunk = table.CloneSchema();
-        slot.chunk->AppendSelected(table, sel, /*num_threads=*/1);
+        VDB_RETURN_IF_ERROR(EvalPredicateBatch(pred, batch, &sel));
+        VDB_RETURN_IF_ERROR(GuardTryReserve(guard, per_row * sel.size(),
+                                            "filter_gather_alloc"));
+        chunk = table.CloneSchema();
+        chunk->AppendSelected(table, sel, /*num_threads=*/1);
+        return Status::Ok();
       });
-  for (const ChunkSlot& slot : slots) {
-    if (!slot.status.ok()) return slot.status;
-  }
-  for (const ChunkSlot& slot : slots) {
-    out->AppendRange(*slot.chunk, 0, slot.chunk->num_rows());
+  if (!slots.ok()) return slots.status();
+  for (const TablePtr& chunk : slots.value()) {
+    out->AppendRange(*chunk, 0, chunk->num_rows());
   }
   return out;
 }
 
 Status EvalPredicateView(const Expr& e, const RowView& view,
-                         uint64_t rand_seed, int num_threads, SelVector* out) {
+                         uint64_t rand_seed, int num_threads, SelVector* out,
+                         const ExecGuard* guard) {
   const size_t n = view.num_rows();
   if (num_threads <= 1 || n <= MorselRows() || PinnedSerialForBaseline(e)) {
+    VDB_RETURN_IF_ERROR(GuardCheck(guard, "pred_view"));
     Batch batch = ViewBatch(view, rand_seed);
     return EvalPredicateBatch(e, batch, out);
   }
-  struct PredSlot {
-    SelVector sel;
-    Status status = Status::Ok();
-  };
-  auto slots = ParallelMorselMap<PredSlot>(
-      n, num_threads, [&](PredSlot& slot, size_t begin, size_t end) {
+  auto slots = ParallelMorselMapStatus<SelVector>(
+      n, num_threads, guard, "pred_view",
+      [&](SelVector& sel, size_t begin, size_t end) {
         Batch batch = ViewBatch(view, rand_seed, begin, end);
-        slot.status = EvalPredicateBatch(e, batch, &slot.sel);
+        return EvalPredicateBatch(e, batch, &sel);
       });
+  if (!slots.ok()) return slots.status();
   size_t total = 0;
-  for (const PredSlot& slot : slots) {
-    if (!slot.status.ok()) return slot.status;
-    total += slot.sel.size();
-  }
+  for (const SelVector& sel : slots.value()) total += sel.size();
   out->reserve(out->size() + total);
-  for (const PredSlot& slot : slots) {
-    out->insert(out->end(), slot.sel.begin(), slot.sel.end());
+  for (const SelVector& sel : slots.value()) {
+    out->insert(out->end(), sel.begin(), sel.end());
   }
   return Status::Ok();
 }
 
 Status EvalPredicateBitmap(const Expr& e, const RowView& view,
                            uint64_t rand_seed, int num_threads,
-                           kernels::Bitmap* out) {
+                           kernels::Bitmap* out, const ExecGuard* guard) {
   const size_t n = view.num_rows();
   out->ResetZero(n);
   // Morsels rounded up to whole 64-bit words: each worker then owns a
@@ -1533,6 +1533,7 @@ Status EvalPredicateBitmap(const Expr& e, const RowView& view,
   // size produces the identical bitmap.
   const size_t wmorsel = (MorselRows() + 63) / 64 * 64;
   if (num_threads <= 1 || n <= wmorsel || PinnedSerialForBaseline(e)) {
+    VDB_RETURN_IF_ERROR(GuardCheck(guard, "pred_bitmap"));
     Batch batch = ViewBatch(view, rand_seed);
     auto t = EvalTri(e, batch);
     if (!t.ok()) return t.status();
@@ -1542,55 +1543,42 @@ Status EvalPredicateBitmap(const Expr& e, const RowView& view,
     }
     return Status::Ok();
   }
-  std::vector<Status> statuses((n + wmorsel - 1) / wmorsel, Status::Ok());
-  ThreadPool::Global().ParallelFor(
-      n, wmorsel, num_threads, [&](size_t m, size_t begin, size_t end) {
+  return ThreadPool::Global().ParallelForStatus(
+      n, wmorsel, num_threads, guard, "pred_bitmap",
+      [&](size_t, size_t begin, size_t end) {
         Batch batch = ViewBatch(view, rand_seed, begin, end);
         auto t = EvalTri(e, batch);
-        if (!t.ok()) {
-          statuses[m] = t.status();
-          return;
-        }
+        if (!t.ok()) return t.status();
         const kernels::Bitmap& truth = t.value().truth;
         uint64_t* dst = out->words() + begin / 64;
         for (size_t w = 0; w < truth.num_words(); ++w) dst[w] = truth.word(w);
+        return Status::Ok();
       });
-  for (const Status& s : statuses) {
-    if (!s.ok()) return s;
-  }
-  return Status::Ok();
 }
 
 Result<Column> EvalExprView(const Expr& e, const RowView& view,
-                            uint64_t rand_seed, int num_threads) {
+                            uint64_t rand_seed, int num_threads,
+                            const ExecGuard* guard) {
   const size_t n = view.num_rows();
   if (num_threads <= 1 || n <= MorselRows() || PinnedSerialForBaseline(e)) {
     // One whole-view batch. This also serves the empty view: the evaluator
     // still walks the tree, so the output column keeps its natural type and
     // empty results stay schema-complete.
+    VDB_RETURN_IF_ERROR(GuardCheck(guard, "expr_view"));
     Batch batch = ViewBatch(view, rand_seed);
     return EvalExprBatch(e, batch);
   }
-  struct ChunkSlot {
-    Column col;
-    Status status = Status::Ok();
-  };
-  auto slots = ParallelMorselMap<ChunkSlot>(
-      n, num_threads, [&](ChunkSlot& slot, size_t begin, size_t end) {
+  auto slots = ParallelMorselMapStatus<Column>(
+      n, num_threads, guard, "expr_view",
+      [&](Column& col, size_t begin, size_t end) {
         Batch batch = ViewBatch(view, rand_seed, begin, end);
         auto c = EvalExprBatch(e, batch);
-        if (c.ok()) {
-          slot.col = std::move(c).ValueOrDie();
-        } else {
-          slot.status = c.status();
-        }
+        if (!c.ok()) return c.status();
+        col = std::move(c).ValueOrDie();
+        return Status::Ok();
       });
-  std::vector<Column> chunks;
-  chunks.reserve(slots.size());
-  for (ChunkSlot& slot : slots) {
-    if (!slot.status.ok()) return slot.status;
-    chunks.push_back(std::move(slot.col));
-  }
+  if (!slots.ok()) return slots.status();
+  std::vector<Column> chunks = std::move(slots).ValueOrDie();
   return Column::ConcatChunks(std::move(chunks));
 }
 
@@ -1599,6 +1587,9 @@ Result<Column> EvalExprView(const Expr& e, const RowView& view,
 Result<const kernels::Bitmap*> PairPredicateEvaluator::Eval(
     const sql::Expr& pred, const uint32_t* lrows, const uint32_t* rrows,
     size_t count, uint64_t row_id_base) {
+  // One poll per 64K-pair chunk — the streaming residual path's batch
+  // boundary (never per pair).
+  VDB_RETURN_IF_ERROR(GuardCheck(guard_, "join_pair_eval"));
   if (mask_pred_ != &pred) {
     // Gather only the combined-schema ordinals the predicate references;
     // streaming callers reuse one predicate, so this walk runs once.
@@ -1628,11 +1619,12 @@ Result<const kernels::Bitmap*> PairPredicateEvaluator::Eval(
 }
 
 Status FilterJoinPairs(const sql::Expr& pred, JoinPairView* pairs,
-                       uint64_t rand_seed, int num_threads) {
+                       uint64_t rand_seed, int num_threads,
+                       const ExecGuard* guard) {
   constexpr size_t kChunk = 1 << 16;
   const size_t n = pairs->num_pairs();
   PairPredicateEvaluator eval(*pairs->left(), *pairs->right(), rand_seed,
-                              num_threads);
+                              num_threads, guard);
   // Survivors stream straight into fresh pair lists (never positions into
   // the old list, which could exceed the uint32 index range). `begin` is the
   // global pair ordinal — the row this pair would occupy in the materialized

@@ -16,6 +16,7 @@
 #ifndef VDB_ENGINE_VECTOR_EVAL_H_
 #define VDB_ENGINE_VECTOR_EVAL_H_
 
+#include "common/governor.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "engine/kernels/bitmap.h"
@@ -101,9 +102,13 @@ Status EvalPredicateBatch(const sql::Expr& e, const Batch& batch,
 /// functions of row identity), so rand()-bearing predicates run on the same
 /// morsel-parallel path as everything else; only sub-morsel inputs take the
 /// single serial batch.
+/// `guard` (optional everywhere in this header, nullptr = ungoverned) is
+/// polled at every morsel claim; a trip unwinds with the guard's Status and
+/// discards partial output.
 Status EvalPredicateParallel(const sql::Expr& e, const Table& table,
                              uint64_t rand_seed, int num_threads,
-                             SelVector* out);
+                             SelVector* out,
+                             const ExecGuard* guard = nullptr);
 
 /// Fused membership scan + gather: evaluates `pred` over the whole table and
 /// materializes the surviving rows in one morsel-parallel pass. Each worker
@@ -117,7 +122,8 @@ Status EvalPredicateParallel(const sql::Expr& e, const Table& table,
 /// (Bernoulli rand() < tau, verdict_hash(C) < tau) are the primary caller.
 Result<TablePtr> FilterGatherParallel(const sql::Expr& pred,
                                       const Table& table, uint64_t rand_seed,
-                                      int num_threads);
+                                      int num_threads,
+                                      const ExecGuard* guard = nullptr);
 
 /// Evaluates a predicate over a RowView (selection composed with morsel
 /// row-ranges) and appends the surviving PHYSICAL row indices to `*out` in
@@ -125,7 +131,8 @@ Result<TablePtr> FilterGatherParallel(const sql::Expr& pred,
 /// filters never gather. Morsel-parallel like EvalPredicateParallel, with the
 /// same sub-morsel serial fallback.
 Status EvalPredicateView(const sql::Expr& e, const RowView& view,
-                         uint64_t rand_seed, int num_threads, SelVector* out);
+                         uint64_t rand_seed, int num_threads, SelVector* out,
+                         const ExecGuard* guard = nullptr);
 
 /// Evaluates a predicate over a RowView into a row bitmap (bit i set:
 /// predicate non-null and true at view position i) instead of a selection
@@ -137,7 +144,8 @@ Status EvalPredicateView(const sql::Expr& e, const RowView& view,
 /// CONTENT is identical at every thread count and morsel size.
 Status EvalPredicateBitmap(const sql::Expr& e, const RowView& view,
                            uint64_t rand_seed, int num_threads,
-                           kernels::Bitmap* out);
+                           kernels::Bitmap* out,
+                           const ExecGuard* guard = nullptr);
 
 /// Evaluates an expression over every view row, morsel-parallel: one
 /// EvalExprBatch per morsel of view positions, per-morsel column chunks
@@ -146,7 +154,8 @@ Status EvalPredicateBitmap(const sql::Expr& e, const RowView& view,
 /// evaluate as a single serial batch; rand()-bearing expressions are NOT
 /// special-cased (row-addressed draws).
 Result<Column> EvalExprView(const sql::Expr& e, const RowView& view,
-                            uint64_t rand_seed, int num_threads);
+                            uint64_t rand_seed, int num_threads,
+                            const ExecGuard* guard = nullptr);
 
 /// Test/bench hook: when enabled, rand-bearing expressions lose their batch
 /// kernels (the whole subtree row-interprets, including wrappers like
@@ -177,11 +186,13 @@ void SetSerialRandBaselineForTest(bool enabled);
 class PairPredicateEvaluator {
  public:
   PairPredicateEvaluator(const Table& left, const Table& right,
-                         uint64_t rand_seed, int num_threads)
+                         uint64_t rand_seed, int num_threads,
+                         const ExecGuard* guard = nullptr)
       : left_(left),
         right_(right),
         rand_seed_(rand_seed),
-        num_threads_(num_threads) {}
+        num_threads_(num_threads),
+        guard_(guard) {}
 
   /// `row_id_base` is the global ordinal of the first pair in this chunk
   /// (pairs are streamed in a deterministic order), so rand-family draws in
@@ -199,6 +210,7 @@ class PairPredicateEvaluator {
   const Table& right_;
   uint64_t rand_seed_;
   int num_threads_;
+  const ExecGuard* guard_ = nullptr;  // polled per Eval chunk
   Table scratch_;               // combined schema, rows cleared per call
   const sql::Expr* mask_pred_ = nullptr;  // predicate col_mask_ was built for
   std::vector<uint8_t> col_mask_;
@@ -212,7 +224,8 @@ class PairPredicateEvaluator {
 /// pairs evaluate with NULL right columns, matching post-materialization
 /// WHERE semantics exactly (the planner's pair-view WHERE pushdown).
 Status FilterJoinPairs(const sql::Expr& pred, JoinPairView* pairs,
-                       uint64_t rand_seed, int num_threads);
+                       uint64_t rand_seed, int num_threads,
+                       const ExecGuard* guard = nullptr);
 
 }  // namespace vdb::engine
 

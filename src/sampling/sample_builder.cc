@@ -95,7 +95,8 @@ Result<SampleInfo> SampleBuilder::CreateUniformSample(const std::string& base,
                                 sql::MakeDoubleLit(tau));
     pred->args[0]->rand_site = 1;
     auto sample = engine::FilterGatherParallel(*pred, *t, db->NewQuerySeed(),
-                                               db->num_threads());
+                                               db->num_threads(),
+                                               conn_->exec_guard());
     if (!sample.ok()) return sample.status();
     db->AddRowsScanned(t->num_rows());
     info.sample_rows = sample.value()->num_rows();
@@ -162,7 +163,8 @@ Result<SampleInfo> SampleBuilder::CreateHashedSample(const std::string& base,
     // no query seed is drawn — drawing one would needlessly shift the
     // seeded per-statement seed sequence of everything that follows.
     auto sample = engine::FilterGatherParallel(*pred, *t, /*rand_seed=*/0,
-                                               db->num_threads());
+                                               db->num_threads(),
+                                               conn_->exec_guard());
     if (!sample.ok()) return sample.status();
     db->AddRowsScanned(t->num_rows());
     info.sample_rows = sample.value()->num_rows();

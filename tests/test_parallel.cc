@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <memory>
@@ -415,16 +416,47 @@ TEST_F(ParallelTest, SharedDatabaseConcurrentSelects) {
       }
     }
   };
+  // A third thread runs the same statement under a pre-cancelled guard and
+  // an immediate deadline: its executions must unwind with kCancelled /
+  // kDeadlineExceeded without perturbing the other threads' results or the
+  // shared rows_scanned tally. Each doomed run still resolves the base table
+  // (the scan is counted at plan time, before the first cooperative poll),
+  // so its contribution stays exact.
+  constexpr int kDoomedIters = 10;
+  int doomed_bad = 0;
+  auto doomed = [&]() {
+    ExecGuard guard;
+    for (int i = 0; i < kDoomedIters; ++i) {
+      guard.ResetForStatement();
+      guard.set_deadline_after_ms(0);
+      if (i % 2 == 0) {
+        guard.RequestCancel();
+      } else {
+        // Sleep past a 1 ms deadline so the very first poll trips it.
+        guard.set_deadline_after_ms(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(3));
+      }
+      auto got = db->Execute(kSql, &guard);
+      const StatusCode want =
+          i % 2 == 0 ? StatusCode::kCancelled : StatusCode::kDeadlineExceeded;
+      if (got.ok() || got.status().code() != want) ++doomed_bad;
+    }
+  };
   int fail_a = 0, fail_b = 0;
   std::thread a(worker, &fail_a);
   std::thread b(worker, &fail_b);
+  std::thread c(doomed);
   a.join();
   b.join();
+  c.join();
   EXPECT_EQ(fail_a, 0);
   EXPECT_EQ(fail_b, 0);
-  // Every execution scans the base table exactly once; a lost update here
-  // means AddRowsScanned raced.
-  EXPECT_EQ(db->rows_scanned(), scanned_per_query * (1 + 2 * kItersPerThread));
+  EXPECT_EQ(doomed_bad, 0);
+  // Every execution scans the base table exactly once — including the doomed
+  // ones, which count the scan before unwinding; a lost update here means
+  // AddRowsScanned raced.
+  EXPECT_EQ(db->rows_scanned(),
+            scanned_per_query * (1 + 2 * kItersPerThread + kDoomedIters));
 }
 
 // ---- row-addressed rand: plan-shape and substrate invariance ---------------

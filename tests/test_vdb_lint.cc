@@ -43,12 +43,12 @@ Report LintOne(const std::string& path, const std::string& content) {
 
 // ---- unit layer: LintSource over in-memory sources -------------------------
 
-TEST(VdbLintUnit, RuleRegistryListsAllFiveContracts) {
+TEST(VdbLintUnit, RuleRegistryListsAllSixContracts) {
   const std::vector<std::string>& names = RuleNames();
-  ASSERT_EQ(names.size(), 5u);
+  ASSERT_EQ(names.size(), 6u);
   for (const char* expected :
        {"rng-outside-random", "simd-outside-kernel-tu", "string-keyed-map",
-        "raw-double-accumulate", "naked-size-narrowing"}) {
+        "raw-double-accumulate", "naked-size-narrowing", "naked-reserve"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << "missing rule " << expected;
   }
@@ -117,6 +117,25 @@ TEST(VdbLintUnit, SizeNarrowingMatchesDotAndArrowForms) {
   EXPECT_EQ(CountRule(r, "naked-size-narrowing"), 2u);
 }
 
+TEST(VdbLintUnit, NakedReserveScopedToGovernedTusAndMemberCallsOnly) {
+  const std::string src =
+      "void f(std::vector<int>* p, std::vector<int>& v, size_t n) {\n"
+      "  v.reserve(n);\n"
+      "  p->resize(n);\n"
+      "  reserve(n);\n"
+      "}\n";
+  // Both member forms fire in a governed TU; the free call does not.
+  EXPECT_EQ(CountRule(LintOne("src/engine/operators.cc", src),
+                      "naked-reserve"),
+            2u);
+  EXPECT_EQ(CountRule(LintOne("src/engine/agg_table.h", src),
+                      "naked-reserve"),
+            2u);
+  // Outside the governed TUs the rule stays quiet.
+  EXPECT_EQ(CountRule(LintOne("src/engine/planner.cc", src), "naked-reserve"),
+            0u);
+}
+
 TEST(VdbLintUnit, AllowCommentSuppressesOnlyTheNamedRuleOnThatLine) {
   const std::string suppressed =
       "int f() { return rand(); }  // vdb-lint: allow(rng-outside-random)\n";
@@ -161,20 +180,21 @@ TEST(VdbLintFixtures, PassTreeIsCleanAndCountsSuppressions) {
   EXPECT_TRUE(r.ok()) << (r.violations.empty()
                               ? ""
                               : FormatDiagnostic(r.violations.front()));
-  EXPECT_EQ(r.files_scanned, 3u);
-  // suppressed.cc acknowledges three findings.
-  EXPECT_EQ(r.suppressions_used, 3u);
+  EXPECT_EQ(r.files_scanned, 4u);
+  // suppressed.cc acknowledges three findings; engine/agg_table.cc two.
+  EXPECT_EQ(r.suppressions_used, 5u);
 }
 
 TEST(VdbLintFixtures, FailTreeTriggersEveryRule) {
   const Report r = LintPaths({Fixture("fail")});
-  EXPECT_EQ(r.files_scanned, 5u);
+  EXPECT_EQ(r.files_scanned, 6u);
   EXPECT_EQ(CountRule(r, "rng-outside-random"), 5u);
   EXPECT_EQ(CountRule(r, "simd-outside-kernel-tu"), 3u);
   EXPECT_EQ(CountRule(r, "string-keyed-map"), 2u);
   EXPECT_EQ(CountRule(r, "raw-double-accumulate"), 3u);
   EXPECT_EQ(CountRule(r, "naked-size-narrowing"), 2u);
-  EXPECT_EQ(r.violations.size(), 15u);
+  EXPECT_EQ(CountRule(r, "naked-reserve"), 3u);
+  EXPECT_EQ(r.violations.size(), 18u);
   EXPECT_EQ(r.suppressions_used, 0u);
 }
 
@@ -191,9 +211,9 @@ TEST(VdbLintFixtures, MultiFileScanSortsDiagnosticsByFileThenLine) {
 
 TEST(VdbLintFixtures, MixedRootsAggregateAcrossDirectories) {
   const Report r = LintPaths({Fixture("pass"), Fixture("fail")});
-  EXPECT_EQ(r.files_scanned, 8u);
-  EXPECT_EQ(r.violations.size(), 15u);
-  EXPECT_EQ(r.suppressions_used, 3u);
+  EXPECT_EQ(r.files_scanned, 10u);
+  EXPECT_EQ(r.violations.size(), 18u);
+  EXPECT_EQ(r.suppressions_used, 5u);
 }
 
 TEST(VdbLintFixtures, SingleFileRootAndMissingRoot) {

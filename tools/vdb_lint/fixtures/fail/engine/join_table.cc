@@ -1,0 +1,19 @@
+// Fixture: naked-reserve must fire on uncharged reserve/resize in a governed
+// TU (path ends in engine/join_table.cc): dot and arrow member forms both
+// count; a free function that happens to be named reserve does not.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+void reserve(std::size_t n);
+
+void Build(std::vector<int>* rows, std::size_t n) {
+  std::vector<int> local;
+  local.reserve(n);  // fires: dot form
+  rows->resize(n);   // fires: arrow form
+  rows->reserve(n);  // fires: arrow form
+  reserve(n);        // does not fire: not a member call
+}
+
+}  // namespace fixture

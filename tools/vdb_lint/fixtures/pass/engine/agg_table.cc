@@ -1,0 +1,15 @@
+// Fixture: reserve/resize in a governed TU lints clean when the exemption is
+// acknowledged in place with an allow() naming the naked-reserve rule.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+void Grow(std::vector<int>* rows, std::size_t n) {
+  rows->reserve(n);  // vdb-lint: allow(naked-reserve) fixture: charged by caller
+  std::vector<int> scratch;
+  scratch.resize(64);  // vdb-lint: allow(naked-reserve) fixture: fixed scratch
+  (void)scratch;
+}
+
+}  // namespace fixture

@@ -430,6 +430,52 @@ void RuleNakedSizeNarrowing(Ctx& ctx) {
   }
 }
 
+// --- naked-reserve ----------------------------------------------------------
+//
+// In the governed hot TUs (join_table, agg_table, operators — the engine
+// structures whose footprint is row-proportional) every reserve/resize must
+// be budget-charged through ExecGuard::TryReserve (via Charge(),
+// GuardTryReserve, or ScopedReservation) or carry an allow() naming the
+// exemption: fixed-size chunk, column-count bounded, or charged by the
+// caller. An unannotated reserve is how an over-budget query turns into an
+// std::bad_alloc abort instead of a clean kResourceExhausted.
+void RuleNakedReserve(Ctx& ctx) {
+  static const char* kRule = "naked-reserve";
+  if (!ctx.PathEndsWith("engine/join_table.cc") &&
+      !ctx.PathEndsWith("engine/join_table.h") &&
+      !ctx.PathEndsWith("engine/agg_table.cc") &&
+      !ctx.PathEndsWith("engine/agg_table.h") &&
+      !ctx.PathEndsWith("engine/operators.cc")) {
+    return;
+  }
+  const std::vector<Token>& toks = ctx.src.tokens;
+  for (size_t k = 1; k + 1 < toks.size(); ++k) {
+    const Token& t = toks[k];
+    if (t.kind != TokKind::kIdent ||
+        (t.text != "reserve" && t.text != "resize")) {
+      continue;
+    }
+    if (toks[k + 1].kind != TokKind::kPunct || toks[k + 1].text != "(") {
+      continue;
+    }
+    // Member call only: `x.reserve(` or `x->reserve(` (the tokenizer emits
+    // '-' and '>' as separate punctuation).
+    const Token& prev = toks[k - 1];
+    const bool member =
+        prev.kind == TokKind::kPunct &&
+        (prev.text == "." ||
+         (prev.text == ">" && k >= 2 && toks[k - 2].kind == TokKind::kPunct &&
+          toks[k - 2].text == "-"));
+    if (!member) continue;
+    ctx.Emit(kRule, t.line,
+             "'" + t.text +
+                 "' without a budget charge in a governed TU; route through "
+                 "ExecGuard::TryReserve (Charge / GuardTryReserve / "
+                 "ScopedReservation) or add an allow() with the exemption "
+                 "rationale");
+  }
+}
+
 // ---------------------------------------------------------------------------
 
 std::string NormalizePath(const std::string& path) {
@@ -444,7 +490,7 @@ const std::vector<std::string>& RuleNames() {
   static const std::vector<std::string> kNames = {
       "rng-outside-random",    "simd-outside-kernel-tu",
       "string-keyed-map",      "raw-double-accumulate",
-      "naked-size-narrowing",
+      "naked-size-narrowing",  "naked-reserve",
   };
   return kNames;
 }
@@ -459,6 +505,7 @@ void LintSource(const std::string& path, const std::string& content,
   RuleStringKeyedMap(ctx);
   RuleRawDoubleAccumulate(ctx);
   RuleNakedSizeNarrowing(ctx);
+  RuleNakedReserve(ctx);
   ++report->files_scanned;
 }
 

@@ -31,7 +31,7 @@ struct KeyLane {
 std::vector<KeyLane> MakeKeyLanes(const std::vector<KeyCol>& cols) {
   std::vector<KeyLane> lanes;
   lanes.reserve(cols.size());  // vdb-lint: allow(naked-reserve) column-count bounded
-  for (const KeyCol& kc : cols) {
+  for (const KeyCol& kc : cols) {  // vdb-lint: allow(ungoverned-loop) column-count bounded, not row-proportional
     const Column* c = kc.col;
     KeyLane l;
     l.type = c->type();

@@ -56,23 +56,35 @@ void AggAccumulator::Merge(const AggAccumulator&) {
 }
 
 AggregateRegistry& AggregateRegistry::Global() {
-  static AggregateRegistry* r = new AggregateRegistry();
+  // Leaked singleton behind a const pointer: the pointer itself is immutable
+  // (no unsynchronized static mutation) and the pointee serializes every map
+  // touch on mu_.
+  static AggregateRegistry* const r = new AggregateRegistry();
   return *r;
 }
 
 void AggregateRegistry::Register(const std::string& name, UdaFactory factory) {
+  MutexLock lock(mu_);
   factories_[name] = std::move(factory);
 }
 
 bool AggregateRegistry::Has(const std::string& name) const {
+  MutexLock lock(mu_);
   return factories_.count(name) > 0;
 }
 
 std::unique_ptr<AggAccumulator> AggregateRegistry::Create(
     const std::string& name) const {
-  auto it = factories_.find(name);
-  if (it == factories_.end()) return nullptr;
-  return it->second();
+  UdaFactory factory;
+  {
+    MutexLock lock(mu_);
+    auto it = factories_.find(name);
+    if (it == factories_.end()) return nullptr;
+    factory = it->second;
+  }
+  // Run the factory outside the lock: a UDA factory is user code and may
+  // itself consult the registry.
+  return factory();
 }
 
 namespace {

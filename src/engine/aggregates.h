@@ -13,6 +13,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/value.h"
 #include "engine/column.h"
 #include "sql/ast.h"
@@ -114,7 +115,11 @@ class AggregateRegistry {
   std::unique_ptr<AggAccumulator> Create(const std::string& name) const;
 
  private:
-  std::map<std::string, UdaFactory> factories_;  // vdb-lint: allow(string-keyed-map) UDA registry: looked up once per aggregate at plan time
+  // The registry is process-global and reachable from pool workers at plan
+  // time while tests may still be registering UDAs; every map touch holds
+  // mu_ so the global is synchronized shared state, not an unguarded static.
+  mutable Mutex mu_;
+  std::map<std::string, UdaFactory> factories_ GUARDED_BY(mu_);  // vdb-lint: allow(string-keyed-map) UDA registry: looked up once per aggregate at plan time
 };
 
 /// Creates the accumulator for a builtin or registered aggregate.

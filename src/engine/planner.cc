@@ -5,7 +5,6 @@
 #include <deque>
 #include <map>
 #include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -42,7 +41,9 @@ std::atomic<bool> g_flat_agg_sink{true};
 
 /// Test hook (SetGroupedWhereBitmapForTest): bitmap WHERE for grouped
 /// queries on/off.
-bool g_grouped_where_bitmap = true;
+// Test hook: atomic (relaxed) — tests write between queries while pool
+// workers may still read; see docs/INVARIANTS.md (test-hook contract).
+std::atomic<bool> g_grouped_where_bitmap{true};
 
 /// Rank-select over a filter bitmap: the view position of the rank-th set
 /// bit (0-based). `wprefix[w]` is the number of set bits before word w
@@ -549,7 +550,7 @@ class SelectExecutor {
     const kernels::Bitmap* group_filter = nullptr;
     if (stmt->where && !pushdown_where_applied_) {
       VDB_RETURN_IF_ERROR(BindExpr(stmt->where.get(), input.scope));
-      if (grouped && g_grouped_where_bitmap) {
+      if (grouped && g_grouped_where_bitmap.load(std::memory_order_relaxed)) {
         VDB_RETURN_IF_ERROR(EvalPredicateBitmap(*stmt->where, view, rand_seed_,
                                                 db_->num_threads(),
                                                 &where_bits, guard_));
@@ -1559,7 +1560,7 @@ void SetFlatAggSinkForTest(bool enabled) {
 }
 
 void SetGroupedWhereBitmapForTest(bool enabled) {
-  g_grouped_where_bitmap = enabled;
+  g_grouped_where_bitmap.store(enabled, std::memory_order_relaxed);
 }
 
 Result<ResultSet> RunSelect(Database* db, sql::SelectStmt* stmt,

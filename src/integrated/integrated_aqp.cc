@@ -185,7 +185,16 @@ Result<IntegratedSample> IntegratedAqp::CreateStratifiedSample(
   }
   sample->AddColumn("verdict_prob", TypeId::kDouble);
   std::vector<Value> row(t->num_columns() + 1);
-  for (const auto& [key, res] : strata) {
+  // Hash-map iteration order is nondeterministic across runs; emit strata in
+  // sorted key order so the sample table (and everything derived from it) is
+  // reproducible for a fixed seed.
+  std::vector<const std::string*> ordered_keys;
+  ordered_keys.reserve(strata.size());
+  for (const auto& [key, res] : strata) ordered_keys.push_back(&key);  // vdb-lint: allow(unordered-iteration-in-result-path) keys sorted below before any row is emitted
+  std::sort(ordered_keys.begin(), ordered_keys.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  for (const std::string* kp : ordered_keys) {
+    const Reservoir& res = strata.at(*kp);
     double p = static_cast<double>(res.rows.size()) /
                static_cast<double>(res.seen);
     for (uint32_t r : res.rows) {

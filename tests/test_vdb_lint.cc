@@ -1,9 +1,12 @@
 // Self-test for the vdb-lint contract checker (tools/vdb_lint/).
 //
-// Two layers: in-memory LintSource cases that pin tokenizer behavior (path
-// scoping, comment/string skipping, allow() parsing), and checked-in fixture
-// files under tools/vdb_lint/fixtures/ that pin each rule's pass and fail
-// behavior through the same LintPaths entry point CI uses.
+// Three layers: scope-tree unit cases over Analyze() that pin the structural
+// analyzer's behavior on hard C++ shapes (nested namespaces, lambdas, macros
+// spanning braces, template angle brackets); in-memory LintSource cases that
+// pin rule and suppression semantics; and checked-in fixture files under
+// tools/vdb_lint/fixtures/ that pin each rule's pass and fail behavior
+// through the same LintPaths entry point CI uses — including a SARIF golden
+// file compared byte-for-byte.
 //
 // Rule-triggering code lives in string literals or in the fixture tree, both
 // of which the production scan ignores (strings are skipped by the
@@ -11,11 +14,14 @@
 // lint-clean.
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "analyzer.h"
 #include "lint.h"
 
 namespace vdb::lint {
@@ -41,14 +47,118 @@ Report LintOne(const std::string& path, const std::string& content) {
   return r;
 }
 
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "unable to read " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// ---- scope-tree layer: Analyze() over hard C++ shapes ----------------------
+
+bool HasFunctionNamed(const Analysis& an, const std::string& name) {
+  return an.functions_by_name.count(name) > 0;
+}
+
+TEST(VdbLintScopeTree, NestedNamespaceSpecifierClassifiesFunctions) {
+  // `namespace a::b {` must open a kNamespace scope (not a generic block),
+  // or every function inside it loses its kFunction classification — the
+  // exact failure mode that once hid src/integrated/ from the flow rules.
+  const Analysis an = Analyze(
+      "namespace vdb::integrated {\n"
+      "void Emit() { int x = 0; (void)x; }\n"
+      "}\n");
+  ASSERT_EQ(an.scopes.size(), 3u);  // file, namespace, function body
+  EXPECT_EQ(an.scopes[1].kind, ScopeKind::kNamespace);
+  EXPECT_EQ(an.scopes[2].kind, ScopeKind::kFunction);
+  EXPECT_TRUE(HasFunctionNamed(an, "Emit"));
+}
+
+TEST(VdbLintScopeTree, NestedLambdasAttributeFactsToEnclosingFunction) {
+  // A callback's body is still the enclosing function's work: its calls and
+  // member touches land in the outer FunctionInfo, and the lambda opens its
+  // own kLambda scope.
+  const Analysis an = Analyze(
+      "void Outer(std::vector<int>& sink) {\n"
+      "  auto cb = [&](int r) { sink.push_back(r); };\n"
+      "  cb(7);\n"
+      "}\n");
+  ASSERT_TRUE(HasFunctionNamed(an, "Outer"));
+  const FunctionInfo& fn =
+      an.functions[static_cast<size_t>(an.functions_by_name.at("Outer")[0])];
+  EXPECT_TRUE(fn.calls.count("push_back"));
+  EXPECT_TRUE(fn.members_touched.count("push_back"));
+  bool saw_lambda = false;
+  for (const Scope& s : an.scopes) {
+    saw_lambda = saw_lambda || s.kind == ScopeKind::kLambda;
+  }
+  EXPECT_TRUE(saw_lambda);
+}
+
+TEST(VdbLintScopeTree, MacroSpanningBracesDoesNotSkewScopeTree) {
+  // Preprocessor lines (continuations included) contribute no tokens, so a
+  // macro body that opens or closes braces cannot unbalance the tree.
+  const Analysis an = Analyze(
+      "#define OPEN {\n"
+      "#define WEIRD(x) \\\n"
+      "  case x: {      \\\n"
+      "  }\n"
+      "void f() { int y = 0; (void)y; }\n");
+  ASSERT_EQ(an.scopes.size(), 2u);  // file + f's body, nothing from macros
+  EXPECT_EQ(an.scopes[1].kind, ScopeKind::kFunction);
+  EXPECT_TRUE(HasFunctionNamed(an, "f"));
+  // Every token is inside a scope and the file scope spans them all.
+  EXPECT_EQ(an.scopes[0].last_token, an.tokens.size());
+}
+
+TEST(VdbLintScopeTree, TemplateAngleBracketsDoNotBreakFunctionDetection) {
+  // Nested template argument lists (and ordinary less-than expressions)
+  // must not derail return-type skipping or brace classification.
+  const Analysis an = Analyze(
+      "std::vector<std::pair<int, int>> MakePairs() {\n"
+      "  std::vector<std::pair<int, int>> v;\n"
+      "  return v;\n"
+      "}\n"
+      "bool Less(int a, int b) { return a < b; }\n");
+  EXPECT_TRUE(HasFunctionNamed(an, "MakePairs"));
+  EXPECT_TRUE(HasFunctionNamed(an, "Less"));
+}
+
+TEST(VdbLintScopeTree, UnorderedVariableNamesAreCollected) {
+  const Analysis an = Analyze(
+      "std::unordered_map<int, int> counts;\n"
+      "void f(const std::unordered_set<int>& seen) { (void)seen; }\n"
+      "std::map<int, int> ordered;\n");
+  EXPECT_TRUE(an.unordered_vars.count("counts"));
+  EXPECT_TRUE(an.unordered_vars.count("seen"));
+  EXPECT_FALSE(an.unordered_vars.count("ordered"));
+}
+
+TEST(VdbLintScopeTree, SyncSafeClassRequiresEveryMemberSynchronized) {
+  const Analysis an = Analyze(
+      "struct AllAtomic {\n"
+      "  std::atomic<int> hits{0};\n"
+      "  std::atomic<int> misses{0};\n"
+      "};\n"
+      "struct HalfAtomic {\n"
+      "  std::atomic<int> hits{0};\n"
+      "  int misses = 0;\n"
+      "};\n");
+  EXPECT_TRUE(an.sync_safe_classes.count("AllAtomic"));
+  EXPECT_FALSE(an.sync_safe_classes.count("HalfAtomic"));
+}
+
 // ---- unit layer: LintSource over in-memory sources -------------------------
 
-TEST(VdbLintUnit, RuleRegistryListsAllSixContracts) {
+TEST(VdbLintUnit, RuleRegistryListsAllTenContracts) {
   const std::vector<std::string>& names = RuleNames();
-  ASSERT_EQ(names.size(), 6u);
+  ASSERT_EQ(names.size(), 10u);
   for (const char* expected :
        {"rng-outside-random", "simd-outside-kernel-tu", "string-keyed-map",
-        "raw-double-accumulate", "naked-size-narrowing", "naked-reserve"}) {
+        "raw-double-accumulate", "naked-size-narrowing", "naked-reserve",
+        "unordered-iteration-in-result-path", "ungoverned-loop", "raw-mutex",
+        "mutable-shared-static"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << "missing rule " << expected;
   }
@@ -87,14 +197,17 @@ TEST(VdbLintUnit, SimdIncludeAndIntrinsicFlaggedOutsideKernelTu) {
 }
 
 TEST(VdbLintUnit, StringKeyedMapScopedToEngineDir) {
-  const std::string src = "std::map<std::string, int> m;\n";
+  // Locals so that mutable-shared-static (which also patrols src/engine/
+  // file scope) stays out of the picture.
+  const std::string src = "void f() { std::map<std::string, int> m; }\n";
   EXPECT_EQ(CountRule(LintOne("src/engine/planner.cc", src),
                       "string-keyed-map"),
             1u);
   // Same container outside src/engine/ is not this rule's business.
   EXPECT_TRUE(LintOne("src/sql/parser.cc", src).ok());
   // Nested string on the VALUE side only must not fire.
-  const std::string value_side = "std::map<int, std::string> m;\n";
+  const std::string value_side =
+      "void f() { std::map<int, std::string> m; }\n";
   EXPECT_TRUE(LintOne("src/engine/planner.cc", value_side).ok());
 }
 
@@ -143,19 +256,41 @@ TEST(VdbLintUnit, AllowCommentSuppressesOnlyTheNamedRuleOnThatLine) {
   EXPECT_TRUE(r.ok());
   EXPECT_EQ(r.suppressions_used, 1u);
 
-  // Wrong rule name in the allow(): the violation must survive.
+  // Wrong rule name in the allow(): the violation survives AND the allow()
+  // itself — a registered rule that silenced nothing — is reported stale.
   const std::string wrong =
       "int f() { return rand(); }  // vdb-lint: allow(string-keyed-map)\n";
   r = LintOne("src/engine/foo.cc", wrong);
-  EXPECT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations.size(), 2u);
+  EXPECT_EQ(CountRule(r, "rng-outside-random"), 1u);
+  EXPECT_EQ(CountRule(r, "stale-suppression"), 1u);
   EXPECT_EQ(r.suppressions_used, 0u);
 
-  // Next line is not covered by the previous line's allow().
+  // Next line is not covered by the previous line's allow(): the violation
+  // survives and the allow() on its own line is stale.
   const std::string next_line =
       "// vdb-lint: allow(rng-outside-random)\n"
       "int f() { return rand(); }\n";
   r = LintOne("src/engine/foo.cc", next_line);
-  EXPECT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(CountRule(r, "rng-outside-random"), 1u);
+  EXPECT_EQ(CountRule(r, "stale-suppression"), 1u);
+}
+
+TEST(VdbLintUnit, UnknownRuleNameInAllowIsItselfAnError) {
+  const Report r =
+      LintOne("src/engine/foo.cc",
+              "int x = 1;  // vdb-lint: allow(no-such-rule) oops\n");
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(CountRule(r, "unknown-rule"), 1u);
+}
+
+TEST(VdbLintUnit, StaleSuppressionIsItselfAnError) {
+  const Report r = LintOne(
+      "src/sql/parser.cc",
+      "int f() { return 1; }  // vdb-lint: allow(rng-outside-random)\n");
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].rule, "stale-suppression");
 }
 
 TEST(VdbLintUnit, AllowCommentMaySuppressMultipleRules) {
@@ -165,6 +300,108 @@ TEST(VdbLintUnit, AllowCommentMaySuppressMultipleRules) {
   const Report r = LintOne("src/engine/foo.cc", src);
   EXPECT_TRUE(r.ok());
   EXPECT_EQ(r.suppressions_used, 2u);
+}
+
+TEST(VdbLintUnit, UnorderedIterationNeedsAResultPathToFire) {
+  // The same loop, with and without a result sink reachable from the
+  // enclosing function: only the result-producing one is a violation.
+  const std::string emitting =
+      "void Emit(const std::unordered_map<int, int>& groups,\n"
+      "          std::vector<int>* out) {\n"
+      "  for (const auto& kv : groups) out->push_back(kv.second);\n"
+      "}\n";
+  const std::string counting =
+      "int CountAll(const std::unordered_map<int, int>& groups) {\n"
+      "  int n = 0;\n"
+      "  for (const auto& kv : groups) n += kv.second;\n"
+      "  return n;\n"
+      "}\n";
+  EXPECT_EQ(CountRule(LintOne("src/estimator/foo.cc", emitting),
+                      "unordered-iteration-in-result-path"),
+            1u);
+  EXPECT_EQ(CountRule(LintOne("src/estimator/foo.cc", counting),
+                      "unordered-iteration-in-result-path"),
+            0u);
+  // Outside the result-producing layers the rule stays quiet entirely.
+  EXPECT_EQ(CountRule(LintOne("src/sql/printer.cc", emitting),
+                      "unordered-iteration-in-result-path"),
+            0u);
+}
+
+TEST(VdbLintUnit, UngovernedLoopSatisfiedByPollInEnclosingFunction) {
+  const std::string ungoverned =
+      "void Fill(std::vector<int>* out, int n) {\n"
+      "  for (int i = 0; i < n; ++i) {\n"
+      "    out->push_back(i);\n"
+      "  }\n"
+      "}\n";
+  const std::string governed =
+      "void Fill(std::vector<int>* out, int n) {\n"
+      "  if (!GuardCheck().ok()) return;\n"
+      "  for (int i = 0; i < n; ++i) {\n"
+      "    out->push_back(i);\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(CountRule(LintOne("src/engine/operators.cc", ungoverned),
+                      "ungoverned-loop"),
+            1u);
+  EXPECT_EQ(CountRule(LintOne("src/engine/operators.cc", governed),
+                      "ungoverned-loop"),
+            0u);
+  // Outside the governed TUs the rule does not apply.
+  EXPECT_EQ(CountRule(LintOne("src/engine/planner.cc", ungoverned),
+                      "ungoverned-loop"),
+            0u);
+}
+
+TEST(VdbLintUnit, RawMutexBannedEverywhereButTheWrapperHeader) {
+  const std::string src =
+      "#include <mutex>\n"
+      "void f() { static std::mutex mu; mu.lock(); }\n";
+  // include + the `mutex` identifier in the declaration.
+  EXPECT_EQ(CountRule(LintOne("src/common/thread_pool.cc", src), "raw-mutex"),
+            2u);
+  EXPECT_EQ(CountRule(LintOne("src/common/thread_annotations.h", src),
+                      "raw-mutex"),
+            0u);
+}
+
+TEST(VdbLintUnit, MutableSharedStaticAcceptsSynchronizedShapes) {
+  EXPECT_EQ(CountRule(LintOne("src/engine/foo.cc",
+                              "int Next() { static int n = 0; return ++n; }\n"),
+                      "mutable-shared-static"),
+            1u);
+  EXPECT_EQ(
+      CountRule(LintOne(
+                    "src/engine/foo.cc",
+                    "int Next() { static std::atomic<int> n{0}; return ++n; }\n"),
+                "mutable-shared-static"),
+      0u);
+  // A static instance of a same-file all-atomic struct is accepted without
+  // an allow() — the sync-safe class analysis vouches for it.
+  const std::string sync_safe =
+      "struct Counters { std::atomic<int> a{0}; std::atomic<int> b{0}; };\n"
+      "Counters& Get() { static Counters c; return c; }\n";
+  EXPECT_EQ(CountRule(LintOne("src/engine/foo.cc", sync_safe),
+                      "mutable-shared-static"),
+            0u);
+  // Outside src/engine/ the rule does not apply.
+  EXPECT_EQ(CountRule(LintOne("src/sql/parser.cc",
+                              "int Next() { static int n = 0; return ++n; }\n"),
+                      "mutable-shared-static"),
+            0u);
+}
+
+TEST(VdbLintUnit, StatsTableCoversEveryRule) {
+  const Report r = LintOne("src/engine/foo.cc", "int f() { return rand(); }\n");
+  ASSERT_EQ(r.rule_stats.size(), RuleNames().size());
+  const std::string table = FormatStats(r);
+  for (const std::string& rule : RuleNames()) {
+    EXPECT_NE(table.find("| " + rule + " |"), std::string::npos)
+        << "stats table missing row for " << rule;
+  }
+  EXPECT_NE(table.find("**total (rules)**"), std::string::npos);
+  EXPECT_NE(table.find("1 file(s) scanned"), std::string::npos);
 }
 
 TEST(VdbLintUnit, DiagnosticFormatIsCompilerStyle) {
@@ -180,21 +417,26 @@ TEST(VdbLintFixtures, PassTreeIsCleanAndCountsSuppressions) {
   EXPECT_TRUE(r.ok()) << (r.violations.empty()
                               ? ""
                               : FormatDiagnostic(r.violations.front()));
-  EXPECT_EQ(r.files_scanned, 4u);
-  // suppressed.cc acknowledges three findings; engine/agg_table.cc two.
-  EXPECT_EQ(r.suppressions_used, 5u);
+  EXPECT_EQ(r.files_scanned, 8u);
+  // suppressed.cc acknowledges three findings; engine/agg_table.cc two;
+  // src/engine/ordered_result.cc and engine/operators.cc one each.
+  EXPECT_EQ(r.suppressions_used, 7u);
 }
 
 TEST(VdbLintFixtures, FailTreeTriggersEveryRule) {
   const Report r = LintPaths({Fixture("fail")});
-  EXPECT_EQ(r.files_scanned, 6u);
+  EXPECT_EQ(r.files_scanned, 10u);
   EXPECT_EQ(CountRule(r, "rng-outside-random"), 5u);
   EXPECT_EQ(CountRule(r, "simd-outside-kernel-tu"), 3u);
   EXPECT_EQ(CountRule(r, "string-keyed-map"), 2u);
   EXPECT_EQ(CountRule(r, "raw-double-accumulate"), 3u);
   EXPECT_EQ(CountRule(r, "naked-size-narrowing"), 2u);
   EXPECT_EQ(CountRule(r, "naked-reserve"), 3u);
-  EXPECT_EQ(r.violations.size(), 18u);
+  EXPECT_EQ(CountRule(r, "unordered-iteration-in-result-path"), 1u);
+  EXPECT_EQ(CountRule(r, "ungoverned-loop"), 1u);
+  EXPECT_EQ(CountRule(r, "raw-mutex"), 4u);
+  EXPECT_EQ(CountRule(r, "mutable-shared-static"), 2u);
+  EXPECT_EQ(r.violations.size(), 26u);
   EXPECT_EQ(r.suppressions_used, 0u);
 }
 
@@ -211,9 +453,9 @@ TEST(VdbLintFixtures, MultiFileScanSortsDiagnosticsByFileThenLine) {
 
 TEST(VdbLintFixtures, MixedRootsAggregateAcrossDirectories) {
   const Report r = LintPaths({Fixture("pass"), Fixture("fail")});
-  EXPECT_EQ(r.files_scanned, 10u);
-  EXPECT_EQ(r.violations.size(), 18u);
-  EXPECT_EQ(r.suppressions_used, 5u);
+  EXPECT_EQ(r.files_scanned, 18u);
+  EXPECT_EQ(r.violations.size(), 26u);
+  EXPECT_EQ(r.suppressions_used, 7u);
 }
 
 TEST(VdbLintFixtures, SingleFileRootAndMissingRoot) {
@@ -225,6 +467,16 @@ TEST(VdbLintFixtures, SingleFileRootAndMissingRoot) {
   EXPECT_EQ(missing.files_scanned, 0u);
   ASSERT_EQ(missing.violations.size(), 1u);
   EXPECT_EQ(missing.violations[0].rule, "io");
+}
+
+TEST(VdbLintFixtures, SarifOutputMatchesGoldenFile) {
+  // The input fixture is linted under a fixed pseudo-path so the SARIF body
+  // (artifact URIs included) is byte-stable regardless of checkout location.
+  Report r;
+  LintSource("src/engine/sarif_input.cc", ReadFile(Fixture("sarif/input.cc")),
+             &r);
+  ASSERT_EQ(r.violations.size(), 3u);
+  EXPECT_EQ(ToSarif(r), ReadFile(Fixture("sarif/golden.sarif")));
 }
 
 }  // namespace

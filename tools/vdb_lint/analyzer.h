@@ -1,0 +1,139 @@
+// vdb-lint structural analyzer: a preprocessor-aware C++ tokenizer feeding a
+// brace-matched scope tree, still with no libclang dependency.
+//
+// The tree is deliberately approximate — it has to survive real C++ (nested
+// lambdas, init-lists, template angle brackets, macros whose bodies span
+// braces) without ever crashing or mis-nesting the scopes the rules care
+// about. What it guarantees:
+//
+//   * every `{` opens exactly one Scope and every `}` closes the innermost
+//     open one (stray closers from macro tricks pop at most to file scope);
+//   * preprocessor lines never contribute tokens or braces (so a `#define`
+//     whose body opens a brace cannot skew the tree), but `#include` targets
+//     are recorded;
+//   * comments / string / char / raw-string literals never contribute tokens,
+//     while `// vdb-lint: allow(...)` trailers are parsed into a suppression
+//     table with per-entry hit counts (for stale-suppression detection);
+//   * each scope knows its kind (namespace / class / enum / function /
+//     lambda / loop / block), its parent, its line span and its token span;
+//   * each function (and file-scope lambda) carries a fact set: names it
+//     calls, members it touches — the inputs for flow-ish rules like
+//     ungoverned-loop and unordered-iteration-in-result-path;
+//   * range-based `for` statements are extracted with the token span of
+//     their range expression;
+//   * variables declared with an unordered container type (locals, params,
+//     members — anywhere in the file) are collected by name;
+//   * classes whose every data member is atomic / Mutex-wrapped / const are
+//     marked "sync-safe" so `static Dispatch d;` style singletons of
+//     all-atomic structs don't trip mutable-shared-static.
+
+#ifndef VDB_TOOLS_VDB_LINT_ANALYZER_H_
+#define VDB_TOOLS_VDB_LINT_ANALYZER_H_
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace vdb::lint {
+
+enum class TokKind { kIdent, kPunct, kNumber };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  size_t line;
+};
+
+struct Include {
+  std::string header;  // text between <> or "" in an #include
+  size_t line;
+};
+
+/// One `// vdb-lint: allow(rule)` entry. `hits` counts how many diagnostics
+/// it actually silenced, so unused (stale) suppressions can be reported.
+struct Allow {
+  size_t line;
+  std::string rule;
+  size_t hits = 0;
+};
+
+enum class ScopeKind {
+  kFile,       // the implicit outermost scope
+  kNamespace,  // namespace N { } / namespace { } / extern "C" { }
+  kClass,      // class / struct / union definition body
+  kEnum,       // enum / enum class body
+  kFunction,   // function or method definition body
+  kLambda,     // lambda body
+  kLoop,       // for / range-for / while / do body
+  kBlock,      // everything else: if/else/switch/try bodies, init-lists, ...
+};
+
+struct Scope {
+  ScopeKind kind = ScopeKind::kBlock;
+  int parent = -1;
+  std::vector<int> children;
+  std::string name;        // namespace / class / function name ("" otherwise)
+  size_t open_line = 0;    // line of the `{`
+  size_t first_token = 0;  // token index range of the body,
+  size_t last_token = 0;   // half-open [first_token, last_token)
+  int function_index = -1;     // into Analysis::functions for kFunction/kLambda
+  int range_for_index = -1;    // into Analysis::range_fors for range-for kLoop
+  bool loop_is_range_for = false;
+};
+
+/// A range-based for statement: `for (decl : range-expr) { ... }`.
+struct RangeFor {
+  size_t line = 0;          // line of the `for`
+  int scope = -1;           // the kLoop scope it opens (-1 if braceless body)
+  int enclosing_scope = -1; // scope the statement appears in
+  size_t range_begin = 0;   // token span of the range expression,
+  size_t range_end = 0;     // half-open
+};
+
+/// Per-function facts, collected over the function's whole token span
+/// (nested lambdas and blocks included — a ParallelFor callback's body is
+/// still this function's work).
+struct FunctionInfo {
+  int scope = -1;
+  std::string name;        // unqualified ("" for lambdas)
+  std::string class_name;  // enclosing class or `Class::` qualifier, "" if free
+  std::set<std::string> calls;            // f(...), x.f(...), x->f(...)
+  std::set<std::string> members_touched;  // idents after `.` or `->`
+};
+
+struct Analysis {
+  std::vector<Token> tokens;
+  std::vector<Include> includes;
+  std::vector<Allow> allows;
+  std::vector<Scope> scopes;       // scopes[0] is the file scope
+  std::vector<int> token_scope;    // innermost scope index per token
+  std::vector<RangeFor> range_fors;
+  std::vector<FunctionInfo> functions;
+  // Function name -> indices into `functions` (same-file overloads share).
+  std::unordered_map<std::string, std::vector<int>> functions_by_name;
+  // Names of variables declared anywhere in this file with an
+  // unordered_map/unordered_set (multi- variants included) type.
+  std::unordered_set<std::string> unordered_vars;
+  // Classes defined in this file whose every data member is atomic/Mutex/
+  // const — safe to instantiate as a shared static.
+  std::unordered_set<std::string> sync_safe_classes;
+
+  /// True if `name` (or anything transitively called from it, following
+  /// same-file function definitions) calls one of `facts`.
+  bool CallsTransitively(const std::string& name,
+                         const std::unordered_set<std::string>& facts) const;
+
+  /// Innermost enclosing function/lambda scope of `scope_index` (itself
+  /// included), or -1.
+  int EnclosingFunctionScope(int scope_index) const;
+};
+
+/// Tokenizes `src` and builds the scope tree + fact tables.
+Analysis Analyze(const std::string& src);
+
+}  // namespace vdb::lint
+
+#endif  // VDB_TOOLS_VDB_LINT_ANALYZER_H_

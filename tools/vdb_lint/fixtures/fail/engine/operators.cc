@@ -1,0 +1,14 @@
+// Fixture: a row-proportional emit loop in a governed TU with no ExecGuard
+// poll reachable from the loop body or its enclosing function. Expected:
+// ungoverned-loop at the loop head.
+#include <vector>
+
+namespace vdb::engine {
+
+void Materialize(const std::vector<int>& rows, std::vector<int>* out) {
+  for (int r : rows) {
+    out->push_back(r);
+  }
+}
+
+}  // namespace vdb::engine

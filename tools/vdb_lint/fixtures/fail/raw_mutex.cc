@@ -1,0 +1,15 @@
+// Fixture: raw std:: synchronization primitives. Expected: raw-mutex for
+// the <mutex> include and for each banned identifier (mutex twice,
+// lock_guard once) — raw primitives are invisible to -Wthread-safety.
+#include <mutex>
+
+namespace vdb {
+
+std::mutex g_mu;
+
+void Touch() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  (void)lock;
+}
+
+}  // namespace vdb

@@ -1,0 +1,13 @@
+// Fixture: unsynchronized shared mutable state under src/engine/.
+// Expected: mutable-shared-static for the namespace-scope global and for
+// the function-local static — neither is atomic, Mutex-guarded, or const.
+namespace vdb::engine {
+
+int g_call_count = 0;
+
+int NextId() {
+  static int next = 0;
+  return ++next;
+}
+
+}  // namespace vdb::engine

@@ -1,0 +1,20 @@
+// Fixture: range-for over an unordered container inside a result-producing
+// function. Expected: unordered-iteration-in-result-path at the loop head —
+// hash iteration order would decide the output row order.
+#include <unordered_map>
+#include <vector>
+
+namespace vdb::engine {
+
+struct ResultSet {
+  std::vector<int> vals;
+  void AppendValue(int v) { vals.push_back(v); }
+};
+
+void EmitGroups(const std::unordered_map<int, int>& groups, ResultSet* out) {
+  for (const auto& [k, v] : groups) {
+    out->AppendValue(v);
+  }
+}
+
+}  // namespace vdb::engine

@@ -1,0 +1,30 @@
+// Fixture counterpart to fail/engine/operators.cc: emit loops in governed
+// TUs pass when a guard poll is reachable (here: GuardCheck at the top of
+// the enclosing function), or when the loop is provably not
+// row-proportional and says so with a counted allow().
+#include <vector>
+
+namespace vdb::engine {
+
+struct Status {
+  bool ok() const { return true; }
+};
+
+Status GuardCheck();
+
+Status Materialize(const std::vector<int>& rows, std::vector<int>* out) {
+  Status st = GuardCheck();
+  if (!st.ok()) return st;
+  for (int r : rows) {
+    out->push_back(r);
+  }
+  return st;
+}
+
+void CopyFixedHeader(std::vector<int>* out) {
+  for (int i = 0; i < 4; ++i) {  // vdb-lint: allow(ungoverned-loop) fixed four-slot header, not row-proportional
+    out->push_back(i);
+  }
+}
+
+}  // namespace vdb::engine

@@ -1,0 +1,31 @@
+// Fixture counterpart to fail/src/engine/unordered_result.cc: the two
+// sanctioned ways to emit grouped output deterministically — iterate an
+// ordered container, or collect the hash-table keys, sort them, and address
+// the table by key. The collection loop itself iterates the unordered
+// container, so it carries the counted allow() that documents why that is
+// fine here.
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace vdb::engine {
+
+struct ResultSet {
+  std::vector<int> vals;
+  void AppendValue(int v) { vals.push_back(v); }
+};
+
+void EmitGroupsOrdered(const std::map<int, int>& by_key, ResultSet* out) {
+  for (const auto& [k, v] : by_key) out->AppendValue(v);
+}
+
+void EmitGroupsSorted(const std::unordered_map<int, int>& groups,
+                      ResultSet* out) {
+  std::vector<int> keys;
+  for (const auto& [k, v] : groups) keys.push_back(k);  // vdb-lint: allow(unordered-iteration-in-result-path) keys sorted below before emission
+  std::sort(keys.begin(), keys.end());
+  for (int k : keys) out->AppendValue(groups.at(k));
+}
+
+}  // namespace vdb::engine

@@ -1,0 +1,23 @@
+// Fixture counterpart to fail/src/engine/static_state.cc: every shape of
+// engine-shared static the rule accepts — atomics, constants, and a leaked
+// singleton of a class whose every data member is itself synchronized
+// (detected as "sync-safe", so no allow() is needed).
+#include <atomic>
+#include <cstdint>
+
+namespace vdb::engine {
+
+std::atomic<uint64_t> g_counter{0};
+constexpr int kMaxGroups = 1 << 20;
+
+struct Telemetry {
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+};
+
+Telemetry& GlobalTelemetry() {
+  static Telemetry t;
+  return t;
+}
+
+}  // namespace vdb::engine

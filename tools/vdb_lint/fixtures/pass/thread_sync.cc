@@ -1,0 +1,20 @@
+// Fixture counterpart to fail/raw_mutex.cc: the CAPABILITY-annotated
+// wrappers from common/thread_annotations.h pass everywhere — they are the
+// primitives -Wthread-safety can actually check.
+#include "common/thread_annotations.h"
+
+namespace vdb {
+
+class Registry {
+ public:
+  void Add(int v) {
+    MutexLock lock(mu_);
+    total_ += v;
+  }
+
+ private:
+  Mutex mu_;
+  int total_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace vdb

@@ -1,0 +1,12 @@
+// SARIF golden-file input: three violations across three rules. The
+// self-test lints this file under the pseudo-path src/engine/sarif_input.cc
+// and compares ToSarif() byte-for-byte against golden.sarif.
+#include <mutex>
+
+namespace vdb::engine {
+
+int g_hits = 0;
+
+int Sample() { return rand(); }
+
+}  // namespace vdb::engine

@@ -1,204 +1,24 @@
 #include "lint.h"
 
 #include <algorithm>
-#include <cctype>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
-#include <set>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "analyzer.h"
 
 namespace vdb::lint {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Tokenizer
-//
-// Just enough C++ lexing for contract rules: identifiers, punctuation, and
-// #include targets, with comments / string literals / char literals / raw
-// strings skipped so "rand" inside a diagnostic message never fires a rule.
-// Comments are not discarded entirely — `// vdb-lint: allow(...)` trailers
-// are parsed into a per-line suppression table.
-// ---------------------------------------------------------------------------
-
-enum class TokKind { kIdent, kPunct, kNumber };
-
-struct Token {
-  TokKind kind;
-  std::string text;
-  size_t line;
-};
-
-struct Include {
-  std::string header;  // text between <> or "" in an #include
-  size_t line;
-};
-
-struct Source {
-  std::vector<Token> tokens;
-  std::vector<Include> includes;
-  // line -> rule names allowed on that line via `// vdb-lint: allow(...)`.
-  std::unordered_map<size_t, std::set<std::string>> allows;
-};
-
-bool IsIdentStart(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
 }
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-// Parses the body of a comment for `vdb-lint: allow(rule-a, rule-b)` and
-// records the named rules against `line`.
-void ParseAllowComment(const std::string& comment, size_t line, Source* out) {
-  const std::string kTag = "vdb-lint:";
-  size_t at = comment.find(kTag);
-  if (at == std::string::npos) return;
-  at += kTag.size();
-  while (at < comment.size() &&
-         std::isspace(static_cast<unsigned char>(comment[at]))) {
-    ++at;
-  }
-  if (comment.compare(at, 5, "allow") != 0) return;
-  const size_t open = comment.find('(', at);
-  if (open == std::string::npos) return;
-  const size_t close = comment.find(')', open);
-  if (close == std::string::npos) return;
-  std::string inside = comment.substr(open + 1, close - open - 1);
-  std::string name;
-  std::stringstream ss(inside);
-  while (std::getline(ss, name, ',')) {
-    const size_t b = name.find_first_not_of(" \t");
-    const size_t e = name.find_last_not_of(" \t");
-    if (b == std::string::npos) continue;
-    out->allows[line].insert(name.substr(b, e - b + 1));
-  }
-}
-
-Source Tokenize(const std::string& src) {
-  Source out;
-  size_t i = 0;
-  size_t line = 1;
-  const size_t n = src.size();
-  bool at_line_start = true;  // only whitespace seen since the last newline
-
-  auto advance = [&](size_t count) {
-    for (size_t k = 0; k < count && i < n; ++k) {
-      if (src[i] == '\n') {
-        ++line;
-        at_line_start = true;
-      }
-      ++i;
-    }
-  };
-
-  while (i < n) {
-    const char c = src[i];
-
-    if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
-      advance(1);
-      continue;
-    }
-
-    // Line comment — capture it for allow() parsing, then skip to newline.
-    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-      const size_t start = i;
-      while (i < n && src[i] != '\n') ++i;
-      ParseAllowComment(src.substr(start, i - start), line, &out);
-      at_line_start = false;
-      continue;
-    }
-
-    // Block comment. An allow() applies to the line the comment starts on.
-    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-      const size_t start = i;
-      const size_t start_line = line;
-      advance(2);
-      while (i < n && !(src[i] == '*' && i + 1 < n && src[i + 1] == '/')) {
-        advance(1);
-      }
-      ParseAllowComment(src.substr(start, i - start), start_line, &out);
-      advance(2);
-      continue;
-    }
-
-    // Raw string literal: R"delim( ... )delim"
-    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
-      size_t j = i + 2;
-      std::string delim;
-      while (j < n && src[j] != '(' && src[j] != '\n') delim += src[j++];
-      if (j < n && src[j] == '(') {
-        const std::string closer = ")" + delim + "\"";
-        const size_t end = src.find(closer, j + 1);
-        advance((end == std::string::npos ? n : end + closer.size()) - i);
-        continue;
-      }
-      // Not actually a raw string ("R" followed by something odd): fall
-      // through and lex R as an identifier.
-    }
-
-    // String / char literal.
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      advance(1);
-      while (i < n && src[i] != quote) {
-        if (src[i] == '\\' && i + 1 < n) advance(1);
-        advance(1);
-      }
-      advance(1);
-      continue;
-    }
-
-    // Preprocessor line; record #include targets, skip the rest (with
-    // continuation handling so multi-line macros don't leak tokens).
-    if (c == '#' && at_line_start) {
-      size_t j = i + 1;
-      while (j < n && (src[j] == ' ' || src[j] == '\t')) ++j;
-      if (src.compare(j, 7, "include") == 0) {
-        j += 7;
-        while (j < n && (src[j] == ' ' || src[j] == '\t')) ++j;
-        if (j < n && (src[j] == '<' || src[j] == '"')) {
-          const char close = src[j] == '<' ? '>' : '"';
-          const size_t end = src.find(close, j + 1);
-          if (end != std::string::npos) {
-            out.includes.push_back({src.substr(j + 1, end - j - 1), line});
-          }
-        }
-      }
-      while (i < n && src[i] != '\n') {
-        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') advance(1);
-        advance(1);
-      }
-      continue;
-    }
-    at_line_start = false;
-
-    if (IsIdentStart(c)) {
-      const size_t start = i;
-      while (i < n && IsIdentChar(src[i])) ++i;
-      out.tokens.push_back({TokKind::kIdent, src.substr(start, i - start), line});
-      continue;
-    }
-
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      while (i < n && (IsIdentChar(src[i]) || src[i] == '.')) ++i;
-      out.tokens.push_back({TokKind::kNumber, "", line});
-      continue;
-    }
-
-    // Punctuation. Only `+=` needs to be fused for the rules; everything
-    // else (including < > : ( ) . , ;) is emitted one char at a time.
-    if (c == '+' && i + 1 < n && src[i + 1] == '=') {
-      out.tokens.push_back({TokKind::kPunct, "+=", line});
-      i += 2;
-      continue;
-    }
-    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
-    ++i;
-  }
-  return out;
+bool IsIdent(const Token& t, const char* text) {
+  return t.kind == TokKind::kIdent && t.text == text;
 }
 
 // ---------------------------------------------------------------------------
@@ -207,8 +27,9 @@ Source Tokenize(const std::string& src) {
 
 struct Ctx {
   const std::string& path;  // slash-normalized
-  const Source& src;
+  Analysis& src;            // allow() hit counts mutate during Emit
   Report* report;
+  RuleStat* stat = nullptr;  // the rule currently running
 
   bool PathEndsWith(const std::string& suffix) const {
     return path.size() >= suffix.size() &&
@@ -220,12 +41,16 @@ struct Ctx {
   }
 
   void Emit(const std::string& rule, size_t line, const std::string& message) {
-    auto it = src.allows.find(line);
-    if (it != src.allows.end() && it->second.count(rule)) {
-      ++report->suppressions_used;
-      return;
+    for (Allow& a : src.allows) {
+      if (a.line == line && a.rule == rule) {
+        ++a.hits;
+        ++report->suppressions_used;
+        if (stat != nullptr) ++stat->suppressions;
+        return;
+      }
     }
     report->violations.push_back({path, line, rule, message});
+    if (stat != nullptr) ++stat->violations;
   }
 };
 
@@ -256,15 +81,12 @@ void RuleRngOutsideRandom(Ctx& ctx) {
     }
   }
   for (const Include& inc : ctx.src.includes) {
-    if (inc.header == "random" || inc.header == "cstdlib" ||
-        inc.header == "stdlib.h") {
-      // <cstdlib> is fine by itself (exit, getenv, strtol live there); only
-      // <random> implies an engine is about to be constructed.
-      if (inc.header == "random") {
-        ctx.Emit(kRule, inc.line,
-                 "#include <random> outside common/random.*; engines live "
-                 "behind vdb::Rng");
-      }
+    // <cstdlib> is fine by itself (exit, getenv, strtol live there); only
+    // <random> implies an engine is about to be constructed.
+    if (inc.header == "random") {
+      ctx.Emit(kRule, inc.line,
+               "#include <random> outside common/random.*; engines live "
+               "behind vdb::Rng");
     }
   }
 }
@@ -320,9 +142,7 @@ void RuleStringKeyedMap(Ctx& ctx) {
         (t.text != "map" && t.text != "unordered_map")) {
       continue;
     }
-    if (toks[k + 1].kind != TokKind::kPunct || toks[k + 1].text != "<") {
-      continue;
-    }
+    if (!IsPunct(toks[k + 1], "<")) continue;
     // Scan the first template argument (depth-1 tokens up to the first ','
     // or the closing '>').
     int depth = 1;
@@ -364,11 +184,10 @@ void RuleRawDoubleAccumulate(Ctx& ctx) {
   };
   const std::vector<Token>& toks = ctx.src.tokens;
   for (size_t k = 0; k < toks.size(); ++k) {
-    if (toks[k].kind != TokKind::kPunct || toks[k].text != "+=") continue;
+    if (!IsPunct(toks[k], "+=")) continue;
     // Walk left over a possible [index] to the target identifier.
     size_t j = k;
-    if (j > 0 && toks[j - 1].kind == TokKind::kPunct &&
-        toks[j - 1].text == "]") {
+    if (j > 0 && IsPunct(toks[j - 1], "]")) {
       int depth = 1;
       --j;
       while (j > 0 && depth > 0) {
@@ -403,8 +222,7 @@ void RuleNakedSizeNarrowing(Ctx& ctx) {
   const std::vector<Token>& toks = ctx.src.tokens;
   for (size_t k = 0; k + 4 < toks.size(); ++k) {
     // static_cast < uint32_t > ( ... .size() ... )
-    if (toks[k].kind != TokKind::kIdent || toks[k].text != "static_cast")
-      continue;
+    if (!IsIdent(toks[k], "static_cast")) continue;
     if (toks[k + 1].text != "<" || toks[k + 2].text != "uint32_t" ||
         toks[k + 3].text != ">" || toks[k + 4].text != "(") {
       continue;
@@ -430,24 +248,29 @@ void RuleNakedSizeNarrowing(Ctx& ctx) {
   }
 }
 
+// The governed hot TUs: engine structures whose footprint and iteration
+// counts are row-proportional, where PR 9 planted the budget charges and
+// cancellation poll points. naked-reserve and ungoverned-loop share this
+// scope.
+bool InGovernedTu(const Ctx& ctx) {
+  return ctx.PathEndsWith("engine/join_table.cc") ||
+         ctx.PathEndsWith("engine/join_table.h") ||
+         ctx.PathEndsWith("engine/agg_table.cc") ||
+         ctx.PathEndsWith("engine/agg_table.h") ||
+         ctx.PathEndsWith("engine/operators.cc");
+}
+
 // --- naked-reserve ----------------------------------------------------------
 //
-// In the governed hot TUs (join_table, agg_table, operators — the engine
-// structures whose footprint is row-proportional) every reserve/resize must
-// be budget-charged through ExecGuard::TryReserve (via Charge(),
-// GuardTryReserve, or ScopedReservation) or carry an allow() naming the
-// exemption: fixed-size chunk, column-count bounded, or charged by the
-// caller. An unannotated reserve is how an over-budget query turns into an
-// std::bad_alloc abort instead of a clean kResourceExhausted.
+// In the governed hot TUs every reserve/resize must be budget-charged
+// through ExecGuard::TryReserve (via Charge(), GuardTryReserve, or
+// ScopedReservation) or carry an allow() naming the exemption: fixed-size
+// chunk, column-count bounded, or charged by the caller. An unannotated
+// reserve is how an over-budget query turns into an std::bad_alloc abort
+// instead of a clean kResourceExhausted.
 void RuleNakedReserve(Ctx& ctx) {
   static const char* kRule = "naked-reserve";
-  if (!ctx.PathEndsWith("engine/join_table.cc") &&
-      !ctx.PathEndsWith("engine/join_table.h") &&
-      !ctx.PathEndsWith("engine/agg_table.cc") &&
-      !ctx.PathEndsWith("engine/agg_table.h") &&
-      !ctx.PathEndsWith("engine/operators.cc")) {
-    return;
-  }
+  if (!InGovernedTu(ctx)) return;
   const std::vector<Token>& toks = ctx.src.tokens;
   for (size_t k = 1; k + 1 < toks.size(); ++k) {
     const Token& t = toks[k];
@@ -455,17 +278,14 @@ void RuleNakedReserve(Ctx& ctx) {
         (t.text != "reserve" && t.text != "resize")) {
       continue;
     }
-    if (toks[k + 1].kind != TokKind::kPunct || toks[k + 1].text != "(") {
-      continue;
-    }
+    if (!IsPunct(toks[k + 1], "(")) continue;
     // Member call only: `x.reserve(` or `x->reserve(` (the tokenizer emits
     // '-' and '>' as separate punctuation).
     const Token& prev = toks[k - 1];
     const bool member =
         prev.kind == TokKind::kPunct &&
         (prev.text == "." ||
-         (prev.text == ">" && k >= 2 && toks[k - 2].kind == TokKind::kPunct &&
-          toks[k - 2].text == "-"));
+         (prev.text == ">" && k >= 2 && IsPunct(toks[k - 2], "-")));
     if (!member) continue;
     ctx.Emit(kRule, t.line,
              "'" + t.text +
@@ -476,7 +296,334 @@ void RuleNakedReserve(Ctx& ctx) {
   }
 }
 
+// --- unordered-iteration-in-result-path -------------------------------------
+//
+// Iterating a hash table is the one bit-identity breaker no differential
+// fuzz suite reliably catches: libstdc++'s iteration order is stable for a
+// fixed build, so serial-vs-parallel comparisons pass locally and the
+// nondeterminism only surfaces under a different standard library, hash
+// seed, or allocation history. In the result-producing layers (src/engine,
+// src/estimator, src/integrated, src/core) a range-for over an
+// unordered_map/unordered_set inside a function that emits output rows must
+// iterate sorted keys or index-addressed storage instead.
+void RuleUnorderedIterationInResultPath(Ctx& ctx) {
+  static const char* kRule = "unordered-iteration-in-result-path";
+  if (!ctx.PathContains("src/engine/") && !ctx.PathContains("src/estimator/") &&
+      !ctx.PathContains("src/integrated/") && !ctx.PathContains("src/core/")) {
+    return;
+  }
+  static const std::unordered_set<std::string> kUnorderedTypes = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  // The facts that make a function "result-producing": it appends rows or
+  // values to an output container, directly or through a same-file callee.
+  static const std::unordered_set<std::string> kSinks = {
+      "AppendRow",   "AppendValue",  "AppendRange", "AppendSelected",
+      "Append",      "push_back",    "emplace_back", "AddRow",
+  };
+  const Analysis& src = ctx.src;
+  for (const RangeFor& rf : src.range_fors) {
+    bool unordered = false;
+    for (size_t k = rf.range_begin; k < rf.range_end && !unordered; ++k) {
+      const Token& t = src.tokens[k];
+      if (t.kind != TokKind::kIdent) continue;
+      if (kUnorderedTypes.count(t.text) || src.unordered_vars.count(t.text)) {
+        unordered = true;
+      }
+    }
+    if (!unordered) continue;
+    const int fscope = src.EnclosingFunctionScope(rf.enclosing_scope);
+    if (fscope < 0) continue;
+    const FunctionInfo& fn = src.functions[static_cast<size_t>(
+        src.scopes[static_cast<size_t>(fscope)].function_index)];
+    bool result_producing = false;
+    for (const std::string& call : fn.calls) {
+      if (src.CallsTransitively(call, kSinks)) {
+        result_producing = true;
+        break;
+      }
+    }
+    if (!result_producing) continue;
+    ctx.Emit(kRule, rf.line,
+             "range-for over an unordered container in result-producing "
+             "function '" +
+                 (fn.name.empty() ? std::string("<lambda>") : fn.name) +
+                 "'; hash iteration order is nondeterministic — sort the "
+                 "keys or address by index before emitting output");
+  }
+}
+
+// --- ungoverned-loop --------------------------------------------------------
+//
+// PR 9's cancellation contract: every row-proportional site in a governed TU
+// polls the ExecGuard (GuardCheck at batch boundaries, TryReserve before
+// growth) so a cancel/deadline/budget trip unwinds promptly. A loop whose
+// body emits per-row output but has no poll fact reachable — in its own
+// body, through a same-file callee, through an enclosing loop, or anywhere
+// in its enclosing function — is a new operator regressing that contract.
+void RuleUngovernedLoop(Ctx& ctx) {
+  static const char* kRule = "ungoverned-loop";
+  if (!InGovernedTu(ctx)) return;
+  static const std::unordered_set<std::string> kPolls = {
+      "GuardCheck",        "GuardTryReserve",
+      "TryReserve",        "Check",
+      "ScopedReservation", "guard_status",
+      "guard_status_",     "GatherGuarded",
+      "ParallelForStatus", "ParallelMorselMapStatus"};
+  static const std::unordered_set<std::string> kEmits = {
+      "push_back", "emplace_back", "insert",        "Append",
+      "AppendRow", "AppendRange",  "AppendSelected"};
+  const Analysis& src = ctx.src;
+
+  // A token span "reaches a poll" if it names one directly or calls a
+  // same-file function whose transitive call facts include one.
+  auto span_reaches_poll = [&](size_t first, size_t last) {
+    for (size_t k = first; k < last; ++k) {
+      const Token& t = src.tokens[k];
+      if (t.kind != TokKind::kIdent) continue;
+      if (kPolls.count(t.text)) return true;
+      if (k + 1 < src.tokens.size() && IsPunct(src.tokens[k + 1], "(") &&
+          src.CallsTransitively(t.text, kPolls)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (size_t si = 0; si < src.scopes.size(); ++si) {
+    const Scope& s = src.scopes[si];
+    if (s.kind != ScopeKind::kLoop) continue;
+    // Per-row work: the body appends to some container.
+    bool emits = false;
+    for (size_t k = s.first_token; k + 1 < s.last_token && !emits; ++k) {
+      const Token& t = src.tokens[k];
+      if (t.kind == TokKind::kIdent && kEmits.count(t.text) &&
+          IsPunct(src.tokens[k + 1], "(") && k > 0 &&
+          (IsPunct(src.tokens[k - 1], ".") ||
+           (IsPunct(src.tokens[k - 1], ">") && k > 1 &&
+            IsPunct(src.tokens[k - 2], "-")))) {
+        emits = true;
+      }
+    }
+    if (!emits) continue;
+    // Governed if a poll fact is reachable from the loop body or anywhere in
+    // the enclosing function (the poll typically sits at the enclosing
+    // chunk-claim boundary rather than inside the innermost loop).
+    if (span_reaches_poll(s.first_token, s.last_token)) continue;
+    const int fscope = src.EnclosingFunctionScope(s.parent);
+    if (fscope >= 0) {
+      const Scope& f = src.scopes[static_cast<size_t>(fscope)];
+      if (span_reaches_poll(f.first_token, f.last_token)) continue;
+    }
+    ctx.Emit(kRule, s.open_line,
+             "loop emits per-row output but no GuardCheck/TryReserve poll "
+             "fact is reachable from its body or enclosing function; add a "
+             "poll point (see docs/INVARIANTS.md, cancellation contract)");
+  }
+}
+
+// --- raw-mutex --------------------------------------------------------------
+//
+// Raw std:: synchronization primitives are invisible to clang's
+// -Wthread-safety analysis; only the CAPABILITY-annotated wrappers in
+// common/thread_annotations.h (Mutex, MutexLock, CondVar) participate in
+// GUARDED_BY/REQUIRES checking. A raw std::mutex compiles fine and silently
+// excludes its critical sections from the analysis the lint CI leg exists
+// to run.
+void RuleRawMutex(Ctx& ctx) {
+  static const char* kRule = "raw-mutex";
+  if (ctx.PathEndsWith("common/thread_annotations.h")) return;
+  static const std::unordered_set<std::string> kBanned = {
+      "mutex",          "recursive_mutex",
+      "timed_mutex",    "recursive_timed_mutex",
+      "shared_mutex",   "shared_timed_mutex",
+      "lock_guard",     "unique_lock",
+      "scoped_lock",    "shared_lock",
+      "condition_variable", "condition_variable_any"};
+  static const std::unordered_set<std::string> kHeaders = {
+      "mutex", "shared_mutex", "condition_variable"};
+  for (const Include& inc : ctx.src.includes) {
+    if (kHeaders.count(inc.header)) {
+      ctx.Emit(kRule, inc.line,
+               "#include <" + inc.header +
+                   "> outside common/thread_annotations.h; use the annotated "
+                   "Mutex/MutexLock/CondVar wrappers");
+    }
+  }
+  for (const Token& t : ctx.src.tokens) {
+    if (t.kind == TokKind::kIdent && kBanned.count(t.text)) {
+      ctx.Emit(kRule, t.line,
+               "raw 'std::" + t.text +
+                   "' escapes thread-safety analysis; use the annotated "
+                   "wrappers in common/thread_annotations.h");
+    }
+  }
+}
+
+// --- mutable-shared-static --------------------------------------------------
+//
+// Shared mutable state that isn't atomic, Mutex-guarded, or const is exactly
+// how the PR 8 shared-Database races happened, and it is invisible to the
+// annotation layer unless someone remembers to write GUARDED_BY. Under
+// src/engine/ a non-const function-local static or namespace-scope variable
+// must be atomic, Mutex-protected, const/constexpr, or an instance of a
+// same-file class whose every data member is already synchronized.
+void RuleMutableSharedStatic(Ctx& ctx) {
+  static const char* kRule = "mutable-shared-static";
+  if (!ctx.PathContains("src/engine/")) return;
+  static const std::unordered_set<std::string> kSafeMarkers = {
+      "const", "constexpr", "atomic", "Mutex", "MutexLock", "CondVar",
+      "thread_local"};
+  const Analysis& src = ctx.src;
+  const std::vector<Token>& toks = src.tokens;
+
+  // (a) Function-local statics.
+  for (size_t k = 0; k < toks.size(); ++k) {
+    if (!IsIdent(toks[k], "static")) continue;
+    const int sk = src.token_scope[k];
+    if (src.EnclosingFunctionScope(sk) < 0) continue;  // not in a function
+    // Collect the declaration statement: this scope's own tokens up to `;`.
+    bool safe = false;
+    std::string first_type_ident;
+    const Scope& scope = src.scopes[static_cast<size_t>(sk)];
+    for (size_t j = k + 1; j < scope.last_token; ++j) {
+      if (src.token_scope[j] != sk) continue;  // skip init-brace innards
+      const Token& t = toks[j];
+      if (IsPunct(t, ";")) break;
+      if (t.kind == TokKind::kIdent) {
+        if (kSafeMarkers.count(t.text)) safe = true;
+        if (first_type_ident.empty() && t.text != "std" &&
+            t.text != "struct" && t.text != "class") {
+          first_type_ident = t.text;
+        }
+      }
+    }
+    if (!safe && src.sync_safe_classes.count(first_type_ident)) safe = true;
+    if (!safe) {
+      ctx.Emit(kRule, toks[k].line,
+               "non-const function-local static without atomic/Mutex "
+               "protection; shared mutable state must be synchronized (or "
+               "const) — see docs/INVARIANTS.md");
+    }
+  }
+
+  // (b) Namespace-scope variables.
+  for (size_t si = 0; si < src.scopes.size(); ++si) {
+    const Scope& s = src.scopes[si];
+    if (s.kind != ScopeKind::kFile && s.kind != ScopeKind::kNamespace) {
+      continue;
+    }
+    // Statements over the scope's own tokens; a gap (nested scope) or brace
+    // token also terminates a statement, so function bodies and init-lists
+    // never glue declarations together.
+    size_t stmt_line = 0;
+    size_t prev_index = s.first_token;
+    bool safe = false, has_paren = false, skip = false, any_ident = false;
+    std::string first_ident, first_type_ident;
+    auto flush = [&]() {
+      if (any_ident && !has_paren && !skip && !safe &&
+          !src.sync_safe_classes.count(first_type_ident)) {
+        ctx.Emit(kRule, stmt_line,
+                 "mutable namespace-scope state '" + first_type_ident +
+                     " ...' without atomic/Mutex protection; wrap it in "
+                     "std::atomic / Mutex (GUARDED_BY) or make it "
+                     "const/constexpr");
+      }
+      stmt_line = 0;
+      safe = has_paren = skip = any_ident = false;
+      first_ident.clear();
+      first_type_ident.clear();
+    };
+    for (size_t k = s.first_token; k < s.last_token; ++k) {
+      if (src.token_scope[k] != static_cast<int>(si)) continue;
+      if (k > prev_index + 1 && prev_index != s.first_token) flush();
+      prev_index = k;
+      const Token& t = toks[k];
+      if (t.kind == TokKind::kPunct &&
+          (t.text == ";" || t.text == "{" || t.text == "}")) {
+        flush();
+        continue;
+      }
+      if (stmt_line == 0) stmt_line = t.line;
+      if (t.kind == TokKind::kIdent) {
+        if (first_ident.empty()) {
+          first_ident = t.text;
+          static const std::unordered_set<std::string> kSkipStarters = {
+              "using",  "typedef", "extern",   "template", "friend",
+              "static_assert",     "namespace", "struct",  "class",
+              "union",  "enum",    "public",   "private",  "protected"};
+          if (kSkipStarters.count(t.text)) skip = true;
+        }
+        if (kSafeMarkers.count(t.text)) safe = true;
+        if (first_type_ident.empty() && t.text != "std" &&
+            t.text != "static" && t.text != "inline") {
+          first_type_ident = t.text;
+        }
+        any_ident = true;
+      }
+      if (IsPunct(t, "(")) has_paren = true;
+    }
+    flush();
+  }
+}
+
 // ---------------------------------------------------------------------------
+// Registry, meta checks, entry points
+// ---------------------------------------------------------------------------
+
+using RuleFn = void (*)(Ctx&);
+
+struct RuleEntry {
+  const char* name;
+  const char* description;
+  RuleFn fn;
+};
+
+const std::vector<RuleEntry>& Registry() {
+  static const std::vector<RuleEntry> kRules = {
+      {"rng-outside-random",
+       "RNG draws must route through the row-addressed CounterRandom "
+       "substrate in common/random.*",
+       RuleRngOutsideRandom},
+      {"simd-outside-kernel-tu",
+       "SIMD intrinsics are confined to engine/kernels/kernels_avx2.cc, the "
+       "only TU built with -mavx2",
+       RuleSimdOutsideKernelTu},
+      {"string-keyed-map",
+       "No std::map/std::unordered_map keyed by std::string under "
+       "src/engine/; hot paths use the flat hashed tables",
+       RuleStringKeyedMap},
+      {"raw-double-accumulate",
+       "Float accumulation in the aggregate kernels goes through NeumaierAdd, "
+       "never a raw '+='",
+       RuleRawDoubleAccumulate},
+      {"naked-size-narrowing",
+       "Row counts narrow to uint32_t only behind an explicit 2^32 Status "
+       "guard",
+       RuleNakedSizeNarrowing},
+      {"naked-reserve",
+       "reserve/resize in the governed hot TUs must be budget-charged through "
+       "ExecGuard::TryReserve",
+       RuleNakedReserve},
+      {"unordered-iteration-in-result-path",
+       "No range-for over unordered containers in result-producing functions; "
+       "hash iteration order is nondeterministic",
+       RuleUnorderedIterationInResultPath},
+      {"ungoverned-loop",
+       "Loops emitting per-row output in governed TUs must have a reachable "
+       "GuardCheck/TryReserve poll fact",
+       RuleUngovernedLoop},
+      {"raw-mutex",
+       "Raw std:: synchronization primitives escape thread-safety analysis; "
+       "use the annotated wrappers in common/thread_annotations.h",
+       RuleRawMutex},
+      {"mutable-shared-static",
+       "Non-const statics and globals under src/engine/ must be atomic, "
+       "Mutex-guarded, or const",
+       RuleMutableSharedStatic},
+  };
+  return kRules;
+}
 
 std::string NormalizePath(const std::string& path) {
   std::string out = path;
@@ -484,34 +631,92 @@ std::string NormalizePath(const std::string& path) {
   return out;
 }
 
+void EnsureStats(Report* report) {
+  if (!report->rule_stats.empty()) return;
+  for (const RuleEntry& r : Registry()) {
+    report->rule_stats.push_back({r.name, 0, 0, 0});
+  }
+}
+
 }  // namespace
 
 const std::vector<std::string>& RuleNames() {
-  static const std::vector<std::string> kNames = {
-      "rng-outside-random",    "simd-outside-kernel-tu",
-      "string-keyed-map",      "raw-double-accumulate",
-      "naked-size-narrowing",  "naked-reserve",
-  };
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    for (const RuleEntry& r : Registry()) names.push_back(r.name);
+    return names;
+  }();
   return kNames;
+}
+
+std::string RuleDescription(const std::string& rule) {
+  for (const RuleEntry& r : Registry()) {
+    if (rule == r.name) return r.description;
+  }
+  if (rule == "unknown-rule") {
+    return "An allow() comment names a rule that does not exist in the "
+           "registry";
+  }
+  if (rule == "stale-suppression") {
+    return "An allow() comment matches no diagnostic on its line and should "
+           "be deleted";
+  }
+  if (rule == "io") return "The path could not be read";
+  return "";
 }
 
 void LintSource(const std::string& path, const std::string& content,
                 Report* report) {
+  const auto t_begin = std::chrono::steady_clock::now();
   const std::string norm = NormalizePath(path);
-  const Source src = Tokenize(content);
+  Analysis src = Analyze(content);
+  EnsureStats(report);
   Ctx ctx{norm, src, report};
-  RuleRngOutsideRandom(ctx);
-  RuleSimdOutsideKernelTu(ctx);
-  RuleStringKeyedMap(ctx);
-  RuleRawDoubleAccumulate(ctx);
-  RuleNakedSizeNarrowing(ctx);
-  RuleNakedReserve(ctx);
+  const auto& rules = Registry();
+  for (size_t i = 0; i < rules.size(); ++i) {
+    ctx.stat = &report->rule_stats[i];
+    const auto t0 = std::chrono::steady_clock::now();
+    rules[i].fn(ctx);
+    const auto t1 = std::chrono::steady_clock::now();
+    ctx.stat->nanos += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+  }
+  ctx.stat = nullptr;
+
+  // Suppression-table hygiene: an allow() must name a real rule and must
+  // have silenced at least one diagnostic. Neither failure is suppressible.
+  static const std::unordered_set<std::string> kValid = [] {
+    std::unordered_set<std::string> v;
+    for (const std::string& n : RuleNames()) v.insert(n);
+    return v;
+  }();
+  for (const Allow& a : src.allows) {
+    if (!kValid.count(a.rule)) {
+      report->violations.push_back(
+          {norm, a.line, "unknown-rule",
+           "allow() names unknown rule '" + a.rule +
+               "'; run vdb_lint --list-rules for the registry"});
+    } else if (a.hits == 0) {
+      report->violations.push_back(
+          {norm, a.line, "stale-suppression",
+           "allow(" + a.rule +
+               ") matches no diagnostic on this line; delete the stale "
+               "suppression"});
+    }
+  }
+
   ++report->files_scanned;
+  const auto t_end = std::chrono::steady_clock::now();
+  report->total_nanos += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t_end - t_begin)
+          .count());
 }
 
 Report LintPaths(const std::vector<std::string>& roots) {
   namespace fs = std::filesystem;
   Report report;
+  EnsureStats(&report);
 
   auto wants = [](const fs::path& p) {
     const std::string ext = p.extension().string();
@@ -571,6 +776,36 @@ Report LintPaths(const std::vector<std::string>& roots) {
 std::string FormatDiagnostic(const Diagnostic& d) {
   std::ostringstream os;
   os << d.file << ":" << d.line << ": [" << d.rule << "] " << d.message;
+  return os.str();
+}
+
+std::string FormatStats(const Report& report) {
+  std::ostringstream os;
+  os << "| rule | time (ms) | violations | suppressions |\n"
+     << "|---|---:|---:|---:|\n";
+  auto ms = [](uint64_t nanos) {
+    std::ostringstream v;
+    v.setf(std::ios::fixed);
+    v.precision(3);
+    v << static_cast<double>(nanos) / 1e6;
+    return v.str();
+  };
+  uint64_t rule_nanos = 0;
+  size_t violations = 0, suppressions = 0;
+  for (const RuleStat& s : report.rule_stats) {
+    os << "| " << s.rule << " | " << ms(s.nanos) << " | " << s.violations
+       << " | " << s.suppressions << " |\n";
+    rule_nanos += s.nanos;
+    violations += s.violations;
+    suppressions += s.suppressions;
+  }
+  os << "| **total (rules)** | " << ms(rule_nanos) << " | " << violations
+     << " | " << suppressions << " |\n";
+  os << "\n"
+     << report.files_scanned << " file(s) scanned in " << ms(report.total_nanos)
+     << " ms (tokenize + scope tree + rules), " << report.violations.size()
+     << " violation(s), " << report.suppressions_used
+     << " suppression(s) honored\n";
   return os.str();
 }
 

@@ -1,9 +1,17 @@
-// vdb-lint driver: `vdb_lint <paths...>` lints the given files/directories
-// and exits non-zero if any contract violation survives its allow() check.
-// See lint.h for the rule set and docs/INVARIANTS.md for the rationale.
+// vdb-lint driver: `vdb_lint [options] <paths...>` lints the given
+// files/directories and exits non-zero if any contract violation — or any
+// stale/unknown allow() suppression — survives. See lint.h for the rule set
+// and docs/INVARIANTS.md for the rationale.
+//
+//   --sarif <file>   also write the report as SARIF 2.1.0 (for GitHub code
+//                    scanning; CI uploads it so violations annotate PR diffs)
+//   --stats          print a per-rule timing/outcome markdown table (CI pipes
+//                    it into the job summary)
+//   --list-rules     print the rule registry and exit
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -11,6 +19,8 @@
 
 int main(int argc, char** argv) {
   std::vector<std::string> roots;
+  std::string sarif_path;
+  bool stats = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--list-rules") == 0) {
       for (const std::string& r : vdb::lint::RuleNames()) {
@@ -18,12 +28,27 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
+    if (std::strcmp(argv[i], "--sarif") == 0 && i + 1 < argc) {
+      sarif_path = argv[++i];
+      continue;
+    }
+    if (std::strncmp(argv[i], "--sarif=", 8) == 0) {
+      sarif_path = argv[i] + 8;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--stats") == 0) {
+      stats = true;
+      continue;
+    }
     if (std::strcmp(argv[i], "--help") == 0 ||
         std::strcmp(argv[i], "-h") == 0) {
       std::printf(
-          "usage: vdb_lint [--list-rules] <file-or-dir>...\n"
+          "usage: vdb_lint [--list-rules] [--sarif <file>] [--stats] "
+          "<file-or-dir>...\n"
           "Checks the project contracts (see docs/INVARIANTS.md).\n"
-          "Suppress a finding in place with: // vdb-lint: allow(<rule>)\n");
+          "Suppress a finding in place with: // vdb-lint: allow(<rule>)\n"
+          "Unknown rule names in allow() and suppressions that match no\n"
+          "diagnostic are themselves errors.\n");
       return 0;
     }
     roots.emplace_back(argv[i]);
@@ -34,10 +59,23 @@ int main(int argc, char** argv) {
   for (const auto& d : report.violations) {
     std::fprintf(stderr, "%s\n", vdb::lint::FormatDiagnostic(d).c_str());
   }
-  std::printf(
-      "vdb-lint: scanned %zu files, %zu violation(s), %zu suppression(s) "
-      "honored\n",
-      report.files_scanned, report.violations.size(),
-      report.suppressions_used);
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "vdb-lint: unable to write SARIF to %s\n",
+                   sarif_path.c_str());
+      return 2;
+    }
+    out << vdb::lint::ToSarif(report);
+  }
+  if (stats) {
+    std::fputs(vdb::lint::FormatStats(report).c_str(), stdout);
+  } else {
+    std::printf(
+        "vdb-lint: scanned %zu files, %zu violation(s), %zu suppression(s) "
+        "honored\n",
+        report.files_scanned, report.violations.size(),
+        report.suppressions_used);
+  }
   return report.ok() ? 0 : 1;
 }

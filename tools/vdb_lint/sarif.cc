@@ -1,0 +1,103 @@
+// SARIF 2.1.0 rendering for vdb-lint reports.
+//
+// One run, one reportingDescriptor per registry rule (plus the meta
+// diagnostics), one result per surviving violation. The output is
+// deterministic — violations keep the sorted order LintPaths produced and
+// paths are emitted verbatim as artifact URIs — so CI runs from the repo
+// root produce repo-relative URIs that GitHub code scanning can annotate
+// onto PR diffs, and the golden-file self-test can compare bytes.
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace vdb::lint {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToSarif(const Report& report) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"$schema\": "
+        "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"vdb-lint\",\n"
+     << "          \"informationUri\": "
+        "\"https://example.invalid/vdb-lint\",\n"
+     << "          \"rules\": [\n";
+  std::vector<std::string> rule_ids = RuleNames();
+  rule_ids.push_back("unknown-rule");
+  rule_ids.push_back("stale-suppression");
+  rule_ids.push_back("io");
+  for (size_t i = 0; i < rule_ids.size(); ++i) {
+    os << "            {\n"
+       << "              \"id\": \"" << JsonEscape(rule_ids[i]) << "\",\n"
+       << "              \"shortDescription\": { \"text\": \""
+       << JsonEscape(RuleDescription(rule_ids[i])) << "\" },\n"
+       << "              \"defaultConfiguration\": { \"level\": \"error\" }\n"
+       << "            }" << (i + 1 < rule_ids.size() ? "," : "") << "\n";
+  }
+  os << "          ]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"results\": [\n";
+  for (size_t i = 0; i < report.violations.size(); ++i) {
+    const Diagnostic& d = report.violations[i];
+    const size_t line = d.line == 0 ? 1 : d.line;  // SARIF lines are 1-based
+    os << "        {\n"
+       << "          \"ruleId\": \"" << JsonEscape(d.rule) << "\",\n"
+       << "          \"level\": \"error\",\n"
+       << "          \"message\": { \"text\": \"" << JsonEscape(d.message)
+       << "\" },\n"
+       << "          \"locations\": [\n"
+       << "            {\n"
+       << "              \"physicalLocation\": {\n"
+       << "                \"artifactLocation\": { \"uri\": \""
+       << JsonEscape(d.file) << "\" },\n"
+       << "                \"region\": { \"startLine\": " << line << " }\n"
+       << "              }\n"
+       << "            }\n"
+       << "          ]\n"
+       << "        }" << (i + 1 < report.violations.size() ? "," : "") << "\n";
+  }
+  os << "      ]\n"
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
+  return os.str();
+}
+
+}  // namespace vdb::lint
